@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches. Each bench regenerates
+ * one table or figure of the paper's §4 on a seeded corpus and prints
+ * the same rows the paper reports. Absolute numbers differ (the
+ * substrate is a simulated compiler pair, not GCC/LLVM on a
+ * Threadripper); the *shape* — who wins, orderings, magnitudes — is
+ * the reproduction target (see EXPERIMENTS.md).
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace dce::bench {
+
+/** Default corpus: seeds [1000, 1000+kCorpusSize). */
+inline constexpr uint64_t kCorpusFirstSeed = 1000;
+inline constexpr unsigned kCorpusSize = 300;
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+printRule()
+{
+    std::printf("--------------------------------------------------------"
+                "----\n");
+}
+
+inline double
+percent(uint64_t part, uint64_t whole)
+{
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+}
+
+/** The five build specs of one compiler across all levels (at head). */
+inline std::vector<core::BuildSpec>
+levelsOf(compiler::CompilerId id)
+{
+    std::vector<core::BuildSpec> builds;
+    for (compiler::OptLevel level : compiler::allOptLevels())
+        builds.push_back({id, level, SIZE_MAX});
+    return builds;
+}
+
+} // namespace dce::bench

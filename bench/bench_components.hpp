@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared implementation for Tables 3 and 4: collect -O3 level-
+ * regressions from a corpus, bisect each one over the compiler's
+ * commit history, and categorize the offending commits by component
+ * and touched files.
+ */
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "bench_common.hpp"
+#include "bisect/bisect.hpp"
+
+namespace dce::bench {
+
+inline void
+runComponentTable(compiler::CompilerId id, const char *paper_note)
+{
+    using compiler::OptLevel;
+
+    printHeader(std::string("Commits introducing missed DCE "
+                            "opportunities in ") +
+                compiler::compilerName(id) + " (O3 regressions, "
+                "bisected)");
+
+    core::BuildSpec o1{id, OptLevel::O1, SIZE_MAX};
+    core::BuildSpec o2{id, OptLevel::O2, SIZE_MAX};
+    core::BuildSpec o3{id, OptLevel::O3, SIZE_MAX};
+    core::CampaignOptions options;
+    options.computePrimary = true;
+    core::Campaign campaign = core::runCampaign(
+        kCorpusFirstSeed, kCorpusSize, {o1, o2, o3}, options);
+
+    // Collect primary O3 regressions: missed at O3, eliminated at a
+    // lower level; bisect each against commit 0.
+    const compiler::CompilerSpec &spec = compiler::spec(id);
+    std::map<std::string, const compiler::Commit *> offenders;
+    std::map<std::string, unsigned> cases_per_commit;
+    unsigned bisected = 0, regressions = 0;
+    constexpr unsigned kMaxBisections = 60;
+
+    for (const core::ProgramRecord &record : campaign.programs) {
+        if (!record.valid || bisected >= kMaxBisections)
+            continue;
+        const auto &primary_o3 = record.primary.at(o3.name());
+        const auto &missed_o1 = record.missed.at(o1.name());
+        const auto &missed_o2 = record.missed.at(o2.name());
+        for (unsigned marker : primary_o3) {
+            if (missed_o1.count(marker) && missed_o2.count(marker))
+                continue; // not a level regression
+            ++regressions;
+            if (bisected >= kMaxBisections)
+                break;
+            instrument::Instrumented prog =
+                core::makeProgram(record.seed);
+            bisect::BisectResult result = bisect::bisectRegression(
+                id, OptLevel::O3, *prog.unit, marker, 0,
+                spec.headIndex());
+            ++bisected;
+            if (result.valid) {
+                offenders[result.commit->hash] = result.commit;
+                ++cases_per_commit[result.commit->hash];
+            }
+        }
+    }
+
+    // Aggregate per component.
+    std::map<std::string, std::pair<unsigned, std::set<std::string>>>
+        by_component; // component -> (commits, files)
+    for (const auto &[hash, commit] : offenders) {
+        auto &entry = by_component[commit->component];
+        entry.first += 1;
+        entry.second.insert(commit->files.begin(),
+                            commit->files.end());
+    }
+
+    std::printf("primary O3 regressions found: %u; bisected: %u; "
+                "unique offending commits: %zu\n\n",
+                regressions, bisected, offenders.size());
+    std::printf("%-32s %9s %7s\n", "Component", "# Commits", "# Files");
+    printRule();
+    size_t total_files = 0;
+    for (const auto &[component, entry] : by_component) {
+        std::printf("%-32s %9u %7zu\n", component.c_str(), entry.first,
+                    entry.second.size());
+        total_files += entry.second.size();
+    }
+    printRule();
+    std::printf("%-32s %9zu %7zu\n", "total", offenders.size(),
+                total_files);
+    std::printf("\ncases per offending commit:\n");
+    for (const auto &[hash, commit] : offenders) {
+        std::printf("  %s  %-30s (%u cases)%s\n", hash.c_str(),
+                    commit->component.c_str(), cases_per_commit[hash],
+                    commit->knownRegression
+                        ? ""
+                        : "  [UNEXPECTED: not a known regression]");
+    }
+    std::printf("\n%s\n", paper_note);
+}
+
+} // namespace dce::bench

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * §4.1 headline numbers: dead-block prevalence in the generated corpus
+ * and the fraction of dead markers each compiler eliminates at -O3.
+ * Paper reference: 89.59% of 3,109,167 instrumented blocks dead;
+ * GCC -O3 eliminates 94.40% and LLVM -O3 95.69% of the dead markers.
+ */
+#include "bench_common.hpp"
+
+using namespace dce;
+using namespace dce::bench;
+using compiler::CompilerId;
+using compiler::OptLevel;
+
+int
+main()
+{
+    printHeader("Dead block prevalence and -O3 elimination (paper "
+                "section 4.1)");
+
+    std::vector<core::BuildSpec> builds = {
+        {CompilerId::Alpha, OptLevel::O3, SIZE_MAX},
+        {CompilerId::Beta, OptLevel::O3, SIZE_MAX},
+    };
+    core::Campaign campaign =
+        core::runCampaign(kCorpusFirstSeed, kCorpusSize, builds);
+
+    uint64_t total = campaign.totalMarkers();
+    uint64_t dead = campaign.totalDead();
+    uint64_t alive = campaign.totalAlive();
+    std::printf("corpus: %u programs, %llu instrumented blocks\n",
+                kCorpusSize, static_cast<unsigned long long>(total));
+    std::printf("dead blocks : %llu (%.2f%%)   [paper: 89.59%%]\n",
+                static_cast<unsigned long long>(dead),
+                percent(dead, total));
+    std::printf("alive blocks: %llu (%.2f%%)   [paper: 10.41%%]\n",
+                static_cast<unsigned long long>(alive),
+                percent(alive, total));
+    printRule();
+    for (const core::BuildSpec &spec : builds) {
+        uint64_t missed = campaign.totalMissed(spec.name());
+        std::printf(
+            "%-22s eliminates %6.2f%% of dead blocks  "
+            "[paper: GCC 94.40%%, LLVM 95.69%%]\n",
+            spec.name().c_str(), percent(dead - missed, dead));
+    }
+    std::printf("\nShape check: both compilers eliminate the large "
+                "majority; beta (LLVM role) >= alpha (GCC role): %s\n",
+                campaign.totalMissed(builds[1].name()) <=
+                        campaign.totalMissed(builds[0].name())
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

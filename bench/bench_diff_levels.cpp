@@ -1,0 +1,57 @@
+/**
+ * @file
+ * §4.2 "Between optimization levels": same compiler, -O1/-O2 versus
+ * -O3. Paper: GCC misses 308 markers at -O3 that -O1/-O2 eliminate
+ * (24 primary); LLVM misses 456 (54 primary). These are the
+ * regressions that feed the bisection benches.
+ */
+#include "bench_common.hpp"
+
+using namespace dce;
+using namespace dce::bench;
+using compiler::CompilerId;
+using compiler::OptLevel;
+
+int
+main()
+{
+    printHeader("Differential testing across optimization levels "
+                "(O1/O2 vs O3)");
+
+    for (CompilerId id : {CompilerId::Alpha, CompilerId::Beta}) {
+        core::BuildSpec o1{id, OptLevel::O1, SIZE_MAX};
+        core::BuildSpec o2{id, OptLevel::O2, SIZE_MAX};
+        core::BuildSpec o3{id, OptLevel::O3, SIZE_MAX};
+        core::CampaignOptions options;
+        options.computePrimary = true;
+        core::Campaign campaign = core::runCampaign(
+            kCorpusFirstSeed, kCorpusSize, {o1, o2, o3}, options);
+
+        uint64_t count = 0, primary = 0;
+        for (const core::ProgramRecord &record : campaign.programs) {
+            if (!record.valid)
+                continue;
+            // Missed at O3 but eliminated at O1 *or* O2.
+            const auto &missed_o3 = record.missed.at(o3.name());
+            const auto &missed_o1 = record.missed.at(o1.name());
+            const auto &missed_o2 = record.missed.at(o2.name());
+            for (unsigned m : missed_o3) {
+                if (!missed_o1.count(m) || !missed_o2.count(m)) {
+                    ++count;
+                    if (record.primary.at(o3.name()).count(m))
+                        ++primary;
+                }
+            }
+        }
+        std::printf("%-6s misses %llu dead markers at -O3 that -O1/-O2 "
+                    "eliminate (%llu primary)   [paper: GCC 308/24, "
+                    "LLVM 456/54]\n",
+                    compiler::compilerName(id),
+                    static_cast<unsigned long long>(count),
+                    static_cast<unsigned long long>(primary));
+    }
+    printRule();
+    std::printf("Shape check: lower levels sometimes beat -O3 for both "
+                "compilers — the regression signal the paper bisects.\n");
+    return 0;
+}

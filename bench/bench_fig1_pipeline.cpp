@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 1: end-to-end walkthrough of the approach on one program —
+ * (1) insert markers, (2) compile with two compilers, (3) compare the
+ * surviving marker sets, (4) keep the primary ones. Prints every
+ * stage's artifact so the pipeline is inspectable.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lang/printer.hpp"
+
+using namespace dce;
+using namespace dce::bench;
+using compiler::CompilerId;
+using compiler::OptLevel;
+
+int
+main()
+{
+    printHeader("Figure 1 walkthrough: the four steps of the approach");
+
+    // Listing 1a's shape (printf replaced by an opaque extern).
+    const char *original = R"(void print(int v);
+char a;
+char b[2];
+static int c = 0;
+int main() {
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) {
+    int f = 0;
+    int g = 0;
+    for (; f < 10; f++) {
+      g += f;
+    }
+    print(g);
+  }
+  if (c) {
+    b[0] = 1;
+    b[1] = 1;
+  }
+  c = 0;
+  return 0;
+}
+)";
+
+    std::printf("\n-- step 0: original test case --\n%s", original);
+
+    instrument::Instrumented prog =
+        instrument::instrumentSource(original);
+    std::printf("\n-- step 1: instrumented (%u markers) --\n%s",
+                prog.markerCount(),
+                lang::printUnit(*prog.unit).c_str());
+
+    core::GroundTruth truth = core::groundTruth(prog);
+    std::printf("-- ground truth (execution): alive = {");
+    for (unsigned m : truth.aliveMarkers)
+        std::printf(" DCEMarker%u", m);
+    std::printf(" }, dead = {");
+    for (unsigned m : truth.deadMarkers)
+        std::printf(" DCEMarker%u", m);
+    std::printf(" }\n");
+
+    compiler::Compiler alpha(CompilerId::Alpha, OptLevel::O3);
+    compiler::Compiler beta(CompilerId::Beta, OptLevel::O3);
+    std::set<unsigned> alpha_alive =
+        core::aliveMarkers(*prog.unit, alpha);
+    std::set<unsigned> beta_alive = core::aliveMarkers(*prog.unit, beta);
+
+    auto show = [&](const char *name, const std::set<unsigned> &alive) {
+        std::printf("-- step 2+3: %s keeps {", name);
+        for (unsigned m : alive)
+            std::printf(" DCEMarker%u", m);
+        std::printf(" } in its assembly\n");
+    };
+    show(alpha.describe().c_str(), alpha_alive);
+    show(beta.describe().c_str(), beta_alive);
+
+    std::set<unsigned> alpha_missed =
+        core::missedMarkers(alpha_alive, truth);
+    std::set<unsigned> beta_missed =
+        core::missedMarkers(beta_alive, truth);
+    std::printf("-- differential: alpha misses %zu dead markers, beta "
+                "misses %zu\n",
+                alpha_missed.size(), beta_missed.size());
+
+    std::set<unsigned> alpha_primary =
+        core::primaryMissedMarkers(prog, alpha_missed, truth);
+    std::printf("-- step 4: primary missed for alpha = {");
+    for (unsigned m : alpha_primary)
+        std::printf(" DCEMarker%u", m);
+    std::printf(" }\n");
+
+    std::printf("\nPaper comparison (Listings 1/2): GCC kept DCECheck2 "
+                "(the `if (c)` body) and the trailing store; LLVM kept "
+                "DCECheck0/1 (the pointer-comparison body). Here alpha "
+                "(GCC role) misses the stored-equals-init check and "
+                "beta (LLVM role) misses the &a == &b[1] body.\n");
+    return 0;
+}

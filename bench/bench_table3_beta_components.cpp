@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Table 3: components affected by commits that introduce missed DCE
+ * opportunities in beta (the LLVM role). Paper: 54 primary -O3
+ * markers, 38 regressions, 21 unique commits across 11 components and
+ * 23 files (alias analysis, value propagation, peephole, loops, pass
+ * management, ...).
+ */
+#include "bench_components.hpp"
+
+int
+main()
+{
+    dce::bench::runComponentTable(
+        dce::compiler::CompilerId::Beta,
+        "Shape check vs paper Table 3: several unique offending "
+        "commits spanning multiple components (paper: 21 commits, 11 "
+        "components, 23 files for LLVM).");
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Table 4: components affected by commits that introduce missed DCE
+ * opportunities in alpha (the GCC role). Paper: 308 primary -O3
+ * markers, 44 regressions, 23 unique commits across 16 components and
+ * 34 files.
+ */
+#include "bench_components.hpp"
+
+int
+main()
+{
+    dce::bench::runComponentTable(
+        dce::compiler::CompilerId::Alpha,
+        "Shape check vs paper Table 4: several unique offending "
+        "commits spanning multiple components (paper: 23 commits, 16 "
+        "components, 34 files for GCC).");
+    return 0;
+}

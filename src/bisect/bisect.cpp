@@ -1,0 +1,42 @@
+#include "bisect/bisect.hpp"
+
+#include "core/analysis.hpp"
+
+namespace dce::bisect {
+
+bool
+markerMissedAt(compiler::CompilerId id, compiler::OptLevel level,
+               size_t commit_index, const lang::TranslationUnit &unit,
+               unsigned marker)
+{
+    compiler::Compiler comp(id, level, commit_index);
+    return core::aliveMarkers(unit, comp).count(marker) != 0;
+}
+
+BisectResult
+bisectRegression(compiler::CompilerId id, compiler::OptLevel level,
+                 const lang::TranslationUnit &unit, unsigned marker,
+                 size_t good, size_t bad)
+{
+    BisectResult result;
+    if (good >= bad)
+        return result;
+    if (markerMissedAt(id, level, good, unit, marker))
+        return result; // already bad at the "good" end
+    if (!markerMissedAt(id, level, bad, unit, marker))
+        return result; // not bad at the "bad" end
+
+    while (bad - good > 1) {
+        size_t mid = good + (bad - good) / 2;
+        if (markerMissedAt(id, level, mid, unit, marker))
+            bad = mid;
+        else
+            good = mid;
+    }
+    result.valid = true;
+    result.firstBad = bad;
+    result.commit = &compiler::spec(id).history()[bad];
+    return result;
+}
+
+} // namespace dce::bisect

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regression bisection over a compiler's commit history — the `git
+ * bisect` step of §4.2's "missed optimization diversity" analysis.
+ * Given a program with a truly-dead marker that an older build
+ * eliminates and a newer build misses, find the first offending commit
+ * and report its component/file metadata (Tables 3 and 4).
+ */
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "compiler/compiler.hpp"
+#include "lang/ast.hpp"
+
+namespace dce::bisect {
+
+struct BisectResult {
+    bool valid = false;      ///< endpoints behaved as assumed
+    size_t firstBad = 0;     ///< first commit index that misses
+    const compiler::Commit *commit = nullptr;
+};
+
+/** Is @p marker present in the assembly of the given build? */
+bool markerMissedAt(compiler::CompilerId id, compiler::OptLevel level,
+                    size_t commit_index,
+                    const lang::TranslationUnit &unit, unsigned marker);
+
+/**
+ * Binary-search the first commit in (good, bad] at which @p marker is
+ * missed. @pre marker eliminated at @p good, missed at @p bad (checked
+ * — result.valid is false otherwise).
+ */
+BisectResult bisectRegression(compiler::CompilerId id,
+                              compiler::OptLevel level,
+                              const lang::TranslationUnit &unit,
+                              unsigned marker, size_t good, size_t bad);
+
+} // namespace dce::bisect

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The two simulated optimizing compilers and their commit histories.
+ *
+ * `alpha` plays the role of GCC and `beta` the role of LLVM: both are
+ * built from the same pass library (src/opt) but with deliberately
+ * different PassConfig capabilities and different regression commits,
+ * every one of which corresponds to a bug class catalogued by the
+ * paper (DESIGN.md section 6). A Compiler is addressed by
+ * (CompilerId, OptLevel, commit index); bisection walks the commit
+ * axis exactly like `git bisect` over compiler builds.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "lang/ast.hpp"
+#include "opt/pass.hpp"
+
+namespace dce::compiler {
+
+enum class CompilerId {
+    Alpha, ///< GCC-like
+    Beta,  ///< LLVM-like
+};
+
+enum class OptLevel { O0, O1, Os, O2, O3 };
+
+const char *compilerName(CompilerId id);
+const char *optLevelName(OptLevel level);
+/** All levels in the paper's Table 1/2 order: O0, O1, Os, O2, O3. */
+const std::vector<OptLevel> &allOptLevels();
+
+/** One synthetic commit in a compiler's history. */
+struct Commit {
+    std::string hash;      ///< synthetic short hash
+    std::string subject;   ///< one-line commit message
+    std::string component; ///< taxonomy entry (Tables 3/4 categories)
+    std::vector<std::string> files; ///< synthetic touched files
+    /** True if this commit is known (to us) to regress DCE; used only
+     * by tests/benches for validating bisection results, never by the
+     * detection pipeline itself. */
+    bool knownRegression = false;
+    /** Mutate the configuration for builds at or after this commit. */
+    std::function<void(opt::PassConfig &, OptLevel)> apply;
+};
+
+/** A compiler's full definition: base capabilities plus history. */
+class CompilerSpec {
+  public:
+    explicit CompilerSpec(CompilerId id);
+
+    CompilerId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    const std::vector<Commit> &history() const { return history_; }
+
+    /** Index of the current release (reported-on) build. Commits after
+     * head are fixes landed in response to bug reports (Table 5). */
+    size_t headIndex() const { return headIndex_; }
+    size_t latestIndex() const { return history_.size() - 1; }
+
+    /** Effective configuration for a build of commit @p commit_index
+     * at @p level (applies commits 0..commit_index in order). */
+    opt::PassConfig configAt(OptLevel level, size_t commit_index) const;
+
+  private:
+    CompilerId id_;
+    std::string name_;
+    std::vector<Commit> history_;
+    size_t headIndex_ = 0;
+};
+
+/** The singleton spec for each compiler. */
+const CompilerSpec &spec(CompilerId id);
+
+/**
+ * A concrete compiler build: (id, level, commit). compile() lowers a
+ * checked translation unit and runs the build's pipeline; the result
+ * can be executed (interp) or emitted (backend).
+ */
+class Compiler {
+  public:
+    /** @param commit_index the build's commit; SIZE_MAX = head. */
+    Compiler(CompilerId id, OptLevel level,
+             size_t commit_index = SIZE_MAX);
+
+    CompilerId id() const { return id_; }
+    OptLevel level() const { return level_; }
+    size_t commitIndex() const { return commitIndex_; }
+    /** e.g. "alpha-O3@a3f9c21". */
+    std::string describe() const;
+
+    /**
+     * Compile @p unit: lower + optimize.
+     * @param verify_each run the IR verifier after every pass (tests);
+     *        on failure the error is in lastError().
+     */
+    std::unique_ptr<ir::Module>
+    compile(const lang::TranslationUnit &unit,
+            bool verify_each = false) const;
+
+    /** compile() + backend emission. */
+    std::string compileToAsm(const lang::TranslationUnit &unit) const;
+
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    CompilerId id_;
+    OptLevel level_;
+    size_t commitIndex_;
+    mutable std::string lastError_;
+};
+
+/** Build the pass pipeline for @p level under @p config into @p pm.
+ * Exposed for tests and the Figure-1 walkthrough bench. */
+void buildPipeline(opt::PassManager &pm, OptLevel level);
+
+/** Level-adjusted configuration: which pass families run at all is a
+ * property of the level, applied on top of the build's capabilities. */
+opt::PassConfig adjustForLevel(opt::PassConfig config, OptLevel level);
+
+} // namespace dce::compiler

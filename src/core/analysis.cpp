@@ -1,0 +1,172 @@
+#include "core/analysis.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "backend/codegen.hpp"
+#include "ir/lowering.hpp"
+
+namespace dce::core {
+
+using instrument::Instrumented;
+using instrument::markerIndex;
+
+std::set<unsigned>
+aliveMarkersInAsm(const std::string &assembly)
+{
+    std::set<unsigned> alive;
+    for (const std::string &symbol : backend::calledSymbols(assembly)) {
+        if (auto index = markerIndex(symbol))
+            alive.insert(*index);
+    }
+    return alive;
+}
+
+std::set<unsigned>
+aliveMarkers(const lang::TranslationUnit &unit,
+             const compiler::Compiler &comp)
+{
+    return aliveMarkersInAsm(comp.compileToAsm(unit));
+}
+
+GroundTruth
+groundTruth(const Instrumented &prog)
+{
+    GroundTruth truth;
+    auto module = ir::lowerToIr(*prog.unit);
+    interp::ExecResult result = interp::execute(*module);
+    if (!result.ok())
+        return truth; // timeout/trap: unusable for ground truth
+    truth.valid = true;
+    for (const std::string &name : result.calledExternals) {
+        if (auto index = markerIndex(name))
+            truth.aliveMarkers.insert(*index);
+    }
+    for (unsigned m = 0; m < prog.markerCount(); ++m) {
+        if (!truth.aliveMarkers.count(m))
+            truth.deadMarkers.insert(m);
+    }
+    return truth;
+}
+
+namespace {
+
+/** Interprocedural CFG view over an O0 module: per-block predecessor
+ * lists, where a function entry's predecessors are all blocks
+ * containing calls to it. */
+struct InterCfg {
+    std::unordered_map<const ir::BasicBlock *,
+                       std::vector<const ir::BasicBlock *>>
+        preds;
+    /** Blocks containing each marker's call. */
+    std::unordered_map<unsigned, const ir::BasicBlock *> markerBlock;
+    /** Markers contained in each block. */
+    std::unordered_map<const ir::BasicBlock *, std::vector<unsigned>>
+        blockMarkers;
+};
+
+InterCfg
+buildInterCfg(const ir::Module &module)
+{
+    InterCfg cfg;
+    for (const auto &fn : module.functions()) {
+        for (const auto &block : fn->blocks()) {
+            cfg.preds[block.get()]; // materialize every node
+            for (ir::BasicBlock *succ : block->successors())
+                cfg.preds[succ].push_back(block.get());
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() != ir::Opcode::Call)
+                    continue;
+                const ir::Function *callee = instr->callee;
+                if (callee->isDeclaration()) {
+                    if (auto index = markerIndex(callee->name())) {
+                        cfg.markerBlock[*index] = block.get();
+                        cfg.blockMarkers[block.get()].push_back(
+                            *index);
+                    }
+                    continue;
+                }
+                // Call edge: the calling block reaches the callee's
+                // entry.
+                cfg.preds[callee->entry()].push_back(block.get());
+            }
+        }
+    }
+    return cfg;
+}
+
+} // namespace
+
+std::set<unsigned>
+primaryMissedMarkers(const Instrumented &prog,
+                     const std::set<unsigned> &missed,
+                     const GroundTruth &truth)
+{
+    if (missed.empty() || !truth.valid)
+        return {};
+
+    // Fresh O0 lowering + block-level execution ground truth.
+    auto module = ir::lowerToIr(*prog.unit);
+    interp::ExecLimits limits;
+    limits.recordBlocks = true;
+    interp::ExecResult run = interp::execute(*module, "main", limits);
+    if (!run.ok())
+        return missed; // should not happen (truth.valid): be safe
+
+    InterCfg cfg = buildInterCfg(*module);
+
+    auto block_state = [&](const ir::BasicBlock *block)
+        -> std::pair<bool, bool> {
+        // (contains_missed_dead_marker, contains_only_detected).
+        bool has_missed = false;
+        auto it = cfg.blockMarkers.find(block);
+        if (it != cfg.blockMarkers.end()) {
+            for (unsigned m : it->second)
+                has_missed |= missed.count(m) != 0;
+        }
+        return {has_missed, it != cfg.blockMarkers.end()};
+    };
+
+    std::set<unsigned> primary;
+    for (unsigned marker : missed) {
+        auto block_it = cfg.markerBlock.find(marker);
+        if (block_it == cfg.markerBlock.end())
+            continue; // marker vanished at lowering (front-end DCE)
+        const ir::BasicBlock *origin = block_it->second;
+
+        // Backwards reachability from the marker's block through dead
+        // territory. Hitting an executed (live) block ends that path
+        // per the Definition (live predecessors are fine); hitting a
+        // block with a *detected* dead marker also ends it; hitting a
+        // block with another *missed* dead marker makes `marker`
+        // secondary.
+        bool secondary = false;
+        std::vector<const ir::BasicBlock *> worklist(
+            cfg.preds[origin].begin(), cfg.preds[origin].end());
+        std::unordered_set<const ir::BasicBlock *> visited{origin};
+        while (!worklist.empty() && !secondary) {
+            const ir::BasicBlock *block = worklist.back();
+            worklist.pop_back();
+            if (!visited.insert(block).second)
+                continue;
+            if (run.executedBlocks.count(block))
+                continue; // live predecessor: fine
+            auto [has_missed, has_any_marker] = block_state(block);
+            if (has_missed) {
+                secondary = true;
+                break;
+            }
+            if (has_any_marker)
+                continue; // detected dead marker: root cause resolved
+            // Dead, markerless: keep walking up.
+            for (const ir::BasicBlock *pred : cfg.preds[block])
+                worklist.push_back(pred);
+        }
+        if (!secondary)
+            primary.insert(marker);
+    }
+    return primary;
+}
+
+} // namespace dce::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's core machinery (§3): marker liveness per compiler build,
+ * execution-derived ground truth, missed-marker differentials, and the
+ * primary-missed-block analysis (§3.2).
+ *
+ * Terminology matches the paper:
+ *  - Comp(M) = alive  <=>  `call DCEMarkerM` appears in Comp's assembly;
+ *  - a marker is *truly dead* iff it never executes (the programs are
+ *    deterministic and input-free, so one run decides);
+ *  - Comp *misses* M iff Comp(M) = alive but M is truly dead;
+ *  - a missed M is *primary* iff no CFG-predecessor block of M's block
+ *    is itself missed-dead (Definition, §3.2).
+ */
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "compiler/compiler.hpp"
+#include "instrument/instrument.hpp"
+#include "interp/interpreter.hpp"
+
+namespace dce::core {
+
+/** Markers whose calls survive in @p assembly. */
+std::set<unsigned> aliveMarkersInAsm(const std::string &assembly);
+
+/**
+ * Compile the instrumented unit with @p comp and return the alive
+ * marker set Comp(M) — step (2)+(3) of Figure 1 for one build.
+ */
+std::set<unsigned> aliveMarkers(const lang::TranslationUnit &unit,
+                                const compiler::Compiler &comp);
+
+/** Ground truth from execution. */
+struct GroundTruth {
+    bool valid = false; ///< program executed to completion
+    std::set<unsigned> aliveMarkers; ///< executed at least once
+    std::set<unsigned> deadMarkers;  ///< never executed
+};
+
+GroundTruth groundTruth(const instrument::Instrumented &prog);
+
+/** Set helpers over markers. */
+inline std::set<unsigned>
+setMinus(const std::set<unsigned> &a, const std::set<unsigned> &b)
+{
+    std::set<unsigned> out;
+    for (unsigned m : a) {
+        if (!b.count(m))
+            out.insert(m);
+    }
+    return out;
+}
+
+inline std::set<unsigned>
+setIntersect(const std::set<unsigned> &a, const std::set<unsigned> &b)
+{
+    std::set<unsigned> out;
+    for (unsigned m : a) {
+        if (b.count(m))
+            out.insert(m);
+    }
+    return out;
+}
+
+/** Markers a build failed to eliminate although they are truly dead. */
+inline std::set<unsigned>
+missedMarkers(const std::set<unsigned> &alive_in_asm,
+              const GroundTruth &truth)
+{
+    return setIntersect(alive_in_asm, truth.deadMarkers);
+}
+
+/**
+ * §3.2: reduce a missed set to its *primary* subset. Works on the
+ * interprocedural CFG of the O0 lowering of the instrumented unit:
+ * a missed marker is secondary when a backwards walk from its block —
+ * through dead, detected-or-markerless blocks — reaches another missed
+ * marker's block.
+ *
+ * @param prog     the instrumented program
+ * @param missed   the build's missed (dead but alive-in-asm) markers
+ * @param truth    execution ground truth (must be valid)
+ */
+std::set<unsigned> primaryMissedMarkers(
+    const instrument::Instrumented &prog,
+    const std::set<unsigned> &missed, const GroundTruth &truth);
+
+} // namespace dce::core

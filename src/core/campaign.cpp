@@ -1,0 +1,131 @@
+#include "core/campaign.hpp"
+
+namespace dce::core {
+
+uint64_t
+Campaign::totalMarkers() const
+{
+    uint64_t total = 0;
+    for (const ProgramRecord &record : programs) {
+        if (record.valid)
+            total += record.markerCount;
+    }
+    return total;
+}
+
+uint64_t
+Campaign::totalDead() const
+{
+    uint64_t total = 0;
+    for (const ProgramRecord &record : programs) {
+        if (record.valid)
+            total += record.trueDead.size();
+    }
+    return total;
+}
+
+uint64_t
+Campaign::totalAlive() const
+{
+    uint64_t total = 0;
+    for (const ProgramRecord &record : programs) {
+        if (record.valid)
+            total += record.trueAlive.size();
+    }
+    return total;
+}
+
+uint64_t
+Campaign::totalMissed(const std::string &build) const
+{
+    uint64_t total = 0;
+    for (const ProgramRecord &record : programs) {
+        if (!record.valid)
+            continue;
+        auto it = record.missed.find(build);
+        if (it != record.missed.end())
+            total += it->second.size();
+    }
+    return total;
+}
+
+uint64_t
+Campaign::totalPrimaryMissed(const std::string &build) const
+{
+    uint64_t total = 0;
+    for (const ProgramRecord &record : programs) {
+        if (!record.valid)
+            continue;
+        auto it = record.primary.find(build);
+        if (it != record.primary.end())
+            total += it->second.size();
+    }
+    return total;
+}
+
+uint64_t
+Campaign::totalMissedVersus(const std::string &by,
+                            const std::string &reference) const
+{
+    uint64_t total = 0;
+    for (const ProgramRecord &record : programs) {
+        if (!record.valid)
+            continue;
+        auto by_it = record.missed.find(by);
+        auto ref_it = record.missed.find(reference);
+        if (by_it == record.missed.end() ||
+            ref_it == record.missed.end()) {
+            continue;
+        }
+        // Missed by `by`, eliminated by `reference`.
+        total += setMinus(by_it->second, ref_it->second).size();
+    }
+    return total;
+}
+
+instrument::Instrumented
+makeProgram(uint64_t seed, const gen::GenConfig &config)
+{
+    auto unit = gen::generateProgram(seed, config);
+    return instrument::instrumentUnit(*unit);
+}
+
+Campaign
+runCampaign(uint64_t first_seed, unsigned count,
+            const std::vector<BuildSpec> &builds,
+            const CampaignOptions &options)
+{
+    Campaign campaign;
+    campaign.programs.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        uint64_t seed = first_seed + i;
+        ProgramRecord record;
+        record.seed = seed;
+
+        instrument::Instrumented prog =
+            makeProgram(seed, options.generator);
+        record.markerCount = prog.markerCount();
+
+        GroundTruth truth = groundTruth(prog);
+        record.valid = truth.valid;
+        if (record.valid) {
+            record.trueAlive = truth.aliveMarkers;
+            record.trueDead = truth.deadMarkers;
+            for (const BuildSpec &spec : builds) {
+                std::string name = spec.name();
+                std::set<unsigned> alive =
+                    aliveMarkers(*prog.unit, spec.make());
+                record.missed[name] = missedMarkers(alive, truth);
+                if (options.computePrimary) {
+                    record.primary[name] = primaryMissedMarkers(
+                        prog, record.missed[name], truth);
+                }
+                record.alive[name] = std::move(alive);
+            }
+        }
+        campaign.programs.push_back(std::move(record));
+    }
+    return campaign;
+}
+
+} // namespace dce::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Campaign driver: runs the whole Figure-1 pipeline — generate,
+ * instrument, execute for ground truth, compile under a set of
+ * compiler builds, and collect alive/missed/primary marker sets — over
+ * a seeded corpus. The benches build every table of the paper's §4
+ * from the records this produces.
+ */
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "gen/generator.hpp"
+
+namespace dce::core {
+
+/** One compiler build participating in a campaign. */
+struct BuildSpec {
+    compiler::CompilerId id;
+    compiler::OptLevel level;
+    size_t commit = SIZE_MAX; ///< SIZE_MAX = head
+
+    compiler::Compiler
+    make() const
+    {
+        return compiler::Compiler(id, level, commit);
+    }
+    std::string name() const { return make().describe(); }
+};
+
+/** Everything recorded about one corpus program. */
+struct ProgramRecord {
+    uint64_t seed = 0;
+    unsigned markerCount = 0;
+    bool valid = false; ///< executed cleanly; only valid records count
+    std::set<unsigned> trueAlive;
+    std::set<unsigned> trueDead;
+    /** Alive-in-assembly sets, keyed by BuildSpec::name(). */
+    std::map<std::string, std::set<unsigned>> alive;
+    /** Missed dead markers per build. */
+    std::map<std::string, std::set<unsigned>> missed;
+    /** Primary missed subset per build (when requested). */
+    std::map<std::string, std::set<unsigned>> primary;
+};
+
+struct CampaignOptions {
+    bool computePrimary = false;
+    gen::GenConfig generator;
+};
+
+/** A finished campaign over a corpus. */
+struct Campaign {
+    std::vector<ProgramRecord> programs;
+
+    uint64_t totalMarkers() const;
+    uint64_t totalDead() const;
+    uint64_t totalAlive() const;
+    /** Sum of |missed| for one build across the corpus. */
+    uint64_t totalMissed(const std::string &build) const;
+    uint64_t totalPrimaryMissed(const std::string &build) const;
+    /** Markers missed by @p by but eliminated by @p reference. */
+    uint64_t totalMissedVersus(const std::string &by,
+                               const std::string &reference) const;
+};
+
+/** Regenerate + instrument the program for @p seed (deterministic). */
+instrument::Instrumented makeProgram(
+    uint64_t seed, const gen::GenConfig &config = {});
+
+/**
+ * Run the campaign: seeds [first_seed, first_seed + count) against
+ * every build. Programs that fail ground-truth execution are recorded
+ * with valid = false and excluded from the totals.
+ */
+Campaign runCampaign(uint64_t first_seed, unsigned count,
+                     const std::vector<BuildSpec> &builds,
+                     const CampaignOptions &options = {});
+
+} // namespace dce::core

@@ -1,0 +1,167 @@
+#include "core/triage.hpp"
+
+#include <set>
+
+#include "instrument/instrument.hpp"
+#include "ir/lowering.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "reduce/reducer.hpp"
+
+namespace dce::core {
+
+namespace {
+
+/** The full interestingness check used during reduction: the candidate
+ * parses, the marker is truly dead, the reporting build misses it, and
+ * the reference build eliminates it. */
+bool
+isInteresting(const std::string &source, unsigned marker,
+              const BuildSpec &missed_by, const BuildSpec &reference)
+{
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(source, diags);
+    if (!unit)
+        return false;
+    // Ground truth: the marker must exist and never execute.
+    std::string name = instrument::markerName(marker);
+    if (!unit->findFunction(name))
+        return false;
+    auto module = ir::lowerToIr(*unit);
+    interp::ExecResult run = interp::execute(*module);
+    if (!run.ok() || run.calledExternals.count(name))
+        return false;
+    // Differential: missed by one build, eliminated by the other.
+    std::set<unsigned> missed_alive =
+        aliveMarkers(*unit, missed_by.make());
+    if (!missed_alive.count(marker))
+        return false;
+    std::set<unsigned> reference_alive =
+        aliveMarkers(*unit, reference.make());
+    return reference_alive.count(marker) == 0;
+}
+
+/** Root-cause signature of a reduced case: the first post-HEAD fix
+ * commit that resolves it, or a capability tag. */
+std::string
+signatureOf(const std::string &reduced_source, const Finding &finding,
+            bool &fixed)
+{
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(reduced_source, diags);
+    if (!unit) {
+        fixed = false;
+        return "invalid";
+    }
+    const compiler::CompilerSpec &spec =
+        compiler::spec(finding.missedBy.id);
+    for (size_t commit = spec.headIndex() + 1;
+         commit < spec.history().size(); ++commit) {
+        compiler::Compiler fixed_build(finding.missedBy.id,
+                                       finding.missedBy.level, commit);
+        if (!aliveMarkers(*unit, fixed_build).count(finding.marker)) {
+            fixed = true;
+            return "fixedby:" + spec.history()[commit].hash;
+        }
+    }
+    fixed = false;
+    // No fix commit resolves it: classify by which levels of the same
+    // compiler eliminate the marker — a capability fingerprint.
+    std::string fingerprint = "capability:";
+    for (compiler::OptLevel level : compiler::allOptLevels()) {
+        compiler::Compiler probe(finding.missedBy.id, level);
+        fingerprint +=
+            aliveMarkers(*unit, probe).count(finding.marker) ? 'm'
+                                                             : 'e';
+    }
+    return fingerprint;
+}
+
+} // namespace
+
+std::vector<Finding>
+collectFindings(const Campaign &campaign, const BuildSpec &missed_by,
+                const BuildSpec &reference, unsigned max_findings,
+                const gen::GenConfig &config)
+{
+    (void)config;
+    std::vector<Finding> findings;
+    std::string by_name = missed_by.name();
+    std::string ref_name = reference.name();
+    for (const ProgramRecord &record : campaign.programs) {
+        if (!record.valid)
+            continue;
+        auto primary_it = record.primary.find(by_name);
+        auto ref_it = record.missed.find(ref_name);
+        if (primary_it == record.primary.end() ||
+            ref_it == record.missed.end()) {
+            continue;
+        }
+        for (unsigned marker :
+             setMinus(primary_it->second, ref_it->second)) {
+            if (findings.size() >= max_findings)
+                return findings;
+            findings.push_back(
+                {record.seed, marker, missed_by, reference});
+            break; // at most one report per program (like the paper)
+        }
+    }
+    return findings;
+}
+
+TriageSummary
+triageFindings(const std::vector<Finding> &findings,
+               const gen::GenConfig &config,
+               unsigned reported_duplicate_allowance)
+{
+    TriageSummary summary;
+    std::set<std::pair<int, std::string>> seen_signatures;
+    std::map<int, unsigned> duplicate_budget;
+    duplicate_budget[static_cast<int>(compiler::CompilerId::Alpha)] =
+        reported_duplicate_allowance;
+    duplicate_budget[static_cast<int>(compiler::CompilerId::Beta)] =
+        reported_duplicate_allowance;
+
+    for (const Finding &finding : findings) {
+        Report report;
+        report.finding = finding;
+
+        instrument::Instrumented prog =
+            makeProgram(finding.seed, config);
+        std::string source = lang::printUnit(*prog.unit);
+
+        reduce::ReduceResult reduced = reduce::reduceSource(
+            source,
+            [&](const std::string &candidate) {
+                return isInteresting(candidate, finding.marker,
+                                     finding.missedBy,
+                                     finding.reference);
+            },
+            /*max_tests=*/800);
+        report.reducedSource = reduced.source;
+        report.reductionTests = reduced.testsRun;
+
+        report.signature =
+            signatureOf(reduced.source, finding, report.fixed);
+        auto key = std::make_pair(
+            static_cast<int>(finding.missedBy.id), report.signature);
+        report.duplicate = !seen_signatures.insert(key).second;
+        if (report.duplicate) {
+            // Pre-report deduplication drops most same-root-cause
+            // findings; a small allowance slips through and gets
+            // marked duplicate by the "developers".
+            unsigned &budget =
+                duplicate_budget[static_cast<int>(finding.missedBy.id)];
+            if (budget == 0)
+                continue; // deduplicated away, never reported
+            --budget;
+            report.fixed = false; // counted once, on the original
+        }
+        report.confirmed = !report.duplicate &&
+                           report.signature != "invalid";
+        summary.reports.push_back(std::move(report));
+    }
+    return summary;
+}
+
+} // namespace dce::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Report triage — the measurable skeleton of §4.3 (Table 5). For each
+ * differential finding we reduce the test case (C-Reduce stand-in),
+ * derive a root-cause *signature* (which post-head fix commit makes
+ * the reduced case optimize, or which capability difference explains
+ * it), deduplicate by signature, and classify:
+ *
+ *  - reported:   findings submitted (after reduction);
+ *  - confirmed:  unique root causes that reproduce on the reduced case;
+ *  - duplicate:  signature already reported earlier;
+ *  - fixed:      a fix commit past HEAD resolves the reduced case.
+ *
+ * The human parts of bug reporting (developer dialogue) are outside
+ * the simulation; everything counted here is mechanically derived.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace dce::core {
+
+/** One missed-optimization finding to report. */
+struct Finding {
+    uint64_t seed = 0;
+    unsigned marker = 0;
+    BuildSpec missedBy;   ///< the build that failed to eliminate
+    BuildSpec reference;  ///< a build that succeeded (feasibility)
+};
+
+/** A triaged (reduced + classified) report. */
+struct Report {
+    Finding finding;
+    std::string reducedSource;
+    std::string signature;
+    bool confirmed = false;
+    bool duplicate = false;
+    bool fixed = false;
+    unsigned reductionTests = 0;
+};
+
+struct TriageSummary {
+    std::vector<Report> reports;
+
+    unsigned
+    count(compiler::CompilerId id, bool Report::*flag) const
+    {
+        unsigned total = 0;
+        for (const Report &report : reports) {
+            if (report.finding.missedBy.id == id && report.*flag)
+                ++total;
+        }
+        return total;
+    }
+
+    unsigned
+    reported(compiler::CompilerId id) const
+    {
+        unsigned total = 0;
+        for (const Report &report : reports)
+            total += report.finding.missedBy.id == id ? 1 : 0;
+        return total;
+    }
+};
+
+/**
+ * Extract findings from a finished campaign: for each program, each
+ * *primary* missed marker of @p missed_by that @p reference
+ * eliminated becomes one finding (capped at @p max_findings).
+ * The campaign must have been run with computePrimary.
+ */
+std::vector<Finding> collectFindings(const Campaign &campaign,
+                                     const BuildSpec &missed_by,
+                                     const BuildSpec &reference,
+                                     unsigned max_findings,
+                                     const gen::GenConfig &config = {});
+
+/**
+ * Reduce, signature, deduplicate, and classify @p findings. Like the
+ * paper's workflow, duplicates found during pre-report deduplication
+ * are *dropped*; @p reported_duplicate_allowance models the imperfect
+ * manual dedup (the paper reported 5 GCC duplicates, one of which a
+ * developer had already filed) — that many same-signature findings per
+ * compiler are still "reported" and end up marked duplicate.
+ */
+TriageSummary triageFindings(const std::vector<Finding> &findings,
+                             const gen::GenConfig &config = {},
+                             unsigned reported_duplicate_allowance = 1);
+
+} // namespace dce::core

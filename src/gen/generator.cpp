@@ -1,0 +1,874 @@
+#include "gen/generator.hpp"
+
+#include <cassert>
+
+#include "lang/printer.hpp"
+#include "lang/sema.hpp"
+#include "support/rng.hpp"
+
+namespace dce::gen {
+
+using namespace lang;
+
+namespace {
+
+/** A variable visible at the current generation point. */
+struct ScopeVar {
+    VarDecl *decl;
+    bool frozen; ///< loop control variable: never assigned in body
+};
+
+class Generator {
+  public:
+    Generator(uint64_t seed, const GenConfig &config)
+        : rng_(seed), config_(config),
+          unit_(std::make_unique<TranslationUnit>())
+    {
+    }
+
+    std::unique_ptr<TranslationUnit>
+    run()
+    {
+        makeGlobals();
+        for (unsigned i = 0; i < config_.numHelpers; ++i)
+            makeHelper(i);
+        makeTinyHelper();
+        makeMain();
+
+        DiagnosticEngine diags;
+        Sema sema(diags);
+        sema.check(*unit_);
+        assert(!diags.hasErrors() && "generator produced invalid MiniC");
+        (void)diags;
+        return std::move(unit_);
+    }
+
+  private:
+    TypeContext &types() { return *unit_->types; }
+
+    const Type *
+    randomScalarType()
+    {
+        static const unsigned widths[] = {8, 16, 32, 32, 32, 64};
+        unsigned bits = widths[rng_.below(std::size(widths))];
+        bool is_signed = !rng_.chance(25);
+        return types().intType(bits, is_signed);
+    }
+
+    std::string
+    freshName(const char *prefix)
+    {
+        return std::string(prefix) + std::to_string(nameCounter_++);
+    }
+
+    ExprPtr
+    literal(int64_t value)
+    {
+        if (value < 0) {
+            return std::make_unique<UnaryExpr>(
+                UnaryOp::Neg, std::make_unique<IntLit>(
+                                  static_cast<uint64_t>(-value)));
+        }
+        return std::make_unique<IntLit>(static_cast<uint64_t>(value));
+    }
+
+    ExprPtr
+    ref(const VarDecl *decl)
+    {
+        return std::make_unique<VarRef>(decl->name);
+    }
+
+    //===--------------------------------------------------------------===//
+    // Globals
+    //===--------------------------------------------------------------===//
+
+    void
+    makeGlobals()
+    {
+        for (unsigned i = 0; i < config_.numGlobals; ++i) {
+            std::string name = "g" + std::to_string(i);
+            bool is_static = rng_.chance(60);
+            Storage storage = is_static ? Storage::StaticGlobal
+                                        : Storage::Global;
+            unsigned kind = static_cast<unsigned>(rng_.below(10));
+            if (kind < 6) {
+                // Scalar with a small initializer (often zero, which
+                // makes `if (g)` blocks dead — a rich dead-code seam).
+                auto decl = std::make_unique<VarDecl>(
+                    name, randomScalarType(), storage);
+                if (rng_.chance(70)) {
+                    decl->init =
+                        literal(rng_.chance(60) ? 0 : rng_.range(0, 9));
+                }
+                scalarGlobals_.push_back(decl.get());
+                unit_->addGlobal(std::move(decl));
+            } else if (kind < 8) {
+                // Array of a scalar type.
+                uint64_t size = static_cast<uint64_t>(rng_.range(2, 6));
+                const Type *elem = randomScalarType();
+                auto decl = std::make_unique<VarDecl>(
+                    name, types().arrayOf(elem, size), storage);
+                if (rng_.chance(60)) {
+                    for (uint64_t k = 0; k < size; ++k) {
+                        decl->initList.push_back(literal(
+                            rng_.chance(50) ? 0 : rng_.range(0, 5)));
+                    }
+                }
+                arrayGlobals_.push_back(decl.get());
+                unit_->addGlobal(std::move(decl));
+            } else if (!scalarGlobals_.empty()) {
+                // Pointer to an earlier scalar global.
+                const VarDecl *target = rng_.pick(scalarGlobals_);
+                auto decl = std::make_unique<VarDecl>(
+                    name, types().pointerTo(target->type), storage);
+                decl->init = std::make_unique<UnaryExpr>(
+                    UnaryOp::AddrOf, ref(target));
+                pointerGlobals_.push_back(decl.get());
+                unit_->addGlobal(std::move(decl));
+            } else {
+                auto decl = std::make_unique<VarDecl>(
+                    name, types().intTy(), storage);
+                decl->init = literal(0);
+                scalarGlobals_.push_back(decl.get());
+                unit_->addGlobal(std::move(decl));
+            }
+        }
+        assert(!scalarGlobals_.empty());
+
+        // Read-only statics: initialized, never assigned (they are not
+        // registered in scalarGlobals_, so lvalue() never picks them).
+        unsigned readonly = 3 + static_cast<unsigned>(rng_.below(3));
+        for (unsigned i = 0; i < readonly; ++i) {
+            auto decl = std::make_unique<VarDecl>(
+                "r" + std::to_string(i), randomScalarType(),
+                Storage::StaticGlobal);
+            decl->init = literal(rng_.range(0, 9));
+            readonlyStatics_.push_back(decl.get());
+            unit_->addGlobal(std::move(decl));
+        }
+        // Stored-equals-init statics (rewritten with their initializer
+        // once in main; see makeMain).
+        for (unsigned i = 0; i < 2; ++i) {
+            auto decl = std::make_unique<VarDecl>(
+                "q" + std::to_string(i), unit_->types->intTy(),
+                Storage::StaticGlobal);
+            decl->init = literal(0);
+            storedEqInitStatics_.push_back(decl.get());
+            unit_->addGlobal(std::move(decl));
+        }
+        // Rem-gadget external: runtime value equals its initializer
+        // (nothing ever stores it), but external linkage keeps it
+        // statically opaque — so the `if (remg == 7)` guard is *alive*
+        // and the rem check nested under it is primary when missed.
+        {
+            auto decl = std::make_unique<VarDecl>(
+                "remg", unit_->types->intTy(), Storage::Global);
+            decl->init = literal(7);
+            remGlobal_ = decl.get();
+            unit_->addGlobal(std::move(decl));
+        }
+        // Vectorizer-gadget array (Listing 9e's shape).
+        {
+            auto decl = std::make_unique<VarDecl>(
+                "vecarr",
+                unit_->types->arrayOf(unit_->types->intTy(), 2),
+                Storage::StaticGlobal);
+            vecArray_ = decl.get();
+            unit_->addGlobal(std::move(decl));
+        }
+        // Alias-forwarding gadget static (Listing 9c's shape).
+        {
+            auto decl = std::make_unique<VarDecl>(
+                "ps0", unit_->types->charType(), Storage::StaticGlobal);
+            decl->init = literal(0);
+            aliasStatic_ = decl.get();
+            unit_->addGlobal(std::move(decl));
+        }
+        // Address-comparison pattern objects (Listing 3's shape).
+        {
+            auto array = std::make_unique<VarDecl>(
+                "pa", unit_->types->arrayOf(unit_->types->charType(), 2),
+                Storage::Global);
+            patternArray_ = array.get();
+            unit_->addGlobal(std::move(array));
+            auto scalar = std::make_unique<VarDecl>(
+                "pb", unit_->types->charType(), Storage::Global);
+            patternScalar_ = scalar.get();
+            unit_->addGlobal(std::move(scalar));
+        }
+    }
+
+    //===--------------------------------------------------------------===//
+    // Expressions
+    //===--------------------------------------------------------------===//
+
+    /** Integer-valued expression of bounded depth. */
+    ExprPtr
+    intExpr(unsigned depth)
+    {
+        if (depth == 0 || rng_.chance(30))
+            return intLeaf();
+        switch (rng_.below(8)) {
+          case 0: {
+            UnaryOp op = rng_.chance(50)
+                             ? UnaryOp::Neg
+                             : (rng_.chance(50) ? UnaryOp::BitNot
+                                                : UnaryOp::LogicalNot);
+            return std::make_unique<UnaryExpr>(op, intExpr(depth - 1));
+          }
+          case 1:
+          case 2: {
+            static const BinaryOp arith[] = {
+                BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul,
+                BinaryOp::Div, BinaryOp::Rem, BinaryOp::BitAnd,
+                BinaryOp::BitOr, BinaryOp::BitXor};
+            BinaryOp op = arith[rng_.below(std::size(arith))];
+            return std::make_unique<BinaryExpr>(op, intExpr(depth - 1),
+                                                intExpr(depth - 1));
+          }
+          case 3: {
+            BinaryOp op =
+                rng_.chance(50) ? BinaryOp::Shl : BinaryOp::Shr;
+            // Bounded shift amounts keep values comprehensible; the
+            // semantics are defined for any amount regardless.
+            return std::make_unique<BinaryExpr>(
+                op, intExpr(depth - 1), literal(rng_.range(0, 7)));
+          }
+          case 4:
+            return comparison(depth - 1);
+          case 5: {
+            BinaryOp op = rng_.chance(50) ? BinaryOp::LogicalAnd
+                                          : BinaryOp::LogicalOr;
+            return std::make_unique<BinaryExpr>(
+                op, intExpr(depth - 1), intExpr(depth - 1));
+          }
+          case 6:
+            return std::make_unique<ConditionalExpr>(
+                condition(depth - 1), intExpr(depth - 1),
+                intExpr(depth - 1));
+          default:
+            if (!helpers_.empty() && callDepth_ == 0) {
+                // Calls only at statement-expression level to keep
+                // expression evaluation cheap.
+                return helperCall();
+            }
+            return intLeaf();
+        }
+    }
+
+    ExprPtr
+    intLeaf()
+    {
+        unsigned roll = static_cast<unsigned>(rng_.below(10));
+        if (roll < 3)
+            return literal(rng_.range(-4, 9));
+        if (roll < 6 && !locals_.empty()) {
+            const ScopeVar &var = rng_.pick(locals_);
+            if (var.decl->type->isInt())
+                return ref(var.decl);
+        }
+        if (roll < 8 && !arrayGlobals_.empty()) {
+            const VarDecl *array = rng_.pick(arrayGlobals_);
+            int64_t index = rng_.range(
+                0,
+                static_cast<int64_t>(array->type->arraySize()) - 1);
+            return std::make_unique<IndexExpr>(ref(array),
+                                               literal(index));
+        }
+        if (roll < 9 && !pointerGlobals_.empty()) {
+            return std::make_unique<UnaryExpr>(
+                UnaryOp::Deref, ref(rng_.pick(pointerGlobals_)));
+        }
+        return ref(rng_.pick(scalarGlobals_));
+    }
+
+    ExprPtr
+    comparison(unsigned depth)
+    {
+        static const BinaryOp cmps[] = {BinaryOp::Lt, BinaryOp::Le,
+                                        BinaryOp::Gt, BinaryOp::Ge,
+                                        BinaryOp::Eq, BinaryOp::Ne};
+        BinaryOp op = cmps[rng_.below(std::size(cmps))];
+        return std::make_unique<BinaryExpr>(op, intExpr(depth),
+                                            intExpr(depth));
+    }
+
+    /** Branch condition. The distribution shapes the corpus like the
+     * paper's Csmith programs (§4.1): most generated blocks are dead,
+     * and most of the dead ones are *provably* dead given the
+     * compilers' analyses — conditions over never-written statics fold
+     * once global value analysis, SCCP, and friends line up. A small
+     * share uses the capability-divergence patterns of DESIGN.md §6 so
+     * differential testing has something to find, and a small share is
+     * genuinely runtime-dependent (dead in practice, hard to prove). */
+    ExprPtr
+    condition(unsigned depth)
+    {
+        unsigned roll = static_cast<unsigned>(rng_.below(100));
+        if (roll < 10) {
+            // Literal-constant false condition: even front ends fold
+            // these during lowering — the paper's ~15% of dead blocks
+            // that disappear at -O0.
+            int64_t small = rng_.range(0, 9);
+            return std::make_unique<BinaryExpr>(
+                rng_.chance(50) ? BinaryOp::Gt : BinaryOp::Eq,
+                literal(small), literal(rng_.range(60, 150)));
+        }
+        if (roll < 10 + config_.unlikelyBranchBias) {
+            // Provably dead: a read-only static compared against an
+            // impossible constant.
+            const VarDecl *subject = rng_.pick(readonlyStatics_);
+            int64_t big = rng_.range(60, 150);
+            BinaryOp op = rng_.chance(50) ? BinaryOp::Gt : BinaryOp::Eq;
+            return std::make_unique<BinaryExpr>(op, ref(subject),
+                                                literal(big));
+        }
+        if (roll < 10 + config_.unlikelyBranchBias + 6)
+            return divergencePattern();
+        if (roll < 10 + config_.unlikelyBranchBias + 10) {
+            // Runtime-dependent and unlikely: dead in the ground truth
+            // but beyond static analysis (the residual both compilers
+            // miss, like the paper's ~5% at -O3).
+            ExprPtr lhs = intExpr(depth);
+            int64_t big = rng_.range(60, 150);
+            BinaryOp op = rng_.chance(50) ? BinaryOp::Gt : BinaryOp::Eq;
+            return std::make_unique<BinaryExpr>(op, std::move(lhs),
+                                                literal(big));
+        }
+        return rng_.chance(50) ? comparison(depth) : intExpr(depth);
+    }
+
+    /** A condition exercising one of the engineered compiler-capability
+     * differences (DESIGN.md §6), so differential campaigns surface
+     * the same bug classes the paper reports. */
+    ExprPtr
+    divergencePattern()
+    {
+        switch (rng_.below(3)) {
+          case 0:
+            // Listing 4a: a static whose stores re-write the
+            // initializer. beta's globalopt folds; alpha misses.
+            return ref(rng_.pick(storedEqInitStatics_));
+          case 1: {
+            // Listing 3: &pb == &pa[1]. alpha folds any offset; beta
+            // only offset 0.
+            auto lhs = std::make_unique<UnaryExpr>(
+                UnaryOp::AddrOf, ref(patternScalar_));
+            auto rhs = std::make_unique<UnaryExpr>(
+                UnaryOp::AddrOf,
+                std::make_unique<IndexExpr>(
+                    ref(patternArray_),
+                    literal(rng_.chance(70) ? 1 : 0)));
+            return std::make_unique<BinaryExpr>(
+                BinaryOp::Eq, std::move(lhs), std::move(rhs));
+          }
+          default:
+            // Listing 8b essence: an equality-guarded rem check.
+            // Dead whenever C % D != E; beta's VRP folds it at -O2
+            // but the -O3 ConstantRange regression misses it.
+            int64_t c = rng_.range(5, 20);
+            int64_t d = rng_.range(2, 7);
+            int64_t e = (c % d) + 1; // guaranteed mismatch
+            ExprPtr guard = std::make_unique<BinaryExpr>(
+                BinaryOp::Eq, intExpr(1), literal(c));
+            ExprPtr rem_check = std::make_unique<BinaryExpr>(
+                BinaryOp::Eq,
+                std::make_unique<BinaryExpr>(
+                    BinaryOp::Rem, intExpr(1), literal(d)),
+                literal(e));
+            // (x == C) && (x % D == E): the rem's lhs is a fresh
+            // expression, so fold-ability rests on the == guard; keep
+            // it simple with a conjunction over the same leaf when
+            // possible.
+            return std::make_unique<BinaryExpr>(
+                BinaryOp::LogicalAnd, std::move(guard),
+                std::move(rem_check));
+        }
+    }
+
+    ExprPtr
+    helperCall()
+    {
+        FunctionDecl *callee = rng_.pick(helpers_);
+        ++callDepth_;
+        std::vector<ExprPtr> args;
+        for (size_t i = 0; i < callee->params.size(); ++i)
+            args.push_back(intExpr(1));
+        --callDepth_;
+        return std::make_unique<CallExpr>(callee->name,
+                                          std::move(args));
+    }
+
+    /** A writable location: local, scalar global, array element, or a
+     * dereferenced pointer global. Respects frozen loop variables. */
+    ExprPtr
+    lvalue()
+    {
+        for (int attempt = 0; attempt < 4; ++attempt) {
+            unsigned roll = static_cast<unsigned>(rng_.below(10));
+            if (roll < 4 && !locals_.empty()) {
+                const ScopeVar &var = rng_.pick(locals_);
+                if (!var.frozen && var.decl->type->isInt())
+                    return ref(var.decl);
+                continue;
+            }
+            if (roll < 7)
+                return ref(rng_.pick(scalarGlobals_));
+            if (roll < 9 && !arrayGlobals_.empty()) {
+                const VarDecl *array = rng_.pick(arrayGlobals_);
+                int64_t index = rng_.range(
+                    0, static_cast<int64_t>(array->type->arraySize()) -
+                           1);
+                return std::make_unique<IndexExpr>(ref(array),
+                                                   literal(index));
+            }
+            if (!pointerGlobals_.empty()) {
+                return std::make_unique<UnaryExpr>(
+                    UnaryOp::Deref, ref(rng_.pick(pointerGlobals_)));
+            }
+        }
+        return ref(rng_.pick(scalarGlobals_));
+    }
+
+    //===--------------------------------------------------------------===//
+    // Statements
+    //===--------------------------------------------------------------===//
+
+    std::unique_ptr<BlockStmt>
+    block(unsigned depth, bool in_switch_arm)
+    {
+        auto result = std::make_unique<BlockStmt>();
+        size_t locals_mark = locals_.size();
+        unsigned count = 1 + static_cast<unsigned>(rng_.below(
+                                 config_.maxStmtsPerBlock));
+        for (unsigned i = 0; i < count; ++i)
+            appendStmt(*result, depth, in_switch_arm);
+        locals_.resize(locals_mark);
+        return result;
+    }
+
+    void
+    appendStmt(BlockStmt &block_stmt, unsigned depth,
+               bool in_switch_arm)
+    {
+        unsigned roll = static_cast<unsigned>(rng_.below(100));
+        bool allow_nesting = depth > 0;
+
+        if (roll < 10 && locals_.size() < 6) {
+            // Local declaration (always initialized).
+            auto decl = std::make_unique<VarDecl>(
+                freshName("l"), randomScalarType(), Storage::Local);
+            decl->init = intExpr(1);
+            locals_.push_back({decl.get(), false});
+            block_stmt.stmts.push_back(
+                std::make_unique<DeclStmt>(std::move(decl)));
+            return;
+        }
+        if (roll < 45) {
+            // Assignment (plain or compound).
+            static const AssignOp ops[] = {
+                AssignOp::Assign, AssignOp::Assign, AssignOp::Assign,
+                AssignOp::Add,    AssignOp::Sub,    AssignOp::Xor,
+                AssignOp::And,    AssignOp::Or};
+            AssignOp op = ops[rng_.below(std::size(ops))];
+            block_stmt.stmts.push_back(std::make_unique<ExprStmt>(
+                std::make_unique<AssignExpr>(
+                    op, lvalue(), intExpr(config_.maxExprDepth))));
+            return;
+        }
+        if (roll < 52 && !helpers_.empty()) {
+            block_stmt.stmts.push_back(
+                std::make_unique<ExprStmt>(helperCall()));
+            return;
+        }
+        if (roll < 72 && allow_nesting) {
+            // if / if-else.
+            StmtPtr then_block = block(depth - 1, false);
+            StmtPtr else_block;
+            if (rng_.chance(35))
+                else_block = block(depth - 1, false);
+            block_stmt.stmts.push_back(std::make_unique<IfStmt>(
+                condition(2), std::move(then_block),
+                std::move(else_block)));
+            return;
+        }
+        if (roll < 84 && allow_nesting) {
+            appendLoop(block_stmt, depth);
+            return;
+        }
+        if (roll < 90 && allow_nesting && !in_switch_arm) {
+            appendSwitch(block_stmt, depth);
+            return;
+        }
+        if (roll < 92 && inMain_ && allow_nesting &&
+            gadgetBudget_ > 0) {
+            --gadgetBudget_;
+            // Gadget bodies must not spawn further gadgets (their
+            // recursive blocks would otherwise grow heavy-tailed).
+            bool saved = inMain_;
+            inMain_ = false;
+            appendGadget(block_stmt, depth);
+            inMain_ = saved;
+            return;
+        }
+        // Fallback: increment something.
+        block_stmt.stmts.push_back(std::make_unique<ExprStmt>(
+            std::make_unique<UnaryExpr>(
+                rng_.chance(50) ? UnaryOp::PostInc : UnaryOp::PostDec,
+                lvalue())));
+    }
+
+    void
+    appendLoop(BlockStmt &block_stmt, unsigned depth)
+    {
+        int64_t trip = rng_.range(0, config_.maxLoopTrip);
+        std::string name = freshName("i");
+        auto induction = std::make_unique<VarDecl>(
+            name, types().intTy(), Storage::Local);
+        VarDecl *ind_ptr = induction.get();
+        induction->init = literal(0);
+
+        if (rng_.chance(70)) {
+            // for (int i = 0; i < trip; i++) { ... }
+            auto loop = std::make_unique<ForStmt>();
+            loop->init =
+                std::make_unique<DeclStmt>(std::move(induction));
+            loop->cond = std::make_unique<BinaryExpr>(
+                BinaryOp::Lt, std::make_unique<VarRef>(name),
+                literal(trip));
+            loop->step = std::make_unique<UnaryExpr>(
+                UnaryOp::PostInc, std::make_unique<VarRef>(name));
+            locals_.push_back({ind_ptr, /*frozen=*/true});
+            loop->body = block(depth - 1, false);
+            locals_.pop_back();
+            block_stmt.stmts.push_back(std::move(loop));
+            return;
+        }
+
+        // int n = trip; while (n > 0) { ...; n--; }
+        block_stmt.stmts.push_back(
+            std::make_unique<DeclStmt>(std::move(induction)));
+        // Reuse the declared variable as a down-counter.
+        block_stmt.stmts.push_back(std::make_unique<ExprStmt>(
+            std::make_unique<AssignExpr>(AssignOp::Assign,
+                                         std::make_unique<VarRef>(name),
+                                         literal(trip))));
+        locals_.push_back({ind_ptr, /*frozen=*/true});
+        auto body = block(depth - 1, false);
+        locals_.pop_back();
+        body->stmts.push_back(std::make_unique<ExprStmt>(
+            std::make_unique<UnaryExpr>(
+                UnaryOp::PostDec, std::make_unique<VarRef>(name))));
+        auto cond = std::make_unique<BinaryExpr>(
+            BinaryOp::Gt, std::make_unique<VarRef>(name), literal(0));
+        block_stmt.stmts.push_back(std::make_unique<WhileStmt>(
+            std::move(cond), std::move(body)));
+        // The counter stays visible (and unfrozen) afterwards.
+        locals_.push_back({ind_ptr, false});
+    }
+
+    void
+    appendSwitch(BlockStmt &block_stmt, unsigned depth)
+    {
+        // Most switch subjects are foldable (never-written statics),
+        // mirroring how much of a deterministic program's control flow
+        // a strong compiler can decide; the rest stay runtime-valued.
+        ExprPtr subject = rng_.chance(70)
+                              ? ref(rng_.pick(readonlyStatics_))
+                              : intExpr(2);
+        auto switch_stmt =
+            std::make_unique<SwitchStmt>(std::move(subject));
+        unsigned arms = 2 + static_cast<unsigned>(rng_.below(3));
+        std::vector<int64_t> used;
+        for (unsigned i = 0; i < arms; ++i) {
+            SwitchCase arm;
+            if (i + 1 == arms && rng_.chance(70)) {
+                arm.value = std::nullopt; // default
+            } else {
+                int64_t value;
+                bool fresh = false;
+                for (int tries = 0; tries < 8 && !fresh; ++tries) {
+                    value = rng_.range(-2, 40);
+                    fresh = true;
+                    for (int64_t seen : used)
+                        fresh &= seen != value;
+                }
+                if (!fresh)
+                    continue;
+                used.push_back(value);
+                arm.value = value;
+            }
+            arm.body = block(depth - 1, /*in_switch_arm=*/true);
+            switch_stmt->cases.push_back(std::move(arm));
+        }
+        if (!switch_stmt->cases.empty())
+            block_stmt.stmts.push_back(std::move(switch_stmt));
+    }
+
+    //===--------------------------------------------------------------===//
+    // Functions
+    //===--------------------------------------------------------------===//
+
+    void
+    makeHelper(unsigned index)
+    {
+        const Type *ret = randomScalarType();
+        auto fn = std::make_unique<FunctionDecl>(
+            "helper" + std::to_string(index), ret);
+        fn->isStatic = rng_.chance(75);
+        unsigned params = static_cast<unsigned>(rng_.below(3));
+        for (unsigned p = 0; p < params; ++p) {
+            fn->params.push_back(std::make_unique<VarDecl>(
+                "p" + std::to_string(p), randomScalarType(),
+                Storage::Param));
+        }
+
+        locals_.clear();
+        for (const auto &param : fn->params)
+            locals_.push_back({param.get(), false});
+
+        fn->body = block(config_.maxBlockDepth - 1, false);
+        fn->body->stmts.push_back(std::make_unique<ReturnStmt>(
+            intExpr(config_.maxExprDepth)));
+        locals_.clear();
+
+        helpers_.push_back(fn.get());
+        unit_->addFunction(std::move(fn));
+    }
+
+    /** A minimal static helper with a parameter-guarded block: small
+     * enough to inline at every level. Called with a constant-0
+     * argument, its guarded block is dead; -O1 inlines and folds it,
+     * while alpha's IPA-husk regression keeps the (uncalled, still
+     * undecidable) original at -O3 — Listing 9b's shape. */
+    void
+    makeTinyHelper()
+    {
+        auto fn = std::make_unique<FunctionDecl>("tiny",
+                                                 types().intTy());
+        fn->isStatic = true;
+        fn->params.push_back(std::make_unique<VarDecl>(
+            "p0", types().intTy(), Storage::Param));
+        fn->body = std::make_unique<BlockStmt>();
+        auto guarded = std::make_unique<BlockStmt>();
+        guarded->stmts.push_back(std::make_unique<ExprStmt>(
+            std::make_unique<AssignExpr>(
+                AssignOp::Assign, ref(rng_.pick(scalarGlobals_)),
+                literal(rng_.range(1, 9)))));
+        fn->body->stmts.push_back(std::make_unique<IfStmt>(
+            std::make_unique<VarRef>("p0"), std::move(guarded),
+            nullptr));
+        fn->body->stmts.push_back(
+            std::make_unique<ReturnStmt>(literal(0)));
+        tinyHelper_ = fn.get();
+        unit_->addFunction(std::move(fn));
+    }
+
+    /** Statement-level regression gadgets: shapes from the paper's
+     * reported bugs that specific commits regress (DESIGN.md §6), so
+     * level-differential campaigns and bisection have realistic prey. */
+    void
+    appendGadget(BlockStmt &block_stmt, unsigned depth)
+    {
+        switch (rng_.below(5)) {
+          case 0: {
+            // R1 (Listing 7): loop-invariant stored-equals-init check
+            // inside a loop; unswitch + freeze blocks beta's -O3.
+            auto guarded = block(depth > 0 ? depth - 1 : 0, false);
+            auto check = std::make_unique<IfStmt>(
+                ref(rng_.pick(storedEqInitStatics_)),
+                std::move(guarded), nullptr);
+            auto loop = std::make_unique<ForStmt>();
+            std::string name = freshName("i");
+            auto induction = std::make_unique<VarDecl>(
+                name, types().intTy(), Storage::Local);
+            induction->init = literal(0);
+            loop->init =
+                std::make_unique<DeclStmt>(std::move(induction));
+            loop->cond = std::make_unique<BinaryExpr>(
+                BinaryOp::Lt, std::make_unique<VarRef>(name),
+                literal(rng_.range(1, 4)));
+            loop->step = std::make_unique<UnaryExpr>(
+                UnaryOp::PostInc, std::make_unique<VarRef>(name));
+            auto body = std::make_unique<BlockStmt>();
+            body->stmts.push_back(std::move(check));
+            loop->body = std::move(body);
+            block_stmt.stmts.push_back(std::move(loop));
+            break;
+          }
+          case 1: {
+            // R2 (Listing 8b): equality-guarded rem over one SSA value
+            // (a local snapshot of the opaque external, so marker calls
+            // cannot clobber it). The external's runtime value matches
+            // the guard: the guard block is alive and a missed rem
+            // check inside it is primary.
+            std::string name = freshName("v");
+            auto snap = std::make_unique<VarDecl>(
+                name, types().intTy(), Storage::Local);
+            snap->init = ref(remGlobal_);
+            block_stmt.stmts.push_back(
+                std::make_unique<DeclStmt>(std::move(snap)));
+            int64_t d = rng_.range(2, 6);
+            int64_t e = (7 % d) + 1; // 7 == remg's fixed initializer
+            auto inner = std::make_unique<IfStmt>(
+                std::make_unique<BinaryExpr>(
+                    BinaryOp::Eq,
+                    std::make_unique<BinaryExpr>(
+                        BinaryOp::Rem, std::make_unique<VarRef>(name),
+                        literal(d)),
+                    literal(e)),
+                block(depth > 0 ? depth - 1 : 0, false), nullptr);
+            auto inner_wrap = std::make_unique<BlockStmt>();
+            inner_wrap->stmts.push_back(std::move(inner));
+            block_stmt.stmts.push_back(std::make_unique<IfStmt>(
+                std::make_unique<BinaryExpr>(
+                    BinaryOp::Eq, std::make_unique<VarRef>(name),
+                    literal(7)),
+                std::move(inner_wrap), nullptr));
+            break;
+          }
+          case 4: {
+            // R3 (Listing 9e): a tiny store loop the -O3 vectorizer
+            // rewrite claims (laundering the stored value), blocking
+            // the forwarding that -O1's full unroll achieves.
+            int64_t k = rng_.range(1, 9);
+            std::string name = freshName("i");
+            auto induction = std::make_unique<VarDecl>(
+                name, types().intTy(), Storage::Local);
+            induction->init = literal(0);
+            auto loop = std::make_unique<ForStmt>();
+            loop->init =
+                std::make_unique<DeclStmt>(std::move(induction));
+            loop->cond = std::make_unique<BinaryExpr>(
+                BinaryOp::Lt, std::make_unique<VarRef>(name),
+                literal(2));
+            loop->step = std::make_unique<UnaryExpr>(
+                UnaryOp::PostInc, std::make_unique<VarRef>(name));
+            auto body = std::make_unique<BlockStmt>();
+            body->stmts.push_back(std::make_unique<ExprStmt>(
+                std::make_unique<AssignExpr>(
+                    AssignOp::Assign,
+                    std::make_unique<IndexExpr>(
+                        ref(vecArray_), std::make_unique<VarRef>(name)),
+                    literal(k))));
+            loop->body = std::move(body);
+            block_stmt.stmts.push_back(std::move(loop));
+            block_stmt.stmts.push_back(std::make_unique<IfStmt>(
+                std::make_unique<BinaryExpr>(
+                    BinaryOp::Ne,
+                    std::make_unique<IndexExpr>(ref(vecArray_),
+                                                literal(0)),
+                    literal(k)),
+                block(depth > 0 ? depth - 1 : 0, false), nullptr));
+            break;
+          }
+          case 2: {
+            // R5 (Listing 9c): store-forwarding across an unrelated
+            // store; alpha's -O3 alias regression clobbers it.
+            block_stmt.stmts.push_back(std::make_unique<ExprStmt>(
+                std::make_unique<AssignExpr>(
+                    AssignOp::Assign, ref(aliasStatic_), literal(0))));
+            block_stmt.stmts.push_back(std::make_unique<ExprStmt>(
+                std::make_unique<AssignExpr>(
+                    AssignOp::Assign, ref(rng_.pick(scalarGlobals_)),
+                    intExpr(1))));
+            block_stmt.stmts.push_back(std::make_unique<IfStmt>(
+                ref(aliasStatic_),
+                block(depth > 0 ? depth - 1 : 0, false), nullptr));
+            break;
+          }
+          default: {
+            // R6 (Listing 9b): call the tiny helper with a constant 0.
+            std::vector<ExprPtr> args;
+            args.push_back(literal(0));
+            block_stmt.stmts.push_back(std::make_unique<ExprStmt>(
+                std::make_unique<CallExpr>("tiny", std::move(args))));
+            break;
+          }
+        }
+    }
+
+    void
+    makeMain()
+    {
+        auto fn = std::make_unique<FunctionDecl>("main",
+                                                 types().intTy());
+        locals_.clear();
+        inMain_ = true;
+        fn->body = block(config_.maxBlockDepth, false);
+        inMain_ = false;
+        // Occasionally a conditional early return — the instrumenter's
+        // "function tail after conditional return" construct.
+        if (rng_.chance(40)) {
+            auto early = std::make_unique<IfStmt>(
+                condition(2),
+                std::make_unique<ReturnStmt>(literal(rng_.range(0, 5))),
+                nullptr);
+            size_t position = rng_.below(fn->body->stmts.size() + 1);
+            fn->body->stmts.insert(
+                fn->body->stmts.begin() +
+                    static_cast<ptrdiff_t>(position),
+                std::move(early));
+        }
+        // Re-write each stored-equals-init static with its initializer
+        // somewhere in main (the Listing 4a seam: the store's presence
+        // defeats alpha's flow-insensitive analysis, while beta proves
+        // the value never changes).
+        for (VarDecl *q : storedEqInitStatics_) {
+            auto store = std::make_unique<ExprStmt>(
+                std::make_unique<AssignExpr>(AssignOp::Assign, ref(q),
+                                             literal(0)));
+            size_t position = rng_.below(fn->body->stmts.size() + 1);
+            fn->body->stmts.insert(
+                fn->body->stmts.begin() +
+                    static_cast<ptrdiff_t>(position),
+                std::move(store));
+        }
+        fn->body->stmts.push_back(std::make_unique<ReturnStmt>(
+            intExpr(2)));
+        locals_.clear();
+        unit_->addFunction(std::move(fn));
+    }
+
+    Rng rng_;
+    GenConfig config_;
+    std::unique_ptr<TranslationUnit> unit_;
+    std::vector<VarDecl *> scalarGlobals_;
+    /** Never-written internal statics: both compilers can prove their
+     * value, so conditions over them are *statically* dead — the bulk
+    * of the corpus's eliminable dead code. */
+    std::vector<VarDecl *> readonlyStatics_;
+    /** Statics whose only store re-writes the initializer (the paper's
+     * Listing 4a pattern): beta folds them, alpha does not. */
+    std::vector<VarDecl *> storedEqInitStatics_;
+    VarDecl *patternArray_ = nullptr;  ///< for &x == &arr[1] compares
+    VarDecl *patternScalar_ = nullptr;
+    VarDecl *aliasStatic_ = nullptr;   ///< Listing 9c gadget
+    VarDecl *remGlobal_ = nullptr;     ///< Listing 8b gadget
+    VarDecl *vecArray_ = nullptr;      ///< Listing 9e gadget
+    FunctionDecl *tinyHelper_ = nullptr; ///< Listing 9b husk gadget
+    std::vector<VarDecl *> arrayGlobals_;
+    std::vector<VarDecl *> pointerGlobals_;
+    std::vector<FunctionDecl *> helpers_;
+    std::vector<ScopeVar> locals_;
+    unsigned nameCounter_ = 0;
+    unsigned callDepth_ = 0;
+    bool inMain_ = false;
+    unsigned gadgetBudget_ = 3;
+};
+
+} // namespace
+
+std::unique_ptr<lang::TranslationUnit>
+generateProgram(uint64_t seed, const GenConfig &config)
+{
+    return Generator(seed, config).run();
+}
+
+std::string
+generateSource(uint64_t seed, const GenConfig &config)
+{
+    return lang::printUnit(*generateProgram(seed, config));
+}
+
+} // namespace dce::gen

@@ -1,0 +1,261 @@
+#include "instrument/instrument.hpp"
+
+#include <cassert>
+
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+
+namespace dce::instrument {
+
+using namespace lang;
+
+std::string
+markerName(unsigned index)
+{
+    return std::string(kMarkerPrefix) + std::to_string(index);
+}
+
+std::optional<unsigned>
+markerIndex(const std::string &name)
+{
+    const std::string prefix = kMarkerPrefix;
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+        return std::nullopt;
+    }
+    unsigned value = 0;
+    for (size_t i = prefix.size(); i < name.size(); ++i) {
+        char c = name[i];
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    return value;
+}
+
+const char *
+markerSiteName(MarkerSite site)
+{
+    switch (site) {
+      case MarkerSite::IfThen: return "if-then";
+      case MarkerSite::IfElse: return "if-else";
+      case MarkerSite::LoopBody: return "loop-body";
+      case MarkerSite::SwitchArm: return "switch-arm";
+      case MarkerSite::AfterConditionalReturn:
+        return "after-conditional-return";
+    }
+    return "?";
+}
+
+namespace {
+
+class Instrumenter {
+  public:
+    explicit Instrumenter(const TranslationUnit &unit)
+        : result_{unit.clone(), {}}
+    {
+    }
+
+    Instrumented
+    run()
+    {
+        for (auto &fn : result_.unit->functions) {
+            if (fn->isDefinition()) {
+                currentFunction_ = fn->name;
+                instrumentBlock(*fn->body);
+            }
+        }
+        declareMarkers();
+
+        DiagnosticEngine diags;
+        Sema sema(diags);
+        sema.check(*result_.unit);
+        assert(!diags.hasErrors() &&
+               "instrumentation broke the program");
+        (void)diags;
+        return std::move(result_);
+    }
+
+  private:
+    /** Insert a fresh marker call at the front of @p block. */
+    void
+    insertMarker(BlockStmt &block, MarkerSite site, SourceLoc loc)
+    {
+        unsigned index = static_cast<unsigned>(result_.markers.size());
+        auto call = std::make_unique<CallExpr>(markerName(index),
+                                               std::vector<ExprPtr>{});
+        auto stmt = std::make_unique<ExprStmt>(std::move(call));
+        block.stmts.insert(block.stmts.begin(), std::move(stmt));
+        result_.markers.push_back(
+            {index, site, currentFunction_, loc});
+    }
+
+    /** Ensure a statement in a body position is a block (wrapping a
+     * single statement if necessary) and return it. */
+    BlockStmt &
+    asBlock(StmtPtr &slot)
+    {
+        if (slot->kind() != StmtKind::Block) {
+            auto wrapper = std::make_unique<BlockStmt>();
+            wrapper->loc = slot->loc;
+            wrapper->stmts.push_back(std::move(slot));
+            slot = std::move(wrapper);
+        }
+        return static_cast<BlockStmt &>(*slot);
+    }
+
+    /** Does this statement (or any statement nested un-conditionally
+     * in a block) return? Used for the after-conditional-return site. */
+    static bool
+    containsReturn(const Stmt &stmt)
+    {
+        if (stmt.kind() == StmtKind::Return)
+            return true;
+        if (stmt.kind() == StmtKind::Block) {
+            for (const auto &child :
+                 static_cast<const BlockStmt &>(stmt).stmts) {
+                if (containsReturn(*child))
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    instrumentStmt(Stmt &stmt)
+    {
+        switch (stmt.kind()) {
+          case StmtKind::Block:
+            instrumentBlock(static_cast<BlockStmt &>(stmt));
+            break;
+          case StmtKind::If: {
+            auto &if_stmt = static_cast<IfStmt &>(stmt);
+            BlockStmt &then_block = asBlock(if_stmt.thenStmt);
+            instrumentBlock(then_block);
+            insertMarker(then_block, MarkerSite::IfThen, if_stmt.loc);
+            if (if_stmt.elseStmt) {
+                BlockStmt &else_block = asBlock(if_stmt.elseStmt);
+                instrumentBlock(else_block);
+                insertMarker(else_block, MarkerSite::IfElse,
+                             if_stmt.loc);
+            }
+            break;
+          }
+          case StmtKind::While: {
+            auto &loop = static_cast<WhileStmt &>(stmt);
+            BlockStmt &body = asBlock(loop.body);
+            instrumentBlock(body);
+            insertMarker(body, MarkerSite::LoopBody, loop.loc);
+            break;
+          }
+          case StmtKind::DoWhile: {
+            auto &loop = static_cast<DoWhileStmt &>(stmt);
+            BlockStmt &body = asBlock(loop.body);
+            instrumentBlock(body);
+            insertMarker(body, MarkerSite::LoopBody, loop.loc);
+            break;
+          }
+          case StmtKind::For: {
+            auto &loop = static_cast<ForStmt &>(stmt);
+            BlockStmt &body = asBlock(loop.body);
+            instrumentBlock(body);
+            insertMarker(body, MarkerSite::LoopBody, loop.loc);
+            break;
+          }
+          case StmtKind::Switch: {
+            auto &switch_stmt = static_cast<SwitchStmt &>(stmt);
+            for (SwitchCase &arm : switch_stmt.cases) {
+                instrumentBlock(*arm.body);
+                insertMarker(*arm.body, MarkerSite::SwitchArm,
+                             arm.loc);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    void
+    instrumentBlock(BlockStmt &block)
+    {
+        // Instrument children first (indices then read top-down), then
+        // add after-conditional-return markers for the tail following
+        // each returning if.
+        for (StmtPtr &child : block.stmts)
+            instrumentStmt(*child);
+
+        for (size_t i = 0; i < block.stmts.size(); ++i) {
+            Stmt &child = *block.stmts[i];
+            if (child.kind() != StmtKind::If)
+                continue;
+            auto &if_stmt = static_cast<IfStmt &>(child);
+            bool returns = containsReturn(*if_stmt.thenStmt) ||
+                           (if_stmt.elseStmt &&
+                            containsReturn(*if_stmt.elseStmt));
+            bool has_tail = i + 1 < block.stmts.size();
+            if (!returns || !has_tail)
+                continue;
+            unsigned index =
+                static_cast<unsigned>(result_.markers.size());
+            auto call = std::make_unique<CallExpr>(
+                markerName(index), std::vector<ExprPtr>{});
+            auto marker_stmt =
+                std::make_unique<ExprStmt>(std::move(call));
+            block.stmts.insert(
+                block.stmts.begin() + static_cast<ptrdiff_t>(i + 1),
+                std::move(marker_stmt));
+            result_.markers.push_back(
+                {index, MarkerSite::AfterConditionalReturn,
+                 currentFunction_, if_stmt.loc});
+            ++i; // skip the marker we just inserted
+        }
+    }
+
+    void
+    declareMarkers()
+    {
+        // Declarations go in front so every call site sees them; the
+        // declOrder bookkeeping keeps printing stable.
+        for (const MarkerInfo &marker : result_.markers) {
+            auto decl = std::make_unique<FunctionDecl>(
+                markerName(marker.index),
+                result_.unit->types->voidType());
+            result_.unit->functions.insert(
+                result_.unit->functions.begin(), std::move(decl));
+        }
+        // Rebuild declOrder: all marker declarations first, then the
+        // original order shifted.
+        auto &order = result_.unit->declOrder;
+        for (auto &[is_function, index] : order) {
+            if (is_function)
+                index += result_.markers.size();
+        }
+        std::vector<std::pair<bool, size_t>> fresh;
+        for (size_t i = 0; i < result_.markers.size(); ++i)
+            fresh.emplace_back(true, i);
+        order.insert(order.begin(), fresh.begin(), fresh.end());
+    }
+
+    Instrumented result_;
+    std::string currentFunction_;
+};
+
+} // namespace
+
+Instrumented
+instrumentUnit(const TranslationUnit &unit)
+{
+    return Instrumenter(unit).run();
+}
+
+Instrumented
+instrumentSource(const std::string &source)
+{
+    DiagnosticEngine diags;
+    auto unit = parseAndCheck(source, diags);
+    assert(unit && "instrumentSource requires valid MiniC");
+    return instrumentUnit(*unit);
+}
+
+} // namespace dce::instrument

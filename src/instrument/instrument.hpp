@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Optimization-marker instrumentation — step (1) of the paper's
+ * approach (Figure 1). Inserts a call to a fresh, body-less function
+ * `DCEMarkerN()` at the top of every source construct that roughly
+ * corresponds to a basic block: if/else bodies, loop bodies, switch
+ * arms, and the function tail following an if that returns. Because
+ * the callees have no bodies, no compiler can analyze or inline them;
+ * a marker disappears from the generated assembly iff the surrounding
+ * block was proven dead.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "support/source_location.hpp"
+
+namespace dce::instrument {
+
+/** The marker function name prefix; markers are PREFIX + index. */
+inline constexpr const char *kMarkerPrefix = "DCEMarker";
+
+/** Name of marker @p index. */
+std::string markerName(unsigned index);
+
+/** Parse a marker name back to its index; nullopt if not a marker. */
+std::optional<unsigned> markerIndex(const std::string &name);
+
+/** Which construct a marker was placed in (for reports). */
+enum class MarkerSite {
+    IfThen,
+    IfElse,
+    LoopBody,
+    SwitchArm,
+    AfterConditionalReturn,
+};
+
+const char *markerSiteName(MarkerSite site);
+
+/** Where one marker went. */
+struct MarkerInfo {
+    unsigned index = 0;
+    MarkerSite site = MarkerSite::IfThen;
+    std::string function; ///< enclosing function name
+    SourceLoc loc;        ///< location of the instrumented construct
+};
+
+/** Result of instrumenting one translation unit. */
+struct Instrumented {
+    std::unique_ptr<lang::TranslationUnit> unit;
+    std::vector<MarkerInfo> markers;
+
+    unsigned markerCount() const
+    {
+        return static_cast<unsigned>(markers.size());
+    }
+};
+
+/**
+ * Instrument a copy of @p unit (the original is untouched). The result
+ * has been re-checked by Sema.
+ */
+Instrumented instrumentUnit(const lang::TranslationUnit &unit);
+
+/** Convenience: parse, instrument, and return the printed source too. */
+Instrumented instrumentSource(const std::string &source);
+
+} // namespace dce::instrument

@@ -1,0 +1,553 @@
+#include "interp/interpreter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "support/ints.hpp"
+
+namespace dce::interp {
+
+using ir::BasicBlock;
+using ir::BinOp;
+using ir::CastOp;
+using ir::CmpPred;
+using ir::Constant;
+using ir::Function;
+using ir::GlobalVar;
+using ir::Instr;
+using ir::IrType;
+using ir::Module;
+using ir::Opcode;
+using ir::Param;
+using ir::Value;
+using ir::ValueKind;
+
+namespace {
+
+/** One allocated memory object (global, or an executed alloca). */
+struct MemObject {
+    std::vector<IValue> slots;
+    IrType elementType;
+};
+
+/** Thrown internally to unwind on timeout/trap. */
+struct ExecStop {
+    ExecStatus status;
+};
+
+class Machine {
+  public:
+    Machine(const Module &module, const ExecLimits &limits)
+        : module_(module), limits_(limits)
+    {
+        initGlobals();
+    }
+
+    ExecResult
+    run(const std::string &entry)
+    {
+        ExecResult result;
+        const Function *fn = module_.getFunction(entry);
+        if (!fn || fn->isDeclaration()) {
+            result.status = ExecStatus::NoEntry;
+            return result;
+        }
+        try {
+            IValue ret = callFunction(*fn, {});
+            result.status = ExecStatus::Ok;
+            result.exitValue = ret.i;
+        } catch (ExecStop &stop) {
+            result.status = stop.status;
+        }
+        result.steps = steps_;
+        result.executedBlocks = std::move(executedBlocks_);
+        result.callTrace = std::move(callTrace_);
+        for (const std::string &name : result.callTrace)
+            result.calledExternals.insert(name);
+        snapshotGlobals(result);
+        return result;
+    }
+
+  private:
+    void
+    initGlobals()
+    {
+        // Two passes: allocate all objects, then fill address inits.
+        for (const auto &global : module_.globals()) {
+            MemObject object;
+            object.elementType = global->elementType();
+            object.slots.assign(global->count(),
+                                zeroOf(global->elementType()));
+            globalObject_[global.get()] =
+                static_cast<int32_t>(objects_.size());
+            objects_.push_back(std::move(object));
+        }
+        for (const auto &global : module_.globals()) {
+            MemObject &object =
+                objects_[static_cast<size_t>(globalObject_.at(global.get()))];
+            for (size_t i = 0;
+                 i < global->init.size() && i < object.slots.size(); ++i) {
+                const ir::GlobalInit &init = global->init[i];
+                if (init.isAddress()) {
+                    PtrVal ptr;
+                    ptr.obj = globalObject_.at(init.base);
+                    ptr.index = init.value;
+                    object.slots[i] = IValue::ptrValue(ptr);
+                } else if (global->elementType().isPtr()) {
+                    assert(init.value == 0 && "int init of pointer slot");
+                    object.slots[i] = IValue::ptrValue(PtrVal{});
+                } else {
+                    object.slots[i] = IValue::intValue(
+                        wrapInt(init.value, global->elementType().bits,
+                                global->elementType().isSigned));
+                }
+            }
+        }
+    }
+
+    static IValue
+    zeroOf(IrType type)
+    {
+        if (type.isPtr())
+            return IValue::ptrValue(PtrVal{});
+        return IValue::intValue(0);
+    }
+
+    void
+    snapshotGlobals(ExecResult &result) const
+    {
+        for (const auto &global : module_.globals()) {
+            // Internal (C "static") globals are unobservable once main
+            // returns; optimizations may legally drop final stores to
+            // them (that is what dead-store elimination on Listing 1's
+            // `c = 0;` does). Only external globals are part of the
+            // observable behaviour.
+            if (global->isInternal())
+                continue;
+            const MemObject &object = objects_[static_cast<size_t>(
+                globalObject_.at(global.get()))];
+            // Pointer slots are normalized to *name-rank* object ids:
+            // two modules optimized differently (global DCE may have
+            // removed unused internals) number their objects
+            // differently, but a pointer to @g4 must compare equal
+            // across them. Non-global targets (allocas) normalize to a
+            // sentinel; MiniC programs cannot observe local addresses
+            // after main returns anyway.
+            std::vector<IValue> slots = object.slots;
+            for (IValue &slot : slots) {
+                if (!slot.isPtr || slot.p.isNull())
+                    continue;
+                slot.p.obj = nameRankOf(slot.p.obj);
+            }
+            result.finalGlobals[global->name()] = std::move(slots);
+        }
+    }
+
+    /** Stable cross-module id for a pointed-to object: an FNV-1a hash
+     * of the global's name (module-independent), or -2 for non-global
+     * objects. Optimized modules may have fewer globals than the
+     * baseline, so any per-module numbering would not compare. */
+    int32_t
+    nameRankOf(int32_t object_id) const
+    {
+        for (const auto &global : module_.globals()) {
+            if (globalObject_.at(global.get()) != object_id)
+                continue;
+            uint32_t hash = 2166136261u;
+            for (char c : global->name()) {
+                hash ^= static_cast<unsigned char>(c);
+                hash *= 16777619u;
+            }
+            // Keep it positive so it can never collide with the null
+            // (-1) or non-global (-2) sentinels.
+            return static_cast<int32_t>(hash & 0x7fffffffu);
+        }
+        return -2; // an alloca or other non-global object
+    }
+
+    void
+    tick()
+    {
+        if (++steps_ > limits_.maxSteps)
+            throw ExecStop{ExecStatus::Timeout};
+    }
+
+    /** Frame-local SSA environment. */
+    using Env = std::unordered_map<const Value *, IValue>;
+
+    IValue
+    evalOperand(const Value *value, const Env &env) const
+    {
+        switch (value->valueKind()) {
+          case ValueKind::Constant: {
+            const auto *c = static_cast<const Constant *>(value);
+            if (c->type().isPtr())
+                return IValue::ptrValue(PtrVal{});
+            return IValue::intValue(c->value());
+          }
+          case ValueKind::Global: {
+            const auto *global = static_cast<const GlobalVar *>(value);
+            PtrVal ptr;
+            ptr.obj = globalObject_.at(global);
+            ptr.index = 0;
+            return IValue::ptrValue(ptr);
+          }
+          case ValueKind::Param:
+          case ValueKind::Instruction: {
+            auto it = env.find(value);
+            assert(it != env.end() && "use of undefined value");
+            return it->second;
+          }
+        }
+        return IValue::intValue(0);
+    }
+
+    IValue
+    loadFrom(PtrVal ptr, IrType type) const
+    {
+        if (ptr.isNull())
+            return zeroOf(type);
+        const MemObject &object = objects_[static_cast<size_t>(ptr.obj)];
+        if (ptr.index < 0 ||
+            static_cast<uint64_t>(ptr.index) >= object.slots.size()) {
+            return zeroOf(type); // OOB load: defined as zero
+        }
+        IValue slot = object.slots[static_cast<size_t>(ptr.index)];
+        if (type.isPtr())
+            return slot.isPtr ? slot : IValue::ptrValue(PtrVal{});
+        int64_t raw = slot.isPtr ? 0 : slot.i;
+        return IValue::intValue(wrapInt(raw, type.bits, type.isSigned));
+    }
+
+    void
+    storeTo(PtrVal ptr, IValue value)
+    {
+        if (ptr.isNull())
+            return; // dropped, defined
+        MemObject &object = objects_[static_cast<size_t>(ptr.obj)];
+        if (ptr.index < 0 ||
+            static_cast<uint64_t>(ptr.index) >= object.slots.size()) {
+            return; // OOB store: dropped
+        }
+        // Canonicalize integers to the slot's element type so memory
+        // always holds values in slot-typed form.
+        if (!value.isPtr && object.elementType.isInt()) {
+            value.i = wrapInt(value.i, object.elementType.bits,
+                              object.elementType.isSigned);
+        }
+        object.slots[static_cast<size_t>(ptr.index)] = value;
+    }
+
+    static int64_t
+    evalBin(BinOp op, int64_t a, int64_t b, IrType type)
+    {
+        unsigned bits = type.bits;
+        bool is_signed = type.isSigned;
+        switch (op) {
+          case BinOp::Add: return addInt(a, b, bits, is_signed);
+          case BinOp::Sub: return subInt(a, b, bits, is_signed);
+          case BinOp::Mul: return mulInt(a, b, bits, is_signed);
+          case BinOp::Div: return divInt(a, b, bits, is_signed);
+          case BinOp::Rem: return remInt(a, b, bits, is_signed);
+          case BinOp::Shl: return shlInt(a, b, bits, is_signed);
+          case BinOp::Shr: return shrInt(a, b, bits, is_signed);
+          case BinOp::And: return wrapInt(a & b, bits, is_signed);
+          case BinOp::Or: return wrapInt(a | b, bits, is_signed);
+          case BinOp::Xor: return wrapInt(a ^ b, bits, is_signed);
+        }
+        return 0;
+    }
+
+    static bool
+    evalCmpInt(CmpPred pred, int64_t a, int64_t b)
+    {
+        switch (pred) {
+          case CmpPred::Eq: return a == b;
+          case CmpPred::Ne: return a != b;
+          case CmpPred::Slt: return a < b;
+          case CmpPred::Sle: return a <= b;
+          case CmpPred::Sgt: return a > b;
+          case CmpPred::Sge: return a >= b;
+          case CmpPred::Ult:
+            return static_cast<uint64_t>(a) < static_cast<uint64_t>(b);
+          case CmpPred::Ule:
+            return static_cast<uint64_t>(a) <= static_cast<uint64_t>(b);
+          case CmpPred::Ugt:
+            return static_cast<uint64_t>(a) > static_cast<uint64_t>(b);
+          case CmpPred::Uge:
+            return static_cast<uint64_t>(a) >= static_cast<uint64_t>(b);
+        }
+        return false;
+    }
+
+    /** Pointer comparison: total deterministic order by (obj, index);
+     * distinct objects never compare equal (MiniC rule). */
+    static bool
+    evalCmpPtr(CmpPred pred, PtrVal a, PtrVal b)
+    {
+        bool eq = a == b;
+        auto less = [&] {
+            if (a.obj != b.obj)
+                return a.obj < b.obj;
+            return a.index < b.index;
+        };
+        switch (pred) {
+          case CmpPred::Eq: return eq;
+          case CmpPred::Ne: return !eq;
+          case CmpPred::Slt:
+          case CmpPred::Ult: return less();
+          case CmpPred::Sle:
+          case CmpPred::Ule: return less() || eq;
+          case CmpPred::Sgt:
+          case CmpPred::Ugt: return !less() && !eq;
+          case CmpPred::Sge:
+          case CmpPred::Uge: return !less();
+        }
+        return false;
+    }
+
+    IValue
+    callFunction(const Function &fn, const std::vector<IValue> &args)
+    {
+        if (++callDepth_ > limits_.maxCallDepth)
+            throw ExecStop{ExecStatus::Trap};
+
+        Env env;
+        for (size_t i = 0; i < fn.params().size(); ++i)
+            env[fn.params()[i].get()] = args[i];
+
+        const BasicBlock *block = fn.entry();
+        const BasicBlock *previous = nullptr;
+        IValue return_value = zeroOf(fn.returnType());
+
+        for (;;) {
+            if (limits_.recordBlocks)
+                executedBlocks_.insert(block);
+            // Phi nodes evaluate simultaneously on block entry.
+            std::vector<std::pair<const Instr *, IValue>> phi_values;
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() != Opcode::Phi)
+                    break;
+                Value *incoming = instr->incomingValueFor(previous);
+                assert(incoming && "phi has no incoming for pred");
+                phi_values.emplace_back(instr.get(),
+                                        evalOperand(incoming, env));
+            }
+            for (auto &[phi, value] : phi_values)
+                env[phi] = value;
+
+            const BasicBlock *next = nullptr;
+            for (const auto &owned : block->instrs()) {
+                const Instr *instr = owned.get();
+                if (instr->opcode() == Opcode::Phi)
+                    continue;
+                tick();
+                switch (instr->opcode()) {
+                  case Opcode::Alloca: {
+                    MemObject object;
+                    object.elementType = instr->allocatedType;
+                    object.slots.assign(instr->allocatedCount,
+                                        zeroOf(instr->allocatedType));
+                    PtrVal ptr;
+                    ptr.obj = static_cast<int32_t>(objects_.size());
+                    objects_.push_back(std::move(object));
+                    env[instr] = IValue::ptrValue(ptr);
+                    break;
+                  }
+                  case Opcode::Load: {
+                    PtrVal ptr = evalOperand(instr->operand(0), env).p;
+                    env[instr] = loadFrom(ptr, instr->type());
+                    break;
+                  }
+                  case Opcode::Store: {
+                    IValue value = evalOperand(instr->operand(0), env);
+                    PtrVal ptr = evalOperand(instr->operand(1), env).p;
+                    storeTo(ptr, value);
+                    break;
+                  }
+                  case Opcode::Bin: {
+                    int64_t a = evalOperand(instr->operand(0), env).i;
+                    int64_t b = evalOperand(instr->operand(1), env).i;
+                    env[instr] = IValue::intValue(
+                        evalBin(instr->binOp, a, b, instr->type()));
+                    break;
+                  }
+                  case Opcode::Cmp: {
+                    IValue a = evalOperand(instr->operand(0), env);
+                    IValue b = evalOperand(instr->operand(1), env);
+                    bool result;
+                    if (a.isPtr || b.isPtr)
+                        result = evalCmpPtr(instr->cmpPred, a.p, b.p);
+                    else
+                        result = evalCmpInt(instr->cmpPred, a.i, b.i);
+                    env[instr] = IValue::intValue(result ? 1 : 0);
+                    break;
+                  }
+                  case Opcode::Cast: {
+                    int64_t value =
+                        evalOperand(instr->operand(0), env).i;
+                    IrType to = instr->type();
+                    env[instr] = IValue::intValue(
+                        wrapInt(value, to.bits, to.isSigned));
+                    break;
+                  }
+                  case Opcode::Gep: {
+                    IValue base = evalOperand(instr->operand(0), env);
+                    int64_t index =
+                        evalOperand(instr->operand(1), env).i;
+                    PtrVal ptr = base.p;
+                    if (!ptr.isNull())
+                        ptr.index += index;
+                    env[instr] = IValue::ptrValue(ptr);
+                    break;
+                  }
+                  case Opcode::Freeze:
+                    env[instr] = evalOperand(instr->operand(0), env);
+                    break;
+                  case Opcode::Select: {
+                    int64_t cond =
+                        evalOperand(instr->operand(0), env).i;
+                    env[instr] = evalOperand(
+                        instr->operand(cond != 0 ? 1 : 2), env);
+                    break;
+                  }
+                  case Opcode::Call: {
+                    const Function *callee = instr->callee;
+                    if (callee->isDeclaration()) {
+                        callTrace_.push_back(callee->name());
+                        if (!instr->type().isVoid())
+                            env[instr] = zeroOf(instr->type());
+                        break;
+                    }
+                    std::vector<IValue> call_args;
+                    call_args.reserve(instr->numOperands());
+                    for (size_t i = 0; i < instr->numOperands(); ++i)
+                        call_args.push_back(
+                            evalOperand(instr->operand(i), env));
+                    IValue result = callFunction(*callee, call_args);
+                    if (!instr->type().isVoid())
+                        env[instr] = result;
+                    break;
+                  }
+                  case Opcode::Ret:
+                    if (instr->numOperands() == 1)
+                        return_value =
+                            evalOperand(instr->operand(0), env);
+                    --callDepth_;
+                    return return_value;
+                  case Opcode::Br:
+                    next = instr->blockOperands()[0];
+                    break;
+                  case Opcode::CondBr: {
+                    IValue cond = evalOperand(instr->operand(0), env);
+                    bool taken = cond.isPtr ? !cond.p.isNull()
+                                            : cond.i != 0;
+                    next = instr->blockOperands()[taken ? 0 : 1];
+                    break;
+                  }
+                  case Opcode::Switch: {
+                    int64_t value =
+                        evalOperand(instr->operand(0), env).i;
+                    next = instr->blockOperands()[0]; // default
+                    for (size_t i = 0; i < instr->caseValues.size();
+                         ++i) {
+                        if (instr->caseValues[i] == value) {
+                            next = instr->blockOperands()[i + 1];
+                            break;
+                        }
+                    }
+                    break;
+                  }
+                  case Opcode::Unreachable:
+                    // Defined in MiniC as an immediate trap; correct
+                    // programs never execute one.
+                    throw ExecStop{ExecStatus::Trap};
+                  case Opcode::Phi:
+                    break; // handled above
+                }
+                if (next)
+                    break;
+            }
+            assert(next && "block fell through without terminator");
+            previous = block;
+            block = next;
+        }
+    }
+
+    const Module &module_;
+    ExecLimits limits_;
+    std::vector<MemObject> objects_;
+    std::unordered_map<const GlobalVar *, int32_t> globalObject_;
+    std::vector<std::string> callTrace_;
+    std::unordered_set<const BasicBlock *> executedBlocks_;
+    uint64_t steps_ = 0;
+    unsigned callDepth_ = 0;
+};
+
+} // namespace
+
+ExecResult
+execute(const Module &module, const std::string &entry,
+        const ExecLimits &limits)
+{
+    Machine machine(module, limits);
+    return machine.run(entry);
+}
+
+bool
+observablyEqual(const ExecResult &a, const ExecResult &b)
+{
+    return a.status == b.status && a.exitValue == b.exitValue &&
+           a.callTrace == b.callTrace && a.finalGlobals == b.finalGlobals;
+}
+
+std::string
+explainDifference(const ExecResult &a, const ExecResult &b)
+{
+    std::string out;
+    if (a.status != b.status) {
+        out += "status differs: " +
+               std::to_string(static_cast<int>(a.status)) + " vs " +
+               std::to_string(static_cast<int>(b.status)) + "\n";
+    }
+    if (a.exitValue != b.exitValue) {
+        out += "exit value differs: " + std::to_string(a.exitValue) +
+               " vs " + std::to_string(b.exitValue) + "\n";
+    }
+    if (a.callTrace != b.callTrace) {
+        out += "call trace differs (" +
+               std::to_string(a.callTrace.size()) + " vs " +
+               std::to_string(b.callTrace.size()) + " calls)\n";
+        size_t limit = std::min(a.callTrace.size(), b.callTrace.size());
+        for (size_t i = 0; i < limit; ++i) {
+            if (a.callTrace[i] != b.callTrace[i]) {
+                out += "  first divergence at call " + std::to_string(i) +
+                       ": " + a.callTrace[i] + " vs " + b.callTrace[i] +
+                       "\n";
+                break;
+            }
+        }
+    }
+    if (a.finalGlobals != b.finalGlobals) {
+        for (const auto &[name, slots] : a.finalGlobals) {
+            auto it = b.finalGlobals.find(name);
+            if (it == b.finalGlobals.end()) {
+                out += "global @" + name + " missing on one side\n";
+                continue;
+            }
+            if (slots != it->second) {
+                out += "global @" + name + " differs";
+                if (!slots.empty() && !it->second.empty() &&
+                    !slots[0].isPtr) {
+                    out += ": [0] = " + std::to_string(slots[0].i) +
+                           " vs " + std::to_string(it->second[0].i);
+                }
+                out += "\n";
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace dce::interp

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Convenience builder for constructing IR instruction-by-instruction.
+ * Appends to a current insertion block; used by the AST lowering, the
+ * inliner, and tests that hand-build IR fragments.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace dce::ir {
+
+class IrBuilder {
+  public:
+    explicit IrBuilder(Module &module) : module_(module) {}
+
+    Module &module() { return module_; }
+    BasicBlock *insertionBlock() const { return block_; }
+    void setInsertionBlock(BasicBlock *block) { block_ = block; }
+
+    /** True if the current block already has a terminator (subsequent
+     * straight-line code would be trivially dead — don't emit it). */
+    bool
+    terminated() const
+    {
+        return block_ == nullptr || block_->terminator() != nullptr;
+    }
+
+    Constant *constInt(IrType type, int64_t value)
+    {
+        return module_.constant(type, value);
+    }
+
+    Instr *
+    alloca_(IrType element_type, uint64_t count, bool is_array)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Alloca,
+                                             IrType::ptrTy());
+        instr->allocatedType = element_type;
+        instr->allocatedCount = count;
+        instr->allocaIsArray = is_array;
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    load(IrType type, Value *pointer)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Load, type);
+        instr->addOperand(pointer);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    store(Value *value, Value *pointer)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Store,
+                                             IrType::voidTy());
+        instr->addOperand(value);
+        instr->addOperand(pointer);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    bin(BinOp op, Value *lhs, Value *rhs)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Bin, lhs->type());
+        instr->binOp = op;
+        instr->addOperand(lhs);
+        instr->addOperand(rhs);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    cmp(CmpPred pred, Value *lhs, Value *rhs)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Cmp, IrType::i32());
+        instr->cmpPred = pred;
+        instr->addOperand(lhs);
+        instr->addOperand(rhs);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    cast(CastOp op, Value *value, IrType to)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Cast, to);
+        instr->castOp = op;
+        instr->addOperand(value);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    gep(Value *base, Value *index, uint64_t elem_size)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Gep, IrType::ptrTy());
+        instr->addOperand(base);
+        instr->addOperand(index);
+        instr->gepElemSize = elem_size;
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    freeze(Value *value)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Freeze,
+                                             value->type());
+        instr->addOperand(value);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    select(Value *cond, Value *if_true, Value *if_false)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Select,
+                                             if_true->type());
+        instr->addOperand(cond);
+        instr->addOperand(if_true);
+        instr->addOperand(if_false);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    call(Function *callee, const std::vector<Value *> &args)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Call,
+                                             callee->returnType());
+        instr->callee = callee;
+        for (Value *arg : args)
+            instr->addOperand(arg);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    phi(IrType type)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Phi, type);
+        instr->setId(module_.nextValueId());
+        // Phis go before any non-phi instruction.
+        size_t index = 0;
+        while (index < block_->size() &&
+               block_->instrs()[index]->opcode() == Opcode::Phi) {
+            ++index;
+        }
+        return block_->insertBefore(index, std::move(instr));
+    }
+
+    Instr *
+    retVoid()
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Ret,
+                                             IrType::voidTy());
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    ret(Value *value)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Ret,
+                                             IrType::voidTy());
+        instr->addOperand(value);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    br(BasicBlock *target)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Br,
+                                             IrType::voidTy());
+        instr->addBlockOperand(target);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    condBr(Value *cond, BasicBlock *if_true, BasicBlock *if_false)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::CondBr,
+                                             IrType::voidTy());
+        instr->addOperand(cond);
+        instr->addBlockOperand(if_true);
+        instr->addBlockOperand(if_false);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    switch_(Value *value, BasicBlock *default_block)
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Switch,
+                                             IrType::voidTy());
+        instr->addOperand(value);
+        instr->addBlockOperand(default_block);
+        return insert(std::move(instr));
+    }
+
+    Instr *
+    unreachable()
+    {
+        auto instr = std::make_unique<Instr>(Opcode::Unreachable,
+                                             IrType::voidTy());
+        return insert(std::move(instr));
+    }
+
+  private:
+    Instr *
+    insert(std::unique_ptr<Instr> instr)
+    {
+        assert(block_ && "no insertion block");
+        if (!instr->type().isVoid())
+            instr->setId(module_.nextValueId());
+        return block_->append(std::move(instr));
+    }
+
+    Module &module_;
+    BasicBlock *block_ = nullptr;
+};
+
+} // namespace dce::ir

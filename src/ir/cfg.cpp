@@ -1,0 +1,120 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+
+namespace dce::ir {
+
+std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
+predecessorMap(const Function &fn)
+{
+    std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> preds;
+    for (const auto &block : fn.blocks())
+        preds[block.get()]; // ensure every block has an entry
+    for (const auto &block : fn.blocks()) {
+        for (BasicBlock *succ : block->successors())
+            preds[succ].push_back(block.get());
+    }
+    return preds;
+}
+
+std::unordered_set<const BasicBlock *>
+reachableBlocks(const Function &fn)
+{
+    std::unordered_set<const BasicBlock *> reachable;
+    if (fn.isDeclaration())
+        return reachable;
+    std::vector<const BasicBlock *> worklist = {fn.entry()};
+    reachable.insert(fn.entry());
+    while (!worklist.empty()) {
+        const BasicBlock *block = worklist.back();
+        worklist.pop_back();
+        for (BasicBlock *succ : block->successors()) {
+            if (reachable.insert(succ).second)
+                worklist.push_back(succ);
+        }
+    }
+    return reachable;
+}
+
+namespace {
+
+void
+postorderVisit(BasicBlock *block,
+               std::unordered_set<const BasicBlock *> &visited,
+               std::vector<BasicBlock *> &order)
+{
+    // Iterative DFS to avoid stack overflow on long CFG chains.
+    struct Frame {
+        BasicBlock *block;
+        std::vector<BasicBlock *> succs;
+        size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    visited.insert(block);
+    stack.push_back({block, block->successors(), 0});
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        if (frame.next < frame.succs.size()) {
+            BasicBlock *succ = frame.succs[frame.next++];
+            if (visited.insert(succ).second)
+                stack.push_back({succ, succ->successors(), 0});
+        } else {
+            order.push_back(frame.block);
+            stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+std::vector<BasicBlock *>
+reversePostorder(const Function &fn)
+{
+    std::vector<BasicBlock *> order;
+    if (fn.isDeclaration())
+        return order;
+    std::unordered_set<const BasicBlock *> visited;
+    postorderVisit(fn.entry(), visited, order);
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+unsigned
+removeUnreachableBlocks(Function &fn)
+{
+    if (fn.isDeclaration())
+        return 0;
+    std::unordered_set<const BasicBlock *> reachable = reachableBlocks(fn);
+
+    // Collect doomed blocks first; then fix phis in survivors; then
+    // erase (eraseBlock drops operand uses, so cross-references among
+    // doomed blocks are fine in any order).
+    std::vector<BasicBlock *> doomed;
+    for (const auto &block : fn.blocks()) {
+        if (!reachable.count(block.get()))
+            doomed.push_back(block.get());
+    }
+    if (doomed.empty())
+        return 0;
+
+    for (const auto &block : fn.blocks()) {
+        if (!reachable.count(block.get()))
+            continue;
+        for (BasicBlock *dead : doomed)
+            block->removePhiIncomingFor(dead);
+    }
+
+    // Values defined in doomed blocks may still be referenced by
+    // instructions of *other* doomed blocks. Sever every doomed
+    // instruction's operand links first, so that no dropOperands call
+    // during block destruction touches an already-destroyed value.
+    for (BasicBlock *dead : doomed) {
+        for (const auto &instr : dead->instrs())
+            instr->dropOperands();
+    }
+    for (BasicBlock *dead : doomed)
+        fn.eraseBlock(dead);
+    return static_cast<unsigned>(doomed.size());
+}
+
+} // namespace dce::ir

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CFG utilities computed on demand: predecessor maps, reverse
+ * postorder, reachability. These are throwaway snapshots — passes that
+ * mutate the CFG must recompute them.
+ */
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace dce::ir {
+
+/** Predecessor lists for every block in @p fn. A block appears once
+ * per incoming edge (a CondBr with both edges to B contributes B's
+ * predecessor twice). */
+std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
+predecessorMap(const Function &fn);
+
+/** Blocks reachable from entry. */
+std::unordered_set<const BasicBlock *> reachableBlocks(const Function &fn);
+
+/** Reverse postorder over reachable blocks, starting at entry. */
+std::vector<BasicBlock *> reversePostorder(const Function &fn);
+
+/**
+ * Remove blocks unreachable from entry (updating phis in survivors).
+ * This is the *mechanical* part of unreachable-code elimination that
+ * every pipeline is allowed to use; making blocks unreachable in the
+ * first place is what the optimizations under test compete on.
+ * @return number of blocks removed.
+ */
+unsigned removeUnreachableBlocks(Function &fn);
+
+} // namespace dce::ir

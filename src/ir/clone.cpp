@@ -1,0 +1,63 @@
+#include "ir/clone.hpp"
+
+namespace dce::ir {
+
+std::unique_ptr<Instr>
+cloneInstr(const Instr &instr, Module &module)
+{
+    auto copy = std::make_unique<Instr>(instr.opcode(), instr.type());
+    for (Value *operand : instr.operands())
+        copy->addOperand(operand);
+    copy->blockOperands() = instr.blockOperands();
+    copy->binOp = instr.binOp;
+    copy->cmpPred = instr.cmpPred;
+    copy->castOp = instr.castOp;
+    copy->callee = instr.callee;
+    copy->allocatedType = instr.allocatedType;
+    copy->allocatedCount = instr.allocatedCount;
+    copy->allocaIsArray = instr.allocaIsArray;
+    copy->gepElemSize = instr.gepElemSize;
+    copy->caseValues = instr.caseValues;
+    if (!copy->type().isVoid())
+        copy->setId(module.nextValueId());
+    return copy;
+}
+
+void
+remapInstr(Instr &instr, const CloneMap &map)
+{
+    for (size_t i = 0; i < instr.numOperands(); ++i) {
+        Value *mapped = map.get(instr.operand(i));
+        if (mapped != instr.operand(i))
+            instr.setOperand(i, mapped);
+    }
+    for (BasicBlock *&block : instr.blockOperands())
+        block = map.get(block);
+}
+
+CloneMap
+cloneRegion(const std::vector<BasicBlock *> &blocks, Function &dest,
+            Module &module, CloneMap seed, const std::string &suffix)
+{
+    CloneMap map = std::move(seed);
+    // First create all blocks so terminators can be remapped.
+    for (const BasicBlock *block : blocks)
+        map.blocks[block] = dest.addBlock(block->name() + suffix);
+    // Clone instructions.
+    for (const BasicBlock *block : blocks) {
+        BasicBlock *clone = map.blocks.at(block);
+        for (const auto &instr : block->instrs()) {
+            Instr *copied = clone->append(cloneInstr(*instr, module));
+            map.values[instr.get()] = copied;
+        }
+    }
+    // Remap references within the clones.
+    for (const BasicBlock *block : blocks) {
+        BasicBlock *clone = map.blocks.at(block);
+        for (const auto &instr : clone->instrs())
+            remapInstr(*instr, map);
+    }
+    return map;
+}
+
+} // namespace dce::ir

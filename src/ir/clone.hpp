@@ -1,0 +1,61 @@
+/**
+ * @file
+ * IR cloning utilities: deep-copy a function body into another (or the
+ * same) function with a value/block remapping. Used by the inliner and
+ * by loop transformations that duplicate bodies (unswitching,
+ * unrolling).
+ */
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace dce::ir {
+
+/** Remapping tables filled by the clone helpers. */
+struct CloneMap {
+    std::unordered_map<const Value *, Value *> values;
+    std::unordered_map<const BasicBlock *, BasicBlock *> blocks;
+
+    /** Mapped value, or the original when unmapped (constants, globals,
+     * values defined outside the cloned region). */
+    Value *
+    get(Value *value) const
+    {
+        auto it = values.find(value);
+        return it == values.end() ? value : it->second;
+    }
+
+    BasicBlock *
+    get(BasicBlock *block) const
+    {
+        auto it = blocks.find(block);
+        return it == blocks.end() ? block : it->second;
+    }
+};
+
+/**
+ * Clone one instruction (operands still referencing originals —
+ * remap afterwards with remapInstr). The clone gets a fresh id.
+ */
+std::unique_ptr<Instr> cloneInstr(const Instr &instr, Module &module);
+
+/** Rewrite @p instr's operands and block operands through @p map. */
+void remapInstr(Instr &instr, const CloneMap &map);
+
+/**
+ * Clone @p blocks (a region: e.g. a whole function body or a loop)
+ * into @p dest. Creates one new block per input block, clones all
+ * instructions, and remaps intra-region references. References to
+ * values/blocks outside the region are preserved. Phi incoming blocks
+ * pointing outside the region are preserved too (callers fix up edges).
+ * @return the map used (extended from @p seed, which may pre-map
+ * params to argument values for inlining).
+ */
+CloneMap cloneRegion(const std::vector<BasicBlock *> &blocks,
+                     Function &dest, Module &module, CloneMap seed,
+                     const std::string &suffix);
+
+} // namespace dce::ir

@@ -1,0 +1,112 @@
+#include "ir/dominators.hpp"
+
+#include <cassert>
+
+#include "ir/cfg.hpp"
+
+namespace dce::ir {
+
+DominatorTree::DominatorTree(const Function &fn)
+{
+    if (fn.isDeclaration())
+        return;
+    rpo_ = reversePostorder(fn);
+    for (size_t i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = i;
+
+    auto preds = predecessorMap(fn);
+
+    // Cooper-Harvey-Kennedy: iterate to a fixed point over RPO.
+    const BasicBlock *entry = fn.entry();
+    idom_[entry] = entry; // temporarily self, fixed up at the end
+
+    auto intersect = [this](const BasicBlock *a,
+                            const BasicBlock *b) -> const BasicBlock * {
+        while (a != b) {
+            while (rpoIndex_.at(a) > rpoIndex_.at(b))
+                a = idom_.at(a);
+            while (rpoIndex_.at(b) > rpoIndex_.at(a))
+                b = idom_.at(b);
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BasicBlock *block : rpo_) {
+            if (block == entry)
+                continue;
+            const BasicBlock *new_idom = nullptr;
+            for (BasicBlock *pred : preds.at(block)) {
+                if (!rpoIndex_.count(pred) || !idom_.count(pred))
+                    continue; // unreachable or not yet processed
+                if (!new_idom)
+                    new_idom = pred;
+                else
+                    new_idom = intersect(new_idom, pred);
+            }
+            assert(new_idom && "reachable block without processed pred");
+            auto it = idom_.find(block);
+            if (it == idom_.end() || it->second != new_idom) {
+                idom_[block] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom_[entry] = nullptr;
+}
+
+const BasicBlock *
+DominatorTree::idom(const BasicBlock *block) const
+{
+    auto it = idom_.find(block);
+    return it == idom_.end() ? nullptr : it->second;
+}
+
+bool
+DominatorTree::dominates(const BasicBlock *a, const BasicBlock *b) const
+{
+    if (!isReachable(a) || !isReachable(b))
+        return a == b;
+    size_t a_index = rpoIndex_.at(a);
+    const BasicBlock *runner = b;
+    // Walk up the tree; idom RPO indexes strictly decrease.
+    while (runner) {
+        if (runner == a)
+            return true;
+        if (rpoIndex_.at(runner) < a_index)
+            return false;
+        runner = idom(runner);
+    }
+    return false;
+}
+
+bool
+DominatorTree::valueDominatesUse(const Instr *def, const Instr *user) const
+{
+    const BasicBlock *def_block = def->parent();
+    const BasicBlock *use_block = user->parent();
+
+    if (user->opcode() == Opcode::Phi) {
+        // A phi use must dominate the end of the matching incoming
+        // edge's predecessor.
+        for (size_t i = 0; i < user->numOperands(); ++i) {
+            if (user->operand(i) != def)
+                continue;
+            const BasicBlock *pred = user->blockOperands()[i];
+            if (def_block == pred)
+                continue; // defined in pred, fine
+            if (!dominates(def_block, pred))
+                return false;
+        }
+        return true;
+    }
+
+    if (def_block != use_block)
+        return dominates(def_block, use_block);
+    // Same block: def must come first.
+    return def_block->indexOf(def) < use_block->indexOf(user);
+}
+
+} // namespace dce::ir

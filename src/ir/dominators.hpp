@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+ * Used by the SSA verifier, GVN's scoped hash table, loop detection,
+ * jump threading, and the primary-missed-block analysis.
+ */
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace dce::ir {
+
+/** Immutable dominator-tree snapshot of one function. */
+class DominatorTree {
+  public:
+    explicit DominatorTree(const Function &fn);
+
+    /** Immediate dominator; null for entry and unreachable blocks. */
+    const BasicBlock *idom(const BasicBlock *block) const;
+
+    /** True if @p a dominates @p b (reflexive). Unreachable blocks are
+     * dominated by nothing and dominate nothing (except themselves). */
+    bool dominates(const BasicBlock *a, const BasicBlock *b) const;
+
+    /** True if instruction @p def is available at (dominates) the use
+     * site (@p user, operand position irrelevant except for phis). */
+    bool valueDominatesUse(const Instr *def, const Instr *user) const;
+
+    bool isReachable(const BasicBlock *block) const
+    {
+        return rpoIndex_.count(block) != 0;
+    }
+
+    /** Reverse postorder of reachable blocks (entry first). */
+    const std::vector<BasicBlock *> &rpo() const { return rpo_; }
+
+  private:
+    std::unordered_map<const BasicBlock *, const BasicBlock *> idom_;
+    std::unordered_map<const BasicBlock *, size_t> rpoIndex_;
+    std::vector<BasicBlock *> rpo_;
+};
+
+} // namespace dce::ir

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Core IR data structures: Value, Constant, GlobalVar, Param, Instr,
+ * BasicBlock, Function, Module.
+ *
+ * The IR is an SSA, explicit-CFG, load/store IR in the LLVM tradition:
+ *  - Scalars promoted to SSA registers carry values between Instrs.
+ *  - Globals, arrays, and address-taken locals live in memory objects
+ *    accessed by Load/Store through opaque pointers; Gep does *element*
+ *    addressing (base pointer + element index).
+ *  - Every BasicBlock ends in exactly one terminator (Ret / Br /
+ *    CondBr / Switch / Unreachable).
+ *  - Def-use chains are maintained: every Value knows its users, so
+ *    passes can replaceAllUsesWith in O(uses).
+ *
+ * Ownership: Module owns GlobalVars, Functions and the constant pool;
+ * Function owns Params and BasicBlocks; BasicBlock owns Instrs.
+ * Mid-life deletion must go through BasicBlock::erase / Function::
+ * eraseBlock so def-use bookkeeping stays consistent; destruction of a
+ * whole Module performs no bookkeeping.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace dce::ir {
+
+class Instr;
+class BasicBlock;
+class Function;
+class Module;
+class GlobalVar;
+
+//===------------------------------------------------------------------===//
+// Value
+//===------------------------------------------------------------------===//
+
+enum class ValueKind : uint8_t {
+    Constant,
+    Global,
+    Param,
+    Instruction,
+};
+
+/** Anything an instruction operand can reference. */
+class Value {
+  public:
+    virtual ~Value() = default;
+    Value(const Value &) = delete;
+    Value &operator=(const Value &) = delete;
+
+    ValueKind valueKind() const { return valueKind_; }
+    IrType type() const { return type_; }
+    void setType(IrType type) { type_ = type; }
+
+    bool isConstant() const { return valueKind_ == ValueKind::Constant; }
+    bool isInstruction() const
+    {
+        return valueKind_ == ValueKind::Instruction;
+    }
+
+    /** Users (instructions whose operand lists mention this value).
+     * May contain duplicates when one instruction uses a value twice. */
+    const std::vector<Instr *> &users() const { return users_; }
+    bool hasUsers() const { return !users_.empty(); }
+
+    /** Rewrite every use of this value to @p replacement. */
+    void replaceAllUsesWith(Value *replacement);
+
+    /** Printer handle, unique within a module ("%5", "@g", ...). */
+    unsigned id() const { return id_; }
+    void setId(unsigned id) { id_ = id; }
+
+  protected:
+    Value(ValueKind kind, IrType type) : valueKind_(kind), type_(type) {}
+
+  private:
+    friend class Instr;
+    void addUser(Instr *user) { users_.push_back(user); }
+    void removeUser(Instr *user);
+
+    ValueKind valueKind_;
+    IrType type_;
+    unsigned id_ = 0;
+    std::vector<Instr *> users_;
+};
+
+/** An integer constant, interned per (type, value) in the Module. */
+class Constant : public Value {
+  public:
+    Constant(IrType type, int64_t value)
+        : Value(ValueKind::Constant, type), value_(value)
+    {
+    }
+
+    /** Canonical value (wrapped/extended per type, see support/ints). */
+    int64_t value() const { return value_; }
+    bool isZero() const { return value_ == 0; }
+
+  private:
+    int64_t value_;
+};
+
+/** One element of a global initializer: either an integer or the
+ * address of (an element of) another global. */
+struct GlobalInit {
+    const GlobalVar *base = nullptr; ///< non-null => address constant
+    int64_t value = 0;               ///< int value, or element offset
+
+    static GlobalInit
+    intValue(int64_t value)
+    {
+        return {nullptr, value};
+    }
+    static GlobalInit
+    addressOf(const GlobalVar *base, int64_t element)
+    {
+        return {base, element};
+    }
+    bool isAddress() const { return base != nullptr; }
+};
+
+/** A global memory object: scalar or one-dimensional array. The Value
+ * itself has pointer type (the object's address). */
+class GlobalVar : public Value {
+  public:
+    GlobalVar(std::string name, IrType element_type, uint64_t count,
+              bool internal)
+        : Value(ValueKind::Global, IrType::ptrTy()), name_(std::move(name)),
+          elementType_(element_type), count_(count), internal_(internal)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    /** Type of each element slot (an Int type or Ptr). */
+    IrType elementType() const { return elementType_; }
+    /** Number of element slots (1 for scalars). */
+    uint64_t count() const { return count_; }
+    bool isArray() const { return isArray_; }
+    void setIsArray(bool is_array) { isArray_ = is_array; }
+    /** Internal linkage (C "static"): no access outside this module. */
+    bool isInternal() const { return internal_; }
+
+    /** Initializers, one per slot; missing entries are zero. */
+    std::vector<GlobalInit> init;
+
+  private:
+    std::string name_;
+    IrType elementType_;
+    uint64_t count_;
+    bool internal_;
+    bool isArray_ = false;
+};
+
+/** A formal parameter of a Function; an SSA value from entry. */
+class Param : public Value {
+  public:
+    Param(IrType type, unsigned index, std::string name)
+        : Value(ValueKind::Param, type), index_(index),
+          name_(std::move(name))
+    {
+    }
+
+    unsigned index() const { return index_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    unsigned index_;
+    std::string name_;
+};
+
+//===------------------------------------------------------------------===//
+// Instructions
+//===------------------------------------------------------------------===//
+
+enum class Opcode : uint8_t {
+    Alloca,
+    Load,
+    Store,
+    Bin,
+    Cmp,
+    Cast,
+    Gep,
+    Select,
+    /** Value laundering barrier (LLVM's freeze): semantically the
+     * identity on its operand, but most folds refuse to look through
+     * it. Inserted by aggressive loop unswitching and the loop
+     * vectorizer rewrite — the mechanism behind several of the paper's
+     * catalogued regressions (Listings 7, 8a, 9e). */
+    Freeze,
+    Call,
+    Phi,
+    // Terminators:
+    Ret,
+    Br,
+    CondBr,
+    Switch,
+    Unreachable,
+};
+
+enum class BinOp : uint8_t {
+    Add, Sub, Mul, Div, Rem, Shl, Shr, And, Or, Xor,
+};
+
+/** Comparison predicates. Signedness is explicit (operands may be
+ * either); result is i32 0/1. */
+enum class CmpPred : uint8_t {
+    Eq, Ne, Slt, Sle, Sgt, Sge, Ult, Ule, Ugt, Uge,
+};
+
+enum class CastOp : uint8_t {
+    Trunc, ///< to a narrower integer
+    Sext,  ///< sign-extend to a wider integer
+    Zext,  ///< zero-extend to a wider integer
+    /** Same width, signedness reinterpretation only. */
+    Bitcast,
+};
+
+const char *opcodeName(Opcode op);
+const char *binOpName(BinOp op);
+const char *cmpPredName(CmpPred pred);
+const char *castOpName(CastOp op);
+
+/** True if the predicate's semantics depend on operand sign. */
+bool cmpPredIsSigned(CmpPred pred);
+/** Swap operand order: Slt -> Sgt etc. */
+CmpPred cmpPredSwapped(CmpPred pred);
+/** Logical negation: Eq -> Ne, Slt -> Sge etc. */
+CmpPred cmpPredInverse(CmpPred pred);
+
+/**
+ * A single IR instruction. One concrete class for all opcodes with a
+ * small set of per-opcode extras; passes dispatch on opcode().
+ */
+class Instr : public Value {
+  public:
+    Instr(Opcode op, IrType type) : Value(ValueKind::Instruction, type),
+                                    opcode_(op)
+    {
+    }
+    ~Instr() override;
+
+    Opcode opcode() const { return opcode_; }
+    BasicBlock *parent() const { return parent_; }
+
+    size_t numOperands() const { return operands_.size(); }
+    Value *operand(size_t index) const { return operands_[index]; }
+    void setOperand(size_t index, Value *value);
+    void addOperand(Value *value);
+    void removeOperand(size_t index);
+    const std::vector<Value *> &operands() const { return operands_; }
+
+    /** Detach this instruction from all of its operands' use lists. */
+    void dropOperands();
+
+    bool
+    isTerminator() const
+    {
+        switch (opcode_) {
+          case Opcode::Ret:
+          case Opcode::Br:
+          case Opcode::CondBr:
+          case Opcode::Switch:
+          case Opcode::Unreachable:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** True if removing the instruction (when unused) changes program
+     * behaviour: stores, calls, terminators. */
+    bool hasSideEffects() const;
+
+    // --- CFG edges (terminators) and phi incoming blocks ------------
+    const std::vector<BasicBlock *> &blockOperands() const
+    {
+        return blockOperands_;
+    }
+    std::vector<BasicBlock *> &blockOperands() { return blockOperands_; }
+    BasicBlock *blockOperand(size_t index) const
+    {
+        return blockOperands_[index];
+    }
+    void setBlockOperand(size_t index, BasicBlock *block)
+    {
+        blockOperands_[index] = block;
+    }
+    void addBlockOperand(BasicBlock *block)
+    {
+        blockOperands_.push_back(block);
+    }
+    /** Replace every successor edge @p from with @p to. */
+    void replaceSuccessor(BasicBlock *from, BasicBlock *to);
+
+    // --- Per-opcode extras -------------------------------------------
+    BinOp binOp = BinOp::Add;          ///< Bin
+    CmpPred cmpPred = CmpPred::Eq;     ///< Cmp
+    CastOp castOp = CastOp::Trunc;     ///< Cast
+    Function *callee = nullptr;        ///< Call
+    IrType allocatedType;              ///< Alloca element type
+    uint64_t allocatedCount = 1;       ///< Alloca element count
+    bool allocaIsArray = false;        ///< Alloca models a source array
+    uint64_t gepElemSize = 1;          ///< Gep element size in bytes
+    std::vector<int64_t> caseValues;   ///< Switch case constants
+
+    // --- Phi helpers --------------------------------------------------
+    /** @pre opcode() == Phi. Incoming pairs are (operand(i),
+     * blockOperand(i)). */
+    void addIncoming(Value *value, BasicBlock *pred);
+    void removeIncoming(size_t index);
+    /** Value flowing in from @p pred, or null if absent. */
+    Value *incomingValueFor(const BasicBlock *pred) const;
+
+  private:
+    friend class BasicBlock;
+    Opcode opcode_;
+    BasicBlock *parent_ = nullptr;
+    std::vector<Value *> operands_;
+    std::vector<BasicBlock *> blockOperands_;
+};
+
+//===------------------------------------------------------------------===//
+// BasicBlock
+//===------------------------------------------------------------------===//
+
+/** A straight-line instruction sequence ending in one terminator. */
+class BasicBlock {
+  public:
+    explicit BasicBlock(std::string name) : name_(std::move(name)) {}
+    BasicBlock(const BasicBlock &) = delete;
+    BasicBlock &operator=(const BasicBlock &) = delete;
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+    Function *parent() const { return parent_; }
+
+    const std::vector<std::unique_ptr<Instr>> &instrs() const
+    {
+        return instrs_;
+    }
+    bool empty() const { return instrs_.empty(); }
+    size_t size() const { return instrs_.size(); }
+    Instr *front() const { return instrs_.front().get(); }
+
+    /** The terminator, or null while the block is under construction. */
+    Instr *
+    terminator() const
+    {
+        if (instrs_.empty() || !instrs_.back()->isTerminator())
+            return nullptr;
+        return instrs_.back().get();
+    }
+
+    /** Successor blocks (empty for Ret/Unreachable). */
+    std::vector<BasicBlock *>
+    successors() const
+    {
+        Instr *term = terminator();
+        return term ? term->blockOperands()
+                    : std::vector<BasicBlock *>{};
+    }
+
+    Instr *append(std::unique_ptr<Instr> instr);
+    Instr *insertBefore(size_t index, std::unique_ptr<Instr> instr);
+    /** Position of @p instr in this block. */
+    size_t indexOf(const Instr *instr) const;
+
+    /** Remove and destroy @p instr. Drops its operand uses.
+     * @pre instr has no users. */
+    void erase(Instr *instr);
+    /** Detach @p instr without destroying it (for moves). Operand uses
+     * are kept. */
+    std::unique_ptr<Instr> detach(Instr *instr);
+    /** Re-attach a detached instruction at the end. */
+    Instr *reattach(std::unique_ptr<Instr> instr)
+    {
+        return append(std::move(instr));
+    }
+
+    /** All phis sit at the top of a block. */
+    std::vector<Instr *> phis() const;
+    /** Update phi bookkeeping when predecessor @p from becomes @p to. */
+    void replacePhiIncomingBlock(BasicBlock *from, BasicBlock *to);
+    /** Remove incoming entries for a predecessor that no longer
+     * branches here. */
+    void removePhiIncomingFor(BasicBlock *pred);
+
+  private:
+    friend class Function;
+    std::string name_;
+    Function *parent_ = nullptr;
+    std::vector<std::unique_ptr<Instr>> instrs_;
+};
+
+//===------------------------------------------------------------------===//
+// Function
+//===------------------------------------------------------------------===//
+
+class Function {
+  public:
+    Function(std::string name, IrType return_type, bool internal)
+        : name_(std::move(name)), returnType_(return_type),
+          internal_(internal)
+    {
+    }
+    Function(const Function &) = delete;
+    Function &operator=(const Function &) = delete;
+
+    const std::string &name() const { return name_; }
+    IrType returnType() const { return returnType_; }
+    bool isInternal() const { return internal_; }
+    Module *parent() const { return parent_; }
+
+    /** Declarations have no blocks; they are opaque to every analysis
+     * and optimization — optimization markers are exactly this. */
+    bool isDeclaration() const { return blocks_.empty(); }
+
+    /** When set, global DCE must keep this function even if it has no
+     * callers. The inliner sets it under the `keepInlinedHusks`
+     * regression knob, modelling GCC's uncleaned IPA-SRA clones
+     * (Listing 9b / PR100034). */
+    bool noDce() const { return noDce_; }
+    void setNoDce(bool keep) { noDce_ = keep; }
+
+    Param *addParam(IrType type, std::string name);
+    const std::vector<std::unique_ptr<Param>> &params() const
+    {
+        return params_;
+    }
+
+    BasicBlock *entry() const { return blocks_.front().get(); }
+    const std::vector<std::unique_ptr<BasicBlock>> &blocks() const
+    {
+        return blocks_;
+    }
+    size_t numBlocks() const { return blocks_.size(); }
+
+    BasicBlock *addBlock(std::string name);
+    /** Insert an existing (detached) block; used by the inliner. */
+    BasicBlock *adoptBlock(std::unique_ptr<BasicBlock> block);
+    /**
+     * Remove and destroy @p block: drops all its instructions' operand
+     * uses first, so mutually-referencing dead blocks can be erased in
+     * any order. @pre no live instruction outside @p block uses its
+     * instructions, and no terminator outside branches to it.
+     */
+    void eraseBlock(BasicBlock *block);
+    /** Move @p block to position @p index (printer/codegen ordering). */
+    void moveBlockTo(size_t index, BasicBlock *block);
+    size_t indexOfBlock(const BasicBlock *block) const;
+
+  private:
+    friend class Module;
+    std::string name_;
+    IrType returnType_;
+    bool internal_;
+    bool noDce_ = false;
+    Module *parent_ = nullptr;
+    std::vector<std::unique_ptr<Param>> params_;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+    unsigned nextBlockId_ = 0;
+};
+
+//===------------------------------------------------------------------===//
+// Module
+//===------------------------------------------------------------------===//
+
+class Module {
+  public:
+    Module() = default;
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    GlobalVar *addGlobal(std::string name, IrType element_type,
+                         uint64_t count, bool internal);
+    Function *addFunction(std::string name, IrType return_type,
+                          bool internal);
+
+    GlobalVar *getGlobal(const std::string &name) const;
+    Function *getFunction(const std::string &name) const;
+
+    /** Remove an unreferenced function (no remaining call sites).
+     * Used by global DCE. */
+    void eraseFunction(Function *fn);
+    /** Remove an unreferenced global (no users, no initializer refs). */
+    void eraseGlobal(GlobalVar *global);
+
+    const std::vector<std::unique_ptr<GlobalVar>> &globals() const
+    {
+        return globals_;
+    }
+    const std::vector<std::unique_ptr<Function>> &functions() const
+    {
+        return functions_;
+    }
+
+    /** Interned integer constant of the given type. */
+    Constant *constant(IrType type, int64_t value);
+    Constant *i32Const(int64_t value)
+    {
+        return constant(IrType::i32(), value);
+    }
+
+    /** Fresh printer id. */
+    unsigned nextValueId() { return nextValueId_++; }
+
+  private:
+    std::vector<std::unique_ptr<GlobalVar>> globals_;
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::vector<std::unique_ptr<Constant>> constants_;
+    unsigned nextValueId_ = 1;
+};
+
+} // namespace dce::ir

@@ -1,0 +1,128 @@
+#include "ir/loop_info.hpp"
+
+#include <algorithm>
+
+#include "ir/cfg.hpp"
+
+namespace dce::ir {
+
+std::vector<BasicBlock *>
+Loop::exitBlocks() const
+{
+    std::vector<BasicBlock *> exits;
+    for (BasicBlock *block : blocks) {
+        for (BasicBlock *succ : block->successors()) {
+            if (!contains(succ) &&
+                std::find(exits.begin(), exits.end(), succ) == exits.end()) {
+                exits.push_back(succ);
+            }
+        }
+    }
+    return exits;
+}
+
+BasicBlock *
+Loop::preheader(const std::unordered_map<const BasicBlock *,
+                                         std::vector<BasicBlock *>> &preds)
+    const
+{
+    BasicBlock *candidate = nullptr;
+    for (BasicBlock *pred : preds.at(header)) {
+        if (contains(pred))
+            continue;
+        if (candidate && candidate != pred)
+            return nullptr; // multiple outside predecessors
+        candidate = pred;
+    }
+    if (!candidate)
+        return nullptr;
+    if (candidate->successors().size() != 1)
+        return nullptr;
+    return candidate;
+}
+
+unsigned
+Loop::depth() const
+{
+    unsigned d = 1;
+    for (const Loop *p = parent; p; p = p->parent)
+        ++d;
+    return d;
+}
+
+LoopInfo::LoopInfo(const Function &fn, const DominatorTree &domtree)
+{
+    if (fn.isDeclaration())
+        return;
+    auto preds = predecessorMap(fn);
+
+    // Find back edges: latch -> header where header dominates latch.
+    // Group by header (a header can have several latches).
+    std::unordered_map<BasicBlock *, std::vector<BasicBlock *>> backEdges;
+    for (BasicBlock *block : domtree.rpo()) {
+        for (BasicBlock *succ : block->successors()) {
+            if (domtree.dominates(succ, block))
+                backEdges[succ].push_back(block);
+        }
+    }
+
+    // Build each loop body by walking predecessors from the latches.
+    for (auto &[header, latches] : backEdges) {
+        auto loop = std::make_unique<Loop>();
+        loop->header = header;
+        loop->latches = latches;
+        loop->blocks.insert(header);
+        std::vector<BasicBlock *> worklist(latches.begin(), latches.end());
+        while (!worklist.empty()) {
+            BasicBlock *block = worklist.back();
+            worklist.pop_back();
+            if (!loop->blocks.insert(block).second)
+                continue;
+            for (BasicBlock *pred : preds.at(block)) {
+                if (!domtree.isReachable(pred))
+                    continue;
+                if (!loop->blocks.count(pred))
+                    worklist.push_back(pred);
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    // Sort outermost (largest) first so nesting links are easy to set.
+    std::sort(loops_.begin(), loops_.end(),
+              [](const auto &a, const auto &b) {
+                  return a->blocks.size() > b->blocks.size();
+              });
+
+    // Nesting: the innermost loop containing a header (other than the
+    // loop itself) is the parent.
+    for (size_t i = 0; i < loops_.size(); ++i) {
+        for (size_t j = i + 1; j < loops_.size(); ++j) {
+            if (loops_[i]->contains(loops_[j]->header) &&
+                loops_[i].get() != loops_[j].get()) {
+                // loops_ sorted by size descending, so j is nested in i;
+                // keep the innermost parent (latest i that contains j).
+                loops_[j]->parent = loops_[i].get();
+            }
+        }
+    }
+    for (auto &loop : loops_) {
+        if (loop->parent)
+            loop->parent->subloops.push_back(loop.get());
+    }
+
+    // innermost_ map: smaller loops overwrite larger ones.
+    for (auto &loop : loops_) {
+        for (BasicBlock *block : loop->blocks)
+            innermost_[block] = loop.get();
+    }
+}
+
+Loop *
+LoopInfo::loopFor(const BasicBlock *block) const
+{
+    auto it = innermost_.find(block);
+    return it == innermost_.end() ? nullptr : it->second;
+}
+
+} // namespace dce::ir

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Natural-loop detection from back edges. Consumed by the loop
+ * optimizations (rotation, unswitching, unrolling, the vectorizer-like
+ * rewrite) and by the generator's termination reasoning in tests.
+ */
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/dominators.hpp"
+#include "ir/ir.hpp"
+
+namespace dce::ir {
+
+/** One natural loop: header plus the set of blocks that reach the back
+ * edge without leaving the header's dominance region. */
+struct Loop {
+    BasicBlock *header = nullptr;
+    /** Blocks in the loop, header included. */
+    std::unordered_set<BasicBlock *> blocks;
+    /** Back-edge sources (latches). */
+    std::vector<BasicBlock *> latches;
+    /** Enclosing loop, or null for top-level loops. */
+    Loop *parent = nullptr;
+    std::vector<Loop *> subloops;
+
+    bool contains(const BasicBlock *block) const
+    {
+        return blocks.count(const_cast<BasicBlock *>(block)) != 0;
+    }
+
+    /** Blocks outside the loop that loop blocks branch to. */
+    std::vector<BasicBlock *> exitBlocks() const;
+
+    /** The unique pre-header predecessor (outside block whose only
+     * successor is the header), or null. */
+    BasicBlock *preheader(
+        const std::unordered_map<const BasicBlock *,
+                                 std::vector<BasicBlock *>> &preds) const;
+
+    /** Loop nest depth; top-level = 1. */
+    unsigned depth() const;
+};
+
+/** All natural loops of a function, outermost first. */
+class LoopInfo {
+  public:
+    LoopInfo(const Function &fn, const DominatorTree &domtree);
+
+    const std::vector<std::unique_ptr<Loop>> &loops() const
+    {
+        return loops_;
+    }
+
+    /** Innermost loop containing @p block, or null. */
+    Loop *loopFor(const BasicBlock *block) const;
+
+  private:
+    std::vector<std::unique_ptr<Loop>> loops_;
+    std::unordered_map<const BasicBlock *, Loop *> innermost_;
+};
+
+} // namespace dce::ir

@@ -1,0 +1,970 @@
+#include "ir/lowering.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "ir/builder.hpp"
+#include "ir/cfg.hpp"
+#include "lang/sema.hpp"
+#include "support/ints.hpp"
+
+namespace dce::ir {
+
+using lang::AssignOp;
+using lang::BinaryOp;
+using lang::Expr;
+using lang::ExprKind;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::Storage;
+using lang::UnaryOp;
+
+IrType
+lowerType(const lang::Type *type)
+{
+    if (type->isVoid())
+        return IrType::voidTy();
+    if (type->isPtr())
+        return IrType::ptrTy();
+    assert(type->isInt() && "arrays have no scalar IR type");
+    return IrType::intTy(type->bits(), type->isSigned());
+}
+
+namespace {
+
+/** Whole-unit lowering state. */
+class Lowering {
+  public:
+    explicit Lowering(const lang::TranslationUnit &unit)
+        : unit_(unit), module_(std::make_unique<Module>()),
+          builder_(*module_)
+    {
+    }
+
+    std::unique_ptr<Module>
+    run()
+    {
+        declareGlobals();
+        declareFunctions();
+        for (const auto &fn : unit_.functions) {
+            if (fn->isDefinition())
+                lowerFunctionBody(*fn);
+        }
+        return std::move(module_);
+    }
+
+  private:
+    //===--------------------------------------------------------------===//
+    // Declarations
+    //===--------------------------------------------------------------===//
+
+    /** Peel implicit casts (sema's conversions) off an initializer. */
+    static const Expr *
+    stripImplicitCasts(const Expr *expr)
+    {
+        while (expr->kind() == ExprKind::Cast) {
+            const auto &cast = static_cast<const lang::CastExpr &>(*expr);
+            if (!cast.implicit)
+                break;
+            expr = cast.sub.get();
+        }
+        return expr;
+    }
+
+    /** Lower a pointer global's constant initializer: &g, &g[k], array
+     * decay of g, or the null constant. */
+    GlobalInit
+    lowerAddressInit(const Expr &raw)
+    {
+        const Expr *expr = stripImplicitCasts(&raw);
+        if (auto value = lang::evalConstInt(*expr)) {
+            assert(*value == 0 && "non-null integer pointer initializer");
+            return GlobalInit::intValue(0);
+        }
+        if (expr->kind() == ExprKind::VarRef) {
+            // Array decay: `int *p = arr;`
+            const auto &ref = static_cast<const lang::VarRef &>(*expr);
+            GlobalVar *base = module_->getGlobal(ref.decl->name);
+            assert(base && "decayed initializer references non-global");
+            return GlobalInit::addressOf(base, 0);
+        }
+        assert(expr->kind() == ExprKind::Unary);
+        const auto &unary = static_cast<const lang::UnaryExpr &>(*expr);
+        assert(unary.op == UnaryOp::AddrOf);
+        const Expr *target = stripImplicitCasts(unary.sub.get());
+        if (target->kind() == ExprKind::VarRef) {
+            const auto &ref = static_cast<const lang::VarRef &>(*target);
+            GlobalVar *base = module_->getGlobal(ref.decl->name);
+            assert(base && "address-of initializer references non-global");
+            return GlobalInit::addressOf(base, 0);
+        }
+        assert(target->kind() == ExprKind::Index);
+        const auto &index = static_cast<const lang::IndexExpr &>(*target);
+        const Expr *base_expr = stripImplicitCasts(index.base.get());
+        assert(base_expr->kind() == ExprKind::VarRef);
+        const auto &ref = static_cast<const lang::VarRef &>(*base_expr);
+        GlobalVar *base = module_->getGlobal(ref.decl->name);
+        auto offset = lang::evalConstInt(*index.index);
+        assert(base && offset && "non-constant global address init");
+        return GlobalInit::addressOf(base, *offset);
+    }
+
+    void
+    declareGlobals()
+    {
+        for (const auto &decl : unit_.globals) {
+            const lang::Type *type = decl->type;
+            bool is_array = type->isArray();
+            const lang::Type *element = is_array ? type->element() : type;
+            GlobalVar *global = module_->addGlobal(
+                decl->name, lowerType(element),
+                is_array ? type->arraySize() : 1,
+                decl->storage == Storage::StaticGlobal);
+            global->setIsArray(is_array);
+            globalMap_[decl.get()] = global;
+        }
+        // Initializers may reference other globals (&b[1]), so fill them
+        // in a second pass once every global exists.
+        for (const auto &decl : unit_.globals) {
+            GlobalVar *global = globalMap_.at(decl.get());
+            const lang::Type *element_type =
+                decl->type->isArray() ? decl->type->element() : decl->type;
+            if (decl->init) {
+                if (element_type->isPtr()) {
+                    global->init.push_back(lowerAddressInit(*decl->init));
+                } else {
+                    auto value = lang::evalConstInt(*decl->init);
+                    assert(value && "non-constant global initializer");
+                    global->init.push_back(GlobalInit::intValue(*value));
+                }
+            }
+            for (const auto &element : decl->initList) {
+                if (element_type->isPtr()) {
+                    global->init.push_back(lowerAddressInit(*element));
+                } else {
+                    auto value = lang::evalConstInt(*element);
+                    assert(value && "non-constant array initializer");
+                    global->init.push_back(GlobalInit::intValue(*value));
+                }
+            }
+        }
+    }
+
+    void
+    declareFunctions()
+    {
+        for (const auto &fn : unit_.functions) {
+            if (functionMap_.count(fn->name))
+                continue; // re-declaration
+            Function *lowered = module_->addFunction(
+                fn->name, lowerType(fn->returnType), fn->isStatic);
+            for (const auto &param : fn->params)
+                lowered->addParam(lowerType(param->type), param->name);
+            functionMap_[fn->name] = lowered;
+        }
+    }
+
+    //===--------------------------------------------------------------===//
+    // Function bodies
+    //===--------------------------------------------------------------===//
+
+    void
+    lowerFunctionBody(const lang::FunctionDecl &fn)
+    {
+        current_ = functionMap_.at(fn.name);
+        varMap_.clear();
+        breakTargets_.clear();
+        continueTargets_.clear();
+
+        BasicBlock *entry = current_->addBlock("entry");
+        builder_.setInsertionBlock(entry);
+
+        // Parameters are stored into allocas (clang -O0 style) so that
+        // the body can treat all variables uniformly.
+        for (size_t i = 0; i < fn.params.size(); ++i) {
+            const lang::VarDecl *param = fn.params[i].get();
+            Instr *slot = builder_.alloca_(lowerType(param->type), 1,
+                                           /*is_array=*/false);
+            builder_.store(current_->params()[i].get(), slot);
+            varMap_[param] = slot;
+        }
+
+        lowerStmt(*fn.body);
+
+        // Implicit return at fall-off.
+        if (!builder_.terminated()) {
+            if (current_->returnType().isVoid()) {
+                builder_.retVoid();
+            } else {
+                builder_.ret(builder_.constInt(current_->returnType(), 0));
+            }
+        }
+        // Front-end DCE (see file comment): drop blocks that became
+        // unreachable through constant branch folding or trailing code
+        // after return. Production front ends do the same at -O0.
+        removeUnreachableBlocks(*current_);
+        current_ = nullptr;
+    }
+
+    /** Allocate storage for a local in the entry block. */
+    Instr *
+    allocaForLocal(const lang::VarDecl &decl)
+    {
+        bool is_array = decl.type->isArray();
+        const lang::Type *element =
+            is_array ? decl.type->element() : decl.type;
+        auto instr = std::make_unique<Instr>(Opcode::Alloca,
+                                             IrType::ptrTy());
+        instr->allocatedType = lowerType(element);
+        instr->allocatedCount = is_array ? decl.type->arraySize() : 1;
+        instr->allocaIsArray = is_array;
+        instr->setId(module_->nextValueId());
+        BasicBlock *entry = current_->entry();
+        // Keep allocas clustered at the top of entry, before any code.
+        size_t index = 0;
+        while (index < entry->size() &&
+               entry->instrs()[index]->opcode() == Opcode::Alloca) {
+            ++index;
+        }
+        return entry->insertBefore(index, std::move(instr));
+    }
+
+    //===--------------------------------------------------------------===//
+    // Statements
+    //===--------------------------------------------------------------===//
+
+    BasicBlock *
+    freshBlock(const char *name)
+    {
+        return current_->addBlock(name);
+    }
+
+    /** Continue emission in @p block; used for code following a
+     * terminator (trailing statements become unreachable IR). */
+    void
+    moveTo(BasicBlock *block)
+    {
+        builder_.setInsertionBlock(block);
+    }
+
+    /** If the current block is already terminated (return/break/...),
+     * park subsequent statements in a fresh unreachable block. */
+    void
+    ensureInsertable()
+    {
+        if (builder_.terminated())
+            moveTo(freshBlock("dead"));
+    }
+
+    void
+    lowerStmt(const Stmt &stmt)
+    {
+        switch (stmt.kind()) {
+          case StmtKind::Block: {
+            const auto &block = static_cast<const lang::BlockStmt &>(stmt);
+            for (const auto &child : block.stmts)
+                lowerStmt(*child);
+            break;
+          }
+          case StmtKind::ExprStmt:
+            ensureInsertable();
+            lowerExprForEffect(
+                *static_cast<const lang::ExprStmt &>(stmt).expr);
+            break;
+          case StmtKind::DeclStmt: {
+            ensureInsertable();
+            const auto &decl =
+                *static_cast<const lang::DeclStmt &>(stmt).decl;
+            Instr *slot = allocaForLocal(decl);
+            varMap_[&decl] = slot;
+            if (decl.init) {
+                Value *value = lowerRValue(*decl.init);
+                builder_.store(value, slot);
+            }
+            for (size_t i = 0; i < decl.initList.size(); ++i) {
+                Value *value = lowerRValue(*decl.initList[i]);
+                Instr *addr = builder_.gep(
+                    slot, builder_.constInt(IrType::i64(),
+                                            static_cast<int64_t>(i)),
+                    slot->allocatedType.sizeInBytes());
+                builder_.store(value, addr);
+            }
+            break;
+          }
+          case StmtKind::If:
+            ensureInsertable();
+            lowerIf(static_cast<const lang::IfStmt &>(stmt));
+            break;
+          case StmtKind::While:
+            ensureInsertable();
+            lowerWhile(static_cast<const lang::WhileStmt &>(stmt));
+            break;
+          case StmtKind::DoWhile:
+            ensureInsertable();
+            lowerDoWhile(static_cast<const lang::DoWhileStmt &>(stmt));
+            break;
+          case StmtKind::For:
+            ensureInsertable();
+            lowerFor(static_cast<const lang::ForStmt &>(stmt));
+            break;
+          case StmtKind::Switch:
+            ensureInsertable();
+            lowerSwitch(static_cast<const lang::SwitchStmt &>(stmt));
+            break;
+          case StmtKind::Return: {
+            ensureInsertable();
+            const auto &ret = static_cast<const lang::ReturnStmt &>(stmt);
+            if (ret.value)
+                builder_.ret(lowerRValue(*ret.value));
+            else
+                builder_.retVoid();
+            break;
+          }
+          case StmtKind::Break:
+            ensureInsertable();
+            assert(!breakTargets_.empty());
+            builder_.br(breakTargets_.back());
+            break;
+          case StmtKind::Continue:
+            ensureInsertable();
+            assert(!continueTargets_.empty());
+            builder_.br(continueTargets_.back());
+            break;
+          case StmtKind::Empty:
+            break;
+        }
+    }
+
+    /** Lower a branch condition to "condbr" unless it is a constant
+     * expression, in which case emit an unconditional edge (front-end
+     * DCE; see file comment). */
+    void
+    lowerBranch(const Expr &cond, BasicBlock *if_true,
+                BasicBlock *if_false)
+    {
+        if (auto constant = lang::evalConstInt(cond)) {
+            builder_.br(*constant != 0 ? if_true : if_false);
+            return;
+        }
+        Value *value = lowerCondition(cond);
+        builder_.condBr(value, if_true, if_false);
+    }
+
+    void
+    lowerIf(const lang::IfStmt &stmt)
+    {
+        BasicBlock *then_block = freshBlock("if.then");
+        BasicBlock *join = freshBlock("if.end");
+        BasicBlock *else_block =
+            stmt.elseStmt ? freshBlock("if.else") : join;
+
+        lowerBranch(*stmt.cond, then_block, else_block);
+
+        moveTo(then_block);
+        lowerStmt(*stmt.thenStmt);
+        if (!builder_.terminated())
+            builder_.br(join);
+
+        if (stmt.elseStmt) {
+            moveTo(else_block);
+            lowerStmt(*stmt.elseStmt);
+            if (!builder_.terminated())
+                builder_.br(join);
+        }
+        moveTo(join);
+    }
+
+    void
+    lowerWhile(const lang::WhileStmt &stmt)
+    {
+        BasicBlock *header = freshBlock("while.cond");
+        BasicBlock *body = freshBlock("while.body");
+        BasicBlock *exit = freshBlock("while.end");
+
+        builder_.br(header);
+        moveTo(header);
+        lowerBranch(*stmt.cond, body, exit);
+
+        breakTargets_.push_back(exit);
+        continueTargets_.push_back(header);
+        moveTo(body);
+        lowerStmt(*stmt.body);
+        if (!builder_.terminated())
+            builder_.br(header);
+        breakTargets_.pop_back();
+        continueTargets_.pop_back();
+
+        moveTo(exit);
+    }
+
+    void
+    lowerDoWhile(const lang::DoWhileStmt &stmt)
+    {
+        BasicBlock *body = freshBlock("do.body");
+        BasicBlock *latch = freshBlock("do.cond");
+        BasicBlock *exit = freshBlock("do.end");
+
+        builder_.br(body);
+        breakTargets_.push_back(exit);
+        continueTargets_.push_back(latch);
+        moveTo(body);
+        lowerStmt(*stmt.body);
+        if (!builder_.terminated())
+            builder_.br(latch);
+        breakTargets_.pop_back();
+        continueTargets_.pop_back();
+
+        moveTo(latch);
+        lowerBranch(*stmt.cond, body, exit);
+        moveTo(exit);
+    }
+
+    void
+    lowerFor(const lang::ForStmt &stmt)
+    {
+        if (stmt.init)
+            lowerStmt(*stmt.init);
+
+        BasicBlock *header = freshBlock("for.cond");
+        BasicBlock *body = freshBlock("for.body");
+        BasicBlock *latch = freshBlock("for.inc");
+        BasicBlock *exit = freshBlock("for.end");
+
+        builder_.br(header);
+        moveTo(header);
+        if (stmt.cond)
+            lowerBranch(*stmt.cond, body, exit);
+        else
+            builder_.br(body);
+
+        breakTargets_.push_back(exit);
+        continueTargets_.push_back(latch);
+        moveTo(body);
+        lowerStmt(*stmt.body);
+        if (!builder_.terminated())
+            builder_.br(latch);
+        breakTargets_.pop_back();
+        continueTargets_.pop_back();
+
+        moveTo(latch);
+        if (stmt.step)
+            lowerExprForEffect(*stmt.step);
+        builder_.br(header);
+
+        moveTo(exit);
+    }
+
+    void
+    lowerSwitch(const lang::SwitchStmt &stmt)
+    {
+        Value *value = lowerRValue(*stmt.cond);
+        BasicBlock *exit = freshBlock("switch.end");
+
+        // Create case blocks first; the default arm targets its block,
+        // otherwise default goes straight to exit.
+        BasicBlock *default_block = exit;
+        std::vector<std::pair<const lang::SwitchCase *, BasicBlock *>>
+            arms;
+        for (const auto &arm : stmt.cases) {
+            BasicBlock *block = freshBlock(
+                arm.value ? "switch.case" : "switch.default");
+            arms.emplace_back(&arm, block);
+            if (!arm.value)
+                default_block = block;
+        }
+
+        Instr *switch_instr = builder_.switch_(value, default_block);
+        IrType value_type = value->type();
+        for (const auto &[arm, block] : arms) {
+            if (!arm->value)
+                continue;
+            switch_instr->caseValues.push_back(
+                wrapInt(*arm->value, value_type.bits,
+                        value_type.isSigned));
+            switch_instr->addBlockOperand(block);
+        }
+
+        breakTargets_.push_back(exit);
+        for (const auto &[arm, block] : arms) {
+            moveTo(block);
+            lowerStmt(*arm->body);
+            if (!builder_.terminated())
+                builder_.br(exit); // MiniC arms do not fall through
+        }
+        breakTargets_.pop_back();
+        moveTo(exit);
+    }
+
+    //===--------------------------------------------------------------===//
+    // Expressions
+    //===--------------------------------------------------------------===//
+
+    /** Usual-arithmetic-conversion result at the IR level (mirrors
+     * Sema::commonType; needed again for compound assignment). */
+    static IrType
+    usualType(IrType a, IrType b)
+    {
+        auto promote = [](IrType t) {
+            return t.bits < 32 ? IrType::i32() : t;
+        };
+        a = promote(a);
+        b = promote(b);
+        if (a == b)
+            return a;
+        if (a.isSigned == b.isSigned)
+            return a.bits >= b.bits ? a : b;
+        IrType unsigned_type = a.isSigned ? b : a;
+        IrType signed_type = a.isSigned ? a : b;
+        return unsigned_type.bits >= signed_type.bits ? unsigned_type
+                                                      : signed_type;
+    }
+
+    /** Emit a conversion of @p value to integer type @p to. */
+    Value *
+    convert(Value *value, IrType to)
+    {
+        IrType from = value->type();
+        if (from == to)
+            return value;
+        assert(from.isInt() && to.isInt());
+        // Constants fold immediately (also keeps -O0 IR tidy).
+        if (value->isConstant()) {
+            int64_t v = static_cast<Constant *>(value)->value();
+            return builder_.constInt(
+                to, convertInt(v, from.bits, from.isSigned, to.bits,
+                               to.isSigned));
+        }
+        if (from.bits > to.bits)
+            return builder_.cast(CastOp::Trunc, value, to);
+        if (from.bits < to.bits) {
+            // C converts by *value*: the source's own signedness decides
+            // the extension.
+            return builder_.cast(
+                from.isSigned ? CastOp::Sext : CastOp::Zext, value, to);
+        }
+        return builder_.cast(CastOp::Bitcast, value, to);
+    }
+
+    /** Lower an expression whose value is discarded. */
+    void
+    lowerExprForEffect(const Expr &expr)
+    {
+        lowerExprImpl(expr, /*need_value=*/false);
+    }
+
+    Value *
+    lowerRValue(const Expr &expr)
+    {
+        Value *value = lowerExprImpl(expr, /*need_value=*/true);
+        assert(value && "rvalue lowering produced no value");
+        return value;
+    }
+
+    /** Lower a condition to an i32-comparable value. */
+    Value *
+    lowerCondition(const Expr &expr)
+    {
+        Value *value = lowerRValue(expr);
+        if (value->type().isPtr()) {
+            // condbr wants an integer: compare against null.
+            return builder_.cmp(CmpPred::Ne, value,
+                                builder_.constInt(IrType::ptrTy(), 0));
+        }
+        return value;
+    }
+
+    /** Address of an lvalue expression. */
+    Value *
+    lowerLValue(const Expr &expr)
+    {
+        switch (expr.kind()) {
+          case ExprKind::VarRef: {
+            const auto &ref = static_cast<const lang::VarRef &>(expr);
+            return storageOf(*ref.decl);
+          }
+          case ExprKind::Unary: {
+            const auto &unary =
+                static_cast<const lang::UnaryExpr &>(expr);
+            assert(unary.op == UnaryOp::Deref);
+            return lowerRValue(*unary.sub);
+          }
+          case ExprKind::Index: {
+            const auto &index =
+                static_cast<const lang::IndexExpr &>(expr);
+            Value *base = lowerArrayBase(*index.base);
+            Value *idx = lowerRValue(*index.index);
+            return builder_.gep(base, idx, expr.type->sizeInBytes());
+          }
+          default:
+            assert(false && "not an lvalue");
+            return nullptr;
+        }
+    }
+
+    /** Pointer to element 0 for a subscript base (array lvalue or
+     * pointer rvalue). */
+    Value *
+    lowerArrayBase(const Expr &expr)
+    {
+        if (expr.type->isArray())
+            return lowerLValue(expr);
+        return lowerRValue(expr);
+    }
+
+    Value *
+    storageOf(const lang::VarDecl &decl)
+    {
+        if (decl.isFileScope())
+            return globalMap_.at(&decl);
+        return varMap_.at(&decl);
+    }
+
+    Value *
+    lowerExprImpl(const Expr &expr, bool need_value)
+    {
+        switch (expr.kind()) {
+          case ExprKind::IntLit: {
+            const auto &lit = static_cast<const lang::IntLit &>(expr);
+            IrType type = lowerType(expr.type);
+            return builder_.constInt(
+                type, wrapInt(static_cast<int64_t>(lit.value), type.bits,
+                              type.isSigned));
+          }
+          case ExprKind::VarRef: {
+            if (!need_value)
+                return nullptr;
+            assert(!expr.type->isArray() &&
+                   "array rvalue must decay via cast");
+            Value *addr = lowerLValue(expr);
+            return builder_.load(lowerType(expr.type), addr);
+          }
+          case ExprKind::Cast:
+            return lowerCast(static_cast<const lang::CastExpr &>(expr),
+                             need_value);
+          case ExprKind::Unary:
+            return lowerUnary(static_cast<const lang::UnaryExpr &>(expr),
+                              need_value);
+          case ExprKind::Binary:
+            return lowerBinary(
+                static_cast<const lang::BinaryExpr &>(expr), need_value);
+          case ExprKind::Assign:
+            return lowerAssign(
+                static_cast<const lang::AssignExpr &>(expr), need_value);
+          case ExprKind::Index: {
+            if (!need_value)
+                return nullptr;
+            Value *addr = lowerLValue(expr);
+            return builder_.load(lowerType(expr.type), addr);
+          }
+          case ExprKind::Call: {
+            const auto &call = static_cast<const lang::CallExpr &>(expr);
+            std::vector<Value *> args;
+            args.reserve(call.args.size());
+            for (const auto &arg : call.args)
+                args.push_back(lowerRValue(*arg));
+            Function *callee = functionMap_.at(call.callee);
+            Instr *result = builder_.call(callee, args);
+            return result->type().isVoid() ? nullptr : result;
+          }
+          case ExprKind::Conditional:
+            return lowerConditional(
+                static_cast<const lang::ConditionalExpr &>(expr),
+                need_value);
+        }
+        return nullptr;
+    }
+
+    Value *
+    lowerCast(const lang::CastExpr &cast, bool need_value)
+    {
+        // Array decay: produce the array's address.
+        if (cast.sub->type && cast.sub->type->isArray() &&
+            cast.target->isPtr()) {
+            return lowerLValue(*cast.sub);
+        }
+        // Null-pointer constant.
+        if (cast.target->isPtr() && cast.sub->type->isInt()) {
+            if (!need_value) {
+                lowerExprForEffect(*cast.sub);
+                return nullptr;
+            }
+            return builder_.constInt(IrType::ptrTy(), 0);
+        }
+        if (cast.target->isPtr()) {
+            // ptr -> same ptr: identity.
+            return lowerExprImpl(*cast.sub, need_value);
+        }
+        if (!need_value) {
+            lowerExprForEffect(*cast.sub);
+            return nullptr;
+        }
+        Value *value = lowerRValue(*cast.sub);
+        return convert(value, lowerType(cast.target));
+    }
+
+    Value *
+    lowerUnary(const lang::UnaryExpr &unary, bool need_value)
+    {
+        switch (unary.op) {
+          case UnaryOp::Neg: {
+            Value *sub = lowerRValue(*unary.sub);
+            if (!need_value)
+                return nullptr;
+            return builder_.bin(BinOp::Sub,
+                                builder_.constInt(sub->type(), 0), sub);
+          }
+          case UnaryOp::BitNot: {
+            Value *sub = lowerRValue(*unary.sub);
+            if (!need_value)
+                return nullptr;
+            return builder_.bin(BinOp::Xor, sub,
+                                builder_.constInt(sub->type(), -1));
+          }
+          case UnaryOp::LogicalNot: {
+            Value *sub = lowerRValue(*unary.sub);
+            if (!need_value)
+                return nullptr;
+            Value *zero = sub->type().isPtr()
+                              ? builder_.constInt(IrType::ptrTy(), 0)
+                              : builder_.constInt(sub->type(), 0);
+            return builder_.cmp(CmpPred::Eq, sub, zero);
+          }
+          case UnaryOp::AddrOf:
+            return lowerLValue(*unary.sub);
+          case UnaryOp::Deref: {
+            Value *addr = lowerRValue(*unary.sub);
+            if (!need_value)
+                return nullptr;
+            return builder_.load(lowerType(unary.type), addr);
+          }
+          case UnaryOp::PreInc:
+          case UnaryOp::PreDec:
+          case UnaryOp::PostInc:
+          case UnaryOp::PostDec: {
+            Value *addr = lowerLValue(*unary.sub);
+            IrType type = lowerType(unary.sub->type);
+            Value *old_value = builder_.load(type, addr);
+            bool increment = unary.op == UnaryOp::PreInc ||
+                             unary.op == UnaryOp::PostInc;
+            Value *new_value = builder_.bin(
+                increment ? BinOp::Add : BinOp::Sub, old_value,
+                builder_.constInt(type, 1));
+            builder_.store(new_value, addr);
+            if (!need_value)
+                return nullptr;
+            bool post = unary.op == UnaryOp::PostInc ||
+                        unary.op == UnaryOp::PostDec;
+            return post ? old_value : new_value;
+          }
+        }
+        return nullptr;
+    }
+
+    Value *
+    lowerBinary(const lang::BinaryExpr &binary, bool need_value)
+    {
+        if (binary.op == BinaryOp::LogicalAnd ||
+            binary.op == BinaryOp::LogicalOr) {
+            return lowerShortCircuit(binary, need_value);
+        }
+
+        Value *lhs = lowerRValue(*binary.lhs);
+        Value *rhs = lowerRValue(*binary.rhs);
+        if (!need_value)
+            return nullptr;
+
+        switch (binary.op) {
+          case BinaryOp::Eq:
+          case BinaryOp::Ne:
+          case BinaryOp::Lt:
+          case BinaryOp::Le:
+          case BinaryOp::Gt:
+          case BinaryOp::Ge: {
+            bool is_signed =
+                lhs->type().isInt() ? lhs->type().isSigned : false;
+            CmpPred pred;
+            switch (binary.op) {
+              case BinaryOp::Eq: pred = CmpPred::Eq; break;
+              case BinaryOp::Ne: pred = CmpPred::Ne; break;
+              case BinaryOp::Lt:
+                pred = is_signed ? CmpPred::Slt : CmpPred::Ult;
+                break;
+              case BinaryOp::Le:
+                pred = is_signed ? CmpPred::Sle : CmpPred::Ule;
+                break;
+              case BinaryOp::Gt:
+                pred = is_signed ? CmpPred::Sgt : CmpPred::Ugt;
+                break;
+              default:
+                pred = is_signed ? CmpPred::Sge : CmpPred::Uge;
+                break;
+            }
+            return builder_.cmp(pred, lhs, rhs);
+          }
+          case BinaryOp::Shl:
+          case BinaryOp::Shr:
+            // Sema promoted both sides independently; Bin needs equal
+            // types, so coerce the amount to the value's type.
+            rhs = convert(rhs, lhs->type());
+            return builder_.bin(binary.op == BinaryOp::Shl ? BinOp::Shl
+                                                           : BinOp::Shr,
+                                lhs, rhs);
+          default: {
+            BinOp op;
+            switch (binary.op) {
+              case BinaryOp::Add: op = BinOp::Add; break;
+              case BinaryOp::Sub: op = BinOp::Sub; break;
+              case BinaryOp::Mul: op = BinOp::Mul; break;
+              case BinaryOp::Div: op = BinOp::Div; break;
+              case BinaryOp::Rem: op = BinOp::Rem; break;
+              case BinaryOp::BitAnd: op = BinOp::And; break;
+              case BinaryOp::BitOr: op = BinOp::Or; break;
+              case BinaryOp::BitXor: op = BinOp::Xor; break;
+              default:
+                assert(false && "unhandled binary op");
+                op = BinOp::Add;
+                break;
+            }
+            return builder_.bin(op, lhs, rhs);
+          }
+        }
+    }
+
+    Value *
+    lowerShortCircuit(const lang::BinaryExpr &binary, bool need_value)
+    {
+        bool is_and = binary.op == BinaryOp::LogicalAnd;
+        BasicBlock *rhs_block = freshBlock(is_and ? "and.rhs" : "or.rhs");
+        BasicBlock *join = freshBlock(is_and ? "and.end" : "or.end");
+
+        Value *lhs = lowerCondition(*binary.lhs);
+        // Normalize lhs to 0/1 so the phi value is correct.
+        Value *lhs_bool = builder_.cmp(
+            CmpPred::Ne, lhs, builder_.constInt(lhs->type(), 0));
+        BasicBlock *lhs_end = builder_.insertionBlock();
+        if (is_and)
+            builder_.condBr(lhs_bool, rhs_block, join);
+        else
+            builder_.condBr(lhs_bool, join, rhs_block);
+
+        moveTo(rhs_block);
+        Value *rhs = lowerCondition(*binary.rhs);
+        Value *rhs_bool = builder_.cmp(
+            CmpPred::Ne, rhs, builder_.constInt(rhs->type(), 0));
+        BasicBlock *rhs_end = builder_.insertionBlock();
+        builder_.br(join);
+
+        moveTo(join);
+        if (!need_value)
+            return nullptr;
+        Instr *phi = builder_.phi(IrType::i32());
+        phi->setId(module_->nextValueId());
+        phi->addIncoming(builder_.constInt(IrType::i32(), is_and ? 0 : 1),
+                         lhs_end);
+        phi->addIncoming(rhs_bool, rhs_end);
+        return phi;
+    }
+
+    Value *
+    lowerAssign(const lang::AssignExpr &assign, bool need_value)
+    {
+        Value *addr = lowerLValue(*assign.lhs);
+        IrType lhs_type = lowerType(assign.lhs->type);
+        Value *result;
+        if (assign.op == AssignOp::Assign) {
+            result = lowerRValue(*assign.rhs);
+        } else {
+            Value *current = builder_.load(lhs_type, addr);
+            Value *rhs = lowerRValue(*assign.rhs);
+            lang::BinaryOp binary_op = lang::assignOpBinary(assign.op);
+            Value *operation_result;
+            if (binary_op == BinaryOp::Shl || binary_op == BinaryOp::Shr) {
+                IrType op_type =
+                    lhs_type.bits < 32 ? IrType::i32() : lhs_type;
+                if (!lhs_type.isSigned && lhs_type.bits >= 32)
+                    op_type = lhs_type;
+                Value *lhs_promoted = convert(current, op_type);
+                Value *amount = convert(rhs, op_type);
+                operation_result = builder_.bin(
+                    binary_op == BinaryOp::Shl ? BinOp::Shl : BinOp::Shr,
+                    lhs_promoted, amount);
+            } else {
+                IrType op_type = usualType(lhs_type, rhs->type());
+                Value *lhs_conv = convert(current, op_type);
+                Value *rhs_conv = convert(rhs, op_type);
+                BinOp op;
+                switch (binary_op) {
+                  case BinaryOp::Add: op = BinOp::Add; break;
+                  case BinaryOp::Sub: op = BinOp::Sub; break;
+                  case BinaryOp::Mul: op = BinOp::Mul; break;
+                  case BinaryOp::Div: op = BinOp::Div; break;
+                  case BinaryOp::Rem: op = BinOp::Rem; break;
+                  case BinaryOp::BitAnd: op = BinOp::And; break;
+                  case BinaryOp::BitOr: op = BinOp::Or; break;
+                  case BinaryOp::BitXor: op = BinOp::Xor; break;
+                  default:
+                    assert(false);
+                    op = BinOp::Add;
+                    break;
+                }
+                operation_result = builder_.bin(op, lhs_conv, rhs_conv);
+            }
+            result = convert(operation_result, lhs_type);
+        }
+        builder_.store(result, addr);
+        return need_value ? result : nullptr;
+    }
+
+    Value *
+    lowerConditional(const lang::ConditionalExpr &cond, bool need_value)
+    {
+        BasicBlock *then_block = freshBlock("cond.then");
+        BasicBlock *else_block = freshBlock("cond.else");
+        BasicBlock *join = freshBlock("cond.end");
+
+        lowerBranch(*cond.cond, then_block, else_block);
+
+        moveTo(then_block);
+        Value *then_value = need_value ? lowerRValue(*cond.thenExpr)
+                                       : (lowerExprForEffect(*cond.thenExpr),
+                                          nullptr);
+        BasicBlock *then_end = builder_.insertionBlock();
+        builder_.br(join);
+
+        moveTo(else_block);
+        Value *else_value = need_value ? lowerRValue(*cond.elseExpr)
+                                       : (lowerExprForEffect(*cond.elseExpr),
+                                          nullptr);
+        BasicBlock *else_end = builder_.insertionBlock();
+        builder_.br(join);
+
+        moveTo(join);
+        if (!need_value)
+            return nullptr;
+        Instr *phi = builder_.phi(then_value->type());
+        phi->setId(module_->nextValueId());
+        phi->addIncoming(then_value, then_end);
+        phi->addIncoming(else_value, else_end);
+        return phi;
+    }
+
+    const lang::TranslationUnit &unit_;
+    std::unique_ptr<Module> module_;
+    IrBuilder builder_;
+    Function *current_ = nullptr;
+    std::unordered_map<const lang::VarDecl *, GlobalVar *> globalMap_;
+    std::unordered_map<std::string, Function *> functionMap_;
+    std::unordered_map<const lang::VarDecl *, Value *> varMap_;
+    std::vector<BasicBlock *> breakTargets_;
+    std::vector<BasicBlock *> continueTargets_;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+lowerToIr(const lang::TranslationUnit &unit)
+{
+    return Lowering(unit).run();
+}
+
+} // namespace dce::ir

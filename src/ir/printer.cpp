@@ -1,0 +1,186 @@
+#include "ir/printer.hpp"
+
+namespace dce::ir {
+
+std::string
+printValueRef(const Value *value)
+{
+    if (!value)
+        return "<null>";
+    switch (value->valueKind()) {
+      case ValueKind::Constant: {
+        const auto *c = static_cast<const Constant *>(value);
+        if (c->type().isPtr())
+            return "null";
+        return std::to_string(c->value()) + ":" + c->type().str();
+      }
+      case ValueKind::Global:
+        return "@" + static_cast<const GlobalVar *>(value)->name();
+      case ValueKind::Param:
+        return "%" + static_cast<const Param *>(value)->name();
+      case ValueKind::Instruction:
+        return "%" + std::to_string(value->id());
+    }
+    return "?";
+}
+
+std::string
+printInstr(const Instr &instr)
+{
+    std::string out;
+    if (!instr.type().isVoid())
+        out += "%" + std::to_string(instr.id()) + " = ";
+
+    switch (instr.opcode()) {
+      case Opcode::Alloca:
+        out += "alloca " + instr.allocatedType.str();
+        if (instr.allocatedCount != 1)
+            out += " x " + std::to_string(instr.allocatedCount);
+        break;
+      case Opcode::Load:
+        out += "load " + instr.type().str() + ", " +
+               printValueRef(instr.operand(0));
+        break;
+      case Opcode::Store:
+        out += "store " + printValueRef(instr.operand(0)) + ", " +
+               printValueRef(instr.operand(1));
+        break;
+      case Opcode::Bin:
+        out += std::string(binOpName(instr.binOp)) + " " +
+               instr.type().str() + " " + printValueRef(instr.operand(0)) +
+               ", " + printValueRef(instr.operand(1));
+        break;
+      case Opcode::Cmp:
+        out += std::string("cmp ") + cmpPredName(instr.cmpPred) + " " +
+               printValueRef(instr.operand(0)) + ", " +
+               printValueRef(instr.operand(1));
+        break;
+      case Opcode::Cast:
+        out += std::string(castOpName(instr.castOp)) + " " +
+               printValueRef(instr.operand(0)) + " to " +
+               instr.type().str();
+        break;
+      case Opcode::Gep:
+        out += "gep " + printValueRef(instr.operand(0)) + ", " +
+               printValueRef(instr.operand(1)) + " (x" +
+               std::to_string(instr.gepElemSize) + ")";
+        break;
+      case Opcode::Select:
+        out += "select " + printValueRef(instr.operand(0)) + ", " +
+               printValueRef(instr.operand(1)) + ", " +
+               printValueRef(instr.operand(2));
+        break;
+      case Opcode::Freeze:
+        out += "freeze " + printValueRef(instr.operand(0));
+        break;
+      case Opcode::Call: {
+        out += "call " + instr.type().str() + " @" +
+               (instr.callee ? instr.callee->name() : "<null>") + "(";
+        for (size_t i = 0; i < instr.numOperands(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += printValueRef(instr.operand(i));
+        }
+        out += ")";
+        break;
+      }
+      case Opcode::Phi: {
+        out += "phi " + instr.type().str() + " ";
+        for (size_t i = 0; i < instr.numOperands(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += "[" + printValueRef(instr.operand(i)) + ", " +
+                   instr.blockOperands()[i]->name() + "]";
+        }
+        break;
+      }
+      case Opcode::Ret:
+        out += "ret";
+        if (instr.numOperands() == 1)
+            out += " " + printValueRef(instr.operand(0));
+        break;
+      case Opcode::Br:
+        out += "br " + instr.blockOperands()[0]->name();
+        break;
+      case Opcode::CondBr:
+        out += "condbr " + printValueRef(instr.operand(0)) + ", " +
+               instr.blockOperands()[0]->name() + ", " +
+               instr.blockOperands()[1]->name();
+        break;
+      case Opcode::Switch: {
+        out += "switch " + printValueRef(instr.operand(0)) +
+               ", default " + instr.blockOperands()[0]->name();
+        for (size_t i = 0; i < instr.caseValues.size(); ++i) {
+            out += ", [" + std::to_string(instr.caseValues[i]) + " -> " +
+                   instr.blockOperands()[i + 1]->name() + "]";
+        }
+        break;
+      }
+      case Opcode::Unreachable:
+        out += "unreachable";
+        break;
+    }
+    return out;
+}
+
+std::string
+printFunction(const Function &fn)
+{
+    std::string out;
+    out += fn.isInternal() ? "internal " : "";
+    out += "func " + fn.returnType().str() + " @" + fn.name() + "(";
+    for (size_t i = 0; i < fn.params().size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += fn.params()[i]->type().str() + " %" +
+               fn.params()[i]->name();
+    }
+    out += ")";
+    if (fn.isDeclaration()) {
+        out += ";\n";
+        return out;
+    }
+    out += " {\n";
+    for (const auto &block : fn.blocks()) {
+        out += block->name() + ":\n";
+        for (const auto &instr : block->instrs()) {
+            out += "  " + printInstr(*instr) + "\n";
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+printModule(const Module &module)
+{
+    std::string out;
+    for (const auto &global : module.globals()) {
+        out += global->isInternal() ? "internal " : "";
+        out += "global @" + global->name() + " : " +
+               global->elementType().str();
+        if (global->isArray())
+            out += " x " + std::to_string(global->count());
+        if (!global->init.empty()) {
+            out += " = {";
+            for (size_t i = 0; i < global->init.size(); ++i) {
+                if (i > 0)
+                    out += ", ";
+                const GlobalInit &init = global->init[i];
+                if (init.isAddress()) {
+                    out += "&" + init.base->name() + "[" +
+                           std::to_string(init.value) + "]";
+                } else {
+                    out += std::to_string(init.value);
+                }
+            }
+            out += "}";
+        }
+        out += "\n";
+    }
+    for (const auto &fn : module.functions())
+        out += printFunction(*fn);
+    return out;
+}
+
+} // namespace dce::ir

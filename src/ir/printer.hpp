@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Textual IR dumping, for tests, debugging, and the Figure-1 pipeline
+ * walkthrough bench.
+ */
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace dce::ir {
+
+std::string printModule(const Module &module);
+std::string printFunction(const Function &fn);
+std::string printInstr(const Instr &instr);
+/** Operand rendering: "%5", "42:i32", "@g", "param a". */
+std::string printValueRef(const Value *value);
+
+} // namespace dce::ir

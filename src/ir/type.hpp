@@ -1,0 +1,77 @@
+/**
+ * @file
+ * IR-level types. The IR is deliberately lower-level than the MiniC
+ * type system: pointers are opaque (element addressing is carried by
+ * the Gep instruction itself, LLVM-16 style), arrays exist only as
+ * memory-object shapes on globals and allocas, and integers carry width
+ * plus signedness (signedness drives the semantics of div/rem/shift/
+ * compare, matching the MiniC "no UB" rules in support/ints.hpp).
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace dce::ir {
+
+enum class IrTypeKind : uint8_t {
+    Void,
+    Int,
+    Ptr,
+};
+
+/** A small value type; compare with ==. */
+struct IrType {
+    IrTypeKind kind = IrTypeKind::Void;
+    uint8_t bits = 0;     ///< integer width; 0 for void/ptr
+    bool isSigned = true; ///< meaningful for Int only
+
+    constexpr bool isVoid() const { return kind == IrTypeKind::Void; }
+    constexpr bool isInt() const { return kind == IrTypeKind::Int; }
+    constexpr bool isPtr() const { return kind == IrTypeKind::Ptr; }
+
+    constexpr bool
+    operator==(const IrType &other) const
+    {
+        if (kind != other.kind)
+            return false;
+        if (kind != IrTypeKind::Int)
+            return true;
+        return bits == other.bits && isSigned == other.isSigned;
+    }
+
+    std::string
+    str() const
+    {
+        switch (kind) {
+          case IrTypeKind::Void:
+            return "void";
+          case IrTypeKind::Ptr:
+            return "ptr";
+          case IrTypeKind::Int:
+            return (isSigned ? "i" : "u") + std::to_string(bits);
+        }
+        return "?";
+    }
+
+    /** Size in bytes when stored in memory. @pre not void. */
+    uint64_t
+    sizeInBytes() const
+    {
+        assert(!isVoid());
+        return isPtr() ? 8 : bits / 8;
+    }
+
+    static constexpr IrType voidTy() { return {IrTypeKind::Void, 0, true}; }
+    static constexpr IrType ptrTy() { return {IrTypeKind::Ptr, 0, true}; }
+    static constexpr IrType
+    intTy(unsigned bits, bool is_signed)
+    {
+        return {IrTypeKind::Int, static_cast<uint8_t>(bits), is_signed};
+    }
+    static constexpr IrType i32() { return intTy(32, true); }
+    static constexpr IrType i64() { return intTy(64, true); }
+};
+
+} // namespace dce::ir

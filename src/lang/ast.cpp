@@ -1,0 +1,367 @@
+#include "lang/ast.hpp"
+
+#include <cassert>
+
+namespace dce::lang {
+
+const char *
+unaryOpSpelling(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::Neg: return "-";
+      case UnaryOp::LogicalNot: return "!";
+      case UnaryOp::BitNot: return "~";
+      case UnaryOp::AddrOf: return "&";
+      case UnaryOp::Deref: return "*";
+      case UnaryOp::PreInc: return "++";
+      case UnaryOp::PreDec: return "--";
+      case UnaryOp::PostInc: return "++";
+      case UnaryOp::PostDec: return "--";
+    }
+    return "?";
+}
+
+const char *
+binaryOpSpelling(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Rem: return "%";
+      case BinaryOp::Shl: return "<<";
+      case BinaryOp::Shr: return ">>";
+      case BinaryOp::Lt: return "<";
+      case BinaryOp::Le: return "<=";
+      case BinaryOp::Gt: return ">";
+      case BinaryOp::Ge: return ">=";
+      case BinaryOp::Eq: return "==";
+      case BinaryOp::Ne: return "!=";
+      case BinaryOp::BitAnd: return "&";
+      case BinaryOp::BitOr: return "|";
+      case BinaryOp::BitXor: return "^";
+      case BinaryOp::LogicalAnd: return "&&";
+      case BinaryOp::LogicalOr: return "||";
+    }
+    return "?";
+}
+
+const char *
+assignOpSpelling(AssignOp op)
+{
+    switch (op) {
+      case AssignOp::Assign: return "=";
+      case AssignOp::Add: return "+=";
+      case AssignOp::Sub: return "-=";
+      case AssignOp::Mul: return "*=";
+      case AssignOp::Div: return "/=";
+      case AssignOp::Rem: return "%=";
+      case AssignOp::Shl: return "<<=";
+      case AssignOp::Shr: return ">>=";
+      case AssignOp::And: return "&=";
+      case AssignOp::Or: return "|=";
+      case AssignOp::Xor: return "^=";
+    }
+    return "?";
+}
+
+BinaryOp
+assignOpBinary(AssignOp op)
+{
+    switch (op) {
+      case AssignOp::Add: return BinaryOp::Add;
+      case AssignOp::Sub: return BinaryOp::Sub;
+      case AssignOp::Mul: return BinaryOp::Mul;
+      case AssignOp::Div: return BinaryOp::Div;
+      case AssignOp::Rem: return BinaryOp::Rem;
+      case AssignOp::Shl: return BinaryOp::Shl;
+      case AssignOp::Shr: return BinaryOp::Shr;
+      case AssignOp::And: return BinaryOp::BitAnd;
+      case AssignOp::Or: return BinaryOp::BitOr;
+      case AssignOp::Xor: return BinaryOp::BitXor;
+      case AssignOp::Assign:
+        break;
+    }
+    assert(false && "plain assignment has no binary op");
+    return BinaryOp::Add;
+}
+
+namespace {
+
+/** Copy the source-location and sema annotations shared by all exprs. */
+ExprPtr
+withExprCommon(const Expr &from, ExprPtr to)
+{
+    to->loc = from.loc;
+    to->type = from.type;
+    to->lvalue = from.lvalue;
+    return to;
+}
+
+ExprPtr
+cloneOrNull(const ExprPtr &expr)
+{
+    return expr ? expr->clone() : nullptr;
+}
+
+StmtPtr
+cloneOrNull(const StmtPtr &stmt)
+{
+    return stmt ? stmt->clone() : nullptr;
+}
+
+} // namespace
+
+ExprPtr
+IntLit::clone() const
+{
+    return withExprCommon(*this, std::make_unique<IntLit>(value));
+}
+
+ExprPtr
+VarRef::clone() const
+{
+    // decl deliberately not copied: clones must be re-sema'd.
+    return withExprCommon(*this, std::make_unique<VarRef>(name));
+}
+
+ExprPtr
+UnaryExpr::clone() const
+{
+    return withExprCommon(*this,
+                          std::make_unique<UnaryExpr>(op, sub->clone()));
+}
+
+ExprPtr
+BinaryExpr::clone() const
+{
+    return withExprCommon(
+        *this, std::make_unique<BinaryExpr>(op, lhs->clone(), rhs->clone()));
+}
+
+ExprPtr
+AssignExpr::clone() const
+{
+    return withExprCommon(
+        *this, std::make_unique<AssignExpr>(op, lhs->clone(), rhs->clone()));
+}
+
+ExprPtr
+IndexExpr::clone() const
+{
+    return withExprCommon(
+        *this, std::make_unique<IndexExpr>(base->clone(), index->clone()));
+}
+
+ExprPtr
+CallExpr::clone() const
+{
+    std::vector<ExprPtr> cloned_args;
+    cloned_args.reserve(args.size());
+    for (const ExprPtr &arg : args)
+        cloned_args.push_back(arg->clone());
+    return withExprCommon(
+        *this, std::make_unique<CallExpr>(callee, std::move(cloned_args)));
+}
+
+ExprPtr
+ConditionalExpr::clone() const
+{
+    return withExprCommon(
+        *this, std::make_unique<ConditionalExpr>(
+                   cond->clone(), thenExpr->clone(), elseExpr->clone()));
+}
+
+ExprPtr
+CastExpr::clone() const
+{
+    return withExprCommon(
+        *this, std::make_unique<CastExpr>(target, sub->clone(), implicit));
+}
+
+std::unique_ptr<VarDecl>
+VarDecl::clone() const
+{
+    auto copy = std::make_unique<VarDecl>(name, type, storage);
+    copy->init = cloneOrNull(init);
+    copy->initList.reserve(initList.size());
+    for (const ExprPtr &element : initList)
+        copy->initList.push_back(element->clone());
+    copy->loc = loc;
+    return copy;
+}
+
+std::unique_ptr<FunctionDecl>
+FunctionDecl::clone() const
+{
+    auto copy = std::make_unique<FunctionDecl>(name, returnType);
+    copy->params.reserve(params.size());
+    for (const auto &param : params)
+        copy->params.push_back(param->clone());
+    if (body)
+        copy->body = body->cloneBlock();
+    copy->isStatic = isStatic;
+    copy->loc = loc;
+    return copy;
+}
+
+std::unique_ptr<BlockStmt>
+BlockStmt::cloneBlock() const
+{
+    auto copy = std::make_unique<BlockStmt>();
+    copy->loc = loc;
+    copy->stmts.reserve(stmts.size());
+    for (const StmtPtr &stmt : stmts)
+        copy->stmts.push_back(stmt->clone());
+    return copy;
+}
+
+StmtPtr
+BlockStmt::clone() const
+{
+    return cloneBlock();
+}
+
+StmtPtr
+ExprStmt::clone() const
+{
+    auto copy = std::make_unique<ExprStmt>(expr->clone());
+    copy->loc = loc;
+    return copy;
+}
+
+StmtPtr
+DeclStmt::clone() const
+{
+    auto copy = std::make_unique<DeclStmt>(decl->clone());
+    copy->loc = loc;
+    return copy;
+}
+
+StmtPtr
+IfStmt::clone() const
+{
+    auto copy = std::make_unique<IfStmt>(cond->clone(), thenStmt->clone(),
+                                         cloneOrNull(elseStmt));
+    copy->loc = loc;
+    return copy;
+}
+
+StmtPtr
+WhileStmt::clone() const
+{
+    auto copy = std::make_unique<WhileStmt>(cond->clone(), body->clone());
+    copy->loc = loc;
+    return copy;
+}
+
+StmtPtr
+DoWhileStmt::clone() const
+{
+    auto copy = std::make_unique<DoWhileStmt>(body->clone(), cond->clone());
+    copy->loc = loc;
+    return copy;
+}
+
+StmtPtr
+ForStmt::clone() const
+{
+    auto copy = std::make_unique<ForStmt>();
+    copy->init = cloneOrNull(init);
+    copy->cond = cloneOrNull(cond);
+    copy->step = cloneOrNull(step);
+    copy->body = body->clone();
+    copy->loc = loc;
+    return copy;
+}
+
+SwitchCase
+SwitchCase::clone() const
+{
+    SwitchCase copy;
+    copy.value = value;
+    copy.body = body->cloneBlock();
+    copy.loc = loc;
+    return copy;
+}
+
+StmtPtr
+SwitchStmt::clone() const
+{
+    auto copy = std::make_unique<SwitchStmt>(cond->clone());
+    copy->cases.reserve(cases.size());
+    for (const SwitchCase &arm : cases)
+        copy->cases.push_back(arm.clone());
+    copy->loc = loc;
+    return copy;
+}
+
+StmtPtr
+ReturnStmt::clone() const
+{
+    auto copy = std::make_unique<ReturnStmt>(cloneOrNull(value));
+    copy->loc = loc;
+    return copy;
+}
+
+StmtPtr
+BreakStmt::clone() const
+{
+    auto copy = std::make_unique<BreakStmt>();
+    copy->loc = loc;
+    return copy;
+}
+
+StmtPtr
+ContinueStmt::clone() const
+{
+    auto copy = std::make_unique<ContinueStmt>();
+    copy->loc = loc;
+    return copy;
+}
+
+StmtPtr
+EmptyStmt::clone() const
+{
+    auto copy = std::make_unique<EmptyStmt>();
+    copy->loc = loc;
+    return copy;
+}
+
+FunctionDecl *
+TranslationUnit::findFunction(const std::string &name) const
+{
+    for (const auto &fn : functions) {
+        if (fn->name == name)
+            return fn.get();
+    }
+    return nullptr;
+}
+
+VarDecl *
+TranslationUnit::findGlobal(const std::string &name) const
+{
+    for (const auto &global : globals) {
+        if (global->name == name)
+            return global.get();
+    }
+    return nullptr;
+}
+
+std::unique_ptr<TranslationUnit>
+TranslationUnit::clone() const
+{
+    auto copy = std::make_unique<TranslationUnit>();
+    copy->types = types;
+    copy->globals.reserve(globals.size());
+    for (const auto &global : globals)
+        copy->globals.push_back(global->clone());
+    copy->functions.reserve(functions.size());
+    for (const auto &fn : functions)
+        copy->functions.push_back(fn->clone());
+    copy->declOrder = declOrder;
+    return copy;
+}
+
+} // namespace dce::lang

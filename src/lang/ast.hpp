@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Abstract syntax tree for MiniC. The AST is the exchange format
+ * between the parser, the semantic analyzer (which annotates types and
+ * resolves declarations), the marker instrumenter (which inserts
+ * DCEMarker calls), the reducer (which deletes/simplifies subtrees), the
+ * pretty-printer, and the AST-to-IR lowering.
+ *
+ * Nodes own their children via unique_ptr. Every node supports deep
+ * clone(); cross-references (VarRef::decl, CallExpr::decl) are raw
+ * non-owning pointers installed by sema and must be re-resolved after a
+ * clone by re-running sema.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/type.hpp"
+#include "support/source_location.hpp"
+
+namespace dce::lang {
+
+class Expr;
+class Stmt;
+class VarDecl;
+class FunctionDecl;
+
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+//===------------------------------------------------------------------===//
+// Operators
+//===------------------------------------------------------------------===//
+
+enum class UnaryOp {
+    Neg,        ///< -x
+    LogicalNot, ///< !x
+    BitNot,     ///< ~x
+    AddrOf,     ///< &x
+    Deref,      ///< *p
+    PreInc,     ///< ++x
+    PreDec,     ///< --x
+    PostInc,    ///< x++
+    PostDec,    ///< x--
+};
+
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Rem,
+    Shl, Shr,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    BitAnd, BitOr, BitXor,
+    LogicalAnd, LogicalOr,
+};
+
+/** Compound assignment operators; Assign is plain '='. */
+enum class AssignOp {
+    Assign,
+    Add, Sub, Mul, Div, Rem,
+    Shl, Shr,
+    And, Or, Xor,
+};
+
+const char *unaryOpSpelling(UnaryOp op);
+const char *binaryOpSpelling(BinaryOp op);
+const char *assignOpSpelling(AssignOp op);
+
+/** The BinaryOp a compound AssignOp applies, e.g. Add for '+='.
+ * @pre op != AssignOp::Assign. */
+BinaryOp assignOpBinary(AssignOp op);
+
+//===------------------------------------------------------------------===//
+// Expressions
+//===------------------------------------------------------------------===//
+
+enum class ExprKind {
+    IntLit,
+    VarRef,
+    Unary,
+    Binary,
+    Assign,
+    Index,
+    Call,
+    Conditional,
+    Cast,
+};
+
+/**
+ * Base class of all MiniC expressions. After sema, type() is non-null
+ * and isLValue() tells whether the expression designates storage.
+ */
+class Expr {
+  public:
+    virtual ~Expr() = default;
+
+    ExprKind kind() const { return kind_; }
+    SourceLoc loc;
+
+    /** Result type; installed by sema, null before. */
+    const Type *type = nullptr;
+    /** True if the expression designates storage; installed by sema. */
+    bool lvalue = false;
+
+    virtual ExprPtr clone() const = 0;
+
+  protected:
+    explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  private:
+    ExprKind kind_;
+};
+
+/** Integer literal. The value is stored unsigned-extended; sema picks
+ * the literal's type (int, or long if it does not fit). */
+class IntLit : public Expr {
+  public:
+    explicit IntLit(uint64_t value) : Expr(ExprKind::IntLit), value(value) {}
+
+    uint64_t value;
+
+    ExprPtr clone() const override;
+};
+
+/** Reference to a named variable (global, local, or parameter). */
+class VarRef : public Expr {
+  public:
+    explicit VarRef(std::string name)
+        : Expr(ExprKind::VarRef), name(std::move(name))
+    {
+    }
+
+    std::string name;
+    /** Resolved declaration; installed by sema. */
+    VarDecl *decl = nullptr;
+
+    ExprPtr clone() const override;
+};
+
+/** Unary operator application. */
+class UnaryExpr : public Expr {
+  public:
+    UnaryExpr(UnaryOp op, ExprPtr sub)
+        : Expr(ExprKind::Unary), op(op), sub(std::move(sub))
+    {
+    }
+
+    UnaryOp op;
+    ExprPtr sub;
+
+    ExprPtr clone() const override;
+};
+
+/** Binary operator application (no assignment; see AssignExpr). */
+class BinaryExpr : public Expr {
+  public:
+    BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+        : Expr(ExprKind::Binary), op(op), lhs(std::move(lhs)),
+          rhs(std::move(rhs))
+    {
+    }
+
+    BinaryOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+
+    ExprPtr clone() const override;
+};
+
+/** Plain or compound assignment; lhs must be an lvalue. */
+class AssignExpr : public Expr {
+  public:
+    AssignExpr(AssignOp op, ExprPtr lhs, ExprPtr rhs)
+        : Expr(ExprKind::Assign), op(op), lhs(std::move(lhs)),
+          rhs(std::move(rhs))
+    {
+    }
+
+    AssignOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+
+    ExprPtr clone() const override;
+};
+
+/** Array subscript base[index]; base is an array lvalue or a pointer. */
+class IndexExpr : public Expr {
+  public:
+    IndexExpr(ExprPtr base, ExprPtr index)
+        : Expr(ExprKind::Index), base(std::move(base)),
+          index(std::move(index))
+    {
+    }
+
+    ExprPtr base;
+    ExprPtr index;
+
+    ExprPtr clone() const override;
+};
+
+/** Direct call to a named function. MiniC has no function pointers. */
+class CallExpr : public Expr {
+  public:
+    CallExpr(std::string callee, std::vector<ExprPtr> args)
+        : Expr(ExprKind::Call), callee(std::move(callee)),
+          args(std::move(args))
+    {
+    }
+
+    std::string callee;
+    std::vector<ExprPtr> args;
+    /** Resolved declaration; installed by sema. */
+    FunctionDecl *decl = nullptr;
+
+    ExprPtr clone() const override;
+};
+
+/** Ternary conditional cond ? thenExpr : elseExpr. */
+class ConditionalExpr : public Expr {
+  public:
+    ConditionalExpr(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr)
+        : Expr(ExprKind::Conditional), cond(std::move(cond)),
+          thenExpr(std::move(then_expr)), elseExpr(std::move(else_expr))
+    {
+    }
+
+    ExprPtr cond;
+    ExprPtr thenExpr;
+    ExprPtr elseExpr;
+
+    ExprPtr clone() const override;
+};
+
+/** Explicit cast "(T)e", or an implicit conversion inserted by sema. */
+class CastExpr : public Expr {
+  public:
+    CastExpr(const Type *target, ExprPtr sub, bool implicit)
+        : Expr(ExprKind::Cast), target(target), sub(std::move(sub)),
+          implicit(implicit)
+    {
+    }
+
+    const Type *target;
+    ExprPtr sub;
+    /** Implicit casts are not printed by the pretty-printer. */
+    bool implicit;
+
+    ExprPtr clone() const override;
+};
+
+//===------------------------------------------------------------------===//
+// Declarations
+//===------------------------------------------------------------------===//
+
+/** Where a variable lives. */
+enum class Storage {
+    Global,       ///< file-scope, external linkage
+    StaticGlobal, ///< file-scope, internal linkage
+    Local,        ///< function-local
+    Param,        ///< function parameter
+};
+
+/** A variable declaration (file-scope, local, or parameter). */
+class VarDecl {
+  public:
+    VarDecl(std::string name, const Type *type, Storage storage)
+        : name(std::move(name)), type(type), storage(storage)
+    {
+    }
+
+    std::string name;
+    const Type *type;
+    Storage storage;
+    /** Optional initializer. For globals it must be a constant
+     * expression (sema checks). Arrays use initList instead. */
+    ExprPtr init;
+    /** Array initializer elements, e.g. {0, 0}; empty = zero-init. */
+    std::vector<ExprPtr> initList;
+    SourceLoc loc;
+
+    bool isFileScope() const
+    {
+        return storage == Storage::Global || storage == Storage::StaticGlobal;
+    }
+
+    std::unique_ptr<VarDecl> clone() const;
+};
+
+class BlockStmt;
+
+/** A function declaration, with or without a body. Body-less functions
+ * are opaque externals — exactly what optimization markers are. */
+class FunctionDecl {
+  public:
+    FunctionDecl(std::string name, const Type *return_type)
+        : name(std::move(name)), returnType(return_type)
+    {
+    }
+
+    std::string name;
+    const Type *returnType;
+    std::vector<std::unique_ptr<VarDecl>> params;
+    /** Null for extern declarations. */
+    std::unique_ptr<BlockStmt> body;
+    bool isStatic = false;
+    SourceLoc loc;
+
+    bool isDefinition() const { return body != nullptr; }
+
+    std::unique_ptr<FunctionDecl> clone() const;
+};
+
+//===------------------------------------------------------------------===//
+// Statements
+//===------------------------------------------------------------------===//
+
+enum class StmtKind {
+    Block,
+    ExprStmt,
+    DeclStmt,
+    If,
+    While,
+    DoWhile,
+    For,
+    Switch,
+    Return,
+    Break,
+    Continue,
+    Empty,
+};
+
+/** Base class of all MiniC statements. */
+class Stmt {
+  public:
+    virtual ~Stmt() = default;
+
+    StmtKind kind() const { return kind_; }
+    SourceLoc loc;
+
+    virtual StmtPtr clone() const = 0;
+
+  protected:
+    explicit Stmt(StmtKind kind) : kind_(kind) {}
+
+  private:
+    StmtKind kind_;
+};
+
+/** { stmt... } */
+class BlockStmt : public Stmt {
+  public:
+    BlockStmt() : Stmt(StmtKind::Block) {}
+
+    std::vector<StmtPtr> stmts;
+
+    StmtPtr clone() const override;
+    /** Typed clone for contexts that require a block (function bodies). */
+    std::unique_ptr<BlockStmt> cloneBlock() const;
+};
+
+/** An expression evaluated for its effects. */
+class ExprStmt : public Stmt {
+  public:
+    explicit ExprStmt(ExprPtr expr)
+        : Stmt(StmtKind::ExprStmt), expr(std::move(expr))
+    {
+    }
+
+    ExprPtr expr;
+
+    StmtPtr clone() const override;
+};
+
+/** A local variable declaration in statement position. */
+class DeclStmt : public Stmt {
+  public:
+    explicit DeclStmt(std::unique_ptr<VarDecl> decl)
+        : Stmt(StmtKind::DeclStmt), decl(std::move(decl))
+    {
+    }
+
+    std::unique_ptr<VarDecl> decl;
+
+    StmtPtr clone() const override;
+};
+
+class IfStmt : public Stmt {
+  public:
+    IfStmt(ExprPtr cond, StmtPtr then_stmt, StmtPtr else_stmt)
+        : Stmt(StmtKind::If), cond(std::move(cond)),
+          thenStmt(std::move(then_stmt)), elseStmt(std::move(else_stmt))
+    {
+    }
+
+    ExprPtr cond;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt; ///< may be null
+
+    StmtPtr clone() const override;
+};
+
+class WhileStmt : public Stmt {
+  public:
+    WhileStmt(ExprPtr cond, StmtPtr body)
+        : Stmt(StmtKind::While), cond(std::move(cond)), body(std::move(body))
+    {
+    }
+
+    ExprPtr cond;
+    StmtPtr body;
+
+    StmtPtr clone() const override;
+};
+
+class DoWhileStmt : public Stmt {
+  public:
+    DoWhileStmt(StmtPtr body, ExprPtr cond)
+        : Stmt(StmtKind::DoWhile), body(std::move(body)),
+          cond(std::move(cond))
+    {
+    }
+
+    StmtPtr body;
+    ExprPtr cond;
+
+    StmtPtr clone() const override;
+};
+
+class ForStmt : public Stmt {
+  public:
+    ForStmt() : Stmt(StmtKind::For) {}
+
+    StmtPtr init;  ///< DeclStmt, ExprStmt, or null
+    ExprPtr cond;  ///< may be null (infinite)
+    ExprPtr step;  ///< may be null
+    StmtPtr body;
+
+    StmtPtr clone() const override;
+};
+
+/** One arm of a switch. value == nullopt means "default:". MiniC
+ * switch arms do not fall through (sema requires a trailing break,
+ * which the printer emits and the parser consumes). */
+struct SwitchCase {
+    std::optional<int64_t> value;
+    std::unique_ptr<BlockStmt> body;
+    SourceLoc loc;
+
+    SwitchCase clone() const;
+};
+
+class SwitchStmt : public Stmt {
+  public:
+    explicit SwitchStmt(ExprPtr cond)
+        : Stmt(StmtKind::Switch), cond(std::move(cond))
+    {
+    }
+
+    ExprPtr cond;
+    std::vector<SwitchCase> cases;
+
+    StmtPtr clone() const override;
+};
+
+class ReturnStmt : public Stmt {
+  public:
+    explicit ReturnStmt(ExprPtr value)
+        : Stmt(StmtKind::Return), value(std::move(value))
+    {
+    }
+
+    ExprPtr value; ///< null for "return;"
+
+    StmtPtr clone() const override;
+};
+
+class BreakStmt : public Stmt {
+  public:
+    BreakStmt() : Stmt(StmtKind::Break) {}
+    StmtPtr clone() const override;
+};
+
+class ContinueStmt : public Stmt {
+  public:
+    ContinueStmt() : Stmt(StmtKind::Continue) {}
+    StmtPtr clone() const override;
+};
+
+class EmptyStmt : public Stmt {
+  public:
+    EmptyStmt() : Stmt(StmtKind::Empty) {}
+    StmtPtr clone() const override;
+};
+
+//===------------------------------------------------------------------===//
+// Translation unit
+//===------------------------------------------------------------------===//
+
+/**
+ * A whole MiniC source file: an ordered list of file-scope variable and
+ * function declarations. Owns the TypeContext so a TranslationUnit is
+ * fully self-contained.
+ */
+class TranslationUnit {
+  public:
+    TranslationUnit() : types(std::make_shared<TypeContext>()) {}
+
+    /** Shared so clones reference the same interned types. */
+    std::shared_ptr<TypeContext> types;
+    std::vector<std::unique_ptr<VarDecl>> globals;
+    std::vector<std::unique_ptr<FunctionDecl>> functions;
+    /** Interleaving order for printing: pairs of (isFunction, index). */
+    std::vector<std::pair<bool, size_t>> declOrder;
+
+    void
+    addGlobal(std::unique_ptr<VarDecl> decl)
+    {
+        declOrder.emplace_back(false, globals.size());
+        globals.push_back(std::move(decl));
+    }
+
+    void
+    addFunction(std::unique_ptr<FunctionDecl> decl)
+    {
+        declOrder.emplace_back(true, functions.size());
+        functions.push_back(std::move(decl));
+    }
+
+    FunctionDecl *findFunction(const std::string &name) const;
+    VarDecl *findGlobal(const std::string &name) const;
+
+    std::unique_ptr<TranslationUnit> clone() const;
+};
+
+} // namespace dce::lang

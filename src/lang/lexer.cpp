@@ -1,0 +1,336 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace dce::lang {
+
+const char *
+tokKindName(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::Eof: return "end of file";
+      case TokKind::Identifier: return "identifier";
+      case TokKind::IntLiteral: return "integer literal";
+      case TokKind::KwVoid: return "'void'";
+      case TokKind::KwChar: return "'char'";
+      case TokKind::KwShort: return "'short'";
+      case TokKind::KwInt: return "'int'";
+      case TokKind::KwLong: return "'long'";
+      case TokKind::KwUnsigned: return "'unsigned'";
+      case TokKind::KwSigned: return "'signed'";
+      case TokKind::KwStatic: return "'static'";
+      case TokKind::KwExtern: return "'extern'";
+      case TokKind::KwIf: return "'if'";
+      case TokKind::KwElse: return "'else'";
+      case TokKind::KwWhile: return "'while'";
+      case TokKind::KwDo: return "'do'";
+      case TokKind::KwFor: return "'for'";
+      case TokKind::KwSwitch: return "'switch'";
+      case TokKind::KwCase: return "'case'";
+      case TokKind::KwDefault: return "'default'";
+      case TokKind::KwBreak: return "'break'";
+      case TokKind::KwContinue: return "'continue'";
+      case TokKind::KwReturn: return "'return'";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::LBrace: return "'{'";
+      case TokKind::RBrace: return "'}'";
+      case TokKind::LBracket: return "'['";
+      case TokKind::RBracket: return "']'";
+      case TokKind::Semicolon: return "';'";
+      case TokKind::Comma: return "','";
+      case TokKind::Colon: return "':'";
+      case TokKind::Question: return "'?'";
+      case TokKind::Plus: return "'+'";
+      case TokKind::Minus: return "'-'";
+      case TokKind::Star: return "'*'";
+      case TokKind::Slash: return "'/'";
+      case TokKind::Percent: return "'%'";
+      case TokKind::Amp: return "'&'";
+      case TokKind::Pipe: return "'|'";
+      case TokKind::Caret: return "'^'";
+      case TokKind::Tilde: return "'~'";
+      case TokKind::Bang: return "'!'";
+      case TokKind::Assign: return "'='";
+      case TokKind::PlusAssign: return "'+='";
+      case TokKind::MinusAssign: return "'-='";
+      case TokKind::StarAssign: return "'*='";
+      case TokKind::SlashAssign: return "'/='";
+      case TokKind::PercentAssign: return "'%='";
+      case TokKind::AmpAssign: return "'&='";
+      case TokKind::PipeAssign: return "'|='";
+      case TokKind::CaretAssign: return "'^='";
+      case TokKind::ShlAssign: return "'<<='";
+      case TokKind::ShrAssign: return "'>>='";
+      case TokKind::PlusPlus: return "'++'";
+      case TokKind::MinusMinus: return "'--'";
+      case TokKind::Shl: return "'<<'";
+      case TokKind::Shr: return "'>>'";
+      case TokKind::Lt: return "'<'";
+      case TokKind::Gt: return "'>'";
+      case TokKind::Le: return "'<='";
+      case TokKind::Ge: return "'>='";
+      case TokKind::EqEq: return "'=='";
+      case TokKind::NotEq: return "'!='";
+      case TokKind::AmpAmp: return "'&&'";
+      case TokKind::PipePipe: return "'||'";
+    }
+    return "<bad token>";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind> kKeywords = {
+    {"void", TokKind::KwVoid},       {"char", TokKind::KwChar},
+    {"short", TokKind::KwShort},     {"int", TokKind::KwInt},
+    {"long", TokKind::KwLong},       {"unsigned", TokKind::KwUnsigned},
+    {"signed", TokKind::KwSigned},   {"static", TokKind::KwStatic},
+    {"extern", TokKind::KwExtern},   {"if", TokKind::KwIf},
+    {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+    {"do", TokKind::KwDo},           {"for", TokKind::KwFor},
+    {"switch", TokKind::KwSwitch},   {"case", TokKind::KwCase},
+    {"default", TokKind::KwDefault}, {"break", TokKind::KwBreak},
+    {"continue", TokKind::KwContinue}, {"return", TokKind::KwReturn},
+};
+
+} // namespace
+
+Lexer::Lexer(std::string_view source, DiagnosticEngine &diags)
+    : source_(source), diags_(diags)
+{
+}
+
+char
+Lexer::peek(size_t ahead) const
+{
+    if (pos_ + ahead >= source_.size())
+        return '\0';
+    return source_[pos_ + ahead];
+}
+
+char
+Lexer::advance()
+{
+    char c = source_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char expected)
+{
+    if (peek() != expected)
+        return false;
+    advance();
+    return true;
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    for (;;) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (peek() != '\n' && peek() != '\0')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (!(peek() == '*' && peek(1) == '/')) {
+                if (peek() == '\0') {
+                    diags_.error(here(), "unterminated block comment");
+                    return;
+                }
+                advance();
+            }
+            advance();
+            advance();
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::makeToken(TokKind kind, SourceLoc loc) const
+{
+    Token tok;
+    tok.kind = kind;
+    tok.loc = loc;
+    return tok;
+}
+
+Token
+Lexer::lexIdentifierOrKeyword()
+{
+    SourceLoc loc = here();
+    size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        advance();
+    std::string_view text = source_.substr(start, pos_ - start);
+    auto it = kKeywords.find(text);
+    if (it != kKeywords.end())
+        return makeToken(it->second, loc);
+    Token tok = makeToken(TokKind::Identifier, loc);
+    tok.text = std::string(text);
+    return tok;
+}
+
+Token
+Lexer::lexNumber()
+{
+    SourceLoc loc = here();
+    uint64_t value = 0;
+    bool overflow = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+            char c = advance();
+            uint64_t digit = std::isdigit(static_cast<unsigned char>(c))
+                                 ? static_cast<uint64_t>(c - '0')
+                                 : static_cast<uint64_t>(
+                                       std::tolower(c) - 'a' + 10);
+            if (value > (UINT64_MAX - digit) / 16)
+                overflow = true;
+            value = value * 16 + digit;
+        }
+    } else {
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            uint64_t digit = static_cast<uint64_t>(advance() - '0');
+            if (value > (UINT64_MAX - digit) / 10)
+                overflow = true;
+            value = value * 10 + digit;
+        }
+    }
+    // C-style suffixes are accepted and ignored; MiniC literal types are
+    // inferred from the value in sema.
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+        advance();
+    if (overflow)
+        diags_.error(loc, "integer literal too large");
+    Token tok = makeToken(TokKind::IntLiteral, loc);
+    tok.intValue = value;
+    return tok;
+}
+
+Token
+Lexer::lexToken()
+{
+    skipWhitespaceAndComments();
+    SourceLoc loc = here();
+    char c = peek();
+    if (c == '\0')
+        return makeToken(TokKind::Eof, loc);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+        return lexIdentifierOrKeyword();
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return lexNumber();
+
+    advance();
+    switch (c) {
+      case '(': return makeToken(TokKind::LParen, loc);
+      case ')': return makeToken(TokKind::RParen, loc);
+      case '{': return makeToken(TokKind::LBrace, loc);
+      case '}': return makeToken(TokKind::RBrace, loc);
+      case '[': return makeToken(TokKind::LBracket, loc);
+      case ']': return makeToken(TokKind::RBracket, loc);
+      case ';': return makeToken(TokKind::Semicolon, loc);
+      case ',': return makeToken(TokKind::Comma, loc);
+      case ':': return makeToken(TokKind::Colon, loc);
+      case '?': return makeToken(TokKind::Question, loc);
+      case '~': return makeToken(TokKind::Tilde, loc);
+      case '+':
+        if (match('+'))
+            return makeToken(TokKind::PlusPlus, loc);
+        if (match('='))
+            return makeToken(TokKind::PlusAssign, loc);
+        return makeToken(TokKind::Plus, loc);
+      case '-':
+        if (match('-'))
+            return makeToken(TokKind::MinusMinus, loc);
+        if (match('='))
+            return makeToken(TokKind::MinusAssign, loc);
+        return makeToken(TokKind::Minus, loc);
+      case '*':
+        if (match('='))
+            return makeToken(TokKind::StarAssign, loc);
+        return makeToken(TokKind::Star, loc);
+      case '/':
+        if (match('='))
+            return makeToken(TokKind::SlashAssign, loc);
+        return makeToken(TokKind::Slash, loc);
+      case '%':
+        if (match('='))
+            return makeToken(TokKind::PercentAssign, loc);
+        return makeToken(TokKind::Percent, loc);
+      case '&':
+        if (match('&'))
+            return makeToken(TokKind::AmpAmp, loc);
+        if (match('='))
+            return makeToken(TokKind::AmpAssign, loc);
+        return makeToken(TokKind::Amp, loc);
+      case '|':
+        if (match('|'))
+            return makeToken(TokKind::PipePipe, loc);
+        if (match('='))
+            return makeToken(TokKind::PipeAssign, loc);
+        return makeToken(TokKind::Pipe, loc);
+      case '^':
+        if (match('='))
+            return makeToken(TokKind::CaretAssign, loc);
+        return makeToken(TokKind::Caret, loc);
+      case '!':
+        if (match('='))
+            return makeToken(TokKind::NotEq, loc);
+        return makeToken(TokKind::Bang, loc);
+      case '=':
+        if (match('='))
+            return makeToken(TokKind::EqEq, loc);
+        return makeToken(TokKind::Assign, loc);
+      case '<':
+        if (match('<')) {
+            if (match('='))
+                return makeToken(TokKind::ShlAssign, loc);
+            return makeToken(TokKind::Shl, loc);
+        }
+        if (match('='))
+            return makeToken(TokKind::Le, loc);
+        return makeToken(TokKind::Lt, loc);
+      case '>':
+        if (match('>')) {
+            if (match('='))
+                return makeToken(TokKind::ShrAssign, loc);
+            return makeToken(TokKind::Shr, loc);
+        }
+        if (match('='))
+            return makeToken(TokKind::Ge, loc);
+        return makeToken(TokKind::Gt, loc);
+      default:
+        diags_.error(loc,
+                     std::string("unexpected character '") + c + "'");
+        return lexToken();
+    }
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> tokens;
+    for (;;) {
+        tokens.push_back(lexToken());
+        if (tokens.back().is(TokKind::Eof))
+            break;
+    }
+    return tokens;
+}
+
+} // namespace dce::lang

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hand-written lexer for MiniC. Produces the full token stream up
+ * front; MiniC sources are small enough that there is no benefit to
+ * on-demand lexing, and an eager stream makes parser lookahead trivial.
+ */
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dce::lang {
+
+/** Tokenizes one MiniC source buffer. */
+class Lexer {
+  public:
+    Lexer(std::string_view source, DiagnosticEngine &diags);
+
+    /**
+     * Lex the entire buffer.
+     * @return all tokens, terminated by an Eof token. On a lexical
+     * error, a diagnostic is emitted and the offending character is
+     * skipped, so the stream is always well-formed.
+     */
+    std::vector<Token> lexAll();
+
+  private:
+    char peek(size_t ahead = 0) const;
+    char advance();
+    bool match(char expected);
+    SourceLoc here() const { return {line_, column_}; }
+
+    Token lexToken();
+    Token lexIdentifierOrKeyword();
+    Token lexNumber();
+    Token makeToken(TokKind kind, SourceLoc loc) const;
+    void skipWhitespaceAndComments();
+
+    std::string_view source_;
+    DiagnosticEngine &diags_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t column_ = 1;
+};
+
+} // namespace dce::lang

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC. Produces an un-annotated AST;
+ * run Sema afterwards to resolve names and install types.
+ */
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dce::lang {
+
+/**
+ * Parses one MiniC source buffer into a TranslationUnit.
+ *
+ * On a syntax error a diagnostic is emitted and parsing of the current
+ * top-level declaration is abandoned; the returned unit contains
+ * everything successfully parsed before the error. Callers should treat
+ * the unit as unusable when diags.hasErrors().
+ */
+class Parser {
+  public:
+    Parser(std::string_view source, DiagnosticEngine &diags);
+
+    std::unique_ptr<TranslationUnit> parseTranslationUnit();
+
+  private:
+    struct ParseError {};
+
+    const Token &peek(size_t ahead = 0) const;
+    const Token &current() const { return peek(0); }
+    Token consume();
+    bool check(TokKind kind) const { return current().is(kind); }
+    bool accept(TokKind kind);
+    Token expect(TokKind kind, const char *context);
+    [[noreturn]] void fail(const char *message);
+
+    // Types.
+    bool startsType() const;
+    const Type *parseTypeSpecifier(bool allow_void);
+    const Type *parsePointerSuffix(const Type *base);
+
+    // Declarations.
+    void parseTopLevel(TranslationUnit &unit);
+    std::unique_ptr<FunctionDecl> parseFunctionRest(const Type *ret_type,
+                                                    std::string name,
+                                                    bool is_static,
+                                                    SourceLoc loc);
+    std::unique_ptr<VarDecl> parseVarRest(const Type *decl_type,
+                                          std::string name, Storage storage,
+                                          SourceLoc loc);
+
+    // Statements.
+    StmtPtr parseStmt();
+    std::unique_ptr<BlockStmt> parseBlock();
+    StmtPtr parseIf();
+    StmtPtr parseWhile();
+    StmtPtr parseDoWhile();
+    StmtPtr parseFor();
+    StmtPtr parseSwitch();
+    StmtPtr parseReturn();
+    void parseLocalDecls(std::vector<StmtPtr> &out);
+
+    // Expressions (precedence climbing).
+    ExprPtr parseExpr();
+    ExprPtr parseAssignment();
+    ExprPtr parseConditional();
+    ExprPtr parseBinary(int min_precedence);
+    ExprPtr parseUnary();
+    ExprPtr parsePostfix();
+    ExprPtr parsePrimary();
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    DiagnosticEngine &diags_;
+    std::shared_ptr<TypeContext> types_;
+};
+
+/**
+ * Convenience: lex + parse + (optionally) run sema in one call.
+ * @return the unit, or null when diagnostics contain errors.
+ */
+std::unique_ptr<TranslationUnit> parseAndCheck(std::string_view source,
+                                               DiagnosticEngine &diags);
+
+} // namespace dce::lang

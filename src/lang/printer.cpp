@@ -1,0 +1,434 @@
+#include "lang/printer.hpp"
+
+#include <cassert>
+
+namespace dce::lang {
+
+namespace {
+
+/** Operator precedence used to decide parenthesization when printing.
+ * Mirrors the parser's table; higher binds tighter. */
+int
+exprPrecedence(const Expr &expr)
+{
+    switch (expr.kind()) {
+      case ExprKind::IntLit:
+      case ExprKind::VarRef:
+      case ExprKind::Call:
+        return 100;
+      case ExprKind::Index:
+        return 90;
+      case ExprKind::Unary: {
+        const auto &unary = static_cast<const UnaryExpr &>(expr);
+        // Postfix ++/-- bind at postfix (subscript) level.
+        if (unary.op == UnaryOp::PostInc ||
+            unary.op == UnaryOp::PostDec) {
+            return 90;
+        }
+        return 80;
+      }
+      case ExprKind::Cast:
+        return 80;
+      case ExprKind::Binary: {
+        const auto &binary = static_cast<const BinaryExpr &>(expr);
+        switch (binary.op) {
+          case BinaryOp::Mul:
+          case BinaryOp::Div:
+          case BinaryOp::Rem:
+            return 70;
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+            return 65;
+          case BinaryOp::Shl:
+          case BinaryOp::Shr:
+            return 60;
+          case BinaryOp::Lt:
+          case BinaryOp::Le:
+          case BinaryOp::Gt:
+          case BinaryOp::Ge:
+            return 55;
+          case BinaryOp::Eq:
+          case BinaryOp::Ne:
+            return 50;
+          case BinaryOp::BitAnd:
+            return 45;
+          case BinaryOp::BitXor:
+            return 40;
+          case BinaryOp::BitOr:
+            return 35;
+          case BinaryOp::LogicalAnd:
+            return 30;
+          case BinaryOp::LogicalOr:
+            return 25;
+        }
+        return 25;
+      }
+      case ExprKind::Conditional:
+        return 20;
+      case ExprKind::Assign:
+        return 10;
+    }
+    return 0;
+}
+
+/** Print @p expr, parenthesized if its precedence is below @p min. */
+void
+printExprPrec(std::string &out, const Expr &expr, int min_precedence)
+{
+    // Implicit casts are invisible in source.
+    if (expr.kind() == ExprKind::Cast) {
+        const auto &cast = static_cast<const CastExpr &>(expr);
+        if (cast.implicit) {
+            printExprPrec(out, *cast.sub, min_precedence);
+            return;
+        }
+    }
+
+    int precedence = exprPrecedence(expr);
+    bool parens = precedence < min_precedence;
+    if (parens)
+        out += "(";
+
+    switch (expr.kind()) {
+      case ExprKind::IntLit: {
+        const auto &lit = static_cast<const IntLit &>(expr);
+        out += std::to_string(lit.value);
+        // Suffix literals that need 64 bits so round-tripping keeps the
+        // same type.
+        if (lit.value > INT32_MAX)
+            out += "L";
+        break;
+      }
+      case ExprKind::VarRef:
+        out += static_cast<const VarRef &>(expr).name;
+        break;
+      case ExprKind::Unary: {
+        const auto &unary = static_cast<const UnaryExpr &>(expr);
+        bool postfix = unary.op == UnaryOp::PostInc ||
+                       unary.op == UnaryOp::PostDec;
+        if (postfix) {
+            printExprPrec(out, *unary.sub, precedence);
+            out += unaryOpSpelling(unary.op);
+        } else {
+            out += unaryOpSpelling(unary.op);
+            // `- -x` must not print as `--x`; unary ops bind at their
+            // own precedence so nested unaries get no parens, hence the
+            // defensive space for the ambiguous pairs.
+            if ((unary.op == UnaryOp::Neg || unary.op == UnaryOp::PreDec) &&
+                !out.empty() && out.back() == '-' &&
+                unary.sub->kind() == ExprKind::Unary) {
+                out += " ";
+            }
+            printExprPrec(out, *unary.sub, precedence);
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto &binary = static_cast<const BinaryExpr &>(expr);
+        printExprPrec(out, *binary.lhs, precedence);
+        out += " ";
+        out += binaryOpSpelling(binary.op);
+        out += " ";
+        printExprPrec(out, *binary.rhs, precedence + 1);
+        break;
+      }
+      case ExprKind::Assign: {
+        const auto &assign = static_cast<const AssignExpr &>(expr);
+        printExprPrec(out, *assign.lhs, precedence + 1);
+        out += " ";
+        out += assignOpSpelling(assign.op);
+        out += " ";
+        printExprPrec(out, *assign.rhs, precedence);
+        break;
+      }
+      case ExprKind::Index: {
+        const auto &index = static_cast<const IndexExpr &>(expr);
+        printExprPrec(out, *index.base, precedence);
+        out += "[";
+        printExprPrec(out, *index.index, 0);
+        out += "]";
+        break;
+      }
+      case ExprKind::Call: {
+        const auto &call = static_cast<const CallExpr &>(expr);
+        out += call.callee;
+        out += "(";
+        for (size_t i = 0; i < call.args.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            printExprPrec(out, *call.args[i], 0);
+        }
+        out += ")";
+        break;
+      }
+      case ExprKind::Conditional: {
+        const auto &cond = static_cast<const ConditionalExpr &>(expr);
+        printExprPrec(out, *cond.cond, precedence + 1);
+        out += " ? ";
+        printExprPrec(out, *cond.thenExpr, 0);
+        out += " : ";
+        printExprPrec(out, *cond.elseExpr, precedence);
+        break;
+      }
+      case ExprKind::Cast: {
+        const auto &cast = static_cast<const CastExpr &>(expr);
+        out += "(";
+        out += cast.target->str();
+        out += ")";
+        printExprPrec(out, *cast.sub, precedence);
+        break;
+      }
+    }
+    if (parens)
+        out += ")";
+}
+
+void printStmtInto(std::string &out, const Stmt &stmt, unsigned indent);
+
+std::string
+indentStr(unsigned indent)
+{
+    return std::string(indent * 2, ' ');
+}
+
+/** Print a declared type around a name: "int *x", "char y[2]". */
+std::string
+declString(const Type *type, const std::string &name)
+{
+    if (type->isArray()) {
+        return type->element()->str() + " " + name + "[" +
+               std::to_string(type->arraySize()) + "]";
+    }
+    std::string spelled = type->str();
+    // "int *" already ends with a star; glue the name without a space.
+    if (!spelled.empty() && spelled.back() == '*')
+        return spelled + name;
+    return spelled + " " + name;
+}
+
+void
+printVarDeclInto(std::string &out, const VarDecl &decl)
+{
+    if (decl.storage == Storage::StaticGlobal)
+        out += "static ";
+    out += declString(decl.type, decl.name);
+    if (decl.init) {
+        out += " = ";
+        printExprPrec(out, *decl.init, 0);
+    } else if (!decl.initList.empty()) {
+        out += " = {";
+        for (size_t i = 0; i < decl.initList.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            printExprPrec(out, *decl.initList[i], 0);
+        }
+        out += "}";
+    }
+}
+
+void
+printBlockInto(std::string &out, const BlockStmt &block, unsigned indent)
+{
+    out += "{\n";
+    for (const StmtPtr &stmt : block.stmts)
+        printStmtInto(out, *stmt, indent + 1);
+    out += indentStr(indent);
+    out += "}";
+}
+
+/** Print a control-structure body as a braced block regardless of
+ * whether the AST node is a BlockStmt. Does not emit the leading
+ * indent (the caller is mid-line) or a trailing newline. */
+void
+printBodyInto(std::string &out, const Stmt &body, unsigned indent)
+{
+    if (body.kind() == StmtKind::Block) {
+        printBlockInto(out, static_cast<const BlockStmt &>(body), indent);
+        return;
+    }
+    out += "{\n";
+    printStmtInto(out, body, indent + 1);
+    out += indentStr(indent);
+    out += "}";
+}
+
+void
+printStmtInto(std::string &out, const Stmt &stmt, unsigned indent)
+{
+    out += indentStr(indent);
+    switch (stmt.kind()) {
+      case StmtKind::Block:
+        printBlockInto(out, static_cast<const BlockStmt &>(stmt), indent);
+        out += "\n";
+        break;
+      case StmtKind::ExprStmt:
+        printExprPrec(out, *static_cast<const ExprStmt &>(stmt).expr, 0);
+        out += ";\n";
+        break;
+      case StmtKind::DeclStmt:
+        printVarDeclInto(out, *static_cast<const DeclStmt &>(stmt).decl);
+        out += ";\n";
+        break;
+      case StmtKind::If: {
+        const auto &if_stmt = static_cast<const IfStmt &>(stmt);
+        out += "if (";
+        printExprPrec(out, *if_stmt.cond, 0);
+        out += ") ";
+        printBodyInto(out, *if_stmt.thenStmt, indent);
+        if (if_stmt.elseStmt) {
+            out += " else ";
+            printBodyInto(out, *if_stmt.elseStmt, indent);
+        }
+        out += "\n";
+        break;
+      }
+      case StmtKind::While: {
+        const auto &while_stmt = static_cast<const WhileStmt &>(stmt);
+        out += "while (";
+        printExprPrec(out, *while_stmt.cond, 0);
+        out += ") ";
+        printBodyInto(out, *while_stmt.body, indent);
+        out += "\n";
+        break;
+      }
+      case StmtKind::DoWhile: {
+        const auto &do_stmt = static_cast<const DoWhileStmt &>(stmt);
+        out += "do ";
+        printBodyInto(out, *do_stmt.body, indent);
+        out += " while (";
+        printExprPrec(out, *do_stmt.cond, 0);
+        out += ");\n";
+        break;
+      }
+      case StmtKind::For: {
+        const auto &for_stmt = static_cast<const ForStmt &>(stmt);
+        out += "for (";
+        if (for_stmt.init) {
+            if (for_stmt.init->kind() == StmtKind::DeclStmt) {
+                printVarDeclInto(
+                    out,
+                    *static_cast<const DeclStmt &>(*for_stmt.init).decl);
+            } else {
+                printExprPrec(
+                    out,
+                    *static_cast<const ExprStmt &>(*for_stmt.init).expr,
+                    0);
+            }
+        }
+        out += "; ";
+        if (for_stmt.cond)
+            printExprPrec(out, *for_stmt.cond, 0);
+        out += "; ";
+        if (for_stmt.step)
+            printExprPrec(out, *for_stmt.step, 0);
+        out += ") ";
+        printBodyInto(out, *for_stmt.body, indent);
+        out += "\n";
+        break;
+      }
+      case StmtKind::Switch: {
+        const auto &switch_stmt = static_cast<const SwitchStmt &>(stmt);
+        out += "switch (";
+        printExprPrec(out, *switch_stmt.cond, 0);
+        out += ") {\n";
+        for (const SwitchCase &arm : switch_stmt.cases) {
+            out += indentStr(indent + 1);
+            if (arm.value) {
+                out += "case ";
+                out += std::to_string(*arm.value);
+                out += ":\n";
+            } else {
+                out += "default:\n";
+            }
+            for (const StmtPtr &child : arm.body->stmts)
+                printStmtInto(out, *child, indent + 2);
+            out += indentStr(indent + 2);
+            out += "break;\n";
+        }
+        out += indentStr(indent);
+        out += "}\n";
+        break;
+      }
+      case StmtKind::Return: {
+        const auto &ret = static_cast<const ReturnStmt &>(stmt);
+        out += "return";
+        if (ret.value) {
+            out += " ";
+            printExprPrec(out, *ret.value, 0);
+        }
+        out += ";\n";
+        break;
+      }
+      case StmtKind::Break:
+        out += "break;\n";
+        break;
+      case StmtKind::Continue:
+        out += "continue;\n";
+        break;
+      case StmtKind::Empty:
+        out += ";\n";
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+printExpr(const Expr &expr)
+{
+    std::string out;
+    printExprPrec(out, expr, 0);
+    return out;
+}
+
+std::string
+printStmt(const Stmt &stmt, unsigned indent)
+{
+    std::string out;
+    printStmtInto(out, stmt, indent);
+    return out;
+}
+
+std::string
+printUnit(const TranslationUnit &unit)
+{
+    std::string out;
+    for (const auto &[is_function, index] : unit.declOrder) {
+        if (!is_function) {
+            const VarDecl &decl = *unit.globals[index];
+            printVarDeclInto(out, decl);
+            out += ";\n";
+            continue;
+        }
+        const FunctionDecl &fn = *unit.functions[index];
+        if (fn.isStatic)
+            out += "static ";
+        std::string ret = fn.returnType->str();
+        if (!ret.empty() && ret.back() == '*')
+            out += ret;
+        else
+            out += ret + " ";
+        out += fn.name;
+        out += "(";
+        if (fn.params.empty()) {
+            out += "void";
+        } else {
+            for (size_t i = 0; i < fn.params.size(); ++i) {
+                if (i > 0)
+                    out += ", ";
+                out += declString(fn.params[i]->type, fn.params[i]->name);
+            }
+        }
+        out += ")";
+        if (!fn.body) {
+            out += ";\n";
+        } else {
+            out += " ";
+            printBlockInto(out, *fn.body, 0);
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace dce::lang

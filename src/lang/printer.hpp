@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Pretty-printer rendering a MiniC AST back to compilable source.
+ * Round-trip property: print(parse(s)) parses to an equivalent AST.
+ * Used by the reducer (to emit candidates), the instrumenter (to show
+ * instrumented programs), and throughout tests.
+ */
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace dce::lang {
+
+/** Render a whole translation unit as MiniC source text. */
+std::string printUnit(const TranslationUnit &unit);
+
+/** Render a single statement (for debugging and test assertions). */
+std::string printStmt(const Stmt &stmt, unsigned indent = 0);
+
+/** Render a single expression. Implicit casts are transparent. */
+std::string printExpr(const Expr &expr);
+
+} // namespace dce::lang

@@ -1,0 +1,132 @@
+#include "lang/type.hpp"
+
+namespace dce::lang {
+
+uint64_t
+Type::sizeInBytes() const
+{
+    switch (kind_) {
+      case TypeKind::Void:
+        return 0;
+      case TypeKind::Int:
+        return bits_ / 8;
+      case TypeKind::Ptr:
+        return 8;
+      case TypeKind::Array:
+        return arraySize_ * element_->sizeInBytes();
+    }
+    return 0;
+}
+
+std::string
+Type::str() const
+{
+    switch (kind_) {
+      case TypeKind::Void:
+        return "void";
+      case TypeKind::Int: {
+        std::string base;
+        switch (bits_) {
+          case 8:
+            base = "char";
+            break;
+          case 16:
+            base = "short";
+            break;
+          case 32:
+            base = "int";
+            break;
+          case 64:
+            base = "long";
+            break;
+          default:
+            base = "int" + std::to_string(bits_);
+            break;
+        }
+        return isSigned_ ? base : "unsigned " + base;
+      }
+      case TypeKind::Ptr:
+        return element_->str() + " *";
+      case TypeKind::Array:
+        return element_->str() + "[" + std::to_string(arraySize_) + "]";
+    }
+    return "<bad type>";
+}
+
+TypeContext::TypeContext()
+{
+    auto make = [this](TypeKind kind) {
+        owned_.push_back(std::unique_ptr<Type>(new Type()));
+        Type *type = owned_.back().get();
+        type->kind_ = kind;
+        return type;
+    };
+    void_ = make(TypeKind::Void);
+    for (int sign = 0; sign < 2; ++sign) {
+        unsigned bits = 8;
+        for (int slot = 0; slot < 4; ++slot, bits *= 2) {
+            Type *type = make(TypeKind::Int);
+            type->bits_ = bits;
+            type->isSigned_ = (sign == 1);
+            ints_[sign][slot] = type;
+        }
+    }
+}
+
+const Type *
+TypeContext::intType(unsigned bits, bool is_signed) const
+{
+    int slot;
+    switch (bits) {
+      case 8:
+        slot = 0;
+        break;
+      case 16:
+        slot = 1;
+        break;
+      case 32:
+        slot = 2;
+        break;
+      case 64:
+        slot = 3;
+        break;
+      default:
+        assert(false && "unsupported integer width");
+        slot = 2;
+        break;
+    }
+    return ints_[is_signed ? 1 : 0][slot];
+}
+
+const Type *
+TypeContext::pointerTo(const Type *element)
+{
+    for (const auto &type : owned_) {
+        if (type->kind_ == TypeKind::Ptr && type->element_ == element)
+            return type.get();
+    }
+    owned_.push_back(std::unique_ptr<Type>(new Type()));
+    Type *type = owned_.back().get();
+    type->kind_ = TypeKind::Ptr;
+    type->element_ = element;
+    return type;
+}
+
+const Type *
+TypeContext::arrayOf(const Type *element, uint64_t size)
+{
+    for (const auto &type : owned_) {
+        if (type->kind_ == TypeKind::Array && type->element_ == element &&
+            type->arraySize_ == size) {
+            return type.get();
+        }
+    }
+    owned_.push_back(std::unique_ptr<Type>(new Type()));
+    Type *type = owned_.back().get();
+    type->kind_ = TypeKind::Array;
+    type->element_ = element;
+    type->arraySize_ = size;
+    return type;
+}
+
+} // namespace dce::lang

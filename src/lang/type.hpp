@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The MiniC type system. MiniC is the C subset Csmith-style generated
+ * programs live in: integer scalars of four widths (signed or unsigned),
+ * pointers, one-dimensional arrays, and void function returns. Types are
+ * interned in a TypeContext and compared by pointer identity.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dce::lang {
+
+class TypeContext;
+
+/** Categories of MiniC types. */
+enum class TypeKind {
+    Void,
+    Int,   ///< integer scalar, any width/signedness
+    Ptr,   ///< pointer to element type
+    Array, ///< fixed-size one-dimensional array
+};
+
+/**
+ * An immutable, interned MiniC type. Obtain instances from TypeContext;
+ * equal types are pointer-equal.
+ */
+class Type {
+  public:
+    TypeKind kind() const { return kind_; }
+    bool isVoid() const { return kind_ == TypeKind::Void; }
+    bool isInt() const { return kind_ == TypeKind::Int; }
+    bool isPtr() const { return kind_ == TypeKind::Ptr; }
+    bool isArray() const { return kind_ == TypeKind::Array; }
+    /** Integer or pointer: valid in conditions and comparisons. */
+    bool isScalar() const { return isInt() || isPtr(); }
+
+    /** Bit width (8/16/32/64). @pre isInt(). */
+    unsigned bits() const
+    {
+        assert(isInt());
+        return bits_;
+    }
+
+    /** @pre isInt(). */
+    bool isSigned() const
+    {
+        assert(isInt());
+        return isSigned_;
+    }
+
+    /** Pointee / array element type. @pre isPtr() || isArray(). */
+    const Type *
+    element() const
+    {
+        assert(isPtr() || isArray());
+        return element_;
+    }
+
+    /** Number of elements. @pre isArray(). */
+    uint64_t
+    arraySize() const
+    {
+        assert(isArray());
+        return arraySize_;
+    }
+
+    /** Size of a value of this type in bytes (array = whole array). */
+    uint64_t sizeInBytes() const;
+
+    /** C-like spelling, e.g. "unsigned short", "int *", "char[4]". */
+    std::string str() const;
+
+  private:
+    friend class TypeContext;
+    Type() = default;
+
+    TypeKind kind_ = TypeKind::Void;
+    unsigned bits_ = 0;
+    bool isSigned_ = true;
+    const Type *element_ = nullptr;
+    uint64_t arraySize_ = 0;
+};
+
+/**
+ * Owns and interns Type instances for one translation unit (or one
+ * long-running tool session; types are context-wide singletons).
+ */
+class TypeContext {
+  public:
+    TypeContext();
+    TypeContext(const TypeContext &) = delete;
+    TypeContext &operator=(const TypeContext &) = delete;
+
+    const Type *voidType() const { return void_; }
+    /** @param bits one of 8, 16, 32, 64. */
+    const Type *intType(unsigned bits, bool is_signed) const;
+
+    // Convenience accessors for the C spellings MiniC supports.
+    const Type *charType() const { return intType(8, true); }
+    const Type *shortType() const { return intType(16, true); }
+    const Type *intTy() const { return intType(32, true); }
+    const Type *longType() const { return intType(64, true); }
+
+    const Type *pointerTo(const Type *element);
+    const Type *arrayOf(const Type *element, uint64_t size);
+
+  private:
+    std::vector<std::unique_ptr<Type>> owned_;
+    const Type *void_ = nullptr;
+    // ints_[signedness][log2(bits) - 3]
+    const Type *ints_[2][4] = {};
+};
+
+} // namespace dce::lang

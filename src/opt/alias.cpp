@@ -1,0 +1,299 @@
+#include "opt/alias.hpp"
+
+#include <vector>
+
+namespace dce::opt {
+
+using ir::Function;
+using ir::GlobalVar;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+using ir::Value;
+using ir::ValueKind;
+
+PtrBase
+resolvePtrBase(const Value *pointer, bool look_through_freeze)
+{
+    PtrBase base;
+    int64_t offset = 0;
+    bool offset_known = true;
+    const Value *current = pointer;
+    for (;;) {
+        if (current->valueKind() == ValueKind::Global) {
+            base.kind = PtrBase::Kind::Global;
+            base.object = current;
+            if (offset_known)
+                base.offset = offset;
+            return base;
+        }
+        if (!current->isInstruction())
+            return base; // param or constant (null): unknown
+        const auto *instr = static_cast<const Instr *>(current);
+        switch (instr->opcode()) {
+          case Opcode::Alloca:
+            base.kind = PtrBase::Kind::Alloca;
+            base.object = instr;
+            if (offset_known)
+                base.offset = offset;
+            return base;
+          case Opcode::Gep: {
+            const Value *index = instr->operand(1);
+            if (index->isConstant()) {
+                offset +=
+                    static_cast<const ir::Constant *>(index)->value();
+            } else {
+                offset_known = false;
+            }
+            current = instr->operand(0);
+            break;
+          }
+          case Opcode::Freeze:
+            if (!look_through_freeze)
+                return base;
+            current = instr->operand(0);
+            break;
+          default:
+            return base; // load, phi, select, call: unknown
+        }
+    }
+}
+
+AliasResult
+alias(const Value *a, const Value *b)
+{
+    if (a == b)
+        return AliasResult::MustAlias;
+    PtrBase base_a = resolvePtrBase(a);
+    PtrBase base_b = resolvePtrBase(b);
+    if (base_a.isIdentified() && base_b.isIdentified()) {
+        if (base_a.object != base_b.object) {
+            // Distinct objects never overlap: exact under MiniC's
+            // object-level memory model.
+            return AliasResult::NoAlias;
+        }
+        if (base_a.offset && base_b.offset) {
+            return *base_a.offset == *base_b.offset
+                       ? AliasResult::MustAlias
+                       : AliasResult::NoAlias;
+        }
+        return AliasResult::MayAlias; // same object, variable offsets
+    }
+    return AliasResult::MayAlias;
+}
+
+//===------------------------------------------------------------------===//
+// EscapeInfo
+//===------------------------------------------------------------------===//
+
+EscapeInfo::EscapeInfo(const Module &module)
+{
+    // A global referenced by another global's initializer is reachable
+    // through memory, i.e. escaped.
+    for (const auto &global : module.globals()) {
+        for (const ir::GlobalInit &init : global->init) {
+            if (init.isAddress())
+                escaped_.insert(init.base);
+        }
+    }
+    for (const auto &global : module.globals())
+        markEscaping(global.get());
+    for (const auto &fn : module.functions()) {
+        for (const auto &block : fn->blocks()) {
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() == Opcode::Alloca)
+                    markEscaping(instr.get());
+            }
+        }
+    }
+}
+
+void
+EscapeInfo::markEscaping(const Value *root)
+{
+    if (escaped_.count(root))
+        return;
+    // Chase every SSA value derived from the object's address. If any
+    // derived pointer is stored to memory, passed to a call, returned,
+    // or flows somewhere we cannot track (phi/select merge is tracked;
+    // being a store *value* is not), the object escapes.
+    std::vector<const Value *> worklist = {root};
+    std::unordered_set<const Value *> visited;
+    while (!worklist.empty()) {
+        const Value *value = worklist.back();
+        worklist.pop_back();
+        if (!visited.insert(value).second)
+            continue;
+        for (const Instr *user : value->users()) {
+            switch (user->opcode()) {
+              case Opcode::Load:
+                break; // reading through the pointer: fine
+              case Opcode::Store:
+                // Fine when the pointer is the *address*; escaping when
+                // it is the stored value.
+                if (user->operand(0) == value) {
+                    escaped_.insert(root);
+                    return;
+                }
+                break;
+              case Opcode::Cmp:
+                break; // comparisons do not leak write capability
+              case Opcode::Gep:
+                if (user->operand(0) == value)
+                    worklist.push_back(user);
+                else
+                    break; // pointer as index is impossible (typed)
+                break;
+              case Opcode::Freeze:
+              case Opcode::Select:
+              case Opcode::Phi:
+                worklist.push_back(user);
+                break;
+              case Opcode::Call:
+              case Opcode::Ret:
+                escaped_.insert(root);
+                return;
+              default:
+                // Unexpected use of a pointer (bin/cast impossible in
+                // well-typed IR); be conservative.
+                escaped_.insert(root);
+                return;
+            }
+        }
+    }
+}
+
+//===------------------------------------------------------------------===//
+// MemorySummary
+//===------------------------------------------------------------------===//
+
+MemorySummary::MemorySummary(const Module &module, const EscapeInfo &escape)
+{
+    // Direct effects, then propagate through calls to a fixed point
+    // (handles recursion and mutual recursion).
+    Effects external_effects;
+    // An external callee may touch every non-internal global, anything
+    // escaped, and may call back into this module's non-internal
+    // functions (handled below by unioning their effects in the
+    // fixpoint via a pseudo call edge).
+    for (const auto &global : module.globals()) {
+        if (!global->isInternal()) {
+            external_effects.reads.insert(global.get());
+            external_effects.writes.insert(global.get());
+        }
+    }
+    external_effects.readsUnknown = true;
+    external_effects.writesUnknown = true;
+
+    for (const auto &fn : module.functions()) {
+        Effects &eff = effects_[fn.get()];
+        if (fn->isDeclaration()) {
+            eff = external_effects;
+            continue;
+        }
+        for (const auto &block : fn->blocks()) {
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() == Opcode::Load ||
+                    instr->opcode() == Opcode::Store) {
+                    bool is_store = instr->opcode() == Opcode::Store;
+                    const Value *ptr =
+                        instr->operand(is_store ? 1 : 0);
+                    PtrBase base = resolvePtrBase(ptr);
+                    if (base.kind == PtrBase::Kind::Global) {
+                        auto *g = static_cast<const GlobalVar *>(
+                            base.object);
+                        (is_store ? eff.writes : eff.reads).insert(g);
+                    } else if (base.kind == PtrBase::Kind::Unknown) {
+                        // Could be any escaped object or a global
+                        // whose address escaped.
+                        if (is_store)
+                            eff.writesUnknown = true;
+                        else
+                            eff.readsUnknown = true;
+                    }
+                    // Alloca bases are function-local: invisible to
+                    // callers unless escaped, which the Unknown case
+                    // plus EscapeInfo covers at query time.
+                    (void)escape;
+                }
+            }
+        }
+    }
+
+    // Callback edges: externals may call any non-internal defined
+    // function. Model by having every declaration's effect set absorb
+    // those functions' effects during the fixpoint.
+    // Whole-program assumption: external code may call back any
+    // non-internal defined function *except main* (the entry point is
+    // never re-entered; real compilers infer the same via norecurse).
+    std::vector<const Function *> callback_targets;
+    for (const auto &fn : module.functions()) {
+        if (!fn->isDeclaration() && !fn->isInternal() &&
+            fn->name() != "main") {
+            callback_targets.push_back(fn.get());
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &fn : module.functions()) {
+            Effects &eff = effects_[fn.get()];
+            auto absorb = [&](const Effects &callee) {
+                size_t before =
+                    eff.reads.size() + eff.writes.size() +
+                    (eff.readsUnknown ? 1 : 0) +
+                    (eff.writesUnknown ? 1 : 0);
+                eff.reads.insert(callee.reads.begin(), callee.reads.end());
+                eff.writes.insert(callee.writes.begin(),
+                                  callee.writes.end());
+                eff.readsUnknown |= callee.readsUnknown;
+                eff.writesUnknown |= callee.writesUnknown;
+                size_t after =
+                    eff.reads.size() + eff.writes.size() +
+                    (eff.readsUnknown ? 1 : 0) +
+                    (eff.writesUnknown ? 1 : 0);
+                changed |= after != before;
+            };
+            if (fn->isDeclaration()) {
+                for (const Function *target : callback_targets)
+                    absorb(effects_.at(target));
+                continue;
+            }
+            for (const auto &block : fn->blocks()) {
+                for (const auto &instr : block->instrs()) {
+                    if (instr->opcode() == Opcode::Call)
+                        absorb(effects_.at(instr->callee));
+                }
+            }
+        }
+    }
+}
+
+bool
+MemorySummary::mayRead(const Function *fn, const GlobalVar *g) const
+{
+    const Effects &eff = effects_.at(fn);
+    return eff.reads.count(g) != 0;
+}
+
+bool
+MemorySummary::mayWrite(const Function *fn, const GlobalVar *g) const
+{
+    const Effects &eff = effects_.at(fn);
+    return eff.writes.count(g) != 0;
+}
+
+bool
+MemorySummary::readsUnknown(const Function *fn) const
+{
+    return effects_.at(fn).readsUnknown;
+}
+
+bool
+MemorySummary::writesUnknown(const Function *fn) const
+{
+    return effects_.at(fn).writesUnknown;
+}
+
+} // namespace dce::opt

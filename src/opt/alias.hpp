@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Pointer analyses shared by the optimization passes:
+ *
+ *  - PtrBase: resolve a pointer SSA value to its base memory object
+ *    (global or alloca) plus a constant element offset when derivable.
+ *  - alias(): May/Must/NoAlias on two pointers. MiniC's object-level
+ *    memory model (out-of-bounds accesses never touch neighbouring
+ *    objects) makes distinct-base => NoAlias *exact*, not heuristic.
+ *  - EscapeInfo: which globals/allocas have their address taken (stored
+ *    somewhere, passed to a call, returned, or referenced by another
+ *    global's initializer). Non-escaping objects can only be accessed
+ *    through directly-derived pointers, enabling strong global value
+ *    reasoning.
+ *  - MemorySummary: per-function transitive may-read/may-write sets of
+ *    global objects, for interprocedural load forwarding and exit DSE.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/ir.hpp"
+
+namespace dce::opt {
+
+/** Resolution of a pointer to its base object. */
+struct PtrBase {
+    enum class Kind {
+        Global,  ///< object is a GlobalVar
+        Alloca,  ///< object is an Alloca instruction
+        Unknown, ///< loaded / phi-merged / parameter pointer
+    };
+
+    Kind kind = Kind::Unknown;
+    const ir::Value *object = nullptr;
+    /** Element offset from the object start, when constant. */
+    std::optional<int64_t> offset;
+
+    bool isIdentified() const { return kind != Kind::Unknown; }
+};
+
+/**
+ * Walk gep (and, by default, freeze) chains to the base object.
+ * Alias queries look through freeze — that is sound, freeze is the
+ * identity. Folding transforms that model freeze as opaque (the
+ * regression mechanism) pass look_through_freeze = false.
+ */
+PtrBase resolvePtrBase(const ir::Value *pointer,
+                       bool look_through_freeze = true);
+
+enum class AliasResult {
+    NoAlias,
+    MayAlias,
+    MustAlias,
+};
+
+/** Alias relation between two pointer values. */
+AliasResult alias(const ir::Value *a, const ir::Value *b);
+
+/** Address-taken / escape facts for one module snapshot. */
+class EscapeInfo {
+  public:
+    explicit EscapeInfo(const ir::Module &module);
+
+    /** True if pointers to this object can exist outside directly
+     * derived SSA chains (so arbitrary loads/stores may touch it). */
+    bool escapes(const ir::Value *object) const
+    {
+        return escaped_.count(object) != 0;
+    }
+
+  private:
+    void markEscaping(const ir::Value *root);
+
+    std::unordered_set<const ir::Value *> escaped_;
+};
+
+/** Transitive memory effects of each function on global objects. */
+class MemorySummary {
+  public:
+    MemorySummary(const ir::Module &module, const EscapeInfo &escape);
+
+    /** May the call (transitively) read/write this global object? */
+    bool mayRead(const ir::Function *fn, const ir::GlobalVar *g) const;
+    bool mayWrite(const ir::Function *fn, const ir::GlobalVar *g) const;
+    /** May the function read/write through escaped or unknown
+     * pointers (clobbering anything escaped)? */
+    bool readsUnknown(const ir::Function *fn) const;
+    bool writesUnknown(const ir::Function *fn) const;
+
+  private:
+    struct Effects {
+        std::unordered_set<const ir::GlobalVar *> reads;
+        std::unordered_set<const ir::GlobalVar *> writes;
+        bool readsUnknown = false;
+        bool writesUnknown = false;
+    };
+
+    std::unordered_map<const ir::Function *, Effects> effects_;
+};
+
+} // namespace dce::opt

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Instruction-level dead code elimination: delete instructions whose
+ * results are unused and whose execution has no side effects (loads
+ * cannot trap in MiniC, so unused loads die too). Works back-to-front
+ * with a worklist so whole dead expression trees disappear in one run.
+ */
+#include <vector>
+
+#include "opt/pass.hpp"
+
+namespace dce::opt {
+
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+
+namespace {
+
+bool
+isTriviallyDead(const Instr &instr)
+{
+    if (instr.hasUsers())
+        return false;
+    switch (instr.opcode()) {
+      case Opcode::Store:
+      case Opcode::Call:
+      case Opcode::Ret:
+      case Opcode::Br:
+      case Opcode::CondBr:
+      case Opcode::Switch:
+      case Opcode::Unreachable:
+        return false;
+      default:
+        return true;
+    }
+}
+
+class Dce : public Pass {
+  public:
+    std::string name() const override { return "dce"; }
+
+    bool
+    run(Module &module, const PassConfig &config) override
+    {
+        if (!config.instructionDce)
+            return false;
+        bool changed = false;
+        for (const auto &fn : module.functions()) {
+            for (const auto &block : fn->blocks()) {
+                // Deleting an instruction can make its operands dead;
+                // sweep until a pass over the block changes nothing.
+                bool block_changed = true;
+                while (block_changed) {
+                    block_changed = false;
+                    for (size_t i = block->size(); i-- > 0;) {
+                        Instr *instr = block->instrs()[i].get();
+                        if (isTriviallyDead(*instr)) {
+                            block->erase(instr);
+                            block_changed = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createDcePass()
+{
+    return std::make_unique<Dce>();
+}
+
+} // namespace dce::opt

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Global DCE: delete internal functions with no remaining call sites
+ * and internal globals with no remaining references. An uncalled
+ * internal function is still emitted by the backend, so any markers in
+ * it would read as "missed" — which is exactly GCC's uncleaned IPA
+ * clone bug (Listing 9b / PR100034) that the `globalDce` knob turns
+ * back on and off.
+ */
+#include <unordered_set>
+
+#include "opt/pass.hpp"
+
+namespace dce::opt {
+
+using ir::Function;
+using ir::GlobalVar;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+
+namespace {
+
+class GlobalDce : public Pass {
+  public:
+    std::string name() const override { return "globaldce"; }
+
+    bool
+    run(Module &module, const PassConfig &config) override
+    {
+        if (!config.globalDce)
+            return false;
+        bool changed = false;
+        // Deleting one function can orphan another; iterate.
+        bool progress = true;
+        while (progress) {
+            progress = false;
+
+            std::unordered_set<const Function *> called;
+            for (const auto &fn : module.functions()) {
+                for (const auto &block : fn->blocks()) {
+                    for (const auto &instr : block->instrs()) {
+                        if (instr->opcode() == Opcode::Call)
+                            called.insert(instr->callee);
+                    }
+                }
+            }
+            for (const auto &fn : module.functions()) {
+                if (!fn->isInternal() || fn->isDeclaration())
+                    continue;
+                if (fn->name() == "main" || called.count(fn.get()) ||
+                    fn->noDce()) {
+                    continue;
+                }
+                module.eraseFunction(fn.get());
+                progress = true;
+                changed = true;
+                break; // container mutated; rescan
+            }
+            if (progress)
+                continue;
+
+            std::unordered_set<const GlobalVar *> referenced;
+            for (const auto &global : module.globals()) {
+                for (const ir::GlobalInit &init : global->init) {
+                    if (init.isAddress())
+                        referenced.insert(init.base);
+                }
+            }
+            for (const auto &global : module.globals()) {
+                if (!global->isInternal() || global->hasUsers() ||
+                    referenced.count(global.get())) {
+                    continue;
+                }
+                module.eraseGlobal(global.get());
+                progress = true;
+                changed = true;
+                break;
+            }
+        }
+        return changed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createGlobalDcePass()
+{
+    return std::make_unique<GlobalDce>();
+}
+
+} // namespace dce::opt

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * InstCombine: local peephole simplification — constant folding,
+ * algebraic identities, comparison canonicalization, cast and select
+ * folding, and constant-address pointer comparisons.
+ *
+ * Two engineered capability knobs live here (DESIGN.md §6):
+ *  - D2 `foldPtrCmpAnyOffset`: with the flag off, `&a == &b[k]` only
+ *    folds for k == 0, reproducing LLVM's EarlyCSE miss (Listing 3,
+ *    PR49434).
+ *  - `foldFreezeOfConstant`: freeze(C) -> C. Off reproduces the
+ *    constant-folding blindness behind the unswitch regressions.
+ */
+#include "ir/cfg.hpp"
+#include "opt/alias.hpp"
+#include "opt/pass.hpp"
+#include "support/ints.hpp"
+
+namespace dce::opt {
+
+using ir::BinOp;
+using ir::CmpPred;
+using ir::Constant;
+using ir::Function;
+using ir::Instr;
+using ir::IrType;
+using ir::Module;
+using ir::Opcode;
+using ir::Value;
+
+namespace {
+
+int64_t
+constVal(const Value *value)
+{
+    return static_cast<const Constant *>(value)->value();
+}
+
+class InstCombine : public Pass {
+  public:
+    std::string name() const override { return "instcombine"; }
+
+    bool
+    run(Module &module, const PassConfig &config) override
+    {
+        if (!config.instCombine)
+            return false;
+        module_ = &module;
+        config_ = &config;
+        bool changed = false;
+        for (const auto &fn : module.functions()) {
+            if (fn->isDeclaration())
+                continue;
+            while (sweep(*fn))
+                changed = true;
+        }
+        return changed;
+    }
+
+  private:
+    bool
+    sweep(Function &fn)
+    {
+        bool changed = false;
+        for (const auto &block : fn.blocks()) {
+            for (size_t i = 0; i < block->size();) {
+                Instr *instr = block->instrs()[i].get();
+                Value *simplified = simplify(*instr);
+                if (simplified && simplified != instr) {
+                    instr->replaceAllUsesWith(simplified);
+                    block->erase(instr);
+                    changed = true;
+                    continue; // same index now holds the next instr
+                }
+                ++i;
+            }
+        }
+        return changed;
+    }
+
+    Constant *
+    intConst(IrType type, int64_t value)
+    {
+        return module_->constant(type, value);
+    }
+
+    Value *
+    simplify(Instr &instr)
+    {
+        switch (instr.opcode()) {
+          case Opcode::Bin:
+            return simplifyBin(instr);
+          case Opcode::Cmp:
+            return simplifyCmp(instr);
+          case Opcode::Cast: {
+            Value *sub = instr.operand(0);
+            if (sub->isConstant()) {
+                IrType to = instr.type();
+                return intConst(to,
+                                wrapInt(constVal(sub), to.bits,
+                                        to.isSigned));
+            }
+            return nullptr;
+          }
+          case Opcode::Freeze: {
+            Value *sub = instr.operand(0);
+            // freeze(freeze x) -> freeze x always.
+            if (sub->isInstruction() &&
+                static_cast<Instr *>(sub)->opcode() == Opcode::Freeze) {
+                return sub;
+            }
+            if (sub->isConstant() && config_->foldFreezeOfConstant)
+                return sub;
+            return nullptr;
+          }
+          case Opcode::Select: {
+            Value *cond = instr.operand(0);
+            if (cond->isConstant())
+                return instr.operand(constVal(cond) != 0 ? 1 : 2);
+            if (instr.operand(1) == instr.operand(2))
+                return instr.operand(1);
+            return nullptr;
+          }
+          case Opcode::Gep: {
+            // gep p, 0 -> p.
+            Value *index = instr.operand(1);
+            if (index->isConstant() && constVal(index) == 0)
+                return instr.operand(0);
+            return nullptr;
+          }
+          default:
+            return nullptr;
+        }
+    }
+
+    Value *
+    simplifyBin(Instr &instr)
+    {
+        Value *lhs = instr.operand(0);
+        Value *rhs = instr.operand(1);
+        IrType type = instr.type();
+
+        if (lhs->isConstant() && rhs->isConstant()) {
+            int64_t a = constVal(lhs);
+            int64_t b = constVal(rhs);
+            int64_t result;
+            switch (instr.binOp) {
+              case BinOp::Add:
+                result = addInt(a, b, type.bits, type.isSigned);
+                break;
+              case BinOp::Sub:
+                result = subInt(a, b, type.bits, type.isSigned);
+                break;
+              case BinOp::Mul:
+                result = mulInt(a, b, type.bits, type.isSigned);
+                break;
+              case BinOp::Div:
+                result = divInt(a, b, type.bits, type.isSigned);
+                break;
+              case BinOp::Rem:
+                result = remInt(a, b, type.bits, type.isSigned);
+                break;
+              case BinOp::Shl:
+                result = shlInt(a, b, type.bits, type.isSigned);
+                break;
+              case BinOp::Shr:
+                result = shrInt(a, b, type.bits, type.isSigned);
+                break;
+              case BinOp::And:
+                result = wrapInt(a & b, type.bits, type.isSigned);
+                break;
+              case BinOp::Or:
+                result = wrapInt(a | b, type.bits, type.isSigned);
+                break;
+              case BinOp::Xor:
+                result = wrapInt(a ^ b, type.bits, type.isSigned);
+                break;
+              default:
+                return nullptr;
+            }
+            return intConst(type, result);
+        }
+
+        bool lhs_zero = lhs->isConstant() && constVal(lhs) == 0;
+        bool rhs_zero = rhs->isConstant() && constVal(rhs) == 0;
+        bool lhs_one = lhs->isConstant() && constVal(lhs) == 1;
+        bool rhs_one = rhs->isConstant() && constVal(rhs) == 1;
+
+        switch (instr.binOp) {
+          case BinOp::Add:
+            if (lhs_zero)
+                return rhs;
+            if (rhs_zero)
+                return lhs;
+            break;
+          case BinOp::Sub:
+            if (rhs_zero)
+                return lhs;
+            if (lhs == rhs)
+                return intConst(type, 0);
+            break;
+          case BinOp::Mul:
+            if (lhs_zero || rhs_zero)
+                return intConst(type, 0);
+            if (lhs_one)
+                return rhs;
+            if (rhs_one)
+                return lhs;
+            break;
+          case BinOp::Div:
+            if (rhs_one)
+                return lhs;
+            if (rhs_zero)
+                return lhs; // MiniC safe math: x / 0 == x
+            break;
+          case BinOp::Rem:
+            if (rhs_one)
+                return intConst(type, 0);
+            if (rhs_zero)
+                return lhs; // x % 0 == x
+            break;
+          case BinOp::Shl:
+          case BinOp::Shr:
+            if (rhs_zero)
+                return lhs;
+            if (lhs_zero)
+                return intConst(type, 0);
+            break;
+          case BinOp::And:
+            if (lhs_zero || rhs_zero)
+                return intConst(type, 0);
+            if (lhs == rhs)
+                return lhs;
+            break;
+          case BinOp::Or:
+            if (lhs_zero)
+                return rhs;
+            if (rhs_zero)
+                return lhs;
+            if (lhs == rhs)
+                return lhs;
+            break;
+          case BinOp::Xor:
+            if (lhs_zero)
+                return rhs;
+            if (rhs_zero)
+                return lhs;
+            if (lhs == rhs)
+                return intConst(type, 0);
+            break;
+        }
+        return nullptr;
+    }
+
+    Value *
+    simplifyCmp(Instr &instr)
+    {
+        Value *lhs = instr.operand(0);
+        Value *rhs = instr.operand(1);
+        IrType i32 = IrType::i32();
+
+        if (lhs->type().isPtr())
+            return simplifyPtrCmp(instr);
+
+        if (lhs->isConstant() && rhs->isConstant()) {
+            int64_t a = constVal(lhs);
+            int64_t b = constVal(rhs);
+            bool result;
+            switch (instr.cmpPred) {
+              case CmpPred::Eq: result = a == b; break;
+              case CmpPred::Ne: result = a != b; break;
+              case CmpPred::Slt: result = a < b; break;
+              case CmpPred::Sle: result = a <= b; break;
+              case CmpPred::Sgt: result = a > b; break;
+              case CmpPred::Sge: result = a >= b; break;
+              case CmpPred::Ult:
+                result = static_cast<uint64_t>(a) <
+                         static_cast<uint64_t>(b);
+                break;
+              case CmpPred::Ule:
+                result = static_cast<uint64_t>(a) <=
+                         static_cast<uint64_t>(b);
+                break;
+              case CmpPred::Ugt:
+                result = static_cast<uint64_t>(a) >
+                         static_cast<uint64_t>(b);
+                break;
+              case CmpPred::Uge:
+                result = static_cast<uint64_t>(a) >=
+                         static_cast<uint64_t>(b);
+                break;
+              default:
+                return nullptr;
+            }
+            return intConst(i32, result ? 1 : 0);
+        }
+
+        if (lhs == rhs) {
+            switch (instr.cmpPred) {
+              case CmpPred::Eq:
+              case CmpPred::Sle:
+              case CmpPred::Sge:
+              case CmpPred::Ule:
+              case CmpPred::Uge:
+                return intConst(i32, 1);
+              default:
+                return intConst(i32, 0);
+            }
+        }
+
+        // Bool canonicalization: comparisons against 0 of a value that
+        // is itself a 0/1 comparison.
+        if (rhs->isConstant() && constVal(rhs) == 0 &&
+            lhs->isInstruction()) {
+            Instr *inner = static_cast<Instr *>(lhs);
+            if (inner->opcode() == Opcode::Cmp) {
+                if (instr.cmpPred == CmpPred::Ne)
+                    return inner; // (x cmp y) != 0  ->  x cmp y
+                if (instr.cmpPred == CmpPred::Eq) {
+                    // (x cmp y) == 0 -> inverse comparison; reuse the
+                    // inner instruction only if we may mutate a copy —
+                    // build a fresh one in place instead.
+                    auto inverse = std::make_unique<Instr>(Opcode::Cmp,
+                                                           i32);
+                    inverse->cmpPred = ir::cmpPredInverse(inner->cmpPred);
+                    inverse->addOperand(inner->operand(0));
+                    inverse->addOperand(inner->operand(1));
+                    inverse->setId(module_->nextValueId());
+                    ir::BasicBlock *block = instr.parent();
+                    return block->insertBefore(block->indexOf(&instr),
+                                               std::move(inverse));
+                }
+            }
+        }
+        return nullptr;
+    }
+
+    Value *
+    simplifyPtrCmp(Instr &instr)
+    {
+        Value *lhs = instr.operand(0);
+        Value *rhs = instr.operand(1);
+        IrType i32 = IrType::i32();
+        bool is_eq = instr.cmpPred == CmpPred::Eq;
+        bool is_ne = instr.cmpPred == CmpPred::Ne;
+        if (!is_eq && !is_ne)
+            return nullptr; // relational pointer compares: leave alone
+
+        // Null comparisons: the address of a global/alloca is never
+        // null.
+        // Freeze is deliberately opaque to these folds (the regression
+        // mechanism); alias *queries* may look through it, folds not.
+        auto null_cmp = [&](Value *maybe_null,
+                            Value *pointer) -> Value * {
+            if (!maybe_null->isConstant())
+                return nullptr;
+            PtrBase base =
+                resolvePtrBase(pointer, /*look_through_freeze=*/false);
+            if (!base.isIdentified())
+                return nullptr;
+            return intConst(i32, is_eq ? 0 : 1);
+        };
+        if (Value *folded = null_cmp(rhs, lhs))
+            return folded;
+        if (Value *folded = null_cmp(lhs, rhs))
+            return folded;
+
+        PtrBase base_a =
+            resolvePtrBase(lhs, /*look_through_freeze=*/false);
+        PtrBase base_b =
+            resolvePtrBase(rhs, /*look_through_freeze=*/false);
+        if (!base_a.isIdentified() || !base_b.isIdentified())
+            return nullptr;
+
+        if (base_a.object == base_b.object) {
+            if (base_a.offset && base_b.offset) {
+                bool equal = *base_a.offset == *base_b.offset;
+                return intConst(i32, equal == is_eq ? 1 : 0);
+            }
+            return nullptr;
+        }
+
+        // Distinct objects never compare equal in MiniC. D2: the
+        // weakened configuration only folds when both sides point at
+        // their object's first element (LLVM's EarlyCSE miss on
+        // &a == &b[1], Listing 3).
+        if (!config_->foldPtrCmpAnyOffset) {
+            bool both_zero = base_a.offset && *base_a.offset == 0 &&
+                             base_b.offset && *base_b.offset == 0;
+            if (!both_zero)
+                return nullptr;
+        }
+        return intConst(i32, is_eq ? 0 : 1);
+    }
+
+    Module *module_ = nullptr;
+    const PassConfig *config_ = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createInstCombinePass()
+{
+    return std::make_unique<InstCombine>();
+}
+
+} // namespace dce::opt

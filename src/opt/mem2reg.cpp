@@ -1,0 +1,256 @@
+/**
+ * @file
+ * mem2reg: promote scalar allocas whose address does not escape into
+ * SSA values, inserting phis at iterated dominance frontiers (the
+ * classic Cytron et al. construction). This is the first pass of every
+ * -O1+ pipeline; everything downstream (SCCP, GVN, VRP, ...) operates
+ * on the SSA form it produces.
+ *
+ * MiniC allocas are zero-initialized, so the "live-in at entry" value
+ * of a promoted alloca is the constant 0 of its type (not undef).
+ */
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/cfg.hpp"
+#include "ir/dominators.hpp"
+#include "opt/pass.hpp"
+
+namespace dce::opt {
+
+using ir::BasicBlock;
+using ir::Constant;
+using ir::Function;
+using ir::Instr;
+using ir::IrType;
+using ir::Module;
+using ir::Opcode;
+using ir::Value;
+
+namespace {
+
+class Mem2Reg : public Pass {
+  public:
+    std::string name() const override { return "mem2reg"; }
+
+    bool
+    run(Module &module, const PassConfig &config) override
+    {
+        if (!config.mem2reg)
+            return false;
+        bool changed = false;
+        for (const auto &fn : module.functions()) {
+            if (!fn->isDeclaration())
+                changed |= runOnFunction(*fn, module);
+        }
+        return changed;
+    }
+
+  private:
+    static bool
+    isPromotable(const Instr &alloca_instr)
+    {
+        if (alloca_instr.allocaIsArray || alloca_instr.allocatedCount != 1)
+            return false;
+        for (const Instr *user : alloca_instr.users()) {
+            switch (user->opcode()) {
+              case Opcode::Load:
+                break;
+              case Opcode::Store:
+                if (user->operand(0) == &alloca_instr)
+                    return false; // address stored somewhere
+                break;
+              default:
+                return false; // gep / call / cmp / phi: address taken
+            }
+        }
+        return true;
+    }
+
+    bool
+    runOnFunction(Function &fn, Module &module)
+    {
+        ir::removeUnreachableBlocks(fn);
+
+        // Collect promotable allocas (lowering clusters them in entry,
+        // but the inliner may leave them elsewhere; accept any block).
+        std::vector<Instr *> allocas;
+        for (const auto &block : fn.blocks()) {
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() == Opcode::Alloca &&
+                    isPromotable(*instr)) {
+                    allocas.push_back(instr.get());
+                }
+            }
+        }
+        if (allocas.empty())
+            return false;
+
+        ir::DominatorTree domtree(fn);
+        auto preds = ir::predecessorMap(fn);
+
+        // Dominance frontiers (Cooper-Harvey-Kennedy).
+        std::unordered_map<const BasicBlock *,
+                           std::unordered_set<BasicBlock *>>
+            frontier;
+        for (BasicBlock *block : domtree.rpo()) {
+            const auto &block_preds = preds.at(block);
+            if (block_preds.size() < 2)
+                continue;
+            for (BasicBlock *pred : block_preds) {
+                if (!domtree.isReachable(pred))
+                    continue;
+                const BasicBlock *runner = pred;
+                while (runner && runner != domtree.idom(block)) {
+                    frontier[runner].insert(block);
+                    runner = domtree.idom(runner);
+                }
+            }
+        }
+
+        std::unordered_map<const Instr *, size_t> alloca_index;
+        for (size_t i = 0; i < allocas.size(); ++i)
+            alloca_index[allocas[i]] = i;
+
+        // Phi placement at iterated dominance frontiers of defs.
+        // phi_for[block][i] is the phi merging alloca i at block.
+        std::unordered_map<const BasicBlock *,
+                           std::unordered_map<size_t, Instr *>>
+            phi_for;
+        for (size_t i = 0; i < allocas.size(); ++i) {
+            std::vector<BasicBlock *> worklist;
+            std::unordered_set<const BasicBlock *> has_def;
+            // The alloca itself defines the value 0 at its position
+            // (MiniC zero-initialization): an alloca re-executed in a
+            // loop resets its slot, and renaming below honours that.
+            has_def.insert(allocas[i]->parent());
+            worklist.push_back(allocas[i]->parent());
+            for (const Instr *user : allocas[i]->users()) {
+                if (user->opcode() == Opcode::Store &&
+                    has_def.insert(user->parent()).second) {
+                    worklist.push_back(user->parent());
+                }
+            }
+            std::unordered_set<const BasicBlock *> has_phi;
+            while (!worklist.empty()) {
+                BasicBlock *def_block = worklist.back();
+                worklist.pop_back();
+                auto frontier_it = frontier.find(def_block);
+                if (frontier_it == frontier.end())
+                    continue;
+                for (BasicBlock *join : frontier_it->second) {
+                    if (!has_phi.insert(join).second)
+                        continue;
+                    auto phi = std::make_unique<Instr>(
+                        Opcode::Phi, allocas[i]->allocatedType);
+                    phi->setId(module.nextValueId());
+                    Instr *placed = join->insertBefore(0, std::move(phi));
+                    phi_for[join][i] = placed;
+                    if (has_def.insert(join).second)
+                        worklist.push_back(join);
+                }
+            }
+        }
+
+        // Rename along the dominator tree.
+        std::unordered_map<const BasicBlock *,
+                           std::vector<BasicBlock *>>
+            dom_children;
+        for (BasicBlock *block : domtree.rpo()) {
+            if (const BasicBlock *parent = domtree.idom(block)) {
+                dom_children[parent].push_back(block);
+            }
+        }
+
+        std::vector<Instr *> to_erase;
+        std::vector<Value *> initial(allocas.size());
+        for (size_t i = 0; i < allocas.size(); ++i) {
+            IrType type = allocas[i]->allocatedType;
+            initial[i] =
+                type.isPtr()
+                    ? static_cast<Value *>(module.constant(type, 0))
+                    : module.constant(type, 0);
+        }
+
+        struct Frame {
+            BasicBlock *block;
+            std::vector<Value *> values;
+        };
+        std::vector<Frame> stack;
+        stack.push_back({fn.entry(), initial});
+
+        while (!stack.empty()) {
+            Frame frame = std::move(stack.back());
+            stack.pop_back();
+            BasicBlock *block = frame.block;
+            std::vector<Value *> &values = frame.values;
+
+            auto phis_here = phi_for.find(block);
+            if (phis_here != phi_for.end()) {
+                for (auto &[index, phi] : phis_here->second)
+                    values[index] = phi;
+            }
+
+            for (const auto &owned : block->instrs()) {
+                Instr *instr = owned.get();
+                if (instr->opcode() == Opcode::Alloca) {
+                    auto it = alloca_index.find(instr);
+                    if (it != alloca_index.end())
+                        values[it->second] = initial[it->second];
+                } else if (instr->opcode() == Opcode::Load &&
+                    instr->operand(0)->isInstruction()) {
+                    auto it = alloca_index.find(
+                        static_cast<const Instr *>(instr->operand(0)));
+                    if (it != alloca_index.end()) {
+                        instr->replaceAllUsesWith(values[it->second]);
+                        to_erase.push_back(instr);
+                    }
+                } else if (instr->opcode() == Opcode::Store &&
+                           instr->operand(1)->isInstruction()) {
+                    auto it = alloca_index.find(
+                        static_cast<const Instr *>(instr->operand(1)));
+                    if (it != alloca_index.end()) {
+                        values[it->second] = instr->operand(0);
+                        to_erase.push_back(instr);
+                    }
+                }
+            }
+
+            // Feed successors' phis.
+            for (BasicBlock *succ : block->successors()) {
+                auto succ_phis = phi_for.find(succ);
+                if (succ_phis == phi_for.end())
+                    continue;
+                for (auto &[index, phi] : succ_phis->second)
+                    phi->addIncoming(values[index], block);
+            }
+
+            auto children = dom_children.find(block);
+            if (children != dom_children.end()) {
+                for (BasicBlock *child : children->second)
+                    stack.push_back({child, values});
+            }
+        }
+
+        for (Instr *instr : to_erase)
+            instr->parent()->erase(instr);
+        for (Instr *alloca_instr : allocas)
+            alloca_instr->parent()->erase(alloca_instr);
+
+        // A CondBr with both edges to the same block makes its target's
+        // phis receive the same incoming twice — consistent with the
+        // predecessor multiset, so nothing special is needed here.
+        return true;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createMem2RegPass()
+{
+    return std::make_unique<Mem2Reg>();
+}
+
+} // namespace dce::opt

@@ -1,0 +1,25 @@
+#include "opt/pass.hpp"
+
+#include "ir/verifier.hpp"
+
+namespace dce::opt {
+
+bool
+PassManager::run(ir::Module &module, bool verify_each)
+{
+    bool changed = false;
+    for (const auto &pass : passes_) {
+        changed |= pass->run(module, config_);
+        if (verify_each) {
+            ir::VerifyResult result = ir::verifyModule(module);
+            if (!result.ok()) {
+                lastError_ = "after pass '" + pass->name() +
+                             "':\n" + result.str();
+                return changed;
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace dce::opt

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Optimization pass framework: PassConfig (the feature flags that make
+ * the two simulated compilers differ, per DESIGN.md §6), the Pass
+ * interface, and the PassManager that runs a pipeline (optionally
+ * verifying the IR after every pass).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace dce::opt {
+
+/**
+ * Feature flags and thresholds that parameterize the pass library.
+ * Every flag models a documented capability difference or regression of
+ * GCC/LLVM from the paper (the Dn/Rn ids reference DESIGN.md section 6).
+ * Defaults are the "strongest correct" settings; compiler definitions
+ * in src/compiler weaken/regress them per compiler and commit.
+ */
+struct PassConfig {
+    // --- Global value analysis (globalopt) ----------------------------
+    /** D1: fold loads of internal globals that are never stored to.
+     * This is the baseline every compiler has. */
+    bool foldNeverStoredGlobals = true;
+    /** D4: additionally fold loads when every store to the global
+     * stores a value equal to its initializer (LLVM globalopt's
+     * "stored once same value"). */
+    bool foldStoredEqualsInitGlobals = true;
+    /** R7 (when true): full flow-sensitive load-before-store analysis
+     * from main for internal globals (LLVM <= 3.7 behaviour). */
+    bool flowSensitiveGlobalLoads = false;
+    /** D6: fold loads with *variable* index from never-stored all-zero
+     * internal arrays (Listing 9f). Constant in-bounds indexes always
+     * fold when foldNeverStoredGlobals is on. */
+    bool foldUniformZeroArrays = true;
+    /** Localize internal scalar globals accessed by exactly one
+     * function into allocas (LLVM globalopt), making them eligible for
+     * mem2reg/SSA and hence loop analyses (the Listing 9e chain). */
+    bool localizeGlobals = true;
+
+    // --- Peephole / instcombine ---------------------------------------
+    /** D2: fold &a == &b[k] for any constant k. When false, only k == 0
+     * folds (LLVM EarlyCSE's miss, Listing 3 / PR49434). */
+    bool foldPtrCmpAnyOffset = true;
+    /** Fold freeze(constant) -> constant. Off models LLVM's historical
+     * omission that made unswitch-inserted freezes block constant
+     * folding (Listings 7/8a). */
+    bool foldFreezeOfConstant = false;
+
+    // --- Value range / correlated value propagation -------------------
+    /** R8: derive X != 0 from a dominating (X << Y) != 0 fact
+     * (Listing 9a / GCC PR102546). */
+    bool shiftNonzeroRelation = true;
+    /** D5/R2: allow equality facts to fold through rem instructions
+     * (Listing 8b / LLVM PR49731). */
+    bool vrpFoldsRem = true;
+
+    // --- Redundancy elimination (EarlyCSE/GVN) -------------------------
+    /** R5: use precise may-alias reasoning when forwarding loads across
+     * stores. When false, any intervening pointer store clobbers
+     * (Listing 9c / GCC PR100051). */
+    bool preciseAliasForwarding = true;
+
+    // --- Dead store elimination ----------------------------------------
+    /** DSE within a basic block (overwritten stores). */
+    bool dseIntraBlock = true;
+    /** D3: remove stores to internal globals that can never be read
+     * again before program exit (Listing 1's trailing `c = 0;`). */
+    bool dseAtExit = true;
+
+    // --- Jump threading -------------------------------------------------
+    /** Enable jump threading over phis of constants. */
+    bool jumpThreading = true;
+    /** R4: thread even when the phi has incomings from blocks the
+     * thread makes dead, leaving threaded copies of dead code
+     * (Listing 9d / GCC PR102703). */
+    bool threadThroughDeadPhis = false;
+
+    // --- Loop transformations --------------------------------------------
+    /** Unswitch loop-invariant conditions out of loops. */
+    bool loopUnswitch = false;
+    /** R1: aggressive unswitching inserts freeze on the hoisted
+     * condition (LLVM >= 12), which blocks later constant folds when
+     * foldFreezeOfConstant is off (Listings 7/8a). */
+    bool unswitchInsertsFreeze = false;
+    /** Fully unroll loops with constant trip count <= this (0 = off). */
+    unsigned unrollMaxTripCount = 0;
+    /** "Vectorizer" loop-store rewrite (loop idiom): turn constant-trip
+     * loops that store an invariant value into straight-line stores. */
+    bool loopStoreRewrite = false;
+    /** R3: the rewrite launders the stored value through freeze,
+     * modelling GCC's unsigned-long type mismatch that blocked constant
+     * folding (Listing 9e / GCC PR99776). */
+    bool loopRewriteInsertsFreeze = false;
+
+    // --- Inlining and IPA -------------------------------------------------
+    /** Inline internal defined callees at or below this instruction
+     * count (0 = no inlining). */
+    unsigned inlineThreshold = 0;
+    /** Remove unreferenced internal functions and globals. */
+    bool globalDce = true;
+    /** R6: the inliner marks fully-inlined internal callees as
+     * kept-alive (their transformed husk stays in the binary), the
+     * mechanism behind GCC's uncleaned IPA-SRA clone (Listing 9b /
+     * PR100034). */
+    bool keepInlinedHusks = false;
+
+    // --- Generic scalar passes ---------------------------------------------
+    bool mem2reg = true;
+    bool sccp = true;
+    bool earlyCse = true;
+    bool instCombine = true;
+    bool simplifyCfg = true;
+    bool instructionDce = true;
+
+    /** Fixed-point iterations of the main scalar pipeline. */
+    unsigned pipelineIterations = 2;
+};
+
+/** A transformation over a whole module. */
+class Pass {
+  public:
+    virtual ~Pass() = default;
+
+    virtual std::string name() const = 0;
+    /** @return true if the module was changed. */
+    virtual bool run(ir::Module &module, const PassConfig &config) = 0;
+};
+
+/** Runs a pass sequence; optionally verifies after every pass. */
+class PassManager {
+  public:
+    explicit PassManager(PassConfig config) : config_(std::move(config)) {}
+
+    void
+    add(std::unique_ptr<Pass> pass)
+    {
+        passes_.push_back(std::move(pass));
+    }
+
+    const PassConfig &config() const { return config_; }
+
+    /**
+     * Run every pass in order. When @p verify_each is true (tests), IR
+     * verification runs after each pass and a failure aborts via
+     * assert with the offending pass named in `lastError`.
+     * @return true if any pass changed the module.
+     */
+    bool run(ir::Module &module, bool verify_each = false);
+
+    /** Non-empty when a verification failure was detected. */
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    PassConfig config_;
+    std::vector<std::unique_ptr<Pass>> passes_;
+    std::string lastError_;
+};
+
+// Factory functions, one per pass (implementations in their own files).
+std::unique_ptr<Pass> createMem2RegPass();
+std::unique_ptr<Pass> createSimplifyCfgPass();
+std::unique_ptr<Pass> createInstCombinePass();
+std::unique_ptr<Pass> createSccpPass();
+std::unique_ptr<Pass> createGlobalOptPass();
+std::unique_ptr<Pass> createEarlyCsePass();
+std::unique_ptr<Pass> createDcePass();
+/** @param allow_exit_dse permit the exit-DSE flavour (D3). Pipelines
+ * pass false for the in-loop scalar rounds and true only for the final
+ * cleanup, after the last globalopt — deleting an exit store earlier
+ * would turn stored globals into never-stored ones and erase the
+ * flow-sensitivity differences under study. */
+std::unique_ptr<Pass> createDsePass(bool allow_exit_dse = true);
+std::unique_ptr<Pass> createInlinePass();
+std::unique_ptr<Pass> createGlobalDcePass();
+std::unique_ptr<Pass> createJumpThreadingPass();
+std::unique_ptr<Pass> createVrpPass();
+std::unique_ptr<Pass> createLoopUnswitchPass();
+std::unique_ptr<Pass> createLoopUnrollPass();
+std::unique_ptr<Pass> createLoopStoreRewritePass();
+
+} // namespace dce::opt

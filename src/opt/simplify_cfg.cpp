@@ -1,0 +1,279 @@
+/**
+ * @file
+ * CFG cleanup: fold constant branches, remove unreachable blocks,
+ * collapse trivial phis, merge straight-line block chains, and skip
+ * empty forwarding blocks. This is the mechanical half of dead-code
+ * elimination — the analyses under test (SCCP, globalopt, VRP, ...)
+ * are what *make* branches constant; SimplifyCFG then deletes the dead
+ * arms.
+ */
+#include <algorithm>
+
+#include "ir/cfg.hpp"
+#include "opt/pass.hpp"
+
+namespace dce::opt {
+
+using ir::BasicBlock;
+using ir::Constant;
+using ir::Function;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+using ir::Value;
+
+namespace {
+
+class SimplifyCfg : public Pass {
+  public:
+    std::string name() const override { return "simplifycfg"; }
+
+    bool
+    run(Module &module, const PassConfig &config) override
+    {
+        if (!config.simplifyCfg)
+            return false;
+        bool changed = false;
+        for (const auto &fn : module.functions()) {
+            if (fn->isDeclaration())
+                continue;
+            while (iterate(*fn))
+                changed = true;
+        }
+        return changed;
+    }
+
+  private:
+    /** One cleanup sweep; returns true if anything changed. */
+    bool
+    iterate(Function &fn)
+    {
+        bool changed = false;
+        changed |= ir::removeUnreachableBlocks(fn) > 0;
+        changed |= foldConstantTerminators(fn);
+        changed |= ir::removeUnreachableBlocks(fn) > 0;
+        changed |= collapseTrivialPhis(fn);
+        changed |= mergeStraightLineChains(fn);
+        changed |= skipForwardingBlocks(fn);
+        return changed;
+    }
+
+    bool
+    foldConstantTerminators(Function &fn)
+    {
+        bool changed = false;
+        for (const auto &block : fn.blocks()) {
+            Instr *term = block->terminator();
+            if (!term)
+                continue;
+            if (term->opcode() == Opcode::CondBr) {
+                BasicBlock *t = term->blockOperands()[0];
+                BasicBlock *f = term->blockOperands()[1];
+                Value *cond = term->operand(0);
+                if (cond->isConstant()) {
+                    bool taken =
+                        !static_cast<Constant *>(cond)->isZero();
+                    BasicBlock *target = taken ? t : f;
+                    BasicBlock *dropped = taken ? f : t;
+                    replaceTerminatorWithBr(*block, term, target);
+                    if (dropped != target)
+                        dropped->removePhiIncomingFor(block.get());
+                    changed = true;
+                } else if (t == f) {
+                    // Both edges to the same block: collapse, dropping
+                    // the duplicate phi entries (they carry identical
+                    // values when produced by our passes; bail if not).
+                    if (dedupPhiEntries(*t, block.get())) {
+                        replaceTerminatorWithBr(*block, term, t);
+                        changed = true;
+                    }
+                }
+            } else if (term->opcode() == Opcode::Switch &&
+                       term->operand(0)->isConstant()) {
+                int64_t value =
+                    static_cast<Constant *>(term->operand(0))->value();
+                BasicBlock *target = term->blockOperands()[0];
+                for (size_t i = 0; i < term->caseValues.size(); ++i) {
+                    if (term->caseValues[i] == value) {
+                        target = term->blockOperands()[i + 1];
+                        break;
+                    }
+                }
+                std::vector<BasicBlock *> all = term->blockOperands();
+                replaceTerminatorWithBr(*block, term, target);
+                for (BasicBlock *succ : all) {
+                    if (succ != target)
+                        succ->removePhiIncomingFor(block.get());
+                }
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    /** If @p pred reaches @p block through multiple edges, its phis
+     * have several entries for pred. Keep one entry iff all values
+     * agree. @return true if afterwards at most one entry remains. */
+    bool
+    dedupPhiEntries(BasicBlock &block, BasicBlock *pred)
+    {
+        for (Instr *phi : block.phis()) {
+            Value *seen = nullptr;
+            for (size_t i = 0; i < phi->blockOperands().size(); ++i) {
+                if (phi->blockOperands()[i] != pred)
+                    continue;
+                if (seen && phi->operand(i) != seen)
+                    return false;
+                seen = phi->operand(i);
+            }
+        }
+        for (Instr *phi : block.phis()) {
+            bool kept = false;
+            for (size_t i = phi->blockOperands().size(); i-- > 0;) {
+                if (phi->blockOperands()[i] != pred)
+                    continue;
+                if (kept)
+                    phi->removeIncoming(i);
+                kept = true;
+            }
+        }
+        return true;
+    }
+
+    void
+    replaceTerminatorWithBr(BasicBlock &block, Instr *term,
+                            BasicBlock *target)
+    {
+        block.erase(term);
+        auto br = std::make_unique<Instr>(Opcode::Br,
+                                          ir::IrType::voidTy());
+        br->addBlockOperand(target);
+        block.append(std::move(br));
+    }
+
+    bool
+    collapseTrivialPhis(Function &fn)
+    {
+        bool changed = false;
+        for (const auto &block : fn.blocks()) {
+            for (Instr *phi : block->phis()) {
+                // Single distinct incoming value (or self-references
+                // plus one value) collapses to that value.
+                Value *unique_value = nullptr;
+                bool trivial = true;
+                for (size_t i = 0; i < phi->numOperands(); ++i) {
+                    Value *incoming = phi->operand(i);
+                    if (incoming == phi)
+                        continue;
+                    if (unique_value && incoming != unique_value) {
+                        trivial = false;
+                        break;
+                    }
+                    unique_value = incoming;
+                }
+                if (trivial && unique_value) {
+                    phi->replaceAllUsesWith(unique_value);
+                    block->erase(phi);
+                    changed = true;
+                }
+            }
+        }
+        return changed;
+    }
+
+    bool
+    mergeStraightLineChains(Function &fn)
+    {
+        auto preds = ir::predecessorMap(fn);
+        for (const auto &owned : fn.blocks()) {
+            BasicBlock *pred = owned.get();
+            Instr *term = pred->terminator();
+            if (!term || term->opcode() != Opcode::Br)
+                continue;
+            BasicBlock *block = term->blockOperands()[0];
+            if (block == pred || block == fn.entry())
+                continue;
+            if (preds.at(block).size() != 1)
+                continue;
+            // Phis in a single-pred block are trivial; collapse first.
+            for (Instr *phi : block->phis()) {
+                phi->replaceAllUsesWith(phi->operand(0));
+                block->erase(phi);
+            }
+            // Splice block's instructions into pred.
+            pred->erase(term);
+            while (!block->empty()) {
+                std::unique_ptr<Instr> moved =
+                    block->detach(block->front());
+                pred->reattach(std::move(moved));
+            }
+            // Successors' phis must now name pred.
+            for (BasicBlock *succ : pred->successors())
+                succ->replacePhiIncomingBlock(block, pred);
+            fn.eraseBlock(block);
+            return true; // predecessor map is stale; restart sweep
+        }
+        return false;
+    }
+
+    bool
+    skipForwardingBlocks(Function &fn)
+    {
+        auto preds = ir::predecessorMap(fn);
+        for (const auto &owned : fn.blocks()) {
+            BasicBlock *block = owned.get();
+            if (block == fn.entry())
+                continue;
+            Instr *term = block->terminator();
+            if (!term || term->opcode() != Opcode::Br ||
+                block->size() != 1) {
+                continue;
+            }
+            BasicBlock *target = term->blockOperands()[0];
+            if (target == block)
+                continue;
+            const auto &block_preds = preds.at(block);
+            if (block_preds.empty())
+                continue;
+            // Ambiguity guard: if the target has phis and some pred
+            // already branches to it, redirecting would create
+            // duplicate-pred entries with possibly different values.
+            if (!target->phis().empty()) {
+                bool conflict = false;
+                for (BasicBlock *pred : block_preds) {
+                    for (BasicBlock *succ : pred->successors())
+                        conflict |= succ == target;
+                }
+                if (conflict)
+                    continue;
+            }
+            // Redirect every incoming edge.
+            for (BasicBlock *pred : block_preds)
+                pred->terminator()->replaceSuccessor(block, target);
+            // Each phi entry for `block` becomes one entry per pred.
+            for (Instr *phi : target->phis()) {
+                for (size_t i = phi->blockOperands().size(); i-- > 0;) {
+                    if (phi->blockOperands()[i] != block)
+                        continue;
+                    Value *value = phi->operand(i);
+                    phi->removeIncoming(i);
+                    for (BasicBlock *pred : block_preds)
+                        phi->addIncoming(value, pred);
+                }
+            }
+            fn.eraseBlock(block);
+            return true; // maps stale; restart
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createSimplifyCfgPass()
+{
+    return std::make_unique<SimplifyCfg>();
+}
+
+} // namespace dce::opt

@@ -1,0 +1,106 @@
+#include "reduce/reducer.hpp"
+
+#include <vector>
+
+namespace dce::reduce {
+
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &source)
+{
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < source.size()) {
+        size_t eol = source.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = source.size();
+        lines.push_back(source.substr(pos, eol - pos));
+        pos = eol + 1;
+    }
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines,
+          const std::vector<bool> &keep)
+{
+    std::string out;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (keep[i]) {
+            out += lines[i];
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+ReduceResult
+reduceSource(const std::string &source, const Predicate &interesting,
+             unsigned max_tests)
+{
+    ReduceResult result;
+    result.source = source;
+
+    std::vector<std::string> lines = splitLines(source);
+    result.linesBefore = static_cast<unsigned>(lines.size());
+    std::vector<bool> keep(lines.size(), true);
+
+    auto countKept = [&] {
+        size_t count = 0;
+        for (bool flag : keep)
+            count += flag ? 1 : 0;
+        return count;
+    };
+
+    ++result.testsRun;
+    if (!interesting(source)) {
+        result.linesAfter = result.linesBefore;
+        return result;
+    }
+
+    // ddmin: chunk sizes halve from n/2 down to 1; restart from the
+    // top whenever a whole sweep at size 1 removed something.
+    bool improved = true;
+    while (improved && result.testsRun < max_tests) {
+        improved = false;
+        for (size_t chunk = std::max<size_t>(countKept() / 2, 1);
+             chunk >= 1 && result.testsRun < max_tests; chunk /= 2) {
+            for (size_t start = 0;
+                 start < lines.size() && result.testsRun < max_tests;) {
+                // Select the next `chunk` kept lines from `start`.
+                std::vector<size_t> selected;
+                size_t cursor = start;
+                while (cursor < lines.size() &&
+                       selected.size() < chunk) {
+                    if (keep[cursor])
+                        selected.push_back(cursor);
+                    ++cursor;
+                }
+                if (selected.empty())
+                    break;
+                for (size_t index : selected)
+                    keep[index] = false;
+                std::string candidate = joinLines(lines, keep);
+                ++result.testsRun;
+                if (interesting(candidate)) {
+                    improved = true;
+                    result.source = std::move(candidate);
+                } else {
+                    for (size_t index : selected)
+                        keep[index] = true;
+                }
+                start = cursor;
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+
+    result.linesAfter = static_cast<unsigned>(countKept());
+    return result;
+}
+
+} // namespace dce::reduce

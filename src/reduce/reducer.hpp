@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Test-case reduction — the C-Reduce stand-in (§4.3). Delta debugging
+ * (ddmin) over source lines: repeatedly try dropping chunks of lines,
+ * keeping a candidate whenever the caller's interestingness predicate
+ * still holds. The predicate owns validity checking (a candidate that
+ * no longer parses is simply uninteresting), exactly like C-Reduce's
+ * interestingness scripts.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace dce::reduce {
+
+/** Decide if a candidate still exhibits the behaviour under study.
+ * Must return false for invalid programs. */
+using Predicate = std::function<bool(const std::string &source)>;
+
+struct ReduceResult {
+    std::string source;     ///< smallest interesting variant found
+    unsigned testsRun = 0;  ///< predicate invocations
+    unsigned linesBefore = 0;
+    unsigned linesAfter = 0;
+};
+
+/**
+ * Shrink @p source while @p interesting holds.
+ * @pre interesting(source) is true (checked; returned unchanged with
+ * testsRun == 1 otherwise).
+ * @param max_tests safety budget on predicate invocations.
+ */
+ReduceResult reduceSource(const std::string &source,
+                          const Predicate &interesting,
+                          unsigned max_tests = 5000);
+
+} // namespace dce::reduce

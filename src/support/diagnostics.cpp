@@ -1,0 +1,73 @@
+#include "support/diagnostics.hpp"
+
+namespace dce {
+
+namespace {
+
+const char *
+severityName(DiagSeverity severity)
+{
+    switch (severity) {
+      case DiagSeverity::Note:
+        return "note";
+      case DiagSeverity::Warning:
+        return "warning";
+      case DiagSeverity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+Diagnostic::str() const
+{
+    std::string out = severityName(severity);
+    if (loc.isValid()) {
+        out += " ";
+        out += loc.str();
+    }
+    out += ": ";
+    out += message;
+    return out;
+}
+
+void
+DiagnosticEngine::error(SourceLoc loc, std::string message)
+{
+    diags_.push_back({DiagSeverity::Error, loc, std::move(message)});
+    ++numErrors_;
+}
+
+void
+DiagnosticEngine::warning(SourceLoc loc, std::string message)
+{
+    diags_.push_back({DiagSeverity::Warning, loc, std::move(message)});
+}
+
+void
+DiagnosticEngine::note(SourceLoc loc, std::string message)
+{
+    diags_.push_back({DiagSeverity::Note, loc, std::move(message)});
+}
+
+std::string
+DiagnosticEngine::str() const
+{
+    std::string out;
+    for (const Diagnostic &diag : diags_) {
+        out += diag.str();
+        out += "\n";
+    }
+    return out;
+}
+
+void
+DiagnosticEngine::clear()
+{
+    diags_.clear();
+    numErrors_ = 0;
+}
+
+} // namespace dce

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error and warning collection for the MiniC frontend and the IR
+ * verifier. Diagnostics are accumulated rather than thrown so that batch
+ * tooling (the generator validating its own output, the reducer probing
+ * candidate programs) can ask "did this parse?" cheaply.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace dce {
+
+/** Severity of a reported diagnostic. */
+enum class DiagSeverity {
+    Note,
+    Warning,
+    Error,
+};
+
+/** A single reported problem with an optional source position. */
+struct Diagnostic {
+    DiagSeverity severity = DiagSeverity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    /** Render as "error 3:7: message". */
+    std::string str() const;
+};
+
+/**
+ * Accumulates diagnostics produced while processing one compilation
+ * unit. Cheap to construct; passed by reference through frontend stages.
+ */
+class DiagnosticEngine {
+  public:
+    void error(SourceLoc loc, std::string message);
+    void warning(SourceLoc loc, std::string message);
+    void note(SourceLoc loc, std::string message);
+
+    bool hasErrors() const { return numErrors_ > 0; }
+    size_t errorCount() const { return numErrors_; }
+    const std::vector<Diagnostic> &all() const { return diags_; }
+
+    /** All diagnostics, one per line, for logs and test failure output. */
+    std::string str() const;
+
+    void clear();
+
+  private:
+    std::vector<Diagnostic> diags_;
+    size_t numErrors_ = 0;
+};
+
+} // namespace dce

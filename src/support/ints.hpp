@@ -1,0 +1,153 @@
+/**
+ * @file
+ * MiniC integer semantics. MiniC deliberately has *no* undefined
+ * behavior: signed arithmetic wraps (two's complement), division and
+ * remainder by zero return the dividend (the Csmith "safe math"
+ * convention), INT_MIN / -1 returns the dividend, and shift amounts are
+ * masked to the operand width. These helpers are the single source of
+ * truth shared by the semantic analyzer's constant evaluator, the IR
+ * interpreter, and every constant-folding optimization — so the
+ * "compilers" and the ground-truth executor can never disagree about
+ * what a program computes.
+ *
+ * Values are carried as int64_t in *canonical form*: wrapped to the
+ * type's width, then sign-extended when signed and zero-extended when
+ * unsigned.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace dce {
+
+/** Wrap @p value to canonical form for an integer of @p bits width. */
+inline int64_t
+wrapInt(int64_t value, unsigned bits, bool is_signed)
+{
+    assert(bits >= 1 && bits <= 64);
+    if (bits == 64)
+        return value;
+    uint64_t mask = (uint64_t{1} << bits) - 1;
+    uint64_t truncated = static_cast<uint64_t>(value) & mask;
+    if (is_signed) {
+        uint64_t sign_bit = uint64_t{1} << (bits - 1);
+        if (truncated & sign_bit)
+            truncated |= ~mask;
+    }
+    return static_cast<int64_t>(truncated);
+}
+
+/** a + b at width/signedness, wrapping. Inputs must be canonical. */
+inline int64_t
+addInt(int64_t a, int64_t b, unsigned bits, bool is_signed)
+{
+    return wrapInt(static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                        static_cast<uint64_t>(b)),
+                   bits, is_signed);
+}
+
+inline int64_t
+subInt(int64_t a, int64_t b, unsigned bits, bool is_signed)
+{
+    return wrapInt(static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                        static_cast<uint64_t>(b)),
+                   bits, is_signed);
+}
+
+inline int64_t
+mulInt(int64_t a, int64_t b, unsigned bits, bool is_signed)
+{
+    return wrapInt(static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                        static_cast<uint64_t>(b)),
+                   bits, is_signed);
+}
+
+/** a / b; b == 0 or overflowing INT_MIN/-1 yields a (safe math). */
+inline int64_t
+divInt(int64_t a, int64_t b, unsigned bits, bool is_signed)
+{
+    if (b == 0)
+        return a;
+    if (is_signed) {
+        if (a == INT64_MIN && b == -1)
+            return a;
+        // Narrower widths cannot overflow in int64 arithmetic; the
+        // result of e.g. INT8_MIN / -1 simply wraps.
+        return wrapInt(a / b, bits, is_signed);
+    }
+    uint64_t ua = static_cast<uint64_t>(a);
+    uint64_t ub = static_cast<uint64_t>(b);
+    return wrapInt(static_cast<int64_t>(ua / ub), bits, is_signed);
+}
+
+/** a % b; b == 0 yields a; INT_MIN % -1 yields 0 (safe math). */
+inline int64_t
+remInt(int64_t a, int64_t b, unsigned bits, bool is_signed)
+{
+    if (b == 0)
+        return a;
+    if (is_signed) {
+        if (a == INT64_MIN && b == -1)
+            return 0;
+        return wrapInt(a % b, bits, is_signed);
+    }
+    uint64_t ua = static_cast<uint64_t>(a);
+    uint64_t ub = static_cast<uint64_t>(b);
+    return wrapInt(static_cast<int64_t>(ua % ub), bits, is_signed);
+}
+
+/** Shift amounts are masked to [0, bits), like x86 hardware. */
+inline unsigned
+maskShiftAmount(int64_t amount, unsigned bits)
+{
+    return static_cast<unsigned>(static_cast<uint64_t>(amount) &
+                                 (bits - 1));
+}
+
+inline int64_t
+shlInt(int64_t a, int64_t b, unsigned bits, bool is_signed)
+{
+    unsigned amount = maskShiftAmount(b, bits);
+    return wrapInt(
+        static_cast<int64_t>(static_cast<uint64_t>(a) << amount), bits,
+        is_signed);
+}
+
+/** Arithmetic shift for signed, logical for unsigned. */
+inline int64_t
+shrInt(int64_t a, int64_t b, unsigned bits, bool is_signed)
+{
+    unsigned amount = maskShiftAmount(b, bits);
+    if (is_signed)
+        return wrapInt(a >> amount, bits, is_signed);
+    // Operate on the zero-extended canonical representation.
+    uint64_t ua = static_cast<uint64_t>(a);
+    if (bits < 64)
+        ua &= (uint64_t{1} << bits) - 1;
+    return wrapInt(static_cast<int64_t>(ua >> amount), bits, is_signed);
+}
+
+/** Comparison respecting signedness of the common type. */
+inline bool
+ltInt(int64_t a, int64_t b, bool is_signed)
+{
+    if (is_signed)
+        return a < b;
+    return static_cast<uint64_t>(a) < static_cast<uint64_t>(b);
+}
+
+/** Convert a canonical (from_bits, from_signed) value to canonical
+ * (to_bits, to_signed) form — C's value-preserving-then-wrap rule. */
+inline int64_t
+convertInt(int64_t value, unsigned from_bits, bool from_signed,
+           unsigned to_bits, bool to_signed)
+{
+    // Canonical form already encodes the mathematical value (mod 2^64)
+    // with the proper extension, so conversion is just re-wrapping.
+    (void)from_bits;
+    (void)from_signed;
+    return wrapInt(value, to_bits, to_signed);
+}
+
+} // namespace dce

@@ -1,0 +1,70 @@
+#include "support/rng.hpp"
+
+namespace dce {
+
+uint64_t
+Rng::next()
+{
+    // splitmix64 (Vigna, public domain).
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias. The loop terminates with
+    // overwhelming probability after one or two iterations.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t raw = next();
+        if (raw >= threshold)
+            return raw % bound;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    assert(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + below(span));
+}
+
+bool
+Rng::chance(unsigned percent)
+{
+    if (percent >= 100)
+        return true;
+    return below(100) < percent;
+}
+
+size_t
+Rng::pickWeighted(const std::vector<unsigned> &weights)
+{
+    uint64_t total = 0;
+    for (unsigned weight : weights)
+        total += weight;
+    assert(total > 0);
+    uint64_t roll = below(total);
+    for (size_t i = 0; i < weights.size(); ++i) {
+        if (roll < weights[i])
+            return i;
+        roll -= weights[i];
+    }
+    assert(false && "unreachable: weights exhausted");
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa5a5a5a5deadbeefull);
+}
+
+} // namespace dce

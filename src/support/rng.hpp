@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the program
+ * generator and for randomized property tests. Everything derives from a
+ * 64-bit seed so that any generated program, test corpus, or failure can
+ * be reproduced exactly from the seed that made it.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace dce {
+
+/**
+ * A splitmix64-based generator. Small state, excellent distribution for
+ * this use case, and trivially reproducible — which is the property the
+ * paper's Csmith-based workflow relies on.
+ */
+class Rng {
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. @pre lo <= hi. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** True with probability percent/100. */
+    bool chance(unsigned percent);
+
+    /** Pick an element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &items)
+    {
+        assert(!items.empty());
+        return items[below(items.size())];
+    }
+
+    /**
+     * Pick an index according to integer weights; weight 0 entries are
+     * never chosen. @pre at least one weight is positive.
+     */
+    size_t pickWeighted(const std::vector<unsigned> &weights);
+
+    /** Derive an independent child generator (for parallel corpora). */
+    Rng split();
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace dce

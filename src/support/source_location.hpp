@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Lightweight source coordinates used by the lexer, parser, and
+ * diagnostics. MiniC programs are single-file, so a location is just a
+ * (line, column) pair.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dce {
+
+/** A position within a single MiniC source buffer. 1-based; 0 = unknown. */
+struct SourceLoc {
+    uint32_t line = 0;
+    uint32_t column = 0;
+
+    bool isValid() const { return line != 0; }
+
+    bool operator==(const SourceLoc &) const = default;
+
+    /** Render as "line:col" (or "<unknown>"). */
+    std::string str() const
+    {
+        if (!isValid())
+            return "<unknown>";
+        return std::to_string(line) + ":" + std::to_string(column);
+    }
+};
+
+} // namespace dce

@@ -1,0 +1,53 @@
+#include "helpers.hpp"
+
+#include "ir/lowering.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "lang/parser.hpp"
+
+namespace dce::test {
+
+std::unique_ptr<lang::TranslationUnit>
+parseOk(const std::string &source)
+{
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(source, diags);
+    EXPECT_TRUE(unit != nullptr)
+        << "compilation failed:\n" << diags.str() << "\nsource:\n"
+        << source;
+    return unit;
+}
+
+std::string
+parseErrors(const std::string &source)
+{
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(source, diags);
+    EXPECT_EQ(unit, nullptr) << "expected errors for:\n" << source;
+    return diags.str();
+}
+
+std::unique_ptr<ir::Module>
+lowerOk(const std::string &source)
+{
+    auto unit = parseOk(source);
+    if (!unit)
+        return nullptr;
+    auto module = ir::lowerToIr(*unit);
+    ir::VerifyResult verify = ir::verifyModule(*module);
+    EXPECT_TRUE(verify.ok())
+        << "IR verification failed:\n" << verify.str() << "\nIR:\n"
+        << ir::printModule(*module);
+    return module;
+}
+
+interp::ExecResult
+runSource(const std::string &source)
+{
+    auto module = lowerOk(source);
+    if (!module)
+        return {};
+    return interp::execute(*module);
+}
+
+} // namespace dce::test

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared test helpers: compile MiniC snippets to AST/IR, execute them,
+ * and assert on the results with readable failure output.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "ir/ir.hpp"
+#include "lang/ast.hpp"
+
+namespace dce::test {
+
+/** Parse + sema; fails the current test (and returns null) on errors. */
+std::unique_ptr<lang::TranslationUnit> parseOk(const std::string &source);
+
+/** Parse + sema, expecting at least one error; returns the messages. */
+std::string parseErrors(const std::string &source);
+
+/** Parse + sema + lower + verify; fails the test on any problem. */
+std::unique_ptr<ir::Module> lowerOk(const std::string &source);
+
+/** Full pipeline: parse, lower, execute with default limits. */
+interp::ExecResult runSource(const std::string &source);
+
+} // namespace dce::test

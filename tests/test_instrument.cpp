@@ -1,0 +1,156 @@
+/** @file Tests for marker instrumentation. */
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "helpers.hpp"
+#include "instrument/instrument.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/lowering.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+
+namespace dce::instrument {
+namespace {
+
+using dce::test::parseOk;
+
+TEST(Instrument, MarkerNamesRoundTrip)
+{
+    EXPECT_EQ(markerName(0), "DCEMarker0");
+    EXPECT_EQ(markerName(17), "DCEMarker17");
+    EXPECT_EQ(markerIndex("DCEMarker17"), 17u);
+    EXPECT_EQ(markerIndex("DCEMarker"), std::nullopt);
+    EXPECT_EQ(markerIndex("DCEMarkerX"), std::nullopt);
+    EXPECT_EQ(markerIndex("printf"), std::nullopt);
+}
+
+TEST(Instrument, InsertsMarkersInAllConstructs)
+{
+    auto unit = parseOk(R"(
+        int a;
+        int main() {
+            if (a) { a = 1; } else { a = 2; }
+            for (int i = 0; i < 3; i++) { a += i; }
+            while (a) { a--; }
+            do { a++; } while (a < 0);
+            switch (a) {
+              case 1:
+                a = 5;
+                break;
+              default:
+                break;
+            }
+            return a;
+        }
+    )");
+    ASSERT_TRUE(unit);
+    Instrumented result = instrumentUnit(*unit);
+    // if-then, if-else, 3 loop bodies, 2 switch arms = 7 markers.
+    EXPECT_EQ(result.markerCount(), 7u);
+
+    unsigned loops = 0, arms = 0;
+    for (const MarkerInfo &marker : result.markers) {
+        loops += marker.site == MarkerSite::LoopBody ? 1 : 0;
+        arms += marker.site == MarkerSite::SwitchArm ? 1 : 0;
+    }
+    EXPECT_EQ(loops, 3u);
+    EXPECT_EQ(arms, 2u);
+}
+
+TEST(Instrument, AfterConditionalReturnSite)
+{
+    auto unit = parseOk(R"(
+        int a;
+        int main() {
+            if (a) { return 1; }
+            a = 2;
+            return a;
+        }
+    )");
+    ASSERT_TRUE(unit);
+    Instrumented result = instrumentUnit(*unit);
+    bool found = false;
+    for (const MarkerInfo &marker : result.markers) {
+        found |= marker.site == MarkerSite::AfterConditionalReturn;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Instrument, WrapsNonBlockBodies)
+{
+    auto unit = parseOk(R"(
+        int a;
+        int main() {
+            if (a) a = 1;
+            return a;
+        }
+    )");
+    ASSERT_TRUE(unit);
+    Instrumented result = instrumentUnit(*unit);
+    EXPECT_EQ(result.markerCount(), 1u);
+    // The instrumented program still prints and reparses.
+    std::string printed = lang::printUnit(*result.unit);
+    DiagnosticEngine diags;
+    EXPECT_TRUE(lang::parseAndCheck(printed, diags) != nullptr)
+        << printed << diags.str();
+}
+
+TEST(Instrument, OriginalUnitUntouched)
+{
+    auto unit = parseOk(R"(
+        int a;
+        int main() { if (a) { a = 1; } return a; }
+    )");
+    ASSERT_TRUE(unit);
+    std::string before = lang::printUnit(*unit);
+    instrumentUnit(*unit);
+    EXPECT_EQ(before, lang::printUnit(*unit));
+}
+
+TEST(Instrument, InstrumentationPreservesBehaviour)
+{
+    // Markers are opaque no-ops at runtime: the instrumented program's
+    // exit value and global state must match the original's.
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+        auto unit = gen::generateProgram(seed);
+        auto plain_module = ir::lowerToIr(*unit);
+        interp::ExecResult plain = interp::execute(*plain_module);
+
+        Instrumented instrumented = instrumentUnit(*unit);
+        auto instr_module = ir::lowerToIr(*instrumented.unit);
+        interp::ExecResult traced = interp::execute(*instr_module);
+
+        ASSERT_EQ(plain.status, traced.status) << "seed " << seed;
+        EXPECT_EQ(plain.exitValue, traced.exitValue) << "seed " << seed;
+        EXPECT_EQ(plain.finalGlobals, traced.finalGlobals)
+            << "seed " << seed;
+        // The traced run's call sequence, with markers filtered out,
+        // must equal the original's.
+        std::vector<std::string> non_markers;
+        for (const std::string &name : traced.callTrace) {
+            if (!markerIndex(name))
+                non_markers.push_back(name);
+        }
+        EXPECT_EQ(plain.callTrace, non_markers) << "seed " << seed;
+    }
+}
+
+TEST(Instrument, ExecutedMarkersAreWellFormed)
+{
+    auto instrumented = instrumentSource(R"(
+        int a = 1;
+        int main() {
+            if (a) { a = 2; } else { a = 3; }
+            return a;
+        }
+    )");
+    auto module = ir::lowerToIr(*instrumented.unit);
+    interp::ExecResult result = interp::execute(*module);
+    ASSERT_EQ(result.status, interp::ExecStatus::Ok);
+    // Only the then-branch marker runs.
+    ASSERT_EQ(result.callTrace.size(), 1u);
+    EXPECT_TRUE(markerIndex(result.callTrace[0]).has_value());
+}
+
+} // namespace
+} // namespace dce::instrument

@@ -1,0 +1,401 @@
+/** @file End-to-end interpreter tests: language semantics, marker
+ * traces, limits, and the paper's example programs. */
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+#include "ir/lowering.hpp"
+#include "lang/parser.hpp"
+
+namespace dce::interp {
+namespace {
+
+using dce::test::runSource;
+
+/** Shorthand: run and expect a clean exit with the given value. */
+void
+expectExit(const std::string &source, int64_t expected)
+{
+    ExecResult result = runSource(source);
+    ASSERT_EQ(result.status, ExecStatus::Ok);
+    EXPECT_EQ(result.exitValue, expected) << source;
+}
+
+TEST(Interp, ReturnsConstant)
+{
+    expectExit("int main() { return 42; }", 42);
+}
+
+TEST(Interp, ArithmeticAndPrecedence)
+{
+    expectExit("int main() { return 2 + 3 * 4 - 6 / 2; }", 11);
+}
+
+TEST(Interp, SafeDivisionByZero)
+{
+    expectExit("int a = 7; int b = 0; int main() { return a / b; }", 7);
+    expectExit("int a = 9; int b = 0; int main() { return a % b; }", 9);
+}
+
+TEST(Interp, SignedOverflowWraps)
+{
+    expectExit(
+        "int a = 2147483647; int main() { return a + 1 == -2147483647 - 1; }",
+        1);
+}
+
+TEST(Interp, NarrowingAssignmentWraps)
+{
+    expectExit("char c; int main() { c = 300; return c; }", 44);
+    expectExit("char c; int main() { c = 200; return c; }", -56);
+}
+
+TEST(Interp, UnsignedComparison)
+{
+    expectExit("unsigned u = 0; int main() { return u - 1 > 100; }", 1);
+}
+
+TEST(Interp, ShiftSemantics)
+{
+    expectExit("int main() { int a = 1; return a << 33; }", 2);
+    expectExit("int main() { int a = -8; return a >> 1; }", -4);
+}
+
+TEST(Interp, GlobalsInitializeAndPersist)
+{
+    expectExit(R"(
+        int a = 5;
+        void bump(void) { a += 2; }
+        int main() { bump(); bump(); return a; }
+    )",
+               9);
+}
+
+TEST(Interp, LocalsZeroInitialized)
+{
+    expectExit("int main() { int x; return x; }", 0);
+}
+
+TEST(Interp, LoopsAccumulate)
+{
+    expectExit(R"(
+        int main() {
+            int g = 0;
+            for (int f = 0; f < 10; f++) { g += f; }
+            return g;
+        }
+    )",
+               45);
+}
+
+TEST(Interp, WhileAndDoWhile)
+{
+    expectExit(R"(
+        int main() {
+            int n = 5, s = 0;
+            while (n) { s += n; n--; }
+            do { s++; } while (0);
+            return s;
+        }
+    )",
+               16);
+}
+
+TEST(Interp, BreakAndContinue)
+{
+    expectExit(R"(
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i == 3) { continue; }
+                if (i == 6) { break; }
+                s += i;
+            }
+            return s;
+        }
+    )",
+               0 + 1 + 2 + 4 + 5);
+}
+
+TEST(Interp, SwitchDispatch)
+{
+    expectExit(R"(
+        int pick(int v) {
+            int r = 0;
+            switch (v) {
+              case 1:
+                r = 10;
+                break;
+              case 2:
+                r = 20;
+                break;
+              default:
+                r = 30;
+                break;
+            }
+            return r;
+        }
+        int main() { return pick(1) + pick(2) + pick(9); }
+    )",
+               60);
+}
+
+TEST(Interp, ShortCircuitSkipsSideEffects)
+{
+    expectExit(R"(
+        int calls = 0;
+        int bump(void) { calls++; return 1; }
+        int main() {
+            int r = 0 && bump();
+            r = r + (1 || bump());
+            return calls * 10 + r;
+        }
+    )",
+               1);
+}
+
+TEST(Interp, TernaryChoosesLazily)
+{
+    expectExit(R"(
+        int calls = 0;
+        int bump(void) { calls++; return 7; }
+        int main() {
+            int r = 1 ? 3 : bump();
+            return calls * 10 + r;
+        }
+    )",
+               3);
+}
+
+TEST(Interp, PointersReadAndWriteThrough)
+{
+    expectExit(R"(
+        int c;
+        int main() {
+            int *g = &c;
+            *g = 12;
+            return c;
+        }
+    )",
+               12);
+}
+
+TEST(Interp, PointerToPointer)
+{
+    expectExit(R"(
+        int a = 3, *f, **d = &f;
+        int main() {
+            f = &a;
+            **d = 9;
+            return a;
+        }
+    )",
+               9);
+}
+
+TEST(Interp, DistinctObjectsCompareUnequal)
+{
+    // The Listing-3 shape: &a == &b[1] must be false.
+    expectExit(R"(
+        char a;
+        char b[2];
+        int main() {
+            char *c = &a;
+            char *d = &b[1];
+            return c == d;
+        }
+    )",
+               0);
+}
+
+TEST(Interp, ArraysIndexAndAlias)
+{
+    expectExit(R"(
+        int a[4] = {1, 2, 3, 4};
+        int main() {
+            int *p = &a[1];
+            p[1] = 30; // writes a[2]
+            return a[0] + a[2];
+        }
+    )",
+               31);
+}
+
+TEST(Interp, PointerGlobalInitializer)
+{
+    expectExit(R"(
+        static int a[2];
+        static int *c = &a[1];
+        int main() {
+            *c = 5;
+            return a[1];
+        }
+    )",
+               5);
+}
+
+TEST(Interp, OutOfBoundsIsDefined)
+{
+    expectExit(R"(
+        int a[2] = {1, 2};
+        int main() {
+            int i = 5;
+            a[i] = 99;      // dropped
+            return a[i];    // 0
+        }
+    )",
+               0);
+}
+
+TEST(Interp, MarkerCallsAreTraced)
+{
+    ExecResult result = runSource(R"(
+        void DCEMarker0(void);
+        void DCEMarker1(void);
+        int a = 1;
+        int main() {
+            if (a) { DCEMarker0(); }
+            if (!a) { DCEMarker1(); }
+            return 0;
+        }
+    )");
+    ASSERT_EQ(result.status, ExecStatus::Ok);
+    EXPECT_EQ(result.calledExternals.count("DCEMarker0"), 1u);
+    EXPECT_EQ(result.calledExternals.count("DCEMarker1"), 0u);
+    ASSERT_EQ(result.callTrace.size(), 1u);
+    EXPECT_EQ(result.callTrace[0], "DCEMarker0");
+}
+
+TEST(Interp, TraceKeepsCallOrderAndMultiplicity)
+{
+    ExecResult result = runSource(R"(
+        void M(void);
+        int main() {
+            for (int i = 0; i < 3; i++) { M(); }
+            return 0;
+        }
+    )");
+    ASSERT_EQ(result.status, ExecStatus::Ok);
+    EXPECT_EQ(result.callTrace.size(), 3u);
+}
+
+TEST(Interp, InfiniteLoopTimesOut)
+{
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck("int main() { while (1) { } return 0; }",
+                                    diags);
+    ASSERT_TRUE(unit != nullptr);
+    auto module = ir::lowerToIr(*unit);
+    ExecLimits limits;
+    limits.maxSteps = 10000;
+    ExecResult result = execute(*module, "main", limits);
+    EXPECT_EQ(result.status, ExecStatus::Timeout);
+}
+
+TEST(Interp, RunawayRecursionTraps)
+{
+    ExecResult result = runSource(R"(
+        int f(int n) { return f(n + 1); }
+        int main() { return f(0); }
+    )");
+    EXPECT_TRUE(result.status == ExecStatus::Trap ||
+                result.status == ExecStatus::Timeout);
+}
+
+TEST(Interp, FinalGlobalsCaptureExternalsOnly)
+{
+    ExecResult result = runSource(R"(
+        int visible = 1;
+        static int hidden = 2;
+        int main() { visible = 10; hidden = 20; return 0; }
+    )");
+    ASSERT_EQ(result.status, ExecStatus::Ok);
+    ASSERT_EQ(result.finalGlobals.count("visible"), 1u);
+    EXPECT_EQ(result.finalGlobals.count("hidden"), 0u);
+    EXPECT_EQ(result.finalGlobals.at("visible")[0].i, 10);
+}
+
+TEST(Interp, PaperListing1ComputesCorrectly)
+{
+    // Listing 1a without the printf; both ifs are dead.
+    ExecResult result = runSource(R"(
+        void DCECheck0(void);
+        void DCECheck1(void);
+        void DCECheck2(void);
+        char a;
+        char b[2];
+        static int c = 0;
+        int main() {
+            char *d = &a;
+            char *e = &b[1];
+            if (d == e) {
+                DCECheck0();
+                int f = 0;
+                int g = 0;
+                for (; f < 10; f++) {
+                    DCECheck1();
+                    g += f;
+                }
+            }
+            if (c) {
+                DCECheck2();
+                b[0] = 1;
+                b[1] = 1;
+            }
+            c = 0;
+            return 0;
+        }
+    )");
+    ASSERT_EQ(result.status, ExecStatus::Ok);
+    EXPECT_TRUE(result.callTrace.empty());
+    EXPECT_EQ(result.exitValue, 0);
+}
+
+TEST(Interp, PaperListing8bComputesCorrectly)
+{
+    ExecResult result = runSource(R"(
+        void dead(void);
+        static long a = 78240;
+        static int b, d;
+        static short e;
+        static short c(short f, short h) {
+            return h == 0 || (f && h == 1) ? f : f % h;
+        }
+        int main() {
+            short g = a;
+            for (b = 0; b < 1; b++) {
+                e = a;
+                d = c((e == a) ^ g, a);
+            }
+            if (d) {
+                dead();
+                for (; a; a++) { }
+            }
+            return 0;
+        }
+    )");
+    ASSERT_EQ(result.status, ExecStatus::Ok);
+    EXPECT_TRUE(result.callTrace.empty()) << "dead() must not execute";
+}
+
+TEST(Interp, ObservablyEqualComparesTraces)
+{
+    ExecResult a = runSource(R"(
+        void M(void);
+        int main() { M(); return 1; }
+    )");
+    ExecResult b = runSource(R"(
+        void M(void);
+        int main() { M(); return 1; }
+    )");
+    ExecResult c = runSource(R"(
+        void M(void);
+        int main() { M(); M(); return 1; }
+    )");
+    EXPECT_TRUE(observablyEqual(a, b));
+    EXPECT_FALSE(observablyEqual(a, c));
+    EXPECT_FALSE(explainDifference(a, c).empty());
+}
+
+} // namespace
+} // namespace dce::interp

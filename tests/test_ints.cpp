@@ -1,0 +1,141 @@
+/** @file Unit + property tests for MiniC integer semantics. */
+#include <gtest/gtest.h>
+
+#include "support/ints.hpp"
+#include "support/rng.hpp"
+
+namespace dce {
+namespace {
+
+TEST(Ints, WrapSigned8)
+{
+    EXPECT_EQ(wrapInt(127, 8, true), 127);
+    EXPECT_EQ(wrapInt(128, 8, true), -128);
+    EXPECT_EQ(wrapInt(255, 8, true), -1);
+    EXPECT_EQ(wrapInt(256, 8, true), 0);
+    EXPECT_EQ(wrapInt(-129, 8, true), 127);
+}
+
+TEST(Ints, WrapUnsigned8)
+{
+    EXPECT_EQ(wrapInt(-1, 8, false), 255);
+    EXPECT_EQ(wrapInt(256, 8, false), 0);
+    EXPECT_EQ(wrapInt(300, 8, false), 44);
+}
+
+TEST(Ints, Wrap64IsIdentity)
+{
+    EXPECT_EQ(wrapInt(INT64_MIN, 64, true), INT64_MIN);
+    EXPECT_EQ(wrapInt(-1, 64, false), -1); // canonical form keeps bits
+}
+
+TEST(Ints, AddWrapsAtWidth)
+{
+    EXPECT_EQ(addInt(INT32_MAX, 1, 32, true), INT32_MIN);
+    EXPECT_EQ(addInt(-1, 1, 32, false), 0);
+}
+
+TEST(Ints, SubWraps)
+{
+    EXPECT_EQ(subInt(INT32_MIN, 1, 32, true), INT32_MAX);
+}
+
+TEST(Ints, MulWraps)
+{
+    EXPECT_EQ(mulInt(1 << 20, 1 << 20, 32, true), 0);
+    EXPECT_EQ(mulInt(3, 5, 32, true), 15);
+}
+
+TEST(Ints, SafeDivByZeroReturnsDividend)
+{
+    EXPECT_EQ(divInt(42, 0, 32, true), 42);
+    EXPECT_EQ(divInt(-7, 0, 32, true), -7);
+    EXPECT_EQ(remInt(42, 0, 32, true), 42);
+}
+
+TEST(Ints, SafeDivOverflowReturnsDividend)
+{
+    EXPECT_EQ(divInt(INT64_MIN, -1, 64, true), INT64_MIN);
+    EXPECT_EQ(remInt(INT64_MIN, -1, 64, true), 0);
+}
+
+TEST(Ints, Div32MinByMinusOneWraps)
+{
+    // In 64-bit arithmetic INT32_MIN / -1 does not overflow; the result
+    // wraps back to INT32_MIN at the 32-bit width.
+    EXPECT_EQ(divInt(INT32_MIN, -1, 32, true), INT32_MIN);
+}
+
+TEST(Ints, UnsignedDivision)
+{
+    // -2 in canonical u32 form is 4294967294.
+    int64_t a = wrapInt(-2, 32, false);
+    EXPECT_EQ(divInt(a, 3, 32, false), 1431655764);
+}
+
+TEST(Ints, ShiftAmountsAreMasked)
+{
+    EXPECT_EQ(shlInt(1, 32, 32, true), 1);  // 32 & 31 == 0
+    EXPECT_EQ(shlInt(1, 33, 32, true), 2);  // 33 & 31 == 1
+    EXPECT_EQ(shlInt(1, -1, 32, true), INT32_MIN); // -1 & 31 == 31
+}
+
+TEST(Ints, ArithmeticVsLogicalShr)
+{
+    EXPECT_EQ(shrInt(-8, 1, 32, true), -4);
+    EXPECT_EQ(shrInt(wrapInt(-8, 32, false), 1, 32, false), 2147483644);
+}
+
+TEST(Ints, ConvertNarrowThenWiden)
+{
+    // (char)300 == 44; sign-extending back keeps 44.
+    int64_t as_char = convertInt(300, 32, true, 8, true);
+    EXPECT_EQ(as_char, 44);
+    EXPECT_EQ(convertInt(as_char, 8, true, 32, true), 44);
+    // (char)200 == -56.
+    EXPECT_EQ(convertInt(200, 32, true, 8, true), -56);
+}
+
+TEST(Ints, LtRespectsSignedness)
+{
+    EXPECT_TRUE(ltInt(-1, 0, true));
+    EXPECT_FALSE(ltInt(-1, 0, false)); // canonical -1 is huge unsigned
+}
+
+/** Property sweep: canonical form is a fixed point of wrapInt, and
+ * operations stay canonical. */
+class IntsProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntsProperty, OperationsPreserveCanonicalForm)
+{
+    unsigned bits = GetParam();
+    for (int s = 0; s < 2; ++s) {
+        bool is_signed = s == 1;
+        Rng rng(1234 + bits + s);
+        for (int i = 0; i < 500; ++i) {
+            int64_t a = wrapInt(static_cast<int64_t>(rng.next()), bits,
+                                is_signed);
+            int64_t b = wrapInt(static_cast<int64_t>(rng.next()), bits,
+                                is_signed);
+            EXPECT_EQ(wrapInt(a, bits, is_signed), a);
+            for (int64_t r :
+                 {addInt(a, b, bits, is_signed),
+                  subInt(a, b, bits, is_signed),
+                  mulInt(a, b, bits, is_signed),
+                  divInt(a, b, bits, is_signed),
+                  remInt(a, b, bits, is_signed),
+                  shlInt(a, b, bits, is_signed),
+                  shrInt(a, b, bits, is_signed)}) {
+                EXPECT_EQ(wrapInt(r, bits, is_signed), r)
+                    << "non-canonical result at bits=" << bits
+                    << " signed=" << is_signed << " a=" << a << " b=" << b;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, IntsProperty,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+} // namespace
+} // namespace dce

@@ -1,0 +1,575 @@
+/** @file Optimizer tests: per-pass behaviour, translation validation
+ * against the interpreter, and the engineered capability knobs. */
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hpp"
+#include "helpers.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/lowering.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "lang/parser.hpp"
+
+namespace dce {
+namespace {
+
+using compiler::Compiler;
+using compiler::CompilerId;
+using compiler::OptLevel;
+using test::lowerOk;
+using test::parseOk;
+
+size_t
+countOpcode(const ir::Module &module, ir::Opcode opcode)
+{
+    size_t count = 0;
+    for (const auto &fn : module.functions()) {
+        for (const auto &block : fn->blocks()) {
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() == opcode)
+                    ++count;
+            }
+        }
+    }
+    return count;
+}
+
+bool
+callsFunction(const ir::Module &module, const std::string &name)
+{
+    for (const auto &fn : module.functions()) {
+        for (const auto &block : fn->blocks()) {
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() == ir::Opcode::Call &&
+                    instr->callee->name() == name) {
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+/** Compile @p source with @p compiler (verifying after every pass) and
+ * check the optimized module behaves exactly like the -O0 build. */
+std::unique_ptr<ir::Module>
+compileValidated(const std::string &source, const Compiler &comp)
+{
+    auto unit = parseOk(source);
+    if (!unit)
+        return nullptr;
+    auto optimized = comp.compile(*unit, /*verify_each=*/true);
+    EXPECT_TRUE(comp.lastError().empty())
+        << comp.describe() << " verification failure:\n"
+        << comp.lastError() << "\nsource:\n"
+        << source << "\nIR:\n"
+        << ir::printModule(*optimized);
+    auto baseline_module = ir::lowerToIr(*unit);
+    interp::ExecResult expected = interp::execute(*baseline_module);
+    interp::ExecResult actual = interp::execute(*optimized);
+    EXPECT_TRUE(interp::observablyEqual(expected, actual))
+        << comp.describe() << " miscompiled:\n"
+        << interp::explainDifference(expected, actual) << "source:\n"
+        << source << "\noptimized IR:\n"
+        << ir::printModule(*optimized);
+    return optimized;
+}
+
+//===------------------------------------------------------------------===//
+// Individual pass behaviour (via the full pipelines)
+//===------------------------------------------------------------------===//
+
+TEST(Opt, Mem2RegRemovesScalarAllocas)
+{
+    Compiler comp(CompilerId::Beta, OptLevel::O1);
+    auto module = compileValidated(R"(
+        int main() {
+            int a = 3;
+            int b = a + 4;
+            return b;
+        }
+    )",
+                                   comp);
+    ASSERT_TRUE(module);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Alloca), 0u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Load), 0u);
+}
+
+TEST(Opt, ConstantsFoldToReturn)
+{
+    Compiler comp(CompilerId::Beta, OptLevel::O1);
+    auto module = compileValidated(
+        "int main() { int a = 3; int b = 4; return a * b + 2; }", comp);
+    ASSERT_TRUE(module);
+    // main should be a single block returning the constant 14.
+    ir::Function *main_fn = module->getFunction("main");
+    EXPECT_EQ(main_fn->numBlocks(), 1u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Bin), 0u);
+}
+
+TEST(Opt, SccpFoldsThroughBranches)
+{
+    Compiler comp(CompilerId::Beta, OptLevel::O1);
+    auto module = compileValidated(R"(
+        void DCEMarker0(void);
+        int main() {
+            int a = 1;
+            int b;
+            if (a) { b = 2; } else { b = 3; }
+            if (b == 3) { DCEMarker0(); }
+            return b;
+        }
+    )",
+                                   comp);
+    ASSERT_TRUE(module);
+    EXPECT_FALSE(callsFunction(*module, "DCEMarker0"));
+}
+
+TEST(Opt, DeadLoopsDisappear)
+{
+    Compiler comp(CompilerId::Beta, OptLevel::O2);
+    auto module = compileValidated(R"(
+        void DCEMarker0(void);
+        int main() {
+            int a = 0;
+            while (a) { DCEMarker0(); }
+            return 0;
+        }
+    )",
+                                   comp);
+    ASSERT_TRUE(module);
+    EXPECT_FALSE(callsFunction(*module, "DCEMarker0"));
+}
+
+TEST(Opt, MarkersInLiveCodeSurviveEveryLevel)
+{
+    for (CompilerId id : {CompilerId::Alpha, CompilerId::Beta}) {
+        for (OptLevel level : compiler::allOptLevels()) {
+            Compiler comp(id, level);
+            auto module = compileValidated(R"(
+                void DCEMarker0(void);
+                int a = 1;
+                int main() {
+                    if (a) { DCEMarker0(); }
+                    return 0;
+                }
+            )",
+                                           comp);
+            ASSERT_TRUE(module);
+            EXPECT_TRUE(callsFunction(*module, "DCEMarker0"))
+                << comp.describe()
+                << " removed a live marker (unsound!)";
+        }
+    }
+}
+
+TEST(Opt, InlinerSeesThroughHelpers)
+{
+    Compiler comp(CompilerId::Beta, OptLevel::O2);
+    auto module = compileValidated(R"(
+        void DCEMarker0(void);
+        static int five(void) { return 5; }
+        int main() {
+            if (five() != 5) { DCEMarker0(); }
+            return 0;
+        }
+    )",
+                                   comp);
+    ASSERT_TRUE(module);
+    EXPECT_FALSE(callsFunction(*module, "DCEMarker0"));
+    // The helper itself is gone too (inlined + globaldce).
+    EXPECT_EQ(module->getFunction("five"), nullptr);
+}
+
+TEST(Opt, GlobalOptFoldsNeverStoredGlobals)
+{
+    for (CompilerId id : {CompilerId::Alpha, CompilerId::Beta}) {
+        Compiler comp(id, OptLevel::O2);
+        auto module = compileValidated(R"(
+            void DCEMarker0(void);
+            static int g = 0;
+            int main() {
+                if (g) { DCEMarker0(); }
+                return 0;
+            }
+        )",
+                                       comp);
+        ASSERT_TRUE(module);
+        EXPECT_FALSE(callsFunction(*module, "DCEMarker0"))
+            << comp.describe();
+    }
+}
+
+TEST(Opt, StoredEqualsInitDivergence)
+{
+    // Listing 4a: `static int a = 0; if (a) dead(); a = 0;`
+    // beta folds (stored value == initializer), alpha does not (its
+    // global value analysis is flow-insensitive). The paper's flagship
+    // GCC miss (PR99357).
+    const std::string source = R"(
+        void DCEMarker0(void);
+        static int a = 0;
+        int main() {
+            if (a) { DCEMarker0(); }
+            a = 0;
+            return 0;
+        }
+    )";
+    Compiler beta(CompilerId::Beta, OptLevel::O3);
+    auto beta_module = compileValidated(source, beta);
+    ASSERT_TRUE(beta_module);
+    EXPECT_FALSE(callsFunction(*beta_module, "DCEMarker0"));
+
+    Compiler alpha(CompilerId::Alpha, OptLevel::O3);
+    auto alpha_module = compileValidated(source, alpha);
+    ASSERT_TRUE(alpha_module);
+    EXPECT_TRUE(callsFunction(*alpha_module, "DCEMarker0"));
+}
+
+TEST(Opt, StoredNotEqualInitMissedByBothAtHead)
+{
+    // Listing 6a: `a = 1` at the end — beta's old flow-sensitive
+    // analysis handled it; the R7 commit regressed it.
+    const std::string source = R"(
+        void DCEMarker0(void);
+        static int a = 0;
+        int main() {
+            if (a) { DCEMarker0(); }
+            a = 1;
+            return 0;
+        }
+    )";
+    Compiler beta_head(CompilerId::Beta, OptLevel::O3);
+    auto head_module = compileValidated(source, beta_head);
+    ASSERT_TRUE(head_module);
+    EXPECT_TRUE(callsFunction(*head_module, "DCEMarker0"));
+
+    // Pre-regression build (before commit 65c02df91e4).
+    Compiler beta_old(CompilerId::Beta, OptLevel::O3, 1);
+    auto old_module = compileValidated(source, beta_old);
+    ASSERT_TRUE(old_module);
+    EXPECT_FALSE(callsFunction(*old_module, "DCEMarker0"));
+}
+
+TEST(Opt, PtrCmpOffsetDivergence)
+{
+    // Listing 3: &a == &b[1]. alpha folds any constant offset; beta
+    // only offset 0 (LLVM PR49434).
+    const std::string source = R"(
+        void DCEMarker0(void);
+        char a;
+        char b[2];
+        int main() {
+            char *c = &a;
+            char *d = &b[1];
+            if (c == d) { DCEMarker0(); }
+            return 0;
+        }
+    )";
+    Compiler alpha(CompilerId::Alpha, OptLevel::O3);
+    auto alpha_module = compileValidated(source, alpha);
+    ASSERT_TRUE(alpha_module);
+    EXPECT_FALSE(callsFunction(*alpha_module, "DCEMarker0"));
+
+    Compiler beta(CompilerId::Beta, OptLevel::O3);
+    auto beta_module = compileValidated(source, beta);
+    ASSERT_TRUE(beta_module);
+    EXPECT_TRUE(callsFunction(*beta_module, "DCEMarker0"));
+
+    // The b[0] variant folds for both — the paper notes changing the
+    // index to 0 lets EarlyCSE manage.
+    const std::string zero_variant = R"(
+        void DCEMarker0(void);
+        char a;
+        char b[2];
+        int main() {
+            char *c = &a;
+            char *d = &b[0];
+            if (c == d) { DCEMarker0(); }
+            return 0;
+        }
+    )";
+    auto beta_zero = compileValidated(zero_variant, beta);
+    ASSERT_TRUE(beta_zero);
+    EXPECT_FALSE(callsFunction(*beta_zero, "DCEMarker0"));
+}
+
+TEST(Opt, UniformZeroArrayDivergence)
+{
+    // Listing 9f: b[a] with b = {0, 0}. beta folds, alpha misses
+    // (GCC PR99419, duplicate of developer-reported PR80603).
+    const std::string source = R"(
+        void DCEMarker0(void);
+        int a;
+        static int b[2] = {0, 0};
+        int main() {
+            if (b[a]) { DCEMarker0(); }
+            return 0;
+        }
+    )";
+    Compiler beta(CompilerId::Beta, OptLevel::O3);
+    auto beta_module = compileValidated(source, beta);
+    ASSERT_TRUE(beta_module);
+    EXPECT_FALSE(callsFunction(*beta_module, "DCEMarker0"));
+
+    Compiler alpha(CompilerId::Alpha, OptLevel::O3);
+    auto alpha_module = compileValidated(source, alpha);
+    ASSERT_TRUE(alpha_module);
+    EXPECT_TRUE(callsFunction(*alpha_module, "DCEMarker0"));
+}
+
+TEST(Opt, ExitDseDivergence)
+{
+    // Listing 1's trailing `c = 0;`: beta removes the dead store,
+    // alpha emits it (movl $0, c(%rip) in the paper's GCC output).
+    const std::string source = R"(
+        static int c = 0;
+        int main() {
+            c = 5;
+            c = 0;
+            return 0;
+        }
+    )";
+    Compiler beta(CompilerId::Beta, OptLevel::O3);
+    auto beta_module = compileValidated(source, beta);
+    ASSERT_TRUE(beta_module);
+    EXPECT_EQ(countOpcode(*beta_module, ir::Opcode::Store), 0u);
+}
+
+TEST(Opt, UnswitchFreezeRegression)
+{
+    // Listing 7: beta at -O2 eliminates dead(), at -O3 the unswitch
+    // regression (freeze) blocks it.
+    const std::string source = R"(
+        void dead(void);
+        int a, c;
+        static int b;
+        int main() {
+            b = 0;
+            while (a) { while (c) { if (b) { dead(); } } }
+            return 0;
+        }
+    )";
+    Compiler beta_o2(CompilerId::Beta, OptLevel::O2);
+    auto o2_module = compileValidated(source, beta_o2);
+    ASSERT_TRUE(o2_module);
+    EXPECT_FALSE(callsFunction(*o2_module, "dead"))
+        << ir::printModule(*o2_module);
+
+    Compiler beta_o3(CompilerId::Beta, OptLevel::O3);
+    auto o3_module = compileValidated(source, beta_o3);
+    ASSERT_TRUE(o3_module);
+    EXPECT_TRUE(callsFunction(*o3_module, "dead"))
+        << ir::printModule(*o3_module);
+}
+
+TEST(Opt, VrpRemRegression)
+{
+    // Listing 8b essence: equality facts folding through %.
+    const std::string source = R"(
+        void dead(void);
+        int x;
+        int main() {
+            int v = x;
+            if (v == 7) {
+                if (v % 3 == 0) { dead(); }
+            }
+            return 0;
+        }
+    )";
+    Compiler beta_o2(CompilerId::Beta, OptLevel::O2);
+    auto o2_module = compileValidated(source, beta_o2);
+    ASSERT_TRUE(o2_module);
+    EXPECT_FALSE(callsFunction(*o2_module, "dead"));
+
+    Compiler beta_o3(CompilerId::Beta, OptLevel::O3);
+    auto o3_module = compileValidated(source, beta_o3);
+    ASSERT_TRUE(o3_module);
+    EXPECT_TRUE(callsFunction(*o3_module, "dead"));
+
+    // The post-head fix commit restores it.
+    Compiler beta_fixed(CompilerId::Beta, OptLevel::O3,
+                        compiler::spec(CompilerId::Beta).latestIndex());
+    auto fixed_module = compileValidated(source, beta_fixed);
+    ASSERT_TRUE(fixed_module);
+    EXPECT_FALSE(callsFunction(*fixed_module, "dead"));
+}
+
+TEST(Opt, ShiftNonzeroRelationDivergence)
+{
+    // Listing 9a essence: (x << y) != 0 implies x != 0.
+    const std::string source = R"(
+        void dead(void);
+        int x, y;
+        int main() {
+            if (x << y) {
+                if (x == 0) { dead(); }
+            }
+            return 0;
+        }
+    )";
+    Compiler beta(CompilerId::Beta, OptLevel::O3);
+    auto beta_module = compileValidated(source, beta);
+    ASSERT_TRUE(beta_module);
+    EXPECT_FALSE(callsFunction(*beta_module, "dead"));
+
+    Compiler alpha(CompilerId::Alpha, OptLevel::O3);
+    auto alpha_module = compileValidated(source, alpha);
+    ASSERT_TRUE(alpha_module);
+    EXPECT_TRUE(callsFunction(*alpha_module, "dead"));
+
+    // alpha's post-head fix commit adds the relation.
+    Compiler alpha_fixed(
+        CompilerId::Alpha, OptLevel::O3,
+        compiler::spec(CompilerId::Alpha).headIndex() + 1);
+    auto fixed_module = compileValidated(source, alpha_fixed);
+    ASSERT_TRUE(fixed_module);
+    EXPECT_FALSE(callsFunction(*fixed_module, "dead"));
+}
+
+TEST(Opt, LoopUnrollEnablesForwarding)
+{
+    // Listing 9e shape with static globals: the loop stores &a[1] into
+    // c[0] and c[1]; `!c[0]` is then false.
+    const std::string source = R"(
+        void dead(void);
+        static int a[2];
+        static int b;
+        static int *c[2];
+        int main() {
+            for (b = 0; b < 2; b++) {
+                c[b] = &a[1];
+            }
+            if (!c[0]) { dead(); }
+            return 0;
+        }
+    )";
+    // beta at O3: clean unroll + forwarding eliminates the call.
+    Compiler beta(CompilerId::Beta, OptLevel::O3);
+    auto beta_module = compileValidated(source, beta);
+    ASSERT_TRUE(beta_module);
+    EXPECT_FALSE(callsFunction(*beta_module, "dead"))
+        << ir::printModule(*beta_module);
+
+    // alpha at O1 also eliminates (no vectorizer); at O3 the
+    // store-rewrite regression (freeze) blocks the fold.
+    Compiler alpha_o1(CompilerId::Alpha, OptLevel::O1);
+    auto o1_module = compileValidated(source, alpha_o1);
+    ASSERT_TRUE(o1_module);
+
+    Compiler alpha_o3(CompilerId::Alpha, OptLevel::O3);
+    auto o3_module = compileValidated(source, alpha_o3);
+    ASSERT_TRUE(o3_module);
+    EXPECT_TRUE(callsFunction(*o3_module, "dead"))
+        << ir::printModule(*o3_module);
+}
+
+TEST(Opt, InlinedHuskRegression)
+{
+    // Listing 9b essence: at O2+, alpha's IPA-clone commit keeps the
+    // husk of an inlined static alive; markers inside survive.
+    const std::string source = R"(
+        void dead(void);
+        static int g = 0;
+        static void helper(void) {
+            if (g) { dead(); }
+        }
+        int main() {
+            helper();
+            return 0;
+        }
+    )";
+    Compiler alpha_o1(CompilerId::Alpha, OptLevel::O1);
+    auto o1_module = compileValidated(source, alpha_o1);
+    ASSERT_TRUE(o1_module);
+
+    Compiler alpha_o3(CompilerId::Alpha, OptLevel::O3);
+    auto o3_module = compileValidated(source, alpha_o3);
+    ASSERT_TRUE(o3_module);
+    // The husk remains as a function in the module even though main no
+    // longer calls it.
+    EXPECT_NE(o3_module->getFunction("helper"), nullptr);
+
+    Compiler beta_o3(CompilerId::Beta, OptLevel::O3);
+    auto beta_module = compileValidated(source, beta_o3);
+    ASSERT_TRUE(beta_module);
+    EXPECT_EQ(beta_module->getFunction("helper"), nullptr);
+}
+
+TEST(Opt, AliasForwardingRegression)
+{
+    // Listing 9c essence: forwarding a global's value across stores
+    // through provably-unrelated pointers. alpha-O3's alias regression
+    // clobbers everything; O1 forwards.
+    const std::string source = R"(
+        void dead(void);
+        static char b;
+        static int c;
+        int main() {
+            b = 0;
+            int *g = &c;
+            *g = 5;
+            if (b != 0) { dead(); }
+            return 0;
+        }
+    )";
+    Compiler alpha_o1(CompilerId::Alpha, OptLevel::O1);
+    auto o1_module = compileValidated(source, alpha_o1);
+    ASSERT_TRUE(o1_module);
+    EXPECT_FALSE(callsFunction(*o1_module, "dead"))
+        << ir::printModule(*o1_module);
+
+    Compiler alpha_o3(CompilerId::Alpha, OptLevel::O3);
+    auto o3_module = compileValidated(source, alpha_o3);
+    ASSERT_TRUE(o3_module);
+    EXPECT_TRUE(callsFunction(*o3_module, "dead"))
+        << ir::printModule(*o3_module);
+}
+
+//===------------------------------------------------------------------===//
+// Translation validation sweep: every compiler/level must preserve
+// behaviour on a battery of semantically-interesting programs.
+//===------------------------------------------------------------------===//
+
+const char *kValidationPrograms[] = {
+    R"(int main() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; })",
+    R"(int a = 7; int b = 0; int main() { return a / b + a % b; })",
+    R"(char c; int main() { c = 200; return c >> 2; })",
+    R"(unsigned u = 3000000000; int main() { return u > 2000000000; })",
+    R"(int g; void bump(void) { g += 3; } int main() { bump(); bump(); return g; })",
+    R"(void M(void); int a = 2; int main() { switch (a) { case 1: M(); break; case 2: a = 9; break; default: break; } return a; })",
+    R"(int a[4] = {1,2,3,4}; int main() { int s = 0; for (int i = 0; i < 4; i++) { s += a[i]; } return s; })",
+    R"(static int x = 5; int main() { int *p = &x; *p = 6; return x; })",
+    R"(int main() { int a = 1, b = 2; return (a < b ? a : b) + (a && b) + (a || b); })",
+    R"(void M(void); int n = 3; int main() { while (n) { M(); n--; } return n; })",
+    R"(static short e; static long a = 78240; int main() { short g = a; e = a; return (e == a) ^ g; })",
+    R"(int a; int main() { int r = 0; do { r++; a++; } while (a < 5); return r; })",
+    R"(static int a, b; int main() { for (a = 0; a < 3; a++) { for (b = 0; b < 2; b++) { } } return a * 10 + b; })",
+    R"(int f(int n) { if (n <= 1) { return 1; } return n * f(n - 1); } int main() { return f(5); })",
+    R"(char b[2]; int main() { char *e = &b[1]; *e = 7; return b[1]; })",
+};
+
+class ValidationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ValidationSweep, OptimizedBehaviourMatchesO0)
+{
+    auto [compiler_index, program_index] = GetParam();
+    CompilerId id = compiler_index == 0 ? CompilerId::Alpha
+                                        : CompilerId::Beta;
+    const char *source = kValidationPrograms[program_index];
+    for (OptLevel level : compiler::allOptLevels()) {
+        Compiler comp(id, level);
+        compileValidated(source, comp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, ValidationSweep,
+    ::testing::Combine(
+        ::testing::Range(0, 2),
+        ::testing::Range(0, static_cast<int>(
+                                std::size(kValidationPrograms)))));
+
+} // namespace
+} // namespace dce

@@ -1,0 +1,209 @@
+/** @file Unit tests for the MiniC parser (structure + error recovery). */
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+
+namespace dce::lang {
+namespace {
+
+using dce::test::parseErrors;
+using dce::test::parseOk;
+
+TEST(Parser, GlobalVariableKinds)
+{
+    auto unit = parseOk(R"(
+        int a;
+        static int b = 3;
+        char c[2];
+        unsigned short d = 7;
+        long e = 100;
+        int *p;
+        int **q;
+    )");
+    ASSERT_TRUE(unit);
+    EXPECT_EQ(unit->globals.size(), 7u);
+    EXPECT_EQ(unit->globals[1]->storage, Storage::StaticGlobal);
+    EXPECT_TRUE(unit->globals[2]->type->isArray());
+    EXPECT_EQ(unit->globals[2]->type->arraySize(), 2u);
+    EXPECT_FALSE(unit->globals[3]->type->isSigned());
+    EXPECT_EQ(unit->globals[3]->type->bits(), 16u);
+    EXPECT_TRUE(unit->globals[5]->type->isPtr());
+    EXPECT_TRUE(unit->globals[6]->type->element()->isPtr());
+}
+
+TEST(Parser, CommaSeparatedDeclaratorsWithMixedPointers)
+{
+    // Shape from the paper's Listing 9c.
+    auto unit = parseOk(R"(
+        int a, c, *f, **d = &f;
+        int main(void) { return 0; }
+    )");
+    ASSERT_TRUE(unit);
+    ASSERT_EQ(unit->globals.size(), 4u);
+    EXPECT_TRUE(unit->globals[0]->type->isInt());
+    EXPECT_TRUE(unit->globals[2]->type->isPtr());
+    EXPECT_TRUE(unit->globals[3]->type->element()->isPtr());
+    EXPECT_TRUE(unit->globals[3]->init != nullptr);
+}
+
+TEST(Parser, FunctionDeclarationAndDefinition)
+{
+    auto unit = parseOk(R"(
+        void marker(void);
+        static short helper(short f, short h) { return f; }
+        int main() { return 0; }
+    )");
+    ASSERT_TRUE(unit);
+    EXPECT_EQ(unit->functions.size(), 3u);
+    EXPECT_FALSE(unit->functions[0]->isDefinition());
+    EXPECT_TRUE(unit->functions[1]->isDefinition());
+    EXPECT_TRUE(unit->functions[1]->isStatic);
+    EXPECT_EQ(unit->functions[1]->params.size(), 2u);
+}
+
+TEST(Parser, StatementForms)
+{
+    auto unit = parseOk(R"(
+        int a;
+        void dead(void);
+        int main() {
+            int f = 0;
+            for (; f <= 5; f++) { a += f; }
+            while (a) { a--; }
+            do { a++; } while (a < 3);
+            if (a) { dead(); } else { a = 1; }
+            switch (a) {
+              case 1:
+                a = 2;
+                break;
+              default:
+                break;
+            }
+            return a;
+        }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Parser, PrecedenceShapesTheTree)
+{
+    auto unit = parseOk("int x = 2 + 3 * 4;");
+    ASSERT_TRUE(unit);
+    const auto *add =
+        dynamic_cast<const BinaryExpr *>(unit->globals[0]->init.get());
+    ASSERT_TRUE(add);
+    EXPECT_EQ(add->op, BinaryOp::Add);
+    const auto *mul = dynamic_cast<const BinaryExpr *>(add->rhs.get());
+    ASSERT_TRUE(mul);
+    EXPECT_EQ(mul->op, BinaryOp::Mul);
+}
+
+TEST(Parser, AssignmentIsRightAssociative)
+{
+    auto unit = parseOk(R"(
+        int a; int b;
+        int main() { a = b = 3; return a; }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Parser, TernaryExpression)
+{
+    // Shape from the paper's Listing 8b.
+    auto unit = parseOk(R"(
+        static short c(short f, short h) {
+            return h == 0 || (f && h == 1) ? f : f % h;
+        }
+        int main() { return c(1, 2); }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Parser, CastVersusParenthesizedExpr)
+{
+    auto unit = parseOk(R"(
+        int main() {
+            int a = 5;
+            char b = (char)a;
+            int c = (a) + 1;
+            return b + c;
+        }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Parser, AddressAndDereferenceChains)
+{
+    auto unit = parseOk(R"(
+        char a;
+        char b[2];
+        int main() {
+            char *d = &a;
+            char *e = &b[1];
+            if (d == e) { return 1; }
+            return 0;
+        }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Parser, SwitchArmMustEndWithBreak)
+{
+    std::string errors = parseErrors(R"(
+        int main() {
+            switch (1) {
+              case 1:
+                return 0;
+              default:
+                break;
+            }
+            return 1;
+        }
+    )");
+    EXPECT_NE(errors.find("break"), std::string::npos);
+}
+
+TEST(Parser, MissingSemicolonIsAnError)
+{
+    parseErrors("int a = 3");
+}
+
+TEST(Parser, RecoversAfterBadTopLevelDecl)
+{
+    DiagnosticEngine diags;
+    Parser parser("int a = ; int b = 2;", diags);
+    auto unit = parser.parseTranslationUnit();
+    EXPECT_TRUE(diags.hasErrors());
+    // b should still have been parsed after recovery.
+    ASSERT_TRUE(unit);
+    EXPECT_TRUE(unit->findGlobal("b") != nullptr);
+}
+
+TEST(Parser, ForWithDeclarationInit)
+{
+    auto unit = parseOk(R"(
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 4; i++) { s += i; }
+            return s;
+        }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Parser, ArrayInitializerList)
+{
+    auto unit = parseOk("static int b[2] = {0, 0};");
+    ASSERT_TRUE(unit);
+    EXPECT_EQ(unit->globals[0]->initList.size(), 2u);
+}
+
+TEST(Parser, FunctionScopeStaticRejected)
+{
+    parseErrors("int main() { static int x = 1; return x; }");
+}
+
+} // namespace
+} // namespace dce::lang

@@ -1,0 +1,143 @@
+/** @file Round-trip tests for the MiniC pretty-printer. */
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+
+namespace dce::lang {
+namespace {
+
+using dce::test::parseOk;
+
+/** print(parse(s)) must parse again and print identically (fixpoint
+ * after one round). */
+void
+expectRoundTrip(const std::string &source)
+{
+    auto unit = parseOk(source);
+    ASSERT_TRUE(unit);
+    std::string once = printUnit(*unit);
+
+    DiagnosticEngine diags;
+    auto reparsed = parseAndCheck(once, diags);
+    ASSERT_TRUE(reparsed != nullptr)
+        << "printed output failed to reparse:\n" << once << "\n"
+        << diags.str();
+    std::string twice = printUnit(*reparsed);
+    EXPECT_EQ(once, twice) << "printer not a fixpoint for:\n" << source;
+}
+
+TEST(Printer, RoundTripsDeclarations)
+{
+    expectRoundTrip(R"(
+        int a;
+        static int b = 3;
+        char c[2];
+        static int d[2] = {0, 0};
+        int *p = &a;
+        char *q = &c[1];
+        unsigned long big = 5000000000;
+    )");
+}
+
+TEST(Printer, RoundTripsControlFlow)
+{
+    expectRoundTrip(R"(
+        int a; int b;
+        void dead(void);
+        int main() {
+            for (int i = 0; i < 5; i++) {
+                if (a == b) { dead(); } else { a++; }
+            }
+            while (a) { a--; if (b) { break; } }
+            do { b++; } while (b < 2);
+            switch (a) {
+              case 0:
+                a = 1;
+                break;
+              case -3:
+                a = 2;
+                break;
+              default:
+                break;
+            }
+            return 0;
+        }
+    )");
+}
+
+TEST(Printer, RoundTripsExpressions)
+{
+    expectRoundTrip(R"(
+        int a; int b; int c;
+        int main() {
+            a = b + c * 2 - (b - c) / 3;
+            a = b << 2 >> 1;
+            a = b < c == (b > c);
+            a = b & c | b ^ c;
+            a = b && c || !b;
+            a = -b + ~c;
+            a = b ? c : a;
+            a += b;
+            a <<= 1;
+            c = (char)a + (long)b;
+            return a;
+        }
+    )");
+}
+
+TEST(Printer, RoundTripsPointersAndArrays)
+{
+    expectRoundTrip(R"(
+        char a;
+        char b[2];
+        int *f;
+        int **d = &f;
+        int main() {
+            char *p = &a;
+            char *q = &b[1];
+            if (p == q) { return 1; }
+            *p = 3;
+            b[0] = *q;
+            f = *d;
+            *d = f;
+            return 0;
+        }
+    )");
+}
+
+TEST(Printer, ParenthesizationPreservesPrecedence)
+{
+    auto unit = parseOk("int x = (1 + 2) * 3;");
+    ASSERT_TRUE(unit);
+    std::string printed = printUnit(*unit);
+    EXPECT_NE(printed.find("(1 + 2) * 3"), std::string::npos) << printed;
+}
+
+TEST(Printer, NegationOfNegativeDoesNotFuse)
+{
+    auto unit = parseOk("int main() { int a = 1; return - -a; }");
+    ASSERT_TRUE(unit);
+    std::string printed = printUnit(*unit);
+    EXPECT_EQ(printed.find("--a"), std::string::npos) << printed;
+    // And it must reparse.
+    DiagnosticEngine diags;
+    EXPECT_TRUE(parseAndCheck(printed, diags) != nullptr) << printed;
+}
+
+TEST(Printer, ImplicitCastsInvisible)
+{
+    auto unit = parseOk("char c; int main() { c = 300; return c; }");
+    ASSERT_TRUE(unit);
+    std::string printed = printUnit(*unit);
+    EXPECT_EQ(printed.find("(char)"), std::string::npos) << printed;
+}
+
+TEST(Printer, LargeLiteralsKeepTheirType)
+{
+    expectRoundTrip("long big = 5000000000;");
+}
+
+} // namespace
+} // namespace dce::lang

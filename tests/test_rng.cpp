@@ -1,0 +1,106 @@
+/** @file Unit tests for the deterministic RNG. */
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace dce {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    bool diverged = false;
+    for (int i = 0; i < 10 && !diverged; ++i)
+        diverged = a.next() != b.next();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(10), 10u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t value = rng.range(-3, 3);
+        EXPECT_GE(value, -3);
+        EXPECT_LE(value, 3);
+        saw_lo |= value == -3;
+        saw_hi |= value == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(rng.chance(100));
+        EXPECT_FALSE(rng.chance(0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(30) ? 1 : 0;
+    EXPECT_GT(hits, 2600);
+    EXPECT_LT(hits, 3400);
+}
+
+TEST(Rng, PickWeightedSkipsZeroWeights)
+{
+    Rng rng(23);
+    std::vector<unsigned> weights = {0, 5, 0, 1};
+    for (int i = 0; i < 500; ++i) {
+        size_t index = rng.pickWeighted(weights);
+        EXPECT_TRUE(index == 1 || index == 3);
+    }
+}
+
+TEST(Rng, PickWeightedRespectsWeights)
+{
+    Rng rng(29);
+    std::vector<unsigned> weights = {90, 10};
+    int first = 0;
+    for (int i = 0; i < 10000; ++i)
+        first += rng.pickWeighted(weights) == 0 ? 1 : 0;
+    EXPECT_GT(first, 8500);
+    EXPECT_LT(first, 9500);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(99);
+    Rng child = a.split();
+    // The child stream should differ from the parent's continuation.
+    bool differs = false;
+    for (int i = 0; i < 5 && !differs; ++i)
+        differs = a.next() != child.next();
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace dce

@@ -1,0 +1,228 @@
+/** @file Unit tests for semantic analysis: typing rules and rejection. */
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "lang/sema.hpp"
+
+namespace dce::lang {
+namespace {
+
+using dce::test::parseErrors;
+using dce::test::parseOk;
+
+TEST(Sema, ResolvesVariablesThroughScopes)
+{
+    auto unit = parseOk(R"(
+        int a = 1;
+        int main() {
+            int a = 2;
+            { int a = 3; a = 4; }
+            return a;
+        }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Sema, UndeclaredVariableRejected)
+{
+    std::string errors = parseErrors("int main() { return nope; }");
+    EXPECT_NE(errors.find("undeclared"), std::string::npos);
+}
+
+TEST(Sema, UndeclaredFunctionRejected)
+{
+    parseErrors("int main() { nope(); return 0; }");
+}
+
+TEST(Sema, CallArityChecked)
+{
+    parseErrors(R"(
+        void f(int a);
+        int main() { f(); return 0; }
+    )");
+}
+
+TEST(Sema, UsualArithmeticConversions)
+{
+    auto unit = parseOk(R"(
+        char c; short s; int i; long l; unsigned u;
+        int main() {
+            l = c + s;    // both promote to int, then convert to long
+            i = c * c;
+            u = u + i;    // unsigned wins at same width
+            l = u + l;    // wider signed can represent unsigned int
+            return 0;
+        }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Sema, PointerComparisonsTyped)
+{
+    auto unit = parseOk(R"(
+        char a; char b[2];
+        int main() {
+            char *d = &a;
+            char *e = &b[1];
+            if (d == e) { return 1; }
+            if (d != 0) { return 2; }
+            return 0;
+        }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Sema, MismatchedPointerComparisonRejected)
+{
+    parseErrors(R"(
+        char a; int b;
+        int main() {
+            char *p = &a;
+            int *q = &b;
+            if (p == q) { return 1; }
+            return 0;
+        }
+    )");
+}
+
+TEST(Sema, AssignToRValueRejected)
+{
+    parseErrors("int main() { 1 = 2; return 0; }");
+}
+
+TEST(Sema, AddressOfRValueRejected)
+{
+    parseErrors("int main() { int a = 0; int *p = &(a + 1); return 0; }");
+}
+
+TEST(Sema, DerefNonPointerRejected)
+{
+    parseErrors("int main() { int a = 0; return *a; }");
+}
+
+TEST(Sema, NonConstGlobalInitializerRejected)
+{
+    parseErrors(R"(
+        int a = 1;
+        int b = a + 1;
+    )");
+}
+
+TEST(Sema, ConstGlobalInitializerFoldsOperators)
+{
+    auto unit = parseOk("int a = (3 + 4) * 2 - -1;");
+    ASSERT_TRUE(unit);
+    EXPECT_EQ(evalConstInt(*unit->globals[0]->init), 15);
+}
+
+TEST(Sema, ConstEvalMatchesMiniCSafeMath)
+{
+    auto unit = parseOk(R"(
+        int a = 7 / 0;
+        int b = 7 % 0;
+        int c = 1 << 33;
+    )");
+    ASSERT_TRUE(unit);
+    EXPECT_EQ(evalConstInt(*unit->globals[0]->init), 7);
+    EXPECT_EQ(evalConstInt(*unit->globals[1]->init), 7);
+    EXPECT_EQ(evalConstInt(*unit->globals[2]->init), 2); // 33 & 31 == 1
+}
+
+TEST(Sema, ConstEvalShortCircuits)
+{
+    // Division by a non-constant would make the whole expression
+    // non-constant, but && short-circuits before evaluating it.
+    auto unit = parseOk("int a = 0 && (1 / 0); int b = 1 || 0;");
+    ASSERT_TRUE(unit);
+    EXPECT_EQ(evalConstInt(*unit->globals[0]->init), 0);
+    EXPECT_EQ(evalConstInt(*unit->globals[1]->init), 1);
+}
+
+TEST(Sema, BreakOutsideLoopRejected)
+{
+    parseErrors("int main() { break; return 0; }");
+}
+
+TEST(Sema, ContinueOutsideLoopRejected)
+{
+    parseErrors("int main() { continue; return 0; }");
+}
+
+TEST(Sema, ReturnTypeChecked)
+{
+    parseErrors(R"(
+        void f(void) { return 3; }
+    )");
+    parseErrors(R"(
+        int g(void) { return; }
+    )");
+}
+
+TEST(Sema, DuplicateGlobalRejected)
+{
+    parseErrors("int a; int a;");
+}
+
+TEST(Sema, DuplicateCaseValueRejected)
+{
+    parseErrors(R"(
+        int main() {
+            switch (1) {
+              case 2: break;
+              case 2: break;
+            }
+            return 0;
+        }
+    )");
+}
+
+TEST(Sema, ImplicitConversionInsertedOnAssignment)
+{
+    auto unit = parseOk(R"(
+        char c;
+        int main() { c = 1000; return c; }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Sema, ArrayDecayInConditions)
+{
+    auto unit = parseOk(R"(
+        int arr[3];
+        int main() { if (arr) { return 1; } return 0; }
+    )");
+    ASSERT_TRUE(unit);
+}
+
+TEST(Sema, ReRunningIsIdempotent)
+{
+    auto unit = parseOk(R"(
+        int a = 3;
+        int main() { return a + 1; }
+    )");
+    ASSERT_TRUE(unit);
+    DiagnosticEngine diags;
+    Sema sema(diags);
+    sema.check(*unit);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+    sema.check(*unit);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+}
+
+TEST(Sema, CloneNeedsAndSurvivesResema)
+{
+    auto unit = parseOk(R"(
+        int a = 3;
+        int helper(int x) { return x * 2; }
+        int main() { return helper(a); }
+    )");
+    ASSERT_TRUE(unit);
+    auto clone = unit->clone();
+    DiagnosticEngine diags;
+    Sema sema(diags);
+    sema.check(*clone);
+    EXPECT_FALSE(diags.hasErrors()) << diags.str();
+}
+
+} // namespace
+} // namespace dce::lang
