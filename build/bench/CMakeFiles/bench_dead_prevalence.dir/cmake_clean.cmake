@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dead_prevalence.dir/bench_dead_prevalence.cpp.o"
+  "CMakeFiles/bench_dead_prevalence.dir/bench_dead_prevalence.cpp.o.d"
+  "bench_dead_prevalence"
+  "bench_dead_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dead_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

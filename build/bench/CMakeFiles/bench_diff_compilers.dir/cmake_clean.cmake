@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diff_compilers.dir/bench_diff_compilers.cpp.o"
+  "CMakeFiles/bench_diff_compilers.dir/bench_diff_compilers.cpp.o.d"
+  "bench_diff_compilers"
+  "bench_diff_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diff_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

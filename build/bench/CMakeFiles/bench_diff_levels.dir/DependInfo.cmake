@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_diff_levels.cpp" "bench/CMakeFiles/bench_diff_levels.dir/bench_diff_levels.cpp.o" "gcc" "bench/CMakeFiles/bench_diff_levels.dir/bench_diff_levels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bisect/CMakeFiles/dce_bisect.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/dce_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dce_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/dce_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dce_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/dce_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dce_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dce_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dce_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dce_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

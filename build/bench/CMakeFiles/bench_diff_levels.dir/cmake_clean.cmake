@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diff_levels.dir/bench_diff_levels.cpp.o"
+  "CMakeFiles/bench_diff_levels.dir/bench_diff_levels.cpp.o.d"
+  "bench_diff_levels"
+  "bench_diff_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diff_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

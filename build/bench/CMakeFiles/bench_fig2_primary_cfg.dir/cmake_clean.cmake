@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_primary_cfg.dir/bench_fig2_primary_cfg.cpp.o"
+  "CMakeFiles/bench_fig2_primary_cfg.dir/bench_fig2_primary_cfg.cpp.o.d"
+  "bench_fig2_primary_cfg"
+  "bench_fig2_primary_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_primary_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

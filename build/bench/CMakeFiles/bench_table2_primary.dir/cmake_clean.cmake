@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_primary.dir/bench_table2_primary.cpp.o"
+  "CMakeFiles/bench_table2_primary.dir/bench_table2_primary.cpp.o.d"
+  "bench_table2_primary"
+  "bench_table2_primary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

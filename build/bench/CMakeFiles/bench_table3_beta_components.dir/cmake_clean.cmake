@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_beta_components.dir/bench_table3_beta_components.cpp.o"
+  "CMakeFiles/bench_table3_beta_components.dir/bench_table3_beta_components.cpp.o.d"
+  "bench_table3_beta_components"
+  "bench_table3_beta_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_beta_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_reports.dir/bench_table5_reports.cpp.o"
+  "CMakeFiles/bench_table5_reports.dir/bench_table5_reports.cpp.o.d"
+  "bench_table5_reports"
+  "bench_table5_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_missed_optimizations.dir/find_missed_optimizations.cpp.o"
+  "CMakeFiles/find_missed_optimizations.dir/find_missed_optimizations.cpp.o.d"
+  "find_missed_optimizations"
+  "find_missed_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_missed_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_bisect.dir/regression_bisect.cpp.o"
+  "CMakeFiles/regression_bisect.dir/regression_bisect.cpp.o.d"
+  "regression_bisect"
+  "regression_bisect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_bisect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

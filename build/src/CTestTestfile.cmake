@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lang")
+subdirs("ir")
+subdirs("interp")
+subdirs("opt")
+subdirs("backend")
+subdirs("compiler")
+subdirs("gen")
+subdirs("instrument")
+subdirs("core")
+subdirs("reduce")
+subdirs("bisect")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/codegen.cpp" "src/backend/CMakeFiles/dce_backend.dir/codegen.cpp.o" "gcc" "src/backend/CMakeFiles/dce_backend.dir/codegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/dce_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dce_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_backend.dir/codegen.cpp.o"
+  "CMakeFiles/dce_backend.dir/codegen.cpp.o.d"
+  "libdce_backend.a"
+  "libdce_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

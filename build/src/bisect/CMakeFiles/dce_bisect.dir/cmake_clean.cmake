@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_bisect.dir/bisect.cpp.o"
+  "CMakeFiles/dce_bisect.dir/bisect.cpp.o.d"
+  "libdce_bisect.a"
+  "libdce_bisect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_bisect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_compiler.dir/compiler.cpp.o"
+  "CMakeFiles/dce_compiler.dir/compiler.cpp.o.d"
+  "libdce_compiler.a"
+  "libdce_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

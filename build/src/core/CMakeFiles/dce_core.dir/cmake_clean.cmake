@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_core.dir/analysis.cpp.o"
+  "CMakeFiles/dce_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/dce_core.dir/campaign.cpp.o"
+  "CMakeFiles/dce_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/dce_core.dir/triage.cpp.o"
+  "CMakeFiles/dce_core.dir/triage.cpp.o.d"
+  "libdce_core.a"
+  "libdce_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

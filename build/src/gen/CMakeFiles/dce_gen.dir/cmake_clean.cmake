@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_gen.dir/generator.cpp.o"
+  "CMakeFiles/dce_gen.dir/generator.cpp.o.d"
+  "libdce_gen.a"
+  "libdce_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

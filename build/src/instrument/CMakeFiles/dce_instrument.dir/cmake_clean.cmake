@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_instrument.dir/instrument.cpp.o"
+  "CMakeFiles/dce_instrument.dir/instrument.cpp.o.d"
+  "libdce_instrument.a"
+  "libdce_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

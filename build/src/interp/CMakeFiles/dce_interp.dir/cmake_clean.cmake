@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/dce_interp.dir/interpreter.cpp.o.d"
+  "libdce_interp.a"
+  "libdce_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

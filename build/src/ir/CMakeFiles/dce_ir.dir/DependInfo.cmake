@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/cfg.cpp" "src/ir/CMakeFiles/dce_ir.dir/cfg.cpp.o" "gcc" "src/ir/CMakeFiles/dce_ir.dir/cfg.cpp.o.d"
+  "/root/repo/src/ir/clone.cpp" "src/ir/CMakeFiles/dce_ir.dir/clone.cpp.o" "gcc" "src/ir/CMakeFiles/dce_ir.dir/clone.cpp.o.d"
+  "/root/repo/src/ir/dominators.cpp" "src/ir/CMakeFiles/dce_ir.dir/dominators.cpp.o" "gcc" "src/ir/CMakeFiles/dce_ir.dir/dominators.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/ir/CMakeFiles/dce_ir.dir/ir.cpp.o" "gcc" "src/ir/CMakeFiles/dce_ir.dir/ir.cpp.o.d"
+  "/root/repo/src/ir/loop_info.cpp" "src/ir/CMakeFiles/dce_ir.dir/loop_info.cpp.o" "gcc" "src/ir/CMakeFiles/dce_ir.dir/loop_info.cpp.o.d"
+  "/root/repo/src/ir/lowering.cpp" "src/ir/CMakeFiles/dce_ir.dir/lowering.cpp.o" "gcc" "src/ir/CMakeFiles/dce_ir.dir/lowering.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/dce_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/dce_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/dce_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/dce_ir.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/dce_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_ir.dir/cfg.cpp.o"
+  "CMakeFiles/dce_ir.dir/cfg.cpp.o.d"
+  "CMakeFiles/dce_ir.dir/clone.cpp.o"
+  "CMakeFiles/dce_ir.dir/clone.cpp.o.d"
+  "CMakeFiles/dce_ir.dir/dominators.cpp.o"
+  "CMakeFiles/dce_ir.dir/dominators.cpp.o.d"
+  "CMakeFiles/dce_ir.dir/ir.cpp.o"
+  "CMakeFiles/dce_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/dce_ir.dir/loop_info.cpp.o"
+  "CMakeFiles/dce_ir.dir/loop_info.cpp.o.d"
+  "CMakeFiles/dce_ir.dir/lowering.cpp.o"
+  "CMakeFiles/dce_ir.dir/lowering.cpp.o.d"
+  "CMakeFiles/dce_ir.dir/printer.cpp.o"
+  "CMakeFiles/dce_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/dce_ir.dir/verifier.cpp.o"
+  "CMakeFiles/dce_ir.dir/verifier.cpp.o.d"
+  "libdce_ir.a"
+  "libdce_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

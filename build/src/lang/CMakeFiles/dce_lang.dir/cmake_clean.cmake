@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_lang.dir/ast.cpp.o"
+  "CMakeFiles/dce_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/dce_lang.dir/lexer.cpp.o"
+  "CMakeFiles/dce_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/dce_lang.dir/parser.cpp.o"
+  "CMakeFiles/dce_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/dce_lang.dir/printer.cpp.o"
+  "CMakeFiles/dce_lang.dir/printer.cpp.o.d"
+  "CMakeFiles/dce_lang.dir/sema.cpp.o"
+  "CMakeFiles/dce_lang.dir/sema.cpp.o.d"
+  "CMakeFiles/dce_lang.dir/type.cpp.o"
+  "CMakeFiles/dce_lang.dir/type.cpp.o.d"
+  "libdce_lang.a"
+  "libdce_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

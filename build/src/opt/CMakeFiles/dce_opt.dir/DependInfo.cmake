@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/alias.cpp" "src/opt/CMakeFiles/dce_opt.dir/alias.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/alias.cpp.o.d"
+  "/root/repo/src/opt/dce.cpp" "src/opt/CMakeFiles/dce_opt.dir/dce.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/dce.cpp.o.d"
+  "/root/repo/src/opt/dse.cpp" "src/opt/CMakeFiles/dce_opt.dir/dse.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/dse.cpp.o.d"
+  "/root/repo/src/opt/earlycse.cpp" "src/opt/CMakeFiles/dce_opt.dir/earlycse.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/earlycse.cpp.o.d"
+  "/root/repo/src/opt/globaldce.cpp" "src/opt/CMakeFiles/dce_opt.dir/globaldce.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/globaldce.cpp.o.d"
+  "/root/repo/src/opt/globalopt.cpp" "src/opt/CMakeFiles/dce_opt.dir/globalopt.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/globalopt.cpp.o.d"
+  "/root/repo/src/opt/inline.cpp" "src/opt/CMakeFiles/dce_opt.dir/inline.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/inline.cpp.o.d"
+  "/root/repo/src/opt/instcombine.cpp" "src/opt/CMakeFiles/dce_opt.dir/instcombine.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/instcombine.cpp.o.d"
+  "/root/repo/src/opt/jump_threading.cpp" "src/opt/CMakeFiles/dce_opt.dir/jump_threading.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/jump_threading.cpp.o.d"
+  "/root/repo/src/opt/loop_store_rewrite.cpp" "src/opt/CMakeFiles/dce_opt.dir/loop_store_rewrite.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/loop_store_rewrite.cpp.o.d"
+  "/root/repo/src/opt/loop_unroll.cpp" "src/opt/CMakeFiles/dce_opt.dir/loop_unroll.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/loop_unroll.cpp.o.d"
+  "/root/repo/src/opt/loop_unswitch.cpp" "src/opt/CMakeFiles/dce_opt.dir/loop_unswitch.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/loop_unswitch.cpp.o.d"
+  "/root/repo/src/opt/mem2reg.cpp" "src/opt/CMakeFiles/dce_opt.dir/mem2reg.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/mem2reg.cpp.o.d"
+  "/root/repo/src/opt/pass.cpp" "src/opt/CMakeFiles/dce_opt.dir/pass.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/pass.cpp.o.d"
+  "/root/repo/src/opt/sccp.cpp" "src/opt/CMakeFiles/dce_opt.dir/sccp.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/sccp.cpp.o.d"
+  "/root/repo/src/opt/simplify_cfg.cpp" "src/opt/CMakeFiles/dce_opt.dir/simplify_cfg.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/simplify_cfg.cpp.o.d"
+  "/root/repo/src/opt/vrp.cpp" "src/opt/CMakeFiles/dce_opt.dir/vrp.cpp.o" "gcc" "src/opt/CMakeFiles/dce_opt.dir/vrp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/dce_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dce_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_reduce.dir/reducer.cpp.o"
+  "CMakeFiles/dce_reduce.dir/reducer.cpp.o.d"
+  "libdce_reduce.a"
+  "libdce_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

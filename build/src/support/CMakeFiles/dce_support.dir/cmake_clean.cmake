@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/dce_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/dce_support.dir/rng.cpp.o"
+  "CMakeFiles/dce_support.dir/rng.cpp.o.d"
+  "libdce_support.a"
+  "libdce_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/helpers.cpp" "tests/CMakeFiles/dce_tests.dir/helpers.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/helpers.cpp.o.d"
+  "/root/repo/tests/test_backend.cpp" "tests/CMakeFiles/dce_tests.dir/test_backend.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_backend.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/dce_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/dce_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_instrument.cpp" "tests/CMakeFiles/dce_tests.dir/test_instrument.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_instrument.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/dce_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_ints.cpp" "tests/CMakeFiles/dce_tests.dir/test_ints.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_ints.cpp.o.d"
+  "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/dce_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_lexer.cpp.o.d"
+  "/root/repo/tests/test_lowering.cpp" "tests/CMakeFiles/dce_tests.dir/test_lowering.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_lowering.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/dce_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_paper_listings.cpp" "tests/CMakeFiles/dce_tests.dir/test_paper_listings.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_paper_listings.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/dce_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_printer.cpp" "tests/CMakeFiles/dce_tests.dir/test_printer.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_printer.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/dce_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sema.cpp" "tests/CMakeFiles/dce_tests.dir/test_sema.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_sema.cpp.o.d"
+  "/root/repo/tests/test_validation_sweep.cpp" "tests/CMakeFiles/dce_tests.dir/test_validation_sweep.cpp.o" "gcc" "tests/CMakeFiles/dce_tests.dir/test_validation_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bisect/CMakeFiles/dce_bisect.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/dce_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dce_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/dce_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dce_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/dce_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dce_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dce_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dce_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/dce_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
