@@ -51,4 +51,34 @@ levelsOf(compiler::CompilerId id)
     return builds;
 }
 
+/** Engine options shared by the benches: every hardware thread.
+ * Thread count never changes the records (DESIGN.md §8), so the
+ * tables are identical to a serial run. */
+inline core::CampaignOptions
+parallelOptions(bool compute_primary = false)
+{
+    core::CampaignOptions options;
+    options.computePrimary = compute_primary;
+    options.threads = 0; // one worker per hardware thread
+    return options;
+}
+
+/** One-line engine report printed under each table. */
+inline void
+printMetrics(const core::CampaignMetrics &metrics)
+{
+    std::printf(
+        "[engine] %.1f seeds/s over %llu seeds, wall %.2fs, "
+        "lowering-cache hit rate %.1f%%, invalid programs %llu\n",
+        metrics.seedsPerSecond(),
+        static_cast<unsigned long long>(metrics.seedsDone),
+        metrics.wallSeconds, 100.0 * metrics.cacheHitRate(),
+        static_cast<unsigned long long>(metrics.invalidPrograms));
+    std::printf(
+        "[stages] generate %.2fs, ground truth %.2fs, compile %.2fs, "
+        "primary %.2fs (summed across workers)\n",
+        metrics.stages.generate, metrics.stages.groundTruth,
+        metrics.stages.compile, metrics.stages.primary);
+}
+
 } // namespace dce::bench

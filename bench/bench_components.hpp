@@ -25,13 +25,12 @@ runComponentTable(compiler::CompilerId id, const char *paper_note)
                 compiler::compilerName(id) + " (O3 regressions, "
                 "bisected)");
 
-    core::BuildSpec o1{id, OptLevel::O1, SIZE_MAX};
-    core::BuildSpec o2{id, OptLevel::O2, SIZE_MAX};
-    core::BuildSpec o3{id, OptLevel::O3, SIZE_MAX};
-    core::CampaignOptions options;
-    options.computePrimary = true;
-    core::Campaign campaign = core::runCampaign(
-        kCorpusFirstSeed, kCorpusSize, {o1, o2, o3}, options);
+    core::CampaignRunner runner({{id, OptLevel::O1, SIZE_MAX},
+                                 {id, OptLevel::O2, SIZE_MAX},
+                                 {id, OptLevel::O3, SIZE_MAX}},
+                                parallelOptions(true));
+    core::Campaign campaign = runner.run(kCorpusFirstSeed, kCorpusSize);
+    core::BuildId o1{0}, o2{1}, o3{2}; // runner's build order
 
     // Collect primary O3 regressions: missed at O3, eliminated at a
     // lower level; bisect each against commit 0.
@@ -44,9 +43,9 @@ runComponentTable(compiler::CompilerId id, const char *paper_note)
     for (const core::ProgramRecord &record : campaign.programs) {
         if (!record.valid || bisected >= kMaxBisections)
             continue;
-        const auto &primary_o3 = record.primary.at(o3.name());
-        const auto &missed_o1 = record.missed.at(o1.name());
-        const auto &missed_o2 = record.missed.at(o2.name());
+        const auto &primary_o3 = record.primaryFor(o3);
+        const auto &missed_o1 = record.missedFor(o1);
+        const auto &missed_o2 = record.missedFor(o2);
         for (unsigned marker : primary_o3) {
             if (missed_o1.count(marker) && missed_o2.count(marker))
                 continue; // not a level regression
@@ -99,6 +98,7 @@ runComponentTable(compiler::CompilerId id, const char *paper_note)
                         : "  [UNEXPECTED: not a known regression]");
     }
     std::printf("\n%s\n", paper_note);
+    printMetrics(campaign.metrics);
 }
 
 } // namespace dce::bench

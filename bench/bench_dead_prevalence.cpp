@@ -22,8 +22,8 @@ main()
         {CompilerId::Alpha, OptLevel::O3, SIZE_MAX},
         {CompilerId::Beta, OptLevel::O3, SIZE_MAX},
     };
-    core::Campaign campaign =
-        core::runCampaign(kCorpusFirstSeed, kCorpusSize, builds);
+    core::CampaignRunner runner(builds, parallelOptions());
+    core::Campaign campaign = runner.run(kCorpusFirstSeed, kCorpusSize);
 
     uint64_t total = campaign.totalMarkers();
     uint64_t dead = campaign.totalDead();
@@ -37,18 +37,21 @@ main()
                 static_cast<unsigned long long>(alive),
                 percent(alive, total));
     printRule();
-    for (const core::BuildSpec &spec : builds) {
-        uint64_t missed = campaign.totalMissed(spec.name());
+    for (size_t i = 0; i < campaign.builds.size(); ++i) {
+        core::BuildId build{i};
+        uint64_t missed = campaign.totalMissed(build);
         std::printf(
             "%-22s eliminates %6.2f%% of dead blocks  "
             "[paper: GCC 94.40%%, LLVM 95.69%%]\n",
-            spec.name().c_str(), percent(dead - missed, dead));
+            campaign.builds[i].name().c_str(),
+            percent(dead - missed, dead));
     }
     std::printf("\nShape check: both compilers eliminate the large "
                 "majority; beta (LLVM role) >= alpha (GCC role): %s\n",
-                campaign.totalMissed(builds[1].name()) <=
-                        campaign.totalMissed(builds[0].name())
+                campaign.totalMissed(core::BuildId{1}) <=
+                        campaign.totalMissed(core::BuildId{0})
                     ? "yes"
                     : "NO");
+    printMetrics(campaign.metrics);
     return 0;
 }

@@ -19,32 +19,29 @@ main()
     printHeader("Differential testing: alpha-O3 vs beta-O3 "
                 "(paper section 4.2)");
 
-    core::BuildSpec alpha{CompilerId::Alpha, OptLevel::O3, SIZE_MAX};
-    core::BuildSpec beta{CompilerId::Beta, OptLevel::O3, SIZE_MAX};
-    core::CampaignOptions options;
-    options.computePrimary = true;
-    core::Campaign campaign = core::runCampaign(
-        kCorpusFirstSeed, kCorpusSize, {alpha, beta}, options);
+    core::BuildSpec alpha_spec{CompilerId::Alpha, OptLevel::O3,
+                               SIZE_MAX};
+    core::BuildSpec beta_spec{CompilerId::Beta, OptLevel::O3, SIZE_MAX};
+    core::CampaignRunner runner({alpha_spec, beta_spec},
+                                parallelOptions(true));
+    core::Campaign campaign = runner.run(kCorpusFirstSeed, kCorpusSize);
+    core::BuildId alpha{0}, beta{1}; // runner's build order
 
     // Missed by X, eliminated by Y.
-    uint64_t alpha_misses =
-        campaign.totalMissedVersus(alpha.name(), beta.name());
-    uint64_t beta_misses =
-        campaign.totalMissedVersus(beta.name(), alpha.name());
+    uint64_t alpha_misses = campaign.totalMissedVersus(alpha, beta);
+    uint64_t beta_misses = campaign.totalMissedVersus(beta, alpha);
 
     // Primary subsets of the differentials.
     uint64_t alpha_primary = 0, beta_primary = 0;
     for (const core::ProgramRecord &record : campaign.programs) {
         if (!record.valid)
             continue;
-        alpha_primary +=
-            core::setMinus(record.primary.at(alpha.name()),
-                           record.missed.at(beta.name()))
-                .size();
-        beta_primary +=
-            core::setMinus(record.primary.at(beta.name()),
-                           record.missed.at(alpha.name()))
-                .size();
+        alpha_primary += core::setMinus(record.primaryFor(alpha),
+                                        record.missedFor(beta))
+                             .size();
+        beta_primary += core::setMinus(record.primaryFor(beta),
+                                       record.missedFor(alpha))
+                            .size();
     }
 
     std::printf("markers missed by alpha but eliminated by beta: %llu "
@@ -63,5 +60,6 @@ main()
                 "overall: %s\n",
                 alpha_misses > 0 && beta_misses > 0 ? "yes" : "NO",
                 alpha_misses > beta_misses ? "yes" : "NO");
+    printMetrics(campaign.metrics);
     return 0;
 }

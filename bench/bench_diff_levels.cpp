@@ -19,26 +19,26 @@ main()
                 "(O1/O2 vs O3)");
 
     for (CompilerId id : {CompilerId::Alpha, CompilerId::Beta}) {
-        core::BuildSpec o1{id, OptLevel::O1, SIZE_MAX};
-        core::BuildSpec o2{id, OptLevel::O2, SIZE_MAX};
-        core::BuildSpec o3{id, OptLevel::O3, SIZE_MAX};
-        core::CampaignOptions options;
-        options.computePrimary = true;
-        core::Campaign campaign = core::runCampaign(
-            kCorpusFirstSeed, kCorpusSize, {o1, o2, o3}, options);
+        core::CampaignRunner runner({{id, OptLevel::O1, SIZE_MAX},
+                                     {id, OptLevel::O2, SIZE_MAX},
+                                     {id, OptLevel::O3, SIZE_MAX}},
+                                    parallelOptions(true));
+        core::Campaign campaign =
+            runner.run(kCorpusFirstSeed, kCorpusSize);
+        core::BuildId o1{0}, o2{1}, o3{2}; // runner's build order
 
         uint64_t count = 0, primary = 0;
         for (const core::ProgramRecord &record : campaign.programs) {
             if (!record.valid)
                 continue;
             // Missed at O3 but eliminated at O1 *or* O2.
-            const auto &missed_o3 = record.missed.at(o3.name());
-            const auto &missed_o1 = record.missed.at(o1.name());
-            const auto &missed_o2 = record.missed.at(o2.name());
+            const auto &missed_o3 = record.missedFor(o3);
+            const auto &missed_o1 = record.missedFor(o1);
+            const auto &missed_o2 = record.missedFor(o2);
             for (unsigned m : missed_o3) {
                 if (!missed_o1.count(m) || !missed_o2.count(m)) {
                     ++count;
-                    if (record.primary.at(o3.name()).count(m))
+                    if (record.primaryFor(o3).count(m))
                         ++primary;
                 }
             }

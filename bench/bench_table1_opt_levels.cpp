@@ -18,8 +18,8 @@ main()
     std::vector<core::BuildSpec> builds = levelsOf(CompilerId::Alpha);
     for (const core::BuildSpec &spec : levelsOf(CompilerId::Beta))
         builds.push_back(spec);
-    core::Campaign campaign =
-        core::runCampaign(kCorpusFirstSeed, kCorpusSize, builds);
+    core::CampaignRunner runner(builds, parallelOptions());
+    core::Campaign campaign = runner.run(kCorpusFirstSeed, kCorpusSize);
 
     uint64_t dead = campaign.totalDead();
     std::printf("%-8s %16s %16s    [paper GCC | LLVM]\n", "Level",
@@ -30,12 +30,14 @@ main()
                             " 5.60%% |  4.31%%"};
     for (size_t i = 0; i < compiler::allOptLevels().size(); ++i) {
         compiler::OptLevel level = compiler::allOptLevels()[i];
-        core::BuildSpec alpha{CompilerId::Alpha, level, SIZE_MAX};
-        core::BuildSpec beta{CompilerId::Beta, level, SIZE_MAX};
+        core::BuildId alpha = *campaign.findBuild(
+            core::BuildSpec{CompilerId::Alpha, level, SIZE_MAX});
+        core::BuildId beta = *campaign.findBuild(
+            core::BuildSpec{CompilerId::Beta, level, SIZE_MAX});
         std::printf("%-8s %15.2f%% %15.2f%%    [",
                     compiler::optLevelName(level),
-                    percent(campaign.totalMissed(alpha.name()), dead),
-                    percent(campaign.totalMissed(beta.name()), dead));
+                    percent(campaign.totalMissed(alpha), dead),
+                    percent(campaign.totalMissed(beta), dead));
         std::printf(paper[i]);
         std::printf("]\n");
     }
@@ -46,5 +48,6 @@ main()
         "section 6) are denser in this corpus than real regressions "
         "were in the paper's Csmith corpus — the O3-vs-O2 gap is "
         "exactly the regression signal bench_diff_levels mines.\n");
+    printMetrics(campaign.metrics);
     return 0;
 }

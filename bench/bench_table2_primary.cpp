@@ -22,10 +22,9 @@ main()
     std::vector<core::BuildSpec> builds = levelsOf(CompilerId::Alpha);
     for (const core::BuildSpec &spec : levelsOf(CompilerId::Beta))
         builds.push_back(spec);
-    core::CampaignOptions options;
-    options.computePrimary = true;
-    core::Campaign campaign = core::runCampaign(
-        kCorpusFirstSeed, kPrograms, builds, options);
+    core::CampaignRunner runner(
+        builds, parallelOptions(/*compute_primary=*/true));
+    core::Campaign campaign = runner.run(kCorpusFirstSeed, kPrograms);
 
     uint64_t dead = campaign.totalDead();
     std::printf("%-8s %16s %16s    [paper GCC | LLVM]\n", "Level",
@@ -36,25 +35,27 @@ main()
                             " 1.53%% | 1.37%%"};
     for (size_t i = 0; i < compiler::allOptLevels().size(); ++i) {
         compiler::OptLevel level = compiler::allOptLevels()[i];
-        core::BuildSpec alpha{CompilerId::Alpha, level, SIZE_MAX};
-        core::BuildSpec beta{CompilerId::Beta, level, SIZE_MAX};
+        core::BuildId alpha = *campaign.findBuild(
+            core::BuildSpec{CompilerId::Alpha, level, SIZE_MAX});
+        core::BuildId beta = *campaign.findBuild(
+            core::BuildSpec{CompilerId::Beta, level, SIZE_MAX});
         std::printf("%-8s %15.2f%% %15.2f%%    [",
                     compiler::optLevelName(level),
-                    percent(campaign.totalPrimaryMissed(alpha.name()),
-                            dead),
-                    percent(campaign.totalPrimaryMissed(beta.name()),
-                            dead));
+                    percent(campaign.totalPrimaryMissed(alpha), dead),
+                    percent(campaign.totalPrimaryMissed(beta), dead));
         std::printf(paper[i]);
         std::printf("]\n");
     }
     // Sanity: primary <= missed everywhere.
     bool subset_ok = true;
-    for (const core::BuildSpec &spec : builds) {
-        subset_ok &= campaign.totalPrimaryMissed(spec.name()) <=
-                     campaign.totalMissed(spec.name());
+    for (size_t b = 0; b < campaign.builds.size(); ++b) {
+        core::BuildId build{b};
+        subset_ok &= campaign.totalPrimaryMissed(build) <=
+                     campaign.totalMissed(build);
     }
     std::printf("\nShape check: primary subset of missed everywhere: "
                 "%s; counts shrink with level as in the paper.\n",
                 subset_ok ? "yes" : "NO");
+    printMetrics(campaign.metrics);
     return 0;
 }

@@ -24,11 +24,9 @@ main()
     core::BuildSpec beta{CompilerId::Beta, OptLevel::O3, SIZE_MAX};
     core::BuildSpec alpha_o1{CompilerId::Alpha, OptLevel::O1, SIZE_MAX};
     core::BuildSpec beta_o2{CompilerId::Beta, OptLevel::O2, SIZE_MAX};
-    core::CampaignOptions options;
-    options.computePrimary = true;
-    core::Campaign campaign = core::runCampaign(
-        kCorpusFirstSeed, 150, {alpha, beta, alpha_o1, beta_o2},
-        options);
+    core::CampaignRunner runner({alpha, beta, alpha_o1, beta_o2},
+                                parallelOptions(true));
+    core::Campaign campaign = runner.run(kCorpusFirstSeed, 150);
 
     // Findings: compiler-vs-compiler differentials at O3, plus
     // level regressions (the paper reported both kinds).
@@ -84,5 +82,6 @@ main()
         std::printf("----8<----\n%s----8<----\n",
                     report.reducedSource.c_str());
     }
+    printMetrics(campaign.metrics);
     return 0;
 }

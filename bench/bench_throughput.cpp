@@ -8,6 +8,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "backend/codegen.hpp"
 #include "core/campaign.hpp"
 #include "gen/generator.hpp"
@@ -104,12 +106,32 @@ BM_EmitAssembly(benchmark::State &state)
 BENCHMARK(BM_EmitAssembly);
 
 static void
-BM_FullPipelinePerProgram(benchmark::State &state)
+BM_CompileLoweredO3Beta(benchmark::State &state)
 {
-    std::vector<core::BuildSpec> builds = {
+    // The campaign engine's cache path: clone a shared O0 lowering and
+    // optimize the clone, instead of re-lowering from the AST.
+    instrument::Instrumented prog = core::makeProgram(7);
+    auto lowered = ir::lowerToIr(*prog.unit);
+    compiler::Compiler comp(compiler::CompilerId::Beta,
+                            compiler::OptLevel::O3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(comp.compileLowered(*lowered));
+}
+BENCHMARK(BM_CompileLoweredO3Beta);
+
+static std::vector<core::BuildSpec>
+campaignBuilds()
+{
+    return {
         {compiler::CompilerId::Alpha, compiler::OptLevel::O3, SIZE_MAX},
         {compiler::CompilerId::Beta, compiler::OptLevel::O3, SIZE_MAX},
     };
+}
+
+static void
+BM_FullPipelinePerProgram(benchmark::State &state)
+{
+    std::vector<core::BuildSpec> builds = campaignBuilds();
     uint64_t seed = 5000;
     for (auto _ : state)
         benchmark::DoNotOptimize(core::runCampaign(seed++, 1, builds));
@@ -117,4 +139,72 @@ BM_FullPipelinePerProgram(benchmark::State &state)
 }
 BENCHMARK(BM_FullPipelinePerProgram);
 
-BENCHMARK_MAIN();
+static void
+BM_Campaign(benchmark::State &state)
+{
+    // Whole-campaign throughput at 1/2/4/8 worker threads. Items
+    // processed = seeds, so the reported items/s is seeds/s and the
+    // thread-scaling curve is read straight off the report.
+    constexpr unsigned kSeeds = 48;
+    core::CampaignOptions options;
+    options.threads = static_cast<unsigned>(state.range(0));
+    core::CampaignRunner runner(campaignBuilds(), options);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(5000, kSeeds));
+    state.SetItemsProcessed(state.iterations() * kSeeds);
+}
+BENCHMARK(BM_Campaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * Engine acceptance check, run before the microbenchmarks: the
+ * parallel engine must produce bit-identical records to the serial
+ * one, and 4 workers must actually buy wall-clock speedup.
+ */
+static bool
+verifyEngine()
+{
+    constexpr uint64_t kFirstSeed = 5000;
+    constexpr unsigned kSeeds = 96;
+    std::vector<core::BuildSpec> builds = campaignBuilds();
+
+    core::CampaignOptions serial;
+    serial.threads = 1;
+    core::Campaign one =
+        core::CampaignRunner(builds, serial).run(kFirstSeed, kSeeds);
+
+    core::CampaignOptions parallel = serial;
+    parallel.threads = 4;
+    core::Campaign four =
+        core::CampaignRunner(builds, parallel).run(kFirstSeed, kSeeds);
+
+    bool identical = one.programs == four.programs;
+    double speedup = four.metrics.wallSeconds > 0
+                         ? one.metrics.wallSeconds /
+                               four.metrics.wallSeconds
+                         : 0;
+    std::printf("[engine] threads=1 vs threads=4 over %u seeds: "
+                "records identical: %s; speedup %.2fx "
+                "(%.1f -> %.1f seeds/s)\n\n",
+                kSeeds, identical ? "yes" : "NO", speedup,
+                one.metrics.seedsPerSecond(),
+                four.metrics.seedsPerSecond());
+    return identical;
+}
+
+int
+main(int argc, char **argv)
+{
+    bool engine_ok = verifyEngine();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return engine_ok ? 0 : 1;
+}

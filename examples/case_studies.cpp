@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "ir/lowering.hpp"
 #include "lang/parser.hpp"
 
 using namespace dce;
@@ -149,9 +150,12 @@ main()
                         diags.str().c_str());
             continue;
         }
+        // One lowering per case; each probed build clones it (the
+        // campaign engine's lowering-cache pattern).
+        auto lowered = ir::lowerToIr(*unit);
         auto probe = [&](CompilerId id, OptLevel level) {
             compiler::Compiler comp(id, level);
-            return core::aliveMarkers(*unit, comp).count(0) != 0
+            return core::aliveMarkers(*lowered, comp).count(0) != 0
                        ? "MISS"
                        : "elim";
         };

@@ -26,20 +26,34 @@ main()
     core::BuildSpec beta{CompilerId::Beta, OptLevel::O3, SIZE_MAX};
     core::CampaignOptions options;
     options.computePrimary = true;
-    core::Campaign campaign =
-        core::runCampaign(/*first_seed=*/4000, kPrograms,
-                          {alpha, beta}, options);
+    options.threads = 0; // all hardware threads; records unchanged
+    options.observer = [](const core::CampaignProgress &progress) {
+        if (progress.seedsDone % 20 == 0 ||
+            progress.seedsDone == progress.seedsTotal) {
+            std::printf("  ... %llu/%llu seeds\n",
+                        static_cast<unsigned long long>(
+                            progress.seedsDone),
+                        static_cast<unsigned long long>(
+                            progress.seedsTotal));
+        }
+    };
+    core::CampaignRunner runner({alpha, beta}, options);
+    core::Campaign campaign = runner.run(/*first_seed=*/4000, kPrograms);
+    core::BuildId alpha_id{0}, beta_id{1}; // runner's build order
 
-    std::printf("corpus: %llu markers, %llu dead, %llu alive\n",
+    std::printf("corpus: %llu markers, %llu dead, %llu alive "
+                "(%.1f seeds/s, cache hit rate %.1f%%)\n",
                 static_cast<unsigned long long>(campaign.totalMarkers()),
                 static_cast<unsigned long long>(campaign.totalDead()),
-                static_cast<unsigned long long>(campaign.totalAlive()));
+                static_cast<unsigned long long>(campaign.totalAlive()),
+                campaign.metrics.seedsPerSecond(),
+                100.0 * campaign.metrics.cacheHitRate());
     std::printf("alpha misses %llu markers beta eliminates; beta misses "
                 "%llu markers alpha eliminates\n\n",
-                static_cast<unsigned long long>(campaign.totalMissedVersus(
-                    alpha.name(), beta.name())),
-                static_cast<unsigned long long>(campaign.totalMissedVersus(
-                    beta.name(), alpha.name())));
+                static_cast<unsigned long long>(
+                    campaign.totalMissedVersus(alpha_id, beta_id)),
+                static_cast<unsigned long long>(
+                    campaign.totalMissedVersus(beta_id, alpha_id)));
 
     // Pick primary findings in each direction and reduce the first.
     std::vector<core::Finding> findings =

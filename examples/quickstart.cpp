@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/analysis.hpp"
+#include "core/campaign.hpp"
 #include "instrument/instrument.hpp"
 #include "lang/printer.hpp"
 
@@ -80,5 +81,25 @@ main()
                     "analysis.)\n",
                     *findings.begin());
     }
+
+    // Scaling up: the same differential over a random corpus, run by
+    // the parallel campaign engine. Build handles (BuildId) index the
+    // runner's build list; thread count never changes the records.
+    core::CampaignOptions options;
+    options.threads = 0; // one worker per hardware thread
+    core::CampaignRunner runner(
+        {{compiler::CompilerId::Alpha, compiler::OptLevel::O3},
+         {compiler::CompilerId::Beta, compiler::OptLevel::O3}},
+        options);
+    core::Campaign campaign = runner.run(/*first_seed=*/1, /*count=*/40);
+    core::BuildId alpha_id{0}, beta_id{1};
+    std::printf("\ncampaign over 40 random programs: %llu dead markers; "
+                "alpha misses %llu that beta eliminates "
+                "(%.1f seeds/s on %s)\n",
+                static_cast<unsigned long long>(campaign.totalDead()),
+                static_cast<unsigned long long>(
+                    campaign.totalMissedVersus(alpha_id, beta_id)),
+                campaign.metrics.seedsPerSecond(),
+                "all hardware threads");
     return 0;
 }

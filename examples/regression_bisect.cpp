@@ -10,6 +10,7 @@
 
 #include "bisect/bisect.hpp"
 #include "core/analysis.hpp"
+#include "ir/lowering.hpp"
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
 
@@ -45,9 +46,12 @@ main()
     }
 
     std::printf("test case:\n%s\n", source);
+    // One O0 lowering, cloned per probed build (the engine's
+    // lowering-cache pattern).
+    auto lowered = ir::lowerToIr(*unit);
     for (OptLevel level : {OptLevel::O1, OptLevel::O2, OptLevel::O3}) {
         compiler::Compiler comp(CompilerId::Beta, level);
-        bool missed = core::aliveMarkers(*unit, comp).count(0) != 0;
+        bool missed = core::aliveMarkers(*lowered, comp).count(0) != 0;
         std::printf("%-22s -> marker %s\n", comp.describe().c_str(),
                     missed ? "MISSED" : "eliminated");
     }
@@ -74,7 +78,7 @@ main()
     for (size_t commit = spec.headIndex() + 1;
          commit < spec.history().size(); ++commit) {
         compiler::Compiler fixed(CompilerId::Beta, OptLevel::O3, commit);
-        if (!core::aliveMarkers(*unit, fixed).count(0)) {
+        if (!core::aliveMarkers(*lowered, fixed).count(0)) {
             std::printf("\nfixed by %s (%s)\n",
                         spec.history()[commit].hash.c_str(),
                         spec.history()[commit].subject.c_str());

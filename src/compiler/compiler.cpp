@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "backend/codegen.hpp"
+#include "ir/clone.hpp"
 #include "ir/lowering.hpp"
 
 namespace dce::compiler {
@@ -411,15 +412,31 @@ Compiler::compile(const lang::TranslationUnit &unit,
                   bool verify_each) const
 {
     std::unique_ptr<ir::Module> module = ir::lowerToIr(unit);
+    optimize(*module, verify_each);
+    return module;
+}
+
+std::unique_ptr<ir::Module>
+Compiler::compileLowered(const ir::Module &lowered,
+                         bool verify_each) const
+{
+    std::unique_ptr<ir::Module> module = ir::cloneModule(lowered);
+    optimize(*module, verify_each);
+    return module;
+}
+
+void
+Compiler::optimize(ir::Module &module, bool verify_each) const
+{
+    lastError_.clear();
     if (level_ == OptLevel::O0)
-        return module;
+        return;
     opt::PassConfig config =
         adjustForLevel(spec(id_).configAt(level_, commitIndex_), level_);
     opt::PassManager pm(config);
     buildPipeline(pm, level_);
-    pm.run(*module, verify_each);
+    pm.run(module, verify_each);
     lastError_ = pm.lastError();
-    return module;
 }
 
 std::string

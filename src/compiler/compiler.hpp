@@ -103,6 +103,22 @@ class Compiler {
     compile(const lang::TranslationUnit &unit,
             bool verify_each = false) const;
 
+    /**
+     * Compile from an already-lowered O0 module instead of from the
+     * AST: clone @p lowered (ir::cloneModule) and run this build's
+     * pipeline over the clone. @p lowered is not modified, so one
+     * lowering can be shared across every build of a campaign — the
+     * engine's lowering cache. Equivalent to compile() on the unit
+     * @p lowered came from.
+     */
+    std::unique_ptr<ir::Module>
+    compileLowered(const ir::Module &lowered,
+                   bool verify_each = false) const;
+
+    /** Run this build's pipeline in place over @p module (which must
+     * be an O0 lowering this build owns). */
+    void optimize(ir::Module &module, bool verify_each = false) const;
+
     /** compile() + backend emission. */
     std::string compileToAsm(const lang::TranslationUnit &unit) const;
 

@@ -1,7 +1,5 @@
 #include "core/analysis.hpp"
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "backend/codegen.hpp"
@@ -30,12 +28,18 @@ aliveMarkers(const lang::TranslationUnit &unit,
     return aliveMarkersInAsm(comp.compileToAsm(unit));
 }
 
+std::set<unsigned>
+aliveMarkers(const ir::Module &lowered, const compiler::Compiler &comp)
+{
+    std::unique_ptr<ir::Module> optimized = comp.compileLowered(lowered);
+    return aliveMarkersInAsm(backend::emitAssembly(*optimized));
+}
+
 GroundTruth
-groundTruth(const Instrumented &prog)
+groundTruthFor(const ir::Module &lowered, unsigned marker_count)
 {
     GroundTruth truth;
-    auto module = ir::lowerToIr(*prog.unit);
-    interp::ExecResult result = interp::execute(*module);
+    interp::ExecResult result = interp::execute(lowered);
     if (!result.ok())
         return truth; // timeout/trap: unusable for ground truth
     truth.valid = true;
@@ -43,95 +47,84 @@ groundTruth(const Instrumented &prog)
         if (auto index = markerIndex(name))
             truth.aliveMarkers.insert(*index);
     }
-    for (unsigned m = 0; m < prog.markerCount(); ++m) {
+    for (unsigned m = 0; m < marker_count; ++m) {
         if (!truth.aliveMarkers.count(m))
             truth.deadMarkers.insert(m);
     }
     return truth;
 }
 
-namespace {
-
-/** Interprocedural CFG view over an O0 module: per-block predecessor
- * lists, where a function entry's predecessors are all blocks
- * containing calls to it. */
-struct InterCfg {
-    std::unordered_map<const ir::BasicBlock *,
-                       std::vector<const ir::BasicBlock *>>
-        preds;
-    /** Blocks containing each marker's call. */
-    std::unordered_map<unsigned, const ir::BasicBlock *> markerBlock;
-    /** Markers contained in each block. */
-    std::unordered_map<const ir::BasicBlock *, std::vector<unsigned>>
-        blockMarkers;
-};
-
-InterCfg
-buildInterCfg(const ir::Module &module)
+GroundTruth
+groundTruth(const Instrumented &prog)
 {
-    InterCfg cfg;
-    for (const auto &fn : module.functions()) {
+    auto module = ir::lowerToIr(*prog.unit);
+    return groundTruthFor(*module, prog.markerCount());
+}
+
+//===------------------------------------------------------------------===//
+// Primary missed-block analysis (§3.2)
+//===------------------------------------------------------------------===//
+
+PrimaryAnalysis::PrimaryAnalysis(const ir::Module &lowered)
+{
+    // Interprocedural CFG view over the O0 module: per-block
+    // predecessor lists, where a function entry's predecessors are all
+    // blocks containing calls to it.
+    for (const auto &fn : lowered.functions()) {
         for (const auto &block : fn->blocks()) {
-            cfg.preds[block.get()]; // materialize every node
+            preds_[block.get()]; // materialize every node
             for (ir::BasicBlock *succ : block->successors())
-                cfg.preds[succ].push_back(block.get());
+                preds_[succ].push_back(block.get());
             for (const auto &instr : block->instrs()) {
                 if (instr->opcode() != ir::Opcode::Call)
                     continue;
                 const ir::Function *callee = instr->callee;
                 if (callee->isDeclaration()) {
                     if (auto index = markerIndex(callee->name())) {
-                        cfg.markerBlock[*index] = block.get();
-                        cfg.blockMarkers[block.get()].push_back(
-                            *index);
+                        markerBlock_[*index] = block.get();
+                        blockMarkers_[block.get()].push_back(*index);
                     }
                     continue;
                 }
                 // Call edge: the calling block reaches the callee's
                 // entry.
-                cfg.preds[callee->entry()].push_back(block.get());
+                preds_[callee->entry()].push_back(block.get());
             }
         }
     }
-    return cfg;
-}
 
-} // namespace
-
-std::set<unsigned>
-primaryMissedMarkers(const Instrumented &prog,
-                     const std::set<unsigned> &missed,
-                     const GroundTruth &truth)
-{
-    if (missed.empty() || !truth.valid)
-        return {};
-
-    // Fresh O0 lowering + block-level execution ground truth.
-    auto module = ir::lowerToIr(*prog.unit);
+    // Block-level execution ground truth.
     interp::ExecLimits limits;
     limits.recordBlocks = true;
-    interp::ExecResult run = interp::execute(*module, "main", limits);
-    if (!run.ok())
-        return missed; // should not happen (truth.valid): be safe
+    interp::ExecResult run = interp::execute(lowered, "main", limits);
+    valid_ = run.ok();
+    executedBlocks_ = std::move(run.executedBlocks);
+}
 
-    InterCfg cfg = buildInterCfg(*module);
+std::set<unsigned>
+PrimaryAnalysis::primary(const std::set<unsigned> &missed) const
+{
+    if (missed.empty())
+        return {};
+    if (!valid_)
+        return missed; // no block truth: be safe, keep everything
 
     auto block_state = [&](const ir::BasicBlock *block)
         -> std::pair<bool, bool> {
-        // (contains_missed_dead_marker, contains_only_detected).
+        // (contains_missed_dead_marker, contains_any_marker).
         bool has_missed = false;
-        auto it = cfg.blockMarkers.find(block);
-        if (it != cfg.blockMarkers.end()) {
+        auto it = blockMarkers_.find(block);
+        if (it != blockMarkers_.end()) {
             for (unsigned m : it->second)
                 has_missed |= missed.count(m) != 0;
         }
-        return {has_missed, it != cfg.blockMarkers.end()};
+        return {has_missed, it != blockMarkers_.end()};
     };
 
     std::set<unsigned> primary;
     for (unsigned marker : missed) {
-        auto block_it = cfg.markerBlock.find(marker);
-        if (block_it == cfg.markerBlock.end())
+        auto block_it = markerBlock_.find(marker);
+        if (block_it == markerBlock_.end())
             continue; // marker vanished at lowering (front-end DCE)
         const ir::BasicBlock *origin = block_it->second;
 
@@ -142,15 +135,19 @@ primaryMissedMarkers(const Instrumented &prog,
         // block with another *missed* dead marker makes `marker`
         // secondary.
         bool secondary = false;
-        std::vector<const ir::BasicBlock *> worklist(
-            cfg.preds[origin].begin(), cfg.preds[origin].end());
+        auto origin_preds = preds_.find(origin);
+        std::vector<const ir::BasicBlock *> worklist;
+        if (origin_preds != preds_.end()) {
+            worklist.assign(origin_preds->second.begin(),
+                            origin_preds->second.end());
+        }
         std::unordered_set<const ir::BasicBlock *> visited{origin};
         while (!worklist.empty() && !secondary) {
             const ir::BasicBlock *block = worklist.back();
             worklist.pop_back();
             if (!visited.insert(block).second)
                 continue;
-            if (run.executedBlocks.count(block))
+            if (executedBlocks_.count(block))
                 continue; // live predecessor: fine
             auto [has_missed, has_any_marker] = block_state(block);
             if (has_missed) {
@@ -160,13 +157,37 @@ primaryMissedMarkers(const Instrumented &prog,
             if (has_any_marker)
                 continue; // detected dead marker: root cause resolved
             // Dead, markerless: keep walking up.
-            for (const ir::BasicBlock *pred : cfg.preds[block])
-                worklist.push_back(pred);
+            auto it = preds_.find(block);
+            if (it != preds_.end()) {
+                for (const ir::BasicBlock *pred : it->second)
+                    worklist.push_back(pred);
+            }
         }
         if (!secondary)
             primary.insert(marker);
     }
     return primary;
+}
+
+std::set<unsigned>
+primaryMissedMarkers(const ir::Module &lowered,
+                     const std::set<unsigned> &missed,
+                     const GroundTruth &truth)
+{
+    if (missed.empty() || !truth.valid)
+        return {};
+    return PrimaryAnalysis(lowered).primary(missed);
+}
+
+std::set<unsigned>
+primaryMissedMarkers(const Instrumented &prog,
+                     const std::set<unsigned> &missed,
+                     const GroundTruth &truth)
+{
+    if (missed.empty() || !truth.valid)
+        return {};
+    auto module = ir::lowerToIr(*prog.unit);
+    return primaryMissedMarkers(*module, missed, truth);
 }
 
 } // namespace dce::core

@@ -16,6 +16,9 @@
 
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "compiler/compiler.hpp"
 #include "instrument/instrument.hpp"
@@ -33,6 +36,15 @@ std::set<unsigned> aliveMarkersInAsm(const std::string &assembly);
 std::set<unsigned> aliveMarkers(const lang::TranslationUnit &unit,
                                 const compiler::Compiler &comp);
 
+/**
+ * Same, but from an already-lowered O0 module (not modified): the
+ * build's pipeline runs over an ir::cloneModule copy. Lower once with
+ * ir::lowerToIr, then call this once per build — the campaign engine's
+ * lowering cache in miniature.
+ */
+std::set<unsigned> aliveMarkers(const ir::Module &lowered,
+                                const compiler::Compiler &comp);
+
 /** Ground truth from execution. */
 struct GroundTruth {
     bool valid = false; ///< program executed to completion
@@ -41,6 +53,11 @@ struct GroundTruth {
 };
 
 GroundTruth groundTruth(const instrument::Instrumented &prog);
+
+/** Ground truth from an already-lowered O0 module of a program with
+ * @p marker_count markers. */
+GroundTruth groundTruthFor(const ir::Module &lowered,
+                           unsigned marker_count);
 
 /** Set helpers over markers. */
 inline std::set<unsigned>
@@ -74,11 +91,42 @@ missedMarkers(const std::set<unsigned> &alive_in_asm,
 }
 
 /**
- * §3.2: reduce a missed set to its *primary* subset. Works on the
- * interprocedural CFG of the O0 lowering of the instrumented unit:
- * a missed marker is secondary when a backwards walk from its block —
- * through dead, detected-or-markerless blocks — reaches another missed
- * marker's block.
+ * §3.2's primary-missed-block analysis, factored so its per-program
+ * setup — the interprocedural CFG over the O0 lowering plus one
+ * block-recording execution — is built once and then queried per
+ * build. A missed marker is secondary when a backwards walk from its
+ * block, through dead detected-or-markerless blocks, reaches another
+ * missed marker's block.
+ *
+ * Holds pointers into @p lowered; keep the module alive while using.
+ */
+class PrimaryAnalysis {
+  public:
+    explicit PrimaryAnalysis(const ir::Module &lowered);
+
+    /** Block-level ground truth executed cleanly; when false,
+     * primary() degrades to the identity (be safe, report all). */
+    bool valid() const { return valid_; }
+
+    /** The primary subset of @p missed (a build's dead-but-alive-in-
+     * assembly markers). */
+    std::set<unsigned> primary(const std::set<unsigned> &missed) const;
+
+  private:
+    bool valid_ = false;
+    std::unordered_map<const ir::BasicBlock *,
+                       std::vector<const ir::BasicBlock *>>
+        preds_;
+    std::unordered_map<unsigned, const ir::BasicBlock *> markerBlock_;
+    std::unordered_map<const ir::BasicBlock *, std::vector<unsigned>>
+        blockMarkers_;
+    std::unordered_set<const ir::BasicBlock *> executedBlocks_;
+};
+
+/**
+ * §3.2 one-shot convenience: lower @p prog at O0 and run the analysis.
+ * Prefer PrimaryAnalysis (or the lowered-module overload) when
+ * filtering several builds of the same program.
  *
  * @param prog     the instrumented program
  * @param missed   the build's missed (dead but alive-in-asm) markers
@@ -87,5 +135,10 @@ missedMarkers(const std::set<unsigned> &alive_in_asm,
 std::set<unsigned> primaryMissedMarkers(
     const instrument::Instrumented &prog,
     const std::set<unsigned> &missed, const GroundTruth &truth);
+
+/** Same over an existing O0 lowering of the instrumented program. */
+std::set<unsigned> primaryMissedMarkers(
+    const ir::Module &lowered, const std::set<unsigned> &missed,
+    const GroundTruth &truth);
 
 } // namespace dce::core

@@ -1,6 +1,76 @@
 #include "core/campaign.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "ir/lowering.hpp"
+#include "support/thread_pool.hpp"
+
 namespace dce::core {
+
+//===------------------------------------------------------------------===//
+// BuildSpec
+//===------------------------------------------------------------------===//
+
+size_t
+BuildSpec::resolvedCommit() const
+{
+    return commit == SIZE_MAX ? compiler::spec(id).headIndex()
+                              : commit;
+}
+
+std::string
+BuildSpec::name() const
+{
+    // Same format as Compiler::describe(), straight from the spec
+    // tables — no Compiler (and no pass pipeline) is constructed.
+    const compiler::CompilerSpec &cspec = compiler::spec(id);
+    return std::string(compiler::compilerName(id)) + "-" +
+           compiler::optLevelName(level) + "@" +
+           cspec.history()[resolvedCommit()].hash;
+}
+
+//===------------------------------------------------------------------===//
+// Campaign: handles and totals
+//===------------------------------------------------------------------===//
+
+std::vector<std::string>
+Campaign::buildNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(builds.size());
+    for (const BuildSpec &spec : builds)
+        names.push_back(spec.name());
+    return names;
+}
+
+std::optional<BuildId>
+Campaign::findBuild(std::string_view name) const
+{
+    for (size_t i = 0; i < builds.size(); ++i) {
+        if (builds[i].name() == name)
+            return BuildId{i};
+    }
+    return std::nullopt;
+}
+
+std::optional<BuildId>
+Campaign::findBuild(const BuildSpec &spec) const
+{
+    for (size_t i = 0; i < builds.size(); ++i) {
+        if (builds[i] == spec)
+            return BuildId{i};
+    }
+    return std::nullopt;
+}
+
+BuildId
+Campaign::idOf(std::string_view name) const
+{
+    return findBuild(name).value_or(BuildId{});
+}
 
 uint64_t
 Campaign::totalMarkers() const
@@ -36,52 +106,70 @@ Campaign::totalAlive() const
 }
 
 uint64_t
-Campaign::totalMissed(const std::string &build) const
+Campaign::totalMissed(BuildId build) const
 {
+    if (!build.valid())
+        return 0;
     uint64_t total = 0;
     for (const ProgramRecord &record : programs) {
-        if (!record.valid)
-            continue;
-        auto it = record.missed.find(build);
-        if (it != record.missed.end())
-            total += it->second.size();
+        if (record.valid)
+            total += record.missedFor(build).size();
     }
     return total;
 }
 
 uint64_t
-Campaign::totalPrimaryMissed(const std::string &build) const
+Campaign::totalPrimaryMissed(BuildId build) const
 {
+    if (!build.valid())
+        return 0;
     uint64_t total = 0;
     for (const ProgramRecord &record : programs) {
-        if (!record.valid)
-            continue;
-        auto it = record.primary.find(build);
-        if (it != record.primary.end())
-            total += it->second.size();
+        if (record.valid && !record.primary.empty())
+            total += record.primaryFor(build).size();
     }
     return total;
 }
 
 uint64_t
-Campaign::totalMissedVersus(const std::string &by,
-                            const std::string &reference) const
+Campaign::totalMissedVersus(BuildId by, BuildId reference) const
 {
+    if (!by.valid() || !reference.valid())
+        return 0;
     uint64_t total = 0;
     for (const ProgramRecord &record : programs) {
         if (!record.valid)
             continue;
-        auto by_it = record.missed.find(by);
-        auto ref_it = record.missed.find(reference);
-        if (by_it == record.missed.end() ||
-            ref_it == record.missed.end()) {
-            continue;
-        }
         // Missed by `by`, eliminated by `reference`.
-        total += setMinus(by_it->second, ref_it->second).size();
+        total += setMinus(record.missedFor(by),
+                          record.missedFor(reference))
+                     .size();
     }
     return total;
 }
+
+uint64_t
+Campaign::totalMissed(std::string_view build) const
+{
+    return totalMissed(idOf(build));
+}
+
+uint64_t
+Campaign::totalPrimaryMissed(std::string_view build) const
+{
+    return totalPrimaryMissed(idOf(build));
+}
+
+uint64_t
+Campaign::totalMissedVersus(std::string_view by,
+                            std::string_view reference) const
+{
+    return totalMissedVersus(idOf(by), idOf(reference));
+}
+
+//===------------------------------------------------------------------===//
+// Execution engine
+//===------------------------------------------------------------------===//
 
 instrument::Instrumented
 makeProgram(uint64_t seed, const gen::GenConfig &config)
@@ -90,42 +178,181 @@ makeProgram(uint64_t seed, const gen::GenConfig &config)
     return instrument::instrumentUnit(*unit);
 }
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Stage-time + cache accumulators local to one worker's chunk; folded
+ * into the shared metrics once per chunk to keep contention low. */
+struct LocalCounters {
+    StageTimes stages;
+    uint64_t invalid = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+};
+
+/**
+ * The per-seed pipeline, shared by the serial and parallel paths.
+ * Pure: the returned record depends only on (seed, builds, options),
+ * never on scheduling — the engine's determinism contract rests here.
+ */
+ProgramRecord
+processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
+            const CampaignOptions &options, LocalCounters &counters)
+{
+    ProgramRecord record;
+    record.seed = seed;
+
+    Clock::time_point t0 = Clock::now();
+    instrument::Instrumented prog = makeProgram(seed, options.generator);
+    record.markerCount = prog.markerCount();
+    counters.stages.generate += secondsSince(t0);
+
+    // The lowering cache: each seed's AST is lowered to O0 IR exactly
+    // once (the miss); ground truth, every build's compile (via
+    // ir::cloneModule), and the primary analysis all reuse it (hits).
+    t0 = Clock::now();
+    std::unique_ptr<ir::Module> lowered = ir::lowerToIr(*prog.unit);
+    ++counters.cacheMisses;
+    GroundTruth truth = groundTruthFor(*lowered, record.markerCount);
+    ++counters.cacheHits;
+    counters.stages.groundTruth += secondsSince(t0);
+
+    record.valid = truth.valid;
+    if (!record.valid) {
+        ++counters.invalid;
+        return record;
+    }
+    record.trueAlive = truth.aliveMarkers;
+    record.trueDead = truth.deadMarkers;
+
+    record.alive.resize(builds.size());
+    record.missed.resize(builds.size());
+    if (options.computePrimary)
+        record.primary.resize(builds.size());
+
+    // Built lazily on the first build with missed markers; the CFG and
+    // block-recording execution then serve every remaining build.
+    std::optional<PrimaryAnalysis> primary_analysis;
+
+    for (size_t b = 0; b < builds.size(); ++b) {
+        t0 = Clock::now();
+        std::set<unsigned> alive =
+            aliveMarkers(*lowered, builds[b].make());
+        ++counters.cacheHits;
+        record.missed[b] = missedMarkers(alive, truth);
+        record.alive[b] = std::move(alive);
+        counters.stages.compile += secondsSince(t0);
+
+        if (options.computePrimary && !record.missed[b].empty()) {
+            t0 = Clock::now();
+            if (!primary_analysis) {
+                primary_analysis.emplace(*lowered);
+                ++counters.cacheHits;
+            }
+            record.primary[b] =
+                primary_analysis->primary(record.missed[b]);
+            counters.stages.primary += secondsSince(t0);
+        }
+    }
+    return record;
+}
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+resolveChunkSize(unsigned requested, unsigned count, unsigned threads)
+{
+    if (requested != 0)
+        return requested;
+    // Several chunks per worker so stragglers rebalance, but chunks
+    // big enough that the shared-counter traffic stays negligible.
+    unsigned chunk = count / (threads * 8);
+    return chunk ? chunk : 1;
+}
+
+} // namespace
+
+CampaignRunner::CampaignRunner(std::vector<BuildSpec> builds,
+                               CampaignOptions options)
+    : builds_(std::move(builds)), options_(std::move(options))
+{
+}
+
+Campaign
+CampaignRunner::run(uint64_t first_seed, unsigned count) const
+{
+    Campaign campaign;
+    campaign.builds = builds_;
+    campaign.programs.resize(count); // disjoint slots, one per seed
+    campaign.metrics.seedsDone = count;
+
+    unsigned threads = resolveThreads(options_.threads);
+    unsigned chunk = resolveChunkSize(options_.chunkSize, count,
+                                      threads);
+
+    // Shared progress state. Records go straight into their slot; the
+    // mutex only guards metrics folding and observer invocation.
+    std::mutex progress_mutex;
+    CampaignProgress progress;
+    progress.seedsTotal = count;
+    StageTimes stage_totals;
+
+    Clock::time_point wall_start = Clock::now();
+    support::ThreadPool pool(threads);
+    // Folds one seed's counters into the shared progress (caller holds
+    // no lock; this takes it).
+    auto fold = [&](LocalCounters &counters) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++progress.seedsDone;
+        progress.invalidPrograms += counters.invalid;
+        progress.cacheHits += counters.cacheHits;
+        progress.cacheMisses += counters.cacheMisses;
+        stage_totals.generate += counters.stages.generate;
+        stage_totals.groundTruth += counters.stages.groundTruth;
+        stage_totals.compile += counters.stages.compile;
+        stage_totals.primary += counters.stages.primary;
+        counters = LocalCounters{};
+        if (options_.observer)
+            options_.observer(progress);
+    };
+
+    pool.forChunks(count, chunk, [&](size_t begin, size_t end) {
+        LocalCounters counters;
+        for (size_t i = begin; i < end; ++i) {
+            campaign.programs[i] = processSeed(
+                first_seed + i, builds_, options_, counters);
+            fold(counters);
+        }
+    });
+
+    campaign.metrics.wallSeconds = secondsSince(wall_start);
+    campaign.metrics.invalidPrograms = progress.invalidPrograms;
+    campaign.metrics.cacheHits = progress.cacheHits;
+    campaign.metrics.cacheMisses = progress.cacheMisses;
+    campaign.metrics.stages = stage_totals;
+    return campaign;
+}
+
 Campaign
 runCampaign(uint64_t first_seed, unsigned count,
             const std::vector<BuildSpec> &builds,
             const CampaignOptions &options)
 {
-    Campaign campaign;
-    campaign.programs.reserve(count);
-    for (unsigned i = 0; i < count; ++i) {
-        uint64_t seed = first_seed + i;
-        ProgramRecord record;
-        record.seed = seed;
-
-        instrument::Instrumented prog =
-            makeProgram(seed, options.generator);
-        record.markerCount = prog.markerCount();
-
-        GroundTruth truth = groundTruth(prog);
-        record.valid = truth.valid;
-        if (record.valid) {
-            record.trueAlive = truth.aliveMarkers;
-            record.trueDead = truth.deadMarkers;
-            for (const BuildSpec &spec : builds) {
-                std::string name = spec.name();
-                std::set<unsigned> alive =
-                    aliveMarkers(*prog.unit, spec.make());
-                record.missed[name] = missedMarkers(alive, truth);
-                if (options.computePrimary) {
-                    record.primary[name] = primaryMissedMarkers(
-                        prog, record.missed[name], truth);
-                }
-                record.alive[name] = std::move(alive);
-            }
-        }
-        campaign.programs.push_back(std::move(record));
-    }
-    return campaign;
+    return CampaignRunner(builds, options).run(first_seed, count);
 }
 
 } // namespace dce::core

@@ -5,12 +5,23 @@
  * compiler builds, and collect alive/missed/primary marker sets — over
  * a seeded corpus. The benches build every table of the paper's §4
  * from the records this produces.
+ *
+ * The execution engine (CampaignRunner) shards the seed range across a
+ * thread pool. Each seed is a pure function of (seed, builds, options)
+ * and writes its ProgramRecord into a pre-sized slot, so results are
+ * bit-identical to a serial run regardless of thread count or
+ * scheduling (DESIGN.md §8). Per-build results are addressed by
+ * BuildId handles — indices into the campaign's build list — instead
+ * of compiler-name strings.
  */
 #pragma once
 
-#include <map>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/analysis.hpp"
@@ -29,7 +40,31 @@ struct BuildSpec {
     {
         return compiler::Compiler(id, level, commit);
     }
-    std::string name() const { return make().describe(); }
+    /** The commit index with SIZE_MAX resolved to the head commit. */
+    size_t resolvedCommit() const;
+    /** e.g. "alpha-O3@a3f9c21"; computed from the spec tables without
+     * constructing a Compiler. Equals make().describe(). */
+    std::string name() const;
+
+    friend bool
+    operator==(const BuildSpec &a, const BuildSpec &b)
+    {
+        return a.id == b.id && a.level == b.level &&
+               a.resolvedCommit() == b.resolvedCommit();
+    }
+};
+
+/**
+ * Handle to one build of a campaign: its index in the campaign's build
+ * list. Obtained from Campaign::findBuild / Campaign::idOf or by
+ * position in the vector passed to the runner; valid only against the
+ * campaign (or runner) it came from.
+ */
+struct BuildId {
+    size_t index = SIZE_MAX;
+
+    bool valid() const { return index != SIZE_MAX; }
+    friend bool operator==(BuildId, BuildId) = default;
 };
 
 /** Everything recorded about one corpus program. */
@@ -39,32 +74,136 @@ struct ProgramRecord {
     bool valid = false; ///< executed cleanly; only valid records count
     std::set<unsigned> trueAlive;
     std::set<unsigned> trueDead;
-    /** Alive-in-assembly sets, keyed by BuildSpec::name(). */
-    std::map<std::string, std::set<unsigned>> alive;
-    /** Missed dead markers per build. */
-    std::map<std::string, std::set<unsigned>> missed;
-    /** Primary missed subset per build (when requested). */
-    std::map<std::string, std::set<unsigned>> primary;
+    /** Alive-in-assembly sets, indexed by BuildId. */
+    std::vector<std::set<unsigned>> alive;
+    /** Missed dead markers per build, indexed by BuildId. */
+    std::vector<std::set<unsigned>> missed;
+    /** Primary missed subset per build; empty vector unless the
+     * campaign ran with computePrimary. */
+    std::vector<std::set<unsigned>> primary;
+
+    const std::set<unsigned> &
+    aliveFor(BuildId build) const
+    {
+        return alive[build.index];
+    }
+    const std::set<unsigned> &
+    missedFor(BuildId build) const
+    {
+        return missed[build.index];
+    }
+    const std::set<unsigned> &
+    primaryFor(BuildId build) const
+    {
+        return primary[build.index];
+    }
+
+    friend bool
+    operator==(const ProgramRecord &, const ProgramRecord &) = default;
+};
+
+/**
+ * Progress snapshot delivered to a campaign observer. Observers are
+ * invoked under a lock, after each completed seed, from whichever
+ * worker finished it; seedsDone increases by exactly one per call.
+ */
+struct CampaignProgress {
+    uint64_t seedsDone = 0;  ///< completed so far (this call included)
+    uint64_t seedsTotal = 0; ///< corpus size
+    uint64_t invalidPrograms = 0; ///< failed ground-truth execution
+    uint64_t cacheHits = 0;       ///< lowering-cache hits so far
+    uint64_t cacheMisses = 0;     ///< lowering-cache misses so far
+};
+
+using CampaignObserver = std::function<void(const CampaignProgress &)>;
+
+/** Wall time per pipeline stage, summed across workers (seconds). */
+struct StageTimes {
+    double generate = 0;    ///< program generation + instrumentation
+    double groundTruth = 0; ///< O0 lowering + interpreter run
+    double compile = 0;     ///< per-build clone + pipeline + asm scan
+    double primary = 0;     ///< §3.2 primary-missed analysis
+
+    double
+    total() const
+    {
+        return generate + groundTruth + compile + primary;
+    }
+};
+
+/** Aggregate metrics for one finished campaign. */
+struct CampaignMetrics {
+    uint64_t seedsDone = 0;
+    uint64_t invalidPrograms = 0;
+    /** Lowering-cache accounting: one miss per seed (the single
+     * ir::lowerToIr), one hit per downstream consumer of the cached
+     * module (ground truth, each per-build clone, primary analysis). */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    double wallSeconds = 0; ///< end-to-end, not summed across workers
+    StageTimes stages;      ///< per-stage, summed across workers
+
+    double
+    seedsPerSecond() const
+    {
+        return wallSeconds > 0 ? double(seedsDone) / wallSeconds : 0;
+    }
+    double
+    cacheHitRate() const
+    {
+        uint64_t probes = cacheHits + cacheMisses;
+        return probes ? double(cacheHits) / double(probes) : 0;
+    }
 };
 
 struct CampaignOptions {
     bool computePrimary = false;
     gen::GenConfig generator;
+    /** Worker threads; 1 = serial (fully inline), 0 = one per
+     * hardware thread. Thread count never changes the records. */
+    unsigned threads = 1;
+    /** Seeds per scheduling chunk; 0 picks a size that gives each
+     * worker several chunks for load balancing. */
+    unsigned chunkSize = 0;
+    /** Optional progress callback; see CampaignProgress. */
+    CampaignObserver observer;
 };
 
 /** A finished campaign over a corpus. */
 struct Campaign {
+    /** The builds, in the order given to the runner; BuildId indexes
+     * this vector (and each record's per-build vectors). */
+    std::vector<BuildSpec> builds;
     std::vector<ProgramRecord> programs;
+    CampaignMetrics metrics;
+
+    /** BuildSpec::name() of every build, in BuildId order. */
+    std::vector<std::string> buildNames() const;
+    /** Handle for the build named @p name, if present. */
+    std::optional<BuildId> findBuild(std::string_view name) const;
+    /** Handle for @p spec's build, if present. */
+    std::optional<BuildId> findBuild(const BuildSpec &spec) const;
+    /** findBuild or an invalid (never-matching) handle. */
+    BuildId idOf(std::string_view name) const;
 
     uint64_t totalMarkers() const;
     uint64_t totalDead() const;
     uint64_t totalAlive() const;
     /** Sum of |missed| for one build across the corpus. */
-    uint64_t totalMissed(const std::string &build) const;
-    uint64_t totalPrimaryMissed(const std::string &build) const;
+    uint64_t totalMissed(BuildId build) const;
+    uint64_t totalPrimaryMissed(BuildId build) const;
     /** Markers missed by @p by but eliminated by @p reference. */
-    uint64_t totalMissedVersus(const std::string &by,
-                               const std::string &reference) const;
+    uint64_t totalMissedVersus(BuildId by, BuildId reference) const;
+
+    /** @deprecated Name-keyed shims kept for the pre-BuildId API;
+     * they resolve the name once and delegate. New code should hold a
+     * BuildId from findBuild(). */
+    uint64_t totalMissed(std::string_view build) const;
+    /** @deprecated See totalMissed(std::string_view). */
+    uint64_t totalPrimaryMissed(std::string_view build) const;
+    /** @deprecated See totalMissed(std::string_view). */
+    uint64_t totalMissedVersus(std::string_view by,
+                               std::string_view reference) const;
 };
 
 /** Regenerate + instrument the program for @p seed (deterministic). */
@@ -72,9 +211,37 @@ instrument::Instrumented makeProgram(
     uint64_t seed, const gen::GenConfig &config = {});
 
 /**
+ * The campaign execution engine. Configure once with the build list
+ * and options, then run over any seed range:
+ *
+ *   CampaignRunner runner(builds, {.threads = 0});
+ *   Campaign campaign = runner.run(1000, 300);
+ *
+ * Determinism contract: for fixed (first_seed, count, builds,
+ * generator, computePrimary), the builds and programs of the returned
+ * Campaign are identical for every thread/chunk configuration; only
+ * metrics (timings) and observer interleaving vary.
+ */
+class CampaignRunner {
+  public:
+    explicit CampaignRunner(std::vector<BuildSpec> builds,
+                            CampaignOptions options = {});
+
+    const std::vector<BuildSpec> &builds() const { return builds_; }
+    const CampaignOptions &options() const { return options_; }
+
+    Campaign run(uint64_t first_seed, unsigned count) const;
+
+  private:
+    std::vector<BuildSpec> builds_;
+    CampaignOptions options_;
+};
+
+/**
  * Run the campaign: seeds [first_seed, first_seed + count) against
  * every build. Programs that fail ground-truth execution are recorded
- * with valid = false and excluded from the totals.
+ * with valid = false and excluded from the totals. Convenience wrapper
+ * over CampaignRunner.
  */
 Campaign runCampaign(uint64_t first_seed, unsigned count,
                      const std::vector<BuildSpec> &builds,

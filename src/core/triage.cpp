@@ -86,19 +86,17 @@ collectFindings(const Campaign &campaign, const BuildSpec &missed_by,
 {
     (void)config;
     std::vector<Finding> findings;
-    std::string by_name = missed_by.name();
-    std::string ref_name = reference.name();
+    std::optional<BuildId> by_id = campaign.findBuild(missed_by);
+    std::optional<BuildId> ref_id = campaign.findBuild(reference);
+    if (!by_id || !ref_id)
+        return findings;
     for (const ProgramRecord &record : campaign.programs) {
-        if (!record.valid)
+        // Needs the primary sets, so skip campaigns (or invalid
+        // records) that never computed them.
+        if (!record.valid || record.primary.empty())
             continue;
-        auto primary_it = record.primary.find(by_name);
-        auto ref_it = record.missed.find(ref_name);
-        if (primary_it == record.primary.end() ||
-            ref_it == record.missed.end()) {
-            continue;
-        }
-        for (unsigned marker :
-             setMinus(primary_it->second, ref_it->second)) {
+        for (unsigned marker : setMinus(record.primaryFor(*by_id),
+                                        record.missedFor(*ref_id))) {
             if (findings.size() >= max_findings)
                 return findings;
             findings.push_back(

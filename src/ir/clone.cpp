@@ -35,6 +35,97 @@ remapInstr(Instr &instr, const CloneMap &map)
         block = map.get(block);
 }
 
+std::unique_ptr<Module>
+cloneModule(const Module &module)
+{
+    auto clone = std::make_unique<Module>();
+    CloneMap map;
+    std::unordered_map<const Function *, Function *> fn_map;
+
+    // Globals: create all objects first, then copy initializers (they
+    // may hold the address of any other global).
+    for (const auto &global : module.globals()) {
+        GlobalVar *copy =
+            clone->addGlobal(global->name(), global->elementType(),
+                             global->count(), global->isInternal());
+        copy->setIsArray(global->isArray());
+        map.values[global.get()] = copy;
+    }
+    for (const auto &global : module.globals()) {
+        auto *copy =
+            static_cast<GlobalVar *>(map.values.at(global.get()));
+        copy->init.reserve(global->init.size());
+        for (const GlobalInit &init : global->init) {
+            if (init.isAddress()) {
+                auto *base =
+                    static_cast<const GlobalVar *>(map.values.at(
+                        static_cast<const Value *>(init.base)));
+                copy->init.push_back(
+                    GlobalInit::addressOf(base, init.value));
+            } else {
+                copy->init.push_back(init);
+            }
+        }
+    }
+
+    // Function shells + params before bodies, so calls and block
+    // layouts can remap in one final pass.
+    for (const auto &fn : module.functions()) {
+        Function *copy = clone->addFunction(
+            fn->name(), fn->returnType(), fn->isInternal());
+        copy->setNoDce(fn->noDce());
+        for (const auto &param : fn->params()) {
+            map.values[param.get()] =
+                copy->addParam(param->type(), param->name());
+        }
+        fn_map[fn.get()] = copy;
+        for (const auto &block : fn->blocks())
+            map.blocks[block.get()] = copy->addBlock(block->name());
+    }
+
+    // Clone instructions (operands still point into the source module).
+    for (const auto &fn : module.functions()) {
+        for (const auto &block : fn->blocks()) {
+            BasicBlock *dest = map.blocks.at(block.get());
+            for (const auto &instr : block->instrs()) {
+                Instr *copied =
+                    dest->append(cloneInstr(*instr, *clone));
+                map.values[instr.get()] = copied;
+            }
+        }
+    }
+
+    // Remap every reference into the clone. Constants are interned
+    // lazily in the clone's pool; everything else was mapped above.
+    for (const auto &fn : module.functions()) {
+        for (const auto &block : fn->blocks()) {
+            for (const auto &instr :
+                 map.blocks.at(block.get())->instrs()) {
+                for (size_t i = 0; i < instr->numOperands(); ++i) {
+                    Value *operand = instr->operand(i);
+                    auto it = map.values.find(operand);
+                    if (it != map.values.end()) {
+                        instr->setOperand(i, it->second);
+                    } else if (operand->isConstant()) {
+                        auto *c = static_cast<Constant *>(operand);
+                        Constant *interned =
+                            clone->constant(c->type(), c->value());
+                        map.values[operand] = interned;
+                        instr->setOperand(i, interned);
+                    }
+                    // else: unreachable — every non-constant value
+                    // lives in the source module and was mapped.
+                }
+                for (BasicBlock *&target : instr->blockOperands())
+                    target = map.blocks.at(target);
+                if (instr->callee)
+                    instr->callee = fn_map.at(instr->callee);
+            }
+        }
+    }
+    return clone;
+}
+
 CloneMap
 cloneRegion(const std::vector<BasicBlock *> &blocks, Function &dest,
             Module &module, CloneMap seed, const std::string &suffix)

@@ -58,4 +58,19 @@ CloneMap cloneRegion(const std::vector<BasicBlock *> &blocks,
                      Function &dest, Module &module, CloneMap seed,
                      const std::string &suffix);
 
+/**
+ * Deep-copy a whole module: globals (initializers included), function
+ * declarations and bodies, with every cross-reference — operands,
+ * branch targets, callees, address-of-global initializers — remapped
+ * into the copy. Constants are re-interned in the clone's pool.
+ *
+ * The copy is semantically identical and structurally isomorphic to
+ * the input (same iteration order everywhere), so running a pass
+ * pipeline over the clone gives the same result as lowering the source
+ * again and optimizing that. This is the campaign engine's lowering
+ * cache: one AST-to-IR lowering per program, one cheap clone per
+ * compiler build. Value ids are re-assigned (printer handles only).
+ */
+std::unique_ptr<Module> cloneModule(const Module &module);
+
 } // namespace dce::ir

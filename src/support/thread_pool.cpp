@@ -1,0 +1,142 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace dce::support {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    threads_ = threads;
+    // One worker is the calling thread (see forChunks), so a pool of N
+    // threads spawns N-1 OS threads.
+    workers_.reserve(threads_ - 1);
+    for (unsigned i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runJob(const std::function<void()> &job)
+{
+    try {
+        job();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping, queue drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        runJob(job);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                allIdle_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (threads_ == 1) {
+        // Serial pool: run inline, no queue, no cross-thread handoff.
+        runJob(job);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++inFlight_;
+        queue_.push_back(std::move(job));
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allIdle_.wait(lock, [this] { return inFlight_ == 0; });
+        error = firstError_;
+        firstError_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+ThreadPool::forChunks(size_t count, size_t chunk_size,
+                      const std::function<void(size_t, size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    chunk_size = std::max<size_t>(chunk_size, 1);
+
+    // Shared claim counter: dynamic chunk scheduling. shared_ptr keeps
+    // it alive for workers that outlive this frame only on the error
+    // path (wait() below normally joins them all).
+    auto next = std::make_shared<std::atomic<size_t>>(0);
+    auto drain = [next, count, chunk_size, &fn] {
+        for (;;) {
+            size_t begin = next->fetch_add(chunk_size);
+            if (begin >= count)
+                return;
+            fn(begin, std::min(begin + chunk_size, count));
+        }
+    };
+
+    size_t chunks = (count + chunk_size - 1) / chunk_size;
+    size_t helpers =
+        std::min<size_t>(threads_ > 0 ? threads_ - 1 : 0, chunks - 1);
+    for (size_t i = 0; i < helpers; ++i)
+        submit(drain);
+
+    // The calling thread is worker zero.
+    std::exception_ptr callerError;
+    try {
+        drain();
+    } catch (...) {
+        callerError = std::current_exception();
+        // Stop helpers from claiming more chunks.
+        next->store(count);
+    }
+    wait(); // throws the first helper error, if any
+    if (callerError)
+        std::rethrow_exception(callerError);
+}
+
+} // namespace dce::support

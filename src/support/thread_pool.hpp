@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A fixed-size worker pool with chunked, self-scheduling parallel
+ * iteration — the execution substrate of the campaign engine.
+ *
+ * Scheduling model: forChunks() splits an index range into fixed-size
+ * chunks that workers claim with an atomic fetch-add. This is the
+ * classic dynamic-chunking discipline: it load-balances like work
+ * stealing (a worker that draws expensive seeds simply claims fewer
+ * chunks) without per-task deques, and — crucially for the campaign's
+ * determinism contract — *which* thread runs a chunk can never affect
+ * the result, because chunks write to disjoint output slots and all
+ * per-item state is derived from the item index alone.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dce::support {
+
+class ThreadPool {
+  public:
+    /** @param threads worker count; 0 = std::thread::hardware_concurrency
+     * (minimum 1). A 1-thread pool spawns no workers at all: every job
+     * runs inline on the calling thread, giving exact serial
+     * semantics for baseline/determinism comparisons. */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of threads that execute jobs (callers included: a
+     * 1-thread pool is the calling thread itself). */
+    unsigned threadCount() const { return threads_; }
+
+    /** Enqueue an arbitrary job. Inline-executed when threadCount()==1. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished. If any job threw,
+     * the first captured exception is rethrown here (subsequent ones
+     * are dropped).
+     */
+    void wait();
+
+    /**
+     * Apply @p fn over [0, count) in chunks: fn(begin, end) with
+     * end - begin <= chunk_size. The calling thread participates, so a
+     * pool of N threads keeps N cores busy, not N+1. Blocks until the
+     * whole range is processed; rethrows the first exception raised by
+     * any chunk (remaining chunks may be skipped).
+     */
+    void forChunks(size_t count, size_t chunk_size,
+                   const std::function<void(size_t, size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void runJob(const std::function<void()> &job);
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allIdle_;
+    std::deque<std::function<void()>> queue_;
+    size_t inFlight_ = 0; ///< queued + currently-running jobs
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+} // namespace dce::support

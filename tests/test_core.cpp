@@ -145,16 +145,55 @@ TEST(Core, CampaignAggregatesAcrossSeeds)
     };
     Campaign campaign = runCampaign(0, 10, builds);
     ASSERT_EQ(campaign.programs.size(), 10u);
+    ASSERT_EQ(campaign.builds.size(), builds.size());
     EXPECT_GT(campaign.totalMarkers(), 0u);
     EXPECT_GT(campaign.totalDead(), 0u);
     // Dead markers should dominate (§4.1: ~90% on random programs).
     EXPECT_GT(campaign.totalDead(), campaign.totalAlive());
     // Compilers at O3 eliminate the large majority of dead markers.
     for (const BuildSpec &spec : builds) {
-        EXPECT_LT(campaign.totalMissed(spec.name()),
+        std::optional<BuildId> build = campaign.findBuild(spec);
+        ASSERT_TRUE(build.has_value()) << spec.name();
+        EXPECT_LT(campaign.totalMissed(*build),
                   campaign.totalDead() / 2)
             << spec.name();
     }
+}
+
+TEST(Core, CampaignHandlesAndNameShims)
+{
+    std::vector<BuildSpec> builds = {
+        {CompilerId::Alpha, OptLevel::O2, SIZE_MAX},
+        {CompilerId::Beta, OptLevel::O3, SIZE_MAX},
+    };
+    // BuildSpec::name() must match the (Compiler-constructing)
+    // describe() it replaced.
+    for (const BuildSpec &spec : builds)
+        EXPECT_EQ(spec.name(), spec.make().describe());
+
+    Campaign campaign = runCampaign(0, 6, builds);
+    EXPECT_EQ(campaign.buildNames(),
+              (std::vector<std::string>{builds[0].name(),
+                                        builds[1].name()}));
+    EXPECT_EQ(campaign.findBuild(builds[1].name()), BuildId{1});
+    EXPECT_EQ(campaign.findBuild(builds[1]), BuildId{1});
+    EXPECT_FALSE(campaign.findBuild("no-such-build").has_value());
+    EXPECT_FALSE(campaign.idOf("no-such-build").valid());
+    EXPECT_EQ(campaign.totalMissed("no-such-build"), 0u);
+
+    // The deprecated string-keyed totals must agree with the handle
+    // path they delegate to.
+    for (size_t b = 0; b < builds.size(); ++b) {
+        BuildId build{b};
+        const std::string name = builds[b].name();
+        EXPECT_EQ(campaign.totalMissed(name),
+                  campaign.totalMissed(build));
+        EXPECT_EQ(campaign.totalPrimaryMissed(name),
+                  campaign.totalPrimaryMissed(build));
+    }
+    EXPECT_EQ(campaign.totalMissedVersus(builds[0].name(),
+                                         builds[1].name()),
+              campaign.totalMissedVersus(BuildId{0}, BuildId{1}));
 }
 
 TEST(Core, CampaignPrimarySubset)
@@ -165,14 +204,14 @@ TEST(Core, CampaignPrimarySubset)
     CampaignOptions options;
     options.computePrimary = true;
     Campaign campaign = runCampaign(50, 8, builds, options);
-    std::string name = builds[0].name();
-    EXPECT_LE(campaign.totalPrimaryMissed(name),
-              campaign.totalMissed(name));
+    BuildId build{0};
+    EXPECT_LE(campaign.totalPrimaryMissed(build),
+              campaign.totalMissed(build));
     for (const ProgramRecord &record : campaign.programs) {
         if (!record.valid)
             continue;
-        for (unsigned m : record.primary.at(name))
-            EXPECT_TRUE(record.missed.at(name).count(m));
+        for (unsigned m : record.primaryFor(build))
+            EXPECT_TRUE(record.missedFor(build).count(m));
     }
 }
 

@@ -1,0 +1,219 @@
+/** @file Tests for the parallel campaign execution engine: the thread
+ * pool, module cloning (the lowering cache's workhorse), the
+ * determinism contract (thread count never changes the records), and
+ * the observer/metrics layer. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "backend/codegen.hpp"
+#include "core/campaign.hpp"
+#include "ir/clone.hpp"
+#include "ir/lowering.hpp"
+#include "ir/verifier.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dce::core {
+namespace {
+
+using compiler::CompilerId;
+using compiler::OptLevel;
+
+std::vector<BuildSpec>
+twoBuilds()
+{
+    return {
+        {CompilerId::Alpha, OptLevel::O3, SIZE_MAX},
+        {CompilerId::Beta, OptLevel::O3, SIZE_MAX},
+    };
+}
+
+TEST(ThreadPool, ForChunksCoversRangeExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 7u}) {
+        support::ThreadPool pool(threads);
+        constexpr size_t kCount = 103;
+        std::vector<std::atomic<int>> touched(kCount);
+        pool.forChunks(kCount, 4, [&](size_t begin, size_t end) {
+            ASSERT_LT(begin, end);
+            ASSERT_LE(end, kCount);
+            for (size_t i = begin; i < end; ++i)
+                touched[i].fetch_add(1);
+        });
+        for (size_t i = 0; i < kCount; ++i)
+            EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ForChunksHandlesEmptyAndTinyRanges)
+{
+    support::ThreadPool pool(4);
+    int calls = 0;
+    pool.forChunks(0, 8, [&](size_t, size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+
+    std::atomic<size_t> total{0};
+    pool.forChunks(3, 100, [&](size_t begin, size_t end) {
+        total += end - begin;
+    });
+    EXPECT_EQ(total.load(), 3u);
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions)
+{
+    support::ThreadPool pool(4);
+    EXPECT_THROW(pool.forChunks(64, 1,
+                                [&](size_t begin, size_t) {
+                                    if (begin == 13)
+                                        throw std::runtime_error("boom");
+                                }),
+                 std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<size_t> total{0};
+    pool.forChunks(10, 2, [&](size_t begin, size_t end) {
+        total += end - begin;
+    });
+    EXPECT_EQ(total.load(), 10u);
+}
+
+TEST(ThreadPool, SubmitAndWaitRunsEverything)
+{
+    support::ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(CloneModule, CloneIsIsomorphicAndIndependent)
+{
+    // Clone a real generated program's O0 lowering; the clone must
+    // verify, emit identical assembly, and keep the original intact
+    // when optimized.
+    instrument::Instrumented prog = makeProgram(/*seed=*/42);
+    auto lowered = ir::lowerToIr(*prog.unit);
+    std::string original_asm = backend::emitAssembly(*lowered);
+
+    auto clone = ir::cloneModule(*lowered);
+    ir::VerifyResult verified = ir::verifyModule(*clone);
+    EXPECT_TRUE(verified.ok()) << verified.str();
+    EXPECT_EQ(backend::emitAssembly(*clone), original_asm);
+
+    // Optimizing the clone must not touch the source module.
+    compiler::Compiler beta(CompilerId::Beta, OptLevel::O3);
+    beta.optimize(*clone);
+    verified = ir::verifyModule(*clone);
+    EXPECT_TRUE(verified.ok()) << verified.str();
+    EXPECT_EQ(backend::emitAssembly(*lowered), original_asm);
+}
+
+TEST(CloneModule, LoweredPathMatchesUnitPath)
+{
+    // The lowering-cache compile path (clone + optimize) must report
+    // the same alive markers as compiling from the AST.
+    for (uint64_t seed : {7u, 42u, 99u}) {
+        instrument::Instrumented prog = makeProgram(seed);
+        auto lowered = ir::lowerToIr(*prog.unit);
+        for (const BuildSpec &spec : twoBuilds()) {
+            compiler::Compiler comp = spec.make();
+            EXPECT_EQ(aliveMarkers(*lowered, comp),
+                      aliveMarkers(*prog.unit, comp))
+                << "seed " << seed << " build " << spec.name();
+        }
+    }
+}
+
+TEST(Engine, RecordsAreIdenticalAcrossThreadCounts)
+{
+    // The determinism contract: same seeds + builds => bit-identical
+    // records, regardless of thread count or chunking.
+    std::vector<BuildSpec> builds = twoBuilds();
+    CampaignOptions serial;
+    serial.computePrimary = true;
+    serial.threads = 1;
+
+    CampaignOptions parallel = serial;
+    parallel.threads = 8;
+    parallel.chunkSize = 3; // deliberately awkward chunking
+
+    Campaign one = runCampaign(0, 32, builds, serial);
+    Campaign eight = runCampaign(0, 32, builds, parallel);
+
+    ASSERT_EQ(one.programs.size(), eight.programs.size());
+    for (size_t i = 0; i < one.programs.size(); ++i) {
+        EXPECT_EQ(one.programs[i], eight.programs[i])
+            << "seed " << one.programs[i].seed;
+    }
+    EXPECT_EQ(one.builds, eight.builds);
+    EXPECT_EQ(one.metrics.invalidPrograms,
+              eight.metrics.invalidPrograms);
+    EXPECT_EQ(one.metrics.cacheHits, eight.metrics.cacheHits);
+    EXPECT_EQ(one.metrics.cacheMisses, eight.metrics.cacheMisses);
+}
+
+TEST(Engine, ObserverSeesMonotoneProgressAndFinalTotals)
+{
+    constexpr unsigned kSeeds = 24;
+    std::vector<CampaignProgress> snapshots;
+    std::mutex snapshots_mutex;
+
+    CampaignOptions options;
+    options.threads = 4;
+    options.chunkSize = 2;
+    options.observer = [&](const CampaignProgress &progress) {
+        std::lock_guard<std::mutex> lock(snapshots_mutex);
+        snapshots.push_back(progress);
+    };
+    Campaign campaign = runCampaign(300, kSeeds, twoBuilds(), options);
+
+    // One callback per seed, seedsDone strictly increasing to count.
+    ASSERT_EQ(snapshots.size(), kSeeds);
+    for (size_t i = 0; i < snapshots.size(); ++i) {
+        EXPECT_EQ(snapshots[i].seedsDone, i + 1);
+        EXPECT_EQ(snapshots[i].seedsTotal, kSeeds);
+    }
+
+    // Final snapshot agrees with the campaign's own metrics and with
+    // the records.
+    const CampaignProgress &final_progress = snapshots.back();
+    EXPECT_EQ(final_progress.seedsDone, campaign.metrics.seedsDone);
+    EXPECT_EQ(final_progress.invalidPrograms,
+              campaign.metrics.invalidPrograms);
+    EXPECT_EQ(final_progress.cacheHits, campaign.metrics.cacheHits);
+    EXPECT_EQ(final_progress.cacheMisses,
+              campaign.metrics.cacheMisses);
+    uint64_t invalid_records = 0;
+    for (const ProgramRecord &record : campaign.programs)
+        invalid_records += record.valid ? 0 : 1;
+    EXPECT_EQ(final_progress.invalidPrograms, invalid_records);
+}
+
+TEST(Engine, MetricsAccountForTheLoweringCache)
+{
+    constexpr unsigned kSeeds = 12;
+    std::vector<BuildSpec> builds = twoBuilds();
+    CampaignOptions options;
+    options.threads = 2;
+    Campaign campaign = runCampaign(0, kSeeds, builds, options);
+
+    // Exactly one lowering (miss) per seed; at least ground truth plus
+    // one clone per build per valid seed on the hit side.
+    EXPECT_EQ(campaign.metrics.cacheMisses, kSeeds);
+    uint64_t valid_seeds = 0;
+    for (const ProgramRecord &record : campaign.programs)
+        valid_seeds += record.valid ? 1 : 0;
+    EXPECT_GE(campaign.metrics.cacheHits,
+              kSeeds + valid_seeds * builds.size());
+    EXPECT_GT(campaign.metrics.cacheHitRate(), 0.5);
+    EXPECT_EQ(campaign.metrics.seedsDone, kSeeds);
+    EXPECT_GT(campaign.metrics.wallSeconds, 0.0);
+    EXPECT_GT(campaign.metrics.stages.total(), 0.0);
+}
+
+} // namespace
+} // namespace dce::core
