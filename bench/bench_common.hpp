@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "core/triage.hpp"
+#include "support/metrics.hpp"
 
 namespace dce::bench {
 
@@ -63,22 +65,55 @@ parallelOptions(bool compute_primary = false)
     return options;
 }
 
-/** One-line engine report printed under each table. */
+/**
+ * Engine report printed under each table: the campaign's timing line
+ * plus the metrics-registry dump (cache accounting, invalid-seed
+ * reasons, stage histograms, per-pass deltas). Registry values are
+ * cumulative for the process — benches that run several campaigns see
+ * running totals unless they reset() between tables.
+ */
 inline void
-printMetrics(const core::CampaignMetrics &metrics)
+printMetrics(const core::Campaign &campaign,
+             const support::MetricsRegistry &registry =
+                 support::MetricsRegistry::global())
 {
+    uint64_t hits = registry.counterValue("campaign.cache_hits");
+    uint64_t misses = registry.counterValue("campaign.cache_misses");
+    uint64_t probes = hits + misses;
     std::printf(
         "[engine] %.1f seeds/s over %llu seeds, wall %.2fs, "
         "lowering-cache hit rate %.1f%%, invalid programs %llu\n",
-        metrics.seedsPerSecond(),
-        static_cast<unsigned long long>(metrics.seedsDone),
-        metrics.wallSeconds, 100.0 * metrics.cacheHitRate(),
-        static_cast<unsigned long long>(metrics.invalidPrograms));
-    std::printf(
-        "[stages] generate %.2fs, ground truth %.2fs, compile %.2fs, "
-        "primary %.2fs (summed across workers)\n",
-        metrics.stages.generate, metrics.stages.groundTruth,
-        metrics.stages.compile, metrics.stages.primary);
+        campaign.metrics.seedsPerSecond(),
+        static_cast<unsigned long long>(campaign.metrics.seedsDone),
+        campaign.metrics.wallSeconds,
+        probes ? 100.0 * double(hits) / double(probes) : 0.0,
+        static_cast<unsigned long long>(
+            registry.counterTotal("campaign.invalid")));
+    std::printf("[metrics]\n%s", registry.dumpText().c_str());
+}
+
+/** Killer-pass histogram for @p build, from a collectRemarks
+ * campaign's attributed remarks (empty prints a hint instead). */
+inline void
+printKillerHistogram(const core::Campaign &campaign,
+                     core::BuildId build)
+{
+    core::KillerHistogram histogram =
+        core::killerHistogram(campaign, build);
+    if (histogram.empty()) {
+        std::printf("[killer-pass] no remark data (campaign ran "
+                    "without collectRemarks)\n");
+        return;
+    }
+    std::printf("[killer-pass] %s: %llu eliminations\n",
+                campaign.builds[build.index].name().c_str(),
+                static_cast<unsigned long long>(
+                    histogram.totalEliminated));
+    for (const auto &[pass, count] : histogram.byPass) {
+        std::printf("  %-18s %8llu  (%.1f%%)\n", pass.c_str(),
+                    static_cast<unsigned long long>(count),
+                    percent(count, histogram.totalEliminated));
+    }
 }
 
 } // namespace dce::bench

@@ -25,10 +25,12 @@ runComponentTable(compiler::CompilerId id, const char *paper_note)
                 compiler::compilerName(id) + " (O3 regressions, "
                 "bisected)");
 
+    core::CampaignOptions options = parallelOptions(true);
+    options.collectRemarks = true; // attribute kills for the histogram
     core::CampaignRunner runner({{id, OptLevel::O1, SIZE_MAX},
                                  {id, OptLevel::O2, SIZE_MAX},
                                  {id, OptLevel::O3, SIZE_MAX}},
-                                parallelOptions(true));
+                                options);
     core::Campaign campaign = runner.run(kCorpusFirstSeed, kCorpusSize);
     core::BuildId o1{0}, o2{1}, o3{2}; // runner's build order
 
@@ -98,7 +100,10 @@ runComponentTable(compiler::CompilerId id, const char *paper_note)
                         : "  [UNEXPECTED: not a known regression]");
     }
     std::printf("\n%s\n", paper_note);
-    printMetrics(campaign.metrics);
+    std::printf("\nWhich pass killed the markers the O3 build *did* "
+                "eliminate (remark attribution):\n");
+    printKillerHistogram(campaign, o3);
+    printMetrics(campaign);
 }
 
 } // namespace dce::bench

@@ -52,6 +52,6 @@ main()
                         campaign.totalMissed(core::BuildId{0})
                     ? "yes"
                     : "NO");
-    printMetrics(campaign.metrics);
+    printMetrics(campaign);
     return 0;
 }

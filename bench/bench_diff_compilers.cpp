@@ -60,6 +60,6 @@ main()
                 "overall: %s\n",
                 alpha_misses > 0 && beta_misses > 0 ? "yes" : "NO",
                 alpha_misses > beta_misses ? "yes" : "NO");
-    printMetrics(campaign.metrics);
+    printMetrics(campaign);
     return 0;
 }

@@ -48,6 +48,6 @@ main()
         "section 6) are denser in this corpus than real regressions "
         "were in the paper's Csmith corpus — the O3-vs-O2 gap is "
         "exactly the regression signal bench_diff_levels mines.\n");
-    printMetrics(campaign.metrics);
+    printMetrics(campaign);
     return 0;
 }

@@ -56,6 +56,6 @@ main()
     std::printf("\nShape check: primary subset of missed everywhere: "
                 "%s; counts shrink with level as in the paper.\n",
                 subset_ok ? "yes" : "NO");
-    printMetrics(campaign.metrics);
+    printMetrics(campaign);
     return 0;
 }

@@ -82,6 +82,6 @@ main()
         std::printf("----8<----\n%s----8<----\n",
                     report.reducedSource.c_str());
     }
-    printMetrics(campaign.metrics);
+    printMetrics(campaign);
     return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "core/triage.hpp"
 #include "lang/printer.hpp"
+#include "support/metrics.hpp"
 
 using namespace dce;
 using compiler::CompilerId;
@@ -41,13 +42,18 @@ main()
     core::Campaign campaign = runner.run(/*first_seed=*/4000, kPrograms);
     core::BuildId alpha_id{0}, beta_id{1}; // runner's build order
 
+    const support::MetricsRegistry &registry =
+        support::MetricsRegistry::global();
+    uint64_t hits = registry.counterValue("campaign.cache_hits");
+    uint64_t probes =
+        hits + registry.counterValue("campaign.cache_misses");
     std::printf("corpus: %llu markers, %llu dead, %llu alive "
                 "(%.1f seeds/s, cache hit rate %.1f%%)\n",
                 static_cast<unsigned long long>(campaign.totalMarkers()),
                 static_cast<unsigned long long>(campaign.totalDead()),
                 static_cast<unsigned long long>(campaign.totalAlive()),
                 campaign.metrics.seedsPerSecond(),
-                100.0 * campaign.metrics.cacheHitRate());
+                probes ? 100.0 * double(hits) / double(probes) : 0.0);
     std::printf("alpha misses %llu markers beta eliminates; beta misses "
                 "%llu markers alpha eliminates\n\n",
                 static_cast<unsigned long long>(

@@ -16,6 +16,7 @@
 #include "core/campaign.hpp"
 #include "instrument/instrument.hpp"
 #include "lang/printer.hpp"
+#include "support/trace.hpp"
 
 using namespace dce;
 
@@ -85,6 +86,8 @@ main()
     // Scaling up: the same differential over a random corpus, run by
     // the parallel campaign engine. Build handles (BuildId) index the
     // runner's build list; thread count never changes the records.
+    // With the tracer enabled, every pipeline stage records a span.
+    support::Tracer::global().setEnabled(true);
     core::CampaignOptions options;
     options.threads = 0; // one worker per hardware thread
     core::CampaignRunner runner(
@@ -101,5 +104,15 @@ main()
                     campaign.totalMissedVersus(alpha_id, beta_id)),
                 campaign.metrics.seedsPerSecond(),
                 "all hardware threads");
+
+    // The campaign left a Chrome trace behind: open it in Perfetto
+    // (https://ui.perfetto.dev) or chrome://tracing to see every seed,
+    // stage, and optimization pass on a per-worker timeline.
+    support::Tracer::global().setEnabled(false);
+    if (support::Tracer::global().writeJson("quickstart_trace.json")) {
+        std::printf("wrote quickstart_trace.json (%zu spans) — load it "
+                    "at https://ui.perfetto.dev\n",
+                    support::Tracer::global().events().size());
+    }
     return 0;
 }

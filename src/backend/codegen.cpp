@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ir/cfg.hpp"
+#include "support/trace.hpp"
 
 namespace dce::backend {
 
@@ -641,6 +642,7 @@ class Emitter {
 std::string
 emitAssembly(Module &module)
 {
+    support::TraceSpan span("codegen", "compile");
     demotePhis(module);
     Emitter emitter(module);
     return emitter.run();

@@ -5,6 +5,7 @@
 #include "backend/codegen.hpp"
 #include "ir/clone.hpp"
 #include "ir/lowering.hpp"
+#include "support/trace.hpp"
 
 namespace dce::compiler {
 
@@ -417,24 +418,30 @@ Compiler::compile(const lang::TranslationUnit &unit,
 }
 
 std::unique_ptr<ir::Module>
-Compiler::compileLowered(const ir::Module &lowered,
-                         bool verify_each) const
+Compiler::compileLowered(const ir::Module &lowered, bool verify_each,
+                         support::RemarkCollector *remarks,
+                         support::MetricsRegistry *metrics) const
 {
     std::unique_ptr<ir::Module> module = ir::cloneModule(lowered);
-    optimize(*module, verify_each);
+    optimize(*module, verify_each, remarks, metrics);
     return module;
 }
 
 void
-Compiler::optimize(ir::Module &module, bool verify_each) const
+Compiler::optimize(ir::Module &module, bool verify_each,
+                   support::RemarkCollector *remarks,
+                   support::MetricsRegistry *metrics) const
 {
     lastError_.clear();
     if (level_ == OptLevel::O0)
         return;
+    support::TraceSpan span("optimize", "compile");
     opt::PassConfig config =
         adjustForLevel(spec(id_).configAt(level_, commitIndex_), level_);
     opt::PassManager pm(config);
     buildPipeline(pm, level_);
+    pm.setRemarks(remarks);
+    pm.setMetrics(metrics);
     pm.run(module, verify_each);
     lastError_ = pm.lastError();
 }

@@ -110,14 +110,23 @@ class Compiler {
      * lowering can be shared across every build of a campaign — the
      * engine's lowering cache. Equivalent to compile() on the unit
      * @p lowered came from.
+     *
+     * @param remarks optional optimization-remark sink: per-pass
+     *        marker-elimination attribution lands here (DESIGN.md §9).
+     * @param metrics optional registry for per-pass instruction-delta
+     *        counters. Both default to off — the plain hot path.
      */
     std::unique_ptr<ir::Module>
-    compileLowered(const ir::Module &lowered,
-                   bool verify_each = false) const;
+    compileLowered(const ir::Module &lowered, bool verify_each = false,
+                   support::RemarkCollector *remarks = nullptr,
+                   support::MetricsRegistry *metrics = nullptr) const;
 
     /** Run this build's pipeline in place over @p module (which must
-     * be an O0 lowering this build owns). */
-    void optimize(ir::Module &module, bool verify_each = false) const;
+     * be an O0 lowering this build owns). Observability params as in
+     * compileLowered(). */
+    void optimize(ir::Module &module, bool verify_each = false,
+                  support::RemarkCollector *remarks = nullptr,
+                  support::MetricsRegistry *metrics = nullptr) const;
 
     /** compile() + backend emission. */
     std::string compileToAsm(const lang::TranslationUnit &unit) const;

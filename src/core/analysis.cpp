@@ -29,9 +29,13 @@ aliveMarkers(const lang::TranslationUnit &unit,
 }
 
 std::set<unsigned>
-aliveMarkers(const ir::Module &lowered, const compiler::Compiler &comp)
+aliveMarkers(const ir::Module &lowered, const compiler::Compiler &comp,
+             support::RemarkCollector *remarks,
+             support::MetricsRegistry *metrics)
 {
-    std::unique_ptr<ir::Module> optimized = comp.compileLowered(lowered);
+    std::unique_ptr<ir::Module> optimized =
+        comp.compileLowered(lowered, /*verify_each=*/false, remarks,
+                            metrics);
     return aliveMarkersInAsm(backend::emitAssembly(*optimized));
 }
 
@@ -40,6 +44,7 @@ groundTruthFor(const ir::Module &lowered, unsigned marker_count)
 {
     GroundTruth truth;
     interp::ExecResult result = interp::execute(lowered);
+    truth.status = result.status;
     if (!result.ok())
         return truth; // timeout/trap: unusable for ground truth
     truth.valid = true;

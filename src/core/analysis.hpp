@@ -41,13 +41,21 @@ std::set<unsigned> aliveMarkers(const lang::TranslationUnit &unit,
  * build's pipeline runs over an ir::cloneModule copy. Lower once with
  * ir::lowerToIr, then call this once per build — the campaign engine's
  * lowering cache in miniature.
+ *
+ * @param remarks optional sink receiving per-pass marker-elimination
+ *        attribution for this build's pipeline (DESIGN.md §9).
+ * @param metrics optional registry for per-pass instruction deltas.
  */
-std::set<unsigned> aliveMarkers(const ir::Module &lowered,
-                                const compiler::Compiler &comp);
+std::set<unsigned>
+aliveMarkers(const ir::Module &lowered, const compiler::Compiler &comp,
+             support::RemarkCollector *remarks = nullptr,
+             support::MetricsRegistry *metrics = nullptr);
 
 /** Ground truth from execution. */
 struct GroundTruth {
     bool valid = false; ///< program executed to completion
+    /** Why execution failed when !valid (Ok when valid). */
+    interp::ExecStatus status = interp::ExecStatus::Ok;
     std::set<unsigned> aliveMarkers; ///< executed at least once
     std::set<unsigned> deadMarkers;  ///< never executed
 };

@@ -6,7 +6,9 @@
 #include <thread>
 
 #include "ir/lowering.hpp"
+#include "ir/verifier.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace dce::core {
 
@@ -148,23 +150,22 @@ Campaign::totalMissedVersus(BuildId by, BuildId reference) const
     return total;
 }
 
-uint64_t
-Campaign::totalMissed(std::string_view build) const
+const char *
+invalidReasonName(InvalidReason reason)
 {
-    return totalMissed(idOf(build));
-}
-
-uint64_t
-Campaign::totalPrimaryMissed(std::string_view build) const
-{
-    return totalPrimaryMissed(idOf(build));
-}
-
-uint64_t
-Campaign::totalMissedVersus(std::string_view by,
-                            std::string_view reference) const
-{
-    return totalMissedVersus(idOf(by), idOf(reference));
+    switch (reason) {
+    case InvalidReason::None:
+        return "none";
+    case InvalidReason::Timeout:
+        return "timeout";
+    case InvalidReason::Trap:
+        return "trap";
+    case InvalidReason::NoEntry:
+        return "no-entry";
+    case InvalidReason::VerifierReject:
+        return "verifier-reject";
+    }
+    return "unknown";
 }
 
 //===------------------------------------------------------------------===//
@@ -188,14 +189,88 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Stage-time + cache accumulators local to one worker's chunk; folded
- * into the shared metrics once per chunk to keep contention low. */
+uint64_t
+usSince(Clock::time_point start)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - start)
+            .count());
+}
+
+/**
+ * Registry instruments resolved once per campaign run, so the per-seed
+ * path does plain relaxed atomic adds — no key lookups, no registry
+ * lock. Shared safely across workers.
+ */
+struct Instruments {
+    explicit Instruments(support::MetricsRegistry &registry,
+                         const std::vector<BuildSpec> &builds)
+        : seeds(registry.counter("campaign.seeds")),
+          cacheHits(registry.counter("campaign.cache_hits")),
+          cacheMisses(registry.counter("campaign.cache_misses")),
+          stageGenerate(
+              registry.histogram("campaign.stage_us", "generate")),
+          stageGroundTruth(
+              registry.histogram("campaign.stage_us", "ground_truth")),
+          stageCompile(
+              registry.histogram("campaign.stage_us", "compile")),
+          stagePrimary(
+              registry.histogram("campaign.stage_us", "primary"))
+    {
+        for (const BuildSpec &build : builds) {
+            markersEliminated.push_back(&registry.counter(
+                "campaign.markers_eliminated",
+                compiler::optLevelName(build.level)));
+        }
+    }
+
+    support::Counter &
+    invalidFor(support::MetricsRegistry &registry,
+               InvalidReason reason)
+    {
+        return registry.counter("campaign.invalid",
+                                invalidReasonName(reason));
+    }
+
+    support::Counter &seeds;
+    support::Counter &cacheHits;
+    support::Counter &cacheMisses;
+    support::Histogram &stageGenerate;
+    support::Histogram &stageGroundTruth;
+    support::Histogram &stageCompile;
+    support::Histogram &stagePrimary;
+    /** Per BuildId; distinct builds at one opt level share a counter. */
+    std::vector<support::Counter *> markersEliminated;
+};
+
+/** Cache/invalid accumulators local to one seed; folded into the
+ * shared CampaignProgress after the seed completes. */
 struct LocalCounters {
-    StageTimes stages;
     uint64_t invalid = 0;
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
 };
+
+/** Classify why a seed failed ground truth (failure path only — the
+ * verifier walk never runs for valid seeds). */
+InvalidReason
+classifyInvalid(const ir::Module &lowered, interp::ExecStatus status)
+{
+    if (!ir::verifyModule(lowered).ok())
+        return InvalidReason::VerifierReject;
+    switch (status) {
+    case interp::ExecStatus::Timeout:
+        return InvalidReason::Timeout;
+    case interp::ExecStatus::Trap:
+        return InvalidReason::Trap;
+    case interp::ExecStatus::NoEntry:
+        return InvalidReason::NoEntry;
+    case interp::ExecStatus::Ok:
+        break;
+    }
+    return InvalidReason::None;
+}
 
 /**
  * The per-seed pipeline, shared by the serial and parallel paths.
@@ -204,29 +279,41 @@ struct LocalCounters {
  */
 ProgramRecord
 processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
-            const CampaignOptions &options, LocalCounters &counters)
+            const CampaignOptions &options,
+            support::MetricsRegistry &registry,
+            Instruments &instruments, LocalCounters &counters)
 {
+    support::TraceSpan seed_span("seed", "campaign");
+    seed_span.setArg("seed", seed);
+
     ProgramRecord record;
     record.seed = seed;
+    std::unique_ptr<ir::Module> lowered;
 
     Clock::time_point t0 = Clock::now();
-    instrument::Instrumented prog = makeProgram(seed, options.generator);
+    instrument::Instrumented prog = [&] {
+        support::TraceSpan span("generate", "campaign");
+        return makeProgram(seed, options.generator);
+    }();
     record.markerCount = prog.markerCount();
-    counters.stages.generate += secondsSince(t0);
+    instruments.stageGenerate.observe(usSince(t0));
 
     // The lowering cache: each seed's AST is lowered to O0 IR exactly
     // once (the miss); ground truth, every build's compile (via
     // ir::cloneModule), and the primary analysis all reuse it (hits).
     t0 = Clock::now();
-    std::unique_ptr<ir::Module> lowered = ir::lowerToIr(*prog.unit);
+    lowered = ir::lowerToIr(*prog.unit);
     ++counters.cacheMisses;
     GroundTruth truth = groundTruthFor(*lowered, record.markerCount);
     ++counters.cacheHits;
-    counters.stages.groundTruth += secondsSince(t0);
+    instruments.stageGroundTruth.observe(usSince(t0));
 
     record.valid = truth.valid;
     if (!record.valid) {
         ++counters.invalid;
+        record.invalidReason = classifyInvalid(*lowered, truth.status);
+        instruments.invalidFor(registry, record.invalidReason).add();
+        instruments.seeds.add();
         return record;
     }
     record.trueAlive = truth.aliveMarkers;
@@ -236,6 +323,8 @@ processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
     record.missed.resize(builds.size());
     if (options.computePrimary)
         record.primary.resize(builds.size());
+    if (options.collectRemarks)
+        record.kills.resize(builds.size());
 
     // Built lazily on the first build with missed markers; the CFG and
     // block-recording execution then serve every remaining build.
@@ -243,24 +332,51 @@ processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
 
     for (size_t b = 0; b < builds.size(); ++b) {
         t0 = Clock::now();
-        std::set<unsigned> alive =
-            aliveMarkers(*lowered, builds[b].make());
+        support::RemarkCollector remarks;
+        std::set<unsigned> alive = aliveMarkers(
+            *lowered, builds[b].make(),
+            options.collectRemarks ? &remarks : nullptr);
         ++counters.cacheHits;
         record.missed[b] = missedMarkers(alive, truth);
         record.alive[b] = std::move(alive);
-        counters.stages.compile += secondsSince(t0);
+        instruments.stageCompile.observe(usSince(t0));
+
+        // missed ⊆ trueDead, so the difference is exactly the markers
+        // this build eliminated.
+        instruments.markersEliminated[b]->add(
+            record.trueDead.size() - record.missed[b].size());
+
+        if (options.collectRemarks) {
+            // Attribute every eliminated marker. The PassManager
+            // census guarantees at most one MarkerEliminated remark
+            // per marker; markers with none were dropped by the O0
+            // front end before the pipeline ran.
+            for (unsigned marker : record.trueDead) {
+                if (record.missed[b].count(marker))
+                    continue;
+                if (const support::Remark *killer =
+                        remarks.killerOf(marker)) {
+                    record.kills[b].push_back(
+                        {marker, killer->pass, killer->passIndex});
+                } else {
+                    record.kills[b].push_back({marker, "lowering", 0});
+                }
+            }
+        }
 
         if (options.computePrimary && !record.missed[b].empty()) {
             t0 = Clock::now();
+            support::TraceSpan primary_span("primary", "campaign");
             if (!primary_analysis) {
                 primary_analysis.emplace(*lowered);
                 ++counters.cacheHits;
             }
             record.primary[b] =
                 primary_analysis->primary(record.missed[b]);
-            counters.stages.primary += secondsSince(t0);
+            instruments.stagePrimary.observe(usSince(t0));
         }
     }
+    instruments.seeds.add();
     return record;
 }
 
@@ -295,21 +411,28 @@ CampaignRunner::CampaignRunner(std::vector<BuildSpec> builds,
 Campaign
 CampaignRunner::run(uint64_t first_seed, unsigned count) const
 {
+    support::TraceSpan campaign_span("campaign", "campaign");
+    campaign_span.setArg("seeds", count);
+
     Campaign campaign;
     campaign.builds = builds_;
     campaign.programs.resize(count); // disjoint slots, one per seed
     campaign.metrics.seedsDone = count;
+
+    support::MetricsRegistry &registry =
+        options_.metrics ? *options_.metrics
+                         : support::MetricsRegistry::global();
+    Instruments instruments(registry, builds_);
 
     unsigned threads = resolveThreads(options_.threads);
     unsigned chunk = resolveChunkSize(options_.chunkSize, count,
                                       threads);
 
     // Shared progress state. Records go straight into their slot; the
-    // mutex only guards metrics folding and observer invocation.
+    // mutex only guards progress folding and observer invocation.
     std::mutex progress_mutex;
     CampaignProgress progress;
     progress.seedsTotal = count;
-    StageTimes stage_totals;
 
     Clock::time_point wall_start = Clock::now();
     support::ThreadPool pool(threads);
@@ -321,29 +444,29 @@ CampaignRunner::run(uint64_t first_seed, unsigned count) const
         progress.invalidPrograms += counters.invalid;
         progress.cacheHits += counters.cacheHits;
         progress.cacheMisses += counters.cacheMisses;
-        stage_totals.generate += counters.stages.generate;
-        stage_totals.groundTruth += counters.stages.groundTruth;
-        stage_totals.compile += counters.stages.compile;
-        stage_totals.primary += counters.stages.primary;
+        if (counters.cacheHits) {
+            instruments.cacheHits.add(counters.cacheHits);
+        }
+        if (counters.cacheMisses)
+            instruments.cacheMisses.add(counters.cacheMisses);
         counters = LocalCounters{};
         if (options_.observer)
             options_.observer(progress);
     };
 
     pool.forChunks(count, chunk, [&](size_t begin, size_t end) {
+        support::TraceSpan chunk_span("chunk", "campaign");
+        chunk_span.setArg("seeds", end - begin);
         LocalCounters counters;
         for (size_t i = begin; i < end; ++i) {
-            campaign.programs[i] = processSeed(
-                first_seed + i, builds_, options_, counters);
+            campaign.programs[i] =
+                processSeed(first_seed + i, builds_, options_,
+                            registry, instruments, counters);
             fold(counters);
         }
     });
 
     campaign.metrics.wallSeconds = secondsSince(wall_start);
-    campaign.metrics.invalidPrograms = progress.invalidPrograms;
-    campaign.metrics.cacheHits = progress.cacheHits;
-    campaign.metrics.cacheMisses = progress.cacheMisses;
-    campaign.metrics.stages = stage_totals;
     return campaign;
 }
 

@@ -26,6 +26,7 @@
 
 #include "core/analysis.hpp"
 #include "gen/generator.hpp"
+#include "support/metrics.hpp"
 
 namespace dce::core {
 
@@ -67,11 +68,44 @@ struct BuildId {
     friend bool operator==(BuildId, BuildId) = default;
 };
 
+/**
+ * Why a seed's program was excluded from the corpus. Classified from
+ * the ground-truth execution (plus an after-the-fact verifier check on
+ * the failure path only, so the valid-seed hot path pays nothing).
+ */
+enum class InvalidReason {
+    None,           ///< the program is valid
+    Timeout,        ///< exceeded the interpreter step budget
+    Trap,           ///< undefined behaviour during execution
+    NoEntry,        ///< no runnable main (generator bug)
+    VerifierReject, ///< the O0 lowering failed IR verification
+};
+
+/** Stable label for @p reason (metrics key / reports). */
+const char *invalidReasonName(InvalidReason reason);
+
+/**
+ * One attributed marker elimination: which pass removed the last call
+ * to the marker, and where in the pipeline it sat. `pass` is
+ * "lowering" (passIndex 0) for markers the front end already dropped
+ * at O0 — no optimization pass ever saw them.
+ */
+struct MarkerKill {
+    unsigned marker = 0;
+    std::string pass;
+    unsigned passIndex = 0;
+
+    friend bool
+    operator==(const MarkerKill &, const MarkerKill &) = default;
+};
+
 /** Everything recorded about one corpus program. */
 struct ProgramRecord {
     uint64_t seed = 0;
     unsigned markerCount = 0;
     bool valid = false; ///< executed cleanly; only valid records count
+    /** Why the record is invalid; None when valid. */
+    InvalidReason invalidReason = InvalidReason::None;
     std::set<unsigned> trueAlive;
     std::set<unsigned> trueDead;
     /** Alive-in-assembly sets, indexed by BuildId. */
@@ -81,6 +115,10 @@ struct ProgramRecord {
     /** Primary missed subset per build; empty vector unless the
      * campaign ran with computePrimary. */
     std::vector<std::set<unsigned>> primary;
+    /** Killer-pass attribution per build for every marker the build
+     * eliminated (trueDead ∖ missed), sorted by marker; empty vector
+     * unless the campaign ran with collectRemarks. */
+    std::vector<std::vector<MarkerKill>> kills;
 
     const std::set<unsigned> &
     aliveFor(BuildId build) const
@@ -96,6 +134,11 @@ struct ProgramRecord {
     primaryFor(BuildId build) const
     {
         return primary[build.index];
+    }
+    const std::vector<MarkerKill> &
+    killsFor(BuildId build) const
+    {
+        return kills[build.index];
     }
 
     friend bool
@@ -117,47 +160,35 @@ struct CampaignProgress {
 
 using CampaignObserver = std::function<void(const CampaignProgress &)>;
 
-/** Wall time per pipeline stage, summed across workers (seconds). */
-struct StageTimes {
-    double generate = 0;    ///< program generation + instrumentation
-    double groundTruth = 0; ///< O0 lowering + interpreter run
-    double compile = 0;     ///< per-build clone + pipeline + asm scan
-    double primary = 0;     ///< §3.2 primary-missed analysis
-
-    double
-    total() const
-    {
-        return generate + groundTruth + compile + primary;
-    }
-};
-
-/** Aggregate metrics for one finished campaign. */
+/**
+ * Timing summary for one finished campaign. Everything else that used
+ * to live here — invalid counts, cache accounting, per-stage wall time
+ * — is recorded in the campaign's MetricsRegistry under the
+ * `campaign.*` keys (DESIGN.md §9):
+ *
+ *   campaign.seeds                       seeds processed
+ *   campaign.invalid{<reason>}           invalid seeds by InvalidReason
+ *   campaign.cache_hits / cache_misses   lowering-cache accounting
+ *   campaign.stage_us{<stage>}           histogram, per-seed stage µs
+ *   campaign.markers_eliminated{<build>} trueDead ∖ missed per build
+ */
 struct CampaignMetrics {
     uint64_t seedsDone = 0;
-    uint64_t invalidPrograms = 0;
-    /** Lowering-cache accounting: one miss per seed (the single
-     * ir::lowerToIr), one hit per downstream consumer of the cached
-     * module (ground truth, each per-build clone, primary analysis). */
-    uint64_t cacheHits = 0;
-    uint64_t cacheMisses = 0;
     double wallSeconds = 0; ///< end-to-end, not summed across workers
-    StageTimes stages;      ///< per-stage, summed across workers
 
     double
     seedsPerSecond() const
     {
         return wallSeconds > 0 ? double(seedsDone) / wallSeconds : 0;
     }
-    double
-    cacheHitRate() const
-    {
-        uint64_t probes = cacheHits + cacheMisses;
-        return probes ? double(cacheHits) / double(probes) : 0;
-    }
 };
 
 struct CampaignOptions {
     bool computePrimary = false;
+    /** Collect per-build killer-pass attribution (ProgramRecord::
+     * kills) from optimization remarks. Off by default: the remark
+     * census walks the module after every pass. */
+    bool collectRemarks = false;
     gen::GenConfig generator;
     /** Worker threads; 1 = serial (fully inline), 0 = one per
      * hardware thread. Thread count never changes the records. */
@@ -167,6 +198,9 @@ struct CampaignOptions {
     unsigned chunkSize = 0;
     /** Optional progress callback; see CampaignProgress. */
     CampaignObserver observer;
+    /** Registry receiving the campaign.* metrics; null = the process
+     * global. Tests that assert exact totals pass their own. */
+    support::MetricsRegistry *metrics = nullptr;
 };
 
 /** A finished campaign over a corpus. */
@@ -194,16 +228,6 @@ struct Campaign {
     uint64_t totalPrimaryMissed(BuildId build) const;
     /** Markers missed by @p by but eliminated by @p reference. */
     uint64_t totalMissedVersus(BuildId by, BuildId reference) const;
-
-    /** @deprecated Name-keyed shims kept for the pre-BuildId API;
-     * they resolve the name once and delegate. New code should hold a
-     * BuildId from findBuild(). */
-    uint64_t totalMissed(std::string_view build) const;
-    /** @deprecated See totalMissed(std::string_view). */
-    uint64_t totalPrimaryMissed(std::string_view build) const;
-    /** @deprecated See totalMissed(std::string_view). */
-    uint64_t totalMissedVersus(std::string_view by,
-                               std::string_view reference) const;
 };
 
 /** Regenerate + instrument the program for @p seed (deterministic). */

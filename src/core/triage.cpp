@@ -10,6 +10,23 @@
 
 namespace dce::core {
 
+KillerHistogram
+killerHistogram(const Campaign &campaign, BuildId build)
+{
+    KillerHistogram histogram;
+    if (!build.valid())
+        return histogram;
+    for (const ProgramRecord &record : campaign.programs) {
+        if (!record.valid || record.kills.empty())
+            continue;
+        for (const MarkerKill &kill : record.killsFor(build)) {
+            ++histogram.byPass[kill.pass];
+            ++histogram.totalEliminated;
+        }
+    }
+    return histogram;
+}
+
 namespace {
 
 /** The full interestingness check used during reduction: the candidate

@@ -16,12 +16,37 @@
  */
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/campaign.hpp"
 
 namespace dce::core {
+
+/**
+ * Per-build "killer pass" statistics, aggregated from the optimization
+ * remarks a collectRemarks campaign attributed to each eliminated
+ * marker (ProgramRecord::kills). Turns the paper's component
+ * categorization from heuristic into measured: the histogram says
+ * *which pass actually removed* each truly dead marker.
+ */
+struct KillerHistogram {
+    /** Eliminations per killing pass ("simplifycfg", "globaldce",
+     * "lowering" for front-end drops), sorted by pass name. */
+    std::map<std::string, uint64_t> byPass;
+    uint64_t totalEliminated = 0;
+
+    bool empty() const { return byPass.empty(); }
+};
+
+/**
+ * Aggregate the killer histogram for @p build over every valid record
+ * of @p campaign. Only markers in trueDead ∖ missed contribute (each
+ * exactly once). Empty unless the campaign ran with collectRemarks.
+ */
+KillerHistogram killerHistogram(const Campaign &campaign,
+                                BuildId build);
 
 /** One missed-optimization finding to report. */
 struct Finding {

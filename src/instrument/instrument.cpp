@@ -4,34 +4,11 @@
 
 #include "lang/parser.hpp"
 #include "lang/sema.hpp"
+#include "support/trace.hpp"
 
 namespace dce::instrument {
 
 using namespace lang;
-
-std::string
-markerName(unsigned index)
-{
-    return std::string(kMarkerPrefix) + std::to_string(index);
-}
-
-std::optional<unsigned>
-markerIndex(const std::string &name)
-{
-    const std::string prefix = kMarkerPrefix;
-    if (name.size() <= prefix.size() ||
-        name.compare(0, prefix.size(), prefix) != 0) {
-        return std::nullopt;
-    }
-    unsigned value = 0;
-    for (size_t i = prefix.size(); i < name.size(); ++i) {
-        char c = name[i];
-        if (c < '0' || c > '9')
-            return std::nullopt;
-        value = value * 10 + static_cast<unsigned>(c - '0');
-    }
-    return value;
-}
 
 const char *
 markerSiteName(MarkerSite site)
@@ -246,6 +223,7 @@ class Instrumenter {
 Instrumented
 instrumentUnit(const TranslationUnit &unit)
 {
+    support::TraceSpan span("instrument", "campaign");
     return Instrumenter(unit).run();
 }
 

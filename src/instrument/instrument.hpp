@@ -17,18 +17,17 @@
 #include <vector>
 
 #include "lang/ast.hpp"
+#include "support/markers.hpp"
 #include "support/source_location.hpp"
 
 namespace dce::instrument {
 
-/** The marker function name prefix; markers are PREFIX + index. */
-inline constexpr const char *kMarkerPrefix = "DCEMarker";
-
-/** Name of marker @p index. */
-std::string markerName(unsigned index);
-
-/** Parse a marker name back to its index; nullopt if not a marker. */
-std::optional<unsigned> markerIndex(const std::string &name);
+// The marker-name helpers live in support/markers.hpp so the opt and
+// backend layers can use them without depending on the front end;
+// re-exported here for the historical spelling.
+using support::kMarkerPrefix;
+using support::markerIndex;
+using support::markerName;
 
 /** Which construct a marker was placed in (for reports). */
 enum class MarkerSite {

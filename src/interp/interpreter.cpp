@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "support/ints.hpp"
+#include "support/trace.hpp"
 
 namespace dce::interp {
 
@@ -491,6 +492,7 @@ ExecResult
 execute(const Module &module, const std::string &entry,
         const ExecLimits &limits)
 {
+    support::TraceSpan span("execute", "interp");
     Machine machine(module, limits);
     return machine.run(entry);
 }

@@ -7,6 +7,7 @@
 #include "ir/cfg.hpp"
 #include "lang/sema.hpp"
 #include "support/ints.hpp"
+#include "support/trace.hpp"
 
 namespace dce::ir {
 
@@ -964,6 +965,7 @@ class Lowering {
 std::unique_ptr<Module>
 lowerToIr(const lang::TranslationUnit &unit)
 {
+    support::TraceSpan span("lower", "compile");
     return Lowering(unit).run();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "opt/pass.hpp"
+#include "support/markers.hpp"
 
 namespace dce::opt {
 
@@ -41,7 +42,8 @@ class Dce : public Pass {
     std::string name() const override { return "dce"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config,
+        PassContext &ctx) override
     {
         if (!config.instructionDce)
             return false;
@@ -56,6 +58,22 @@ class Dce : public Pass {
                     for (size_t i = block->size(); i-- > 0;) {
                         Instr *instr = block->instrs()[i].get();
                         if (isTriviallyDead(*instr)) {
+                            // Defensive: isTriviallyDead never admits
+                            // calls today, but if that ever changes a
+                            // silently vanishing marker would corrupt
+                            // the attribution study.
+                            if (ctx.wantRemarks() &&
+                                instr->opcode() == Opcode::Call) {
+                                if (auto index = support::markerIndex(
+                                        instr->callee->name())) {
+                                    ctx.remark(
+                                        support::RemarkKind::
+                                            MarkerCallRemoved,
+                                        name(), *index,
+                                        "trivially dead marker call "
+                                        "erased");
+                                }
+                            }
                             block->erase(instr);
                             block_changed = true;
                             changed = true;

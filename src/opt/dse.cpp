@@ -38,7 +38,7 @@ class Dse : public Pass {
     std::string name() const override { return "dse"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config, PassContext &) override
     {
         bool exit_dse = config.dseAtExit && allowExitDse_;
         if (!config.dseIntraBlock && !exit_dse)

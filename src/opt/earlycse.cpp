@@ -95,7 +95,7 @@ class EarlyCse : public Pass {
     std::string name() const override { return "earlycse"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config, PassContext &) override
     {
         if (!config.earlyCse)
             return false;

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "opt/pass.hpp"
+#include "support/markers.hpp"
 
 namespace dce::opt {
 
@@ -26,7 +27,8 @@ class GlobalDce : public Pass {
     std::string name() const override { return "globaldce"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config,
+        PassContext &ctx) override
     {
         if (!config.globalDce)
             return false;
@@ -52,6 +54,8 @@ class GlobalDce : public Pass {
                     fn->noDce()) {
                     continue;
                 }
+                if (ctx.wantRemarks())
+                    reportErasedMarkerCalls(*fn, ctx);
                 module.eraseFunction(fn.get());
                 progress = true;
                 changed = true;
@@ -79,6 +83,28 @@ class GlobalDce : public Pass {
             }
         }
         return changed;
+    }
+
+  private:
+    /** Detail remarks for marker calls inside an uncalled internal
+     * function about to be erased — these calls vanish with it. */
+    void
+    reportErasedMarkerCalls(const Function &fn, PassContext &ctx)
+    {
+        for (const auto &block : fn.blocks()) {
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() != Opcode::Call)
+                    continue;
+                auto index =
+                    support::markerIndex(instr->callee->name());
+                if (!index)
+                    continue;
+                ctx.remark(support::RemarkKind::MarkerCallRemoved,
+                           name(), *index,
+                           "call in erased uncalled function '" +
+                               fn.name() + "'");
+            }
+        }
     }
 };
 

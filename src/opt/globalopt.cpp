@@ -51,7 +51,7 @@ class GlobalOpt : public Pass {
     std::string name() const override { return "globalopt"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config, PassContext &) override
     {
         if (!config.foldNeverStoredGlobals)
             return false;

@@ -34,7 +34,7 @@ class Inliner : public Pass {
     std::string name() const override { return "inline"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config, PassContext &) override
     {
         if (config.inlineThreshold == 0)
             return false;

@@ -41,7 +41,7 @@ class InstCombine : public Pass {
     std::string name() const override { return "instcombine"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config, PassContext &) override
     {
         if (!config.instCombine)
             return false;

@@ -33,12 +33,14 @@ class JumpThreading : public Pass {
     std::string name() const override { return "jumpthreading"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config,
+        PassContext &ctx) override
     {
         if (!config.jumpThreading)
             return false;
         config_ = &config;
         module_ = &module;
+        ctx_ = &ctx;
         bool changed = false;
         for (const auto &fn : module.functions()) {
             if (fn->isDeclaration())
@@ -46,6 +48,7 @@ class JumpThreading : public Pass {
             while (threadOne(*fn))
                 changed = true;
         }
+        ctx_ = nullptr;
         return changed;
     }
 
@@ -224,6 +227,14 @@ class JumpThreading : public Pass {
                 continue;
 
             // Redirect: from now jumps straight to target.
+            if (ctx_ && ctx_->wantRemarks()) {
+                ctx_->remark(support::RemarkKind::Note, name(),
+                             support::Remark::kNoMarker,
+                             "threaded '" + from->name() +
+                                 "' around '" + block->name() +
+                                 "' to '" + target->name() +
+                                 "' in '" + fn.name() + "'");
+            }
             from->terminator()->replaceSuccessor(block, target);
             // target's phis gain an incoming from `from`, carrying the
             // value they would have received via `block`.
@@ -257,6 +268,7 @@ class JumpThreading : public Pass {
 
     const PassConfig *config_ = nullptr;
     Module *module_ = nullptr;
+    PassContext *ctx_ = nullptr;
 };
 
 } // namespace

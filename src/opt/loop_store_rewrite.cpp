@@ -41,12 +41,14 @@ class LoopStoreRewrite : public Pass {
     std::string name() const override { return "loopstorerewrite"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config,
+        PassContext &ctx) override
     {
         if (!config.loopStoreRewrite)
             return false;
         config_ = &config;
         module_ = &module;
+        ctx_ = &ctx;
         bool changed = false;
         for (const auto &fn : module.functions()) {
             if (fn->isDeclaration())
@@ -55,6 +57,7 @@ class LoopStoreRewrite : public Pass {
             while (budget-- > 0 && rewriteOne(*fn))
                 changed = true;
         }
+        ctx_ = nullptr;
         return changed;
     }
 
@@ -348,11 +351,17 @@ class LoopStoreRewrite : public Pass {
 
         // Jump straight to the exit; the loop becomes unreachable.
         preheader.terminator()->replaceSuccessor(header, exit);
+        if (ctx_ && ctx_->wantRemarks()) {
+            reportUnreachableMarkerCalls(fn, name(), *ctx_,
+                                         "loop rewritten to "
+                                         "straight-line stores");
+        }
         ir::removeUnreachableBlocks(fn);
     }
 
     const PassConfig *config_ = nullptr;
     Module *module_ = nullptr;
+    PassContext *ctx_ = nullptr;
 };
 
 } // namespace

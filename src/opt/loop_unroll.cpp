@@ -50,12 +50,14 @@ class LoopUnroll : public Pass {
     std::string name() const override { return "loopunroll"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config,
+        PassContext &ctx) override
     {
         if (config.unrollMaxTripCount == 0)
             return false;
         config_ = &config;
         module_ = &module;
+        ctx_ = &ctx;
         bool changed = false;
         for (const auto &fn : module.functions()) {
             if (fn->isDeclaration())
@@ -66,6 +68,7 @@ class LoopUnroll : public Pass {
             while (budget-- > 0 && unrollOne(*fn))
                 changed = true;
         }
+        ctx_ = nullptr;
         return changed;
     }
 
@@ -284,11 +287,16 @@ class LoopUnroll : public Pass {
         // back-edge that can never execute, because the final header
         // comparison exits); leave it for SCCP/SimplifyCFG, but the
         // *original* loop is now unreachable.
+        if (ctx_ && ctx_->wantRemarks()) {
+            reportUnreachableMarkerCalls(fn, name(), *ctx_,
+                                         "loop fully unrolled");
+        }
         ir::removeUnreachableBlocks(fn);
     }
 
     const PassConfig *config_ = nullptr;
     Module *module_ = nullptr;
+    PassContext *ctx_ = nullptr;
 };
 
 } // namespace

@@ -42,12 +42,14 @@ class LoopUnswitch : public Pass {
     std::string name() const override { return "loopunswitch"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config,
+        PassContext &ctx) override
     {
         if (!config.loopUnswitch)
             return false;
         config_ = &config;
         module_ = &module;
+        ctx_ = &ctx;
         escape_ = std::make_unique<EscapeInfo>(module);
         summary_ = std::make_unique<MemorySummary>(module, *escape_);
         bool changed = false;
@@ -61,6 +63,7 @@ class LoopUnswitch : public Pass {
         }
         escape_.reset();
         summary_.reset();
+        ctx_ = nullptr;
         return changed;
     }
 
@@ -269,6 +272,17 @@ class LoopUnswitch : public Pass {
         condbr->addBlockOperand(clone_header);
         preheader->append(std::move(condbr));
 
+        if (ctx_ && ctx_->wantRemarks()) {
+            ctx_->remark(support::RemarkKind::Note, name(),
+                         support::Remark::kNoMarker,
+                         std::string("unswitched loop at '") +
+                             header->name() + "' in '" + fn.name() +
+                             (config_->unswitchInsertsFreeze
+                                  ? "' (condition frozen)"
+                                  : "'"));
+            reportUnreachableMarkerCalls(fn, name(), *ctx_,
+                                         "loop unswitch cleanup");
+        }
         ir::removeUnreachableBlocks(fn);
     }
 
@@ -289,6 +303,7 @@ class LoopUnswitch : public Pass {
 
     const PassConfig *config_ = nullptr;
     Module *module_ = nullptr;
+    PassContext *ctx_ = nullptr;
     std::unique_ptr<EscapeInfo> escape_;
     std::unique_ptr<MemorySummary> summary_;
 };

@@ -35,15 +35,18 @@ class Mem2Reg : public Pass {
     std::string name() const override { return "mem2reg"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config,
+        PassContext &ctx) override
     {
         if (!config.mem2reg)
             return false;
+        ctx_ = &ctx;
         bool changed = false;
         for (const auto &fn : module.functions()) {
             if (!fn->isDeclaration())
                 changed |= runOnFunction(*fn, module);
         }
+        ctx_ = nullptr;
         return changed;
     }
 
@@ -71,6 +74,10 @@ class Mem2Reg : public Pass {
     bool
     runOnFunction(Function &fn, Module &module)
     {
+        if (ctx_ && ctx_->wantRemarks()) {
+            reportUnreachableMarkerCalls(fn, name(), *ctx_,
+                                         "pre-promotion CFG cleanup");
+        }
         ir::removeUnreachableBlocks(fn);
 
         // Collect promotable allocas (lowering clusters them in entry,
@@ -243,6 +250,8 @@ class Mem2Reg : public Pass {
         // predecessor multiset, so nothing special is needed here.
         return true;
     }
+
+    PassContext *ctx_ = nullptr;
 };
 
 } // namespace

@@ -1,20 +1,156 @@
 #include "opt/pass.hpp"
 
+#include <unordered_map>
+
+#include "ir/cfg.hpp"
 #include "ir/verifier.hpp"
+#include "support/markers.hpp"
+#include "support/trace.hpp"
 
 namespace dce::opt {
+
+namespace {
+
+/**
+ * Snapshot of the module used by the marker-elimination census: total
+ * instruction count plus the number of live calls per marker index.
+ * Declarations have no blocks, so markers themselves contribute
+ * nothing; only call sites in defined functions are counted.
+ */
+struct ModuleCensus {
+    uint64_t instrs = 0;
+    std::unordered_map<unsigned, unsigned> markerCalls;
+};
+
+ModuleCensus
+takeCensus(const ir::Module &module)
+{
+    ModuleCensus census;
+    for (const auto &fn : module.functions()) {
+        for (const auto &block : fn->blocks()) {
+            census.instrs += block->instrs().size();
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() != ir::Opcode::Call)
+                    continue;
+                if (auto index = support::markerIndex(
+                        instr->callee->name()))
+                    ++census.markerCalls[*index];
+            }
+        }
+    }
+    return census;
+}
+
+} // namespace
+
+void
+reportUnreachableMarkerCalls(const ir::Function &fn,
+                             const std::string &pass_name,
+                             const PassContext &ctx, const char *why)
+{
+    if (!ctx.wantRemarks())
+        return;
+    if (fn.blocks().empty())
+        return;
+    std::unordered_set<const ir::BasicBlock *> reachable =
+        ir::reachableBlocks(fn);
+    for (const auto &block : fn.blocks()) {
+        if (reachable.count(block.get()))
+            continue;
+        for (const auto &instr : block->instrs()) {
+            if (instr->opcode() != ir::Opcode::Call)
+                continue;
+            auto index = support::markerIndex(instr->callee->name());
+            if (!index)
+                continue;
+            ctx.remark(support::RemarkKind::MarkerCallRemoved,
+                       pass_name, *index,
+                       std::string("call in unreachable block '") +
+                           block->name() + "' of '" + fn.name() +
+                           "' removed (" + why + ")");
+        }
+    }
+}
 
 bool
 PassManager::run(ir::Module &module, bool verify_each)
 {
+    // The census (and the per-pass instruction deltas riding on it)
+    // only runs when an observability sink is attached — the default
+    // pipeline keeps its old single-walk-free hot path.
+    const bool census_wanted = remarks_ != nullptr ||
+                               metrics_ != nullptr;
+    ModuleCensus before;
+    if (census_wanted)
+        before = takeCensus(module);
+
+    PassContext ctx;
+    ctx.remarks = remarks_;
+    ctx.metrics = metrics_;
+
     bool changed = false;
-    for (const auto &pass : passes_) {
-        changed |= pass->run(module, config_);
+    for (size_t i = 0; i < passes_.size(); ++i) {
+        Pass &pass = *passes_[i];
+        ctx.passIndex = static_cast<unsigned>(i);
+
+        // Pass names are cheap ("sccp") but must outlive the span;
+        // keep the string on the stack for the duration.
+        std::string pass_name;
+        support::Tracer &tracer = support::Tracer::global();
+        if (tracer.enabled())
+            pass_name = pass.name();
+        {
+            support::TraceSpan span(pass_name.empty()
+                                        ? std::string_view("pass")
+                                        : std::string_view(pass_name),
+                                    "pass");
+            changed |= pass.run(module, config_, ctx);
+        }
+
+        if (census_wanted) {
+            ModuleCensus after = takeCensus(module);
+            if (remarks_) {
+                // Authoritative attribution: a marker whose live-call
+                // count went >0 → 0 died during this pass. Counts
+                // cannot come back (inlining only clones existing
+                // calls), so this fires at most once per marker.
+                for (const auto &[marker, count] :
+                     before.markerCalls) {
+                    if (count == 0)
+                        continue;
+                    auto it = after.markerCalls.find(marker);
+                    if (it != after.markerCalls.end() &&
+                        it->second != 0)
+                        continue;
+                    if (pass_name.empty())
+                        pass_name = pass.name();
+                    remarks_->emit(
+                        support::RemarkKind::MarkerEliminated,
+                        pass_name, ctx.passIndex, marker,
+                        "last call to " +
+                            support::markerName(marker) +
+                            " eliminated");
+                }
+            }
+            if (metrics_) {
+                if (pass_name.empty())
+                    pass_name = pass.name();
+                if (after.instrs < before.instrs) {
+                    metrics_->counter("pass.instrs_removed", pass_name)
+                        .add(before.instrs - after.instrs);
+                } else if (after.instrs > before.instrs) {
+                    metrics_->counter("pass.instrs_added", pass_name)
+                        .add(after.instrs - before.instrs);
+                }
+            }
+            before = std::move(after);
+        }
+
         if (verify_each) {
             ir::VerifyResult result = ir::verifyModule(module);
             if (!result.ok()) {
-                lastError_ = "after pass '" + pass->name() +
-                             "':\n" + result.str();
+                lastError_ = "after pass '" + pass.name() + "':\n" +
+                             result.str();
                 return changed;
             }
         }

@@ -2,8 +2,20 @@
  * @file
  * Optimization pass framework: PassConfig (the feature flags that make
  * the two simulated compilers differ, per DESIGN.md §6), the Pass
- * interface, and the PassManager that runs a pipeline (optionally
+ * interface, the PassContext observability handles threaded through
+ * every pass, and the PassManager that runs a pipeline (optionally
  * verifying the IR after every pass).
+ *
+ * Observability (DESIGN.md §9): a PassManager can carry a
+ * RemarkCollector and a MetricsRegistry. When a collector is attached
+ * the manager takes a census of live `DCEMarkerN` calls before the
+ * pipeline and after every pass; a marker whose call count transitions
+ * >0 → 0 during pass P gets exactly one authoritative
+ * `MarkerEliminated` remark naming P. Passes additionally emit detail
+ * remarks from their mechanical deletion/proof sites through the
+ * PassContext. With neither attached the pipeline runs the same hot
+ * path as before — no census walks, no span bookkeeping beyond a
+ * disabled-tracer check.
  */
 #pragma once
 
@@ -12,6 +24,8 @@
 #include <vector>
 
 #include "ir/ir.hpp"
+#include "support/metrics.hpp"
+#include "support/remarks.hpp"
 
 namespace dce::opt {
 
@@ -122,6 +136,32 @@ struct PassConfig {
     unsigned pipelineIterations = 2;
 };
 
+/**
+ * Observability handles for one pipeline execution, passed to every
+ * pass. Both sinks are optional; null means "don't bother" and passes
+ * must keep their hot path free of remark bookkeeping in that case
+ * (check wantRemarks() before gathering evidence).
+ */
+struct PassContext {
+    support::RemarkCollector *remarks = nullptr;
+    support::MetricsRegistry *metrics = nullptr;
+    /// Position of the currently running pass in the pipeline.
+    unsigned passIndex = 0;
+
+    bool wantRemarks() const { return remarks != nullptr; }
+
+    /** Emit a detail remark attributed to @p pass_name at the current
+     * pipeline position. No-op when no collector is attached. */
+    void remark(support::RemarkKind kind, std::string pass_name,
+                unsigned marker, std::string message) const
+    {
+        if (remarks) {
+            remarks->emit(kind, std::move(pass_name), passIndex,
+                          marker, std::move(message));
+        }
+    }
+};
+
 /** A transformation over a whole module. */
 class Pass {
   public:
@@ -129,8 +169,20 @@ class Pass {
 
     virtual std::string name() const = 0;
     /** @return true if the module was changed. */
-    virtual bool run(ir::Module &module, const PassConfig &config) = 0;
+    virtual bool run(ir::Module &module, const PassConfig &config,
+                     PassContext &ctx) = 0;
 };
+
+/**
+ * Emit a MarkerCallRemoved detail remark for every marker call inside
+ * a block of @p fn that is unreachable from the entry. Passes that
+ * clean up with ir::removeUnreachableBlocks call this immediately
+ * before doing so — the scan only runs when a collector is attached.
+ */
+void reportUnreachableMarkerCalls(const ir::Function &fn,
+                                  const std::string &pass_name,
+                                  const PassContext &ctx,
+                                  const char *why);
 
 /** Runs a pass sequence; optionally verifies after every pass. */
 class PassManager {
@@ -144,6 +196,20 @@ class PassManager {
     }
 
     const PassConfig &config() const { return config_; }
+
+    /** Attach an optimization-remark sink (null to detach). Enables
+     * the per-pass marker census; see the file comment. */
+    void setRemarks(support::RemarkCollector *remarks)
+    {
+        remarks_ = remarks;
+    }
+
+    /** Attach a metrics registry (null to detach). Enables per-pass
+     * IR-instruction delta counters `pass.instrs_{removed,added}`. */
+    void setMetrics(support::MetricsRegistry *metrics)
+    {
+        metrics_ = metrics;
+    }
 
     /**
      * Run every pass in order. When @p verify_each is true (tests), IR
@@ -160,6 +226,8 @@ class PassManager {
     PassConfig config_;
     std::vector<std::unique_ptr<Pass>> passes_;
     std::string lastError_;
+    support::RemarkCollector *remarks_ = nullptr;
+    support::MetricsRegistry *metrics_ = nullptr;
 };
 
 // Factory functions, one per pass (implementations in their own files).

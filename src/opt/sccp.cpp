@@ -16,6 +16,7 @@
 
 #include "opt/pass.hpp"
 #include "support/ints.hpp"
+#include "support/markers.hpp"
 
 namespace dce::opt {
 
@@ -59,16 +60,19 @@ class Sccp : public Pass {
     std::string name() const override { return "sccp"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config,
+        PassContext &ctx) override
     {
         if (!config.sccp)
             return false;
         config_ = &config;
+        ctx_ = &ctx;
         bool changed = false;
         for (const auto &fn : module.functions()) {
             if (!fn->isDeclaration())
                 changed |= runOnFunction(*fn, module);
         }
+        ctx_ = nullptr;
         return changed;
     }
 
@@ -376,6 +380,29 @@ class Sccp : public Pass {
             }
         }
 
+        // Detail remarks: a marker call in a block the solver proved
+        // non-executable is dead — SimplifyCFG will do the mechanical
+        // deletion later, but SCCP supplied the proof.
+        if (ctx_ && ctx_->wantRemarks()) {
+            for (const auto &block : fn.blocks()) {
+                if (executableBlocks_.count(block.get()))
+                    continue;
+                for (const auto &instr : block->instrs()) {
+                    if (instr->opcode() != Opcode::Call)
+                        continue;
+                    if (auto index = support::markerIndex(
+                            instr->callee->name())) {
+                        ctx_->remark(
+                            support::RemarkKind::MarkerProvedDead,
+                            name(), *index,
+                            "block '" + block->name() + "' of '" +
+                                fn.name() +
+                                "' proved non-executable");
+                    }
+                }
+            }
+        }
+
         // Rewrite proven constants.
         bool changed = false;
         for (const auto &block : fn.blocks()) {
@@ -399,6 +426,7 @@ class Sccp : public Pass {
     }
 
     const PassConfig *config_ = nullptr;
+    PassContext *ctx_ = nullptr;
     std::unordered_map<const Value *, LatticeValue> lattice_;
     std::unordered_set<Edge, EdgeHash> executableEdges_;
     std::unordered_set<const BasicBlock *> executableBlocks_;

@@ -29,10 +29,12 @@ class SimplifyCfg : public Pass {
     std::string name() const override { return "simplifycfg"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config,
+        PassContext &ctx) override
     {
         if (!config.simplifyCfg)
             return false;
+        ctx_ = &ctx;
         bool changed = false;
         for (const auto &fn : module.functions()) {
             if (fn->isDeclaration())
@@ -40,6 +42,7 @@ class SimplifyCfg : public Pass {
             while (iterate(*fn))
                 changed = true;
         }
+        ctx_ = nullptr;
         return changed;
     }
 
@@ -49,13 +52,23 @@ class SimplifyCfg : public Pass {
     iterate(Function &fn)
     {
         bool changed = false;
-        changed |= ir::removeUnreachableBlocks(fn) > 0;
+        changed |= removeUnreachable(fn, "dangling unreachable code");
         changed |= foldConstantTerminators(fn);
-        changed |= ir::removeUnreachableBlocks(fn) > 0;
+        changed |= removeUnreachable(fn, "constant branch folded");
         changed |= collapseTrivialPhis(fn);
         changed |= mergeStraightLineChains(fn);
         changed |= skipForwardingBlocks(fn);
         return changed;
+    }
+
+    /** removeUnreachableBlocks with remark hooks: any marker call in a
+     * block about to be deleted gets a detail remark first. */
+    bool
+    removeUnreachable(Function &fn, const char *why)
+    {
+        if (ctx_ && ctx_->wantRemarks())
+            reportUnreachableMarkerCalls(fn, name(), *ctx_, why);
+        return ir::removeUnreachableBlocks(fn) > 0;
     }
 
     bool
@@ -266,6 +279,8 @@ class SimplifyCfg : public Pass {
         }
         return false;
     }
+
+    PassContext *ctx_ = nullptr;
 };
 
 } // namespace

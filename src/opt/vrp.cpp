@@ -47,7 +47,7 @@ class Vrp : public Pass {
     std::string name() const override { return "vrp"; }
 
     bool
-    run(Module &module, const PassConfig &config) override
+    run(Module &module, const PassConfig &config, PassContext &) override
     {
         config_ = &config;
         module_ = &module;

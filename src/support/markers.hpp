@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Marker-name utilities, shared by every layer that needs to recognize
+ * `DCEMarkerN` symbols: the instrumenter mints the names, the pass
+ * framework's remark census attributes their elimination, the backend
+ * scanner and the interpreter classify calls. Pure string helpers with
+ * no dependencies, which is why they live in support rather than in
+ * instrument (opt must not depend on the front end).
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace dce::support {
+
+/** The marker function name prefix; markers are PREFIX + index. */
+inline constexpr const char *kMarkerPrefix = "DCEMarker";
+
+/** Name of marker @p index. */
+std::string markerName(unsigned index);
+
+/** Parse a marker name back to its index; nullopt if not a marker. */
+std::optional<unsigned> markerIndex(const std::string &name);
+
+} // namespace dce::support

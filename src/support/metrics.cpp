@@ -1,0 +1,165 @@
+#include "support/metrics.hpp"
+
+#include <cstdio>
+
+namespace dce::support {
+
+void
+Histogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::string
+MetricsRegistry::keyFor(std::string_view name, std::string_view label)
+{
+    std::string key(name);
+    if (!label.empty()) {
+        key += '{';
+        key += label;
+        key += '}';
+    }
+    return key;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name, std::string_view label)
+{
+    std::string key = keyFor(name, label);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[key];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name,
+                           std::string_view label)
+{
+    std::string key = keyFor(name, label);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[key];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+uint64_t
+MetricsRegistry::counterValue(std::string_view name,
+                              std::string_view label) const
+{
+    std::string key = keyFor(name, label);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+uint64_t
+MetricsRegistry::counterTotal(std::string_view name) const
+{
+    std::string bare(name);
+    std::string labeled = bare + '{';
+    uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[key, counter] : counters_) {
+        if (key == bare ||
+            key.compare(0, labeled.size(), labeled) == 0)
+            total += counter->value();
+    }
+    return total;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::counters() const
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(counters_.size());
+    for (const auto &[key, counter] : counters_)
+        out.emplace_back(key, counter->value());
+    return out;
+}
+
+std::string
+MetricsRegistry::dumpText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto &[key, counter] : counters_) {
+        out += "counter ";
+        out += key;
+        out += ' ';
+        out += std::to_string(counter->value());
+        out += '\n';
+    }
+    for (const auto &[key, histogram] : histograms_) {
+        char line[128];
+        std::snprintf(line, sizeof line,
+                      " count=%llu sum=%llu mean=%.1f\n",
+                      static_cast<unsigned long long>(
+                          histogram->count()),
+                      static_cast<unsigned long long>(
+                          histogram->sum()),
+                      histogram->mean());
+        out += "histogram ";
+        out += key;
+        out += line;
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::dumpJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[key, counter] : counters_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += key; // keys are code-controlled: no escaping needed
+        out += "\":";
+        out += std::to_string(counter->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[key, histogram] : histograms_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += key;
+        out += "\":{\"count\":";
+        out += std::to_string(histogram->count());
+        out += ",\"sum\":";
+        out += std::to_string(histogram->sum());
+        out += '}';
+    }
+    out += "}}";
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[key, counter] : counters_)
+        counter->reset();
+    for (auto &[key, histogram] : histograms_)
+        histogram->reset();
+}
+
+} // namespace dce::support

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * A process-wide counter/histogram registry, replacing the ad-hoc
+ * per-campaign metric fields. Instruments are created on demand by
+ * name + optional label (`counter("campaign.invalid", "timeout")`)
+ * and live for the registry's lifetime, so callers can resolve an
+ * instrument once and increment a bare atomic on the hot path.
+ *
+ * Thread-safety: increments and observations are lock-free relaxed
+ * atomics; get-or-create and the dump/reset walks take the registry
+ * mutex. Totals are exact (fetch_add), only cross-instrument snapshot
+ * consistency is best-effort — fine for throughput metrics.
+ *
+ * Benches and tests needing isolated totals construct their own
+ * registry; production code defaults to MetricsRegistry::global().
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dce::support {
+
+/** Monotonic counter. Increment is one relaxed fetch_add. */
+class Counter {
+public:
+    void add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * Power-of-two-bucketed histogram over non-negative integer samples
+ * (microseconds, instruction counts). Bucket i counts samples with
+ * bit_width(value) == i; count and sum give exact totals/means.
+ */
+class Histogram {
+public:
+    static constexpr size_t kBuckets = 64;
+
+    void observe(uint64_t value)
+    {
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+        buckets_[bucketOf(value)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    double mean() const
+    {
+        uint64_t n = count();
+        return n ? static_cast<double>(sum()) / static_cast<double>(n)
+                 : 0.0;
+    }
+
+    uint64_t bucket(size_t index) const
+    {
+        return buckets_[index].load(std::memory_order_relaxed);
+    }
+
+    void reset();
+
+    static size_t bucketOf(uint64_t value)
+    {
+        size_t width = 0;
+        while (value) {
+            ++width;
+            value >>= 1;
+        }
+        return width; // 0 for sample 0, else floor(log2(v)) + 1
+    }
+
+private:
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> buckets_[kBuckets]{};
+};
+
+class MetricsRegistry {
+public:
+    /** Process-wide default registry. */
+    static MetricsRegistry &global();
+
+    /**
+     * Get-or-create the counter `name{label}` (bare `name` when the
+     * label is empty). The reference stays valid for the registry's
+     * lifetime — resolve once, increment lock-free.
+     */
+    Counter &counter(std::string_view name,
+                     std::string_view label = {});
+
+    /** Histogram analog of counter(). */
+    Histogram &histogram(std::string_view name,
+                         std::string_view label = {});
+
+    /** Value of counter `name{label}`; 0 if it was never created. */
+    uint64_t counterValue(std::string_view name,
+                          std::string_view label = {}) const;
+
+    /** Sum of `name{...}` over every label, the bare key included. */
+    uint64_t counterTotal(std::string_view name) const;
+
+    /** All (key, value) counter pairs, sorted by key. */
+    std::vector<std::pair<std::string, uint64_t>> counters() const;
+
+    /**
+     * Human-readable dump, sorted by key:
+     *   counter campaign.invalid{timeout} 3
+     *   histogram campaign.stage_us{compile} count=40 sum=8123 mean=203.1
+     */
+    std::string dumpText() const;
+
+    /** JSON dump: {"counters":{...},"histograms":{...}}. */
+    std::string dumpJson() const;
+
+    /** Zero every instrument (references stay valid). */
+    void reset();
+
+    /** The registry key for (name, label): name or "name{label}". */
+    static std::string keyFor(std::string_view name,
+                              std::string_view label);
+
+private:
+    mutable std::mutex mutex_;
+    // std::map keeps dumps sorted; node stability is irrelevant since
+    // instruments are held by unique_ptr anyway.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace dce::support

@@ -1,0 +1,43 @@
+#include "support/remarks.hpp"
+
+namespace dce::support {
+
+const char *
+remarkKindName(RemarkKind kind)
+{
+    switch (kind) {
+    case RemarkKind::MarkerEliminated:
+        return "marker-eliminated";
+    case RemarkKind::MarkerCallRemoved:
+        return "marker-call-removed";
+    case RemarkKind::MarkerProvedDead:
+        return "marker-proved-dead";
+    case RemarkKind::Note:
+        return "note";
+    }
+    return "unknown";
+}
+
+const Remark *
+RemarkCollector::killerOf(unsigned marker) const
+{
+    for (const Remark &remark : remarks_) {
+        if (remark.kind == RemarkKind::MarkerEliminated &&
+            remark.marker == marker)
+            return &remark;
+    }
+    return nullptr;
+}
+
+std::map<std::string, uint64_t>
+RemarkCollector::killerHistogram() const
+{
+    std::map<std::string, uint64_t> histogram;
+    for (const Remark &remark : remarks_) {
+        if (remark.kind == RemarkKind::MarkerEliminated)
+            ++histogram[remark.pass];
+    }
+    return histogram;
+}
+
+} // namespace dce::support

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Optimization remarks — the `-Rpass` analog for the pass pipeline.
+ *
+ * A RemarkCollector is attached to one compilation (one PassManager
+ * run over one module). Passes and the pass manager emit remarks into
+ * it; the campaign engine and triage consume them to attribute each
+ * eliminated `DCEMarkerN` call to the pass that removed it.
+ *
+ * Attribution has two layers:
+ *  - The PassManager's marker-call census is *authoritative*: it
+ *    counts live marker calls before the pipeline and after each pass,
+ *    and emits exactly one `MarkerEliminated` remark per marker at the
+ *    pass where its call count transitions >0 to 0. (Counts cannot
+ *    resurrect — inlining only clones calls that still exist — so the
+ *    first transition is the only one.)
+ *  - Individual passes emit *detail* remarks (`MarkerCallRemoved`,
+ *    `MarkerProvedDead`, `Note`) at the mechanical deletion or proof
+ *    site, explaining *how* the kill happened.
+ *
+ * Deliberately NOT thread-safe: one collector per compilation, owned
+ * by a single worker thread. Cross-thread aggregation happens on the
+ * consumer side (core::triage, MetricsRegistry).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dce::support {
+
+enum class RemarkKind {
+    /// Authoritative: this pass made the last call to the marker
+    /// vanish from the module (emitted by the PassManager census).
+    MarkerEliminated,
+    /// Detail: a pass mechanically deleted a marker call (unreachable
+    /// block removal, dead function erasure, ...).
+    MarkerCallRemoved,
+    /// Detail: a pass proved the marker's block dead without deleting
+    /// it (e.g. SCCP's executability analysis).
+    MarkerProvedDead,
+    /// Free-form pass event (a threaded jump, an unswitched loop).
+    Note,
+};
+
+/** Printable name of a remark kind. */
+const char *remarkKindName(RemarkKind kind);
+
+struct Remark {
+    RemarkKind kind = RemarkKind::Note;
+    /// Pass that emitted the remark ("simplifycfg", "globaldce", ...).
+    std::string pass;
+    /// Position of the pass in the pipeline (0-based).
+    unsigned passIndex = 0;
+    /// Marker index the remark is about, or kNoMarker for pure notes.
+    unsigned marker = kNoMarker;
+    /// Human-readable explanation.
+    std::string message;
+
+    static constexpr unsigned kNoMarker = ~0u;
+
+    bool operator==(const Remark &) const = default;
+};
+
+class RemarkCollector {
+public:
+    void emit(Remark remark) { remarks_.push_back(std::move(remark)); }
+
+    void emit(RemarkKind kind, std::string pass, unsigned pass_index,
+              unsigned marker, std::string message)
+    {
+        remarks_.push_back(Remark{kind, std::move(pass), pass_index,
+                                  marker, std::move(message)});
+    }
+
+    const std::vector<Remark> &remarks() const { return remarks_; }
+
+    bool empty() const { return remarks_.empty(); }
+    size_t size() const { return remarks_.size(); }
+    void clear() { remarks_.clear(); }
+
+    /**
+     * The authoritative killer of @p marker: the first (and by the
+     * census invariant, only) MarkerEliminated remark for it. Null if
+     * the marker survived the pipeline — or never reached it (markers
+     * can die at lowering; the campaign layer synthesizes those).
+     */
+    const Remark *killerOf(unsigned marker) const;
+
+    /** MarkerEliminated remark count per pass name. */
+    std::map<std::string, uint64_t> killerHistogram() const;
+
+private:
+    std::vector<Remark> remarks_;
+};
+
+} // namespace dce::support

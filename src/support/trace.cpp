@@ -1,0 +1,149 @@
+#include "support/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+
+namespace dce::support {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point
+tracerEpoch()
+{
+    static const Clock::time_point epoch = Clock::now();
+    return epoch;
+}
+
+/** JSON string escaping for the few fields we serialize. */
+void
+appendEscaped(std::string &out, const std::string &text)
+{
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+uint64_t
+Tracer::nowUs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - tracerEpoch())
+            .count());
+}
+
+uint32_t
+Tracer::currentThreadId()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+Tracer::record(Event event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+std::vector<Tracer::Event>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+std::string
+Tracer::toJson() const
+{
+    std::vector<Event> snapshot = events();
+    std::string out;
+    out.reserve(64 + snapshot.size() * 96);
+    out += "{\"traceEvents\":[";
+    // A process_name metadata event so the viewer labels the lane
+    // group; tools accept "M" events with ts omitted-or-zero.
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"dce-campaign\"}}";
+    for (const Event &event : snapshot) {
+        out += ",{\"name\":\"";
+        appendEscaped(out, event.name);
+        out += "\",\"cat\":\"";
+        appendEscaped(out, event.category);
+        out += "\",\"ph\":\"X\",\"ts\":";
+        out += std::to_string(event.startUs);
+        out += ",\"dur\":";
+        out += std::to_string(event.durationUs);
+        out += ",\"pid\":1,\"tid\":";
+        out += std::to_string(event.tid);
+        if (event.arg != Event::kNoArg) {
+            out += ",\"args\":{\"";
+            appendEscaped(out, event.argName.empty() ? "value"
+                                                     : event.argName);
+            out += "\":";
+            out += std::to_string(event.arg);
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+Tracer::writeJson(const std::string &path) const
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        return false;
+    std::string json = toJson();
+    file.write(json.data(),
+               static_cast<std::streamsize>(json.size()));
+    return static_cast<bool>(file);
+}
+
+} // namespace dce::support

@@ -160,7 +160,7 @@ TEST(Core, CampaignAggregatesAcrossSeeds)
     }
 }
 
-TEST(Core, CampaignHandlesAndNameShims)
+TEST(Core, CampaignHandlesResolveByNameAndSpec)
 {
     std::vector<BuildSpec> builds = {
         {CompilerId::Alpha, OptLevel::O2, SIZE_MAX},
@@ -179,21 +179,10 @@ TEST(Core, CampaignHandlesAndNameShims)
     EXPECT_EQ(campaign.findBuild(builds[1]), BuildId{1});
     EXPECT_FALSE(campaign.findBuild("no-such-build").has_value());
     EXPECT_FALSE(campaign.idOf("no-such-build").valid());
-    EXPECT_EQ(campaign.totalMissed("no-such-build"), 0u);
-
-    // The deprecated string-keyed totals must agree with the handle
-    // path they delegate to.
-    for (size_t b = 0; b < builds.size(); ++b) {
-        BuildId build{b};
-        const std::string name = builds[b].name();
-        EXPECT_EQ(campaign.totalMissed(name),
-                  campaign.totalMissed(build));
-        EXPECT_EQ(campaign.totalPrimaryMissed(name),
-                  campaign.totalPrimaryMissed(build));
-    }
-    EXPECT_EQ(campaign.totalMissedVersus(builds[0].name(),
-                                         builds[1].name()),
-              campaign.totalMissedVersus(BuildId{0}, BuildId{1}));
+    // An invalid handle is a safe argument to the totals.
+    EXPECT_EQ(campaign.totalMissed(campaign.idOf("no-such-build")),
+              0u);
+    EXPECT_EQ(campaign.idOf(builds[0].name()), BuildId{0});
 }
 
 TEST(Core, CampaignPrimarySubset)

@@ -15,6 +15,7 @@
 #include "ir/clone.hpp"
 #include "ir/lowering.hpp"
 #include "ir/verifier.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 
 namespace dce::core {
@@ -133,13 +134,17 @@ TEST(Engine, RecordsAreIdenticalAcrossThreadCounts)
     // The determinism contract: same seeds + builds => bit-identical
     // records, regardless of thread count or chunking.
     std::vector<BuildSpec> builds = twoBuilds();
+    support::MetricsRegistry serial_registry, parallel_registry;
     CampaignOptions serial;
     serial.computePrimary = true;
+    serial.collectRemarks = true; // kills are part of the contract too
     serial.threads = 1;
+    serial.metrics = &serial_registry;
 
     CampaignOptions parallel = serial;
     parallel.threads = 8;
     parallel.chunkSize = 3; // deliberately awkward chunking
+    parallel.metrics = &parallel_registry;
 
     Campaign one = runCampaign(0, 32, builds, serial);
     Campaign eight = runCampaign(0, 32, builds, parallel);
@@ -150,10 +155,19 @@ TEST(Engine, RecordsAreIdenticalAcrossThreadCounts)
             << "seed " << one.programs[i].seed;
     }
     EXPECT_EQ(one.builds, eight.builds);
-    EXPECT_EQ(one.metrics.invalidPrograms,
-              eight.metrics.invalidPrograms);
-    EXPECT_EQ(one.metrics.cacheHits, eight.metrics.cacheHits);
-    EXPECT_EQ(one.metrics.cacheMisses, eight.metrics.cacheMisses);
+    // Count-style metrics are deterministic as well; only timings vary.
+    for (const char *key :
+         {"campaign.seeds", "campaign.cache_hits",
+          "campaign.cache_misses"}) {
+        EXPECT_EQ(serial_registry.counterValue(key),
+                  parallel_registry.counterValue(key))
+            << key;
+    }
+    EXPECT_EQ(serial_registry.counterTotal("campaign.invalid"),
+              parallel_registry.counterTotal("campaign.invalid"));
+    EXPECT_EQ(
+        serial_registry.counterTotal("campaign.markers_eliminated"),
+        parallel_registry.counterTotal("campaign.markers_eliminated"));
 }
 
 TEST(Engine, ObserverSeesMonotoneProgressAndFinalTotals)
@@ -162,9 +176,11 @@ TEST(Engine, ObserverSeesMonotoneProgressAndFinalTotals)
     std::vector<CampaignProgress> snapshots;
     std::mutex snapshots_mutex;
 
+    support::MetricsRegistry registry;
     CampaignOptions options;
     options.threads = 4;
     options.chunkSize = 2;
+    options.metrics = &registry;
     options.observer = [&](const CampaignProgress &progress) {
         std::lock_guard<std::mutex> lock(snapshots_mutex);
         snapshots.push_back(progress);
@@ -178,15 +194,16 @@ TEST(Engine, ObserverSeesMonotoneProgressAndFinalTotals)
         EXPECT_EQ(snapshots[i].seedsTotal, kSeeds);
     }
 
-    // Final snapshot agrees with the campaign's own metrics and with
-    // the records.
+    // Final snapshot agrees with the campaign's metrics registry and
+    // with the records.
     const CampaignProgress &final_progress = snapshots.back();
     EXPECT_EQ(final_progress.seedsDone, campaign.metrics.seedsDone);
     EXPECT_EQ(final_progress.invalidPrograms,
-              campaign.metrics.invalidPrograms);
-    EXPECT_EQ(final_progress.cacheHits, campaign.metrics.cacheHits);
+              registry.counterTotal("campaign.invalid"));
+    EXPECT_EQ(final_progress.cacheHits,
+              registry.counterValue("campaign.cache_hits"));
     EXPECT_EQ(final_progress.cacheMisses,
-              campaign.metrics.cacheMisses);
+              registry.counterValue("campaign.cache_misses"));
     uint64_t invalid_records = 0;
     for (const ProgramRecord &record : campaign.programs)
         invalid_records += record.valid ? 0 : 1;
@@ -197,22 +214,52 @@ TEST(Engine, MetricsAccountForTheLoweringCache)
 {
     constexpr unsigned kSeeds = 12;
     std::vector<BuildSpec> builds = twoBuilds();
+    support::MetricsRegistry registry;
     CampaignOptions options;
     options.threads = 2;
+    options.metrics = &registry;
     Campaign campaign = runCampaign(0, kSeeds, builds, options);
 
     // Exactly one lowering (miss) per seed; at least ground truth plus
     // one clone per build per valid seed on the hit side.
-    EXPECT_EQ(campaign.metrics.cacheMisses, kSeeds);
+    uint64_t hits = registry.counterValue("campaign.cache_hits");
+    uint64_t misses = registry.counterValue("campaign.cache_misses");
+    EXPECT_EQ(misses, kSeeds);
     uint64_t valid_seeds = 0;
     for (const ProgramRecord &record : campaign.programs)
         valid_seeds += record.valid ? 1 : 0;
-    EXPECT_GE(campaign.metrics.cacheHits,
-              kSeeds + valid_seeds * builds.size());
-    EXPECT_GT(campaign.metrics.cacheHitRate(), 0.5);
+    EXPECT_GE(hits, kSeeds + valid_seeds * builds.size());
+    EXPECT_GT(double(hits) / double(hits + misses), 0.5);
+    EXPECT_EQ(registry.counterValue("campaign.seeds"), kSeeds);
     EXPECT_EQ(campaign.metrics.seedsDone, kSeeds);
     EXPECT_GT(campaign.metrics.wallSeconds, 0.0);
-    EXPECT_GT(campaign.metrics.stages.total(), 0.0);
+
+    // Every seed contributes one sample to the generate/ground-truth
+    // histograms; compile is sampled per build, valid seeds only.
+    EXPECT_EQ(registry.histogram("campaign.stage_us", "generate")
+                  .count(),
+              kSeeds);
+    EXPECT_EQ(registry.histogram("campaign.stage_us", "ground_truth")
+                  .count(),
+              kSeeds);
+    EXPECT_EQ(registry.histogram("campaign.stage_us", "compile")
+                  .count(),
+              valid_seeds * builds.size());
+
+    // Marker-elimination counters exist per opt level and only count
+    // what the records say was eliminated (trueDead ∖ missed).
+    uint64_t eliminated = 0;
+    for (const ProgramRecord &record : campaign.programs) {
+        if (!record.valid)
+            continue;
+        for (size_t b = 0; b < builds.size(); ++b) {
+            eliminated += record.trueDead.size() -
+                          record.missedFor(BuildId{b}).size();
+        }
+    }
+    EXPECT_EQ(
+        registry.counterTotal("campaign.markers_eliminated"),
+        eliminated);
 }
 
 } // namespace
