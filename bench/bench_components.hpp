@@ -39,6 +39,7 @@ runComponentTable(compiler::CompilerId id, const char *paper_note)
     const compiler::CompilerSpec &spec = compiler::spec(id);
     std::map<std::string, const compiler::Commit *> offenders;
     std::map<std::string, unsigned> cases_per_commit;
+    std::map<bisect::BisectStatus, unsigned> aborted;
     unsigned bisected = 0, regressions = 0;
     constexpr unsigned kMaxBisections = 60;
 
@@ -60,9 +61,11 @@ runComponentTable(compiler::CompilerId id, const char *paper_note)
                 id, OptLevel::O3, *prog.unit, marker, 0,
                 spec.headIndex());
             ++bisected;
-            if (result.valid) {
+            if (result.status == bisect::BisectStatus::Found) {
                 offenders[result.commit->hash] = result.commit;
                 ++cases_per_commit[result.commit->hash];
+            } else {
+                ++aborted[result.status];
             }
         }
     }
@@ -78,8 +81,13 @@ runComponentTable(compiler::CompilerId id, const char *paper_note)
     }
 
     std::printf("primary O3 regressions found: %u; bisected: %u; "
-                "unique offending commits: %zu\n\n",
+                "unique offending commits: %zu\n",
                 regressions, bisected, offenders.size());
+    for (const auto &[status, count] : aborted) {
+        std::printf("  bisections aborted (%s): %u\n",
+                    bisect::bisectStatusName(status), count);
+    }
+    std::printf("\n");
     std::printf("%-32s %9s %7s\n", "Component", "# Commits", "# Files");
     printRule();
     size_t total_files = 0;

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Reduction throughput: the PR 3 reducer (ddmin-with-complement +
+ * memoization + single-parse predicate, optionally speculative) versus
+ * the seed reducer (restart-on-any-improvement sweep, no memo, a
+ * predicate that re-parses and re-lowers per differential build).
+ *
+ * The comparison metric is *differential pipeline compiles per
+ * finding* — every optimize+emit pipeline run by a predicate bumps a
+ * counter in an isolated MetricsRegistry — so the result is exact and
+ * machine-independent: it holds on a 1-CPU container just as on a
+ * workstation. Acceptance target (ISSUE 3): the new path runs >= 2x
+ * fewer pipeline compiles per finding.
+ */
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/triage.hpp"
+#include "ir/lowering.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "reduce/reducer.hpp"
+
+using namespace dce;
+using namespace dce::bench;
+using compiler::CompilerId;
+using compiler::OptLevel;
+
+namespace {
+
+/** The seed ddmin loop, verbatim: chunk sizes halve from n/2 down to
+ * 1, and the whole sweep restarts whenever *any* chunk removal
+ * succeeded — the restart bug PR 3 fixes. Kept here as the baseline. */
+reduce::ReduceResult
+legacyReduceSource(const std::string &source,
+                   const reduce::Predicate &interesting,
+                   unsigned max_tests)
+{
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < source.size()) {
+        size_t eol = source.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = source.size();
+        lines.push_back(source.substr(pos, eol - pos));
+        pos = eol + 1;
+    }
+
+    reduce::ReduceResult result;
+    result.source = source;
+    result.linesBefore = static_cast<unsigned>(lines.size());
+    std::vector<bool> keep(lines.size(), true);
+    auto countKept = [&] {
+        size_t count = 0;
+        for (bool flag : keep)
+            count += flag ? 1 : 0;
+        return count;
+    };
+    auto joined = [&] {
+        std::string out;
+        for (size_t i = 0; i < lines.size(); ++i) {
+            if (keep[i]) {
+                out += lines[i];
+                out += "\n";
+            }
+        }
+        return out;
+    };
+
+    ++result.testsRun;
+    if (!interesting(source)) {
+        result.linesAfter = result.linesBefore;
+        return result;
+    }
+    bool improved = true;
+    while (improved && result.testsRun < max_tests) {
+        improved = false;
+        for (size_t chunk = std::max<size_t>(countKept() / 2, 1);
+             chunk >= 1 && result.testsRun < max_tests; chunk /= 2) {
+            for (size_t start = 0;
+                 start < lines.size() && result.testsRun < max_tests;) {
+                std::vector<size_t> selected;
+                size_t cursor = start;
+                while (cursor < lines.size() &&
+                       selected.size() < chunk) {
+                    if (keep[cursor])
+                        selected.push_back(cursor);
+                    ++cursor;
+                }
+                if (selected.empty())
+                    break;
+                for (size_t index : selected)
+                    keep[index] = false;
+                std::string candidate = joined();
+                ++result.testsRun;
+                if (interesting(candidate)) {
+                    improved = true;
+                    result.source = std::move(candidate);
+                } else {
+                    for (size_t index : selected)
+                        keep[index] = true;
+                }
+                start = cursor;
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+    result.linesAfter = static_cast<unsigned>(countKept());
+    return result;
+}
+
+/** The seed interestingness predicate, verbatim in shape: re-parse,
+ * re-lower + execute, then one full from-AST compile per differential
+ * build. Pipeline compiles land in @p compiles. */
+bool
+legacyIsInteresting(const std::string &source, unsigned marker,
+                    const core::BuildSpec &missed_by,
+                    const core::BuildSpec &reference,
+                    support::Counter &compiles)
+{
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(source, diags);
+    if (!unit)
+        return false;
+    std::string name = instrument::markerName(marker);
+    if (!unit->findFunction(name))
+        return false;
+    auto module = ir::lowerToIr(*unit);
+    interp::ExecResult run = interp::execute(*module);
+    if (!run.ok() || run.calledExternals.count(name))
+        return false;
+    compiles.add();
+    std::set<unsigned> missed_alive =
+        core::aliveMarkers(*unit, missed_by.make());
+    if (!missed_alive.count(marker))
+        return false;
+    compiles.add();
+    std::set<unsigned> reference_alive =
+        core::aliveMarkers(*unit, reference.make());
+    return reference_alive.count(marker) == 0;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Reduction throughput: legacy sweep vs speculative "
+                "ddmin + memo (pipeline compiles per finding)");
+
+    core::BuildSpec alpha{CompilerId::Alpha, OptLevel::O3, SIZE_MAX};
+    core::BuildSpec beta{CompilerId::Beta, OptLevel::O3, SIZE_MAX};
+    core::CampaignOptions options = parallelOptions(true);
+    core::CampaignRunner runner({alpha, beta}, options);
+    core::Campaign campaign = runner.run(kCorpusFirstSeed, 120);
+
+    std::vector<core::Finding> findings =
+        core::collectFindings(campaign, alpha, beta, 6);
+    for (core::Finding &finding :
+         core::collectFindings(campaign, beta, alpha, 4)) {
+        findings.push_back(finding);
+    }
+    if (findings.empty()) {
+        std::printf("no findings in this corpus; nothing to reduce\n");
+        return 0;
+    }
+    constexpr unsigned kMaxTests = 800;
+    std::printf("reducing %zu findings (budget %u tests each)\n\n",
+                findings.size(), kMaxTests);
+    std::printf("%-8s %-7s | %13s %9s %7s | %13s %9s %9s %7s\n", "seed",
+                "marker", "legacy:comp", "tests", "lines",
+                "new:comp", "tests", "memohit", "lines");
+    printRule();
+
+    uint64_t legacy_compiles_total = 0, new_compiles_total = 0;
+    double legacy_wall = 0, new_wall = 0;
+    bool identical_lines = true;
+    for (const core::Finding &finding : findings) {
+        instrument::Instrumented prog =
+            core::makeProgram(finding.seed);
+        std::string source = lang::printUnit(*prog.unit);
+
+        // Legacy: seed algorithm + seed predicate, isolated registry.
+        support::MetricsRegistry legacy_registry;
+        support::Counter &legacy_compiles =
+            legacy_registry.counter("reduce.compiles");
+        auto t0 = std::chrono::steady_clock::now();
+        reduce::ReduceResult legacy = legacyReduceSource(
+            source,
+            [&](const std::string &candidate) {
+                return legacyIsInteresting(candidate, finding.marker,
+                                           finding.missedBy,
+                                           finding.reference,
+                                           legacy_compiles);
+            },
+            kMaxTests);
+        legacy_wall += seconds(t0);
+
+        // New: ParallelReducer + single-parse InterestingnessTest.
+        // One worker, so the comparison is algorithmic, not core count.
+        support::MetricsRegistry new_registry;
+        core::InterestingnessTest interesting(
+            finding.marker, finding.missedBy, finding.reference,
+            &new_registry);
+        reduce::ReduceOptions reduce_options;
+        reduce_options.maxTests = kMaxTests;
+        reduce_options.workers = 1;
+        reduce_options.metrics = &new_registry;
+        t0 = std::chrono::steady_clock::now();
+        reduce::ReduceResult fresh =
+            reduce::ParallelReducer(reduce_options)
+                .reduce(source, interesting);
+        new_wall += seconds(t0);
+
+        uint64_t new_compiles =
+            new_registry.counterValue("reduce.compiles");
+        legacy_compiles_total += legacy_compiles.value();
+        new_compiles_total += new_compiles;
+        identical_lines &= fresh.linesAfter <= legacy.linesAfter;
+        std::printf(
+            "%-8llu %-7u | %13llu %9u %7u | %13llu %9llu %9llu %7u\n",
+            static_cast<unsigned long long>(finding.seed),
+            finding.marker,
+            static_cast<unsigned long long>(legacy_compiles.value()),
+            legacy.testsRun, legacy.linesAfter,
+            static_cast<unsigned long long>(new_compiles),
+            static_cast<unsigned long long>(
+                new_registry.counterValue("reduce.tests")),
+            static_cast<unsigned long long>(
+                new_registry.counterValue("reduce.cache_hits")),
+            fresh.linesAfter);
+    }
+    printRule();
+
+    double ratio =
+        new_compiles_total
+            ? static_cast<double>(legacy_compiles_total) /
+                  static_cast<double>(new_compiles_total)
+            : 0.0;
+    std::printf("totals: legacy %llu pipeline compiles (%.1fs), new "
+                "%llu (%.1fs) -> %.2fx fewer compiles per finding\n",
+                static_cast<unsigned long long>(legacy_compiles_total),
+                legacy_wall,
+                static_cast<unsigned long long>(new_compiles_total),
+                new_wall, ratio);
+    std::printf("acceptance (>= 2x fewer pipeline compiles): %s\n",
+                ratio >= 2.0 ? "MET" : "MISSED");
+    std::printf("reduced size never worse than legacy: %s\n",
+                identical_lines ? "yes" : "NO");
+
+    // Wall-clock scaling of speculation (meaningful on multicore
+    // hosts only; the compile counts above are the portable metric).
+    std::printf("\nspeculative reduction of the first finding:\n");
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        const core::Finding &finding = findings.front();
+        instrument::Instrumented prog =
+            core::makeProgram(finding.seed);
+        std::string source = lang::printUnit(*prog.unit);
+        support::MetricsRegistry registry;
+        core::InterestingnessTest interesting(
+            finding.marker, finding.missedBy, finding.reference,
+            &registry);
+        reduce::ReduceOptions reduce_options;
+        reduce_options.maxTests = kMaxTests;
+        reduce_options.workers = workers;
+        reduce_options.metrics = &registry;
+        auto t0 = std::chrono::steady_clock::now();
+        reduce::ReduceResult result =
+            reduce::ParallelReducer(reduce_options)
+                .reduce(source, interesting);
+        std::printf("  %u worker(s): %.2fs, %u canonical tests, %u "
+                    "lines (bit-identical source required)\n",
+                    workers, seconds(t0), result.testsRun,
+                    result.linesAfter);
+    }
+    return 0;
+}

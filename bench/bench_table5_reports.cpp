@@ -45,9 +45,17 @@ main()
         findings.push_back(finding);
     }
 
-    std::printf("collected %zu findings; reducing and triaging...\n\n",
+    // Batch-reduce every finding concurrently: one triage worker per
+    // hardware thread, speculative ddmin inside each reduction. The
+    // summary is identical to a serial run (DESIGN.md §10).
+    core::TriageOptions triage_options;
+    triage_options.threads = 0;
+    triage_options.reduceWorkers = 1;
+    std::printf("collected %zu findings; reducing and triaging "
+                "in parallel...\n\n",
                 findings.size());
-    core::TriageSummary summary = core::triageFindings(findings);
+    core::TriageSummary summary =
+        core::triageFindings(findings, triage_options);
 
     std::printf("%-18s %8s %8s\n", "", "alpha", "beta");
     printRule();
@@ -82,6 +90,23 @@ main()
         std::printf("----8<----\n%s----8<----\n",
                     report.reducedSource.c_str());
     }
+
+    const support::MetricsRegistry &registry =
+        support::MetricsRegistry::global();
+    uint64_t predicate_runs = registry.counterValue("reduce.tests");
+    uint64_t memo_hits = registry.counterValue("reduce.cache_hits");
+    std::printf("\n[reduce] %llu predicate runs, %llu memo hits, "
+                "%llu differential pipeline compiles; rejections:",
+                static_cast<unsigned long long>(predicate_runs),
+                static_cast<unsigned long long>(memo_hits),
+                static_cast<unsigned long long>(
+                    registry.counterValue("reduce.compiles")));
+    for (const auto &[key, value] : registry.counters()) {
+        if (key.rfind("reduce.reject", 0) == 0)
+            std::printf(" %s=%llu", key.c_str(),
+                        static_cast<unsigned long long>(value));
+    }
+    std::printf("\n");
     printMetrics(campaign);
     return 0;
 }

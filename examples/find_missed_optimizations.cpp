@@ -75,8 +75,13 @@ main()
                 "first with delta debugging...\n\n",
                 findings.size());
 
+    // A single finding, so the parallelism that pays here is the
+    // speculative ddmin inside the reduction: every hardware thread
+    // evaluates a different candidate removal of the current sweep.
+    core::TriageOptions triage_options;
+    triage_options.reduceWorkers = 0;
     core::TriageSummary summary =
-        core::triageFindings({findings.front()});
+        core::triageFindings({findings.front()}, triage_options);
     const core::Report &report = summary.reports.front();
     std::printf("--- reduced bug report "
                 "---------------------------------------\n");

@@ -62,8 +62,12 @@ main()
     bisect::BisectResult result = bisect::bisectRegression(
         CompilerId::Beta, OptLevel::O3, *unit, /*marker=*/0,
         /*good=*/0, /*bad=*/spec.headIndex());
-    if (!result.valid) {
-        std::printf("bisection endpoints did not behave as expected\n");
+    if (result.status != bisect::BisectStatus::Found) {
+        // The status says which endpoint check failed — "already bad
+        // at good" wants an older baseline, "not bad at bad" means the
+        // regression does not reproduce here at all.
+        std::printf("bisection aborted: %s\n",
+                    bisect::bisectStatusName(result.status));
         return 1;
     }
     std::printf("first bad commit: %s\n", result.commit->hash.c_str());

@@ -13,18 +13,40 @@ markerMissedAt(compiler::CompilerId id, compiler::OptLevel level,
     return core::aliveMarkers(unit, comp).count(marker) != 0;
 }
 
+const char *
+bisectStatusName(BisectStatus status)
+{
+    switch (status) {
+    case BisectStatus::Found:
+        return "found";
+    case BisectStatus::AlreadyBadAtGood:
+        return "already-bad-at-good";
+    case BisectStatus::NotBadAtBad:
+        return "not-bad-at-bad";
+    case BisectStatus::EmptyRange:
+        return "empty-range";
+    }
+    return "unknown";
+}
+
 BisectResult
 bisectRegression(compiler::CompilerId id, compiler::OptLevel level,
                  const lang::TranslationUnit &unit, unsigned marker,
                  size_t good, size_t bad)
 {
     BisectResult result;
-    if (good >= bad)
+    if (good >= bad) {
+        result.status = BisectStatus::EmptyRange;
         return result;
-    if (markerMissedAt(id, level, good, unit, marker))
-        return result; // already bad at the "good" end
-    if (!markerMissedAt(id, level, bad, unit, marker))
-        return result; // not bad at the "bad" end
+    }
+    if (markerMissedAt(id, level, good, unit, marker)) {
+        result.status = BisectStatus::AlreadyBadAtGood;
+        return result;
+    }
+    if (!markerMissedAt(id, level, bad, unit, marker)) {
+        result.status = BisectStatus::NotBadAtBad;
+        return result;
+    }
 
     while (bad - good > 1) {
         size_t mid = good + (bad - good) / 2;
@@ -33,6 +55,7 @@ bisectRegression(compiler::CompilerId id, compiler::OptLevel level,
         else
             good = mid;
     }
+    result.status = BisectStatus::Found;
     result.valid = true;
     result.firstBad = bad;
     result.commit = &compiler::spec(id).history()[bad];

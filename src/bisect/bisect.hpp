@@ -16,8 +16,27 @@
 
 namespace dce::bisect {
 
+/**
+ * How a bisection ended. Everything but Found is an endpoint-
+ * validation failure, each with a different remedy: AlreadyBadAtGood
+ * wants an older good endpoint (or the miss predates the range),
+ * NotBadAtBad means the regression does not reproduce at the bad
+ * endpoint (stale finding, wrong level), EmptyRange is a degenerate
+ * request (good >= bad).
+ */
+enum class BisectStatus {
+    Found,            ///< endpoints validated; firstBad/commit are set
+    AlreadyBadAtGood, ///< marker already missed at the good endpoint
+    NotBadAtBad,      ///< marker not missed at the bad endpoint
+    EmptyRange,       ///< good >= bad: nothing to search
+};
+
+/** Stable label for @p status (reports / logs). */
+const char *bisectStatusName(BisectStatus status);
+
 struct BisectResult {
-    bool valid = false;      ///< endpoints behaved as assumed
+    BisectStatus status = BisectStatus::EmptyRange;
+    bool valid = false;      ///< status == Found (legacy convenience)
     size_t firstBad = 0;     ///< first commit index that misses
     const compiler::Commit *commit = nullptr;
 };
@@ -30,7 +49,8 @@ bool markerMissedAt(compiler::CompilerId id, compiler::OptLevel level,
 /**
  * Binary-search the first commit in (good, bad] at which @p marker is
  * missed. @pre marker eliminated at @p good, missed at @p bad (checked
- * — result.valid is false otherwise).
+ * — result.status says which endpoint check failed; valid is true only
+ * for BisectStatus::Found).
  */
 BisectResult bisectRegression(compiler::CompilerId id,
                               compiler::OptLevel level,

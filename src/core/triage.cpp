@@ -7,6 +7,8 @@
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
 #include "reduce/reducer.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace dce::core {
 
@@ -27,36 +29,92 @@ killerHistogram(const Campaign &campaign, BuildId build)
     return histogram;
 }
 
-namespace {
+//===------------------------------------------------------------------===//
+// InterestingnessTest
+//===------------------------------------------------------------------===//
 
-/** The full interestingness check used during reduction: the candidate
- * parses, the marker is truly dead, the reporting build misses it, and
- * the reference build eliminates it. */
-bool
-isInteresting(const std::string &source, unsigned marker,
-              const BuildSpec &missed_by, const BuildSpec &reference)
+const char *
+rejectReasonName(RejectReason reason)
 {
-    DiagnosticEngine diags;
-    auto unit = lang::parseAndCheck(source, diags);
-    if (!unit)
-        return false;
-    // Ground truth: the marker must exist and never execute.
-    std::string name = instrument::markerName(marker);
-    if (!unit->findFunction(name))
-        return false;
-    auto module = ir::lowerToIr(*unit);
-    interp::ExecResult run = interp::execute(*module);
-    if (!run.ok() || run.calledExternals.count(name))
-        return false;
-    // Differential: missed by one build, eliminated by the other.
-    std::set<unsigned> missed_alive =
-        aliveMarkers(*unit, missed_by.make());
-    if (!missed_alive.count(marker))
-        return false;
-    std::set<unsigned> reference_alive =
-        aliveMarkers(*unit, reference.make());
-    return reference_alive.count(marker) == 0;
+    switch (reason) {
+    case RejectReason::ParseFail:
+        return "parse-fail";
+    case RejectReason::MarkerAbsent:
+        return "marker-absent";
+    case RejectReason::TrapTimeout:
+        return "trap-timeout";
+    case RejectReason::Executed:
+        return "executed";
+    case RejectReason::NotDifferential:
+        return "not-differential";
+    }
+    return "unknown";
 }
+
+InterestingnessTest::InterestingnessTest(
+    unsigned marker, const BuildSpec &missed_by,
+    const BuildSpec &reference, support::MetricsRegistry *metrics)
+    : marker_(marker), markerName_(instrument::markerName(marker)),
+      missedBy_(missed_by), reference_(reference)
+{
+    support::MetricsRegistry &registry =
+        metrics ? *metrics : support::MetricsRegistry::global();
+    for (RejectReason reason :
+         {RejectReason::ParseFail, RejectReason::MarkerAbsent,
+          RejectReason::TrapTimeout, RejectReason::Executed,
+          RejectReason::NotDifferential}) {
+        rejects_.push_back(&registry.counter(
+            "reduce.reject", rejectReasonName(reason)));
+    }
+    compiles_ = &registry.counter("reduce.compiles");
+}
+
+support::Counter &
+InterestingnessTest::rejectCounter(RejectReason reason) const
+{
+    return *rejects_[static_cast<size_t>(reason)];
+}
+
+bool
+InterestingnessTest::test(const std::string &candidate,
+                          RejectReason *why) const
+{
+    auto reject = [&](RejectReason reason) {
+        rejectCounter(reason).add();
+        if (why)
+            *why = reason;
+        return false;
+    };
+
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(candidate, diags);
+    if (!unit)
+        return reject(RejectReason::ParseFail);
+    if (!unit->findFunction(markerName_))
+        return reject(RejectReason::MarkerAbsent);
+
+    // One lowering serves the ground-truth execution and — cloned by
+    // Compiler::compileLowered — both differential builds.
+    auto lowered = ir::lowerToIr(*unit);
+    interp::ExecResult run = interp::execute(*lowered);
+    if (!run.ok())
+        return reject(RejectReason::TrapTimeout);
+    if (run.calledExternals.count(markerName_))
+        return reject(RejectReason::Executed);
+
+    // Differential: missed by one build, eliminated by the other. The
+    // missed-by side runs first — shrinking candidates most often stop
+    // being missed, so the second pipeline is frequently skipped.
+    compiles_->add();
+    if (!aliveMarkers(*lowered, missedBy_.make()).count(marker_))
+        return reject(RejectReason::NotDifferential);
+    compiles_->add();
+    if (aliveMarkers(*lowered, reference_.make()).count(marker_))
+        return reject(RejectReason::NotDifferential);
+    return true;
+}
+
+namespace {
 
 /** Root-cause signature of a reduced case: the first post-HEAD fix
  * commit that resolves it, or a capability tag. */
@@ -70,13 +128,16 @@ signatureOf(const std::string &reduced_source, const Finding &finding,
         fixed = false;
         return "invalid";
     }
+    // One lowering probed by every fix commit and capability level.
+    auto lowered = ir::lowerToIr(*unit);
     const compiler::CompilerSpec &spec =
         compiler::spec(finding.missedBy.id);
     for (size_t commit = spec.headIndex() + 1;
          commit < spec.history().size(); ++commit) {
         compiler::Compiler fixed_build(finding.missedBy.id,
                                        finding.missedBy.level, commit);
-        if (!aliveMarkers(*unit, fixed_build).count(finding.marker)) {
+        if (!aliveMarkers(*lowered, fixed_build)
+                 .count(finding.marker)) {
             fixed = true;
             return "fixedby:" + spec.history()[commit].hash;
         }
@@ -88,13 +149,114 @@ signatureOf(const std::string &reduced_source, const Finding &finding,
     for (compiler::OptLevel level : compiler::allOptLevels()) {
         compiler::Compiler probe(finding.missedBy.id, level);
         fingerprint +=
-            aliveMarkers(*unit, probe).count(finding.marker) ? 'm'
-                                                             : 'e';
+            aliveMarkers(*lowered, probe).count(finding.marker) ? 'm'
+                                                                : 'e';
     }
     return fingerprint;
 }
 
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/** Per-finding output of the parallel reduce + signature stage. */
+struct ReducedFinding {
+    reduce::ReduceResult reduction;
+    std::string signature;
+    bool fixed = false;
+};
+
 } // namespace
+
+TriageSummary
+triageFindings(const std::vector<Finding> &findings,
+               const TriageOptions &options)
+{
+    support::MetricsRegistry *registry =
+        options.metrics ? options.metrics
+                        : &support::MetricsRegistry::global();
+
+    // Stage 1 — reduce + signature every finding, concurrently. Each
+    // finding is pure in (finding, options), writes its own slot, and
+    // the per-finding reduction itself is deterministic regardless of
+    // reduceWorkers, so the stage commutes with any schedule.
+    std::vector<ReducedFinding> slots(findings.size());
+    support::ThreadPool pool(resolveThreads(options.threads));
+    pool.forChunks(
+        findings.size(), 1, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                const Finding &finding = findings[i];
+                instrument::Instrumented prog =
+                    makeProgram(finding.seed, options.generator);
+                std::string source = lang::printUnit(*prog.unit);
+
+                InterestingnessTest interesting(
+                    finding.marker, finding.missedBy,
+                    finding.reference, registry);
+                reduce::ReduceOptions reduce_options;
+                reduce_options.maxTests = options.maxTests;
+                reduce_options.workers = options.reduceWorkers;
+                reduce_options.metrics = registry;
+                {
+                    support::TraceSpan span("reduce", "triage");
+                    span.setArg("seed", finding.seed);
+                    slots[i].reduction =
+                        reduce::ParallelReducer(reduce_options)
+                            .reduce(source, interesting);
+                }
+                support::TraceSpan span("signature", "triage");
+                span.setArg("seed", finding.seed);
+                slots[i].signature = signatureOf(
+                    slots[i].reduction.source, finding, slots[i].fixed);
+            }
+        });
+
+    // Stage 2 — classify and deduplicate, serially in findings order
+    // (deduplication is the one cross-finding dependency).
+    TriageSummary summary;
+    std::set<std::pair<int, std::string>> seen_signatures;
+    std::map<int, unsigned> duplicate_budget;
+    duplicate_budget[static_cast<int>(compiler::CompilerId::Alpha)] =
+        options.reportedDuplicateAllowance;
+    duplicate_budget[static_cast<int>(compiler::CompilerId::Beta)] =
+        options.reportedDuplicateAllowance;
+
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &finding = findings[i];
+        ReducedFinding &reduced = slots[i];
+
+        Report report;
+        report.finding = finding;
+        report.reducedSource = reduced.reduction.source;
+        report.reductionTests = reduced.reduction.testsRun;
+        report.signature = std::move(reduced.signature);
+        report.fixed = reduced.fixed;
+
+        auto key = std::make_pair(
+            static_cast<int>(finding.missedBy.id), report.signature);
+        report.duplicate = !seen_signatures.insert(key).second;
+        if (report.duplicate) {
+            // Pre-report deduplication drops most same-root-cause
+            // findings; a small allowance slips through and gets
+            // marked duplicate by the "developers".
+            unsigned &budget =
+                duplicate_budget[static_cast<int>(finding.missedBy.id)];
+            if (budget == 0)
+                continue; // deduplicated away, never reported
+            --budget;
+            report.fixed = false; // counted once, on the original
+        }
+        report.confirmed = !report.duplicate &&
+                           report.signature != "invalid";
+        summary.reports.push_back(std::move(report));
+    }
+    return summary;
+}
 
 std::vector<Finding>
 collectFindings(const Campaign &campaign, const BuildSpec &missed_by,
@@ -129,54 +291,10 @@ triageFindings(const std::vector<Finding> &findings,
                const gen::GenConfig &config,
                unsigned reported_duplicate_allowance)
 {
-    TriageSummary summary;
-    std::set<std::pair<int, std::string>> seen_signatures;
-    std::map<int, unsigned> duplicate_budget;
-    duplicate_budget[static_cast<int>(compiler::CompilerId::Alpha)] =
-        reported_duplicate_allowance;
-    duplicate_budget[static_cast<int>(compiler::CompilerId::Beta)] =
-        reported_duplicate_allowance;
-
-    for (const Finding &finding : findings) {
-        Report report;
-        report.finding = finding;
-
-        instrument::Instrumented prog =
-            makeProgram(finding.seed, config);
-        std::string source = lang::printUnit(*prog.unit);
-
-        reduce::ReduceResult reduced = reduce::reduceSource(
-            source,
-            [&](const std::string &candidate) {
-                return isInteresting(candidate, finding.marker,
-                                     finding.missedBy,
-                                     finding.reference);
-            },
-            /*max_tests=*/800);
-        report.reducedSource = reduced.source;
-        report.reductionTests = reduced.testsRun;
-
-        report.signature =
-            signatureOf(reduced.source, finding, report.fixed);
-        auto key = std::make_pair(
-            static_cast<int>(finding.missedBy.id), report.signature);
-        report.duplicate = !seen_signatures.insert(key).second;
-        if (report.duplicate) {
-            // Pre-report deduplication drops most same-root-cause
-            // findings; a small allowance slips through and gets
-            // marked duplicate by the "developers".
-            unsigned &budget =
-                duplicate_budget[static_cast<int>(finding.missedBy.id)];
-            if (budget == 0)
-                continue; // deduplicated away, never reported
-            --budget;
-            report.fixed = false; // counted once, on the original
-        }
-        report.confirmed = !report.duplicate &&
-                           report.signature != "invalid";
-        summary.reports.push_back(std::move(report));
-    }
-    return summary;
+    TriageOptions options;
+    options.generator = config;
+    options.reportedDuplicateAllowance = reported_duplicate_allowance;
+    return triageFindings(findings, options);
 }
 
 } // namespace dce::core

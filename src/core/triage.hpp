@@ -56,6 +56,72 @@ struct Finding {
     BuildSpec reference;  ///< a build that succeeded (feasibility)
 };
 
+/**
+ * Why a reduction candidate was rejected by the interestingness test,
+ * in gate order. Distinguishing the interpreter failing (TrapTimeout)
+ * from the marker genuinely executing (Executed) is what makes a
+ * stuck reduction diagnosable: a reduction drowning in trap-timeouts
+ * is shrinking programs into ones the interpreter cannot decide, not
+ * into uninteresting ones.
+ */
+enum class RejectReason {
+    ParseFail,       ///< candidate no longer parses / type-checks
+    MarkerAbsent,    ///< the marker function is gone from the source
+    TrapTimeout,     ///< ground-truth execution trapped or timed out
+    Executed,        ///< the marker ran — it is not dead here
+    NotDifferential, ///< builds agree (missed-by eliminates it, or
+                     ///< the reference misses it too)
+};
+
+/** Stable label for @p reason (`reduce.reject{<reason>}` metric key). */
+const char *rejectReasonName(RejectReason reason);
+
+/**
+ * The reduction predicate: the candidate parses, the marker is truly
+ * dead, the reporting build misses it, and the reference build
+ * eliminates it. One parse / lowering / execution per candidate; the
+ * two differential builds run over clones of that single lowering via
+ * Compiler::compileLowered — the campaign engine's lowering cache in
+ * miniature. Every rejection is classified (RejectReason) and counted
+ * under `reduce.reject{<reason>}`; each differential pipeline run
+ * bumps `reduce.compiles`.
+ *
+ * Immutable after construction, so one instance is safe to call
+ * concurrently from every speculation worker of a ParallelReducer.
+ * Satisfies reduce::Predicate via operator().
+ */
+class InterestingnessTest {
+  public:
+    /** @param metrics registry for the reject/compile counters;
+     * null = the process global. */
+    InterestingnessTest(unsigned marker, const BuildSpec &missed_by,
+                        const BuildSpec &reference,
+                        support::MetricsRegistry *metrics = nullptr);
+
+    /** Full check; when @p why is non-null it receives the reason on
+     * rejection (untouched on acceptance). */
+    bool test(const std::string &candidate,
+              RejectReason *why = nullptr) const;
+
+    bool
+    operator()(const std::string &candidate) const
+    {
+        return test(candidate);
+    }
+
+  private:
+    support::Counter &rejectCounter(RejectReason reason) const;
+
+    unsigned marker_;
+    std::string markerName_;
+    BuildSpec missedBy_;
+    BuildSpec reference_;
+    /** Reject counters in RejectReason order, plus the pipeline
+     * counter — resolved once so the per-candidate path is lock-free. */
+    std::vector<support::Counter *> rejects_;
+    support::Counter *compiles_;
+};
+
 /** A triaged (reduced + classified) report. */
 struct Report {
     Finding finding;
@@ -103,14 +169,43 @@ std::vector<Finding> collectFindings(const Campaign &campaign,
                                      unsigned max_findings,
                                      const gen::GenConfig &config = {});
 
+/** Knobs for the reduce/triage pipeline. */
+struct TriageOptions {
+    gen::GenConfig generator;
+    /** Same-signature findings per compiler that still get "reported"
+     * (and end up marked duplicate) — models the paper's imperfect
+     * manual dedup; see triageFindings. */
+    unsigned reportedDuplicateAllowance = 1;
+    /** Findings reduced + signatured concurrently; 1 = serial, 0 =
+     * one per hardware thread. The summary is identical for every
+     * thread count (reductions are per-finding pure; deduplication
+     * runs serially in findings order afterwards). */
+    unsigned threads = 1;
+    /** Speculation width inside each finding's reduction
+     * (reduce::ReduceOptions::workers). */
+    unsigned reduceWorkers = 1;
+    /** Per-finding reduction budget (canonical candidate decisions). */
+    unsigned maxTests = 800;
+    /** Registry receiving the reduce.* metrics; null = the global. */
+    support::MetricsRegistry *metrics = nullptr;
+};
+
 /**
- * Reduce, signature, deduplicate, and classify @p findings. Like the
- * paper's workflow, duplicates found during pre-report deduplication
- * are *dropped*; @p reported_duplicate_allowance models the imperfect
- * manual dedup (the paper reported 5 GCC duplicates, one of which a
- * developer had already filed) — that many same-signature findings per
- * compiler are still "reported" and end up marked duplicate.
+ * Reduce, signature, deduplicate, and classify @p findings. The
+ * reduce + signature stage fans out over options.threads workers with
+ * a per-finding "reduce"/"signature" TraceSpan each; classification
+ * and deduplication stay serial in findings order, so the summary
+ * never depends on scheduling. Like the paper's workflow, duplicates
+ * found during pre-report deduplication are *dropped*;
+ * options.reportedDuplicateAllowance models the imperfect manual
+ * dedup (the paper reported 5 GCC duplicates, one of which a
+ * developer had already filed) — that many same-signature findings
+ * per compiler are still "reported" and end up marked duplicate.
  */
+TriageSummary triageFindings(const std::vector<Finding> &findings,
+                             const TriageOptions &options);
+
+/** Serial convenience overload (threads = reduceWorkers = 1). */
 TriageSummary triageFindings(const std::vector<Finding> &findings,
                              const gen::GenConfig &config = {},
                              unsigned reported_duplicate_allowance = 1);

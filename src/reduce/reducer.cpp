@@ -1,6 +1,13 @@
 #include "reduce/reducer.hpp"
 
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <vector>
+
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace dce::reduce {
 
@@ -21,86 +28,349 @@ splitLines(const std::string &source)
     return lines;
 }
 
-std::string
-joinLines(const std::vector<std::string> &lines,
-          const std::vector<bool> &keep)
-{
-    std::string out;
-    for (size_t i = 0; i < lines.size(); ++i) {
-        if (keep[i]) {
-            out += lines[i];
-            out += "\n";
+/**
+ * One reduction in flight: the fixed line array, the kept-line index
+ * vector, the memo table, and the worker pool. The canonical candidate
+ * order — and with it the committed result — is defined entirely by
+ * this class; workers only compute predicate answers.
+ */
+class Ddmin {
+  public:
+    Ddmin(const std::vector<std::string> &lines,
+          const Predicate &interesting, const ReduceOptions &options,
+          support::MetricsRegistry &registry)
+        : lines_(lines), interesting_(interesting), options_(options),
+          pool_(options.workers == 0 ? 0 : options.workers),
+          tests_(registry.counter("reduce.tests")),
+          cacheHits_(registry.counter("reduce.cache_hits"))
+    {
+        kept_.reserve(lines.size());
+        braceDelta_.reserve(lines.size());
+        for (size_t i = 0; i < lines.size(); ++i) {
+            kept_.push_back(i);
+            long delta = 0;
+            for (char c : lines[i]) {
+                if (c == '{')
+                    ++delta;
+                else if (c == '}')
+                    --delta;
+            }
+            braceDelta_.push_back(delta);
         }
     }
-    return out;
-}
+
+    /** Canonical decisions consumed so far (memo hits included). */
+    unsigned testsRun() const { return testsRun_; }
+    bool budgetLeft() const { return testsRun_ < options_.maxTests; }
+    size_t keptCount() const { return kept_.size(); }
+
+    std::string
+    keptSource() const
+    {
+        std::string out;
+        for (size_t index : kept_) {
+            out += lines_[index];
+            out += "\n";
+        }
+        return out;
+    }
+
+    /** Record the pre-checked answer for the original input. */
+    void
+    primeOriginal(const std::string &source, bool result)
+    {
+        ++testsRun_;
+        memo_.emplace(source, result);
+    }
+
+    /**
+     * One complete complement-sweep run: chunk sizes halve from half
+     * the kept set down to 1, each size swept left to right with
+     * greedy commits (a successful removal stays at the same position
+     * — the next lines shift in — instead of restarting the cascade,
+     * which was the seed's quadratic restart bug). The size-1 sweep
+     * repeats until unproductive, so removals that unlock further
+     * removals drain without re-paying the large-chunk cascade.
+     * Returns true if the run removed anything.
+     */
+    bool
+    runCore()
+    {
+        bool removed = false;
+        size_t s = std::max<size_t>(kept_.size() / 2, 1);
+        while (budgetLeft()) {
+            SweepOutcome outcome = sweep(s);
+            if (outcome == SweepOutcome::Budget)
+                break;
+            if (outcome == SweepOutcome::Productive)
+                removed = true;
+            if (s == 1) {
+                if (outcome == SweepOutcome::Productive)
+                    continue; // drain unlocked single-line removals
+                break;
+            }
+            s /= 2;
+        }
+        return removed;
+    }
+
+  private:
+    enum class SweepOutcome { Productive, Unproductive, Budget };
+
+    /**
+     * End of the removal starting at kept position @p pos with
+     * nominal size @p s, snapped to brace balance: if the removed
+     * lines open more blocks than they close, the removal extends to
+     * the line restoring balance. Removing "if (c) {" therefore drops
+     * the whole block in one candidate instead of producing an
+     * unparseable fragment — dead blocks and functions go in one
+     * accepted test each. Depends only on the kept set, pos and s, so
+     * the candidate geometry is canonical.
+     */
+    size_t
+    snappedEnd(size_t pos, size_t s) const
+    {
+        size_t hi = std::min(pos + s, kept_.size());
+        long depth = 0;
+        size_t j = pos;
+        while (j < hi)
+            depth += braceDelta_[kept_[j++]];
+        while (j < kept_.size() && depth > 0)
+            depth += braceDelta_[kept_[j++]];
+        return j;
+    }
+
+    /** The candidate source with kept lines [pos, snappedEnd) removed. */
+    std::string
+    candidateFor(size_t pos, size_t s) const
+    {
+        size_t hi = snappedEnd(pos, s);
+        std::string out;
+        for (size_t j = 0; j < kept_.size(); ++j) {
+            if (j >= pos && j < hi)
+                continue;
+            out += lines_[kept_[j]];
+            out += "\n";
+        }
+        return out;
+    }
+
+    /**
+     * One left-to-right sweep at chunk size @p s, speculatively
+     * evaluating up to `workers` candidates at a time. Speculation
+     * assumes failures: the batch holds the candidates at positions
+     * pos, pos+s, pos+2s, ... of the current kept set. Candidates are
+     * consumed in canonical order; the first interesting one commits
+     * (invalidating the rest of the batch, whose answers stay in the
+     * memo), so the outcome equals a strictly serial sweep.
+     *
+     * The speculation width adapts to the recent commit rate: a
+     * commit resets it to 1 (the next candidate is almost certainly
+     * stale the moment anything commits), and every fully consumed
+     * commit-free batch doubles it back up to the worker count. The
+     * width never affects any decision — only which answers are
+     * precomputed — so the reduction stays bit-identical.
+     */
+    SweepOutcome
+    sweep(size_t s)
+    {
+        bool productive = false;
+        size_t pos = 0;
+        while (pos < kept_.size()) {
+            size_t width =
+                std::min<size_t>(specWidth_, pool_.threadCount());
+            // Scan stride stays s even where candidates snap wider:
+            // block interiors must still get their own candidates.
+            std::vector<size_t> starts;
+            for (size_t p = pos;
+                 p < kept_.size() && starts.size() < width; p += s)
+                starts.push_back(p);
+            size_t batch = starts.size();
+
+            std::vector<std::string> candidates(batch);
+            std::vector<char> results(batch, 0);
+            std::vector<std::optional<bool>> cached(batch);
+            for (size_t j = 0; j < batch; ++j) {
+                candidates[j] = candidateFor(starts[j], s);
+                auto hit = memo_.find(candidates[j]);
+                if (hit != memo_.end()) {
+                    cached[j] = hit->second;
+                    cacheHits_.add();
+                }
+            }
+            std::vector<size_t> misses;
+            for (size_t j = 0; j < batch; ++j) {
+                if (cached[j].has_value())
+                    results[j] = *cached[j] ? 1 : 0;
+                else
+                    misses.push_back(j);
+            }
+            auto evaluate = [this, &candidates, &results](size_t j) {
+                tests_.add();
+                results[j] = interesting_(candidates[j]) ? 1 : 0;
+            };
+            // The calling thread takes the first uncached candidate;
+            // the pool workers speculate on the rest.
+            for (size_t m = 1; m < misses.size(); ++m)
+                pool_.submit([&evaluate, &misses, m] {
+                    evaluate(misses[m]);
+                });
+            if (!misses.empty())
+                evaluate(misses[0]);
+            pool_.wait();
+            for (size_t j = 0; j < batch; ++j) {
+                if (!cached[j].has_value())
+                    memo_.emplace(std::move(candidates[j]),
+                                  results[j] != 0);
+            }
+
+            // Consume the batch in canonical order: commit the first
+            // interesting candidate and stay at its position, exactly
+            // as the serial sweep would.
+            bool committed = false;
+            for (size_t j = 0; j < batch; ++j) {
+                if (!budgetLeft())
+                    return SweepOutcome::Budget;
+                ++testsRun_;
+                if (results[j]) {
+                    commit(starts[j], s);
+                    pos = starts[j];
+                    committed = true;
+                    productive = true;
+                    specWidth_ = 1;
+                    extendAt(pos, s);
+                    break;
+                }
+            }
+            if (!committed) {
+                pos = starts.back() + s;
+                specWidth_ = std::min<size_t>(
+                    2 * specWidth_, pool_.threadCount());
+            }
+        }
+        return productive ? SweepOutcome::Productive
+                          : SweepOutcome::Unproductive;
+    }
+
+    /**
+     * Exponential extension after a commit at @p pos: try removing
+     * 2s, then 4s, ... further lines at the same position, committing
+     * while the predicate holds. Contiguous removable regions — dead
+     * blocks are usually contiguous — then cost O(log n) accepted
+     * candidates instead of n, and since every accepted candidate is
+     * the expensive kind (the predicate runs both differential
+     * builds), this is the main compile saver. A failed extension is
+     * usually cheap (most oversized removals no longer parse).
+     */
+    void
+    extendAt(size_t pos, size_t s)
+    {
+        size_t ext = 2 * s;
+        while (pos < kept_.size() && budgetLeft()) {
+            std::string candidate = candidateFor(pos, ext);
+            bool value;
+            auto hit = memo_.find(candidate);
+            if (hit != memo_.end()) {
+                cacheHits_.add();
+                value = hit->second;
+            } else {
+                tests_.add();
+                value = interesting_(candidate);
+                memo_.emplace(std::move(candidate), value);
+            }
+            ++testsRun_;
+            if (!value)
+                break;
+            commit(pos, ext);
+            ext *= 2;
+        }
+    }
+
+    void
+    commit(size_t pos, size_t s)
+    {
+        size_t hi = snappedEnd(pos, s);
+        kept_.erase(kept_.begin() + static_cast<ptrdiff_t>(pos),
+                    kept_.begin() + static_cast<ptrdiff_t>(hi));
+    }
+
+    const std::vector<std::string> &lines_;
+    const Predicate &interesting_;
+    const ReduceOptions &options_;
+    support::ThreadPool pool_;
+    std::vector<size_t> kept_;
+    /** Per original line: '{' count minus '}' count, for snapping
+     * removals to brace balance. */
+    std::vector<long> braceDelta_;
+    /** Candidate text -> interesting? The predicate is deterministic,
+     * so serving a memoized answer can never change a decision. Only
+     * touched from the canonical (calling) thread. */
+    std::unordered_map<std::string, bool> memo_;
+    /** Adaptive speculation width; see sweep(). */
+    size_t specWidth_ = 1;
+    unsigned testsRun_ = 0;
+    support::Counter &tests_;
+    support::Counter &cacheHits_;
+};
 
 } // namespace
 
-ReduceResult
-reduceSource(const std::string &source, const Predicate &interesting,
-             unsigned max_tests)
+ParallelReducer::ParallelReducer(ReduceOptions options)
+    : options_(options)
 {
+}
+
+ReduceResult
+ParallelReducer::reduce(const std::string &source,
+                        const Predicate &interesting) const
+{
+    support::TraceSpan span("reduce", "reduce");
+    auto wall_start = std::chrono::steady_clock::now();
+    support::MetricsRegistry &registry =
+        options_.metrics ? *options_.metrics
+                         : support::MetricsRegistry::global();
+
     ReduceResult result;
     result.source = source;
 
     std::vector<std::string> lines = splitLines(source);
     result.linesBefore = static_cast<unsigned>(lines.size());
-    std::vector<bool> keep(lines.size(), true);
+    result.linesAfter = result.linesBefore;
 
-    auto countKept = [&] {
-        size_t count = 0;
-        for (bool flag : keep)
-            count += flag ? 1 : 0;
-        return count;
-    };
-
-    ++result.testsRun;
-    if (!interesting(source)) {
-        result.linesAfter = result.linesBefore;
-        return result;
-    }
-
-    // ddmin: chunk sizes halve from n/2 down to 1; restart from the
-    // top whenever a whole sweep at size 1 removed something.
-    bool improved = true;
-    while (improved && result.testsRun < max_tests) {
-        improved = false;
-        for (size_t chunk = std::max<size_t>(countKept() / 2, 1);
-             chunk >= 1 && result.testsRun < max_tests; chunk /= 2) {
-            for (size_t start = 0;
-                 start < lines.size() && result.testsRun < max_tests;) {
-                // Select the next `chunk` kept lines from `start`.
-                std::vector<size_t> selected;
-                size_t cursor = start;
-                while (cursor < lines.size() &&
-                       selected.size() < chunk) {
-                    if (keep[cursor])
-                        selected.push_back(cursor);
-                    ++cursor;
-                }
-                if (selected.empty())
-                    break;
-                for (size_t index : selected)
-                    keep[index] = false;
-                std::string candidate = joinLines(lines, keep);
-                ++result.testsRun;
-                if (interesting(candidate)) {
-                    improved = true;
-                    result.source = std::move(candidate);
-                } else {
-                    for (size_t index : selected)
-                        keep[index] = true;
-                }
-                start = cursor;
-            }
-            if (chunk == 1)
+    Ddmin state(lines, interesting, options_, registry);
+    bool original_interesting = interesting(source);
+    registry.counter("reduce.tests").add();
+    state.primeOriginal(source, original_interesting);
+    if (original_interesting) {
+        // Iterate the core to a fixpoint: a run that removes nothing
+        // proves reducing the result again would change nothing
+        // (idempotence). The memo makes that last run almost free.
+        while (state.budgetLeft()) {
+            ++result.passes;
+            if (!state.runCore())
                 break;
         }
+        result.source = state.keptSource();
+        result.linesAfter = static_cast<unsigned>(state.keptCount());
     }
+    result.testsRun = state.testsRun();
 
-    result.linesAfter = static_cast<unsigned>(countKept());
+    registry.histogram("reduce.wall_us")
+        .observe(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count()));
     return result;
+}
+
+ReduceResult
+reduceSource(const std::string &source, const Predicate &interesting,
+             unsigned max_tests)
+{
+    ReduceOptions options;
+    options.maxTests = max_tests;
+    options.workers = 1;
+    return ParallelReducer(options).reduce(source, interesting);
 }
 
 } // namespace dce::reduce

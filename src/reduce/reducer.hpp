@@ -1,35 +1,109 @@
 /**
  * @file
  * Test-case reduction — the C-Reduce stand-in (§4.3). Delta debugging
- * (ddmin) over source lines: repeatedly try dropping chunks of lines,
- * keeping a candidate whenever the caller's interestingness predicate
- * still holds. The predicate owns validity checking (a candidate that
- * no longer parses is simply uninteresting), exactly like C-Reduce's
- * interestingness scripts.
+ * (ddmin with complements) over source lines: repeatedly try dropping
+ * chunks of lines, keeping a candidate whenever the caller's
+ * interestingness predicate still holds. The predicate owns validity
+ * checking (a candidate that no longer parses is simply uninteresting),
+ * exactly like C-Reduce's interestingness scripts.
+ *
+ * Two entry points share one canonical algorithm:
+ *
+ *  - reduceSource(): the serial convenience wrapper;
+ *  - ParallelReducer: C-Reduce-style *speculative* reduction. Each
+ *    sweep's next `workers` candidates are evaluated concurrently on a
+ *    support::ThreadPool; the first interesting candidate in canonical
+ *    order is committed and the rest discarded, so the reduced source
+ *    is bit-identical for 1 and N workers — speculation only buys wall
+ *    clock, never changes the answer.
+ *
+ * Interestingness results are memoized by candidate text, so the
+ * verification pass (and any candidate re-visited after a restart)
+ * never re-runs the predicate. Memoization is why iterating the ddmin
+ * core to a fixpoint is affordable: the final, unproductive run is
+ * mostly cache hits.
+ *
+ * Algorithm (per DESIGN.md §10): the core is a greedy complement
+ * sweep — chunk sizes halve from half the kept lines down to 1, each
+ * size swept left to right. A successful removal commits immediately
+ * and is extended exponentially in place (try 2s, 4s, ... further
+ * lines at the same position), so a contiguous removable region costs
+ * O(log n) accepted candidates — accepted candidates are the
+ * expensive ones, since only they run both differential builds. The
+ * sweep then continues at the same position (the following lines
+ * shift in); the size-1 sweep repeats until unproductive so removals
+ * that unlock further removals drain without re-running the
+ * large-chunk cascade. (The seed implementation instead restarted the
+ * whole cascade after any productive pass, going quadratic on
+ * dependency-chain inputs.) The outer loop re-runs the core only
+ * after a productive run, which guarantees the result is a fixpoint
+ * (reducing it again is a no-op).
  */
 #pragma once
 
 #include <functional>
 #include <string>
 
+#include "support/metrics.hpp"
+
 namespace dce::reduce {
 
 /** Decide if a candidate still exhibits the behaviour under study.
- * Must return false for invalid programs. */
+ * Must return false for invalid programs, must be deterministic, and —
+ * when reducing with workers > 1 — must be safe to call concurrently
+ * from several threads. */
 using Predicate = std::function<bool(const std::string &source)>;
 
 struct ReduceResult {
     std::string source;     ///< smallest interesting variant found
-    unsigned testsRun = 0;  ///< predicate invocations
+    /** Canonical candidate decisions consumed by the algorithm
+     * (memoized answers included). Identical for every worker count;
+     * the actual predicate-invocation count — which speculation and
+     * memoization change — is in the `reduce.tests` metric. */
+    unsigned testsRun = 0;
     unsigned linesBefore = 0;
     unsigned linesAfter = 0;
+    /** Completed ddmin core runs (>= 1 unless the input was
+     * uninteresting); the last one is always unproductive. */
+    unsigned passes = 0;
+};
+
+struct ReduceOptions {
+    /** Safety budget on canonical candidate decisions (testsRun). */
+    unsigned maxTests = 5000;
+    /** Speculation width: candidates evaluated concurrently per batch.
+     * 1 = serial (no worker threads at all); 0 = one per hardware
+     * thread. The reduced source never depends on this. */
+    unsigned workers = 1;
+    /** Registry receiving the reduce.{tests,cache_hits,wall_us}
+     * instruments; null = the process global. */
+    support::MetricsRegistry *metrics = nullptr;
 };
 
 /**
- * Shrink @p source while @p interesting holds.
- * @pre interesting(source) is true (checked; returned unchanged with
- * testsRun == 1 otherwise).
- * @param max_tests safety budget on predicate invocations.
+ * Speculative parallel delta-debugging reducer. Stateless apart from
+ * its options: reduce() may be called repeatedly and from different
+ * threads (each call builds its own memo table and worker pool).
+ */
+class ParallelReducer {
+  public:
+    explicit ParallelReducer(ReduceOptions options = {});
+
+    /**
+     * Shrink @p source while @p interesting holds.
+     * @pre interesting(source) is true (checked; returned unchanged
+     * with testsRun == 1 otherwise).
+     */
+    ReduceResult reduce(const std::string &source,
+                        const Predicate &interesting) const;
+
+  private:
+    ReduceOptions options_;
+};
+
+/**
+ * Serial convenience wrapper: ParallelReducer with one worker.
+ * @param max_tests safety budget on candidate decisions.
  */
 ReduceResult reduceSource(const std::string &source,
                           const Predicate &interesting,

@@ -253,6 +253,7 @@ TEST(Bisect, FindsTheOffendingCommit)
         compiler::spec(CompilerId::Beta);
     bisect::BisectResult result = bisect::bisectRegression(
         CompilerId::Beta, OptLevel::O3, *unit, 0, 0, spec.headIndex());
+    EXPECT_EQ(result.status, bisect::BisectStatus::Found);
     ASSERT_TRUE(result.valid);
     ASSERT_TRUE(result.commit != nullptr);
     EXPECT_EQ(result.commit->hash, "c4b8aa016f3");
@@ -276,6 +277,37 @@ TEST(Bisect, RejectsBadEndpoints)
         CompilerId::Beta, OptLevel::O3, *unit, 0, 0,
         compiler::spec(CompilerId::Beta).headIndex());
     EXPECT_FALSE(result.valid);
+    EXPECT_EQ(result.status, bisect::BisectStatus::AlreadyBadAtGood);
+    EXPECT_EQ(result.commit, nullptr);
+}
+
+TEST(Bisect, DistinguishesEndpointEdgeCases)
+{
+    // Trivially dead marker every build folds away: "bad" endpoint is
+    // not actually bad.
+    auto dead_unit = parseOk(R"(
+        void DCEMarker0(void);
+        int main() {
+            if (0) { DCEMarker0(); }
+            return 0;
+        }
+    )");
+    ASSERT_TRUE(dead_unit);
+    size_t head = compiler::spec(CompilerId::Beta).headIndex();
+    bisect::BisectResult result = bisect::bisectRegression(
+        CompilerId::Beta, OptLevel::O3, *dead_unit, 0, 0, head);
+    EXPECT_FALSE(result.valid);
+    EXPECT_EQ(result.status, bisect::BisectStatus::NotBadAtBad);
+
+    // Degenerate ranges never touch a compiler at all.
+    EXPECT_EQ(bisect::bisectRegression(CompilerId::Beta, OptLevel::O3,
+                                       *dead_unit, 0, head, head)
+                  .status,
+              bisect::BisectStatus::EmptyRange);
+    EXPECT_EQ(bisect::bisectRegression(CompilerId::Beta, OptLevel::O3,
+                                       *dead_unit, 0, head, 0)
+                  .status,
+              bisect::BisectStatus::EmptyRange);
 }
 
 TEST(Triage, ClassifiesAndDeduplicates)
