@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Long-running campaign workflow: a checkpointed campaign over a
+ * persistent corpus store that survives being killed at any point.
+ *
+ *   longrun full <store-dir>            uninterrupted run + summary
+ *   longrun run <store-dir> [chunks]    run, optionally stopping after
+ *                                       N chunk commits (crash drill)
+ *   longrun resume <store-dir>          continue from the checkpoint
+ *
+ * `run` and `resume` print the same deterministic summary once the
+ * campaign completes, so `diff <(longrun full a) <(... kill/resume b)`
+ * is the crash-safety check — CI runs exactly that, with a real
+ * SIGKILL between `run` and `resume`.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "corpus/checkpoint.hpp"
+#include "corpus/store.hpp"
+
+using namespace dce;
+
+namespace {
+
+corpus::CampaignPlan
+demoPlan()
+{
+    corpus::CampaignPlan plan;
+    // Sized so a `sleep 2 && kill -9` in CI reliably lands mid-run
+    // (several seconds of work, a checkpoint every ~10 seeds).
+    plan.count = 600;
+    plan.chunkSize = 5;
+    plan.randomSeeds = true;
+    plan.streamSeed = 7;
+    plan.builds = {
+        {compiler::CompilerId::Alpha, compiler::OptLevel::O3,
+         SIZE_MAX},
+        {compiler::CompilerId::Beta, compiler::OptLevel::O3,
+         SIZE_MAX},
+    };
+    plan.computePrimary = true;
+    plan.collectRemarks = true;
+    plan.missedByBuild = 0;
+    plan.referenceBuild = 1;
+    return plan;
+}
+
+int
+fail(const corpus::StoreError &error)
+{
+    std::fprintf(stderr, "error: %s (%s)\n", error.message.c_str(),
+                 corpus::storeStatusName(error.status));
+    return 1;
+}
+
+int
+report(const corpus::CheckpointedCampaign &result)
+{
+    if (!result.completed) {
+        std::printf("halted after %llu chunks (checkpointed)\n",
+                    (unsigned long long)result.chunksRun);
+        return 0;
+    }
+    std::fputs(corpus::summaryText(result).c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(
+            stderr,
+            "usage: %s full|run|resume <store-dir> [halt-chunks]\n",
+            argv[0]);
+        return 2;
+    }
+    std::string mode = argv[1];
+    std::string dir = argv[2];
+    corpus::StoreError error;
+
+    if (mode == "resume") {
+        auto result = corpus::resumeCampaign(dir, {}, &error);
+        if (!result)
+            return fail(error);
+        return report(*result);
+    }
+
+    if (mode != "full" && mode != "run") {
+        std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+        return 2;
+    }
+    auto store = corpus::CorpusStore::open(dir, &error);
+    if (!store)
+        return fail(error);
+    corpus::CheckpointRunOptions options;
+    options.checkpointEveryChunks = 2;
+    if (mode == "run" && argc > 3)
+        options.haltAfterChunks =
+            std::strtoull(argv[3], nullptr, 10);
+    auto result =
+        corpus::runCheckpointed(*store, demoPlan(), options, &error);
+    if (!result)
+        return fail(error);
+    return report(*result);
+}

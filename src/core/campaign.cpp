@@ -7,6 +7,7 @@
 
 #include "ir/lowering.hpp"
 #include "ir/verifier.hpp"
+#include "lang/printer.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -244,14 +245,6 @@ struct Instruments {
     std::vector<support::Counter *> markersEliminated;
 };
 
-/** Cache/invalid accumulators local to one seed; folded into the
- * shared CampaignProgress after the seed completes. */
-struct LocalCounters {
-    uint64_t invalid = 0;
-    uint64_t cacheHits = 0;
-    uint64_t cacheMisses = 0;
-};
-
 /** Classify why a seed failed ground truth (failure path only — the
  * verifier walk never runs for valid seeds). */
 InvalidReason
@@ -281,7 +274,8 @@ ProgramRecord
 processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
             const CampaignOptions &options,
             support::MetricsRegistry &registry,
-            Instruments &instruments, LocalCounters &counters)
+            Instruments &instruments, SeedCounters &counters,
+            std::string *canonical_text)
 {
     support::TraceSpan seed_span("seed", "campaign");
     seed_span.setArg("seed", seed);
@@ -296,24 +290,40 @@ processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
         return makeProgram(seed, options.generator);
     }();
     record.markerCount = prog.markerCount();
+    if (canonical_text)
+        *canonical_text = lang::printUnit(*prog.unit);
     instruments.stageGenerate.observe(usSince(t0));
+
+    // Per-seed tallies, folded into @p counters and the cache
+    // instruments on every exit path.
+    SeedCounters local;
+    auto finish = [&] {
+        counters.invalid += local.invalid;
+        counters.cacheHits += local.cacheHits;
+        counters.cacheMisses += local.cacheMisses;
+        if (local.cacheHits)
+            instruments.cacheHits.add(local.cacheHits);
+        if (local.cacheMisses)
+            instruments.cacheMisses.add(local.cacheMisses);
+        instruments.seeds.add();
+    };
 
     // The lowering cache: each seed's AST is lowered to O0 IR exactly
     // once (the miss); ground truth, every build's compile (via
     // ir::cloneModule), and the primary analysis all reuse it (hits).
     t0 = Clock::now();
     lowered = ir::lowerToIr(*prog.unit);
-    ++counters.cacheMisses;
+    ++local.cacheMisses;
     GroundTruth truth = groundTruthFor(*lowered, record.markerCount);
-    ++counters.cacheHits;
+    ++local.cacheHits;
     instruments.stageGroundTruth.observe(usSince(t0));
 
     record.valid = truth.valid;
     if (!record.valid) {
-        ++counters.invalid;
+        ++local.invalid;
         record.invalidReason = classifyInvalid(*lowered, truth.status);
         instruments.invalidFor(registry, record.invalidReason).add();
-        instruments.seeds.add();
+        finish();
         return record;
     }
     record.trueAlive = truth.aliveMarkers;
@@ -336,7 +346,7 @@ processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
         std::set<unsigned> alive = aliveMarkers(
             *lowered, builds[b].make(),
             options.collectRemarks ? &remarks : nullptr);
-        ++counters.cacheHits;
+        ++local.cacheHits;
         record.missed[b] = missedMarkers(alive, truth);
         record.alive[b] = std::move(alive);
         instruments.stageCompile.observe(usSince(t0));
@@ -369,14 +379,14 @@ processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
             support::TraceSpan primary_span("primary", "campaign");
             if (!primary_analysis) {
                 primary_analysis.emplace(*lowered);
-                ++counters.cacheHits;
+                ++local.cacheHits;
             }
             record.primary[b] =
                 primary_analysis->primary(record.missed[b]);
             instruments.stagePrimary.observe(usSince(t0));
         }
     }
-    instruments.seeds.add();
+    finish();
     return record;
 }
 
@@ -402,6 +412,43 @@ resolveChunkSize(unsigned requested, unsigned count, unsigned threads)
 
 } // namespace
 
+//===------------------------------------------------------------------===//
+// SeedProcessor
+//===------------------------------------------------------------------===//
+
+struct SeedProcessor::Impl {
+    Impl(const std::vector<BuildSpec> &builds,
+         const CampaignOptions &options,
+         support::MetricsRegistry &registry)
+        : builds(builds), options(options), registry(registry),
+          instruments(registry, builds)
+    {
+    }
+
+    const std::vector<BuildSpec> &builds;
+    const CampaignOptions &options;
+    support::MetricsRegistry &registry;
+    Instruments instruments;
+};
+
+SeedProcessor::SeedProcessor(const std::vector<BuildSpec> &builds,
+                             const CampaignOptions &options,
+                             support::MetricsRegistry &registry)
+    : impl_(std::make_unique<Impl>(builds, options, registry))
+{
+}
+
+SeedProcessor::~SeedProcessor() = default;
+
+ProgramRecord
+SeedProcessor::process(uint64_t seed, SeedCounters &counters,
+                       std::string *canonical_text) const
+{
+    return processSeed(seed, impl_->builds, impl_->options,
+                       impl_->registry, impl_->instruments, counters,
+                       canonical_text);
+}
+
 CampaignRunner::CampaignRunner(std::vector<BuildSpec> builds,
                                CampaignOptions options)
     : builds_(std::move(builds)), options_(std::move(options))
@@ -422,7 +469,7 @@ CampaignRunner::run(uint64_t first_seed, unsigned count) const
     support::MetricsRegistry &registry =
         options_.metrics ? *options_.metrics
                          : support::MetricsRegistry::global();
-    Instruments instruments(registry, builds_);
+    SeedProcessor processor(builds_, options_, registry);
 
     unsigned threads = resolveThreads(options_.threads);
     unsigned chunk = resolveChunkSize(options_.chunkSize, count,
@@ -437,19 +484,15 @@ CampaignRunner::run(uint64_t first_seed, unsigned count) const
     Clock::time_point wall_start = Clock::now();
     support::ThreadPool pool(threads);
     // Folds one seed's counters into the shared progress (caller holds
-    // no lock; this takes it).
-    auto fold = [&](LocalCounters &counters) {
+    // no lock; this takes it). The metric instruments were already
+    // updated inside SeedProcessor::process.
+    auto fold = [&](SeedCounters &counters) {
         std::lock_guard<std::mutex> lock(progress_mutex);
         ++progress.seedsDone;
         progress.invalidPrograms += counters.invalid;
         progress.cacheHits += counters.cacheHits;
         progress.cacheMisses += counters.cacheMisses;
-        if (counters.cacheHits) {
-            instruments.cacheHits.add(counters.cacheHits);
-        }
-        if (counters.cacheMisses)
-            instruments.cacheMisses.add(counters.cacheMisses);
-        counters = LocalCounters{};
+        counters = SeedCounters{};
         if (options_.observer)
             options_.observer(progress);
     };
@@ -457,11 +500,10 @@ CampaignRunner::run(uint64_t first_seed, unsigned count) const
     pool.forChunks(count, chunk, [&](size_t begin, size_t end) {
         support::TraceSpan chunk_span("chunk", "campaign");
         chunk_span.setArg("seeds", end - begin);
-        LocalCounters counters;
+        SeedCounters counters;
         for (size_t i = begin; i < end; ++i) {
             campaign.programs[i] =
-                processSeed(first_seed + i, builds_, options_,
-                            registry, instruments, counters);
+                processor.process(first_seed + i, counters);
             fold(counters);
         }
     });

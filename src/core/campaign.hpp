@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -233,6 +234,54 @@ struct Campaign {
 /** Regenerate + instrument the program for @p seed (deterministic). */
 instrument::Instrumented makeProgram(
     uint64_t seed, const gen::GenConfig &config = {});
+
+/** Per-seed cache/validity tallies returned by SeedProcessor::process
+ * so callers can maintain progress snapshots; the campaign.* metric
+ * instruments are updated internally. */
+struct SeedCounters {
+    uint64_t invalid = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+};
+
+/**
+ * The per-seed pipeline behind CampaignRunner, exposed so other
+ * schedulers — the corpus layer's checkpointing runner in particular —
+ * can drive it with their own chunking and metrics scoping. Resolves
+ * its campaign.* instruments once against @p registry at construction,
+ * so process() stays lock-free on the metrics path; a processor bound
+ * to a chunk-local registry confines a chunk's metrics until the chunk
+ * commits.
+ *
+ * process() is pure in (seed, builds, options) and thread-safe: one
+ * processor may serve every worker, or each worker may build its own —
+ * the records are identical either way. @p builds, @p options, and
+ * @p registry must outlive the processor.
+ */
+class SeedProcessor {
+  public:
+    SeedProcessor(const std::vector<BuildSpec> &builds,
+                  const CampaignOptions &options,
+                  support::MetricsRegistry &registry);
+    ~SeedProcessor();
+
+    SeedProcessor(const SeedProcessor &) = delete;
+    SeedProcessor &operator=(const SeedProcessor &) = delete;
+
+    /**
+     * Run the full pipeline for @p seed. Folds the seed's cache /
+     * invalid tallies into @p counters (adds, never resets). When
+     * @p canonical_text is non-null it receives the instrumented
+     * program's canonical source text (lang::printUnit) — the corpus
+     * store's content-address input.
+     */
+    ProgramRecord process(uint64_t seed, SeedCounters &counters,
+                          std::string *canonical_text = nullptr) const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /**
  * The campaign execution engine. Configure once with the build list

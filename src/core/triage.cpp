@@ -7,6 +7,7 @@
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
 #include "reduce/reducer.hpp"
+#include "support/hash.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -27,6 +28,19 @@ killerHistogram(const Campaign &campaign, BuildId build)
         }
     }
     return histogram;
+}
+
+std::string
+VerdictKey::fingerprint() const
+{
+    std::string out = "prog:" + programHash + "|markers:";
+    for (size_t i = 0; i < markers.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += std::to_string(markers[i]);
+    }
+    out += "|by:" + missedBy + "|ref:" + reference;
+    return out;
 }
 
 //===------------------------------------------------------------------===//
@@ -181,19 +195,71 @@ triageFindings(const std::vector<Finding> &findings,
         options.metrics ? options.metrics
                         : &support::MetricsRegistry::global();
 
-    // Stage 1 — reduce + signature every finding, concurrently. Each
-    // finding is pure in (finding, options), writes its own slot, and
-    // the per-finding reduction itself is deterministic regardless of
-    // reduceWorkers, so the stage commutes with any schedule.
+    // Stage 0 — when a verdict cache is attached, key every finding
+    // (canonical program text hash + marker set + build pair) and
+    // group same-key findings: only each group's leader reduces, the
+    // followers replay its verdict. Serial, so leader choice — and
+    // with it the whole summary — never depends on scheduling.
+    std::vector<std::string> sources(findings.size());
+    std::vector<VerdictKey> keys(
+        options.verdictCache ? findings.size() : 0);
+    std::vector<size_t> leaderOf(findings.size());
+    for (size_t i = 0; i < findings.size(); ++i)
+        leaderOf[i] = i;
+    if (options.verdictCache) {
+        std::map<std::string, size_t> first_with_key;
+        for (size_t i = 0; i < findings.size(); ++i) {
+            const Finding &finding = findings[i];
+            instrument::Instrumented prog =
+                makeProgram(finding.seed, options.generator);
+            sources[i] = lang::printUnit(*prog.unit);
+            keys[i].programHash = support::fnv1a64Hex(sources[i]);
+            keys[i].markers = {finding.marker};
+            keys[i].missedBy = finding.missedBy.name();
+            keys[i].reference = finding.reference.name();
+            auto [it, fresh] = first_with_key.emplace(
+                keys[i].fingerprint(), i);
+            if (!fresh) {
+                leaderOf[i] = it->second;
+                registry->counter("reduce.findings_deduped").add();
+            }
+        }
+    }
+
+    // Stage 1 — reduce + signature every leader finding, concurrently.
+    // Each finding is pure in (finding, options), writes its own slot,
+    // and the per-finding reduction itself is deterministic regardless
+    // of reduceWorkers, so the stage commutes with any schedule.
     std::vector<ReducedFinding> slots(findings.size());
     support::ThreadPool pool(resolveThreads(options.threads));
     pool.forChunks(
         findings.size(), 1, [&](size_t begin, size_t end) {
             for (size_t i = begin; i < end; ++i) {
+                if (leaderOf[i] != i)
+                    continue; // follower: replayed after the barrier
                 const Finding &finding = findings[i];
-                instrument::Instrumented prog =
-                    makeProgram(finding.seed, options.generator);
-                std::string source = lang::printUnit(*prog.unit);
+                if (options.verdictCache) {
+                    if (std::optional<CachedVerdict> cached =
+                            options.verdictCache->lookup(keys[i])) {
+                        slots[i].reduction.source =
+                            cached->reducedSource;
+                        slots[i].reduction.testsRun =
+                            cached->reductionTests;
+                        slots[i].signature = cached->signature;
+                        slots[i].fixed = cached->fixed;
+                        registry
+                            ->counter("reduce.verdict_cache_hits")
+                            .add();
+                        continue;
+                    }
+                }
+                std::string source =
+                    options.verdictCache
+                        ? sources[i]
+                        : lang::printUnit(*makeProgram(
+                                               finding.seed,
+                                               options.generator)
+                                               .unit);
 
                 InterestingnessTest interesting(
                     finding.marker, finding.missedBy,
@@ -213,8 +279,21 @@ triageFindings(const std::vector<Finding> &findings,
                 span.setArg("seed", finding.seed);
                 slots[i].signature = signatureOf(
                     slots[i].reduction.source, finding, slots[i].fixed);
+                if (options.verdictCache) {
+                    options.verdictCache->store(
+                        keys[i],
+                        {slots[i].reduction.source, slots[i].signature,
+                         slots[i].fixed, slots[i].reduction.testsRun});
+                }
             }
         });
+
+    // Replay leader verdicts into follower slots (testsRun included,
+    // so warm and cold summaries are byte-identical).
+    for (size_t i = 0; i < findings.size(); ++i) {
+        if (leaderOf[i] != i)
+            slots[i] = slots[leaderOf[i]];
+    }
 
     // Stage 2 — classify and deduplicate, serially in findings order
     // (deduplication is the one cross-finding dependency).
@@ -258,6 +337,22 @@ triageFindings(const std::vector<Finding> &findings,
     return summary;
 }
 
+std::optional<Finding>
+findingForRecord(const ProgramRecord &record, BuildId by, BuildId ref,
+                 const BuildSpec &missed_by, const BuildSpec &reference)
+{
+    // Needs the primary sets, so skip campaigns (or invalid records)
+    // that never computed them.
+    if (!record.valid || record.primary.empty())
+        return std::nullopt;
+    for (unsigned marker : setMinus(record.primaryFor(by),
+                                    record.missedFor(ref))) {
+        // At most one report per program (like the paper).
+        return Finding{record.seed, marker, missed_by, reference};
+    }
+    return std::nullopt;
+}
+
 std::vector<Finding>
 collectFindings(const Campaign &campaign, const BuildSpec &missed_by,
                 const BuildSpec &reference, unsigned max_findings,
@@ -270,18 +365,11 @@ collectFindings(const Campaign &campaign, const BuildSpec &missed_by,
     if (!by_id || !ref_id)
         return findings;
     for (const ProgramRecord &record : campaign.programs) {
-        // Needs the primary sets, so skip campaigns (or invalid
-        // records) that never computed them.
-        if (!record.valid || record.primary.empty())
-            continue;
-        for (unsigned marker : setMinus(record.primaryFor(*by_id),
-                                        record.missedFor(*ref_id))) {
-            if (findings.size() >= max_findings)
-                return findings;
-            findings.push_back(
-                {record.seed, marker, missed_by, reference});
-            break; // at most one report per program (like the paper)
-        }
+        if (findings.size() >= max_findings)
+            break;
+        if (std::optional<Finding> finding = findingForRecord(
+                record, *by_id, *ref_id, missed_by, reference))
+            findings.push_back(*finding);
     }
     return findings;
 }

@@ -122,6 +122,54 @@ class InterestingnessTest {
     support::Counter *compiles_;
 };
 
+/**
+ * Identity of a finding's root cause for pre-reduction deduplication:
+ * the content hash of the canonical program text, the finding's marker
+ * set, and the differential build pair. Two findings with equal keys
+ * reduce to the same root cause by construction (same program, same
+ * markers, same builds), so one verdict serves both — this is what
+ * lets a long-running service never re-reduce a duplicate, within a
+ * batch and across campaign runs alike (DESIGN.md §11).
+ */
+struct VerdictKey {
+    /** support::fnv1a64Hex of the canonical (printed) program text. */
+    std::string programHash;
+    /** Sorted markers the finding covers (a singleton for
+     * collectFindings output). */
+    std::vector<unsigned> markers;
+    std::string missedBy;  ///< BuildSpec::name() of the missing build
+    std::string reference; ///< BuildSpec::name() of the eliminating one
+
+    /** Stable textual form — the store's signature-index key. */
+    std::string fingerprint() const;
+};
+
+/** A cached triage verdict: everything reduction + signaturing would
+ * recompute for a finding with a known key. */
+struct CachedVerdict {
+    std::string reducedSource;
+    std::string signature;
+    bool fixed = false;
+    /** testsRun of the original reduction; replayed into the report so
+     * warm-cache summaries are byte-identical to cold ones. */
+    unsigned reductionTests = 0;
+};
+
+/**
+ * Verdict lookup/store interface consulted by triageFindings before
+ * reducing each finding. Implementations must be thread-safe (stage 1
+ * fans out over workers); corpus::CorpusStore provides the persistent
+ * one, corpus::MemoryVerdictCache an in-process one.
+ */
+class VerdictCache {
+  public:
+    virtual ~VerdictCache() = default;
+    virtual std::optional<CachedVerdict>
+    lookup(const VerdictKey &key) = 0;
+    virtual void store(const VerdictKey &key,
+                       const CachedVerdict &verdict) = 0;
+};
+
 /** A triaged (reduced + classified) report. */
 struct Report {
     Finding finding;
@@ -169,6 +217,17 @@ std::vector<Finding> collectFindings(const Campaign &campaign,
                                      unsigned max_findings,
                                      const gen::GenConfig &config = {});
 
+/**
+ * The finding collectFindings would extract from one record (at most
+ * one per program, like the paper), or nullopt. Exposed so the corpus
+ * layer's checkpointing runner can extract findings chunk-by-chunk
+ * with identical semantics.
+ */
+std::optional<Finding> findingForRecord(const ProgramRecord &record,
+                                        BuildId by, BuildId ref,
+                                        const BuildSpec &missed_by,
+                                        const BuildSpec &reference);
+
 /** Knobs for the reduce/triage pipeline. */
 struct TriageOptions {
     gen::GenConfig generator;
@@ -188,6 +247,16 @@ struct TriageOptions {
     unsigned maxTests = 800;
     /** Registry receiving the reduce.* metrics; null = the global. */
     support::MetricsRegistry *metrics = nullptr;
+    /**
+     * Optional verdict cache. When set, findings are keyed by
+     * VerdictKey before stage 1: cache hits (and same-key duplicates
+     * within the batch) skip reduction entirely and replay the cached
+     * verdict — `reduce.tests` drops, the summary does not change, and
+     * no finding disappears from it. Hits land in
+     * `reduce.verdict_cache_hits`, within-batch reuse in
+     * `reduce.findings_deduped`.
+     */
+    VerdictCache *verdictCache = nullptr;
 };
 
 /**

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Crash-safe campaign checkpoint/resume on top of CorpusStore
+ * (DESIGN.md §11). A CampaignPlan pins everything that determines the
+ * campaign's output — seed derivation, builds, generator config,
+ * chunk granule — and runCheckpointed executes it chunk by chunk,
+ * committing each finished chunk's records to the store and
+ * periodically writing a checkpoint naming the completed chunks, the
+ * RNG stream state at the contiguous watermark, the deterministic
+ * campaign counters, and the findings so far.
+ *
+ * The recovery contract: kill the process at any point, call
+ * resumeCampaign on the same store, and the finished campaign —
+ * records, findings list, killer-pass histograms, deterministic
+ * metrics summary — is byte-identical to an uninterrupted run at any
+ * thread count. That holds because (a) chunks are pure functions of
+ * the plan, (b) a chunk's metrics are confined to a chunk-local
+ * registry until its commit, so checkpointed counters reflect exactly
+ * the committed chunks, and (c) the store flushes before each
+ * checkpoint, so a checkpoint never names undurable state. Chunks
+ * committed after the last checkpoint are simply re-run on resume.
+ */
+#pragma once
+
+#include <climits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/triage.hpp"
+#include "corpus/json.hpp"
+#include "corpus/store.hpp"
+
+namespace dce::corpus {
+
+/**
+ * Everything that determines a checkpointable campaign's output.
+ * Serialized into every checkpoint; resuming against a store whose
+ * checkpoint pins a different plan is a PlanMismatch error.
+ */
+struct CampaignPlan {
+    /** Seed derivation: sequential [firstSeed, firstSeed + count), or
+     * — when randomSeeds — count draws from an Rng(streamSeed)
+     * stream, which exercises the checkpointed RNG state. */
+    uint64_t firstSeed = 0;
+    uint64_t count = 0;
+    bool randomSeeds = false;
+    uint64_t streamSeed = 0;
+    /** Scheduling granule in seeds. Part of the plan (not a tuning
+     * knob): chunk identity is the unit of commitment and resume. */
+    unsigned chunkSize = 16;
+
+    std::vector<core::BuildSpec> builds;
+    bool computePrimary = true;
+    bool collectRemarks = false;
+    gen::GenConfig generator;
+
+    /** Finding extraction pair (indices into builds); SIZE_MAX
+     * disables extraction. */
+    size_t missedByBuild = SIZE_MAX;
+    size_t referenceBuild = SIZE_MAX;
+    unsigned maxFindings = UINT_MAX;
+};
+
+/** Canonical JSON form of @p plan (checkpoint field / equality). */
+std::string serializePlan(const CampaignPlan &plan);
+std::optional<CampaignPlan> readPlan(const JsonValue &value);
+
+struct CheckpointRunOptions {
+    /** Worker threads; 1 = serial, 0 = one per hardware thread.
+     * Never affects the result. */
+    unsigned threads = 1;
+    /** Checkpoint cadence in committed chunks. */
+    unsigned checkpointEveryChunks = 4;
+    /**
+     * Test hook simulating a crash: stop claiming chunks after this
+     * many commits this run (0 = run to completion). The returned
+     * result has completed = false; a subsequent run picks up from
+     * the last checkpoint exactly as a killed process would.
+     */
+    uint64_t haltAfterChunks = 0;
+    /** Registry for campaign.* / corpus.* metrics; null = a fresh
+     * internal registry (resume restores checkpointed counters into
+     * it, so passing the global would double-count). */
+    support::MetricsRegistry *metrics = nullptr;
+    core::CampaignObserver observer;
+};
+
+/** A finding plus where it came from (checkpoint bookkeeping). */
+struct StoredFinding {
+    uint64_t chunk = 0;
+    uint64_t slot = 0;
+    core::Finding finding;
+};
+
+struct CheckpointedCampaign {
+    core::Campaign campaign;
+    std::vector<core::Finding> findings;
+    bool resumed = false;   ///< started from an existing checkpoint
+    bool completed = false; ///< false after a haltAfterChunks stop
+    uint64_t chunksLoaded = 0; ///< restored from the store
+    uint64_t chunksRun = 0;    ///< executed this run
+    /** The registry the run recorded into: the caller's, or the
+     * internally-created one when options.metrics was null. */
+    support::MetricsRegistry *metrics = nullptr;
+    std::shared_ptr<support::MetricsRegistry> ownedMetrics;
+};
+
+/**
+ * Run (or continue) @p plan against @p store. Picks up from the
+ * store's checkpoint when one exists — PlanMismatch if it pins a
+ * different plan. nullopt + classified @p error on store failure.
+ */
+std::optional<CheckpointedCampaign>
+runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
+                const CheckpointRunOptions &options = {},
+                StoreError *error = nullptr);
+
+/**
+ * Continue the campaign checkpointed in the store at @p store_path to
+ * completion. The plan comes from the checkpoint itself; a store
+ * without one (fresh, missing) is a classified NoCheckpoint /
+ * NotFound error, never a silent empty campaign.
+ */
+std::optional<CheckpointedCampaign>
+resumeCampaign(const std::string &store_path,
+               const CheckpointRunOptions &options = {},
+               StoreError *error = nullptr);
+
+/**
+ * Deterministic summary of a finished campaign: build names, corpus
+ * totals, findings, per-build killer histograms, and the campaign.*
+ * counters — everything the resume bit-identity contract covers, and
+ * nothing timing-dependent. Byte-equal across kill/resume schedules
+ * and thread counts; the CI kill-and-resume step diffs exactly this.
+ */
+std::string summaryText(const CheckpointedCampaign &result);
+
+} // namespace dce::corpus

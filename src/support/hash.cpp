@@ -1,0 +1,67 @@
+#include "support/hash.hpp"
+
+#include <array>
+
+namespace dce::support {
+
+uint64_t
+fnv1a64(std::string_view data)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char byte : data) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+namespace {
+
+std::string
+toHex(uint64_t value, unsigned digits)
+{
+    static const char *kDigits = "0123456789abcdef";
+    std::string out(digits, '0');
+    for (unsigned i = 0; i < digits; ++i)
+        out[digits - 1 - i] = kDigits[(value >> (4 * i)) & 0xf];
+    return out;
+}
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+} // namespace
+
+std::string
+fnv1a64Hex(std::string_view data)
+{
+    return toHex(fnv1a64(data), 16);
+}
+
+uint32_t
+crc32(std::string_view data)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    uint32_t crc = 0xffffffffu;
+    for (unsigned char byte : data)
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xff];
+    return crc ^ 0xffffffffu;
+}
+
+std::string
+crc32Hex(std::string_view data)
+{
+    return toHex(crc32(data), 8);
+}
+
+} // namespace dce::support

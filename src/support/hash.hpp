@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Stable, portable hashes for the persistent corpus layer: FNV-1a for
+ * content addressing (64-bit, hex-keyed program texts) and CRC-32
+ * (IEEE, reflected) for per-record corruption checksums. Both are
+ * deterministic across platforms and process runs — unlike std::hash —
+ * which is what makes them usable as on-disk keys.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dce::support {
+
+/** 64-bit FNV-1a of @p data. Stable across runs and platforms. */
+uint64_t fnv1a64(std::string_view data);
+
+/** fnv1a64 rendered as 16 lowercase hex digits — the store's
+ * content-address key format. */
+std::string fnv1a64Hex(std::string_view data);
+
+/** CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) of @p data. */
+uint32_t crc32(std::string_view data);
+
+/** crc32 rendered as 8 lowercase hex digits. */
+std::string crc32Hex(std::string_view data);
+
+} // namespace dce::support

@@ -13,6 +13,17 @@ Histogram::reset()
         bucket.store(0, std::memory_order_relaxed);
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+    for (size_t i = 0; i < kBuckets; ++i) {
+        buckets_[i].fetch_add(other.bucket(i),
+                              std::memory_order_relaxed);
+    }
+}
+
 MetricsRegistry &
 MetricsRegistry::global()
 {
@@ -150,6 +161,32 @@ MetricsRegistry::dumpJson() const
     }
     out += "}}";
     return out;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    // Snapshot under other's lock, apply after releasing it, so the
+    // two registry mutexes are never held together (counter() and
+    // histogram() take this->mutex_ per key).
+    std::vector<std::pair<std::string, uint64_t>> counter_deltas;
+    std::vector<std::pair<std::string, const Histogram *>> histo_srcs;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        for (const auto &[key, counter] : other.counters_)
+            counter_deltas.emplace_back(key, counter->value());
+        for (const auto &[key, histogram] : other.histograms_)
+            histo_srcs.emplace_back(key, histogram.get());
+    }
+    // keyFor(key, "") == key, so get-or-create by full key string
+    // lands on exactly the instrument the original (name, label)
+    // pair would.
+    for (const auto &[key, delta] : counter_deltas) {
+        if (delta)
+            counter(key).add(delta);
+    }
+    for (const auto &[key, source] : histo_srcs)
+        histogram(key).merge(*source);
 }
 
 void

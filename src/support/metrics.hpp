@@ -87,6 +87,10 @@ public:
 
     void reset();
 
+    /** Fold @p other's samples into this histogram (exact: counts,
+     * sums, and buckets all add). @p other should be quiescent. */
+    void merge(const Histogram &other);
+
     static size_t bucketOf(uint64_t value)
     {
         size_t width = 0;
@@ -142,6 +146,16 @@ public:
 
     /** Zero every instrument (references stay valid). */
     void reset();
+
+    /**
+     * Fold every instrument of @p other into this registry, creating
+     * missing ones. Used to commit a chunk-local registry into the
+     * campaign registry at a checkpoint boundary, so counters only
+     * ever reflect fully committed work. @p other must be quiescent
+     * and must outlive the call; concurrent merges in opposite
+     * directions are not supported.
+     */
+    void merge(const MetricsRegistry &other);
 
     /** The registry key for (name, label): name or "name{label}". */
     static std::string keyFor(std::string_view name,

@@ -54,6 +54,15 @@ class Rng {
     /** Derive an independent child generator (for parallel corpora). */
     Rng split();
 
+    /**
+     * Opaque stream state for persistence (campaign checkpoints).
+     * restore() resumes the stream exactly: after `b.restore(a.state())`
+     * both generators replay the identical value sequence for every
+     * mix of next/below/range/chance/pickWeighted calls.
+     */
+    uint64_t state() const { return state_; }
+    void restore(uint64_t state) { state_ = state; }
+
   private:
     uint64_t state_;
 };

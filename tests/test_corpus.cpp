@@ -1,0 +1,740 @@
+/** @file Tests for the persistent corpus store: JSON/serialization
+ * round trips, crash-tail recovery and corruption classification,
+ * writer locking, checkpoint/resume bit-identity, and verdict-cache
+ * deduplication. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/campaign.hpp"
+#include "core/triage.hpp"
+#include "corpus/checkpoint.hpp"
+#include "corpus/json.hpp"
+#include "corpus/serialize.hpp"
+#include "corpus/store.hpp"
+#include "support/metrics.hpp"
+
+namespace fs = std::filesystem;
+
+namespace dce::corpus {
+namespace {
+
+using compiler::CompilerId;
+using compiler::OptLevel;
+using core::BuildSpec;
+
+BuildSpec
+alphaO3()
+{
+    return {CompilerId::Alpha, OptLevel::O3, SIZE_MAX};
+}
+
+BuildSpec
+betaO3()
+{
+    return {CompilerId::Beta, OptLevel::O3, SIZE_MAX};
+}
+
+/** Fresh scratch directory, removed on destruction. */
+class TempDir {
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        static int counter = 0;
+        path_ = (fs::temp_directory_path() /
+                 ("dce_corpus_" + tag + "_" +
+                  std::to_string(::getpid()) + "_" +
+                  std::to_string(counter++)))
+                    .string();
+        fs::remove_all(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+//===------------------------------------------------------------------===//
+// JSON
+//===------------------------------------------------------------------===//
+
+TEST(Json, RoundTripsWriterOutput)
+{
+    JsonWriter writer;
+    writer.beginObject();
+    writer.field("name", "line1\nline\"2\"\\end\x01");
+    writer.field("count", uint64_t(18446744073709551615ull));
+    writer.field("neg", int64_t(-42));
+    writer.field("flag", true);
+    writer.key("items");
+    writer.beginArray();
+    writer.value(uint64_t(1));
+    writer.beginObject();
+    writer.field("inner", "x");
+    writer.endObject();
+    writer.null();
+    writer.endArray();
+    writer.endObject();
+
+    std::string error;
+    std::optional<JsonValue> doc =
+        JsonValue::parse(writer.str(), &error);
+    ASSERT_TRUE(doc) << error;
+    EXPECT_EQ(doc->getString("name"), "line1\nline\"2\"\\end\x01");
+    EXPECT_EQ(doc->getU64("count"), 18446744073709551615ull);
+    EXPECT_EQ(doc->get("neg")->asI64(), -42);
+    EXPECT_TRUE(doc->getBool("flag"));
+    const JsonValue *items = doc->get("items");
+    ASSERT_TRUE(items && items->isArray());
+    ASSERT_EQ(items->items.size(), 3u);
+    EXPECT_EQ(items->items[0].asU64(), 1u);
+    EXPECT_EQ(items->items[1].getString("inner"), "x");
+    EXPECT_EQ(items->items[2].kind, JsonValue::Kind::Null);
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "12x", "\"open",
+          "{\"a\":1}trailing", "[01e]"}) {
+        EXPECT_FALSE(JsonValue::parse(bad)) << bad;
+    }
+}
+
+TEST(Json, SealedLinesDetectEveryBitFlip)
+{
+    JsonWriter writer;
+    writer.beginObject();
+    writer.field("t", "record");
+    writer.field("seed", uint64_t(12345));
+    writer.endObject();
+    std::string sealed = sealJsonLine(writer.take());
+    ASSERT_TRUE(unsealJsonLine(sealed));
+
+    for (size_t i = 0; i < sealed.size(); ++i) {
+        std::string damaged = sealed;
+        damaged[i] = char(damaged[i] ^ 0x20);
+        EXPECT_FALSE(unsealJsonLine(damaged)) << "byte " << i;
+    }
+    EXPECT_FALSE(
+        unsealJsonLine(sealed.substr(0, sealed.size() - 3)));
+}
+
+//===------------------------------------------------------------------===//
+// Serialization
+//===------------------------------------------------------------------===//
+
+TEST(Serialize, ProgramRecordsRoundTripExactly)
+{
+    core::CampaignOptions options;
+    options.computePrimary = true;
+    options.collectRemarks = true;
+    core::Campaign campaign =
+        core::runCampaign(50, 8, {alphaO3(), betaO3()}, options);
+    ASSERT_EQ(campaign.programs.size(), 8u);
+    for (const core::ProgramRecord &record : campaign.programs) {
+        std::string json = serializeRecord(record);
+        std::optional<core::ProgramRecord> back =
+            deserializeRecord(json);
+        ASSERT_TRUE(back) << json;
+        EXPECT_TRUE(*back == record) << "seed " << record.seed;
+    }
+    EXPECT_FALSE(deserializeRecord("{\"v\":99}"));
+    EXPECT_FALSE(deserializeRecord("not json"));
+}
+
+TEST(Serialize, BuildSpecsAndPlansRoundTrip)
+{
+    CampaignPlan plan;
+    plan.firstSeed = 77;
+    plan.count = 21;
+    plan.randomSeeds = true;
+    plan.streamSeed = 0xdeadbeef;
+    plan.chunkSize = 5;
+    plan.builds = {alphaO3(),
+                   {CompilerId::Alpha, OptLevel::O3, 2},
+                   {CompilerId::Beta, OptLevel::Os, 0}};
+    plan.collectRemarks = true;
+    plan.generator.numGlobals = 7;
+    plan.generator.unlikelyBranchBias = 80;
+    plan.missedByBuild = 0;
+    plan.referenceBuild = 2;
+    plan.maxFindings = 9;
+
+    std::string json = serializePlan(plan);
+    std::optional<JsonValue> doc = JsonValue::parse(json);
+    ASSERT_TRUE(doc);
+    std::optional<CampaignPlan> back = readPlan(*doc);
+    ASSERT_TRUE(back);
+    EXPECT_EQ(serializePlan(*back), json);
+    ASSERT_EQ(back->builds.size(), 3u);
+    EXPECT_TRUE(back->builds[1] == plan.builds[1]);
+    EXPECT_EQ(back->builds[2].commit, 0u);
+    EXPECT_EQ(back->generator.numGlobals, 7u);
+}
+
+TEST(Serialize, VerdictsRoundTrip)
+{
+    core::CachedVerdict verdict;
+    verdict.reducedSource = "int main() { return 0; }\n";
+    verdict.signature = "fix@a3f9c21";
+    verdict.fixed = true;
+    verdict.reductionTests = 412;
+    std::optional<core::CachedVerdict> back =
+        deserializeVerdict(serializeVerdict(verdict));
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->reducedSource, verdict.reducedSource);
+    EXPECT_EQ(back->signature, verdict.signature);
+    EXPECT_EQ(back->fixed, verdict.fixed);
+    EXPECT_EQ(back->reductionTests, verdict.reductionTests);
+}
+
+//===------------------------------------------------------------------===//
+// Store basics
+//===------------------------------------------------------------------===//
+
+TEST(Corpus, StoreRoundTripsAcrossReopen)
+{
+    TempDir dir("roundtrip");
+    support::MetricsRegistry registry;
+    OpenOptions options;
+    options.metrics = &registry;
+
+    core::CampaignOptions campaign_options;
+    campaign_options.computePrimary = true;
+    core::Campaign campaign = core::runCampaign(
+        10, 4, {alphaO3(), betaO3()}, campaign_options);
+
+    std::string text = canonicalProgramText(10, {});
+    std::string hash = programHash(text);
+    core::CachedVerdict verdict;
+    verdict.reducedSource = "int x;\n";
+    verdict.signature = "sig-1";
+    verdict.reductionTests = 5;
+
+    {
+        StoreError error;
+        auto store = CorpusStore::open(dir.str(), &error, options);
+        ASSERT_TRUE(store) << error.message;
+        EXPECT_TRUE(store->putProgram(hash, text));
+        for (size_t i = 0; i < campaign.programs.size(); ++i)
+            store->putRecord(campaign.programs[i], i, i / 2, hash);
+        store->putVerdict("fp-1", verdict);
+        EXPECT_TRUE(store->flush());
+    }
+
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error, options);
+    ASSERT_TRUE(store) << error.message;
+    EXPECT_TRUE(store->hasProgram(hash));
+    EXPECT_EQ(store->getProgram(hash).value_or(""), text);
+    std::vector<StoredRecord> records = store->loadRecords(&error);
+    ASSERT_EQ(records.size(), campaign.programs.size())
+        << error.message;
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].slot, i);
+        EXPECT_EQ(records[i].chunk, i / 2);
+        EXPECT_EQ(records[i].programHash, hash);
+        EXPECT_TRUE(records[i].record == campaign.programs[i]);
+    }
+    std::optional<core::CachedVerdict> got =
+        store->getVerdict("fp-1");
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->signature, "sig-1");
+    EXPECT_FALSE(store->getVerdict("fp-missing", &error));
+    EXPECT_EQ(error.status, StoreStatus::NotFound);
+
+    StoreStats stats = store->stats();
+    EXPECT_EQ(stats.programs, 1u);
+    EXPECT_EQ(stats.records, campaign.programs.size());
+    EXPECT_EQ(stats.verdicts, 1u);
+    EXPECT_EQ(stats.recoveredLines, 0u);
+}
+
+TEST(Corpus, DuplicateProgramsCountAsDedupHits)
+{
+    TempDir dir("dedup");
+    support::MetricsRegistry registry;
+    OpenOptions options;
+    options.metrics = &registry;
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error, options);
+    ASSERT_TRUE(store) << error.message;
+
+    EXPECT_TRUE(store->putProgram("h1", "int x;\n"));
+    EXPECT_FALSE(store->putProgram("h1", "int x;\n"));
+    EXPECT_FALSE(store->putProgram("h1", "int x;\n"));
+    EXPECT_TRUE(store->putProgram("h2", "int y;\n"));
+    EXPECT_EQ(registry.counterValue("corpus.dedup_hits"), 2u);
+    EXPECT_EQ(store->stats().programs, 2u);
+}
+
+//===------------------------------------------------------------------===//
+// Robustness: crash tails, corruption, locking, fresh stores
+//===------------------------------------------------------------------===//
+
+/** Populate a store with @p programs entries; returns its dir. */
+void
+populate(const std::string &dir, unsigned programs)
+{
+    StoreError error;
+    auto store = CorpusStore::open(dir, &error);
+    ASSERT_TRUE(store) << error.message;
+    for (unsigned i = 0; i < programs; ++i) {
+        std::string text =
+            "int g" + std::to_string(i) + ";\n// payload body\n";
+        store->putProgram("hash" + std::to_string(i), text);
+    }
+    ASSERT_TRUE(store->flush());
+}
+
+TEST(Corpus, TruncatedPayloadTailIsRecovered)
+{
+    TempDir dir("trunctail");
+    populate(dir.str(), 3);
+
+    // Chop the final payload bytes — the crash happened mid-append.
+    std::string payload_path = dir.str() + "/payload.0.dat";
+    uint64_t size = fs::file_size(payload_path);
+    fs::resize_file(payload_path, size - 5);
+
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    StoreStats stats = store->stats();
+    EXPECT_EQ(stats.recoveredLines, 1u);
+    EXPECT_EQ(stats.programs, 2u);
+    EXPECT_TRUE(store->hasProgram("hash0"));
+    EXPECT_TRUE(store->hasProgram("hash1"));
+    EXPECT_FALSE(store->hasProgram("hash2"));
+    // The store stays writable after recovery.
+    EXPECT_TRUE(store->putProgram("hash3", "int z;\n"));
+    EXPECT_TRUE(store->flush());
+}
+
+TEST(Corpus, UnterminatedIndexLineIsRecovered)
+{
+    TempDir dir("truncline");
+    populate(dir.str(), 2);
+
+    std::string index_path = dir.str() + "/index.0.jsonl";
+    std::string index = readFile(index_path);
+    // Re-truncate mid final line: no trailing newline, torn JSON.
+    writeFile(index_path, index.substr(0, index.size() - 7));
+
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    EXPECT_EQ(store->stats().recoveredLines, 1u);
+    EXPECT_TRUE(store->hasProgram("hash0"));
+    EXPECT_FALSE(store->hasProgram("hash1"));
+
+    // New appends land after the truncation point, and a reopen sees
+    // a clean index again.
+    EXPECT_TRUE(store->putProgram("hash9", "int q;\n"));
+    store.reset();
+    store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    EXPECT_EQ(store->stats().programs, 2u);
+    EXPECT_TRUE(store->hasProgram("hash9"));
+    EXPECT_EQ(store->stats().recoveredLines, 0u);
+}
+
+TEST(Corpus, BitFlipBeforeTailIsClassifiedCorrupt)
+{
+    TempDir dir("bitflip");
+    populate(dir.str(), 3);
+
+    std::string index_path = dir.str() + "/index.0.jsonl";
+    std::string index = readFile(index_path);
+    index[10] = char(index[10] ^ 0x08); // damage the *first* line
+    writeFile(index_path, index);
+
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error);
+    EXPECT_FALSE(store);
+    EXPECT_EQ(error.status, StoreStatus::Corrupt);
+    EXPECT_STREQ(storeStatusName(error.status), "corrupt");
+}
+
+TEST(Corpus, FlippedPayloadByteIsCaughtOnRead)
+{
+    TempDir dir("pcrc");
+    populate(dir.str(), 1);
+
+    std::string payload_path = dir.str() + "/payload.0.dat";
+    std::string payload = readFile(payload_path);
+    payload[2] = char(payload[2] ^ 0x01);
+    writeFile(payload_path, payload);
+
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    EXPECT_FALSE(store->getProgram("hash0", &error));
+    EXPECT_EQ(error.status, StoreStatus::Corrupt);
+}
+
+TEST(Corpus, LiveLockRefusesSecondWriterAndStaleLockIsStolen)
+{
+    TempDir dir("lock");
+    populate(dir.str(), 1);
+
+    // pid 1 is always alive: a concurrent writer holds the store.
+    writeFile(dir.str() + "/LOCK", "1\n");
+    StoreError error;
+    EXPECT_FALSE(CorpusStore::open(dir.str(), &error));
+    EXPECT_EQ(error.status, StoreStatus::Locked);
+
+    // A lock left by a dead process is stale: fork a child that
+    // exits immediately and use its (now unrecycled) pid.
+    pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0)
+        ::_exit(0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    writeFile(dir.str() + "/LOCK", std::to_string(child) + "\n");
+    auto store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    EXPECT_TRUE(store->hasProgram("hash0"));
+}
+
+TEST(Corpus, FreshStoreResumeIsClassified)
+{
+    TempDir dir("freshresume");
+    StoreError error;
+
+    // No store at all.
+    EXPECT_FALSE(resumeCampaign(dir.str() + "/missing", {}, &error));
+    EXPECT_EQ(error.status, StoreStatus::NotFound);
+
+    // A store that never checkpointed.
+    populate(dir.str(), 1);
+    EXPECT_FALSE(resumeCampaign(dir.str(), {}, &error));
+    EXPECT_EQ(error.status, StoreStatus::NoCheckpoint);
+}
+
+TEST(Corpus, BadFormatVersionIsRefused)
+{
+    TempDir dir("badversion");
+    populate(dir.str(), 1);
+    writeFile(dir.str() + "/MANIFEST.json",
+              "{\"version\":99,\"generation\":0}\n");
+    StoreError error;
+    EXPECT_FALSE(CorpusStore::open(dir.str(), &error));
+    EXPECT_EQ(error.status, StoreStatus::BadVersion);
+}
+
+//===------------------------------------------------------------------===//
+// Compaction
+//===------------------------------------------------------------------===//
+
+TEST(Corpus, CompactionDropsDeadBytesAndPreservesContent)
+{
+    TempDir dir("compact");
+    core::CampaignOptions campaign_options;
+    campaign_options.computePrimary = true;
+    core::Campaign campaign = core::runCampaign(
+        30, 2, {alphaO3(), betaO3()}, campaign_options);
+
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    store->putProgram("p0", "int a;\n");
+    // Slot 0 is written three times; only the last survives compaction.
+    store->putRecord(campaign.programs[0], 0, 0, "p0");
+    store->putRecord(campaign.programs[0], 0, 0, "p0");
+    store->putRecord(campaign.programs[1], 0, 0, "p0");
+    core::CachedVerdict verdict;
+    verdict.signature = "s";
+    store->putVerdict("fp", verdict);
+
+    uint64_t bytes_before = store->stats().bytes;
+    ASSERT_TRUE(store->compact(&error)) << error.message;
+    StoreStats stats = store->stats();
+    EXPECT_EQ(stats.generation, 1u);
+    EXPECT_LT(stats.bytes, bytes_before);
+    EXPECT_FALSE(fs::exists(dir.str() + "/index.0.jsonl"));
+    EXPECT_FALSE(fs::exists(dir.str() + "/payload.0.dat"));
+
+    // Content survives the compaction and a reopen.
+    std::vector<StoredRecord> records = store->loadRecords(&error);
+    ASSERT_EQ(records.size(), 1u) << error.message;
+    EXPECT_TRUE(records[0].record == campaign.programs[1]);
+    store.reset();
+    store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    EXPECT_EQ(store->stats().generation, 1u);
+    EXPECT_EQ(store->getProgram("p0").value_or(""), "int a;\n");
+    records = store->loadRecords(&error);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(records[0].record == campaign.programs[1]);
+    ASSERT_TRUE(store->getVerdict("fp"));
+    // The store stays writable in the new generation.
+    EXPECT_TRUE(store->putProgram("p1", "int b;\n"));
+    EXPECT_TRUE(store->flush());
+}
+
+//===------------------------------------------------------------------===//
+// Checkpoint / resume
+//===------------------------------------------------------------------===//
+
+CampaignPlan
+smallPlan()
+{
+    CampaignPlan plan;
+    plan.count = 18;
+    plan.chunkSize = 3;
+    plan.randomSeeds = true;
+    plan.streamSeed = 2024;
+    plan.builds = {alphaO3(), betaO3()};
+    plan.computePrimary = true;
+    plan.collectRemarks = true;
+    plan.missedByBuild = 0;
+    plan.referenceBuild = 1;
+    return plan;
+}
+
+TEST(Corpus, ResumeAfterKillIsBitIdentical)
+{
+    // Reference: one uninterrupted run.
+    std::string reference;
+    core::Campaign reference_campaign;
+    {
+        TempDir dir("ref");
+        StoreError error;
+        support::MetricsRegistry registry;
+        OpenOptions open_options;
+        open_options.metrics = &registry;
+        auto store = CorpusStore::open(dir.str(), &error, open_options);
+        ASSERT_TRUE(store) << error.message;
+        CheckpointRunOptions run;
+        run.metrics = &registry;
+        run.checkpointEveryChunks = 2;
+        std::optional<CheckpointedCampaign> result =
+            runCheckpointed(*store, smallPlan(), run, &error);
+        ASSERT_TRUE(result) << error.message;
+        EXPECT_TRUE(result->completed);
+        EXPECT_FALSE(result->resumed);
+        EXPECT_EQ(result->chunksRun, 6u);
+        reference = summaryText(*result);
+        reference_campaign = std::move(result->campaign);
+        EXPECT_FALSE(result->findings.empty() &&
+                     reference.find("findings 0") == std::string::npos);
+    }
+    ASSERT_FALSE(reference.empty());
+
+    // Kill at three points, resume at one and several threads: the
+    // summary (records, findings, killer histograms, campaign.*
+    // counters) must be byte-identical every time.
+    for (uint64_t kill_after : {1u, 2u, 4u}) {
+        for (unsigned threads : {1u, 3u}) {
+            TempDir dir("kill");
+            StoreError error;
+            {
+                support::MetricsRegistry registry;
+                OpenOptions open_options;
+                open_options.metrics = &registry;
+                auto store =
+                    CorpusStore::open(dir.str(), &error, open_options);
+                ASSERT_TRUE(store) << error.message;
+                CheckpointRunOptions run;
+                run.metrics = &registry;
+                run.checkpointEveryChunks = 1;
+                run.haltAfterChunks = kill_after;
+                run.threads = threads;
+                std::optional<CheckpointedCampaign> result =
+                    runCheckpointed(*store, smallPlan(), run, &error);
+                ASSERT_TRUE(result) << error.message;
+                EXPECT_FALSE(result->completed)
+                    << "kill_after=" << kill_after
+                    << " threads=" << threads
+                    << " chunksRun=" << result->chunksRun;
+            } // store closed: the "process" died here
+
+            CheckpointRunOptions resume;
+            resume.threads = threads;
+            std::optional<CheckpointedCampaign> resumed =
+                resumeCampaign(dir.str(), resume, &error);
+            ASSERT_TRUE(resumed) << error.message;
+            EXPECT_TRUE(resumed->completed);
+            EXPECT_TRUE(resumed->resumed);
+            EXPECT_GT(resumed->chunksLoaded, 0u);
+            EXPECT_EQ(summaryText(*resumed), reference)
+                << "kill_after=" << kill_after
+                << " threads=" << threads;
+            ASSERT_EQ(resumed->campaign.programs.size(),
+                      reference_campaign.programs.size());
+            for (size_t i = 0;
+                 i < reference_campaign.programs.size(); ++i) {
+                EXPECT_TRUE(resumed->campaign.programs[i] ==
+                            reference_campaign.programs[i])
+                    << "slot " << i;
+            }
+        }
+    }
+}
+
+TEST(Corpus, ResumeWithDifferentPlanIsClassified)
+{
+    TempDir dir("planmismatch");
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+
+    CheckpointRunOptions run;
+    run.checkpointEveryChunks = 1;
+    run.haltAfterChunks = 1;
+    ASSERT_TRUE(runCheckpointed(*store, smallPlan(), run, &error))
+        << error.message;
+
+    CampaignPlan other = smallPlan();
+    other.count = 24;
+    EXPECT_FALSE(runCheckpointed(*store, other, run, &error));
+    EXPECT_EQ(error.status, StoreStatus::PlanMismatch);
+
+    // The matching plan continues fine.
+    std::optional<CheckpointedCampaign> result =
+        runCheckpointed(*store, smallPlan(), {}, &error);
+    ASSERT_TRUE(result) << error.message;
+    EXPECT_TRUE(result->completed);
+}
+
+//===------------------------------------------------------------------===//
+// Verdict-cache deduplication
+//===------------------------------------------------------------------===//
+
+std::vector<core::Finding>
+duplicateHeavyFindings()
+{
+    core::CampaignOptions options;
+    options.computePrimary = true;
+    core::Campaign campaign =
+        core::runCampaign(200, 12, {alphaO3(), betaO3()}, options);
+    std::vector<core::Finding> findings = core::collectFindings(
+        campaign, alphaO3(), betaO3(), /*max_findings=*/2);
+    // Same root causes, many sightings — the duplicate-heavy corpus.
+    std::vector<core::Finding> heavy;
+    for (int round = 0; round < 3; ++round)
+        heavy.insert(heavy.end(), findings.begin(), findings.end());
+    return heavy;
+}
+
+void
+expectSameReports(const core::TriageSummary &a,
+                  const core::TriageSummary &b)
+{
+    ASSERT_EQ(a.reports.size(), b.reports.size());
+    for (size_t i = 0; i < a.reports.size(); ++i) {
+        EXPECT_EQ(a.reports[i].finding.seed,
+                  b.reports[i].finding.seed) << i;
+        EXPECT_EQ(a.reports[i].finding.marker,
+                  b.reports[i].finding.marker) << i;
+        EXPECT_EQ(a.reports[i].reducedSource,
+                  b.reports[i].reducedSource) << i;
+        EXPECT_EQ(a.reports[i].signature, b.reports[i].signature)
+            << i;
+        EXPECT_EQ(a.reports[i].reductionTests,
+                  b.reports[i].reductionTests) << i;
+        EXPECT_EQ(a.reports[i].confirmed, b.reports[i].confirmed)
+            << i;
+        EXPECT_EQ(a.reports[i].duplicate, b.reports[i].duplicate)
+            << i;
+        EXPECT_EQ(a.reports[i].fixed, b.reports[i].fixed) << i;
+    }
+}
+
+TEST(Corpus, VerdictCacheCutsReductionWorkWithoutChangingReports)
+{
+    std::vector<core::Finding> findings = duplicateHeavyFindings();
+    if (findings.empty())
+        GTEST_SKIP() << "corpus produced no alpha-vs-beta findings";
+
+    support::MetricsRegistry baseline_registry;
+    core::TriageOptions baseline;
+    baseline.maxTests = 300;
+    baseline.metrics = &baseline_registry;
+    core::TriageSummary baseline_summary =
+        core::triageFindings(findings, baseline);
+
+    support::MetricsRegistry cached_registry;
+    MemoryVerdictCache cache;
+    core::TriageOptions deduped = baseline;
+    deduped.metrics = &cached_registry;
+    deduped.verdictCache = &cache;
+    core::TriageSummary deduped_summary =
+        core::triageFindings(findings, deduped);
+
+    // No finding is lost and every report field matches...
+    expectSameReports(baseline_summary, deduped_summary);
+    // ...while the reduction work strictly drops.
+    EXPECT_LT(cached_registry.counterValue("reduce.tests"),
+              baseline_registry.counterValue("reduce.tests"));
+    EXPECT_GT(cached_registry.counterValue("reduce.findings_deduped"),
+              0u);
+    EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(Corpus, StoreBackedVerdictsPersistAcrossRuns)
+{
+    std::vector<core::Finding> findings = duplicateHeavyFindings();
+    if (findings.empty())
+        GTEST_SKIP() << "corpus produced no alpha-vs-beta findings";
+
+    TempDir dir("verdicts");
+    core::TriageSummary first_summary;
+    {
+        StoreError error;
+        auto store = CorpusStore::open(dir.str(), &error);
+        ASSERT_TRUE(store) << error.message;
+        StoreVerdictCache cache(*store);
+        core::TriageOptions options;
+        options.maxTests = 300;
+        options.verdictCache = &cache;
+        first_summary = core::triageFindings(findings, options);
+        ASSERT_GT(store->stats().verdicts, 0u);
+    }
+
+    // A new process over the same store reduces nothing: every
+    // verdict is replayed from disk, and the summary is unchanged.
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    StoreVerdictCache cache(*store);
+    support::MetricsRegistry registry;
+    core::TriageOptions options;
+    options.maxTests = 300;
+    options.verdictCache = &cache;
+    options.metrics = &registry;
+    core::TriageSummary second_summary =
+        core::triageFindings(findings, options);
+    expectSameReports(first_summary, second_summary);
+    EXPECT_EQ(registry.counterValue("reduce.tests"), 0u);
+    EXPECT_GT(registry.counterValue("reduce.verdict_cache_hits"), 0u);
+}
+
+} // namespace
+} // namespace dce::corpus

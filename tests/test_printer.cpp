@@ -1,7 +1,9 @@
 /** @file Round-trip tests for the MiniC pretty-printer. */
 #include <gtest/gtest.h>
 
+#include "gen/generator.hpp"
 #include "helpers.hpp"
+#include "instrument/instrument.hpp"
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
 
@@ -137,6 +139,32 @@ TEST(Printer, ImplicitCastsInvisible)
 TEST(Printer, LargeLiteralsKeepTheirType)
 {
     expectRoundTrip("long big = 5000000000;");
+}
+
+TEST(Printer, RoundTripsFiveHundredGeneratorSeeds)
+{
+    // The corpus store persists programs as printed text and reloads
+    // them through the parser, so print → reparse → reprint must be a
+    // fixpoint over the whole generator distribution — both plain and
+    // instrumented programs.
+    for (uint64_t seed = 1; seed <= 500; ++seed) {
+        auto unit = gen::generateProgram(seed);
+        ASSERT_TRUE(unit);
+        instrument::Instrumented prog =
+            instrument::instrumentUnit(*unit);
+
+        for (const lang::TranslationUnit *tu :
+             {unit.get(), prog.unit.get()}) {
+            std::string once = printUnit(*tu);
+            DiagnosticEngine diags;
+            auto reparsed = parseAndCheck(once, diags);
+            ASSERT_TRUE(reparsed != nullptr)
+                << "seed " << seed << " failed to reparse:\n"
+                << diags.str() << "\n" << once;
+            ASSERT_EQ(once, printUnit(*reparsed))
+                << "printer not a fixpoint for seed " << seed;
+        }
+    }
 }
 
 } // namespace

@@ -91,6 +91,40 @@ TEST(Rng, PickWeightedRespectsWeights)
     EXPECT_LT(first, 9500);
 }
 
+TEST(Rng, RestoredStateReplaysExactSequence)
+{
+    // The checkpoint/resume contract: a generator restored from a
+    // saved stream state replays the exact sequence the original
+    // produces, across every drawing primitive.
+    Rng original(1234);
+    for (int i = 0; i < 37; ++i) // advance mid-stream
+        original.next();
+    uint64_t saved = original.state();
+
+    std::vector<uint64_t> expected;
+    std::vector<unsigned> weights = {3, 0, 7, 1};
+    auto drawAll = [&weights](Rng &rng) {
+        std::vector<uint64_t> out;
+        for (int i = 0; i < 50; ++i) {
+            out.push_back(rng.next());
+            out.push_back(rng.below(97));
+            out.push_back(static_cast<uint64_t>(rng.range(-10, 10)));
+            out.push_back(rng.chance(40) ? 1 : 0);
+            out.push_back(rng.pickWeighted(weights));
+            out.push_back(rng.split().next());
+        }
+        return out;
+    };
+    expected = drawAll(original);
+
+    Rng restored(0);
+    restored.restore(saved);
+    EXPECT_EQ(drawAll(restored), expected);
+    // And the state after replay matches too, so a chain of
+    // save/restore cycles stays lossless.
+    EXPECT_EQ(restored.state(), original.state());
+}
+
 TEST(Rng, SplitProducesIndependentStream)
 {
     Rng a(99);
