@@ -9,7 +9,10 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/file.h>
 #include <unistd.h>
+
+#include <limits>
 
 #include "corpus/serialize.hpp"
 #include "support/hash.hpp"
@@ -180,21 +183,7 @@ CorpusStore::open(const std::string &dir, StoreError *error,
     store->dir_ = dir;
     store->lockPath_ = dir + "/LOCK";
 
-    // Writer lock: a LOCK file naming a live process refuses the open;
-    // a dead owner's lock is stale and stolen.
-    std::string lock_content;
-    if (fs::exists(store->lockPath_, ec) &&
-        readWholeFile(store->lockPath_, lock_content, nullptr)) {
-        long pid = std::atol(lock_content.c_str());
-        if (pid > 0 && pid != long(::getpid()) &&
-            (::kill(pid_t(pid), 0) == 0 || errno == EPERM)) {
-            setError(error, StoreStatus::Locked,
-                     "store locked by pid " + std::to_string(pid));
-            return nullptr;
-        }
-    }
-    if (!writeFileAtomic(store->lockPath_,
-                         std::to_string(::getpid()) + "\n", error))
+    if (!store->acquireLock(error))
         return nullptr;
 
     std::string manifest_text;
@@ -231,6 +220,56 @@ CorpusStore::open(const std::string &dir, StoreError *error,
     return store;
 }
 
+bool
+CorpusStore::acquireLock(StoreError *error)
+{
+    // Mutual exclusion is a BSD flock held on lockFd_ for the store's
+    // lifetime: acquisition is atomic (no check-then-write window for
+    // two openers to both claim the store) and the kernel drops it
+    // when the owner dies, however abruptly. The pid written inside is
+    // a second fence against writers that recorded themselves without
+    // holding the flock, and makes `cat LOCK` meaningful.
+    int fd =
+        ::open(lockPath_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        setError(error, StoreStatus::IoError,
+                 "open " + lockPath_ + ": " + std::strerror(errno));
+        return false;
+    }
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(fd);
+        setError(error, StoreStatus::Locked,
+                 "store locked by a live writer");
+        return false;
+    }
+    char buffer[64] = {};
+    ssize_t got = ::pread(fd, buffer, sizeof buffer - 1, 0);
+    long pid = got > 0 ? std::atol(buffer) : 0;
+    if (pid > 0 && pid != long(::getpid()) &&
+        (::kill(pid_t(pid), 0) == 0 || errno == EPERM)) {
+        // Close (releasing our flock) without disturbing the recorded
+        // owner; a dead owner's pid is stale and falls through to the
+        // claim below instead.
+        ::close(fd);
+        setError(error, StoreStatus::Locked,
+                 "store locked by pid " + std::to_string(pid));
+        return false;
+    }
+    std::string pid_text = std::to_string(::getpid()) + "\n";
+    bool ok = ::ftruncate(fd, 0) == 0 &&
+              ::pwrite(fd, pid_text.data(), pid_text.size(), 0) ==
+                  ssize_t(pid_text.size()) &&
+              ::fsync(fd) == 0;
+    if (!ok) {
+        setError(error, StoreStatus::IoError,
+                 "write " + lockPath_ + ": " + std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    lockFd_ = fd;
+    return true;
+}
+
 CorpusStore::~CorpusStore()
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -239,8 +278,14 @@ CorpusStore::~CorpusStore()
         std::fclose(indexFile_);
     if (payloadFile_)
         std::fclose(payloadFile_);
-    if (!lockPath_.empty())
-        std::remove(lockPath_.c_str());
+    if (lockFd_ >= 0) {
+        // Only the lock we actually acquired gets released: blank the
+        // pid while the flock is still held, then close to drop it.
+        // The file itself stays — unlinking would race a concurrent
+        // opener already holding an fd to the old inode.
+        (void)!::ftruncate(lockFd_, 0);
+        ::close(lockFd_);
+    }
 }
 
 bool
@@ -333,8 +378,10 @@ CorpusStore::loadGeneration(StoreError *error)
         } else if (type == "verdict") {
             VerdictEntry verdict;
             static_cast<Entry &>(verdict) = entry;
-            verdicts_.emplace(entry_json->getString("k"),
-                              std::move(verdict));
+            // Last line wins: a re-put appended to repair a corrupt
+            // payload supersedes the original entry.
+            verdicts_[entry_json->getString("k")] =
+                std::move(verdict);
         } else {
             setError(error, StoreStatus::Corrupt,
                      "unknown index entry type '" + type + "'");
@@ -400,8 +447,14 @@ CorpusStore::readPayload(const Entry &entry, std::string_view what,
                          StoreError *error)
 {
     std::fflush(payloadFile_);
+    if (entry.offset > uint64_t(std::numeric_limits<off_t>::max())) {
+        setError(error, StoreStatus::IoError,
+                 std::string("payload offset not seekable for ") +
+                     std::string(what));
+        return std::nullopt;
+    }
     std::string bytes(entry.length, '\0');
-    if (std::fseek(payloadFile_, long(entry.offset), SEEK_SET) != 0 ||
+    if (fseeko(payloadFile_, off_t(entry.offset), SEEK_SET) != 0 ||
         (entry.length > 0 &&
          std::fread(bytes.data(), 1, entry.length, payloadFile_) !=
              entry.length)) {
@@ -530,8 +583,10 @@ CorpusStore::putVerdict(const std::string &fingerprint,
 {
     std::string payload = serializeVerdict(verdict);
     std::lock_guard<std::mutex> lock(mutex_);
-    if (verdicts_.count(fingerprint))
-        return; // first verdict wins; keys identify the root cause
+    // Last write wins (load and compact agree): triage only re-stores
+    // a fingerprint it failed to read back, so replacing is what lets
+    // a verdict with a corrupt payload be repaired on the next run
+    // instead of no-oping against the damaged entry forever.
     VerdictEntry entry;
     static_cast<Entry &>(entry) = appendPayload(payload);
     entry.signature = verdict.signature;
@@ -546,7 +601,7 @@ CorpusStore::putVerdict(const std::string &fingerprint,
     writer.field("pcrc", entry.payloadCrc);
     writer.endObject();
     appendIndexLine(writer.take());
-    verdicts_.emplace(fingerprint, std::move(entry));
+    verdicts_[fingerprint] = std::move(entry);
 }
 
 std::optional<core::CachedVerdict>

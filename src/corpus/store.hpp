@@ -7,7 +7,8 @@
  * Directory layout:
  *
  *     MANIFEST.json        {"version":1,"generation":N}   (atomic swap)
- *     LOCK                 writer pid (stale locks are stolen)
+ *     LOCK                 flock'd for the writer's lifetime; holds
+ *                          the writer pid (stale pids are stolen)
  *     index.<N>.jsonl      one CRC-sealed JSON line per entry
  *     payload.<N>.dat      concatenated payload blobs
  *     checkpoint.json      latest campaign checkpoint (atomic swap)
@@ -127,6 +128,9 @@ class CorpusStore {
 
     //===-- triage verdicts --------------------------------------------===//
 
+    /** Store @p verdict under @p fingerprint. A re-put replaces the
+     * earlier entry (last write wins), so a verdict whose payload has
+     * rotted on disk can be repaired by storing it again. */
     void putVerdict(const std::string &fingerprint,
                     const core::CachedVerdict &verdict);
     std::optional<core::CachedVerdict>
@@ -175,6 +179,9 @@ class CorpusStore {
 
     CorpusStore() = default;
 
+    /** Atomically take the writer flock on LOCK (kept on lockFd_ for
+     * the store's lifetime) and record our pid in it. */
+    bool acquireLock(StoreError *error);
     bool loadGeneration(StoreError *error);
     bool openAppendHandles(StoreError *error);
     std::optional<std::string> readPayload(const Entry &entry,
@@ -188,6 +195,7 @@ class CorpusStore {
 
     std::string dir_;
     std::string lockPath_;
+    int lockFd_ = -1; ///< holds the writer flock while >= 0
     uint64_t generation_ = 0;
     uint64_t recoveredLines_ = 0;
     std::FILE *indexFile_ = nullptr;

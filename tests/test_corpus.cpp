@@ -397,6 +397,55 @@ TEST(Corpus, FlippedPayloadByteIsCaughtOnRead)
     EXPECT_EQ(error.status, StoreStatus::Corrupt);
 }
 
+TEST(Corpus, CorruptVerdictPayloadIsRepairedByRePut)
+{
+    TempDir dir("verdictrepair");
+    core::CachedVerdict verdict;
+    verdict.reducedSource = "int r;\n";
+    verdict.signature = "sig-r";
+    verdict.reductionTests = 7;
+    {
+        StoreError error;
+        auto store = CorpusStore::open(dir.str(), &error);
+        ASSERT_TRUE(store) << error.message;
+        store->putVerdict("fp-r", verdict);
+        ASSERT_TRUE(store->flush());
+    }
+
+    // Rot the verdict's payload on disk.
+    std::string payload_path = dir.str() + "/payload.0.dat";
+    std::string payload = readFile(payload_path);
+    payload[1] = char(payload[1] ^ 0x04);
+    writeFile(payload_path, payload);
+
+    StoreError error;
+    auto store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    EXPECT_FALSE(store->getVerdict("fp-r", &error));
+    EXPECT_EQ(error.status, StoreStatus::Corrupt);
+
+    // Re-storing (what triage does after the cache miss forces a
+    // re-reduction) replaces the damaged entry in place...
+    store->putVerdict("fp-r", verdict);
+    std::optional<core::CachedVerdict> got = store->getVerdict("fp-r");
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->signature, "sig-r");
+    // ...unblocks compaction, which previously died on the dead
+    // blob...
+    ASSERT_TRUE(store->compact(&error)) << error.message;
+    EXPECT_EQ(store->stats().verdicts, 1u);
+    ASSERT_TRUE(store->flush());
+    store.reset();
+
+    // ...and the replacement wins after a reload too.
+    store = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(store) << error.message;
+    got = store->getVerdict("fp-r", &error);
+    ASSERT_TRUE(got) << error.message;
+    EXPECT_EQ(got->reducedSource, "int r;\n");
+    EXPECT_EQ(got->reductionTests, 7u);
+}
+
 TEST(Corpus, LiveLockRefusesSecondWriterAndStaleLockIsStolen)
 {
     TempDir dir("lock");
@@ -405,6 +454,11 @@ TEST(Corpus, LiveLockRefusesSecondWriterAndStaleLockIsStolen)
     // pid 1 is always alive: a concurrent writer holds the store.
     writeFile(dir.str() + "/LOCK", "1\n");
     StoreError error;
+    EXPECT_FALSE(CorpusStore::open(dir.str(), &error));
+    EXPECT_EQ(error.status, StoreStatus::Locked);
+    // The refused open must not disturb the live owner's lock: the
+    // pid survives and a retry is refused all over again.
+    EXPECT_EQ(readFile(dir.str() + "/LOCK"), "1\n");
     EXPECT_FALSE(CorpusStore::open(dir.str(), &error));
     EXPECT_EQ(error.status, StoreStatus::Locked);
 
@@ -420,6 +474,24 @@ TEST(Corpus, LiveLockRefusesSecondWriterAndStaleLockIsStolen)
     auto store = CorpusStore::open(dir.str(), &error);
     ASSERT_TRUE(store) << error.message;
     EXPECT_TRUE(store->hasProgram("hash0"));
+}
+
+TEST(Corpus, FlockRefusesSecondWriterUntilFirstCloses)
+{
+    TempDir dir("flock");
+    StoreError error;
+    auto first = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(first) << error.message;
+
+    // The flock, not the pid file, is the gate: a second open races
+    // no check-then-write window and is refused while the first
+    // writer holds the store — even from the same process.
+    EXPECT_FALSE(CorpusStore::open(dir.str(), &error));
+    EXPECT_EQ(error.status, StoreStatus::Locked);
+
+    first.reset();
+    auto second = CorpusStore::open(dir.str(), &error);
+    EXPECT_TRUE(second) << error.message;
 }
 
 TEST(Corpus, FreshStoreResumeIsClassified)
