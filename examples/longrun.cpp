@@ -1,17 +1,27 @@
 /**
  * @file
  * Long-running campaign workflow: a checkpointed campaign over a
- * persistent corpus store that survives being killed at any point.
+ * persistent corpus store that survives being killed at any point,
+ * with the full telemetry stack attached — structured event log,
+ * periodic metrics snapshots, stall watchdog, and a campaign report
+ * rendered from the store afterwards.
  *
  *   longrun full <store-dir>            uninterrupted run + summary
  *   longrun run <store-dir> [chunks]    run, optionally stopping after
  *                                       N chunk commits (crash drill)
  *   longrun resume <store-dir>          continue from the checkpoint
  *
+ * Optional flags (any mode):
+ *   --events <file>    write the deterministic event log (JSONL)
+ *   --metrics <file>   append periodic metrics snapshots (JSONL)
+ *   --report <dir>     render report.md/report.html + dossiers
+ *
  * `run` and `resume` print the same deterministic summary once the
  * campaign completes, so `diff <(longrun full a) <(... kill/resume b)`
  * is the crash-safety check — CI runs exactly that, with a real
- * SIGKILL between `run` and `resume`.
+ * SIGKILL between `run` and `resume`, and additionally diffs the
+ * `--report` output of both stores (the report derives from the store
+ * alone, so kill/resume must not change a byte of it).
  */
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +29,10 @@
 
 #include "corpus/checkpoint.hpp"
 #include "corpus/store.hpp"
+#include "report/event_log.hpp"
+#include "report/report.hpp"
+#include "report/snapshot.hpp"
+#include "report/watchdog.hpp"
 
 using namespace dce;
 
@@ -56,7 +70,7 @@ fail(const corpus::StoreError &error)
 }
 
 int
-report(const corpus::CheckpointedCampaign &result)
+printSummary(const corpus::CheckpointedCampaign &result)
 {
     if (!result.completed) {
         std::printf("halted after %llu chunks (checkpointed)\n",
@@ -67,44 +81,116 @@ report(const corpus::CheckpointedCampaign &result)
     return 0;
 }
 
+struct Flags {
+    std::string eventsPath;
+    std::string metricsPath;
+    std::string reportDir;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 3) {
-        std::fprintf(
-            stderr,
-            "usage: %s full|run|resume <store-dir> [halt-chunks]\n",
-            argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s full|run|resume <store-dir> "
+                     "[halt-chunks] [--events <file>] "
+                     "[--metrics <file>] [--report <dir>]\n",
+                     argv[0]);
         return 2;
     }
     std::string mode = argv[1];
     std::string dir = argv[2];
-    corpus::StoreError error;
-
-    if (mode == "resume") {
-        auto result = corpus::resumeCampaign(dir, {}, &error);
-        if (!result)
-            return fail(error);
-        return report(*result);
+    Flags flags;
+    uint64_t halt_chunks = 0;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--events")
+            flags.eventsPath = value();
+        else if (arg == "--metrics")
+            flags.metricsPath = value();
+        else if (arg == "--report")
+            flags.reportDir = value();
+        else
+            halt_chunks = std::strtoull(arg.c_str(), nullptr, 10);
     }
 
-    if (mode != "full" && mode != "run") {
+    if (mode != "full" && mode != "run" && mode != "resume") {
         std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
         return 2;
     }
-    auto store = corpus::CorpusStore::open(dir, &error);
-    if (!store)
-        return fail(error);
+
+    corpus::StoreError error;
+    support::MetricsRegistry registry;
+    report::EventLog log(&registry);
+    report::Watchdog watchdog(
+        {.stallThresholdUs = 60'000'000,
+         .events = &log,
+         .registry = &registry,
+         .onStall =
+             [](const std::string &dump) {
+                 std::fputs(dump.c_str(), stderr);
+             },
+         .clock = nullptr});
+    watchdog.start();
+
+    report::SnapshotWriter snapshots(
+        {.path = flags.metricsPath, .intervalMs = 500,
+         .registry = &registry});
+    if (!flags.metricsPath.empty())
+        snapshots.start();
+
     corpus::CheckpointRunOptions options;
     options.checkpointEveryChunks = 2;
-    if (mode == "run" && argc > 3)
-        options.haltAfterChunks =
-            std::strtoull(argv[3], nullptr, 10);
-    auto result =
-        corpus::runCheckpointed(*store, demoPlan(), options, &error);
+    options.metrics = &registry;
+    options.events = &log;
+    options.observer = watchdog.wrap({});
+    if (mode == "run")
+        options.haltAfterChunks = halt_chunks;
+
+    std::optional<corpus::CheckpointedCampaign> result;
+    if (mode == "resume") {
+        result = corpus::resumeCampaign(dir, options, &error);
+    } else {
+        auto store = corpus::CorpusStore::open(dir, &error);
+        if (!store)
+            return fail(error);
+        result = corpus::runCheckpointed(*store, demoPlan(), options,
+                                         &error);
+    }
+    watchdog.stop();
+    if (!flags.metricsPath.empty())
+        snapshots.stop();
     if (!result)
         return fail(error);
-    return report(*result);
+
+    if (!flags.eventsPath.empty() && !log.write(flags.eventsPath)) {
+        std::fprintf(stderr, "error: writing event log %s failed\n",
+                     flags.eventsPath.c_str());
+        return 1;
+    }
+    if (!flags.reportDir.empty()) {
+        // Reopen the store for the report: the run released its
+        // writer lock, and the report must derive from the durable
+        // store alone (no event log) so kill/resume runs render
+        // byte-identical reports.
+        auto store = corpus::CorpusStore::open(dir, &error);
+        if (!store)
+            return fail(error);
+        report::CampaignReportOptions report_options;
+        report_options.html = true;
+        if (!report::writeCampaignReport(*store, flags.reportDir,
+                                         report_options, &error))
+            return fail(error);
+    }
+    return printSummary(*result);
 }

@@ -29,22 +29,51 @@ bisectStatusName(BisectStatus status)
     return "unknown";
 }
 
+namespace {
+
+/** One bisect_resolved event keyed by the marker under bisection. */
+void
+emitResolved(support::EventSink *events, unsigned marker, size_t good,
+             size_t bad, const BisectResult &result)
+{
+    if (!events)
+        return;
+    support::Event event("bisect_resolved",
+                         {support::kPhaseBisect, marker, 0});
+    event.num("marker", marker)
+        .num("good", good)
+        .num("bad", bad)
+        .str("status", bisectStatusName(result.status));
+    if (result.valid) {
+        event.num("first_bad", result.firstBad)
+            .str("commit", result.commit->hash);
+    }
+    events->emit(std::move(event));
+}
+
+} // namespace
+
 BisectResult
 bisectRegression(compiler::CompilerId id, compiler::OptLevel level,
                  const lang::TranslationUnit &unit, unsigned marker,
-                 size_t good, size_t bad)
+                 size_t good, size_t bad, support::EventSink *events)
 {
+    const size_t first_good = good;
+    const size_t first_bad = bad;
     BisectResult result;
     if (good >= bad) {
         result.status = BisectStatus::EmptyRange;
+        emitResolved(events, marker, first_good, first_bad, result);
         return result;
     }
     if (markerMissedAt(id, level, good, unit, marker)) {
         result.status = BisectStatus::AlreadyBadAtGood;
+        emitResolved(events, marker, first_good, first_bad, result);
         return result;
     }
     if (!markerMissedAt(id, level, bad, unit, marker)) {
         result.status = BisectStatus::NotBadAtBad;
+        emitResolved(events, marker, first_good, first_bad, result);
         return result;
     }
 
@@ -59,6 +88,7 @@ bisectRegression(compiler::CompilerId id, compiler::OptLevel level,
     result.valid = true;
     result.firstBad = bad;
     result.commit = &compiler::spec(id).history()[bad];
+    emitResolved(events, marker, first_good, first_bad, result);
     return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "compiler/compiler.hpp"
 #include "lang/ast.hpp"
+#include "support/events.hpp"
 
 namespace dce::bisect {
 
@@ -50,11 +51,13 @@ bool markerMissedAt(compiler::CompilerId id, compiler::OptLevel level,
  * Binary-search the first commit in (good, bad] at which @p marker is
  * missed. @pre marker eliminated at @p good, missed at @p bad (checked
  * — result.status says which endpoint check failed; valid is true only
- * for BisectStatus::Found).
+ * for BisectStatus::Found). When @p events is set, one bisect_resolved
+ * event keyed by the marker records the outcome (DESIGN.md §12).
  */
 BisectResult bisectRegression(compiler::CompilerId id,
                               compiler::OptLevel level,
                               const lang::TranslationUnit &unit,
-                              unsigned marker, size_t good, size_t bad);
+                              unsigned marker, size_t good, size_t bad,
+                              support::EventSink *events = nullptr);
 
 } // namespace dce::bisect

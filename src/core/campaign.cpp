@@ -466,6 +466,21 @@ CampaignRunner::run(uint64_t first_seed, unsigned count) const
     campaign.programs.resize(count); // disjoint slots, one per seed
     campaign.metrics.seedsDone = count;
 
+    {
+        std::string names;
+        for (const BuildSpec &spec : builds_) {
+            if (!names.empty())
+                names += ',';
+            names += spec.name();
+        }
+        support::Event started(
+            "campaign_started", {support::kPhaseCampaign, 0, 0});
+        started.num("first_seed", first_seed)
+            .num("seeds", count)
+            .str("builds", names);
+        support::emitEvent(options_.events, std::move(started));
+    }
+
     support::MetricsRegistry &registry =
         options_.metrics ? *options_.metrics
                          : support::MetricsRegistry::global();
@@ -509,6 +524,18 @@ CampaignRunner::run(uint64_t first_seed, unsigned count) const
     });
 
     campaign.metrics.wallSeconds = secondsSince(wall_start);
+
+    {
+        uint64_t invalid = 0;
+        {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            invalid = progress.invalidPrograms;
+        }
+        support::Event finished(
+            "campaign_finished", {support::kPhaseCampaignEnd, 0, 0});
+        finished.num("seeds_done", count).num("invalid", invalid);
+        support::emitEvent(options_.events, std::move(finished));
+    }
     return campaign;
 }
 

@@ -27,6 +27,7 @@
 
 #include "core/analysis.hpp"
 #include "gen/generator.hpp"
+#include "support/events.hpp"
 #include "support/metrics.hpp"
 
 namespace dce::core {
@@ -202,6 +203,10 @@ struct CampaignOptions {
     /** Registry receiving the campaign.* metrics; null = the process
      * global. Tests that assert exact totals pass their own. */
     support::MetricsRegistry *metrics = nullptr;
+    /** Sink for campaign_started / campaign_finished events
+     * (DESIGN.md §12). Null = no events. Per-seed events are the
+     * checkpointing runner's job — it owns chunk identity. */
+    support::EventSink *events = nullptr;
 };
 
 /** A finished campaign over a corpus. */

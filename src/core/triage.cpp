@@ -185,6 +185,44 @@ struct ReducedFinding {
     bool fixed = false;
 };
 
+/** A finding replayed a verdict instead of reducing: @p via is "store"
+ * (verdict cache hit) or "batch" (same-key leader in this batch). */
+void
+emitVerdictCached(support::EventSink *events, size_t index,
+                  const Finding &finding, const VerdictKey &key,
+                  const char *via)
+{
+    if (!events)
+        return;
+    support::Event event("verdict_cached",
+                         {support::kPhaseTriage, index, 0});
+    event.num("finding", index)
+        .num("seed", finding.seed)
+        .str("fingerprint", key.fingerprint())
+        .str("via", via);
+    events->emit(std::move(event));
+}
+
+void
+emitClassified(support::EventSink *events, size_t index,
+               const Finding &finding, const Report &report,
+               bool reported)
+{
+    if (!events)
+        return;
+    support::Event event("finding_classified",
+                         {support::kPhaseTriage, index, 2});
+    event.num("finding", index)
+        .num("seed", finding.seed)
+        .num("marker", finding.marker)
+        .str("signature", report.signature)
+        .num("reported", reported ? 1 : 0)
+        .num("confirmed", report.confirmed ? 1 : 0)
+        .num("duplicate", report.duplicate ? 1 : 0)
+        .num("fixed", report.fixed ? 1 : 0);
+    events->emit(std::move(event));
+}
+
 } // namespace
 
 TriageSummary
@@ -199,14 +237,16 @@ triageFindings(const std::vector<Finding> &findings,
     // (canonical program text hash + marker set + build pair) and
     // group same-key findings: only each group's leader reduces, the
     // followers replay its verdict. Serial, so leader choice — and
-    // with it the whole summary — never depends on scheduling.
+    // with it the whole summary — never depends on scheduling. An
+    // event sink also forces keying (events carry the fingerprint)
+    // but never enables the batch dedup by itself.
+    const bool keyed = options.verdictCache || options.events;
     std::vector<std::string> sources(findings.size());
-    std::vector<VerdictKey> keys(
-        options.verdictCache ? findings.size() : 0);
+    std::vector<VerdictKey> keys(keyed ? findings.size() : 0);
     std::vector<size_t> leaderOf(findings.size());
     for (size_t i = 0; i < findings.size(); ++i)
         leaderOf[i] = i;
-    if (options.verdictCache) {
+    if (keyed) {
         std::map<std::string, size_t> first_with_key;
         for (size_t i = 0; i < findings.size(); ++i) {
             const Finding &finding = findings[i];
@@ -217,6 +257,8 @@ triageFindings(const std::vector<Finding> &findings,
             keys[i].markers = {finding.marker};
             keys[i].missedBy = finding.missedBy.name();
             keys[i].reference = finding.reference.name();
+            if (!options.verdictCache)
+                continue;
             auto [it, fresh] = first_with_key.emplace(
                 keys[i].fingerprint(), i);
             if (!fresh) {
@@ -250,16 +292,17 @@ triageFindings(const std::vector<Finding> &findings,
                         registry
                             ->counter("reduce.verdict_cache_hits")
                             .add();
+                        emitVerdictCached(options.events, i, finding,
+                                          keys[i], "store");
                         continue;
                     }
                 }
                 std::string source =
-                    options.verdictCache
-                        ? sources[i]
-                        : lang::printUnit(*makeProgram(
-                                               finding.seed,
-                                               options.generator)
-                                               .unit);
+                    keyed ? sources[i]
+                          : lang::printUnit(*makeProgram(
+                                                 finding.seed,
+                                                 options.generator)
+                                                 .unit);
 
                 InterestingnessTest interesting(
                     finding.marker, finding.missedBy,
@@ -285,14 +328,33 @@ triageFindings(const std::vector<Finding> &findings,
                         {slots[i].reduction.source, slots[i].signature,
                          slots[i].fixed, slots[i].reduction.testsRun});
                 }
+                if (options.events) {
+                    support::Event done(
+                        "reduction_finished",
+                        {support::kPhaseTriage, i, 1});
+                    done.num("finding", i)
+                        .num("seed", finding.seed)
+                        .num("marker", finding.marker)
+                        .num("tests", slots[i].reduction.testsRun)
+                        .num("lines_before",
+                             slots[i].reduction.linesBefore)
+                        .num("lines_after",
+                             slots[i].reduction.linesAfter)
+                        .num("reduce_passes", slots[i].reduction.passes)
+                        .str("fingerprint", keys[i].fingerprint());
+                    options.events->emit(std::move(done));
+                }
             }
         });
 
     // Replay leader verdicts into follower slots (testsRun included,
     // so warm and cold summaries are byte-identical).
     for (size_t i = 0; i < findings.size(); ++i) {
-        if (leaderOf[i] != i)
+        if (leaderOf[i] != i) {
             slots[i] = slots[leaderOf[i]];
+            emitVerdictCached(options.events, i, findings[i], keys[i],
+                              "batch");
+        }
     }
 
     // Stage 2 — classify and deduplicate, serially in findings order
@@ -325,13 +387,18 @@ triageFindings(const std::vector<Finding> &findings,
             // marked duplicate by the "developers".
             unsigned &budget =
                 duplicate_budget[static_cast<int>(finding.missedBy.id)];
-            if (budget == 0)
-                continue; // deduplicated away, never reported
+            if (budget == 0) {
+                // Deduplicated away, never reported.
+                emitClassified(options.events, i, finding, report,
+                               false);
+                continue;
+            }
             --budget;
             report.fixed = false; // counted once, on the original
         }
         report.confirmed = !report.duplicate &&
                            report.signature != "invalid";
+        emitClassified(options.events, i, finding, report, true);
         summary.reports.push_back(std::move(report));
     }
     return summary;

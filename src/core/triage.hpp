@@ -257,6 +257,13 @@ struct TriageOptions {
      * `reduce.findings_deduped`.
      */
     VerdictCache *verdictCache = nullptr;
+    /**
+     * Sink for the triage events (DESIGN.md §12): verdict_cached,
+     * reduction_finished, finding_classified — one each per finding,
+     * keyed by the finding's batch index, so the log is identical for
+     * every thread count. Null = no events.
+     */
+    support::EventSink *events = nullptr;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "corpus/serialize.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -23,16 +24,6 @@ setError(StoreError *error, StoreStatus status, std::string message)
         error->message = std::move(message);
     }
 }
-
-/** Parsed checkpoint.json. */
-struct CheckpointData {
-    CampaignPlan plan;
-    std::set<uint64_t> completed;
-    uint64_t watermark = 0; ///< contiguous completed-chunk prefix
-    uint64_t rngState = 0;  ///< Rng stream state at the watermark
-    std::vector<std::pair<std::string, uint64_t>> counters;
-    std::vector<StoredFinding> findings;
-};
 
 std::string
 buildCheckpointJson(
@@ -81,7 +72,7 @@ buildCheckpointJson(
     return sealJsonLine(writer.take());
 }
 
-std::optional<CheckpointData>
+std::optional<CheckpointState>
 parseCheckpoint(std::string_view text)
 {
     std::optional<JsonValue> doc = unsealJsonLine(text);
@@ -94,7 +85,7 @@ parseCheckpoint(std::string_view text)
     if (!plan)
         return std::nullopt;
 
-    CheckpointData data;
+    CheckpointState data;
     data.plan = *plan;
     data.watermark = doc->getU64("watermark");
     data.rngState = doc->getU64("rngState");
@@ -130,6 +121,29 @@ parseCheckpoint(std::string_view text)
 }
 
 } // namespace
+
+std::optional<CheckpointState>
+readCheckpointState(CorpusStore &store, StoreError *error)
+{
+    if (!store.hasCheckpoint()) {
+        setError(error, StoreStatus::NoCheckpoint,
+                 "store has no checkpoint");
+        return std::nullopt;
+    }
+    StoreError err;
+    std::optional<std::string> text = store.readCheckpoint(&err);
+    if (!text) {
+        setError(error, err.status, err.message);
+        return std::nullopt;
+    }
+    std::optional<CheckpointState> parsed = parseCheckpoint(*text);
+    if (!parsed) {
+        setError(error, StoreStatus::Corrupt,
+                 "checkpoint failed its checksum or shape");
+        return std::nullopt;
+    }
+    return parsed;
+}
 
 //===------------------------------------------------------------------===//
 // Plan serialization
@@ -226,7 +240,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
     StoreError err;
 
     // Pick up the store's checkpoint, if any.
-    CheckpointData ckpt;
+    CheckpointState ckpt;
     bool have_ckpt = false;
     if (store.hasCheckpoint()) {
         std::optional<std::string> text = store.readCheckpoint(&err);
@@ -234,7 +248,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
             setError(error, err.status, err.message);
             return std::nullopt;
         }
-        std::optional<CheckpointData> parsed = parseCheckpoint(*text);
+        std::optional<CheckpointState> parsed = parseCheckpoint(*text);
         if (!parsed) {
             setError(error, StoreStatus::Corrupt,
                      "checkpoint failed its checksum or shape");
@@ -277,7 +291,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
                 intact = have_record[slot] != 0;
         }
         if (!intact) {
-            ckpt = CheckpointData{};
+            ckpt = CheckpointState{};
             ckpt.plan = plan;
             have_ckpt = false;
             std::fill(have_record.begin(), have_record.end(), 0);
@@ -342,6 +356,28 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
     const core::BuildId by_id{plan.missedByBuild};
     const core::BuildId ref_id{plan.referenceBuild};
 
+    // Event-log preamble. Every field is a pure function of (plan,
+    // store state), so resumed and fresh runs of the same situation
+    // log the same preamble at any thread count (DESIGN.md §12).
+    support::EventSink *events = options.events;
+    if (events) {
+        support::Event started("campaign_started",
+                               {support::kPhaseCampaign, 0, 0});
+        started.str("plan_hash", support::fnv1a64Hex(plan_json))
+            .num("seeds", plan.count)
+            .num("chunks", num_chunks)
+            .num("chunk_size", chunk_size)
+            .num("resumed_chunks", result.chunksLoaded);
+        std::string build_names;
+        for (const core::BuildSpec &build : plan.builds) {
+            if (!build_names.empty())
+                build_names += ',';
+            build_names += build.name();
+        }
+        started.str("builds", build_names);
+        events->emit(std::move(started));
+    }
+
     core::CampaignOptions chunk_options;
     chunk_options.computePrimary = plan.computePrimary;
     chunk_options.collectRemarks = plan.collectRemarks;
@@ -352,6 +388,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
     std::atomic<bool> failed{false};
     uint64_t committed_this_run = 0;
     uint64_t since_checkpoint = 0;
+    uint64_t checkpoints_written = 0;
     StoreError run_error;
 
     support::ThreadPool pool(options.threads);
@@ -381,16 +418,21 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
             // when it lands are lost, exactly like a real SIGKILL.
             if (failed.load() || halted.load())
                 return;
+            uint64_t chunk_valid = 0;
+            std::vector<std::string> hashes(chunk_records.size());
             for (size_t i = 0; i < chunk_records.size(); ++i) {
                 uint64_t slot = begin + i;
-                std::string hash = programHash(texts[i]);
-                store.putProgram(hash, texts[i]);
-                store.putRecord(chunk_records[i], slot, chunk, hash);
+                hashes[i] = programHash(texts[i]);
+                store.putProgram(hashes[i], texts[i]);
+                store.putRecord(chunk_records[i], slot, chunk,
+                                hashes[i]);
+                chunk_valid += chunk_records[i].valid ? 1 : 0;
                 records[slot] = std::move(chunk_records[i]);
             }
             registry.merge(chunk_registry);
             completed.insert(chunk);
             seeds_done += end - begin;
+            uint64_t chunk_findings = 0;
             if (extract) {
                 std::vector<StoredFinding> &list =
                     findings_by_chunk[chunk];
@@ -400,9 +442,43 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
                             records[slot], by_id, ref_id,
                             plan.builds[plan.missedByBuild],
                             plan.builds[plan.referenceBuild]);
-                    if (finding)
+                    if (finding) {
                         list.push_back({chunk, slot, *finding});
+                        ++chunk_findings;
+                        if (events) {
+                            core::VerdictKey key;
+                            key.programHash = hashes[slot - begin];
+                            key.markers = {finding->marker};
+                            key.missedBy = finding->missedBy.name();
+                            key.reference = finding->reference.name();
+                            support::Event discovered(
+                                "finding_discovered",
+                                {support::kPhaseChunk, chunk, slot});
+                            discovered.num("chunk", chunk)
+                                .num("slot", slot)
+                                .num("seed", finding->seed)
+                                .num("marker", finding->marker)
+                                .str("program_hash",
+                                     hashes[slot - begin])
+                                .str("missed_by", key.missedBy)
+                                .str("reference", key.reference)
+                                .str("fingerprint", key.fingerprint());
+                            events->emit(std::move(discovered));
+                        }
+                    }
                 }
+            }
+            if (events) {
+                support::Event committed_event(
+                    "chunk_committed", {support::kPhaseChunk, chunk,
+                                        support::kChunkCommitMinor});
+                committed_event.num("chunk", chunk)
+                    .num("first_slot", begin)
+                    .num("slots", end - begin)
+                    .num("valid", chunk_valid)
+                    .num("invalid", (end - begin) - chunk_valid)
+                    .num("findings", chunk_findings);
+                events->emit(std::move(committed_event));
             }
             while (watermark < num_chunks &&
                    completed.count(watermark))
@@ -435,6 +511,21 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
                     return;
                 }
                 since_checkpoint = 0;
+                ++checkpoints_written;
+                if (events) {
+                    // Commits are serialized, so checkpoint k always
+                    // lands after loaded + k*cadence commits — the
+                    // ordinal and chunk count are schedule-free even
+                    // though the *set* of completed chunks is not.
+                    support::Event written(
+                        "checkpoint_written",
+                        {support::kPhaseCheckpoint,
+                         checkpoints_written, 0});
+                    written.num("ordinal", checkpoints_written)
+                        .num("chunks_completed", completed.size())
+                        .num("seeds_done", seeds_done);
+                    events->emit(std::move(written));
+                }
             }
             if (options.haltAfterChunks &&
                 committed_this_run >= options.haltAfterChunks)
@@ -463,6 +554,15 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
             result.findings.push_back(entry.finding);
         }
     }
+    if (events) {
+        support::Event finished("campaign_finished",
+                                {support::kPhaseCampaignEnd, 0, 0});
+        finished.num("seeds_done", seeds_done)
+            .num("chunks_completed", completed.size())
+            .num("findings", result.findings.size())
+            .num("completed", result.completed ? 1 : 0);
+        events->emit(std::move(finished));
+    }
     span.setArg("chunks_run", result.chunksRun);
     return result;
 }
@@ -490,17 +590,10 @@ resumeCampaign(const std::string &store_path,
         setError(error, err.status, err.message);
         return std::nullopt;
     }
-    std::optional<std::string> text = store->readCheckpoint(&err);
-    if (!text) {
-        setError(error, err.status, err.message);
+    std::optional<CheckpointState> parsed =
+        readCheckpointState(*store, error);
+    if (!parsed)
         return std::nullopt;
-    }
-    std::optional<CheckpointData> parsed = parseCheckpoint(*text);
-    if (!parsed) {
-        setError(error, StoreStatus::Corrupt,
-                 "checkpoint failed its checksum or shape");
-        return std::nullopt;
-    }
 
     CheckpointRunOptions run_options = options;
     run_options.metrics = registry;

@@ -25,6 +25,7 @@
 #include <climits>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "core/triage.hpp"
 #include "corpus/json.hpp"
 #include "corpus/store.hpp"
+#include "support/events.hpp"
 
 namespace dce::corpus {
 
@@ -86,6 +88,14 @@ struct CheckpointRunOptions {
      * it, so passing the global would double-count). */
     support::MetricsRegistry *metrics = nullptr;
     core::CampaignObserver observer;
+    /**
+     * Sink for the structured event log (DESIGN.md §12):
+     * campaign_started, finding_discovered, chunk_committed,
+     * checkpoint_written, campaign_finished. Every event is keyed by
+     * plan position, so a complete run's log is byte-identical across
+     * thread counts. Null = no events.
+     */
+    support::EventSink *events = nullptr;
 };
 
 /** A finding plus where it came from (checkpoint bookkeeping). */
@@ -94,6 +104,30 @@ struct StoredFinding {
     uint64_t slot = 0;
     core::Finding finding;
 };
+
+/**
+ * Everything a checkpoint pins, parsed back out of checkpoint.json.
+ * This is the state runCheckpointed resumes from, exposed so the
+ * report layer can reconstruct a campaign — plan, findings,
+ * deterministic counters — from a store alone (even one whose run was
+ * killed and never resumed).
+ */
+struct CheckpointState {
+    CampaignPlan plan;
+    std::set<uint64_t> completed; ///< committed chunk indices
+    uint64_t watermark = 0; ///< contiguous completed-chunk prefix
+    uint64_t rngState = 0;  ///< Rng stream state at the watermark
+    /** The checkpointed campaign.* counters (deterministic subset). */
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<StoredFinding> findings;
+};
+
+/**
+ * Parse the store's checkpoint. Classified NoCheckpoint when none
+ * exists, Corrupt when it fails its checksum or shape.
+ */
+std::optional<CheckpointState>
+readCheckpointState(CorpusStore &store, StoreError *error = nullptr);
 
 struct CheckpointedCampaign {
     core::Campaign campaign;

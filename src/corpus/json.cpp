@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "support/hash.hpp"
+#include "support/json.hpp"
 
 namespace dce::corpus {
 
@@ -42,37 +43,9 @@ unsealJsonLine(std::string_view line)
 std::string
 jsonEscape(std::string_view text)
 {
-    std::string out;
-    out.reserve(text.size() + 8);
-    for (unsigned char ch : text) {
-        switch (ch) {
-        case '"':
-            out += "\\\"";
-            break;
-        case '\\':
-            out += "\\\\";
-            break;
-        case '\n':
-            out += "\\n";
-            break;
-        case '\t':
-            out += "\\t";
-            break;
-        case '\r':
-            out += "\\r";
-            break;
-        default:
-            if (ch < 0x20) {
-                static const char *kHex = "0123456789abcdef";
-                out += "\\u00";
-                out += kHex[ch >> 4];
-                out += kHex[ch & 0xf];
-            } else {
-                out += static_cast<char>(ch);
-            }
-        }
-    }
-    return out;
+    // The shared support escaper, so the store's on-disk strings use
+    // the same escaping rules as the tracer and the event log.
+    return support::jsonEscaped(text);
 }
 
 void

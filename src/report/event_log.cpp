@@ -1,0 +1,95 @@
+#include "report/event_log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dce::report {
+
+EventLog::EventLog(support::MetricsRegistry *metrics)
+{
+    support::MetricsRegistry &registry =
+        metrics ? *metrics : support::MetricsRegistry::global();
+    emitted_ = &registry.counter("report.events");
+}
+
+void
+EventLog::emit(support::Event event)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events_.push_back(std::move(event));
+    }
+    emitted_->add();
+}
+
+size_t
+EventLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+EventLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+std::vector<support::Event>
+EventLog::sorted() const
+{
+    std::vector<support::Event> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot = events_;
+    }
+    // Stable: same-key events come from a single emitter (one worker
+    // owns a chunk, one worker owns a finding), so their relative
+    // buffer order is deterministic even though unrelated events from
+    // other workers interleave between them.
+    std::stable_sort(snapshot.begin(), snapshot.end(),
+                     [](const support::Event &a,
+                        const support::Event &b) {
+                         return a.key() < b.key();
+                     });
+    return snapshot;
+}
+
+std::string
+EventLog::toJsonl() const
+{
+    std::vector<support::Event> events = sorted();
+    std::string out;
+    out.reserve(events.size() * 96);
+    for (const support::Event &event : events) {
+        event.appendJson(out);
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+EventLog::write(const std::string &path) const
+{
+    std::string body = toJsonl();
+    std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file)
+        return false;
+    bool ok =
+        std::fwrite(body.data(), 1, body.size(), file) == body.size();
+    ok = std::fflush(file) == 0 && ok;
+    ok = std::fclose(file) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace dce::report

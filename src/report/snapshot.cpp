@@ -1,0 +1,133 @@
+#include "report/snapshot.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "support/json.hpp"
+
+namespace dce::report {
+
+namespace {
+
+uint64_t
+wallMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+SnapshotWriter::SnapshotWriter(SnapshotOptions options)
+    : options_(std::move(options))
+{
+    if (!options_.registry)
+        options_.registry = &support::MetricsRegistry::global();
+}
+
+SnapshotWriter::~SnapshotWriter()
+{
+    stop();
+}
+
+std::string
+SnapshotWriter::renderSnapshot()
+{
+    uint64_t seq = sequence_.fetch_add(1);
+    std::string out = "{\"seq\":" + std::to_string(seq) +
+                      ",\"wall_ms\":" + std::to_string(wallMs()) +
+                      ",\"counters\":{";
+    bool first = true;
+    for (const auto &[key, value] : options_.registry->counters()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        support::appendJsonEscaped(out, key);
+        out += "\":";
+        out += std::to_string(value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[key, snapshot] :
+         options_.registry->histograms()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        support::appendJsonEscaped(out, key);
+        out += "\":{\"count\":";
+        out += std::to_string(snapshot.count);
+        out += ",\"sum\":";
+        out += std::to_string(snapshot.sum);
+        out += '}';
+    }
+    out += "}}";
+    return out;
+}
+
+bool
+SnapshotWriter::snapshot()
+{
+    std::string line = renderSnapshot();
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::FILE *file = std::fopen(options_.path.c_str(), "ab");
+    if (!file)
+        return false;
+    bool ok =
+        std::fwrite(line.data(), 1, line.size(), file) == line.size();
+    ok = std::fclose(file) == 0 && ok;
+    return ok;
+}
+
+void
+SnapshotWriter::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (running_)
+            return;
+        stopRequested_ = false;
+        running_ = true;
+    }
+    sampler_ = std::thread([this] { run(); });
+}
+
+void
+SnapshotWriter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_)
+            return;
+        stopRequested_ = true;
+    }
+    wake_.notify_all();
+    sampler_.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        running_ = false;
+    }
+    snapshot(); // final sample so the file always covers shutdown
+}
+
+void
+SnapshotWriter::run()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait_for(
+                lock, std::chrono::milliseconds(options_.intervalMs),
+                [this] { return stopRequested_; });
+            if (stopRequested_)
+                return;
+        }
+        snapshot();
+    }
+}
+
+} // namespace dce::report

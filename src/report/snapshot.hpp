@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Periodic metrics snapshots (DESIGN.md §12): a SnapshotWriter appends
+ * one JSONL line per snapshot — sequence number, wall-clock
+ * milliseconds, every counter, every histogram's count/sum — to a
+ * file, so a long runCheckpointed campaign's throughput trajectory
+ * can be plotted after the fact (seeds/s is the derivative of
+ * `campaign.seeds` between snapshots).
+ *
+ * Snapshots are wall-clock-stamped and therefore *operational* data:
+ * they are deliberately kept out of the deterministic event log and
+ * the campaign report. start() spawns a sampler thread on the
+ * configured cadence; snapshot() takes one sample synchronously (the
+ * test hook, and the way callers record a final sample at shutdown).
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "support/metrics.hpp"
+
+namespace dce::report {
+
+struct SnapshotOptions {
+    std::string path; ///< JSONL file, appended to (created if missing)
+    /** Sampler thread cadence. */
+    uint64_t intervalMs = 1000;
+    /** Registry to sample; null = the process global. */
+    support::MetricsRegistry *registry = nullptr;
+};
+
+class SnapshotWriter {
+  public:
+    explicit SnapshotWriter(SnapshotOptions options);
+    ~SnapshotWriter(); ///< stops the sampler thread if running
+
+    SnapshotWriter(const SnapshotWriter &) = delete;
+    SnapshotWriter &operator=(const SnapshotWriter &) = delete;
+
+    /** Append one snapshot line now. False on I/O failure. */
+    bool snapshot();
+
+    /** Start the periodic sampler thread (idempotent). */
+    void start();
+    /** Stop the sampler thread and take one final snapshot. */
+    void stop();
+
+    uint64_t snapshotsTaken() const { return sequence_.load(); }
+
+    /** The JSON body of the next snapshot (exposed for tests). */
+    std::string renderSnapshot();
+
+  private:
+    void run();
+
+    SnapshotOptions options_;
+    std::atomic<uint64_t> sequence_{0};
+    std::thread sampler_;
+    std::mutex mutex_; ///< guards stop_ for the cv + file appends
+    std::condition_variable wake_;
+    bool stopRequested_ = false;
+    bool running_ = false;
+};
+
+} // namespace dce::report

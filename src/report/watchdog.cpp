@@ -1,0 +1,158 @@
+#include "report/watchdog.hpp"
+
+#include <chrono>
+
+namespace dce::report {
+
+namespace {
+
+uint64_t
+steadyUs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+Watchdog::Watchdog(WatchdogOptions options)
+    : options_(std::move(options))
+{
+    if (!options_.registry)
+        options_.registry = &support::MetricsRegistry::global();
+    stallCounter_ = &options_.registry->counter("report.stalls");
+    lastProgressUs_ = now();
+}
+
+Watchdog::~Watchdog()
+{
+    stop();
+}
+
+uint64_t
+Watchdog::now() const
+{
+    return options_.clock ? options_.clock() : steadyUs();
+}
+
+core::CampaignObserver
+Watchdog::wrap(core::CampaignObserver inner)
+{
+    return [this, inner = std::move(inner)](
+               const core::CampaignProgress &progress) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            lastProgressUs_ = now();
+            lastProgress_ = progress;
+            stalledNow_ = false; // progress re-arms the watchdog
+        }
+        if (inner)
+            inner(progress);
+    };
+}
+
+bool
+Watchdog::stalled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stalledNow_;
+}
+
+std::string
+Watchdog::diagnosticDump(const core::CampaignProgress &progress,
+                         uint64_t silent_us) const
+{
+    std::string out = "watchdog: no progress for " +
+                      std::to_string(silent_us / 1000) + " ms\n";
+    out += "in-flight: " + std::to_string(progress.seedsDone) + "/" +
+           std::to_string(progress.seedsTotal) + " seeds, " +
+           std::to_string(progress.invalidPrograms) + " invalid, " +
+           std::to_string(progress.cacheHits) + " cache hits, " +
+           std::to_string(progress.cacheMisses) + " misses\n";
+    out += options_.registry->dumpText();
+    return out;
+}
+
+bool
+Watchdog::poll()
+{
+    uint64_t silent_us = 0;
+    core::CampaignProgress progress;
+    uint64_t ordinal = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        uint64_t current = now();
+        silent_us = current >= lastProgressUs_
+                        ? current - lastProgressUs_
+                        : 0;
+        if (silent_us < options_.stallThresholdUs || stalledNow_)
+            return false;
+        stalledNow_ = true; // latch: no repeat-fire while stalled
+        progress = lastProgress_;
+        ordinal = stalls_.fetch_add(1) + 1;
+    }
+    stallCounter_->add();
+    if (options_.events) {
+        // kPhaseOps: inherently wall-clock-driven, so stall events
+        // never perturb the deterministic bands of the log.
+        support::Event event("watchdog_stall",
+                             {support::kPhaseOps, ordinal, 0});
+        event.num("stall", ordinal)
+            .num("silent_us", silent_us)
+            .num("seeds_done", progress.seedsDone)
+            .num("seeds_total", progress.seedsTotal);
+        options_.events->emit(std::move(event));
+    }
+    if (options_.onStall)
+        options_.onStall(diagnosticDump(progress, silent_us));
+    return true;
+}
+
+void
+Watchdog::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (running_)
+            return;
+        stopRequested_ = false;
+        running_ = true;
+    }
+    poller_ = std::thread([this] { run(); });
+}
+
+void
+Watchdog::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_)
+            return;
+        stopRequested_ = true;
+    }
+    wake_.notify_all();
+    poller_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+}
+
+void
+Watchdog::run()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait_for(
+                lock,
+                std::chrono::microseconds(options_.pollIntervalUs),
+                [this] { return stopRequested_; });
+            if (stopRequested_)
+                return;
+        }
+        poll();
+    }
+}
+
+} // namespace dce::report

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Campaign stall watchdog (DESIGN.md §12). A Watchdog wraps any
+ * CampaignObserver and tracks time-since-last-progress; when no seed
+ * completes for the configured threshold it fires exactly once —
+ * emitting a watchdog_stall event (kPhaseOps, so stall-free logs stay
+ * deterministic), bumping `report.stalls`, and handing the configured
+ * onStall callback a diagnostic dump (last observed progress plus a
+ * registry dump). The stall flag clears on the next observed progress,
+ * re-arming the watchdog; while stalled it never repeat-fires.
+ *
+ * The clock is injectable so tests drive stalls deterministically;
+ * production construction defaults to the steady clock and an optional
+ * background poller thread.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/campaign.hpp"
+#include "support/events.hpp"
+#include "support/metrics.hpp"
+
+namespace dce::report {
+
+struct WatchdogOptions {
+    /** Progress silence that counts as a stall. */
+    uint64_t stallThresholdUs = 30'000'000;
+    /** Poller thread cadence (start()/stop() only). */
+    uint64_t pollIntervalUs = 1'000'000;
+    /** Sink for watchdog_stall events; null = none. */
+    support::EventSink *events = nullptr;
+    /** Registry for the `report.stalls` counter and the diagnostic
+     * dump; null = the process global. */
+    support::MetricsRegistry *registry = nullptr;
+    /** Receives the diagnostic dump on each stall; null = none. */
+    std::function<void(const std::string &)> onStall;
+    /** Microsecond clock; null = std::chrono::steady_clock. Tests
+     * inject a fake to script stalls. */
+    std::function<uint64_t()> clock;
+};
+
+class Watchdog {
+  public:
+    explicit Watchdog(WatchdogOptions options);
+    ~Watchdog(); ///< stops the poller thread if running
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Wrap @p inner: the returned observer records progress (feeding
+     * the stall detector and the diagnostic snapshot) and then
+     * forwards to @p inner (which may be null). The Watchdog must
+     * outlive the returned observer.
+     */
+    core::CampaignObserver wrap(core::CampaignObserver inner);
+
+    /** Check for a stall now (the poller's body; the test hook).
+     * Returns true when this call fired a stall. */
+    bool poll();
+
+    /** Start/stop the background poller thread (idempotent). */
+    void start();
+    void stop();
+
+    uint64_t stallsFired() const { return stalls_.load(); }
+    bool stalled() const;
+
+  private:
+    uint64_t now() const;
+    void run();
+    std::string diagnosticDump(const core::CampaignProgress &progress,
+                               uint64_t silent_us) const;
+
+    WatchdogOptions options_;
+    support::Counter *stallCounter_ = nullptr;
+
+    mutable std::mutex mutex_;
+    uint64_t lastProgressUs_ = 0;
+    core::CampaignProgress lastProgress_; ///< in-flight state
+    bool stalledNow_ = false; ///< single-fire latch
+    std::atomic<uint64_t> stalls_{0};
+
+    std::thread poller_;
+    std::condition_variable wake_;
+    bool running_ = false;
+    bool stopRequested_ = false;
+};
+
+} // namespace dce::report

@@ -1,0 +1,48 @@
+#include "support/events.hpp"
+
+#include "support/json.hpp"
+
+namespace dce::support {
+
+std::optional<uint64_t>
+Event::getNum(std::string_view name) const
+{
+    for (const Field &field : fields_) {
+        if (field.isNum && field.name == name)
+            return field.num;
+    }
+    return std::nullopt;
+}
+
+const std::string *
+Event::getStr(std::string_view name) const
+{
+    for (const Field &field : fields_) {
+        if (!field.isNum && field.name == name)
+            return &field.str;
+    }
+    return nullptr;
+}
+
+void
+Event::appendJson(std::string &out) const
+{
+    out += "{\"event\":\"";
+    appendJsonEscaped(out, type_);
+    out += '"';
+    for (const Field &field : fields_) {
+        out += ",\"";
+        appendJsonEscaped(out, field.name);
+        out += "\":";
+        if (field.isNum) {
+            out += std::to_string(field.num);
+        } else {
+            out += '"';
+            appendJsonEscaped(out, field.str);
+            out += '"';
+        }
+    }
+    out += '}';
+}
+
+} // namespace dce::support

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The structured-event model behind the campaign event log
+ * (DESIGN.md §12). This header lives in `support` — the lowest layer —
+ * so the campaign engine, the checkpointing runner, the triage
+ * pipeline, and the bisector can all emit events without depending on
+ * the report subsystem that consumes them; `report::EventLog` is the
+ * canonical EventSink implementation.
+ *
+ * Determinism is designed in at this level: every event carries an
+ * EventKey — a (phase, major, minor) triple derived from the *plan
+ * position* of the work that produced it (chunk index, slot, finding
+ * index), never from wall-clock time or scheduling order. Sorting a
+ * log by key therefore yields the same byte sequence for a serial and
+ * an 8-thread run of the same plan. Events whose timing is inherently
+ * operational (watchdog stalls) are segregated into kPhaseOps, so
+ * their presence — only on an actual stall — is the only thing that
+ * can distinguish two logs of the same plan.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+namespace dce::support {
+
+/**
+ * Deterministic total order for event serialization. `phase` splits
+ * the campaign lifecycle into bands (below); `major`/`minor` order
+ * events within a band by plan position (chunk/slot, finding
+ * index/step, checkpoint ordinal).
+ */
+struct EventKey {
+    uint64_t phase = 0;
+    uint64_t major = 0;
+    uint64_t minor = 0;
+
+    friend bool
+    operator<(const EventKey &a, const EventKey &b)
+    {
+        return std::tie(a.phase, a.major, a.minor) <
+               std::tie(b.phase, b.major, b.minor);
+    }
+    friend bool operator==(const EventKey &, const EventKey &) = default;
+};
+
+/// Campaign-scoped preamble (campaign_started).
+inline constexpr uint64_t kPhaseCampaign = 0;
+/// Per-chunk work: finding_discovered (minor = slot), then the
+/// chunk_committed summary (minor = kChunkCommitMinor).
+inline constexpr uint64_t kPhaseChunk = 1;
+/// checkpoint_written, ordered by checkpoint ordinal.
+inline constexpr uint64_t kPhaseCheckpoint = 2;
+/// campaign_finished.
+inline constexpr uint64_t kPhaseCampaignEnd = 3;
+/// Triage: verdict_cached / reduction_finished / finding_classified,
+/// major = finding index, minor = step.
+inline constexpr uint64_t kPhaseTriage = 4;
+/// bisect_resolved, major = marker.
+inline constexpr uint64_t kPhaseBisect = 5;
+/// Operational events with wall-clock semantics (watchdog stalls);
+/// absent from stall-free runs, so they never perturb byte-identity.
+inline constexpr uint64_t kPhaseOps = 6;
+
+/// chunk_committed sorts after every per-slot event of its chunk.
+inline constexpr uint64_t kChunkCommitMinor = ~uint64_t{0};
+
+/**
+ * One typed event: a type tag, an ordering key, and a flat list of
+ * named fields (strings or 64-bit numbers) serialized in insertion
+ * order. Field values carry the provenance keys already flowing
+ * through the pipeline — seed, program hash, marker, killer pass,
+ * build name, fingerprint — so a log line is self-describing.
+ */
+class Event {
+  public:
+    Event() = default;
+    Event(std::string type, EventKey key)
+        : type_(std::move(type)), key_(key)
+    {
+    }
+
+    Event &
+    num(std::string name, uint64_t value)
+    {
+        fields_.push_back({std::move(name), {}, value, true});
+        return *this;
+    }
+
+    Event &
+    str(std::string name, std::string value)
+    {
+        fields_.push_back({std::move(name), std::move(value), 0, false});
+        return *this;
+    }
+
+    const std::string &type() const { return type_; }
+    const EventKey &key() const { return key_; }
+
+    /** Value of numeric field @p name; nullopt when absent. */
+    std::optional<uint64_t> getNum(std::string_view name) const;
+    /** Value of string field @p name; nullptr when absent. */
+    const std::string *getStr(std::string_view name) const;
+
+    /** Append the event as one JSON object (no trailing newline):
+     * {"event":"<type>",<fields in insertion order>}. */
+    void appendJson(std::string &out) const;
+
+  private:
+    struct Field {
+        std::string name;
+        std::string str;
+        uint64_t num = 0;
+        bool isNum = false;
+    };
+
+    std::string type_;
+    EventKey key_;
+    std::vector<Field> fields_;
+};
+
+/**
+ * Where emitted events go. Implementations must be thread-safe:
+ * campaign workers emit from every thread. The canonical
+ * implementation is report::EventLog; tests may use ad-hoc sinks.
+ */
+class EventSink {
+  public:
+    virtual ~EventSink() = default;
+    virtual void emit(Event event) = 0;
+};
+
+/** emit() through a possibly-null sink — the pattern at every
+ * instrumentation site (a null sink costs one branch). */
+inline void
+emitEvent(EventSink *sink, Event event)
+{
+    if (sink)
+        sink->emit(std::move(event));
+}
+
+} // namespace dce::support

@@ -1,0 +1,53 @@
+#include "support/json.hpp"
+
+namespace dce::support {
+
+void
+appendJsonEscaped(std::string &out, std::string_view text)
+{
+    for (unsigned char ch : text) {
+        switch (ch) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        default:
+            if (ch < 0x20) {
+                static const char kHex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += kHex[ch >> 4];
+                out += kHex[ch & 0xf];
+            } else {
+                out += static_cast<char>(ch);
+            }
+        }
+    }
+}
+
+std::string
+jsonEscaped(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    appendJsonEscaped(out, text);
+    return out;
+}
+
+} // namespace dce::support

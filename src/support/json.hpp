@@ -1,0 +1,29 @@
+/**
+ * @file
+ * JSON string escaping shared by every JSON producer in the tree: the
+ * Chrome-trace tracer, the structured event log, and (via delegation)
+ * the corpus store's writer. One definition so "what is a legal JSON
+ * string" has exactly one answer:
+ *
+ *  - `"` `\` and the named control escapes (\n \t \r \b \f) get their
+ *    two-character forms;
+ *  - every other control byte < 0x20 becomes \u00XX (JSON strings may
+ *    not contain raw control characters);
+ *  - bytes >= 0x20 — multi-byte UTF-8 sequences included — pass
+ *    through untouched, so non-ASCII span names and program text
+ *    survive byte-exactly.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dce::support {
+
+/** Append @p text to @p out with JSON string escaping (no quotes). */
+void appendJsonEscaped(std::string &out, std::string_view text);
+
+/** The escaped form of @p text (no surrounding quotes). */
+std::string jsonEscaped(std::string_view text);
+
+} // namespace dce::support

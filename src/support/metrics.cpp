@@ -1,6 +1,8 @@
 #include "support/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <tuple>
 
 namespace dce::support {
 
@@ -99,6 +101,187 @@ MetricsRegistry::counters() const
     out.reserve(counters_.size());
     for (const auto &[key, counter] : counters_)
         out.emplace_back(key, counter->value());
+    return out;
+}
+
+std::vector<
+    std::pair<std::string, MetricsRegistry::HistogramSnapshot>>
+MetricsRegistry::histograms() const
+{
+    std::vector<std::pair<std::string, HistogramSnapshot>> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(histograms_.size());
+    for (const auto &[key, histogram] : histograms_) {
+        HistogramSnapshot snapshot;
+        snapshot.count = histogram->count();
+        snapshot.sum = histogram->sum();
+        for (size_t i = 0; i < Histogram::kBuckets; ++i)
+            snapshot.buckets[i] = histogram->bucket(i);
+        out.emplace_back(key, snapshot);
+    }
+    return out;
+}
+
+namespace {
+
+/** Split a registry key into its (name, label) parts. */
+std::pair<std::string, std::string>
+splitKey(const std::string &key)
+{
+    size_t brace = key.find('{');
+    if (brace == std::string::npos || key.back() != '}')
+        return {key, ""};
+    return {key.substr(0, brace),
+            key.substr(brace + 1, key.size() - brace - 2)};
+}
+
+/** Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Our keys only
+ * ever violate this with '.' and '-', both mapped to '_'. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+/** Escape a label value per the Prometheus exposition format. */
+std::string
+escapeLabel(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+appendSeries(std::string &out, const std::string &name,
+             const std::string &label_pair)
+{
+    out += name;
+    if (!label_pair.empty()) {
+        out += '{';
+        out += label_pair;
+        out += '}';
+    }
+}
+
+/** The `label="..."` pair for @p label, empty when the key was bare. */
+std::string
+labelPair(const std::string &label)
+{
+    if (label.empty())
+        return "";
+    return "label=\"" + escapeLabel(label) + "\"";
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::expose() const
+{
+    // Snapshot both instrument families, re-sort by (name, label)
+    // explicitly: the registry map sorts by the *combined* key, under
+    // which "foo.barbaz" can fall between "foo.bar" and "foo.bar{x}"
+    // — Prometheus requires every series of a metric consecutive.
+    std::vector<std::tuple<std::string, std::string, uint64_t>> cs;
+    for (const auto &[key, value] : counters()) {
+        auto [name, label] = splitKey(key);
+        cs.emplace_back(sanitizeName(name), label, value);
+    }
+    std::sort(cs.begin(), cs.end());
+    std::vector<std::tuple<std::string, std::string, HistogramSnapshot>>
+        hs;
+    for (const auto &[key, snapshot] : histograms()) {
+        auto [name, label] = splitKey(key);
+        hs.emplace_back(sanitizeName(name), label, snapshot);
+    }
+    std::sort(hs.begin(), hs.end(),
+              [](const auto &a, const auto &b) {
+                  return std::tie(std::get<0>(a), std::get<1>(a)) <
+                         std::tie(std::get<0>(b), std::get<1>(b));
+              });
+
+    std::string out;
+    std::string current;
+    for (const auto &[name, label, value] : cs) {
+        if (name != current) {
+            current = name;
+            out += "# TYPE " + name + " counter\n";
+        }
+        appendSeries(out, name, labelPair(label));
+        out += ' ';
+        out += std::to_string(value);
+        out += '\n';
+    }
+    current.clear();
+    for (const auto &[name, label, snapshot] : hs) {
+        if (name != current) {
+            current = name;
+            out += "# TYPE " + name + " histogram\n";
+        }
+        std::string labels = labelPair(label);
+        // Bucket i of the bit-width histogram holds samples with
+        // bit_width(v) == i, i.e. v in [2^(i-1), 2^i - 1] (v == 0 for
+        // i == 0) — so the cumulative upper bound of bucket i is
+        // 2^i - 1. Trailing empty buckets are elided; +Inf closes the
+        // series with the exact total.
+        size_t last = 0;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+            if (snapshot.buckets[i])
+                last = i;
+        }
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i <= last; ++i) {
+            cumulative += snapshot.buckets[i];
+            uint64_t le =
+                i == 0 ? 0 : ((uint64_t{1} << i) - 1);
+            std::string bucket_labels = labels;
+            if (!bucket_labels.empty())
+                bucket_labels += ',';
+            bucket_labels += "le=\"" + std::to_string(le) + "\"";
+            appendSeries(out, name + "_bucket", bucket_labels);
+            out += ' ';
+            out += std::to_string(cumulative);
+            out += '\n';
+        }
+        std::string inf_labels = labels;
+        if (!inf_labels.empty())
+            inf_labels += ',';
+        inf_labels += "le=\"+Inf\"";
+        appendSeries(out, name + "_bucket", inf_labels);
+        out += ' ';
+        out += std::to_string(snapshot.count);
+        out += '\n';
+        appendSeries(out, name + "_sum", labels);
+        out += ' ';
+        out += std::to_string(snapshot.sum);
+        out += '\n';
+        appendSeries(out, name + "_count", labels);
+        out += ' ';
+        out += std::to_string(snapshot.count);
+        out += '\n';
+    }
     return out;
 }
 

@@ -16,6 +16,7 @@
  */
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -133,6 +134,28 @@ public:
 
     /** All (key, value) counter pairs, sorted by key. */
     std::vector<std::pair<std::string, uint64_t>> counters() const;
+
+    /** Point-in-time copy of one histogram's state. */
+    struct HistogramSnapshot {
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        std::array<uint64_t, Histogram::kBuckets> buckets{};
+    };
+
+    /** All (key, snapshot) histogram pairs, sorted by key. */
+    std::vector<std::pair<std::string, HistogramSnapshot>>
+    histograms() const;
+
+    /**
+     * Prometheus text exposition of every instrument (DESIGN.md §12).
+     * Names are sanitized (`campaign.stage_us` → `campaign_stage_us`),
+     * the registry's single label value becomes `label="..."`, and
+     * histograms expose cumulative `_bucket{le="2^i-1"}` series (the
+     * bit-width buckets' upper bounds) plus `_sum`/`_count`. Series
+     * are ordered by (name, label) — insertion order never shows, so
+     * two registries with the same totals expose identical text.
+     */
+    std::string expose() const;
 
     /**
      * Human-readable dump, sorted by key:

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <fstream>
 
+#include "support/json.hpp"
+
 namespace dce::support {
 
 namespace {
@@ -16,38 +18,13 @@ tracerEpoch()
     return epoch;
 }
 
-/** JSON string escaping for the few fields we serialize. */
+/** JSON string escaping for the few fields we serialize — the shared
+ * support implementation, so the tracer and the event log agree on
+ * control-character and UTF-8 handling. */
 void
 appendEscaped(std::string &out, const std::string &text)
 {
-    for (char c : text) {
-        switch (c) {
-        case '"':
-            out += "\\\"";
-            break;
-        case '\\':
-            out += "\\\\";
-            break;
-        case '\n':
-            out += "\\n";
-            break;
-        case '\t':
-            out += "\\t";
-            break;
-        case '\r':
-            out += "\\r";
-            break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                static const char hex[] = "0123456789abcdef";
-                out += "\\u00";
-                out += hex[(c >> 4) & 0xf];
-                out += hex[c & 0xf];
-            } else {
-                out += c;
-            }
-        }
-    }
+    appendJsonEscaped(out, text);
 }
 
 } // namespace
