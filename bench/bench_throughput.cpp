@@ -12,7 +12,6 @@
 #include <filesystem>
 #include <unistd.h>
 
-#include "backend/codegen.hpp"
 #include "core/campaign.hpp"
 #include "corpus/checkpoint.hpp"
 #include "corpus/serialize.hpp"
@@ -104,8 +103,8 @@ BM_EmitAssembly(benchmark::State &state)
     compiler::Compiler comp(compiler::CompilerId::Beta,
                             compiler::OptLevel::O3);
     for (auto _ : state) {
-        auto module = comp.compile(*prog.unit);
-        benchmark::DoNotOptimize(backend::emitAssembly(*module));
+        compiler::Compilation result = comp.compile(*prog.unit);
+        benchmark::DoNotOptimize(result.assembly());
     }
 }
 BENCHMARK(BM_EmitAssembly);

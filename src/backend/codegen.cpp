@@ -47,7 +47,7 @@ demotePhis(Module &module)
 
         std::unordered_map<Instr *, Instr *> slot_of;
         for (Instr *phi : phis) {
-            auto slot = std::make_unique<Instr>(Opcode::Alloca,
+            auto slot = module.newInstr(Opcode::Alloca,
                                                 IrType::ptrTy());
             slot->allocatedType = phi->type();
             slot->setId(module.nextValueId());
@@ -77,7 +77,7 @@ demotePhis(Module &module)
                         auto *inc = static_cast<Instr *>(incoming);
                         if (inc->opcode() == Opcode::Phi &&
                             inc->parent() == block) {
-                            auto load = std::make_unique<Instr>(
+                            auto load = module.newInstr(
                                 Opcode::Load, inc->type());
                             load->addOperand(slot_of.at(inc));
                             load->setId(module.nextValueId());
@@ -88,7 +88,7 @@ demotePhis(Module &module)
                     copies.emplace_back(source, slot_of.at(phi));
                 }
                 for (auto &[source, slot] : copies) {
-                    auto store = std::make_unique<Instr>(
+                    auto store = module.newInstr(
                         Opcode::Store, IrType::voidTy());
                     store->addOperand(source);
                     store->addOperand(slot);
@@ -100,7 +100,7 @@ demotePhis(Module &module)
         // Replace each phi with a load at its block's start.
         for (Instr *phi : phis) {
             BasicBlock *block = phi->parent();
-            auto load = std::make_unique<Instr>(Opcode::Load,
+            auto load = module.newInstr(Opcode::Load,
                                                 phi->type());
             load->addOperand(slot_of.at(phi));
             load->setId(module.nextValueId());

@@ -1,0 +1,43 @@
+#include "compiler/compilation.hpp"
+
+#include "backend/codegen.hpp"
+#include "support/markers.hpp"
+
+namespace dce::compiler {
+
+std::set<unsigned>
+survivingMarkersInIr(const ir::Module &module)
+{
+    std::set<unsigned> alive;
+    for (const auto &fn : module.functions()) {
+        if (fn->isDeclaration())
+            continue; // declarations emit no code
+        for (const auto &block : fn->blocks()) {
+            for (const auto &instr : block->instrs()) {
+                if (instr->opcode() != ir::Opcode::Call)
+                    continue;
+                const ir::Function *callee = instr->callee;
+                if (!callee || !callee->isDeclaration())
+                    continue;
+                if (auto index = support::markerIndex(callee->name()))
+                    alive.insert(*index);
+            }
+        }
+    }
+    return alive;
+}
+
+const std::string &
+Compilation::assembly() const
+{
+    if (!assembly_) {
+        support::MetricsRegistry &registry =
+            observers_.metrics ? *observers_.metrics
+                               : support::MetricsRegistry::global();
+        registry.counter("backend.emits").add();
+        assembly_ = backend::emitAssembly(module());
+    }
+    return *assembly_;
+}
+
+} // namespace dce::compiler

@@ -2,7 +2,6 @@
 
 #include <cassert>
 
-#include "backend/codegen.hpp"
 #include "ir/clone.hpp"
 #include "ir/lowering.hpp"
 #include "support/trace.hpp"
@@ -408,49 +407,39 @@ Compiler::describe() const
            "@" + spec(id_).history()[commitIndex_].hash;
 }
 
-std::unique_ptr<ir::Module>
-Compiler::compile(const lang::TranslationUnit &unit,
-                  bool verify_each) const
+Compilation
+Compiler::compile(const lang::TranslationUnit &unit, bool verify_each,
+                  BuildObservers observers) const
 {
     std::unique_ptr<ir::Module> module = ir::lowerToIr(unit);
-    optimize(*module, verify_each);
-    return module;
+    std::string error = optimize(*module, verify_each, observers);
+    return Compilation(std::move(module), observers, std::move(error));
 }
 
-std::unique_ptr<ir::Module>
+Compilation
 Compiler::compileLowered(const ir::Module &lowered, bool verify_each,
-                         support::RemarkCollector *remarks,
-                         support::MetricsRegistry *metrics) const
+                         BuildObservers observers) const
 {
     std::unique_ptr<ir::Module> module = ir::cloneModule(lowered);
-    optimize(*module, verify_each, remarks, metrics);
-    return module;
+    std::string error = optimize(*module, verify_each, observers);
+    return Compilation(std::move(module), observers, std::move(error));
 }
 
-void
+std::string
 Compiler::optimize(ir::Module &module, bool verify_each,
-                   support::RemarkCollector *remarks,
-                   support::MetricsRegistry *metrics) const
+                   BuildObservers observers) const
 {
-    lastError_.clear();
     if (level_ == OptLevel::O0)
-        return;
+        return {};
     support::TraceSpan span("optimize", "compile");
     opt::PassConfig config =
         adjustForLevel(spec(id_).configAt(level_, commitIndex_), level_);
     opt::PassManager pm(config);
     buildPipeline(pm, level_);
-    pm.setRemarks(remarks);
-    pm.setMetrics(metrics);
+    pm.setRemarks(observers.remarks);
+    pm.setMetrics(observers.metrics);
     pm.run(module, verify_each);
-    lastError_ = pm.lastError();
-}
-
-std::string
-Compiler::compileToAsm(const lang::TranslationUnit &unit) const
-{
-    std::unique_ptr<ir::Module> module = compile(unit);
-    return backend::emitAssembly(*module);
+    return pm.lastError();
 }
 
 } // namespace dce::compiler

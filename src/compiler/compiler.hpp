@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/compilation.hpp"
 #include "ir/ir.hpp"
 #include "lang/ast.hpp"
 #include "opt/pass.hpp"
@@ -79,8 +80,11 @@ const CompilerSpec &spec(CompilerId id);
 
 /**
  * A concrete compiler build: (id, level, commit). compile() lowers a
- * checked translation unit and runs the build's pipeline; the result
- * can be executed (interp) or emitted (backend).
+ * checked translation unit, runs the build's pipeline, and returns a
+ * Compilation — the lazy artifact cache over the optimized module
+ * (surviving markers from IR, assembly on demand, errors as part of
+ * the value). A Compiler carries no mutable state, so one instance is
+ * safe to share across the campaign thread pool.
  */
 class Compiler {
   public:
@@ -95,13 +99,17 @@ class Compiler {
     std::string describe() const;
 
     /**
-     * Compile @p unit: lower + optimize.
-     * @param verify_each run the IR verifier after every pass (tests);
-     *        on failure the error is in lastError().
+     * Compile @p unit: lower + optimize. A verification failure
+     * (@p verify_each, tests) is carried in the returned Compilation's
+     * error() — the Compiler itself stays immutable.
+     *
+     * @param observers optional remark/metric sinks for the pipeline
+     *        run (DESIGN.md §9); also consulted by the Compilation's
+     *        lazy artifacts (`backend.emits`).
      */
-    std::unique_ptr<ir::Module>
-    compile(const lang::TranslationUnit &unit,
-            bool verify_each = false) const;
+    Compilation compile(const lang::TranslationUnit &unit,
+                        bool verify_each = false,
+                        BuildObservers observers = {}) const;
 
     /**
      * Compile from an already-lowered O0 module instead of from the
@@ -110,34 +118,23 @@ class Compiler {
      * lowering can be shared across every build of a campaign — the
      * engine's lowering cache. Equivalent to compile() on the unit
      * @p lowered came from.
-     *
-     * @param remarks optional optimization-remark sink: per-pass
-     *        marker-elimination attribution lands here (DESIGN.md §9).
-     * @param metrics optional registry for per-pass instruction-delta
-     *        counters. Both default to off — the plain hot path.
      */
-    std::unique_ptr<ir::Module>
-    compileLowered(const ir::Module &lowered, bool verify_each = false,
-                   support::RemarkCollector *remarks = nullptr,
-                   support::MetricsRegistry *metrics = nullptr) const;
+    Compilation compileLowered(const ir::Module &lowered,
+                               bool verify_each = false,
+                               BuildObservers observers = {}) const;
 
-    /** Run this build's pipeline in place over @p module (which must
-     * be an O0 lowering this build owns). Observability params as in
-     * compileLowered(). */
-    void optimize(ir::Module &module, bool verify_each = false,
-                  support::RemarkCollector *remarks = nullptr,
-                  support::MetricsRegistry *metrics = nullptr) const;
-
-    /** compile() + backend emission. */
-    std::string compileToAsm(const lang::TranslationUnit &unit) const;
-
-    const std::string &lastError() const { return lastError_; }
+    /**
+     * Run this build's pipeline in place over @p module (which must
+     * be an O0 lowering this build owns).
+     * @return the verification failure, empty on success.
+     */
+    std::string optimize(ir::Module &module, bool verify_each = false,
+                         BuildObservers observers = {}) const;
 
   private:
     CompilerId id_;
     OptLevel level_;
     size_t commitIndex_;
-    mutable std::string lastError_;
 };
 
 /** Build the pass pipeline for @p level under @p config into @p pm.

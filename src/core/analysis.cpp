@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "backend/codegen.hpp"
+#include "compiler/compilation.hpp"
 #include "ir/lowering.hpp"
 
 namespace dce::core {
@@ -25,18 +26,18 @@ std::set<unsigned>
 aliveMarkers(const lang::TranslationUnit &unit,
              const compiler::Compiler &comp)
 {
-    return aliveMarkersInAsm(comp.compileToAsm(unit));
+    return comp.compile(unit).survivingMarkers();
 }
 
 std::set<unsigned>
 aliveMarkers(const ir::Module &lowered, const compiler::Compiler &comp,
-             support::RemarkCollector *remarks,
-             support::MetricsRegistry *metrics)
+             compiler::BuildObservers observers, SurvivalSource source)
 {
-    std::unique_ptr<ir::Module> optimized =
-        comp.compileLowered(lowered, /*verify_each=*/false, remarks,
-                            metrics);
-    return aliveMarkersInAsm(backend::emitAssembly(*optimized));
+    compiler::Compilation result =
+        comp.compileLowered(lowered, /*verify_each=*/false, observers);
+    if (source == SurvivalSource::Assembly)
+        return aliveMarkersInAsm(result.assembly());
+    return result.survivingMarkers();
 }
 
 GroundTruth

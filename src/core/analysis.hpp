@@ -30,6 +30,19 @@ namespace dce::core {
 std::set<unsigned> aliveMarkersInAsm(const std::string &assembly);
 
 /**
+ * Where a build's alive-marker set is read from. The two sources are
+ * byte-identical by construction (the backend emits every call of
+ * every function with a body — see compiler::survivingMarkersInIr);
+ * Ir is the hot path, Assembly the paper's original black-box recipe,
+ * kept selectable so the equivalence stays a tested invariant rather
+ * than an assumption.
+ */
+enum class SurvivalSource {
+    Ir,       ///< walk the optimized IR (no codegen — the fast path)
+    Assembly, ///< emit assembly and grep it (the paper's method)
+};
+
+/**
  * Compile the instrumented unit with @p comp and return the alive
  * marker set Comp(M) — step (2)+(3) of Figure 1 for one build.
  */
@@ -42,14 +55,14 @@ std::set<unsigned> aliveMarkers(const lang::TranslationUnit &unit,
  * ir::lowerToIr, then call this once per build — the campaign engine's
  * lowering cache in miniature.
  *
- * @param remarks optional sink receiving per-pass marker-elimination
- *        attribution for this build's pipeline (DESIGN.md §9).
- * @param metrics optional registry for per-pass instruction deltas.
+ * @param observers optional remark/metric sinks for the build's
+ *        pipeline run (DESIGN.md §9).
+ * @param source    read survival from IR (default) or assembly.
  */
 std::set<unsigned>
 aliveMarkers(const ir::Module &lowered, const compiler::Compiler &comp,
-             support::RemarkCollector *remarks = nullptr,
-             support::MetricsRegistry *metrics = nullptr);
+             compiler::BuildObservers observers = {},
+             SurvivalSource source = SurvivalSource::Ir);
 
 /** Ground truth from execution. */
 struct GroundTruth {

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "gen/mutator.hpp"
 #include "ir/lowering.hpp"
 #include "ir/verifier.hpp"
 #include "lang/printer.hpp"
@@ -287,6 +288,9 @@ processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
     Clock::time_point t0 = Clock::now();
     instrument::Instrumented prog = [&] {
         support::TraceSpan span("generate", "campaign");
+        if (options.mutator)
+            return options.mutator->makeProgram(seed,
+                                                options.generator);
         return makeProgram(seed, options.generator);
     }();
     record.markerCount = prog.markerCount();
@@ -345,7 +349,8 @@ processSeed(uint64_t seed, const std::vector<BuildSpec> &builds,
         support::RemarkCollector remarks;
         std::set<unsigned> alive = aliveMarkers(
             *lowered, builds[b].make(),
-            options.collectRemarks ? &remarks : nullptr);
+            {options.collectRemarks ? &remarks : nullptr, nullptr},
+            options.survivalSource);
         ++local.cacheHits;
         record.missed[b] = missedMarkers(alive, truth);
         record.alive[b] = std::move(alive);

@@ -67,9 +67,10 @@ rejectReasonName(RejectReason reason)
 
 InterestingnessTest::InterestingnessTest(
     unsigned marker, const BuildSpec &missed_by,
-    const BuildSpec &reference, support::MetricsRegistry *metrics)
+    const BuildSpec &reference, support::MetricsRegistry *metrics,
+    SurvivalSource source)
     : marker_(marker), markerName_(instrument::markerName(marker)),
-      missedBy_(missed_by), reference_(reference)
+      missedBy_(missed_by), reference_(reference), source_(source)
 {
     support::MetricsRegistry &registry =
         metrics ? *metrics : support::MetricsRegistry::global();
@@ -120,10 +121,12 @@ InterestingnessTest::test(const std::string &candidate,
     // missed-by side runs first — shrinking candidates most often stop
     // being missed, so the second pipeline is frequently skipped.
     compiles_->add();
-    if (!aliveMarkers(*lowered, missedBy_.make()).count(marker_))
+    if (!aliveMarkers(*lowered, missedBy_.make(), {}, source_)
+             .count(marker_))
         return reject(RejectReason::NotDifferential);
     compiles_->add();
-    if (aliveMarkers(*lowered, reference_.make()).count(marker_))
+    if (aliveMarkers(*lowered, reference_.make(), {}, source_)
+            .count(marker_))
         return reject(RejectReason::NotDifferential);
     return true;
 }
@@ -134,7 +137,7 @@ namespace {
  * commit that resolves it, or a capability tag. */
 std::string
 signatureOf(const std::string &reduced_source, const Finding &finding,
-            bool &fixed)
+            bool &fixed, SurvivalSource source)
 {
     DiagnosticEngine diags;
     auto unit = lang::parseAndCheck(reduced_source, diags);
@@ -150,7 +153,7 @@ signatureOf(const std::string &reduced_source, const Finding &finding,
          commit < spec.history().size(); ++commit) {
         compiler::Compiler fixed_build(finding.missedBy.id,
                                        finding.missedBy.level, commit);
-        if (!aliveMarkers(*lowered, fixed_build)
+        if (!aliveMarkers(*lowered, fixed_build, {}, source)
                  .count(finding.marker)) {
             fixed = true;
             return "fixedby:" + spec.history()[commit].hash;
@@ -162,9 +165,10 @@ signatureOf(const std::string &reduced_source, const Finding &finding,
     std::string fingerprint = "capability:";
     for (compiler::OptLevel level : compiler::allOptLevels()) {
         compiler::Compiler probe(finding.missedBy.id, level);
-        fingerprint +=
-            aliveMarkers(*lowered, probe).count(finding.marker) ? 'm'
-                                                                : 'e';
+        fingerprint += aliveMarkers(*lowered, probe, {}, source)
+                               .count(finding.marker)
+                           ? 'm'
+                           : 'e';
     }
     return fingerprint;
 }
@@ -306,7 +310,8 @@ triageFindings(const std::vector<Finding> &findings,
 
                 InterestingnessTest interesting(
                     finding.marker, finding.missedBy,
-                    finding.reference, registry);
+                    finding.reference, registry,
+                    options.survivalSource);
                 reduce::ReduceOptions reduce_options;
                 reduce_options.maxTests = options.maxTests;
                 reduce_options.workers = options.reduceWorkers;
@@ -321,7 +326,8 @@ triageFindings(const std::vector<Finding> &findings,
                 support::TraceSpan span("signature", "triage");
                 span.setArg("seed", finding.seed);
                 slots[i].signature = signatureOf(
-                    slots[i].reduction.source, finding, slots[i].fixed);
+                    slots[i].reduction.source, finding, slots[i].fixed,
+                    options.survivalSource);
                 if (options.verdictCache) {
                     options.verdictCache->store(
                         keys[i],

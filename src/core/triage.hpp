@@ -96,7 +96,8 @@ class InterestingnessTest {
      * null = the process global. */
     InterestingnessTest(unsigned marker, const BuildSpec &missed_by,
                         const BuildSpec &reference,
-                        support::MetricsRegistry *metrics = nullptr);
+                        support::MetricsRegistry *metrics = nullptr,
+                        SurvivalSource source = SurvivalSource::Ir);
 
     /** Full check; when @p why is non-null it receives the reason on
      * rejection (untouched on acceptance). */
@@ -116,6 +117,7 @@ class InterestingnessTest {
     std::string markerName_;
     BuildSpec missedBy_;
     BuildSpec reference_;
+    SurvivalSource source_;
     /** Reject counters in RejectReason order, plus the pipeline
      * counter — resolved once so the per-candidate path is lock-free. */
     std::vector<support::Counter *> rejects_;
@@ -231,6 +233,10 @@ std::optional<Finding> findingForRecord(const ProgramRecord &record,
 /** Knobs for the reduce/triage pipeline. */
 struct TriageOptions {
     gen::GenConfig generator;
+    /** Alive-set source for every pipeline probe (interestingness,
+     * fix-commit signaturing). Summaries are byte-identical across the
+     * two — the campaign invariant, kept testable here too. */
+    SurvivalSource survivalSource = SurvivalSource::Ir;
     /** Same-signature findings per compiler that still get "reported"
      * (and end up marked duplicate) — models the paper's imperfect
      * manual dedup; see triageFindings. */

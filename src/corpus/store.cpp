@@ -1,6 +1,8 @@
 #include "corpus/store.hpp"
 
 #include <algorithm>
+
+#include "gen/mutator.hpp"
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -514,6 +516,30 @@ CorpusStore::getProgram(const std::string &hash, StoreError *error)
         return std::nullopt;
     }
     return readPayload(it->second, "program " + hash, error);
+}
+
+std::vector<std::string>
+CorpusStore::programHashes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> hashes;
+    hashes.reserve(programs_.size());
+    for (const auto &[hash, entry] : programs_)
+        hashes.push_back(hash);
+    std::sort(hashes.begin(), hashes.end());
+    return hashes;
+}
+
+size_t
+seedMutatorPool(CorpusStore &store, gen::Mutator &mutator)
+{
+    size_t added = 0;
+    for (const std::string &hash : store.programHashes()) {
+        std::optional<std::string> text = store.getProgram(hash);
+        if (text && mutator.addToPool(*text))
+            ++added;
+    }
+    return added;
 }
 
 //===------------------------------------------------------------------===//

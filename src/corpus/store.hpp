@@ -115,6 +115,9 @@ class CorpusStore {
     bool hasProgram(const std::string &hash) const;
     std::optional<std::string>
     getProgram(const std::string &hash, StoreError *error = nullptr);
+    /** Every stored program hash, sorted — the deterministic listing
+     * mutation-mode campaigns seed their pool from. */
+    std::vector<std::string> programHashes() const;
 
     //===-- program records --------------------------------------------===//
 
@@ -213,6 +216,14 @@ class CorpusStore {
     support::Counter *bytesWritten_ = nullptr;
     support::Histogram *checkpointUs_ = nullptr;
 };
+
+/**
+ * Seed @p mutator's pool with every program in @p store, in hash
+ * order (deterministic regardless of insertion history). Returns the
+ * number of programs added; payloads that fail to load or parse are
+ * skipped.
+ */
+size_t seedMutatorPool(CorpusStore &store, gen::Mutator &mutator);
 
 /**
  * core::VerdictCache backed by a CorpusStore — the bridge that lets

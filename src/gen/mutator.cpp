@@ -1,0 +1,527 @@
+#include "gen/mutator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
+#include "support/markers.hpp"
+#include "support/rng.hpp"
+
+namespace dce::gen {
+
+using lang::AssignExpr;
+using lang::AssignOp;
+using lang::BinaryExpr;
+using lang::BinaryOp;
+using lang::BlockStmt;
+using lang::CallExpr;
+using lang::CastExpr;
+using lang::ConditionalExpr;
+using lang::DeclStmt;
+using lang::DoWhileStmt;
+using lang::Expr;
+using lang::ExprKind;
+using lang::ExprStmt;
+using lang::ForStmt;
+using lang::FunctionDecl;
+using lang::IfStmt;
+using lang::IndexExpr;
+using lang::IntLit;
+using lang::ReturnStmt;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::SwitchStmt;
+using lang::TranslationUnit;
+using lang::UnaryExpr;
+using lang::VarDecl;
+using lang::WhileStmt;
+
+const char *
+mutationKindName(MutationKind kind)
+{
+    switch (kind) {
+    case MutationKind::ConstantTweak:
+        return "constant-tweak";
+    case MutationKind::OperatorTweak:
+        return "operator-tweak";
+    case MutationKind::BlockShuffle:
+        return "block-shuffle";
+    case MutationKind::StatementSplice:
+        return "statement-splice";
+    }
+    return "unknown";
+}
+
+//===------------------------------------------------------------------===//
+// Marker stripping
+//===------------------------------------------------------------------===//
+
+namespace {
+
+bool
+isMarkerCallStmt(const Stmt &stmt)
+{
+    if (stmt.kind() != StmtKind::ExprStmt)
+        return false;
+    const Expr *expr = static_cast<const ExprStmt &>(stmt).expr.get();
+    return expr && expr->kind() == ExprKind::Call &&
+           support::markerIndex(
+               static_cast<const CallExpr *>(expr)->callee)
+               .has_value();
+}
+
+void stripStmt(Stmt &stmt);
+
+void
+stripBlock(BlockStmt &block)
+{
+    std::erase_if(block.stmts, [](const lang::StmtPtr &stmt) {
+        return isMarkerCallStmt(*stmt);
+    });
+    for (const lang::StmtPtr &stmt : block.stmts)
+        stripStmt(*stmt);
+}
+
+void
+stripStmt(Stmt &stmt)
+{
+    switch (stmt.kind()) {
+    case StmtKind::Block:
+        stripBlock(static_cast<BlockStmt &>(stmt));
+        break;
+    case StmtKind::If: {
+        auto &s = static_cast<IfStmt &>(stmt);
+        stripStmt(*s.thenStmt);
+        if (s.elseStmt)
+            stripStmt(*s.elseStmt);
+        break;
+    }
+    case StmtKind::While:
+        stripStmt(*static_cast<WhileStmt &>(stmt).body);
+        break;
+    case StmtKind::DoWhile:
+        stripStmt(*static_cast<DoWhileStmt &>(stmt).body);
+        break;
+    case StmtKind::For:
+        stripStmt(*static_cast<ForStmt &>(stmt).body);
+        break;
+    case StmtKind::Switch:
+        for (lang::SwitchCase &arm :
+             static_cast<SwitchStmt &>(stmt).cases)
+            stripBlock(*arm.body);
+        break;
+    default:
+        break;
+    }
+}
+
+} // namespace
+
+void
+stripMarkers(TranslationUnit &unit)
+{
+    for (const auto &fn : unit.functions) {
+        if (fn->body)
+            stripBlock(*fn->body);
+    }
+    // Drop the body-less DCEMarkerN declarations, remapping declOrder's
+    // function indices around the holes.
+    std::vector<size_t> remap(unit.functions.size(), SIZE_MAX);
+    std::vector<std::unique_ptr<FunctionDecl>> kept;
+    for (size_t i = 0; i < unit.functions.size(); ++i) {
+        auto &fn = unit.functions[i];
+        if (!fn->body && support::markerIndex(fn->name))
+            continue;
+        remap[i] = kept.size();
+        kept.push_back(std::move(fn));
+    }
+    std::vector<std::pair<bool, size_t>> order;
+    order.reserve(unit.declOrder.size());
+    for (auto [is_function, index] : unit.declOrder) {
+        if (!is_function)
+            order.emplace_back(false, index);
+        else if (remap[index] != SIZE_MAX)
+            order.emplace_back(true, remap[index]);
+    }
+    unit.functions = std::move(kept);
+    unit.declOrder = std::move(order);
+}
+
+//===------------------------------------------------------------------===//
+// Mutation-point collection
+//===------------------------------------------------------------------===//
+
+namespace {
+
+/** An integer literal plus the constraints its context imposes. */
+struct LiteralPoint {
+    IntLit *lit = nullptr;
+    bool keepNonzero = false; ///< divisor position: never tweak to 0
+    bool shiftAmount = false; ///< shift rhs: keep within the width
+};
+
+/**
+ * Everything one candidate offers to mutate. Loop conditions, steps,
+ * and for-inits are deliberately never collected: the generator's
+ * termination guarantee lives in those expressions (fresh induction
+ * variables the bodies never write), and mutations must not be able to
+ * turn a bounded loop into an interpreter timeout. Array subscripts
+ * are skipped for the same reason — a tweaked index is an
+ * out-of-bounds trap, not an interesting program.
+ */
+struct MutationPoints {
+    std::vector<LiteralPoint> literals;
+    std::vector<BinaryExpr *> operators; ///< ops with a swap category
+    std::vector<BlockStmt *> shuffleBlocks; ///< >= 2 statements
+    std::vector<BlockStmt *> blocks;        ///< splice targets
+    std::vector<std::pair<BlockStmt *, size_t>> stmts; ///< sources
+};
+
+/** The swap category of @p op: operators that can replace each other
+ * without introducing a trap (no Div/Rem/Shl/Shr ever enters a
+ * category). Null when @p op has none. */
+const std::vector<BinaryOp> *
+categoryOf(BinaryOp op)
+{
+    static const std::vector<BinaryOp> arith = {
+        BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul};
+    static const std::vector<BinaryOp> compare = {
+        BinaryOp::Lt, BinaryOp::Le, BinaryOp::Gt,
+        BinaryOp::Ge, BinaryOp::Eq, BinaryOp::Ne};
+    static const std::vector<BinaryOp> bitwise = {
+        BinaryOp::BitAnd, BinaryOp::BitOr, BinaryOp::BitXor};
+    static const std::vector<BinaryOp> logical = {
+        BinaryOp::LogicalAnd, BinaryOp::LogicalOr};
+    for (const auto *category : {&arith, &compare, &bitwise, &logical}) {
+        if (std::find(category->begin(), category->end(), op) !=
+            category->end())
+            return category;
+    }
+    return nullptr;
+}
+
+void
+walkExpr(Expr *expr, MutationPoints &points, bool nonzero = false,
+         bool shift = false)
+{
+    if (!expr)
+        return;
+    switch (expr->kind()) {
+    case ExprKind::IntLit:
+        points.literals.push_back(
+            {static_cast<IntLit *>(expr), nonzero, shift});
+        break;
+    case ExprKind::VarRef:
+        break;
+    case ExprKind::Unary:
+        walkExpr(static_cast<UnaryExpr *>(expr)->sub.get(), points);
+        break;
+    case ExprKind::Binary: {
+        auto *bin = static_cast<BinaryExpr *>(expr);
+        if (categoryOf(bin->op))
+            points.operators.push_back(bin);
+        walkExpr(bin->lhs.get(), points);
+        bool rhs_nonzero =
+            bin->op == BinaryOp::Div || bin->op == BinaryOp::Rem;
+        bool rhs_shift =
+            bin->op == BinaryOp::Shl || bin->op == BinaryOp::Shr;
+        walkExpr(bin->rhs.get(), points, rhs_nonzero, rhs_shift);
+        break;
+    }
+    case ExprKind::Assign: {
+        auto *assign = static_cast<AssignExpr *>(expr);
+        walkExpr(assign->lhs.get(), points);
+        bool rhs_nonzero = assign->op == AssignOp::Div ||
+                           assign->op == AssignOp::Rem;
+        bool rhs_shift = assign->op == AssignOp::Shl ||
+                         assign->op == AssignOp::Shr;
+        walkExpr(assign->rhs.get(), points, rhs_nonzero, rhs_shift);
+        break;
+    }
+    case ExprKind::Index:
+        // Base only; the subscript is off-limits (bounds).
+        walkExpr(static_cast<IndexExpr *>(expr)->base.get(), points);
+        break;
+    case ExprKind::Call:
+        for (const lang::ExprPtr &arg :
+             static_cast<CallExpr *>(expr)->args)
+            walkExpr(arg.get(), points);
+        break;
+    case ExprKind::Conditional: {
+        auto *cond = static_cast<ConditionalExpr *>(expr);
+        walkExpr(cond->cond.get(), points);
+        walkExpr(cond->thenExpr.get(), points);
+        walkExpr(cond->elseExpr.get(), points);
+        break;
+    }
+    case ExprKind::Cast:
+        walkExpr(static_cast<CastExpr *>(expr)->sub.get(), points,
+                 nonzero, shift);
+        break;
+    }
+}
+
+void walkStmt(Stmt *stmt, MutationPoints &points);
+
+void
+walkBlock(BlockStmt *block, MutationPoints &points)
+{
+    points.blocks.push_back(block);
+    if (block->stmts.size() >= 2)
+        points.shuffleBlocks.push_back(block);
+    for (size_t i = 0; i < block->stmts.size(); ++i) {
+        points.stmts.emplace_back(block, i);
+        walkStmt(block->stmts[i].get(), points);
+    }
+}
+
+void
+walkStmt(Stmt *stmt, MutationPoints &points)
+{
+    if (!stmt)
+        return;
+    switch (stmt->kind()) {
+    case StmtKind::Block:
+        walkBlock(static_cast<BlockStmt *>(stmt), points);
+        break;
+    case StmtKind::ExprStmt:
+        walkExpr(static_cast<ExprStmt *>(stmt)->expr.get(), points);
+        break;
+    case StmtKind::DeclStmt: {
+        VarDecl *decl = static_cast<DeclStmt *>(stmt)->decl.get();
+        walkExpr(decl->init.get(), points);
+        for (const lang::ExprPtr &element : decl->initList)
+            walkExpr(element.get(), points);
+        break;
+    }
+    case StmtKind::If: {
+        auto *s = static_cast<IfStmt *>(stmt);
+        walkExpr(s->cond.get(), points);
+        walkStmt(s->thenStmt.get(), points);
+        walkStmt(s->elseStmt.get(), points);
+        break;
+    }
+    // Loop conditions/steps/inits carry the termination guarantee;
+    // only the bodies are mutable.
+    case StmtKind::While:
+        walkStmt(static_cast<WhileStmt *>(stmt)->body.get(), points);
+        break;
+    case StmtKind::DoWhile:
+        walkStmt(static_cast<DoWhileStmt *>(stmt)->body.get(), points);
+        break;
+    case StmtKind::For:
+        walkStmt(static_cast<ForStmt *>(stmt)->body.get(), points);
+        break;
+    case StmtKind::Switch: {
+        auto *s = static_cast<SwitchStmt *>(stmt);
+        walkExpr(s->cond.get(), points);
+        for (lang::SwitchCase &arm : s->cases)
+            walkBlock(arm.body.get(), points);
+        break;
+    }
+    case StmtKind::Return:
+        walkExpr(static_cast<ReturnStmt *>(stmt)->value.get(), points);
+        break;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Empty:
+        break;
+    }
+}
+
+MutationPoints
+collectPoints(TranslationUnit &unit)
+{
+    MutationPoints points;
+    for (const auto &global : unit.globals) {
+        walkExpr(global->init.get(), points);
+        for (const lang::ExprPtr &element : global->initList)
+            walkExpr(element.get(), points);
+    }
+    for (const auto &fn : unit.functions) {
+        if (fn->body)
+            walkBlock(fn->body.get(), points);
+    }
+    return points;
+}
+
+//===------------------------------------------------------------------===//
+// Edits
+//===------------------------------------------------------------------===//
+
+bool
+applyOneEdit(TranslationUnit &unit, Rng &rng)
+{
+    MutationPoints points = collectPoints(unit);
+    std::vector<MutationKind> available;
+    if (!points.literals.empty())
+        available.push_back(MutationKind::ConstantTweak);
+    if (!points.operators.empty())
+        available.push_back(MutationKind::OperatorTweak);
+    if (!points.shuffleBlocks.empty())
+        available.push_back(MutationKind::BlockShuffle);
+    if (!points.stmts.empty() && !points.blocks.empty())
+        available.push_back(MutationKind::StatementSplice);
+    if (available.empty())
+        return false;
+
+    switch (rng.pick(available)) {
+    case MutationKind::ConstantTweak: {
+        const LiteralPoint &point = rng.pick(points.literals);
+        uint64_t value = point.lit->value;
+        switch (rng.below(4)) {
+        case 0: value += 1; break;
+        case 1: value -= 1; break;
+        case 2: value += 3; break;
+        default: value ^= 1; break;
+        }
+        if (point.shiftAmount)
+            value &= 7;
+        if (point.keepNonzero && value == 0)
+            value = 1;
+        point.lit->value = value;
+        return true;
+    }
+    case MutationKind::OperatorTweak: {
+        BinaryExpr *bin = rng.pick(points.operators);
+        const std::vector<BinaryOp> &category = *categoryOf(bin->op);
+        BinaryOp replacement =
+            category[rng.below(category.size())];
+        if (replacement == bin->op) {
+            replacement = category[(static_cast<size_t>(
+                                        std::find(category.begin(),
+                                                  category.end(),
+                                                  bin->op) -
+                                        category.begin()) +
+                                    1) %
+                                   category.size()];
+        }
+        bin->op = replacement;
+        return true;
+    }
+    case MutationKind::BlockShuffle: {
+        BlockStmt *block = rng.pick(points.shuffleBlocks);
+        size_t n = block->stmts.size();
+        size_t i = rng.below(n);
+        size_t j = rng.below(n - 1);
+        if (j >= i)
+            ++j;
+        std::swap(block->stmts[i], block->stmts[j]);
+        return true;
+    }
+    case MutationKind::StatementSplice: {
+        auto [source_block, source_index] = rng.pick(points.stmts);
+        lang::StmtPtr copy =
+            source_block->stmts[source_index]->clone();
+        BlockStmt *target = rng.pick(points.blocks);
+        size_t position = rng.below(target->stmts.size() + 1);
+        target->stmts.insert(target->stmts.begin() +
+                                 static_cast<ptrdiff_t>(position),
+                             std::move(copy));
+        return true;
+    }
+    }
+    return false;
+}
+
+/** Decorrelate the mutator's stream from the generator's (both are
+ * splitmix64 over the campaign seed). */
+constexpr uint64_t kMutatorStream = 0x6d75746174696f6eULL; // "mutation"
+
+} // namespace
+
+//===------------------------------------------------------------------===//
+// Mutator
+//===------------------------------------------------------------------===//
+
+bool
+Mutator::addToPool(std::string_view canonical_text)
+{
+    std::string hash = support::fnv1a64Hex(canonical_text);
+    if (poolHashes_.count(hash))
+        return false;
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(canonical_text, diags);
+    if (!unit)
+        return false;
+    stripMarkers(*unit);
+    poolHashes_.insert(std::move(hash));
+    pool_.push_back(std::move(unit));
+    return true;
+}
+
+std::unique_ptr<TranslationUnit>
+Mutator::mutateOnce(uint64_t sub_seed) const
+{
+    Rng rng(sub_seed);
+    const TranslationUnit &base = *pool_[rng.below(pool_.size())];
+    std::unique_ptr<TranslationUnit> candidate = base.clone();
+    bool edited = false;
+    for (unsigned edit = 0; edit < config_.editsPerCandidate; ++edit)
+        edited |= applyOneEdit(*candidate, rng);
+    if (!edited)
+        return nullptr;
+    // Print + re-parse: Sema is the validity gate, and the round trip
+    // re-installs every cross-reference the edits may have stranded.
+    DiagnosticEngine diags;
+    return lang::parseAndCheck(lang::printUnit(*candidate), diags);
+}
+
+std::unique_ptr<TranslationUnit>
+Mutator::mutate(uint64_t seed) const
+{
+    if (pool_.empty())
+        return nullptr;
+    Rng rng(seed ^ kMutatorStream);
+    for (unsigned attempt = 0; attempt < config_.maxAttempts;
+         ++attempt) {
+        if (auto candidate = mutateOnce(rng.next()))
+            return candidate;
+        count("gen.mutation_rejected");
+    }
+    return nullptr;
+}
+
+instrument::Instrumented
+Mutator::makeProgram(uint64_t seed, const GenConfig &fallback) const
+{
+    if (!pool_.empty()) {
+        Rng rng(seed ^ kMutatorStream);
+        for (unsigned attempt = 0; attempt < config_.maxAttempts;
+             ++attempt) {
+            auto candidate = mutateOnce(rng.next());
+            if (!candidate) {
+                count("gen.mutation_rejected");
+                continue;
+            }
+            instrument::Instrumented prog =
+                instrument::instrumentUnit(*candidate);
+            // Stale filter: an edit that round-tripped back to a
+            // program the corpus already holds is wasted campaign
+            // time — its record exists.
+            std::string canonical = lang::printUnit(*prog.unit);
+            if (poolHashes_.count(support::fnv1a64Hex(canonical))) {
+                count("gen.mutation_stale");
+                continue;
+            }
+            count("gen.mutations");
+            return prog;
+        }
+    }
+    count("gen.mutation_fallback");
+    auto unit = generateProgram(seed, fallback);
+    return instrument::instrumentUnit(*unit);
+}
+
+void
+Mutator::count(const char *name, const char *label) const
+{
+    if (config_.metrics)
+        config_.metrics->counter(name, label ? label : "").add();
+}
+
+} // namespace dce::gen

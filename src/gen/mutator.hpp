@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Mutation-based program generation (DESIGN.md §13): instead of
+ * growing every corpus program from a seed, derive new candidates by
+ * mutating programs the campaign has already banked in the corpus
+ * store. Mutated programs stay near the distribution that produced
+ * interesting findings, which is where fuzzing campaigns find their
+ * follow-on bugs.
+ *
+ * The pool holds *instrumented* canonical program texts (the corpus
+ * store's content-addressed payloads). A mutation round:
+ *
+ *   1. strips the DCEMarker calls and declarations from a pool program
+ *      (markers are derived data — re-instrumenting after the edit
+ *      keeps marker indices dense and placement canonical);
+ *   2. applies a few structural edits — constant tweaks, operator
+ *      swaps within a category, block shuffles, statement splices;
+ *   3. pretty-prints and re-parses the candidate: Sema is the validity
+ *      gate (use-before-decl after a shuffle, unresolved names after a
+ *      splice, duplicate cases after a tweak all bounce here);
+ *   4. re-instruments and hashes the canonical text with the same
+ *      FNV-1a the store uses: a candidate whose hash is already pooled
+ *      is stale (the edit round-tripped to a known program) and is
+ *      skipped.
+ *
+ * Rejected or stale candidates retry with a derived sub-seed; when
+ * every attempt misses, generation falls back to the from-scratch
+ * generator so a campaign never stalls. Everything derives from the
+ * 64-bit seed: makeProgram(seed) is a pure function of (pool, seed),
+ * so mutation-mode campaigns keep the engine's determinism contract.
+ *
+ * Thread-safety: the pool is write-once (addToPool during setup);
+ * makeProgram/mutate are const and touch only immutable state plus
+ * atomic metrics counters, so one Mutator may serve every campaign
+ * worker.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "instrument/instrument.hpp"
+#include "lang/ast.hpp"
+#include "support/metrics.hpp"
+
+namespace dce::gen {
+
+/** The structural edits a mutation round can apply. */
+enum class MutationKind {
+    ConstantTweak,   ///< nudge an integer literal
+    OperatorTweak,   ///< swap a binary operator within its category
+    BlockShuffle,    ///< swap two statements of one block
+    StatementSplice, ///< clone a statement into another position
+};
+
+/** Stable label for @p kind (metrics / reports). */
+const char *mutationKindName(MutationKind kind);
+
+struct MutatorConfig {
+    /** Mutation attempts (per seed) before the from-scratch
+     * fallback. */
+    unsigned maxAttempts = 6;
+    /** Edits applied to each candidate. */
+    unsigned editsPerCandidate = 2;
+    /** Registry for the gen.mutation_* counters; null = none. */
+    support::MetricsRegistry *metrics = nullptr;
+};
+
+class Mutator {
+  public:
+    explicit Mutator(MutatorConfig config = {}) : config_(config) {}
+
+    /**
+     * Add one instrumented canonical program text to the pool.
+     * Records the text's content hash (the stale filter) and banks a
+     * marker-stripped parse as mutation stock. Returns false when the
+     * text does not parse or its hash is already pooled.
+     */
+    bool addToPool(std::string_view canonical_text);
+
+    size_t poolSize() const { return pool_.size(); }
+
+    /**
+     * Produce the instrumented program for @p seed: a mutated pool
+     * program when an attempt survives the validity gate and the
+     * stale filter, otherwise the from-scratch generator's program for
+     * the same seed (also used when the pool is empty). Deterministic
+     * in (pool, seed, fallback).
+     */
+    instrument::Instrumented
+    makeProgram(uint64_t seed, const GenConfig &fallback = {}) const;
+
+    /**
+     * The mutated, marker-free, sema-checked unit for @p seed; null
+     * when the pool is empty or every attempt failed the gate.
+     * Exposed for tests — campaigns use makeProgram.
+     */
+    std::unique_ptr<lang::TranslationUnit> mutate(uint64_t seed) const;
+
+  private:
+    std::unique_ptr<lang::TranslationUnit> mutateOnce(uint64_t sub_seed) const;
+    void count(const char *name, const char *label = nullptr) const;
+
+    MutatorConfig config_;
+    /** Marker-free, sema-checked mutation stock, in addToPool order. */
+    std::vector<std::unique_ptr<lang::TranslationUnit>> pool_;
+    /** fnv1a64Hex of every pooled canonical text — the stale filter. */
+    std::unordered_set<std::string> poolHashes_;
+};
+
+/**
+ * Remove every DCEMarker call statement and marker declaration from
+ * @p unit in place (the inverse of instrument::instrumentUnit, up to
+ * re-instrumentation). Exposed for tests and the reducer.
+ */
+void stripMarkers(lang::TranslationUnit &unit);
+
+} // namespace dce::gen

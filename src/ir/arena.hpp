@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Bump-pointer arena backing one ir::Module's instructions and basic
+ * blocks (DESIGN.md §13). The campaign hot loop clones and optimizes a
+ * module per seed × build; with node-at-a-time `new`/`delete` that is
+ * thousands of allocator round trips per seed. The arena turns them
+ * into pointer bumps within a few large chunks that are released
+ * wholesale when the module dies.
+ *
+ * Ownership protocol: nodes are still held by `std::unique_ptr`, but
+ * with an ArenaDelete deleter that runs only the destructor — the
+ * memory itself belongs to the arena and is reclaimed when the arena
+ * (i.e. the owning Module) is destroyed. That keeps every existing
+ * erase/detach call site working unchanged: "deleting" an instruction
+ * still runs its destructor (unlinking operand/user edges) at exactly
+ * the same point as before; only the raw memory lingers until module
+ * teardown, which is fine because modules are short-lived per-seed
+ * objects.
+ *
+ * The arena is single-threaded by design, like the Module it backs:
+ * campaign workers each build/clone their own modules and never share
+ * them across threads.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace dce::ir {
+
+/** A chunked bump allocator. Not thread-safe; one per Module. */
+class Arena {
+  public:
+    Arena() = default;
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    ~Arena()
+    {
+        for (Chunk &c : chunks_)
+            ::operator delete(c.base, std::align_val_t{kAlign});
+    }
+
+    /** Raw aligned storage for one object of @p bytes size. */
+    void *
+    allocate(size_t bytes)
+    {
+        bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+        if (cursor_ + bytes > limit_)
+            addChunk(bytes);
+        void *p = cursor_;
+        cursor_ += bytes;
+        return p;
+    }
+
+    /** Construct a T inside the arena. The caller owns the object's
+     * lifetime (destructor), the arena owns the memory. */
+    template <typename T, typename... Args>
+    T *
+    create(Args &&...args)
+    {
+        return ::new (allocate(sizeof(T))) T(std::forward<Args>(args)...);
+    }
+
+    /** Bytes currently reserved across all chunks (for metrics). */
+    size_t
+    bytesReserved() const
+    {
+        size_t total = 0;
+        for (const Chunk &c : chunks_)
+            total += c.size;
+        return total;
+    }
+
+  private:
+    // Alignment covers every IR node type placed in the arena.
+    static constexpr size_t kAlign = alignof(std::max_align_t);
+    static constexpr size_t kFirstChunk = 16 * 1024;
+    static constexpr size_t kMaxChunk = 256 * 1024;
+
+    struct Chunk {
+        char *base;
+        size_t size;
+    };
+
+    void
+    addChunk(size_t min_bytes)
+    {
+        size_t size = chunks_.empty() ? kFirstChunk : nextSize_;
+        if (size < min_bytes)
+            size = min_bytes;
+        nextSize_ = size * 2 > kMaxChunk ? kMaxChunk : size * 2;
+        char *base = static_cast<char *>(
+            ::operator new(size, std::align_val_t{kAlign}));
+        chunks_.push_back({base, size});
+        cursor_ = base;
+        limit_ = base + size;
+    }
+
+    std::vector<Chunk> chunks_;
+    char *cursor_ = nullptr;
+    char *limit_ = nullptr;
+    size_t nextSize_ = kFirstChunk;
+};
+
+/**
+ * unique_ptr deleter for arena-backed nodes: run the destructor, leave
+ * the memory to the arena. Also accepts null like any deleter.
+ */
+struct ArenaDelete {
+    template <typename T>
+    void
+    operator()(T *p) const
+    {
+        if (p)
+            p->~T();
+    }
+};
+
+/** Owning handle to an arena-backed node of type T. */
+template <typename T>
+using ArenaPtr = std::unique_ptr<T, ArenaDelete>;
+
+} // namespace dce::ir

@@ -37,8 +37,7 @@ class IrBuilder {
     Instr *
     alloca_(IrType element_type, uint64_t count, bool is_array)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Alloca,
-                                             IrType::ptrTy());
+        auto instr = module_.newInstr(Opcode::Alloca, IrType::ptrTy());
         instr->allocatedType = element_type;
         instr->allocatedCount = count;
         instr->allocaIsArray = is_array;
@@ -48,7 +47,7 @@ class IrBuilder {
     Instr *
     load(IrType type, Value *pointer)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Load, type);
+        auto instr = module_.newInstr(Opcode::Load, type);
         instr->addOperand(pointer);
         return insert(std::move(instr));
     }
@@ -56,8 +55,7 @@ class IrBuilder {
     Instr *
     store(Value *value, Value *pointer)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Store,
-                                             IrType::voidTy());
+        auto instr = module_.newInstr(Opcode::Store, IrType::voidTy());
         instr->addOperand(value);
         instr->addOperand(pointer);
         return insert(std::move(instr));
@@ -66,7 +64,7 @@ class IrBuilder {
     Instr *
     bin(BinOp op, Value *lhs, Value *rhs)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Bin, lhs->type());
+        auto instr = module_.newInstr(Opcode::Bin, lhs->type());
         instr->binOp = op;
         instr->addOperand(lhs);
         instr->addOperand(rhs);
@@ -76,7 +74,7 @@ class IrBuilder {
     Instr *
     cmp(CmpPred pred, Value *lhs, Value *rhs)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Cmp, IrType::i32());
+        auto instr = module_.newInstr(Opcode::Cmp, IrType::i32());
         instr->cmpPred = pred;
         instr->addOperand(lhs);
         instr->addOperand(rhs);
@@ -86,7 +84,7 @@ class IrBuilder {
     Instr *
     cast(CastOp op, Value *value, IrType to)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Cast, to);
+        auto instr = module_.newInstr(Opcode::Cast, to);
         instr->castOp = op;
         instr->addOperand(value);
         return insert(std::move(instr));
@@ -95,7 +93,7 @@ class IrBuilder {
     Instr *
     gep(Value *base, Value *index, uint64_t elem_size)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Gep, IrType::ptrTy());
+        auto instr = module_.newInstr(Opcode::Gep, IrType::ptrTy());
         instr->addOperand(base);
         instr->addOperand(index);
         instr->gepElemSize = elem_size;
@@ -105,8 +103,7 @@ class IrBuilder {
     Instr *
     freeze(Value *value)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Freeze,
-                                             value->type());
+        auto instr = module_.newInstr(Opcode::Freeze, value->type());
         instr->addOperand(value);
         return insert(std::move(instr));
     }
@@ -114,8 +111,7 @@ class IrBuilder {
     Instr *
     select(Value *cond, Value *if_true, Value *if_false)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Select,
-                                             if_true->type());
+        auto instr = module_.newInstr(Opcode::Select, if_true->type());
         instr->addOperand(cond);
         instr->addOperand(if_true);
         instr->addOperand(if_false);
@@ -125,8 +121,7 @@ class IrBuilder {
     Instr *
     call(Function *callee, const std::vector<Value *> &args)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Call,
-                                             callee->returnType());
+        auto instr = module_.newInstr(Opcode::Call, callee->returnType());
         instr->callee = callee;
         for (Value *arg : args)
             instr->addOperand(arg);
@@ -136,7 +131,7 @@ class IrBuilder {
     Instr *
     phi(IrType type)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Phi, type);
+        auto instr = module_.newInstr(Opcode::Phi, type);
         instr->setId(module_.nextValueId());
         // Phis go before any non-phi instruction.
         size_t index = 0;
@@ -150,16 +145,14 @@ class IrBuilder {
     Instr *
     retVoid()
     {
-        auto instr = std::make_unique<Instr>(Opcode::Ret,
-                                             IrType::voidTy());
+        auto instr = module_.newInstr(Opcode::Ret, IrType::voidTy());
         return insert(std::move(instr));
     }
 
     Instr *
     ret(Value *value)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Ret,
-                                             IrType::voidTy());
+        auto instr = module_.newInstr(Opcode::Ret, IrType::voidTy());
         instr->addOperand(value);
         return insert(std::move(instr));
     }
@@ -167,8 +160,7 @@ class IrBuilder {
     Instr *
     br(BasicBlock *target)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Br,
-                                             IrType::voidTy());
+        auto instr = module_.newInstr(Opcode::Br, IrType::voidTy());
         instr->addBlockOperand(target);
         return insert(std::move(instr));
     }
@@ -176,8 +168,7 @@ class IrBuilder {
     Instr *
     condBr(Value *cond, BasicBlock *if_true, BasicBlock *if_false)
     {
-        auto instr = std::make_unique<Instr>(Opcode::CondBr,
-                                             IrType::voidTy());
+        auto instr = module_.newInstr(Opcode::CondBr, IrType::voidTy());
         instr->addOperand(cond);
         instr->addBlockOperand(if_true);
         instr->addBlockOperand(if_false);
@@ -187,8 +178,7 @@ class IrBuilder {
     Instr *
     switch_(Value *value, BasicBlock *default_block)
     {
-        auto instr = std::make_unique<Instr>(Opcode::Switch,
-                                             IrType::voidTy());
+        auto instr = module_.newInstr(Opcode::Switch, IrType::voidTy());
         instr->addOperand(value);
         instr->addBlockOperand(default_block);
         return insert(std::move(instr));
@@ -197,14 +187,13 @@ class IrBuilder {
     Instr *
     unreachable()
     {
-        auto instr = std::make_unique<Instr>(Opcode::Unreachable,
-                                             IrType::voidTy());
+        auto instr = module_.newInstr(Opcode::Unreachable, IrType::voidTy());
         return insert(std::move(instr));
     }
 
   private:
     Instr *
-    insert(std::unique_ptr<Instr> instr)
+    insert(InstrPtr instr)
     {
         assert(block_ && "no insertion block");
         if (!instr->type().isVoid())

@@ -4,68 +4,48 @@
 
 namespace dce::ir {
 
-std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
-predecessorMap(const Function &fn)
+PredecessorMap::PredecessorMap(const Function &fn)
 {
-    std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> preds;
-    for (const auto &block : fn.blocks())
-        preds[block.get()]; // ensure every block has an entry
+    lists_.resize(fn.numBlocks());
     for (const auto &block : fn.blocks()) {
         for (BasicBlock *succ : block->successors())
-            preds[succ].push_back(block.get());
+            lists_[succ->indexInFn()].push_back(block.get());
     }
-    return preds;
 }
 
-std::unordered_set<const BasicBlock *>
-reachableBlocks(const Function &fn)
+std::vector<unsigned char>
+reachableBlockFlags(const Function &fn)
 {
-    std::unordered_set<const BasicBlock *> reachable;
+    std::vector<unsigned char> reachable(fn.numBlocks(), 0);
     if (fn.isDeclaration())
         return reachable;
     std::vector<const BasicBlock *> worklist = {fn.entry()};
-    reachable.insert(fn.entry());
+    reachable[fn.entry()->indexInFn()] = 1;
     while (!worklist.empty()) {
         const BasicBlock *block = worklist.back();
         worklist.pop_back();
         for (BasicBlock *succ : block->successors()) {
-            if (reachable.insert(succ).second)
+            unsigned char &seen = reachable[succ->indexInFn()];
+            if (!seen) {
+                seen = 1;
                 worklist.push_back(succ);
+            }
         }
     }
     return reachable;
 }
 
-namespace {
-
-void
-postorderVisit(BasicBlock *block,
-               std::unordered_set<const BasicBlock *> &visited,
-               std::vector<BasicBlock *> &order)
+std::unordered_set<const BasicBlock *>
+reachableBlocks(const Function &fn)
 {
-    // Iterative DFS to avoid stack overflow on long CFG chains.
-    struct Frame {
-        BasicBlock *block;
-        std::vector<BasicBlock *> succs;
-        size_t next = 0;
-    };
-    std::vector<Frame> stack;
-    visited.insert(block);
-    stack.push_back({block, block->successors(), 0});
-    while (!stack.empty()) {
-        Frame &frame = stack.back();
-        if (frame.next < frame.succs.size()) {
-            BasicBlock *succ = frame.succs[frame.next++];
-            if (visited.insert(succ).second)
-                stack.push_back({succ, succ->successors(), 0});
-        } else {
-            order.push_back(frame.block);
-            stack.pop_back();
-        }
+    std::vector<unsigned char> flags = reachableBlockFlags(fn);
+    std::unordered_set<const BasicBlock *> reachable;
+    for (const auto &block : fn.blocks()) {
+        if (flags[block->indexInFn()])
+            reachable.insert(block.get());
     }
+    return reachable;
 }
-
-} // namespace
 
 std::vector<BasicBlock *>
 reversePostorder(const Function &fn)
@@ -73,8 +53,33 @@ reversePostorder(const Function &fn)
     std::vector<BasicBlock *> order;
     if (fn.isDeclaration())
         return order;
-    std::unordered_set<const BasicBlock *> visited;
-    postorderVisit(fn.entry(), visited, order);
+
+    // Iterative DFS to avoid stack overflow on long CFG chains. Each
+    // frame walks the block's successor list in place — terminators
+    // are not mutated during the walk.
+    struct Frame {
+        BasicBlock *block;
+        const support::SmallVector<BasicBlock *, 2> *succs;
+        size_t next = 0;
+    };
+    std::vector<unsigned char> visited(fn.numBlocks(), 0);
+    std::vector<Frame> stack;
+    visited[fn.entry()->indexInFn()] = 1;
+    stack.push_back({fn.entry(), &fn.entry()->successors(), 0});
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        if (frame.next < frame.succs->size()) {
+            BasicBlock *succ = (*frame.succs)[frame.next++];
+            unsigned char &seen = visited[succ->indexInFn()];
+            if (!seen) {
+                seen = 1;
+                stack.push_back({succ, &succ->successors(), 0});
+            }
+        } else {
+            order.push_back(frame.block);
+            stack.pop_back();
+        }
+    }
     std::reverse(order.begin(), order.end());
     return order;
 }
@@ -84,21 +89,21 @@ removeUnreachableBlocks(Function &fn)
 {
     if (fn.isDeclaration())
         return 0;
-    std::unordered_set<const BasicBlock *> reachable = reachableBlocks(fn);
+    std::vector<unsigned char> reachable = reachableBlockFlags(fn);
 
     // Collect doomed blocks first; then fix phis in survivors; then
     // erase (eraseBlock drops operand uses, so cross-references among
     // doomed blocks are fine in any order).
     std::vector<BasicBlock *> doomed;
     for (const auto &block : fn.blocks()) {
-        if (!reachable.count(block.get()))
+        if (!reachable[block->indexInFn()])
             doomed.push_back(block.get());
     }
     if (doomed.empty())
         return 0;
 
     for (const auto &block : fn.blocks()) {
-        if (!reachable.count(block.get()))
+        if (!reachable[block->indexInFn()])
             continue;
         for (BasicBlock *dead : doomed)
             block->removePhiIncomingFor(dead);

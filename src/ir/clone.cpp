@@ -1,11 +1,15 @@
 #include "ir/clone.hpp"
 
+#include <cassert>
+
+#include "support/trace.hpp"
+
 namespace dce::ir {
 
-std::unique_ptr<Instr>
+InstrPtr
 cloneInstr(const Instr &instr, Module &module)
 {
-    auto copy = std::make_unique<Instr>(instr.opcode(), instr.type());
+    InstrPtr copy = module.newInstr(instr.opcode(), instr.type());
     for (Value *operand : instr.operands())
         copy->addOperand(operand);
     copy->blockOperands() = instr.blockOperands();
@@ -38,8 +42,13 @@ remapInstr(Instr &instr, const CloneMap &map)
 std::unique_ptr<Module>
 cloneModule(const Module &module)
 {
+    support::TraceSpan span("clone", "compile");
     auto clone = std::make_unique<Module>();
-    CloneMap map;
+    // Flat maps: globals, instructions, and constants resolve through
+    // their dense value id; blocks positionally via indexInFn; params
+    // (no ids) positionally via their owning function. Only the
+    // function map stays hashed, and it is tiny.
+    std::vector<Value *> value_map(module.valueIdBound(), nullptr);
     std::unordered_map<const Function *, Function *> fn_map;
 
     // Globals: create all objects first, then copy initializers (they
@@ -49,17 +58,16 @@ cloneModule(const Module &module)
             clone->addGlobal(global->name(), global->elementType(),
                              global->count(), global->isInternal());
         copy->setIsArray(global->isArray());
-        map.values[global.get()] = copy;
+        value_map[global->id()] = copy;
     }
     for (const auto &global : module.globals()) {
         auto *copy =
-            static_cast<GlobalVar *>(map.values.at(global.get()));
+            static_cast<GlobalVar *>(value_map[global->id()]);
         copy->init.reserve(global->init.size());
         for (const GlobalInit &init : global->init) {
             if (init.isAddress()) {
-                auto *base =
-                    static_cast<const GlobalVar *>(map.values.at(
-                        static_cast<const Value *>(init.base)));
+                auto *base = static_cast<const GlobalVar *>(
+                    value_map[init.base->id()]);
                 copy->init.push_back(
                     GlobalInit::addressOf(base, init.value));
             } else {
@@ -74,23 +82,25 @@ cloneModule(const Module &module)
         Function *copy = clone->addFunction(
             fn->name(), fn->returnType(), fn->isInternal());
         copy->setNoDce(fn->noDce());
-        for (const auto &param : fn->params()) {
-            map.values[param.get()] =
-                copy->addParam(param->type(), param->name());
-        }
+        for (const auto &param : fn->params())
+            copy->addParam(param->type(), param->name());
         fn_map[fn.get()] = copy;
         for (const auto &block : fn->blocks())
-            map.blocks[block.get()] = copy->addBlock(block->name());
+            copy->addBlock(block->name());
     }
 
     // Clone instructions (operands still point into the source module).
+    // Void instructions are never operands, so only value-producing
+    // ones (which all carry unique ids) enter the map.
     for (const auto &fn : module.functions()) {
-        for (const auto &block : fn->blocks()) {
-            BasicBlock *dest = map.blocks.at(block.get());
-            for (const auto &instr : block->instrs()) {
+        Function *dest_fn = fn_map.at(fn.get());
+        for (size_t b = 0; b < fn->blocks().size(); ++b) {
+            BasicBlock *dest = dest_fn->blocks()[b].get();
+            for (const auto &instr : fn->blocks()[b]->instrs()) {
                 Instr *copied =
                     dest->append(cloneInstr(*instr, *clone));
-                map.values[instr.get()] = copied;
+                if (!instr->type().isVoid())
+                    value_map[instr->id()] = copied;
             }
         }
     }
@@ -98,26 +108,41 @@ cloneModule(const Module &module)
     // Remap every reference into the clone. Constants are interned
     // lazily in the clone's pool; everything else was mapped above.
     for (const auto &fn : module.functions()) {
-        for (const auto &block : fn->blocks()) {
-            for (const auto &instr :
-                 map.blocks.at(block.get())->instrs()) {
+        Function *dest_fn = fn_map.at(fn.get());
+        for (const auto &dest_block : dest_fn->blocks()) {
+            for (const auto &instr : dest_block->instrs()) {
                 for (size_t i = 0; i < instr->numOperands(); ++i) {
                     Value *operand = instr->operand(i);
-                    auto it = map.values.find(operand);
-                    if (it != map.values.end()) {
-                        instr->setOperand(i, it->second);
-                    } else if (operand->isConstant()) {
+                    Value *mapped;
+                    switch (operand->valueKind()) {
+                      case ValueKind::Param:
+                        mapped = dest_fn
+                                     ->params()[static_cast<Param *>(
+                                                    operand)
+                                                    ->index()]
+                                     .get();
+                        break;
+                      case ValueKind::Constant: {
                         auto *c = static_cast<Constant *>(operand);
-                        Constant *interned =
-                            clone->constant(c->type(), c->value());
-                        map.values[operand] = interned;
-                        instr->setOperand(i, interned);
+                        mapped = value_map[c->id()];
+                        if (!mapped) {
+                            mapped =
+                                clone->constant(c->type(), c->value());
+                            value_map[c->id()] = mapped;
+                        }
+                        break;
+                      }
+                      default:
+                        mapped = value_map[operand->id()];
+                        break;
                     }
-                    // else: unreachable — every non-constant value
-                    // lives in the source module and was mapped.
+                    assert(mapped && "unmapped operand in clone");
+                    instr->setOperand(i, mapped);
                 }
-                for (BasicBlock *&target : instr->blockOperands())
-                    target = map.blocks.at(target);
+                for (BasicBlock *&target : instr->blockOperands()) {
+                    target =
+                        dest_fn->blocks()[target->indexInFn()].get();
+                }
                 if (instr->callee)
                     instr->callee = fn_map.at(instr->callee);
             }

@@ -40,7 +40,7 @@ struct CloneMap {
  * Clone one instruction (operands still referencing originals —
  * remap afterwards with remapInstr). The clone gets a fresh id.
  */
-std::unique_ptr<Instr> cloneInstr(const Instr &instr, Module &module);
+InstrPtr cloneInstr(const Instr &instr, Module &module);
 
 /** Rewrite @p instr's operands and block operands through @p map. */
 void remapInstr(Instr &instr, const CloneMap &map);

@@ -3,30 +3,37 @@
 #include <cassert>
 
 #include "ir/cfg.hpp"
+#include "support/trace.hpp"
 
 namespace dce::ir {
 
 DominatorTree::DominatorTree(const Function &fn)
 {
+    support::TraceSpan span("domtree", "analysis");
+    idomOf_.assign(fn.numBlocks(), nullptr);
+    rpoIndexOf_.assign(fn.numBlocks(), kUnreachable);
     if (fn.isDeclaration())
         return;
     rpo_ = reversePostorder(fn);
     for (size_t i = 0; i < rpo_.size(); ++i)
-        rpoIndex_[rpo_[i]] = i;
+        rpoIndexOf_[rpo_[i]->indexInFn()] = static_cast<uint32_t>(i);
 
-    auto preds = predecessorMap(fn);
+    PredecessorMap preds(fn);
 
     // Cooper-Harvey-Kennedy: iterate to a fixed point over RPO.
     const BasicBlock *entry = fn.entry();
-    idom_[entry] = entry; // temporarily self, fixed up at the end
+    idomOf_[entry->indexInFn()] = entry; // self until the final fix-up
 
-    auto intersect = [this](const BasicBlock *a,
-                            const BasicBlock *b) -> const BasicBlock * {
+    auto rpo_index = [this](const BasicBlock *block) {
+        return rpoIndexOf_[block->indexInFn()];
+    };
+    auto intersect = [&](const BasicBlock *a,
+                         const BasicBlock *b) -> const BasicBlock * {
         while (a != b) {
-            while (rpoIndex_.at(a) > rpoIndex_.at(b))
-                a = idom_.at(a);
-            while (rpoIndex_.at(b) > rpoIndex_.at(a))
-                b = idom_.at(b);
+            while (rpo_index(a) > rpo_index(b))
+                a = idomOf_[a->indexInFn()];
+            while (rpo_index(b) > rpo_index(a))
+                b = idomOf_[b->indexInFn()];
         }
         return a;
     };
@@ -39,7 +46,8 @@ DominatorTree::DominatorTree(const Function &fn)
                 continue;
             const BasicBlock *new_idom = nullptr;
             for (BasicBlock *pred : preds.at(block)) {
-                if (!rpoIndex_.count(pred) || !idom_.count(pred))
+                if (rpo_index(pred) == kUnreachable ||
+                    !idomOf_[pred->indexInFn()])
                     continue; // unreachable or not yet processed
                 if (!new_idom)
                     new_idom = pred;
@@ -47,21 +55,14 @@ DominatorTree::DominatorTree(const Function &fn)
                     new_idom = intersect(new_idom, pred);
             }
             assert(new_idom && "reachable block without processed pred");
-            auto it = idom_.find(block);
-            if (it == idom_.end() || it->second != new_idom) {
-                idom_[block] = new_idom;
+            const BasicBlock *&slot = idomOf_[block->indexInFn()];
+            if (slot != new_idom) {
+                slot = new_idom;
                 changed = true;
             }
         }
     }
-    idom_[entry] = nullptr;
-}
-
-const BasicBlock *
-DominatorTree::idom(const BasicBlock *block) const
-{
-    auto it = idom_.find(block);
-    return it == idom_.end() ? nullptr : it->second;
+    idomOf_[entry->indexInFn()] = nullptr;
 }
 
 bool
@@ -69,13 +70,13 @@ DominatorTree::dominates(const BasicBlock *a, const BasicBlock *b) const
 {
     if (!isReachable(a) || !isReachable(b))
         return a == b;
-    size_t a_index = rpoIndex_.at(a);
+    uint32_t a_index = rpoIndexOf_[a->indexInFn()];
     const BasicBlock *runner = b;
     // Walk up the tree; idom RPO indexes strictly decrease.
     while (runner) {
         if (runner == a)
             return true;
-        if (rpoIndex_.at(runner) < a_index)
+        if (rpoIndexOf_[runner->indexInFn()] < a_index)
             return false;
         runner = idom(runner);
     }

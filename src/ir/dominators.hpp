@@ -3,10 +3,14 @@
  * Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
  * Used by the SSA verifier, GVN's scoped hash table, loop detection,
  * jump threading, and the primary-missed-block analysis.
+ *
+ * The snapshot keys all per-block state by BasicBlock::indexInFn()
+ * into flat vectors; queries are array loads, not hash lookups. Like
+ * every CFG snapshot it is invalidated by CFG mutation.
  */
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "ir/ir.hpp"
@@ -19,7 +23,11 @@ class DominatorTree {
     explicit DominatorTree(const Function &fn);
 
     /** Immediate dominator; null for entry and unreachable blocks. */
-    const BasicBlock *idom(const BasicBlock *block) const;
+    const BasicBlock *
+    idom(const BasicBlock *block) const
+    {
+        return idomOf_[block->indexInFn()];
+    }
 
     /** True if @p a dominates @p b (reflexive). Unreachable blocks are
      * dominated by nothing and dominate nothing (except themselves). */
@@ -31,15 +39,19 @@ class DominatorTree {
 
     bool isReachable(const BasicBlock *block) const
     {
-        return rpoIndex_.count(block) != 0;
+        return rpoIndexOf_[block->indexInFn()] != kUnreachable;
     }
 
     /** Reverse postorder of reachable blocks (entry first). */
     const std::vector<BasicBlock *> &rpo() const { return rpo_; }
 
   private:
-    std::unordered_map<const BasicBlock *, const BasicBlock *> idom_;
-    std::unordered_map<const BasicBlock *, size_t> rpoIndex_;
+    static constexpr uint32_t kUnreachable = ~uint32_t{0};
+
+    /** Immediate dominator per block index (null = entry/unreachable). */
+    std::vector<const BasicBlock *> idomOf_;
+    /** RPO position per block index; kUnreachable when not in rpo_. */
+    std::vector<uint32_t> rpoIndexOf_;
     std::vector<BasicBlock *> rpo_;
 };
 

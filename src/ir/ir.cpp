@@ -139,6 +139,8 @@ cmpPredInverse(CmpPred pred)
 void
 Value::removeUser(Instr *user)
 {
+    if (valueKind_ == ValueKind::Constant)
+        return; // constants track no users; see users()
     auto it = std::find(users_.begin(), users_.end(), user);
 #ifndef NDEBUG
     if (it == users_.end()) {
@@ -271,7 +273,7 @@ Instr::incomingValueFor(const BasicBlock *pred) const
 //===------------------------------------------------------------------===//
 
 Instr *
-BasicBlock::append(std::unique_ptr<Instr> instr)
+BasicBlock::append(InstrPtr instr)
 {
     instr->parent_ = this;
     instrs_.push_back(std::move(instr));
@@ -279,7 +281,7 @@ BasicBlock::append(std::unique_ptr<Instr> instr)
 }
 
 Instr *
-BasicBlock::insertBefore(size_t index, std::unique_ptr<Instr> instr)
+BasicBlock::insertBefore(size_t index, InstrPtr instr)
 {
     assert(index <= instrs_.size());
     instr->parent_ = this;
@@ -309,11 +311,11 @@ BasicBlock::erase(Instr *instr)
     instrs_.erase(instrs_.begin() + static_cast<ptrdiff_t>(index));
 }
 
-std::unique_ptr<Instr>
+InstrPtr
 BasicBlock::detach(Instr *instr)
 {
     size_t index = indexOf(instr);
-    std::unique_ptr<Instr> owned = std::move(instrs_[index]);
+    InstrPtr owned = std::move(instrs_[index]);
     instrs_.erase(instrs_.begin() + static_cast<ptrdiff_t>(index));
     owned->parent_ = nullptr;
     return owned;
@@ -365,23 +367,46 @@ Function::addParam(IrType type, std::string name)
     return params_.back().get();
 }
 
+void
+Function::renumberBlocksFrom(size_t start)
+{
+    for (size_t i = start; i < blocks_.size(); ++i)
+        blocks_[i]->indexInFn_ = static_cast<uint32_t>(i);
+}
+
 BasicBlock *
 Function::addBlock(std::string name)
 {
+    assert(parent_ && "addBlock requires a module-owned function");
     if (name.empty())
         name = "bb" + std::to_string(nextBlockId_);
     ++nextBlockId_;
-    blocks_.push_back(std::make_unique<BasicBlock>(std::move(name)));
+    blocks_.push_back(
+        BlockPtr(parent_->arena().create<BasicBlock>(std::move(name))));
     blocks_.back()->parent_ = this;
+    blocks_.back()->indexInFn_ =
+        static_cast<uint32_t>(blocks_.size() - 1);
     return blocks_.back().get();
 }
 
 BasicBlock *
-Function::adoptBlock(std::unique_ptr<BasicBlock> block)
+Function::adoptBlock(BlockPtr block)
 {
     block->parent_ = this;
+    block->indexInFn_ = static_cast<uint32_t>(blocks_.size());
     blocks_.push_back(std::move(block));
     return blocks_.back().get();
+}
+
+BlockPtr
+Function::detachBlock(BasicBlock *block)
+{
+    size_t index = indexOfBlock(block);
+    BlockPtr owned = std::move(blocks_[index]);
+    blocks_.erase(blocks_.begin() + static_cast<ptrdiff_t>(index));
+    renumberBlocksFrom(index);
+    owned->parent_ = nullptr;
+    return owned;
 }
 
 void
@@ -394,29 +419,29 @@ Function::eraseBlock(BasicBlock *block)
         instr->dropOperands();
     size_t index = indexOfBlock(block);
     blocks_.erase(blocks_.begin() + static_cast<ptrdiff_t>(index));
+    renumberBlocksFrom(index);
 }
 
 void
 Function::moveBlockTo(size_t index, BasicBlock *block)
 {
     size_t from = indexOfBlock(block);
-    std::unique_ptr<BasicBlock> owned = std::move(blocks_[from]);
+    BlockPtr owned = std::move(blocks_[from]);
     blocks_.erase(blocks_.begin() + static_cast<ptrdiff_t>(from));
     if (index > from)
         --index;
     blocks_.insert(blocks_.begin() + static_cast<ptrdiff_t>(index),
                    std::move(owned));
+    renumberBlocksFrom(std::min(index, from));
 }
 
 size_t
 Function::indexOfBlock(const BasicBlock *block) const
 {
-    for (size_t i = 0; i < blocks_.size(); ++i) {
-        if (blocks_[i].get() == block)
-            return i;
-    }
-    assert(false && "block not in function");
-    return blocks_.size();
+    size_t index = block->indexInFn_;
+    assert(index < blocks_.size() && blocks_[index].get() == block &&
+           "stale block index");
+    return index;
 }
 
 //===------------------------------------------------------------------===//
@@ -500,13 +525,18 @@ Module::constant(IrType type, int64_t value)
     assert(type.isInt() || (type.isPtr() && value == 0));
     if (type.isInt())
         value = wrapInt(value, type.bits, type.isSigned);
-    for (const auto &c : constants_) {
-        if (c->type() == type && c->value() == value)
-            return c.get();
-    }
+    ConstantKey key{static_cast<uint32_t>(
+                        (static_cast<uint32_t>(type.kind) << 16) |
+                        (static_cast<uint32_t>(type.bits) << 8) |
+                        (type.isSigned ? 1u : 0u)),
+                    value};
+    auto [it, inserted] = constantIndex_.try_emplace(key, nullptr);
+    if (!inserted)
+        return it->second;
     constants_.push_back(std::make_unique<Constant>(type, value));
     constants_.back()->setId(nextValueId());
-    return constants_.back().get();
+    it->second = constants_.back().get();
+    return it->second;
 }
 
 } // namespace dce::ir

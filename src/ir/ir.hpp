@@ -15,9 +15,13 @@
  *
  * Ownership: Module owns GlobalVars, Functions and the constant pool;
  * Function owns Params and BasicBlocks; BasicBlock owns Instrs.
- * Mid-life deletion must go through BasicBlock::erase / Function::
- * eraseBlock so def-use bookkeeping stays consistent; destruction of a
- * whole Module performs no bookkeeping.
+ * Instructions and blocks are allocated from the Module's bump arena
+ * (ir/arena.hpp): creation goes through Module::newInstr /
+ * Function::addBlock, the owning handles are ArenaPtrs whose deleter
+ * runs only the destructor, and the memory is reclaimed wholesale when
+ * the Module dies. Mid-life deletion must go through
+ * BasicBlock::erase / Function::eraseBlock so def-use bookkeeping stays
+ * consistent; destruction of a whole Module performs no bookkeeping.
  */
 #pragma once
 
@@ -25,9 +29,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "ir/arena.hpp"
 #include "ir/type.hpp"
+#include "support/small_vector.hpp"
 
 namespace dce::ir {
 
@@ -36,6 +43,11 @@ class BasicBlock;
 class Function;
 class Module;
 class GlobalVar;
+
+/** Owning handle to an arena-backed instruction. */
+using InstrPtr = ArenaPtr<Instr>;
+/** Owning handle to an arena-backed basic block. */
+using BlockPtr = ArenaPtr<BasicBlock>;
 
 //===------------------------------------------------------------------===//
 // Value
@@ -66,8 +78,13 @@ class Value {
     }
 
     /** Users (instructions whose operand lists mention this value).
-     * May contain duplicates when one instruction uses a value twice. */
-    const std::vector<Instr *> &users() const { return users_; }
+     * May contain duplicates when one instruction uses a value twice.
+     * Constants track no users: they are interned module-wide (one
+     * node for every use of `0`), so a use-list would grow with the
+     * whole module and make each operand drop a linear scan of it —
+     * and nothing ever needs it (constants are never replaced or
+     * erased while the module lives). */
+    const support::SmallVector<Instr *, 4> &users() const { return users_; }
     bool hasUsers() const { return !users_.empty(); }
 
     /** Rewrite every use of this value to @p replacement. */
@@ -82,13 +99,18 @@ class Value {
 
   private:
     friend class Instr;
-    void addUser(Instr *user) { users_.push_back(user); }
+    void
+    addUser(Instr *user)
+    {
+        if (valueKind_ != ValueKind::Constant)
+            users_.push_back(user);
+    }
     void removeUser(Instr *user);
 
     ValueKind valueKind_;
     IrType type_;
     unsigned id_ = 0;
-    std::vector<Instr *> users_;
+    support::SmallVector<Instr *, 4> users_;
 };
 
 /** An integer constant, interned per (type, value) in the Module. */
@@ -237,6 +259,7 @@ CmpPred cmpPredInverse(CmpPred pred);
 /**
  * A single IR instruction. One concrete class for all opcodes with a
  * small set of per-opcode extras; passes dispatch on opcode().
+ * Create through Module::newInstr (arena-backed).
  */
 class Instr : public Value {
   public:
@@ -254,7 +277,10 @@ class Instr : public Value {
     void setOperand(size_t index, Value *value);
     void addOperand(Value *value);
     void removeOperand(size_t index);
-    const std::vector<Value *> &operands() const { return operands_; }
+    const support::SmallVector<Value *, 4> &operands() const
+    {
+        return operands_;
+    }
 
     /** Detach this instruction from all of its operands' use lists. */
     void dropOperands();
@@ -279,11 +305,14 @@ class Instr : public Value {
     bool hasSideEffects() const;
 
     // --- CFG edges (terminators) and phi incoming blocks ------------
-    const std::vector<BasicBlock *> &blockOperands() const
+    const support::SmallVector<BasicBlock *, 2> &blockOperands() const
     {
         return blockOperands_;
     }
-    std::vector<BasicBlock *> &blockOperands() { return blockOperands_; }
+    support::SmallVector<BasicBlock *, 2> &blockOperands()
+    {
+        return blockOperands_;
+    }
     BasicBlock *blockOperand(size_t index) const
     {
         return blockOperands_[index];
@@ -322,15 +351,16 @@ class Instr : public Value {
     friend class BasicBlock;
     Opcode opcode_;
     BasicBlock *parent_ = nullptr;
-    std::vector<Value *> operands_;
-    std::vector<BasicBlock *> blockOperands_;
+    support::SmallVector<Value *, 4> operands_;
+    support::SmallVector<BasicBlock *, 2> blockOperands_;
 };
 
 //===------------------------------------------------------------------===//
 // BasicBlock
 //===------------------------------------------------------------------===//
 
-/** A straight-line instruction sequence ending in one terminator. */
+/** A straight-line instruction sequence ending in one terminator.
+ * Create through Function::addBlock (arena-backed). */
 class BasicBlock {
   public:
     explicit BasicBlock(std::string name) : name_(std::move(name)) {}
@@ -341,10 +371,12 @@ class BasicBlock {
     void setName(std::string name) { name_ = std::move(name); }
     Function *parent() const { return parent_; }
 
-    const std::vector<std::unique_ptr<Instr>> &instrs() const
-    {
-        return instrs_;
-    }
+    /** Position in the parent function's block list, kept current by
+     * every Function block mutation. CFG analyses use it to key flat
+     * per-block arrays instead of hash maps. */
+    uint32_t indexInFn() const { return indexInFn_; }
+
+    const std::vector<InstrPtr> &instrs() const { return instrs_; }
     bool empty() const { return instrs_.empty(); }
     size_t size() const { return instrs_.size(); }
     Instr *front() const { return instrs_.front().get(); }
@@ -358,17 +390,20 @@ class BasicBlock {
         return instrs_.back().get();
     }
 
-    /** Successor blocks (empty for Ret/Unreachable). */
-    std::vector<BasicBlock *>
+    /** Successor blocks (empty for Ret/Unreachable). A view of the
+     * terminator's block operands — invalidated by terminator edits. */
+    const support::SmallVector<BasicBlock *, 2> &
     successors() const
     {
+        static const support::SmallVector<BasicBlock *, 2> kNone{};
         Instr *term = terminator();
-        return term ? term->blockOperands()
-                    : std::vector<BasicBlock *>{};
+        if (!term)
+            return kNone;
+        return term->blockOperands();
     }
 
-    Instr *append(std::unique_ptr<Instr> instr);
-    Instr *insertBefore(size_t index, std::unique_ptr<Instr> instr);
+    Instr *append(InstrPtr instr);
+    Instr *insertBefore(size_t index, InstrPtr instr);
     /** Position of @p instr in this block. */
     size_t indexOf(const Instr *instr) const;
 
@@ -377,9 +412,9 @@ class BasicBlock {
     void erase(Instr *instr);
     /** Detach @p instr without destroying it (for moves). Operand uses
      * are kept. */
-    std::unique_ptr<Instr> detach(Instr *instr);
+    InstrPtr detach(Instr *instr);
     /** Re-attach a detached instruction at the end. */
-    Instr *reattach(std::unique_ptr<Instr> instr)
+    Instr *reattach(InstrPtr instr)
     {
         return append(std::move(instr));
     }
@@ -396,7 +431,8 @@ class BasicBlock {
     friend class Function;
     std::string name_;
     Function *parent_ = nullptr;
-    std::vector<std::unique_ptr<Instr>> instrs_;
+    uint32_t indexInFn_ = 0;
+    std::vector<InstrPtr> instrs_;
 };
 
 //===------------------------------------------------------------------===//
@@ -436,15 +472,17 @@ class Function {
     }
 
     BasicBlock *entry() const { return blocks_.front().get(); }
-    const std::vector<std::unique_ptr<BasicBlock>> &blocks() const
-    {
-        return blocks_;
-    }
+    const std::vector<BlockPtr> &blocks() const { return blocks_; }
     size_t numBlocks() const { return blocks_.size(); }
 
+    /** Append a fresh arena-backed block. @pre the function belongs to
+     * a Module (its arena provides the storage). */
     BasicBlock *addBlock(std::string name);
-    /** Insert an existing (detached) block; used by the inliner. */
-    BasicBlock *adoptBlock(std::unique_ptr<BasicBlock> block);
+    /** Insert an existing (detached) block; used by the inliner.
+     * @pre the block came from this function's module's arena. */
+    BasicBlock *adoptBlock(BlockPtr block);
+    /** Detach @p block without destroying it (intra-module moves). */
+    BlockPtr detachBlock(BasicBlock *block);
     /**
      * Remove and destroy @p block: drops all its instructions' operand
      * uses first, so mutually-referencing dead blocks can be erased in
@@ -458,13 +496,16 @@ class Function {
 
   private:
     friend class Module;
+    /** Restore indexInFn() for every block at or after @p start. */
+    void renumberBlocksFrom(size_t start);
+
     std::string name_;
     IrType returnType_;
     bool internal_;
     bool noDce_ = false;
     Module *parent_ = nullptr;
     std::vector<std::unique_ptr<Param>> params_;
-    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+    std::vector<BlockPtr> blocks_;
     unsigned nextBlockId_ = 0;
 };
 
@@ -477,6 +518,19 @@ class Module {
     Module() = default;
     Module(const Module &) = delete;
     Module &operator=(const Module &) = delete;
+
+    /** The bump arena backing this module's instructions and blocks.
+     * Single-threaded, like the module itself. */
+    Arena &arena() { return arena_; }
+
+    /** Allocate a fresh instruction from the module arena. Per-opcode
+     * extras (binOp, callee, ...) are set by the caller afterwards,
+     * exactly as with the old heap allocation. */
+    InstrPtr
+    newInstr(Opcode op, IrType type)
+    {
+        return InstrPtr(arena_.create<Instr>(op, type));
+    }
 
     GlobalVar *addGlobal(std::string name, IrType element_type,
                          uint64_t count, bool internal);
@@ -501,7 +555,7 @@ class Module {
         return functions_;
     }
 
-    /** Interned integer constant of the given type. */
+    /** Interned integer constant of the given type (hash lookup). */
     Constant *constant(IrType type, int64_t value);
     Constant *i32Const(int64_t value)
     {
@@ -511,10 +565,38 @@ class Module {
     /** Fresh printer id. */
     unsigned nextValueId() { return nextValueId_++; }
 
+    /** One past the largest value id handed out so far — the size a
+     * flat id-indexed side table needs. */
+    unsigned valueIdBound() const { return nextValueId_; }
+
   private:
+    /** Interning key for the constant pool. */
+    struct ConstantKey {
+        uint32_t type; ///< packed {kind, bits, isSigned}
+        int64_t value;
+        bool operator==(const ConstantKey &o) const
+        {
+            return type == o.type && value == o.value;
+        }
+    };
+    struct ConstantKeyHash {
+        size_t
+        operator()(const ConstantKey &k) const
+        {
+            uint64_t h = static_cast<uint64_t>(k.value) * 0x9E3779B97F4A7C15ULL;
+            return static_cast<size_t>(h ^ (h >> 32) ^ k.type);
+        }
+    };
+
+    // Declared first so it is destroyed last: every arena-backed node's
+    // destructor (reached through functions_) must run before the
+    // backing memory is released.
+    Arena arena_;
     std::vector<std::unique_ptr<GlobalVar>> globals_;
     std::vector<std::unique_ptr<Function>> functions_;
     std::vector<std::unique_ptr<Constant>> constants_;
+    std::unordered_map<ConstantKey, Constant *, ConstantKeyHash>
+        constantIndex_;
     unsigned nextValueId_ = 1;
 };
 

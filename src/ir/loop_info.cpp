@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/cfg.hpp"
+#include "support/trace.hpp"
 
 namespace dce::ir {
 
@@ -22,9 +23,7 @@ Loop::exitBlocks() const
 }
 
 BasicBlock *
-Loop::preheader(const std::unordered_map<const BasicBlock *,
-                                         std::vector<BasicBlock *>> &preds)
-    const
+Loop::preheader(const PredecessorMap &preds) const
 {
     BasicBlock *candidate = nullptr;
     for (BasicBlock *pred : preds.at(header)) {
@@ -52,6 +51,7 @@ Loop::depth() const
 
 LoopInfo::LoopInfo(const Function &fn, const DominatorTree &domtree)
 {
+    support::TraceSpan span("loopinfo", "analysis");
     if (fn.isDeclaration())
         return;
     auto preds = predecessorMap(fn);

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "ir/cfg.hpp"
 #include "ir/dominators.hpp"
 #include "ir/ir.hpp"
 
@@ -37,9 +39,7 @@ struct Loop {
 
     /** The unique pre-header predecessor (outside block whose only
      * successor is the header), or null. */
-    BasicBlock *preheader(
-        const std::unordered_map<const BasicBlock *,
-                                 std::vector<BasicBlock *>> &preds) const;
+    BasicBlock *preheader(const PredecessorMap &preds) const;
 
     /** Loop nest depth; top-level = 1. */
     unsigned depth() const;

@@ -214,7 +214,7 @@ class Lowering {
         bool is_array = decl.type->isArray();
         const lang::Type *element =
             is_array ? decl.type->element() : decl.type;
-        auto instr = std::make_unique<Instr>(Opcode::Alloca,
+        auto instr = module_->newInstr(Opcode::Alloca,
                                              IrType::ptrTy());
         instr->allocatedType = lowerType(element);
         instr->allocatedCount = is_array ? decl.type->arraySize() : 1;

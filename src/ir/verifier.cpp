@@ -246,10 +246,13 @@ class FunctionVerifier {
     checkUses()
     {
         // Every operand's use-list must mention the user exactly as
-        // many times as it appears in the operand list.
+        // many times as it appears in the operand list. Constants are
+        // exempt: they intentionally track no users (see Value::users).
         for (const auto &block : fn_.blocks()) {
             for (const auto &instr : block->instrs()) {
                 for (Value *operand : instr->operands()) {
+                    if (operand->isConstant())
+                        continue;
                     size_t in_operands = static_cast<size_t>(
                         std::count(instr->operands().begin(),
                                    instr->operands().end(), operand));

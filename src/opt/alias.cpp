@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "support/trace.hpp"
+
 namespace dce::opt {
 
 using ir::Function;
@@ -88,6 +90,7 @@ alias(const Value *a, const Value *b)
 
 EscapeInfo::EscapeInfo(const Module &module)
 {
+    support::TraceSpan span("escapeinfo", "analysis");
     // A global referenced by another global's initializer is reachable
     // through memory, i.e. escaped.
     for (const auto &global : module.globals()) {
@@ -167,32 +170,80 @@ EscapeInfo::markEscaping(const Value *root)
 // MemorySummary
 //===------------------------------------------------------------------===//
 
+namespace {
+
+void
+setBit(support::SmallVector<uint64_t, 1> &bits, unsigned index)
+{
+    bits[index / 64] |= uint64_t{1} << (index % 64);
+}
+
+bool
+testBit(const support::SmallVector<uint64_t, 1> &bits, unsigned index)
+{
+    return (bits[index / 64] >> (index % 64)) & 1;
+}
+
+} // namespace
+
 MemorySummary::MemorySummary(const Module &module, const EscapeInfo &escape)
 {
+    support::TraceSpan span("memorysummary", "analysis");
     // Direct effects, then propagate through calls to a fixed point
     // (handles recursion and mutual recursion).
-    Effects external_effects;
+    const auto &globals = module.globals();
+    const auto &functions = module.functions();
+    const unsigned num_globals = static_cast<unsigned>(globals.size());
+    const size_t words = (num_globals + 63) / 64;
+    globalIndex_.reserve(num_globals);
+    for (unsigned i = 0; i < num_globals; ++i)
+        globalIndex_[globals[i].get()] = i;
+    fnIndex_.reserve(functions.size());
+    effects_.resize(functions.size());
+    for (unsigned i = 0; i < functions.size(); ++i) {
+        fnIndex_[functions[i].get()] = i;
+        effects_[i].reads.resize(words, 0);
+        effects_[i].writes.resize(words, 0);
+    }
+
     // An external callee may touch every non-internal global, anything
     // escaped, and may call back into this module's non-internal
     // functions (handled below by unioning their effects in the
     // fixpoint via a pseudo call edge).
-    for (const auto &global : module.globals()) {
-        if (!global->isInternal()) {
-            external_effects.reads.insert(global.get());
-            external_effects.writes.insert(global.get());
+    Effects external_effects;
+    external_effects.reads.resize(words, 0);
+    external_effects.writes.resize(words, 0);
+    for (unsigned i = 0; i < num_globals; ++i) {
+        if (!globals[i]->isInternal()) {
+            setBit(external_effects.reads, i);
+            setBit(external_effects.writes, i);
         }
     }
     external_effects.readsUnknown = true;
     external_effects.writesUnknown = true;
 
-    for (const auto &fn : module.functions()) {
-        Effects &eff = effects_[fn.get()];
+    // Direct effects and, in the same walk, each function's unique
+    // callees — so the fixpoint below never re-walks instructions.
+    std::vector<support::SmallVector<unsigned, 4>> callees(
+        functions.size());
+    for (unsigned f = 0; f < functions.size(); ++f) {
+        const Function *fn = functions[f].get();
+        Effects &eff = effects_[f];
         if (fn->isDeclaration()) {
             eff = external_effects;
             continue;
         }
         for (const auto &block : fn->blocks()) {
             for (const auto &instr : block->instrs()) {
+                if (instr->opcode() == Opcode::Call) {
+                    unsigned callee = fnIndex_.at(instr->callee);
+                    bool seen = false;
+                    for (unsigned c : callees[f])
+                        seen |= c == callee;
+                    if (!seen)
+                        callees[f].push_back(callee);
+                    continue;
+                }
                 if (instr->opcode() == Opcode::Load ||
                     instr->opcode() == Opcode::Store) {
                     bool is_store = instr->opcode() == Opcode::Store;
@@ -202,7 +253,8 @@ MemorySummary::MemorySummary(const Module &module, const EscapeInfo &escape)
                     if (base.kind == PtrBase::Kind::Global) {
                         auto *g = static_cast<const GlobalVar *>(
                             base.object);
-                        (is_store ? eff.writes : eff.reads).insert(g);
+                        setBit(is_store ? eff.writes : eff.reads,
+                               globalIndex_.at(g));
                     } else if (base.kind == PtrBase::Kind::Unknown) {
                         // Could be any escaped object or a global
                         // whose address escaped.
@@ -226,45 +278,37 @@ MemorySummary::MemorySummary(const Module &module, const EscapeInfo &escape)
     // Whole-program assumption: external code may call back any
     // non-internal defined function *except main* (the entry point is
     // never re-entered; real compilers infer the same via norecurse).
-    std::vector<const Function *> callback_targets;
-    for (const auto &fn : module.functions()) {
-        if (!fn->isDeclaration() && !fn->isInternal() &&
-            fn->name() != "main") {
-            callback_targets.push_back(fn.get());
+    for (unsigned f = 0; f < functions.size(); ++f) {
+        if (!functions[f]->isDeclaration())
+            continue;
+        for (unsigned t = 0; t < functions.size(); ++t) {
+            if (!functions[t]->isDeclaration() &&
+                !functions[t]->isInternal() &&
+                functions[t]->name() != "main") {
+                callees[f].push_back(t);
+            }
         }
     }
 
     bool changed = true;
     while (changed) {
         changed = false;
-        for (const auto &fn : module.functions()) {
-            Effects &eff = effects_[fn.get()];
-            auto absorb = [&](const Effects &callee) {
-                size_t before =
-                    eff.reads.size() + eff.writes.size() +
-                    (eff.readsUnknown ? 1 : 0) +
-                    (eff.writesUnknown ? 1 : 0);
-                eff.reads.insert(callee.reads.begin(), callee.reads.end());
-                eff.writes.insert(callee.writes.begin(),
-                                  callee.writes.end());
+        for (unsigned f = 0; f < functions.size(); ++f) {
+            Effects &eff = effects_[f];
+            for (unsigned c : callees[f]) {
+                const Effects &callee = effects_[c];
+                for (size_t w = 0; w < words; ++w) {
+                    uint64_t reads = eff.reads[w] | callee.reads[w];
+                    uint64_t writes = eff.writes[w] | callee.writes[w];
+                    changed |= reads != eff.reads[w] ||
+                               writes != eff.writes[w];
+                    eff.reads[w] = reads;
+                    eff.writes[w] = writes;
+                }
+                changed |= callee.readsUnknown && !eff.readsUnknown;
+                changed |= callee.writesUnknown && !eff.writesUnknown;
                 eff.readsUnknown |= callee.readsUnknown;
                 eff.writesUnknown |= callee.writesUnknown;
-                size_t after =
-                    eff.reads.size() + eff.writes.size() +
-                    (eff.readsUnknown ? 1 : 0) +
-                    (eff.writesUnknown ? 1 : 0);
-                changed |= after != before;
-            };
-            if (fn->isDeclaration()) {
-                for (const Function *target : callback_targets)
-                    absorb(effects_.at(target));
-                continue;
-            }
-            for (const auto &block : fn->blocks()) {
-                for (const auto &instr : block->instrs()) {
-                    if (instr->opcode() == Opcode::Call)
-                        absorb(effects_.at(instr->callee));
-                }
             }
         }
     }
@@ -273,27 +317,29 @@ MemorySummary::MemorySummary(const Module &module, const EscapeInfo &escape)
 bool
 MemorySummary::mayRead(const Function *fn, const GlobalVar *g) const
 {
-    const Effects &eff = effects_.at(fn);
-    return eff.reads.count(g) != 0;
+    auto it = globalIndex_.find(g);
+    return it != globalIndex_.end() &&
+           testBit(effectsOf(fn).reads, it->second);
 }
 
 bool
 MemorySummary::mayWrite(const Function *fn, const GlobalVar *g) const
 {
-    const Effects &eff = effects_.at(fn);
-    return eff.writes.count(g) != 0;
+    auto it = globalIndex_.find(g);
+    return it != globalIndex_.end() &&
+           testBit(effectsOf(fn).writes, it->second);
 }
 
 bool
 MemorySummary::readsUnknown(const Function *fn) const
 {
-    return effects_.at(fn).readsUnknown;
+    return effectsOf(fn).readsUnknown;
 }
 
 bool
 MemorySummary::writesUnknown(const Function *fn) const
 {
-    return effects_.at(fn).writesUnknown;
+    return effectsOf(fn).writesUnknown;
 }
 
 } // namespace dce::opt

@@ -23,6 +23,7 @@
 #include <unordered_set>
 
 #include "ir/ir.hpp"
+#include "support/small_vector.hpp"
 
 namespace dce::opt {
 
@@ -92,14 +93,24 @@ class MemorySummary {
     bool writesUnknown(const ir::Function *fn) const;
 
   private:
+    /** Read/write sets as bitmasks over the module's global index —
+     * the call-graph fixpoint then unions effects with word ORs
+     * instead of hash-set merges. */
     struct Effects {
-        std::unordered_set<const ir::GlobalVar *> reads;
-        std::unordered_set<const ir::GlobalVar *> writes;
+        support::SmallVector<uint64_t, 1> reads;
+        support::SmallVector<uint64_t, 1> writes;
         bool readsUnknown = false;
         bool writesUnknown = false;
     };
 
-    std::unordered_map<const ir::Function *, Effects> effects_;
+    const Effects &effectsOf(const ir::Function *fn) const
+    {
+        return effects_[fnIndex_.at(fn)];
+    }
+
+    std::unordered_map<const ir::Function *, unsigned> fnIndex_;
+    std::unordered_map<const ir::GlobalVar *, unsigned> globalIndex_;
+    std::vector<Effects> effects_;
 };
 
 } // namespace dce::opt

@@ -16,8 +16,9 @@
  * through the parent may have stored, so all memory availability is
  * invalidated (LLVM EarlyCSE does the same without MemorySSA).
  */
-#include <map>
+#include <cstdint>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/cfg.hpp"
@@ -43,51 +44,107 @@ using ExprKey = std::tuple<int,      // opcode
                            int,      // type bits
                            int>;     // type signedness/kind
 
-/** A scope stack of key->value maps with tombstones (nullptr value
- * shadows an outer entry). */
+/** Hash for ExprKey / pointer keys (FNV-style mix of the tuple). */
+struct KeyHash {
+    static size_t
+    mix(size_t seed, uint64_t v)
+    {
+        seed ^= static_cast<size_t>(v * 0x9E3779B97F4A7C15ULL) +
+                (seed << 6) + (seed >> 2);
+        return seed;
+    }
+    size_t
+    operator()(const std::tuple<int, int, const Value *, const Value *,
+                                const Value *, int, int> &key) const
+    {
+        size_t h = mix(0, static_cast<uint64_t>(std::get<0>(key)));
+        h = mix(h, static_cast<uint64_t>(std::get<1>(key)));
+        h = mix(h, reinterpret_cast<uintptr_t>(std::get<2>(key)));
+        h = mix(h, reinterpret_cast<uintptr_t>(std::get<3>(key)));
+        h = mix(h, reinterpret_cast<uintptr_t>(std::get<4>(key)));
+        h = mix(h, static_cast<uint64_t>(std::get<5>(key)));
+        h = mix(h, static_cast<uint64_t>(std::get<6>(key)));
+        return h;
+    }
+    size_t
+    operator()(const Value *key) const
+    {
+        return mix(0, reinterpret_cast<uintptr_t>(key));
+    }
+};
+
+/**
+ * Scoped hash table with tombstones (nullptr value shadows an outer
+ * entry): one hash map from key to a stack of per-scope bindings plus
+ * an undo log per scope, so lookup is a single probe and popScope
+ * unwinds exactly the bindings its scope made — the standard
+ * LLVM-ScopedHashTable shape. The outcome of every operation is
+ * identical to a stack of per-scope maps; only the cost differs.
+ */
 template <typename Key>
 class ScopedTable {
   public:
-    void pushScope() { scopes_.emplace_back(); }
-    void popScope() { scopes_.pop_back(); }
+    void pushScope() { undo_.emplace_back(); }
+
+    void
+    popScope()
+    {
+        for (const Key &key : undo_.back()) {
+            auto it = table_.find(key);
+            it->second.pop_back();
+            if (it->second.empty())
+                table_.erase(it);
+        }
+        undo_.pop_back();
+    }
 
     void
     insert(const Key &key, Value *value)
     {
-        scopes_.back()[key] = value;
+        unsigned scope = static_cast<unsigned>(undo_.size() - 1);
+        auto &stack = table_[key];
+        if (!stack.empty() && stack.back().scope == scope) {
+            stack.back().value = value;
+            return;
+        }
+        stack.push_back({value, scope});
+        undo_.back().push_back(key);
     }
 
     /** Innermost entry, or nullptr when absent or tombstoned. */
     Value *
     lookup(const Key &key) const
     {
-        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-            auto found = it->find(key);
-            if (found != it->end())
-                return found->second;
-        }
-        return nullptr;
+        auto it = table_.find(key);
+        if (it == table_.end())
+            return nullptr;
+        return it->second.back().value;
     }
 
-    /** All live (non-tombstoned) keys, innermost shadowing outer. */
-    std::vector<Key>
-    liveKeys() const
+    /** Invoke @p fn on every live (non-tombstoned) key, innermost
+     * binding shadowing outer. Enumeration order is unspecified; every
+     * caller applies an order-independent filter. The callback may
+     * insert() for keys already present (tombstoning) — that never
+     * rehashes, so iteration stays valid — but must not introduce new
+     * keys. */
+    template <typename Fn>
+    void
+    forEachLive(Fn fn)
     {
-        std::map<Key, Value *> merged;
-        for (const auto &scope : scopes_) {
-            for (const auto &[key, value] : scope)
-                merged[key] = value;
+        for (auto &[key, stack] : table_) {
+            if (stack.back().value)
+                fn(key);
         }
-        std::vector<Key> keys;
-        for (const auto &[key, value] : merged) {
-            if (value)
-                keys.push_back(key);
-        }
-        return keys;
     }
 
   private:
-    std::vector<std::map<Key, Value *>> scopes_;
+    struct Binding {
+        Value *value;
+        unsigned scope;
+    };
+    std::unordered_map<Key, support::SmallVector<Binding, 2>, KeyHash>
+        table_;
+    std::vector<std::vector<Key>> undo_;
 };
 
 class EarlyCse : public Pass {
@@ -165,41 +222,41 @@ class EarlyCse : public Pass {
     void
     invalidateMayAlias(const Value *ptr)
     {
-        for (const Value *key : memory_.liveKeys()) {
+        memory_.forEachLive([&](const Value *key) {
             if (alias(key, ptr) != AliasResult::NoAlias)
                 memory_.insert(key, nullptr);
-        }
+        });
     }
 
     void
     invalidateAll()
     {
-        for (const Value *key : memory_.liveKeys())
-            memory_.insert(key, nullptr);
+        memory_.forEachLive(
+            [&](const Value *key) { memory_.insert(key, nullptr); });
     }
 
     void
     invalidateForCall(const Instr &call)
     {
         const Function *callee = call.callee;
-        for (const Value *key : memory_.liveKeys()) {
+        const bool writes_unknown = summary_->writesUnknown(callee);
+        memory_.forEachLive([&](const Value *key) {
             PtrBase base = resolvePtrBase(key);
             bool clobbered;
             if (base.kind == PtrBase::Kind::Global) {
                 const auto *g =
                     static_cast<const ir::GlobalVar *>(base.object);
                 clobbered = summary_->mayWrite(callee, g) ||
-                            (escape_->escapes(g) &&
-                             summary_->writesUnknown(callee));
+                            (escape_->escapes(g) && writes_unknown);
             } else if (base.kind == PtrBase::Kind::Alloca) {
-                clobbered = escape_->escapes(base.object) &&
-                            summary_->writesUnknown(callee);
+                clobbered =
+                    escape_->escapes(base.object) && writes_unknown;
             } else {
                 clobbered = true;
             }
             if (clobbered)
                 memory_.insert(key, nullptr);
-        }
+        });
     }
 
     bool
@@ -208,11 +265,11 @@ class EarlyCse : public Pass {
         ir::DominatorTree domtree(fn);
         auto preds = ir::predecessorMap(fn);
 
-        std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>>
-            dom_children;
+        std::vector<std::vector<BasicBlock *>> dom_children(
+            fn.numBlocks());
         for (BasicBlock *block : domtree.rpo()) {
             if (const BasicBlock *parent = domtree.idom(block))
-                dom_children[parent].push_back(block);
+                dom_children[parent->indexInFn()].push_back(block);
         }
 
         bool changed = false;
@@ -244,11 +301,9 @@ class EarlyCse : public Pass {
 
             changed |= processBlock(*action.block);
 
-            auto children = dom_children.find(action.block);
-            if (children != dom_children.end()) {
-                for (BasicBlock *child : children->second)
-                    stack.push_back({child, true});
-            }
+            for (BasicBlock *child :
+                 dom_children[action.block->indexInFn()])
+                stack.push_back({child, true});
         }
         return changed;
     }

@@ -86,9 +86,7 @@ class GlobalOpt : public Pass {
             for (const auto &global : module.globals()) {
                 if (global->isInternal() &&
                     !escape.escapes(global.get())) {
-                    changed |= localize(
-                        *module_->getGlobal(global->name()),
-                        loop_blocks);
+                    changed |= localize(*global, loop_blocks);
                 }
             }
         }
@@ -133,7 +131,7 @@ class GlobalOpt : public Pass {
             return false;
         // Materialize: alloca + initializing store at entry top.
         BasicBlock *entry = only_user->entry();
-        auto alloca_instr = std::make_unique<Instr>(Opcode::Alloca,
+        auto alloca_instr = module_->newInstr(Opcode::Alloca,
                                                     IrType::ptrTy());
         alloca_instr->allocatedType = g.elementType();
         alloca_instr->setId(module_->nextValueId());
@@ -144,7 +142,7 @@ class GlobalOpt : public Pass {
             g.elementType().isPtr()
                 ? module_->constant(IrType::ptrTy(), 0)
                 : module_->constant(g.elementType(), init_value);
-        auto store = std::make_unique<Instr>(Opcode::Store,
+        auto store = module_->newInstr(Opcode::Store,
                                              IrType::voidTy());
         store->addOperand(init_const);
         store->addOperand(slot);
@@ -254,7 +252,7 @@ class GlobalOpt : public Pass {
             if (init.value == 0) {
                 replacement = base;
             } else {
-                auto gep = std::make_unique<Instr>(Opcode::Gep,
+                auto gep = module_->newInstr(Opcode::Gep,
                                                    IrType::ptrTy());
                 gep->addOperand(base);
                 gep->addOperand(module_->constant(

@@ -126,7 +126,7 @@ class Inliner : public Pass {
             caller.addBlock(call_block->name() + ".cont");
         size_t call_index = call_block->indexOf(call);
         while (call_block->size() > call_index + 1) {
-            std::unique_ptr<Instr> moved = call_block->detach(
+            ir::InstrPtr moved = call_block->detach(
                 call_block->instrs()[call_index + 1].get());
             continuation->reattach(std::move(moved));
         }
@@ -156,7 +156,7 @@ class Inliner : public Pass {
             Value *returned =
                 term->numOperands() == 1 ? term->operand(0) : nullptr;
             clone->erase(term);
-            auto br = std::make_unique<Instr>(Opcode::Br,
+            auto br = module.newInstr(Opcode::Br,
                                               IrType::voidTy());
             br->addBlockOperand(continuation);
             clone->append(std::move(br));
@@ -169,7 +169,7 @@ class Inliner : public Pass {
             if (returns.size() == 1) {
                 result = returns[0].first;
             } else if (!returns.empty()) {
-                auto phi = std::make_unique<Instr>(Opcode::Phi,
+                auto phi = module.newInstr(Opcode::Phi,
                                                    call->type());
                 phi->setId(module.nextValueId());
                 for (auto &[value, block] : returns)
@@ -188,7 +188,7 @@ class Inliner : public Pass {
 
         // 5. The call block now ends by entering the inlined entry.
         call_block->erase(call);
-        auto enter = std::make_unique<Instr>(Opcode::Br,
+        auto enter = module.newInstr(Opcode::Br,
                                              IrType::voidTy());
         enter->addBlockOperand(map.blocks.at(callee->entry()));
         call_block->append(std::move(enter));

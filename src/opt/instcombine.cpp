@@ -320,7 +320,7 @@ class InstCombine : public Pass {
                     // (x cmp y) == 0 -> inverse comparison; reuse the
                     // inner instruction only if we may mutate a copy —
                     // build a fresh one in place instead.
-                    auto inverse = std::make_unique<Instr>(Opcode::Cmp,
+                    auto inverse = module_->newInstr(Opcode::Cmp,
                                                            i32);
                     inverse->cmpPred = ir::cmpPredInverse(inner->cmpPred);
                     inverse->addOperand(inner->operand(0));

@@ -253,7 +253,7 @@ class JumpThreading : public Pass {
             if (config_->threadThroughDeadPhis &&
                 cond->isInstruction() && !phi->operands().empty()) {
                 Instr *term_now = block->terminator();
-                auto freeze = std::make_unique<Instr>(
+                auto freeze = module_->newInstr(
                     Opcode::Freeze, term_now->operand(0)->type());
                 freeze->addOperand(term_now->operand(0));
                 freeze->setId(module_->nextValueId());

@@ -85,9 +85,7 @@ class LoopStoreRewrite : public Pass {
 
     bool
     tryRewrite(Function &fn, const Loop &loop,
-               const std::unordered_map<const BasicBlock *,
-                                        std::vector<BasicBlock *>>
-                   &preds)
+               const ir::PredecessorMap &preds)
     {
         // Shape: two blocks (header + body/latch), counted by a phi.
         if (loop.blocks.size() != 2 || loop.latches.size() != 1 ||
@@ -281,7 +279,7 @@ class LoopStoreRewrite : public Pass {
                      BasicBlock *exit, BasicBlock *header, Function &fn)
     {
         size_t insert_at = preheader.size() - 1; // before terminator
-        auto emit = [&](std::unique_ptr<Instr> instr) -> Instr * {
+        auto emit = [&](ir::InstrPtr instr) -> Instr * {
             Instr *placed =
                 preheader.insertBefore(insert_at++, std::move(instr));
             return placed;
@@ -293,7 +291,7 @@ class LoopStoreRewrite : public Pass {
             for (const auto &owned : body.instrs()) {
                 Instr *instr = owned.get();
                 if (instr->opcode() == Opcode::Call) {
-                    auto call = std::make_unique<Instr>(
+                    auto call = module_->newInstr(
                         Opcode::Call, IrType::voidTy());
                     call->callee = instr->callee;
                     emit(std::move(call));
@@ -324,7 +322,7 @@ class LoopStoreRewrite : public Pass {
                             to, wrapInt(iteration, to.bits,
                                         to.isSigned));
                     }
-                    auto cloned = std::make_unique<Instr>(
+                    auto cloned = module_->newInstr(
                         Opcode::Gep, IrType::ptrTy());
                     cloned->addOperand(gep->operand(0));
                     cloned->addOperand(concrete_index);
@@ -334,13 +332,13 @@ class LoopStoreRewrite : public Pass {
                 }
                 Value *stored = store->operand(0);
                 if (config_->loopRewriteInsertsFreeze) {
-                    auto freeze = std::make_unique<Instr>(
+                    auto freeze = module_->newInstr(
                         Opcode::Freeze, stored->type());
                     freeze->addOperand(stored);
                     freeze->setId(module_->nextValueId());
                     stored = emit(std::move(freeze));
                 }
-                auto new_store = std::make_unique<Instr>(
+                auto new_store = module_->newInstr(
                     Opcode::Store, IrType::voidTy());
                 new_store->addOperand(stored);
                 new_store->addOperand(concrete_ptr);

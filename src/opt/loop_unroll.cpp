@@ -97,10 +97,7 @@ class LoopUnroll : public Pass {
 
     /** Match the unrollable shape and compute the trip count. */
     std::optional<CountedLoop>
-    match(const Loop &loop,
-          const std::unordered_map<const BasicBlock *,
-                                   std::vector<BasicBlock *>> &preds)
-        const
+    match(const Loop &loop, const ir::PredecessorMap &preds) const
     {
         if (!loop.subloops.empty() || loop.latches.size() != 1 ||
             loop.blocks.size() > 12) {

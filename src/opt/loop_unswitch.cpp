@@ -111,7 +111,7 @@ class LoopUnswitch : public Pass {
                         continue;
                     }
                     // Hoist: move before the preheader terminator.
-                    std::unique_ptr<Instr> owned = block->detach(load);
+                    ir::InstrPtr owned = block->detach(load);
                     preheader->insertBefore(preheader->size() - 1,
                                             std::move(owned));
                     changed = true;
@@ -249,7 +249,7 @@ class LoopUnswitch : public Pass {
         preheader->erase(pre_term);
         Value *dispatch = cond;
         if (config_->unswitchInsertsFreeze) {
-            auto freeze = std::make_unique<Instr>(Opcode::Freeze,
+            auto freeze = module_->newInstr(Opcode::Freeze,
                                                   cond->type());
             freeze->addOperand(cond);
             freeze->setId(module_->nextValueId());
@@ -257,7 +257,7 @@ class LoopUnswitch : public Pass {
         }
         Value *int_dispatch = dispatch;
         if (dispatch->type().isPtr()) {
-            auto cmp = std::make_unique<Instr>(Opcode::Cmp,
+            auto cmp = module_->newInstr(Opcode::Cmp,
                                                IrType::i32());
             cmp->cmpPred = ir::CmpPred::Ne;
             cmp->addOperand(dispatch);
@@ -265,7 +265,7 @@ class LoopUnswitch : public Pass {
             cmp->setId(module_->nextValueId());
             int_dispatch = preheader->append(std::move(cmp));
         }
-        auto condbr = std::make_unique<Instr>(Opcode::CondBr,
+        auto condbr = module_->newInstr(Opcode::CondBr,
                                               IrType::voidTy());
         condbr->addOperand(int_dispatch);
         condbr->addBlockOperand(header);
@@ -294,7 +294,7 @@ class LoopUnswitch : public Pass {
     {
         block->erase(term);
         auto br =
-            std::make_unique<Instr>(Opcode::Br, IrType::voidTy());
+            module_->newInstr(Opcode::Br, IrType::voidTy());
         br->addBlockOperand(kept);
         block->append(std::move(br));
         if (dropped != kept)

@@ -9,13 +9,13 @@
  * MiniC allocas are zero-initialized, so the "live-in at entry" value
  * of a promoted alloca is the constant 0 of its type (not undef).
  */
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "ir/cfg.hpp"
 #include "ir/dominators.hpp"
 #include "opt/pass.hpp"
+#include "support/small_vector.hpp"
 
 namespace dce::opt {
 
@@ -96,11 +96,12 @@ class Mem2Reg : public Pass {
 
         ir::DominatorTree domtree(fn);
         auto preds = ir::predecessorMap(fn);
+        const size_t num_blocks = fn.numBlocks();
 
-        // Dominance frontiers (Cooper-Harvey-Kennedy).
-        std::unordered_map<const BasicBlock *,
-                           std::unordered_set<BasicBlock *>>
-            frontier;
+        // Dominance frontiers (Cooper-Harvey-Kennedy), flat by block
+        // index with small-list dedup.
+        std::vector<support::SmallVector<BasicBlock *, 2>> frontier(
+            num_blocks);
         for (BasicBlock *block : domtree.rpo()) {
             const auto &block_preds = preds.at(block);
             if (block_preds.size() < 2)
@@ -110,63 +111,87 @@ class Mem2Reg : public Pass {
                     continue;
                 const BasicBlock *runner = pred;
                 while (runner && runner != domtree.idom(block)) {
-                    frontier[runner].insert(block);
+                    auto &list = frontier[runner->indexInFn()];
+                    bool seen = false;
+                    for (BasicBlock *b : list)
+                        seen |= b == block;
+                    if (!seen)
+                        list.push_back(block);
                     runner = domtree.idom(runner);
                 }
             }
         }
 
-        std::unordered_map<const Instr *, size_t> alloca_index;
+        // Which alloca (if any) a value id names; sized before phi
+        // creation, so lookups bounds-check against it.
+        const unsigned id_bound = module.valueIdBound();
+        std::vector<int> alloca_of_id(id_bound, -1);
         for (size_t i = 0; i < allocas.size(); ++i)
-            alloca_index[allocas[i]] = i;
+            alloca_of_id[allocas[i]->id()] = static_cast<int>(i);
+        auto alloca_index = [&](const Value *value) -> int {
+            if (!value->isInstruction() || value->id() >= id_bound)
+                return -1;
+            return alloca_of_id[value->id()];
+        };
 
         // Phi placement at iterated dominance frontiers of defs.
-        // phi_for[block][i] is the phi merging alloca i at block.
-        std::unordered_map<const BasicBlock *,
-                           std::unordered_map<size_t, Instr *>>
-            phi_for;
+        // phi_for[block][..] are the (alloca, phi) pairs merging at
+        // that block.
+        struct PhiSlot {
+            size_t index;
+            Instr *phi;
+        };
+        std::vector<support::SmallVector<PhiSlot, 2>> phi_for(
+            num_blocks);
+        std::vector<unsigned char> has_def(num_blocks);
+        std::vector<unsigned char> has_phi(num_blocks);
         for (size_t i = 0; i < allocas.size(); ++i) {
             std::vector<BasicBlock *> worklist;
-            std::unordered_set<const BasicBlock *> has_def;
+            has_def.assign(num_blocks, 0);
+            has_phi.assign(num_blocks, 0);
             // The alloca itself defines the value 0 at its position
             // (MiniC zero-initialization): an alloca re-executed in a
             // loop resets its slot, and renaming below honours that.
-            has_def.insert(allocas[i]->parent());
+            has_def[allocas[i]->parent()->indexInFn()] = 1;
             worklist.push_back(allocas[i]->parent());
             for (const Instr *user : allocas[i]->users()) {
-                if (user->opcode() == Opcode::Store &&
-                    has_def.insert(user->parent()).second) {
+                unsigned char &defined =
+                    has_def[user->parent()->indexInFn()];
+                if (user->opcode() == Opcode::Store && !defined) {
+                    defined = 1;
                     worklist.push_back(user->parent());
                 }
             }
-            std::unordered_set<const BasicBlock *> has_phi;
             while (!worklist.empty()) {
                 BasicBlock *def_block = worklist.back();
                 worklist.pop_back();
-                auto frontier_it = frontier.find(def_block);
-                if (frontier_it == frontier.end())
-                    continue;
-                for (BasicBlock *join : frontier_it->second) {
-                    if (!has_phi.insert(join).second)
+                for (BasicBlock *join :
+                     frontier[def_block->indexInFn()]) {
+                    unsigned char &placed_here =
+                        has_phi[join->indexInFn()];
+                    if (placed_here)
                         continue;
-                    auto phi = std::make_unique<Instr>(
+                    placed_here = 1;
+                    auto phi = module.newInstr(
                         Opcode::Phi, allocas[i]->allocatedType);
                     phi->setId(module.nextValueId());
                     Instr *placed = join->insertBefore(0, std::move(phi));
-                    phi_for[join][i] = placed;
-                    if (has_def.insert(join).second)
+                    phi_for[join->indexInFn()].push_back({i, placed});
+                    unsigned char &defined =
+                        has_def[join->indexInFn()];
+                    if (!defined) {
+                        defined = 1;
                         worklist.push_back(join);
+                    }
                 }
             }
         }
 
         // Rename along the dominator tree.
-        std::unordered_map<const BasicBlock *,
-                           std::vector<BasicBlock *>>
-            dom_children;
+        std::vector<std::vector<BasicBlock *>> dom_children(num_blocks);
         for (BasicBlock *block : domtree.rpo()) {
             if (const BasicBlock *parent = domtree.idom(block)) {
-                dom_children[parent].push_back(block);
+                dom_children[parent->indexInFn()].push_back(block);
             }
         }
 
@@ -193,32 +218,25 @@ class Mem2Reg : public Pass {
             BasicBlock *block = frame.block;
             std::vector<Value *> &values = frame.values;
 
-            auto phis_here = phi_for.find(block);
-            if (phis_here != phi_for.end()) {
-                for (auto &[index, phi] : phis_here->second)
-                    values[index] = phi;
-            }
+            for (auto &[index, phi] : phi_for[block->indexInFn()])
+                values[index] = phi;
 
             for (const auto &owned : block->instrs()) {
                 Instr *instr = owned.get();
                 if (instr->opcode() == Opcode::Alloca) {
-                    auto it = alloca_index.find(instr);
-                    if (it != alloca_index.end())
-                        values[it->second] = initial[it->second];
-                } else if (instr->opcode() == Opcode::Load &&
-                    instr->operand(0)->isInstruction()) {
-                    auto it = alloca_index.find(
-                        static_cast<const Instr *>(instr->operand(0)));
-                    if (it != alloca_index.end()) {
-                        instr->replaceAllUsesWith(values[it->second]);
+                    int index = alloca_index(instr);
+                    if (index >= 0)
+                        values[index] = initial[index];
+                } else if (instr->opcode() == Opcode::Load) {
+                    int index = alloca_index(instr->operand(0));
+                    if (index >= 0) {
+                        instr->replaceAllUsesWith(values[index]);
                         to_erase.push_back(instr);
                     }
-                } else if (instr->opcode() == Opcode::Store &&
-                           instr->operand(1)->isInstruction()) {
-                    auto it = alloca_index.find(
-                        static_cast<const Instr *>(instr->operand(1)));
-                    if (it != alloca_index.end()) {
-                        values[it->second] = instr->operand(0);
+                } else if (instr->opcode() == Opcode::Store) {
+                    int index = alloca_index(instr->operand(1));
+                    if (index >= 0) {
+                        values[index] = instr->operand(0);
                         to_erase.push_back(instr);
                     }
                 }
@@ -226,18 +244,12 @@ class Mem2Reg : public Pass {
 
             // Feed successors' phis.
             for (BasicBlock *succ : block->successors()) {
-                auto succ_phis = phi_for.find(succ);
-                if (succ_phis == phi_for.end())
-                    continue;
-                for (auto &[index, phi] : succ_phis->second)
+                for (auto &[index, phi] : phi_for[succ->indexInFn()])
                     phi->addIncoming(values[index], block);
             }
 
-            auto children = dom_children.find(block);
-            if (children != dom_children.end()) {
-                for (BasicBlock *child : children->second)
-                    stack.push_back({child, values});
-            }
+            for (BasicBlock *child : dom_children[block->indexInFn()])
+                stack.push_back({child, values});
         }
 
         for (Instr *instr : to_erase)

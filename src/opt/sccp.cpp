@@ -10,9 +10,7 @@
  * off, a freeze is an opaque fence exactly like LLVM's, which is what
  * makes the unswitch-inserted freezes of R1 block elimination.
  */
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "opt/pass.hpp"
 #include "support/ints.hpp"
@@ -77,37 +75,42 @@ class Sccp : public Pass {
     }
 
   private:
-    using Edge = std::pair<const BasicBlock *, const BasicBlock *>;
-
-    struct EdgeHash {
-        size_t
-        operator()(const Edge &edge) const
-        {
-            return std::hash<const void *>()(edge.first) * 31 ^
-                   std::hash<const void *>()(edge.second);
-        }
-    };
-
     LatticeValue
     operandLattice(const Value *value) const
     {
-        if (value->valueKind() == ValueKind::Constant) {
+        switch (value->valueKind()) {
+          case ValueKind::Constant: {
             const auto *c = static_cast<const Constant *>(value);
             if (c->type().isPtr())
                 return LatticeValue::bottom(); // pointers not tracked
             return LatticeValue::constant(c->value());
-        }
-        if (value->valueKind() == ValueKind::Global)
+          }
+          case ValueKind::Global:
+          case ValueKind::Param:
+            // Globals are memory; parameters are unknown inputs
+            // (intraprocedural analysis).
             return LatticeValue::bottom();
-        auto it = lattice_.find(value);
-        return it == lattice_.end() ? LatticeValue{} : it->second;
+          case ValueKind::Instruction:
+            return lattice_[value->id()];
+        }
+        return LatticeValue::bottom();
+    }
+
+    bool
+    edgeExecutable(const BasicBlock *from, const BasicBlock *to) const
+    {
+        for (const BasicBlock *succ : executableSuccs_[from->indexInFn()]) {
+            if (succ == to)
+                return true;
+        }
+        return false;
     }
 
     /** Raise @p value to at least @p incoming; queue users on change. */
     void
     raise(const Value *value, LatticeValue incoming)
     {
-        LatticeValue &current = lattice_[value];
+        LatticeValue &current = lattice_[value->id()];
         if (current.isBottom())
             return;
         bool changed = false;
@@ -131,9 +134,12 @@ class Sccp : public Pass {
     void
     markEdge(const BasicBlock *from, const BasicBlock *to)
     {
-        if (!executableEdges_.insert({from, to}).second)
+        if (edgeExecutable(from, to))
             return;
-        if (executableBlocks_.insert(to).second) {
+        executableSuccs_[from->indexInFn()].push_back(to);
+        unsigned char &live = executableBlocks_[to->indexInFn()];
+        if (!live) {
+            live = 1;
             blockWorklist_.push_back(to);
         } else {
             // New edge into an already-live block: phis must re-merge.
@@ -229,7 +235,7 @@ class Sccp : public Pass {
             LatticeValue merged; // Top
             for (size_t i = 0; i < instr.numOperands(); ++i) {
                 const BasicBlock *pred = instr.blockOperands()[i];
-                if (!executableEdges_.count({pred, instr.parent()}))
+                if (!edgeExecutable(pred, instr.parent()))
                     continue;
                 LatticeValue incoming =
                     operandLattice(instr.operand(i));
@@ -350,31 +356,32 @@ class Sccp : public Pass {
     bool
     runOnFunction(Function &fn, Module &module)
     {
-        lattice_.clear();
-        executableEdges_.clear();
-        executableBlocks_.clear();
+        // Flat side tables: the lattice is indexed by value id (only
+        // instructions are ever stored — constants, globals, and
+        // params resolve directly in operandLattice), executability by
+        // block index. SCCP is a monotone framework, so the fixpoint
+        // is unique regardless of worklist order.
+        lattice_.assign(module.valueIdBound(), LatticeValue{});
+        executableSuccs_.assign(fn.numBlocks(), {});
+        executableBlocks_.assign(fn.numBlocks(), 0);
         ssaWorklist_.clear();
         blockWorklist_.clear();
 
-        // Parameters are unknown (intraprocedural analysis).
-        for (const auto &param : fn.params())
-            lattice_[param.get()] = LatticeValue::bottom();
-
-        executableBlocks_.insert(fn.entry());
+        executableBlocks_[fn.entry()->indexInFn()] = 1;
         blockWorklist_.push_back(fn.entry());
 
         while (!blockWorklist_.empty() || !ssaWorklist_.empty()) {
             while (!blockWorklist_.empty()) {
-                const BasicBlock *block = blockWorklist_.front();
-                blockWorklist_.pop_front();
+                const BasicBlock *block = blockWorklist_.back();
+                blockWorklist_.pop_back();
                 for (const auto &instr : block->instrs())
                     visit(*instr);
             }
             while (!ssaWorklist_.empty()) {
-                const Value *value = ssaWorklist_.front();
-                ssaWorklist_.pop_front();
+                const Value *value = ssaWorklist_.back();
+                ssaWorklist_.pop_back();
                 for (const Instr *user : value->users()) {
-                    if (executableBlocks_.count(user->parent()))
+                    if (executableBlocks_[user->parent()->indexInFn()])
                         visit(*user);
                 }
             }
@@ -385,7 +392,7 @@ class Sccp : public Pass {
         // deletion later, but SCCP supplied the proof.
         if (ctx_ && ctx_->wantRemarks()) {
             for (const auto &block : fn.blocks()) {
-                if (executableBlocks_.count(block.get()))
+                if (executableBlocks_[block->indexInFn()])
                     continue;
                 for (const auto &instr : block->instrs()) {
                     if (instr->opcode() != Opcode::Call)
@@ -408,11 +415,11 @@ class Sccp : public Pass {
         for (const auto &block : fn.blocks()) {
             for (size_t i = 0; i < block->size();) {
                 Instr *instr = block->instrs()[i].get();
-                auto it = lattice_.find(instr);
-                if (it != lattice_.end() && it->second.isConst() &&
-                    instr->type().isInt() && !instr->hasSideEffects()) {
+                LatticeValue proved = lattice_[instr->id()];
+                if (proved.isConst() && instr->type().isInt() &&
+                    !instr->hasSideEffects()) {
                     instr->replaceAllUsesWith(
-                        module.constant(instr->type(), it->second.value));
+                        module.constant(instr->type(), proved.value));
                     if (!instr->hasUsers()) {
                         block->erase(instr);
                         changed = true;
@@ -427,11 +434,12 @@ class Sccp : public Pass {
 
     const PassConfig *config_ = nullptr;
     PassContext *ctx_ = nullptr;
-    std::unordered_map<const Value *, LatticeValue> lattice_;
-    std::unordered_set<Edge, EdgeHash> executableEdges_;
-    std::unordered_set<const BasicBlock *> executableBlocks_;
-    std::deque<const Value *> ssaWorklist_;
-    std::deque<const BasicBlock *> blockWorklist_;
+    std::vector<LatticeValue> lattice_;
+    std::vector<support::SmallVector<const BasicBlock *, 2>>
+        executableSuccs_;
+    std::vector<unsigned char> executableBlocks_;
+    std::vector<const Value *> ssaWorklist_;
+    std::vector<const BasicBlock *> blockWorklist_;
 };
 
 } // namespace

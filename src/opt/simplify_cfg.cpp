@@ -53,8 +53,10 @@ class SimplifyCfg : public Pass {
     {
         bool changed = false;
         changed |= removeUnreachable(fn, "dangling unreachable code");
-        changed |= foldConstantTerminators(fn);
-        changed |= removeUnreachable(fn, "constant branch folded");
+        if (foldConstantTerminators(fn)) {
+            changed = true;
+            changed |= removeUnreachable(fn, "constant branch folded");
+        }
         changed |= collapseTrivialPhis(fn);
         changed |= mergeStraightLineChains(fn);
         changed |= skipForwardingBlocks(fn);
@@ -112,7 +114,9 @@ class SimplifyCfg : public Pass {
                         break;
                     }
                 }
-                std::vector<BasicBlock *> all = term->blockOperands();
+                std::vector<BasicBlock *> all(
+                    term->blockOperands().begin(),
+                    term->blockOperands().end());
                 replaceTerminatorWithBr(*block, term, target);
                 for (BasicBlock *succ : all) {
                     if (succ != target)
@@ -158,7 +162,7 @@ class SimplifyCfg : public Pass {
                             BasicBlock *target)
     {
         block.erase(term);
-        auto br = std::make_unique<Instr>(Opcode::Br,
+        auto br = block.parent()->parent()->newInstr(Opcode::Br,
                                           ir::IrType::voidTy());
         br->addBlockOperand(target);
         block.append(std::move(br));
@@ -197,42 +201,71 @@ class SimplifyCfg : public Pass {
     bool
     mergeStraightLineChains(Function &fn)
     {
-        auto preds = ir::predecessorMap(fn);
+        // One sweep merges every straight-line chain. Incoming-edge
+        // counts are kept incrementally: merging B into A neither
+        // changes any surviving block's count (A inherits B's edges
+        // one-for-one) nor invalidates indexes, because emptied blocks
+        // are erased only after the sweep.
+        std::vector<unsigned> pred_count(fn.numBlocks(), 0);
+        for (const auto &owned : fn.blocks()) {
+            for (BasicBlock *succ : owned->successors())
+                ++pred_count[succ->indexInFn()];
+        }
+        std::vector<BasicBlock *> emptied;
         for (const auto &owned : fn.blocks()) {
             BasicBlock *pred = owned.get();
-            Instr *term = pred->terminator();
-            if (!term || term->opcode() != Opcode::Br)
-                continue;
-            BasicBlock *block = term->blockOperands()[0];
-            if (block == pred || block == fn.entry())
-                continue;
-            if (preds.at(block).size() != 1)
-                continue;
-            // Phis in a single-pred block are trivial; collapse first.
-            for (Instr *phi : block->phis()) {
-                phi->replaceAllUsesWith(phi->operand(0));
-                block->erase(phi);
+            // Chain-walk: after one merge, pred's new terminator may
+            // immediately qualify for the next.
+            for (;;) {
+                Instr *term = pred->terminator();
+                if (!term || term->opcode() != Opcode::Br)
+                    break;
+                BasicBlock *block = term->blockOperands()[0];
+                if (block == pred || block == fn.entry())
+                    break;
+                if (pred_count[block->indexInFn()] != 1)
+                    break;
+                // Phis in a single-pred block are trivial; collapse
+                // first.
+                for (Instr *phi : block->phis()) {
+                    phi->replaceAllUsesWith(phi->operand(0));
+                    block->erase(phi);
+                }
+                // Splice block's instructions into pred.
+                pred->erase(term);
+                while (!block->empty()) {
+                    ir::InstrPtr moved =
+                        block->detach(block->front());
+                    pred->reattach(std::move(moved));
+                }
+                // Successors' phis must now name pred.
+                for (BasicBlock *succ : pred->successors())
+                    succ->replacePhiIncomingBlock(block, pred);
+                pred_count[block->indexInFn()] = 0;
+                emptied.push_back(block);
             }
-            // Splice block's instructions into pred.
-            pred->erase(term);
-            while (!block->empty()) {
-                std::unique_ptr<Instr> moved =
-                    block->detach(block->front());
-                pred->reattach(std::move(moved));
-            }
-            // Successors' phis must now name pred.
-            for (BasicBlock *succ : pred->successors())
-                succ->replacePhiIncomingBlock(block, pred);
-            fn.eraseBlock(block);
-            return true; // predecessor map is stale; restart sweep
         }
-        return false;
+        for (BasicBlock *block : emptied)
+            fn.eraseBlock(block);
+        return !emptied.empty();
     }
 
     bool
     skipForwardingBlocks(Function &fn)
     {
-        auto preds = ir::predecessorMap(fn);
+        // One sweep over all forwarding blocks. Predecessor lists are
+        // maintained incrementally across redirects (a redirect only
+        // changes the lists of the skipped block and its target), and
+        // skipped blocks are erased after the sweep so indexes stay
+        // stable. Candidates this sweep passes over (e.g. a conflict
+        // that a later redirect resolves) are picked up by the
+        // caller's fixpoint loop.
+        std::vector<std::vector<BasicBlock *>> preds(fn.numBlocks());
+        for (const auto &owned : fn.blocks()) {
+            for (BasicBlock *succ : owned->successors())
+                preds[succ->indexInFn()].push_back(owned.get());
+        }
+        std::vector<BasicBlock *> skipped;
         for (const auto &owned : fn.blocks()) {
             BasicBlock *block = owned.get();
             if (block == fn.entry())
@@ -245,7 +278,8 @@ class SimplifyCfg : public Pass {
             BasicBlock *target = term->blockOperands()[0];
             if (target == block)
                 continue;
-            const auto &block_preds = preds.at(block);
+            std::vector<BasicBlock *> &block_preds =
+                preds[block->indexInFn()];
             if (block_preds.empty())
                 continue;
             // Ambiguity guard: if the target has phis and some pred
@@ -274,10 +308,27 @@ class SimplifyCfg : public Pass {
                         phi->addIncoming(value, pred);
                 }
             }
-            fn.eraseBlock(block);
-            return true; // maps stale; restart
+            // Maintain the lists: target loses the edge from `block`
+            // and gains every redirected edge; nothing reaches
+            // `block` any more.
+            std::vector<BasicBlock *> &target_preds =
+                preds[target->indexInFn()];
+            for (size_t i = 0; i < target_preds.size(); ++i) {
+                if (target_preds[i] == block) {
+                    target_preds.erase(target_preds.begin() +
+                                       static_cast<ptrdiff_t>(i));
+                    break;
+                }
+            }
+            target_preds.insert(target_preds.end(),
+                                block_preds.begin(),
+                                block_preds.end());
+            block_preds.clear();
+            skipped.push_back(block);
         }
-        return false;
+        for (BasicBlock *block : skipped)
+            fn.eraseBlock(block);
+        return !skipped.empty();
     }
 
     PassContext *ctx_ = nullptr;

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * A minimal small-size-optimized vector for trivially copyable element
+ * types. The IR keeps operand/user edge lists in these: almost every
+ * instruction has <= 4 operands and <= 4 users, so the inline buffer
+ * removes one heap allocation per edge list — the dominant allocation
+ * source in cloneModule and the pass pipeline before the arena work
+ * (DESIGN.md §13).
+ *
+ * Deliberately not a general-purpose container: elements must be
+ * trivially copyable and trivially destructible, which lets growth and
+ * erase use memcpy/memmove and keeps the header tiny. That covers the
+ * IR's use (raw `Value*` / `BasicBlock*` edges) and nothing else needs
+ * it.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <utility>
+
+namespace dce::support {
+
+template <typename T, unsigned InlineN = 4>
+class SmallVector {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVector only supports trivially copyable types");
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "SmallVector only supports trivially destructible types");
+    static_assert(InlineN >= 1, "inline capacity must be positive");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    SmallVector() = default;
+
+    SmallVector(std::initializer_list<T> init)
+    {
+        reserve(init.size());
+        for (const T &v : init)
+            data_[size_++] = v;
+    }
+
+    SmallVector(const SmallVector &other) { assignFrom(other); }
+
+    SmallVector &
+    operator=(const SmallVector &other)
+    {
+        if (this != &other) {
+            size_ = 0;
+            assignFrom(other);
+        }
+        return *this;
+    }
+
+    SmallVector(SmallVector &&other) noexcept { moveFrom(other); }
+
+    SmallVector &
+    operator=(SmallVector &&other) noexcept
+    {
+        if (this != &other) {
+            freeHeap();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~SmallVector() { freeHeap(); }
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    size_t capacity() const { return capacity_; }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    T &
+    operator[](size_t i)
+    {
+        assert(i < size_);
+        return data_[i];
+    }
+    const T &
+    operator[](size_t i) const
+    {
+        assert(i < size_);
+        return data_[i];
+    }
+
+    T &
+    front()
+    {
+        assert(size_ > 0);
+        return data_[0];
+    }
+    const T &
+    front() const
+    {
+        assert(size_ > 0);
+        return data_[0];
+    }
+    T &
+    back()
+    {
+        assert(size_ > 0);
+        return data_[size_ - 1];
+    }
+    const T &
+    back() const
+    {
+        assert(size_ > 0);
+        return data_[size_ - 1];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        data_[size_++] = v;
+    }
+
+    void
+    pop_back()
+    {
+        assert(size_ > 0);
+        --size_;
+    }
+
+    void clear() { size_ = 0; }
+
+    void
+    reserve(size_t n)
+    {
+        if (n > capacity_)
+            grow(n);
+    }
+
+    void
+    resize(size_t n, const T &fill = T())
+    {
+        reserve(n);
+        for (size_t i = size_; i < n; ++i)
+            data_[i] = fill;
+        size_ = n;
+    }
+
+    /** Erase the element at @p pos, shifting the tail left. */
+    iterator
+    erase(const_iterator pos)
+    {
+        assert(pos >= begin() && pos < end());
+        size_t idx = static_cast<size_t>(pos - begin());
+        std::memmove(data_ + idx, data_ + idx + 1,
+                     (size_ - idx - 1) * sizeof(T));
+        --size_;
+        return data_ + idx;
+    }
+
+    /** Erase the half-open range [first, last). */
+    iterator
+    erase(const_iterator first, const_iterator last)
+    {
+        assert(first >= begin() && last <= end() && first <= last);
+        size_t idx = static_cast<size_t>(first - begin());
+        size_t count = static_cast<size_t>(last - first);
+        std::memmove(data_ + idx, data_ + idx + count,
+                     (size_ - idx - count) * sizeof(T));
+        size_ -= count;
+        return data_ + idx;
+    }
+
+    /** Insert @p v before @p pos. */
+    iterator
+    insert(const_iterator pos, const T &v)
+    {
+        assert(pos >= begin() && pos <= end());
+        size_t idx = static_cast<size_t>(pos - begin());
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        std::memmove(data_ + idx + 1, data_ + idx,
+                     (size_ - idx) * sizeof(T));
+        data_[idx] = v;
+        ++size_;
+        return data_ + idx;
+    }
+
+    /** Insert the range [first, last) before @p pos. */
+    template <typename It>
+    iterator
+    insert(const_iterator pos, It first, It last)
+    {
+        assert(pos >= begin() && pos <= end());
+        size_t idx = static_cast<size_t>(pos - begin());
+        size_t count = static_cast<size_t>(last - first);
+        if (size_ + count > capacity_)
+            grow(size_ + count);
+        std::memmove(data_ + idx + count, data_ + idx,
+                     (size_ - idx) * sizeof(T));
+        for (size_t i = 0; i < count; ++i, ++first)
+            data_[idx + i] = *first;
+        size_ += count;
+        return data_ + idx;
+    }
+
+    bool
+    operator==(const SmallVector &other) const
+    {
+        if (size_ != other.size_)
+            return false;
+        for (size_t i = 0; i < size_; ++i)
+            if (!(data_[i] == other.data_[i]))
+                return false;
+        return true;
+    }
+
+  private:
+    void
+    assignFrom(const SmallVector &other)
+    {
+        reserve(other.size_);
+        std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+        size_ = other.size_;
+    }
+
+    void
+    moveFrom(SmallVector &other) noexcept
+    {
+        if (other.isInline()) {
+            std::memcpy(inline_, other.inline_, other.size_ * sizeof(T));
+            data_ = inlineData();
+            capacity_ = InlineN;
+        } else {
+            // Steal the heap buffer.
+            data_ = other.data_;
+            capacity_ = other.capacity_;
+        }
+        size_ = other.size_;
+        other.data_ = other.inlineData();
+        other.capacity_ = InlineN;
+        other.size_ = 0;
+    }
+
+    bool isInline() const { return data_ == inlineData(); }
+
+    T *
+    inlineData()
+    {
+        return reinterpret_cast<T *>(inline_);
+    }
+    const T *
+    inlineData() const
+    {
+        return reinterpret_cast<const T *>(inline_);
+    }
+
+    void
+    grow(size_t new_cap)
+    {
+        if (new_cap < InlineN * 2)
+            new_cap = InlineN * 2;
+        T *fresh = static_cast<T *>(::operator new(new_cap * sizeof(T)));
+        std::memcpy(fresh, data_, size_ * sizeof(T));
+        freeHeap();
+        data_ = fresh;
+        capacity_ = new_cap;
+    }
+
+    void
+    freeHeap()
+    {
+        if (!isInline())
+            ::operator delete(data_);
+    }
+
+    alignas(T) unsigned char inline_[InlineN * sizeof(T)];
+    T *data_ = inlineData();
+    size_t size_ = 0;
+    size_t capacity_ = InlineN;
+};
+
+} // namespace dce::support

@@ -47,7 +47,7 @@ TEST(Backend, DemotePhisRemovesAllPhis)
     )");
     ASSERT_TRUE(unit);
     Compiler comp(CompilerId::Beta, OptLevel::O2);
-    auto module = comp.compile(*unit);
+    auto module = comp.compile(*unit).takeModule();
 
     interp::ExecResult before = interp::execute(*module);
     demotePhis(*module);
@@ -83,7 +83,7 @@ TEST(Backend, DemotePhisHandlesSwapPattern)
     )");
     ASSERT_TRUE(unit);
     Compiler comp(CompilerId::Beta, OptLevel::O2);
-    auto module = comp.compile(*unit);
+    auto module = comp.compile(*unit).takeModule();
     interp::ExecResult before = interp::execute(*module);
     ASSERT_EQ(before.status, interp::ExecStatus::Ok);
     demotePhis(*module);
@@ -128,7 +128,7 @@ TEST(Backend, MarkerPreservationContract)
     )");
     ASSERT_TRUE(unit);
     Compiler comp(CompilerId::Beta, OptLevel::O3);
-    std::string assembly = comp.compileToAsm(*unit);
+    std::string assembly = comp.compile(*unit).assembly();
     EXPECT_TRUE(containsCall(assembly, "DCEMarker0"));
     EXPECT_FALSE(containsCall(assembly, "DCEMarker1"));
 }

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Compilation-API tests (DESIGN.md §13): the IR-walk/assembly-grep
+ * survival equivalence, artifact laziness (a plain campaign never
+ * pays for codegen), error-as-value semantics, the shared-Compiler
+ * thread-safety regression (the old `mutable lastError_` data race),
+ * and the byte-identity of campaign records and triage summaries
+ * across the two SurvivalSource paths.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "compiler/compiler.hpp"
+#include "core/analysis.hpp"
+#include "core/campaign.hpp"
+#include "core/triage.hpp"
+#include "helpers.hpp"
+#include "ir/builder.hpp"
+#include "ir/lowering.hpp"
+#include "support/metrics.hpp"
+
+namespace dce {
+namespace {
+
+using compiler::BuildObservers;
+using compiler::Compilation;
+using compiler::Compiler;
+using compiler::CompilerId;
+using compiler::OptLevel;
+using test::parseOk;
+
+/** An IR module the verifier rejects: main is i32 but returns void. */
+std::unique_ptr<ir::Module>
+invalidModule()
+{
+    auto module = std::make_unique<ir::Module>();
+    ir::Function *main_fn = module->addFunction(
+        "main", ir::IrType::i32(), /*internal=*/false);
+    ir::BasicBlock *entry = main_fn->addBlock("entry");
+    ir::IrBuilder builder(*module);
+    builder.setInsertionBlock(entry);
+    builder.retVoid();
+    return module;
+}
+
+//===------------------------------------------------------------------===//
+// Error-as-value
+//===------------------------------------------------------------------===//
+
+TEST(Compilation, ErrorIsPartOfTheValue)
+{
+    auto bad = invalidModule();
+    Compiler comp(CompilerId::Beta, OptLevel::O2);
+    Compilation result = comp.compileLowered(*bad,
+                                             /*verify_each=*/true);
+    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.error().empty());
+    // The module is still inspectable — failure diagnostics need it.
+    EXPECT_NE(result.module().getFunction("main"), nullptr);
+}
+
+TEST(Compilation, DefaultConstructedIsEmpty)
+{
+    Compilation empty;
+    EXPECT_FALSE(empty.ok());
+    EXPECT_TRUE(empty.error().empty());
+}
+
+//===------------------------------------------------------------------===//
+// Laziness + memoization
+//===------------------------------------------------------------------===//
+
+TEST(Compilation, AssemblyIsLazyMemoizedAndCounted)
+{
+    auto unit = parseOk(R"(
+        void DCEMarker0(void);
+        static int a = 1;
+        int main() {
+            if (a) { DCEMarker0(); }
+            return 0;
+        }
+    )");
+    ASSERT_TRUE(unit);
+    support::MetricsRegistry registry;
+    Compiler comp(CompilerId::Beta, OptLevel::O3);
+    Compilation result = comp.compile(*unit, /*verify_each=*/false,
+                                      BuildObservers{nullptr,
+                                                     &registry});
+    ASSERT_TRUE(result.ok());
+
+    // Surviving markers come from the IR — no emission yet.
+    EXPECT_EQ(result.survivingMarkers(), std::set<unsigned>{0});
+    EXPECT_EQ(registry.counterValue("backend.emits"), 0u);
+
+    // First assembly() forces exactly one emission; the second is the
+    // memoized object.
+    const std::string &first = result.assembly();
+    EXPECT_EQ(registry.counterValue("backend.emits"), 1u);
+    const std::string &second = result.assembly();
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(registry.counterValue("backend.emits"), 1u);
+}
+
+TEST(Compilation, SurvivalIsConsistentBeforeAndAfterEmission)
+{
+    // assembly() runs phi demotion (a module mutation), which must not
+    // change the marker-call population: survivingMarkers() memoized
+    // before emission equals a fresh IR walk afterwards.
+    instrument::Instrumented prog = core::makeProgram(42);
+    Compiler comp(CompilerId::Beta, OptLevel::O2);
+    Compilation result = comp.compile(*prog.unit);
+    ASSERT_TRUE(result.ok());
+    std::set<unsigned> before = result.survivingMarkers();
+    result.assembly();
+    EXPECT_EQ(compiler::survivingMarkersInIr(result.module()), before);
+}
+
+//===------------------------------------------------------------------===//
+// IR walk == assembly grep (the fast-path contract)
+//===------------------------------------------------------------------===//
+
+class IrVsAsmEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IrVsAsmEquivalence, SurvivingMarkersMatchAssemblyGrep)
+{
+    uint64_t seed = GetParam();
+    instrument::Instrumented prog = core::makeProgram(seed);
+    for (CompilerId id : {CompilerId::Alpha, CompilerId::Beta}) {
+        for (OptLevel level : compiler::allOptLevels()) {
+            Compiler comp(id, level);
+            Compilation result = comp.compile(*prog.unit);
+            ASSERT_TRUE(result.ok()) << comp.describe() << " seed "
+                                     << seed << ": " << result.error();
+            EXPECT_EQ(result.survivingMarkers(),
+                      core::aliveMarkersInAsm(result.assembly()))
+                << comp.describe() << " seed " << seed
+                << ": IR walk and assembly grep disagree";
+        }
+    }
+}
+
+// 200 seeds x 2 compilers x 5 levels = 2000 IR-vs-asm comparisons.
+INSTANTIATE_TEST_SUITE_P(Seeds, IrVsAsmEquivalence,
+                         ::testing::Range<uint64_t>(8000, 8200));
+
+//===------------------------------------------------------------------===//
+// Campaign laziness + byte-identity across survival sources
+//===------------------------------------------------------------------===//
+
+TEST(Compilation, PlainCampaignNeverMaterializesAssembly)
+{
+    std::vector<core::BuildSpec> builds = {
+        {CompilerId::Alpha, OptLevel::O3, SIZE_MAX},
+        {CompilerId::Beta, OptLevel::O3, SIZE_MAX},
+    };
+    // Campaign compilations attach no metrics observer, so emissions
+    // land on the process-global registry; a plain (Ir-source)
+    // campaign must not move it.
+    support::Counter &emits =
+        support::MetricsRegistry::global().counter("backend.emits");
+    uint64_t before = emits.value();
+    core::CampaignOptions options;
+    options.threads = 2;
+    core::Campaign campaign = core::runCampaign(1000, 16, builds,
+                                                options);
+    EXPECT_EQ(campaign.metrics.seedsDone, 16u);
+    EXPECT_EQ(emits.value(), before)
+        << "a plain campaign materialized assembly";
+
+    // The assembly-grep path really does emit — the counter moves.
+    options.survivalSource = core::SurvivalSource::Assembly;
+    core::runCampaign(1000, 4, builds, options);
+    EXPECT_GT(emits.value(), before);
+}
+
+TEST(Compilation, RecordsIdenticalAcrossSurvivalSourcesAndThreads)
+{
+    std::vector<core::BuildSpec> builds = {
+        {CompilerId::Alpha, OptLevel::O3, SIZE_MAX},
+        {CompilerId::Beta, OptLevel::O3, SIZE_MAX},
+    };
+    std::vector<core::Campaign> runs;
+    for (core::SurvivalSource source :
+         {core::SurvivalSource::Ir, core::SurvivalSource::Assembly}) {
+        for (unsigned threads : {1u, 8u}) {
+            core::CampaignOptions options;
+            options.survivalSource = source;
+            options.threads = threads;
+            options.computePrimary = true;
+            options.collectRemarks = true;
+            runs.push_back(
+                core::runCampaign(500, 24, builds, options));
+        }
+    }
+    for (size_t i = 1; i < runs.size(); ++i) {
+        EXPECT_EQ(runs[0].programs, runs[i].programs)
+            << "records diverge between run 0 and run " << i;
+    }
+}
+
+/** Byte-exact rendering of a summary, for cross-path comparison. */
+std::string
+renderSummary(const core::TriageSummary &summary)
+{
+    std::ostringstream out;
+    for (const core::Report &report : summary.reports) {
+        out << report.finding.seed << ':' << report.finding.marker
+            << ':' << report.finding.missedBy.name() << ':'
+            << report.finding.reference.name() << '\n'
+            << report.signature << '\n'
+            << report.confirmed << report.duplicate << report.fixed
+            << ':' << report.reductionTests << '\n'
+            << report.reducedSource << '\n';
+    }
+    return out.str();
+}
+
+TEST(Compilation, TriageSummariesIdenticalAcrossSurvivalSources)
+{
+    std::vector<core::BuildSpec> builds = {
+        {CompilerId::Alpha, OptLevel::O3, SIZE_MAX},
+        {CompilerId::Beta, OptLevel::O3, SIZE_MAX},
+    };
+    core::CampaignOptions options;
+    options.computePrimary = true;
+    core::Campaign campaign = core::runCampaign(200, 12, builds,
+                                                options);
+    std::vector<core::Finding> findings = core::collectFindings(
+        campaign, builds[0], builds[1], /*max_findings=*/4);
+    if (findings.empty())
+        GTEST_SKIP() << "corpus produced no alpha-vs-beta findings";
+
+    core::TriageOptions ir_options;
+    ir_options.survivalSource = core::SurvivalSource::Ir;
+    core::TriageOptions asm_options;
+    asm_options.survivalSource = core::SurvivalSource::Assembly;
+    std::string from_ir =
+        renderSummary(core::triageFindings(findings, ir_options));
+    std::string from_asm =
+        renderSummary(core::triageFindings(findings, asm_options));
+    EXPECT_FALSE(from_ir.empty());
+    EXPECT_EQ(from_ir, from_asm);
+}
+
+//===------------------------------------------------------------------===//
+// Thread-safety regression (the old mutable lastError_ race)
+//===------------------------------------------------------------------===//
+
+TEST(Compilation, SharedConstCompilerIsRaceFree)
+{
+    // The redesign's TSan regression: 8 threads share one const
+    // Compiler. Under the old API every compile wrote the Compiler's
+    // mutable lastError_ — a data race even on success. Now errors are
+    // part of each thread's Compilation value. Run one valid and one
+    // verifier-failing compile per thread; every thread must see the
+    // same (per-input) outcome.
+    auto unit = parseOk(R"(
+        void DCEMarker0(void);
+        static int a = 0;
+        int main() {
+            if (a) { DCEMarker0(); }
+            return 0;
+        }
+    )");
+    ASSERT_TRUE(unit);
+    auto lowered = ir::lowerToIr(*unit);
+    auto bad = invalidModule();
+
+    const Compiler comp(CompilerId::Beta, OptLevel::O2);
+    const std::string expected_error =
+        comp.compileLowered(*bad, /*verify_each=*/true).error();
+    ASSERT_FALSE(expected_error.empty());
+
+    constexpr unsigned kThreads = 8;
+    std::vector<std::string> errors(kThreads);
+    std::vector<int> ok_flags(kThreads, 0);
+    {
+        std::vector<std::thread> workers;
+        for (unsigned t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&, t] {
+                Compilation good =
+                    comp.compileLowered(*lowered,
+                                        /*verify_each=*/true);
+                ok_flags[t] = good.ok() ? 1 : 0;
+                Compilation failed =
+                    comp.compileLowered(*bad, /*verify_each=*/true);
+                errors[t] = failed.error();
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+    }
+    for (unsigned t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(ok_flags[t], 1) << "thread " << t;
+        EXPECT_EQ(errors[t], expected_error) << "thread " << t;
+    }
+}
+
+} // namespace
+} // namespace dce

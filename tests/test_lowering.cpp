@@ -136,8 +136,8 @@ TEST(Lowering, LoopsProduceBackEdges)
     auto preds = predecessorMap(*main_fn);
     // Some block (the for.cond header) must have two predecessors.
     bool has_join = false;
-    for (const auto &[block, list] : preds)
-        has_join |= list.size() >= 2;
+    for (const auto &block : main_fn->blocks())
+        has_join |= preds.at(block.get()).size() >= 2;
     EXPECT_TRUE(has_join);
 }
 

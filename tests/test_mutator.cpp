@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Mutation-based generation tests: marker stripping, determinism,
+ * validity of mutants, the stale filter, the from-scratch fallback,
+ * campaign integration (records identical for every thread count), and
+ * pool seeding from a corpus store.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "core/campaign.hpp"
+#include "corpus/serialize.hpp"
+#include "corpus/store.hpp"
+#include "gen/mutator.hpp"
+#include "helpers.hpp"
+#include "instrument/instrument.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "support/hash.hpp"
+
+namespace dce {
+namespace {
+
+using gen::Mutator;
+using gen::MutatorConfig;
+
+/** The store's content-address input for @p seed. */
+std::string
+canonicalText(uint64_t seed)
+{
+    return corpus::canonicalProgramText(seed, {});
+}
+
+TEST(Mutator, StripMarkersRemovesCallsAndDeclarations)
+{
+    std::string text = canonicalText(3);
+    ASSERT_NE(text.find("DCEMarker"), std::string::npos);
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(text, diags);
+    ASSERT_TRUE(unit);
+    gen::stripMarkers(*unit);
+    std::string stripped = lang::printUnit(*unit);
+    EXPECT_EQ(stripped.find("DCEMarker"), std::string::npos)
+        << stripped;
+    // The stripped program still parses and checks.
+    DiagnosticEngine diags2;
+    EXPECT_TRUE(lang::parseAndCheck(stripped, diags2));
+}
+
+TEST(Mutator, StripThenInstrumentRoundTripsCanonically)
+{
+    // Stripping an instrumented program and re-instrumenting must give
+    // back the identical canonical text — that is what makes the stale
+    // filter sound (an edit-free round trip hashes into the pool).
+    std::string text = canonicalText(5);
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(text, diags);
+    ASSERT_TRUE(unit);
+    gen::stripMarkers(*unit);
+    instrument::Instrumented again = instrument::instrumentUnit(*unit);
+    EXPECT_EQ(lang::printUnit(*again.unit), text);
+}
+
+TEST(Mutator, PoolRejectsDuplicatesAndGarbage)
+{
+    Mutator mutator;
+    EXPECT_TRUE(mutator.addToPool(canonicalText(1)));
+    EXPECT_FALSE(mutator.addToPool(canonicalText(1))); // duplicate
+    EXPECT_FALSE(mutator.addToPool("int main( {")); // parse failure
+    EXPECT_EQ(mutator.poolSize(), 1u);
+}
+
+TEST(Mutator, MutantsAreDeterministicValidAndFresh)
+{
+    Mutator mutator;
+    for (uint64_t seed = 0; seed < 6; ++seed)
+        ASSERT_TRUE(mutator.addToPool(canonicalText(seed)));
+
+    std::unordered_set<std::string> pool_hashes;
+    for (uint64_t seed = 0; seed < 6; ++seed)
+        pool_hashes.insert(support::fnv1a64Hex(canonicalText(seed)));
+
+    unsigned mutated = 0;
+    for (uint64_t seed = 100; seed < 140; ++seed) {
+        instrument::Instrumented a = mutator.makeProgram(seed);
+        instrument::Instrumented b = mutator.makeProgram(seed);
+        ASSERT_TRUE(a.unit);
+        std::string canonical_a = lang::printUnit(*a.unit);
+        // Determinism: same pool + same seed = same program.
+        EXPECT_EQ(canonical_a, lang::printUnit(*b.unit));
+        // Stale filter: never a program the pool already holds.
+        EXPECT_FALSE(
+            pool_hashes.count(support::fnv1a64Hex(canonical_a)));
+        // Validity: the canonical text round-trips through sema.
+        DiagnosticEngine diags;
+        EXPECT_TRUE(lang::parseAndCheck(canonical_a, diags));
+        if (mutator.mutate(seed))
+            ++mutated;
+    }
+    // The gate may bounce some seeds to the fallback generator, but
+    // mutation must succeed for a healthy share of them.
+    EXPECT_GE(mutated, 20u);
+}
+
+TEST(Mutator, EmptyPoolFallsBackToGenerator)
+{
+    Mutator mutator;
+    support::MetricsRegistry registry;
+    MutatorConfig config;
+    config.metrics = &registry;
+    Mutator counted(config);
+    instrument::Instrumented prog = counted.makeProgram(7);
+    ASSERT_TRUE(prog.unit);
+    // Identical to the from-scratch program for the same seed.
+    EXPECT_EQ(lang::printUnit(*prog.unit), canonicalText(7));
+    EXPECT_EQ(registry.counterValue("gen.mutation_fallback"), 1u);
+    EXPECT_EQ(mutator.mutate(7), nullptr);
+}
+
+TEST(Mutator, CampaignWithMutatorIsDeterministicAcrossThreads)
+{
+    Mutator mutator;
+    for (uint64_t seed = 0; seed < 4; ++seed)
+        ASSERT_TRUE(mutator.addToPool(canonicalText(seed)));
+
+    std::vector<core::BuildSpec> builds = {
+        {compiler::CompilerId::Alpha, compiler::OptLevel::O3,
+         SIZE_MAX},
+        {compiler::CompilerId::Beta, compiler::OptLevel::O3,
+         SIZE_MAX},
+    };
+    core::CampaignOptions serial;
+    serial.mutator = &mutator;
+    serial.threads = 1;
+    core::Campaign one = core::runCampaign(9000, 24, builds, serial);
+
+    core::CampaignOptions parallel = serial;
+    parallel.threads = 4;
+    core::Campaign four = core::runCampaign(9000, 24, builds,
+                                            parallel);
+    EXPECT_EQ(one.programs, four.programs);
+
+    // Mutation mode really is a different corpus than from-scratch
+    // generation over the same seed range.
+    core::Campaign scratch = core::runCampaign(9000, 24, builds, {});
+    EXPECT_NE(one.programs, scratch.programs);
+}
+
+TEST(Mutator, SeedsPoolFromCorpusStore)
+{
+    std::string dir = "/tmp/dce_test_mutator_pool_" +
+                      std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    {
+        auto store = corpus::CorpusStore::open(dir);
+        ASSERT_TRUE(store);
+        for (uint64_t seed = 0; seed < 5; ++seed) {
+            std::string text = canonicalText(seed);
+            store->putProgram(corpus::programHash(text), text);
+        }
+        // A duplicate sighting must not double-pool.
+        std::string text = canonicalText(0);
+        store->putProgram(corpus::programHash(text), text);
+
+        EXPECT_EQ(store->programHashes().size(), 5u);
+        Mutator mutator;
+        EXPECT_EQ(corpus::seedMutatorPool(*store, mutator), 5u);
+        EXPECT_EQ(mutator.poolSize(), 5u);
+
+        instrument::Instrumented prog = mutator.makeProgram(123);
+        ASSERT_TRUE(prog.unit);
+        EXPECT_FALSE(store->hasProgram(corpus::programHash(
+            lang::printUnit(*prog.unit))));
+    }
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace dce

@@ -418,15 +418,19 @@ TEST(Trace, CampaignEmitsSpansForEveryPipelineStage)
     std::set<std::string> names;
     for (const support::Tracer::Event &event : events)
         names.insert(event.name);
-    // One span per layer: campaign chunking, per-seed stages, the
-    // optimizer (plus its individual passes), and the backend.
+    // One span per layer: campaign chunking, per-seed stages, and the
+    // optimizer (plus its individual passes). No "codegen" span: a
+    // plain campaign reads surviving markers from the IR and never
+    // materializes assembly.
     for (const char *expected :
          {"campaign", "chunk", "seed", "generate", "instrument",
-          "lower", "execute", "optimize", "codegen", "mem2reg",
+          "lower", "execute", "optimize", "mem2reg",
           "simplifycfg"}) {
         EXPECT_TRUE(names.count(expected))
             << "no span named " << expected;
     }
+    EXPECT_FALSE(names.count("codegen"))
+        << "campaign materialized assembly on the plain path";
     EXPECT_TRUE(JsonChecker(json).valid());
 }
 

@@ -58,12 +58,13 @@ compileValidated(const std::string &source, const Compiler &comp)
     auto unit = parseOk(source);
     if (!unit)
         return nullptr;
-    auto optimized = comp.compile(*unit, /*verify_each=*/true);
-    EXPECT_TRUE(comp.lastError().empty())
+    compiler::Compilation result = comp.compile(*unit, /*verify_each=*/true);
+    EXPECT_TRUE(result.ok())
         << comp.describe() << " verification failure:\n"
-        << comp.lastError() << "\nsource:\n"
+        << result.error() << "\nsource:\n"
         << source << "\nIR:\n"
-        << ir::printModule(*optimized);
+        << ir::printModule(result.module());
+    auto optimized = result.takeModule();
     auto baseline_module = ir::lowerToIr(*unit);
     interp::ExecResult expected = interp::execute(*baseline_module);
     interp::ExecResult actual = interp::execute(*optimized);

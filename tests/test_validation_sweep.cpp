@@ -49,13 +49,14 @@ TEST_P(GeneratedValidation, AllBuildsPreserveBehaviour)
     for (CompilerId id : {CompilerId::Alpha, CompilerId::Beta}) {
         for (OptLevel level : compiler::allOptLevels()) {
             Compiler comp(id, level);
-            auto optimized = comp.compile(*prog.unit,
-                                          /*verify_each=*/true);
-            ASSERT_TRUE(comp.lastError().empty())
+            compiler::Compilation result =
+                comp.compile(*prog.unit, /*verify_each=*/true);
+            ASSERT_TRUE(result.ok())
                 << comp.describe() << " seed " << seed
                 << " verifier failure:\n"
-                << comp.lastError();
-            interp::ExecResult actual = interp::execute(*optimized);
+                << result.error();
+            interp::ExecResult actual =
+                interp::execute(result.module());
             ASSERT_TRUE(interp::observablyEqual(expected, actual))
                 << comp.describe() << " miscompiled seed " << seed
                 << ":\n"
