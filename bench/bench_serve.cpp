@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Ops-server benchmarks (google-benchmark): what serving live
+ * endpoints costs a running campaign. BM_CampaignServed mirrors
+ * bench_throughput's BM_Campaign — same builds, same 48-seed plan,
+ * same thread args — but with an OpsServer up and a scraper hammering
+ * /metrics + /healthz throughout, so diffing the two benchmarks'
+ * seeds/s measures the serving overhead directly (budget: <5%).
+ * BM_CheckpointedCampaignServed does the same against the corpus-layer
+ * runner with /progress + /report scrapes, the full production shape.
+ * BM_OpsScrape isolates the per-request cost of a /metrics render.
+ */
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/campaign.hpp"
+#include "corpus/checkpoint.hpp"
+#include "corpus/store.hpp"
+#include "report/event_log.hpp"
+#include "serve/ops_server.hpp"
+
+using namespace dce;
+
+namespace {
+
+std::vector<core::BuildSpec>
+campaignBuilds()
+{
+    return {
+        {compiler::CompilerId::Alpha, compiler::OptLevel::O3, SIZE_MAX},
+        {compiler::CompilerId::Beta, compiler::OptLevel::O3, SIZE_MAX},
+    };
+}
+
+/** Minimal loopback GET; returns false on connect/read failure. */
+bool
+httpGet(uint16_t port, const std::string &target)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return false;
+    }
+    std::string request =
+        "GET " + target + " HTTP/1.1\r\nHost: l\r\n\r\n";
+    size_t sent = 0;
+    while (sent < request.size()) {
+        ssize_t n = ::send(fd, request.data() + sent,
+                           request.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        sent += size_t(n);
+    }
+    char buffer[4096];
+    size_t received = 0;
+    for (;;) {
+        ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+        if (n <= 0)
+            break;
+        received += size_t(n);
+    }
+    ::close(fd);
+    return received > 0;
+}
+
+/** Scrapes @p targets round-robin every @p interval until stopped. */
+class Scraper {
+  public:
+    Scraper(uint16_t port, std::vector<std::string> targets,
+            std::chrono::milliseconds interval)
+        : thread_([this, port, targets = std::move(targets),
+                   interval] {
+              size_t next = 0;
+              while (!stop_.load(std::memory_order_relaxed)) {
+                  if (httpGet(port, targets[next % targets.size()]))
+                      scrapes_.fetch_add(1,
+                                         std::memory_order_relaxed);
+                  ++next;
+                  std::this_thread::sleep_for(interval);
+              }
+          })
+    {
+    }
+
+    ~Scraper()
+    {
+        stop_.store(true);
+        thread_.join();
+    }
+
+    uint64_t scrapes() const { return scrapes_.load(); }
+
+  private:
+    std::atomic<bool> stop_{false};
+    std::atomic<uint64_t> scrapes_{0};
+    std::thread thread_;
+};
+
+} // namespace
+
+static void
+BM_CampaignServed(benchmark::State &state)
+{
+    // BM_Campaign (bench_throughput) with a live ops server being
+    // scraped: the /metrics renders walk the same global registry the
+    // campaign workers increment, so this measures the real
+    // instrument-contention cost, not an idle listener.
+    constexpr unsigned kSeeds = 48;
+    core::CampaignOptions options;
+    options.threads = static_cast<unsigned>(state.range(0));
+    core::CampaignRunner runner(campaignBuilds(), options);
+
+    serve::OpsServer ops({});
+    std::string error;
+    if (!ops.start(&error)) {
+        state.SkipWithError(("serve: " + error).c_str());
+        return;
+    }
+    // 50ms cadence = 20 scrapes/s, ~300x a production Prometheus
+    // default (15s) — aggressive enough to show up if serving ever
+    // touched the hot path, cheap enough not to measure raw CPU
+    // stealing on small hosts.
+    Scraper scraper(ops.port(), {"/metrics", "/healthz"},
+                    std::chrono::milliseconds(50));
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runner.run(5000, kSeeds));
+    state.SetItemsProcessed(state.iterations() * kSeeds);
+    state.counters["scrapes"] = double(scraper.scrapes());
+}
+BENCHMARK(BM_CampaignServed)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_CheckpointedCampaignServed(benchmark::State &state)
+{
+    // The production shape: checkpointed runner publishing the status
+    // board, server reading /progress and rendering /report from the
+    // live store mid-campaign. Compare BM_CheckpointedCampaign/1 in
+    // bench_throughput for the serve-free baseline.
+    constexpr unsigned kSeeds = 48;
+    corpus::CampaignPlan plan;
+    plan.firstSeed = 5000;
+    plan.count = kSeeds;
+    plan.chunkSize = 8;
+    plan.builds = campaignBuilds();
+    plan.computePrimary = false;
+
+    int iteration = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::string dir = "/tmp/dce_bench_served_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(iteration++);
+        std::filesystem::remove_all(dir);
+        {
+            support::MetricsRegistry registry;
+            report::EventLog log(&registry);
+            corpus::CampaignStatusBoard board;
+            corpus::OpenOptions open_options;
+            open_options.metrics = &registry;
+            auto store =
+                corpus::CorpusStore::open(dir, nullptr, open_options);
+
+            serve::OpsServerOptions serve_options;
+            serve_options.metrics = &registry;
+            serve_options.store = store.get();
+            serve_options.events = &log;
+            serve_options.status = &board;
+            serve::OpsServer ops(serve_options);
+            std::string error;
+            if (!ops.start(&error)) {
+                state.SkipWithError(("serve: " + error).c_str());
+                return;
+            }
+            Scraper scraper(ops.port(),
+                            {"/metrics", "/progress", "/report"},
+                            std::chrono::milliseconds(50));
+
+            corpus::CheckpointRunOptions options;
+            options.metrics = &registry;
+            options.checkpointEveryChunks = 1;
+            options.events = &log;
+            options.status = &board;
+            state.ResumeTiming();
+            benchmark::DoNotOptimize(
+                corpus::runCheckpointed(*store, plan, options));
+            state.PauseTiming();
+        }
+        std::filesystem::remove_all(dir);
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations() * kSeeds);
+}
+BENCHMARK(BM_CheckpointedCampaignServed)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_OpsScrape(benchmark::State &state)
+{
+    // Per-request cost of a loopback /metrics scrape against a
+    // realistically-sized registry (a few hundred series).
+    support::MetricsRegistry registry;
+    for (int i = 0; i < 64; ++i) {
+        registry.counter("campaign.invalid", "k" + std::to_string(i))
+            .add(uint64_t(i));
+        registry.histogram("campaign.stage_us", "s" + std::to_string(i))
+            .observe(uint64_t(i) * 17 + 1);
+    }
+    serve::OpsServerOptions options;
+    options.metrics = &registry;
+    serve::OpsServer ops(options);
+    std::string error;
+    if (!ops.start(&error)) {
+        state.SkipWithError(("serve: " + error).c_str());
+        return;
+    }
+    for (auto _ : state) {
+        if (!httpGet(ops.port(), "/metrics")) {
+            state.SkipWithError("scrape failed");
+            return;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpsScrape)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

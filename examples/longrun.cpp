@@ -15,6 +15,11 @@
  *   --events <file>    write the deterministic event log (JSONL)
  *   --metrics <file>   append periodic metrics snapshots (JSONL)
  *   --report <dir>     render report.md/report.html + dossiers
+ *   --serve <port>     serve live ops endpoints (loopback; 0 picks an
+ *                      ephemeral port, printed on startup)
+ *   --serve-wait       after the run (and report), keep serving until
+ *                      GET /quitquitquit — lets drills curl a settled
+ *                      server instead of racing the campaign's exit
  *
  * `run` and `resume` print the same deterministic summary once the
  * campaign completes, so `diff <(longrun full a) <(... kill/resume b)`
@@ -33,6 +38,7 @@
 #include "report/report.hpp"
 #include "report/snapshot.hpp"
 #include "report/watchdog.hpp"
+#include "serve/ops_server.hpp"
 
 using namespace dce;
 
@@ -85,6 +91,9 @@ struct Flags {
     std::string eventsPath;
     std::string metricsPath;
     std::string reportDir;
+    bool serve = false;
+    uint16_t servePort = 0;
+    bool serveWait = false;
 };
 
 } // namespace
@@ -96,7 +105,8 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: %s full|run|resume <store-dir> "
                      "[halt-chunks] [--events <file>] "
-                     "[--metrics <file>] [--report <dir>]\n",
+                     "[--metrics <file>] [--report <dir>] "
+                     "[--serve <port>] [--serve-wait]\n",
                      argv[0]);
         return 2;
     }
@@ -120,6 +130,12 @@ main(int argc, char **argv)
             flags.metricsPath = value();
         else if (arg == "--report")
             flags.reportDir = value();
+        else if (arg == "--serve") {
+            flags.serve = true;
+            flags.servePort =
+                uint16_t(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--serve-wait")
+            flags.serveWait = true;
         else
             halt_chunks = std::strtoull(arg.c_str(), nullptr, 10);
     }
@@ -149,24 +165,61 @@ main(int argc, char **argv)
     if (!flags.metricsPath.empty())
         snapshots.start();
 
+    // One store handle for the whole process: the campaign writes
+    // through it and — when serving — /report and /dossier read
+    // through it concurrently (the store is mutex-guarded).
+    corpus::OpenOptions open_options;
+    open_options.createIfMissing = mode != "resume";
+    open_options.metrics = &registry;
+    auto store = corpus::CorpusStore::open(dir, &error, open_options);
+    if (!store)
+        return fail(error);
+
+    corpus::CampaignPlan plan;
+    if (mode == "resume") {
+        // The plan comes from the checkpoint, exactly as
+        // resumeCampaign would derive it.
+        std::optional<corpus::CheckpointState> state =
+            corpus::readCheckpointState(*store, &error);
+        if (!state)
+            return fail(error);
+        plan = state->plan;
+    } else {
+        plan = demoPlan();
+    }
+
+    corpus::CampaignStatusBoard board;
     corpus::CheckpointRunOptions options;
     options.checkpointEveryChunks = 2;
     options.metrics = &registry;
     options.events = &log;
     options.observer = watchdog.wrap({});
+    options.status = &board;
     if (mode == "run")
         options.haltAfterChunks = halt_chunks;
 
-    std::optional<corpus::CheckpointedCampaign> result;
-    if (mode == "resume") {
-        result = corpus::resumeCampaign(dir, options, &error);
-    } else {
-        auto store = corpus::CorpusStore::open(dir, &error);
-        if (!store)
-            return fail(error);
-        result = corpus::runCheckpointed(*store, demoPlan(), options,
-                                         &error);
+    serve::OpsServerOptions serve_options;
+    serve_options.port = flags.servePort;
+    serve_options.metrics = &registry;
+    serve_options.store = store.get();
+    serve_options.events = &log;
+    serve_options.watchdog = &watchdog;
+    serve_options.status = &board;
+    serve_options.allowRemoteShutdown = flags.serveWait;
+    serve::OpsServer ops(serve_options);
+    if (flags.serve) {
+        std::string serve_error;
+        if (!ops.start(&serve_error)) {
+            std::fprintf(stderr, "error: serve: %s\n",
+                         serve_error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "serving ops on 127.0.0.1:%u\n",
+                     unsigned(ops.port()));
     }
+
+    std::optional<corpus::CheckpointedCampaign> result =
+        corpus::runCheckpointed(*store, plan, options, &error);
     watchdog.stop();
     if (!flags.metricsPath.empty())
         snapshots.stop();
@@ -179,18 +232,22 @@ main(int argc, char **argv)
         return 1;
     }
     if (!flags.reportDir.empty()) {
-        // Reopen the store for the report: the run released its
-        // writer lock, and the report must derive from the durable
-        // store alone (no event log) so kill/resume runs render
-        // byte-identical reports.
-        auto store = corpus::CorpusStore::open(dir, &error);
-        if (!store)
-            return fail(error);
+        // The report derives from the durable store alone (no event
+        // log), so kill/resume runs render byte-identical reports —
+        // and the same render the server's /report endpoint returns.
         report::CampaignReportOptions report_options;
         report_options.html = true;
         if (!report::writeCampaignReport(*store, flags.reportDir,
                                          report_options, &error))
             return fail(error);
     }
-    return printSummary(*result);
+
+    int status = printSummary(*result);
+    if (flags.serve && flags.serveWait) {
+        // Summary and artifacts are on disk; hold the endpoints open
+        // for drills until an operator asks us to go.
+        std::fflush(stdout);
+        ops.waitForShutdownRequest();
+    }
+    return status;
 }

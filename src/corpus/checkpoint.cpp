@@ -72,6 +72,25 @@ buildCheckpointJson(
     return sealJsonLine(writer.take());
 }
 
+/**
+ * Raise counter `name{label}` to @p target (monotonic set-to-value).
+ * The campaign.progress gauges ride the counter machinery so the
+ * checkpoint serializer (which persists every campaign.* counter) and
+ * resume restore them for free; because each target — committed
+ * chunks, watermark, committed seeds, findings — only ever grows and
+ * has a schedule-independent final value, bump-to keeps the restored
+ * summary byte-identical across kill/resume schedules.
+ */
+void
+bumpCounterTo(support::MetricsRegistry &registry,
+              std::string_view name, std::string_view label,
+              uint64_t target)
+{
+    uint64_t current = registry.counterValue(name, label);
+    if (target > current)
+        registry.counter(name, label).add(target - current);
+}
+
 std::optional<CheckpointState>
 parseCheckpoint(std::string_view text)
 {
@@ -305,6 +324,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
             registry.counter(key).add(value);
     }
     std::map<uint64_t, std::vector<StoredFinding>> findings_by_chunk;
+    uint64_t findings_total = have_ckpt ? ckpt.findings.size() : 0;
     if (have_ckpt) {
         for (StoredFinding &finding : ckpt.findings)
             findings_by_chunk[finding.chunk].push_back(
@@ -390,6 +410,40 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
     uint64_t since_checkpoint = 0;
     uint64_t checkpoints_written = 0;
     StoreError run_error;
+
+    // Live status board (DESIGN.md §14). Publishes are confined to
+    // run start/end and checkpoint commits — already serialized
+    // points — so a null board costs nothing on the hot path and a
+    // live one costs one snapshot per checkpoint.
+    auto steady_us = [] {
+        return uint64_t(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    };
+    const uint64_t run_start_us = steady_us();
+    auto publish_status = [&](bool active_now) {
+        if (!options.status)
+            return;
+        CampaignStatusBoard::Snapshot snap;
+        snap.active = active_now;
+        snap.complete = completed.size() == num_chunks;
+        snap.planHash = support::fnv1a64Hex(plan_json);
+        snap.seedsTotal = plan.count;
+        snap.chunksTotal = num_chunks;
+        snap.completedChunks = completed.size();
+        snap.watermark = watermark;
+        snap.seedsCommitted = seeds_done;
+        snap.findings = findings_total;
+        snap.checkpoints = checkpoints_written;
+        snap.startUs = run_start_us;
+        snap.updateUs = steady_us();
+        for (const auto &[key, hist] : registry.histograms())
+            if (key.rfind("campaign.stage_us", 0) == 0)
+                snap.stageUs += hist.sum;
+        options.status->publish(snap);
+    };
+    publish_status(true); // the restored (possibly empty) baseline
 
     support::ThreadPool pool(options.threads);
     pool.forChunks(
@@ -480,6 +534,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
                     .num("findings", chunk_findings);
                 events->emit(std::move(committed_event));
             }
+            findings_total += chunk_findings;
             while (watermark < num_chunks &&
                    completed.count(watermark))
                 ++watermark;
@@ -502,6 +557,17 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
 
             if (since_checkpoint >= options.checkpointEveryChunks ||
                 completed.size() == num_chunks) {
+                // Set the progress gauges before the checkpoint JSON
+                // is built so the durable checkpoint, /metrics, and
+                // /progress all carry the same committed numbers.
+                bumpCounterTo(registry, "campaign.progress",
+                              "completed_chunks", completed.size());
+                bumpCounterTo(registry, "campaign.progress",
+                              "watermark", watermark);
+                bumpCounterTo(registry, "campaign.progress",
+                              "seeds_committed", seeds_done);
+                bumpCounterTo(registry, "campaign.progress",
+                              "findings", findings_total);
                 std::string json = buildCheckpointJson(
                     plan_json, completed, watermark,
                     state_at_chunk[watermark], registry,
@@ -512,6 +578,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
                 }
                 since_checkpoint = 0;
                 ++checkpoints_written;
+                publish_status(true);
                 if (events) {
                     // Commits are serialized, so checkpoint k always
                     // lands after loaded + k*cadence commits — the
@@ -536,6 +603,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
         setError(error, run_error.status, run_error.message);
         return std::nullopt;
     }
+    publish_status(false); // detach: final committed state, inactive
 
     result.resumed = have_ckpt;
     result.completed = completed.size() == num_chunks;

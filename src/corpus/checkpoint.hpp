@@ -24,6 +24,7 @@
 
 #include <climits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -70,6 +71,58 @@ struct CampaignPlan {
 std::string serializePlan(const CampaignPlan &plan);
 std::optional<CampaignPlan> readPlan(const JsonValue &value);
 
+/**
+ * Thread-safe snapshot of a checkpointed campaign's committed
+ * progress, published by runCheckpointed at each checkpoint commit
+ * (plus once at start with the restored state and once at the end).
+ * The live ops server's /progress endpoint reads it (DESIGN.md §14).
+ *
+ * The board deliberately carries *checkpoint-committed* state only —
+ * it is updated at the same instant the campaign.progress counters
+ * are set, just before the checkpoint JSON is built, so /progress,
+ * /metrics, and the durable checkpoint all name the same numbers.
+ * Chunks committed to the store after the latest checkpoint are not
+ * reflected until the next one.
+ */
+class CampaignStatusBoard {
+  public:
+    struct Snapshot {
+        bool active = false;   ///< a run is currently attached
+        bool complete = false; ///< every chunk committed
+        std::string planHash;  ///< fnv1a64Hex(serializePlan(plan))
+        uint64_t seedsTotal = 0;
+        uint64_t chunksTotal = 0;
+        uint64_t completedChunks = 0;
+        uint64_t watermark = 0; ///< contiguous completed-chunk prefix
+        uint64_t seedsCommitted = 0;
+        uint64_t findings = 0;
+        uint64_t checkpoints = 0; ///< written this run
+        uint64_t startUs = 0;  ///< steady-clock µs at run start
+        uint64_t updateUs = 0; ///< steady-clock µs at this publish
+        /** Σ campaign.stage_us{*} sums at publish — the committed
+         * pipeline microseconds behind the seeds/s rate. */
+        uint64_t stageUs = 0;
+    };
+
+    void
+    publish(const Snapshot &snapshot)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot_ = snapshot;
+    }
+
+    Snapshot
+    read() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return snapshot_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    Snapshot snapshot_;
+};
+
 struct CheckpointRunOptions {
     /** Worker threads; 1 = serial, 0 = one per hardware thread.
      * Never affects the result. */
@@ -96,6 +149,13 @@ struct CheckpointRunOptions {
      * thread counts. Null = no events.
      */
     support::EventSink *events = nullptr;
+    /**
+     * Live progress board (DESIGN.md §14): published at run start
+     * (with the restored state), at each checkpoint commit, and at
+     * run end. Null = no publishing — the campaign hot path is
+     * untouched when nothing is serving.
+     */
+    CampaignStatusBoard *status = nullptr;
 };
 
 /** A finding plus where it came from (checkpoint bookkeeping). */

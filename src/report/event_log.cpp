@@ -56,6 +56,21 @@ EventLog::sorted() const
     return snapshot;
 }
 
+std::vector<support::Event>
+EventLog::tail(size_t since, size_t max, size_t *total) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (total)
+        *total = events_.size();
+    std::vector<support::Event> page;
+    if (since >= events_.size() || max == 0)
+        return page;
+    size_t end = std::min(events_.size(), since + max);
+    page.assign(events_.begin() + ptrdiff_t(since),
+                events_.begin() + ptrdiff_t(end));
+    return page;
+}
+
 std::string
 EventLog::toJsonl() const
 {

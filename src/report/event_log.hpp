@@ -47,6 +47,17 @@ class EventLog : public support::EventSink {
     std::string toJsonl() const;
 
     /**
+     * Cursor-paged tail in *emission* order: up to @p max events
+     * starting at emission index @p since, with the current total in
+     * @p total. Emission order is append-only, so `since = last total`
+     * is a stable cursor while the campaign runs — unlike sorted()
+     * order, which reshuffles as out-of-order keys arrive. Backs the
+     * ops server's /events endpoint.
+     */
+    std::vector<support::Event> tail(size_t since, size_t max,
+                                     size_t *total = nullptr) const;
+
+    /**
      * Write toJsonl() to @p path via temp-file-plus-rename (the file
      * is never observable half-written). Safe to call repeatedly —
      * each call rewrites the full deterministic log. False on I/O

@@ -138,6 +138,13 @@ collectReportData(corpus::CorpusStore &store,
     }
     std::map<uint64_t, std::string> hash_by_slot;
     for (corpus::StoredRecord &stored : records) {
+        // Checkpoint-committed chunks only: records landed after the
+        // last checkpoint are durable but not yet *named*, and the
+        // report must describe exactly the state a resume would keep —
+        // it is also what makes a live /report render equal the
+        // post-crash on-disk render of the same store.
+        if (!data.state.completed.count(stored.chunk))
+            continue;
         ++data.storedRecords;
         if (stored.record.valid)
             ++data.validRecords;

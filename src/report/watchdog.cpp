@@ -42,11 +42,26 @@ Watchdog::wrap(core::CampaignObserver inner)
 {
     return [this, inner = std::move(inner)](
                const core::CampaignProgress &progress) {
+        bool recovered = false;
+        uint64_t ordinal = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             lastProgressUs_ = now();
             lastProgress_ = progress;
+            recovered = stalledNow_;
             stalledNow_ = false; // progress re-arms the watchdog
+            ordinal = stalls_.load();
+        }
+        if (recovered && options_.events) {
+            // The bookend to watchdog_stall (same kPhaseOps band, same
+            // stall ordinal, minor 1) so the log records every
+            // stalled→ready transition /readyz went through.
+            support::Event event("watchdog_recovered",
+                                 {support::kPhaseOps, ordinal, 1});
+            event.num("stall", ordinal)
+                .num("seeds_done", progress.seedsDone)
+                .num("seeds_total", progress.seedsTotal);
+            options_.events->emit(std::move(event));
         }
         if (inner)
             inner(progress);

@@ -1,0 +1,363 @@
+#include "serve/ops_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "corpus/json.hpp"
+#include "report/dossier.hpp"
+#include "report/report.hpp"
+
+namespace dce::serve {
+
+namespace {
+
+constexpr const char *kJsonContentType =
+    "application/json; charset=utf-8";
+constexpr const char *kMarkdownContentType =
+    "text/markdown; charset=utf-8";
+constexpr const char *kHtmlContentType = "text/html; charset=utf-8";
+
+HttpResponse
+jsonResponse(int status, std::string body)
+{
+    HttpResponse response;
+    response.status = status;
+    response.contentType = kJsonContentType;
+    response.body = std::move(body);
+    return response;
+}
+
+/** JSON has no integer-safe doubles; format rates explicitly. */
+std::string
+formatDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+    return buffer;
+}
+
+HttpResponse
+storeFailure(const corpus::StoreError &error)
+{
+    // A store without a checkpoint is an expected pre-first-commit
+    // state, not a server fault.
+    if (error.status == corpus::StoreStatus::NoCheckpoint)
+        return HttpResponse::text(404, "no checkpoint yet\n");
+    return HttpResponse::text(500,
+                              "store error: " + error.message + "\n");
+}
+
+} // namespace
+
+OpsServer::OpsServer(OpsServerOptions options)
+    : options_(options),
+      http_(
+          [this](const HttpRequest &request) {
+              return handle(request);
+          },
+          [&options] {
+              HttpServerOptions http;
+              http.port = options.port;
+              http.handlerThreads = options.handlerThreads;
+              http.metrics = options.metrics;
+              return http;
+          }())
+{
+}
+
+OpsServer::~OpsServer()
+{
+    stop();
+}
+
+bool
+OpsServer::start(std::string *error)
+{
+    return http_.start(error);
+}
+
+void
+OpsServer::stop()
+{
+    http_.stop();
+}
+
+bool
+OpsServer::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(shutdownMutex_);
+    return shutdownRequested_;
+}
+
+bool
+OpsServer::waitForShutdownRequest(uint64_t timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(shutdownMutex_);
+    if (timeout_ms == 0) {
+        shutdownCv_.wait(lock, [this] { return shutdownRequested_; });
+    } else {
+        shutdownCv_.wait_for(lock,
+                             std::chrono::milliseconds(timeout_ms),
+                             [this] { return shutdownRequested_; });
+    }
+    return shutdownRequested_;
+}
+
+HttpResponse
+OpsServer::handle(const HttpRequest &request)
+{
+    const std::string &path = request.path;
+    if (path == "/metrics")
+        return metricsEndpoint();
+    if (path == "/healthz")
+        return HttpResponse::text(200, "ok\n");
+    if (path == "/readyz")
+        return readyzEndpoint();
+    if (path == "/progress")
+        return progressEndpoint();
+    if (path == "/report")
+        return reportEndpoint(false);
+    if (path == "/report.html")
+        return reportEndpoint(true);
+    if (path == "/dossiers")
+        return dossierIndexEndpoint();
+    if (path.rfind("/dossier/", 0) == 0)
+        return dossierEndpoint(request);
+    if (path == "/events")
+        return eventsEndpoint(request);
+    if (path == "/quitquitquit" && options_.allowRemoteShutdown)
+        return quitEndpoint();
+    return HttpResponse::text(404, "not found\n");
+}
+
+HttpResponse
+OpsServer::metricsEndpoint() const
+{
+    support::MetricsRegistry &registry =
+        options_.metrics ? *options_.metrics
+                         : support::MetricsRegistry::global();
+    HttpResponse response;
+    response.contentType = support::kPrometheusContentType;
+    response.body = registry.expose();
+    return response;
+}
+
+HttpResponse
+OpsServer::readyzEndpoint() const
+{
+    if (options_.watchdog && options_.watchdog->stalled())
+        return HttpResponse::text(
+            503, "stalled: watchdog fired, no recent progress\n");
+    return HttpResponse::text(200, "ready\n");
+}
+
+HttpResponse
+OpsServer::progressEndpoint() const
+{
+    if (!options_.status)
+        return HttpResponse::text(404,
+                                  "no campaign status attached\n");
+    corpus::CampaignStatusBoard::Snapshot snap =
+        options_.status->read();
+
+    // Pipeline rate from the committed stage time: how fast seeds
+    // clear generate+oracle+compile+analyze, independent of thread
+    // count. The ETA scales it by the worker count implied by
+    // wall-clock elapsed vs pipeline time, so it tracks actual
+    // progress rather than single-thread cost.
+    double stage_seconds = double(snap.stageUs) / 1e6;
+    double rate = stage_seconds > 0.0
+                      ? double(snap.seedsCommitted) / stage_seconds
+                      : 0.0;
+    double wall_seconds =
+        snap.updateUs > snap.startUs
+            ? double(snap.updateUs - snap.startUs) / 1e6
+            : 0.0;
+    uint64_t remaining = snap.seedsTotal > snap.seedsCommitted
+                             ? snap.seedsTotal - snap.seedsCommitted
+                             : 0;
+    double parallelism =
+        wall_seconds > 0.0 && stage_seconds > 0.0
+            ? stage_seconds / wall_seconds
+            : 1.0;
+    double eta_seconds =
+        rate > 0.0 && remaining
+            ? double(remaining) /
+                  (rate * (parallelism > 0.0 ? parallelism : 1.0))
+            : 0.0;
+
+    corpus::JsonWriter writer;
+    writer.beginObject();
+    writer.field("active", snap.active);
+    writer.field("complete", snap.complete);
+    writer.field("plan_hash", snap.planHash);
+    writer.field("seeds_total", snap.seedsTotal);
+    writer.field("chunks_total", snap.chunksTotal);
+    writer.field("completed_chunks", snap.completedChunks);
+    writer.field("watermark", snap.watermark);
+    writer.field("seeds_committed", snap.seedsCommitted);
+    writer.field("findings", snap.findings);
+    writer.field("checkpoints", snap.checkpoints);
+    writer.field("stage_us", snap.stageUs);
+    // Quoted decimals: the in-tree JSON reader (and the checkpoint
+    // format it serves) is integer-only, and jq's `tonumber` covers
+    // shell consumers.
+    writer.field("seeds_per_pipeline_second", formatDouble(rate));
+    writer.field("eta_seconds", formatDouble(eta_seconds));
+    writer.endObject();
+    return jsonResponse(200, writer.take() + "\n");
+}
+
+HttpResponse
+OpsServer::reportEndpoint(bool html) const
+{
+    if (!options_.store)
+        return HttpResponse::text(404, "no store attached\n");
+    corpus::StoreError error;
+    std::optional<report::CampaignReportData> data =
+        report::collectReportData(*options_.store, &error);
+    if (!data)
+        return storeFailure(error);
+    // Exactly the writeCampaignReport render paths, so the served
+    // bytes equal the on-disk report.md / report.html for the same
+    // store state.
+    std::string markdown =
+        report::renderCampaignReportMarkdown(*data);
+    HttpResponse response;
+    if (html) {
+        response.contentType = kHtmlContentType;
+        response.body =
+            report::markdownToHtml(markdown, "Campaign report");
+    } else {
+        response.contentType = kMarkdownContentType;
+        response.body = std::move(markdown);
+    }
+    return response;
+}
+
+HttpResponse
+OpsServer::dossierIndexEndpoint() const
+{
+    if (!options_.store)
+        return HttpResponse::text(404, "no store attached\n");
+    corpus::StoreError error;
+    std::optional<report::CampaignReportData> data =
+        report::collectReportData(*options_.store, &error);
+    if (!data)
+        return storeFailure(error);
+
+    corpus::JsonWriter writer;
+    writer.beginObject();
+    writer.field("findings", uint64_t(data->state.findings.size()));
+    writer.key("dossiers");
+    writer.beginArray();
+    for (size_t i = 0; i < data->state.findings.size(); ++i) {
+        const corpus::StoredFinding &stored = data->state.findings[i];
+        writer.beginObject();
+        writer.field("index", uint64_t(i));
+        writer.field("fingerprint", data->fingerprints[i]);
+        writer.field("seed", stored.finding.seed);
+        writer.field("marker", uint64_t(stored.finding.marker));
+        writer.field("chunk", stored.chunk);
+        writer.field("slot", stored.slot);
+        writer.field("missed_by", stored.finding.missedBy.name());
+        writer.field("reference", stored.finding.reference.name());
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.endObject();
+    return jsonResponse(200, writer.take() + "\n");
+}
+
+HttpResponse
+OpsServer::dossierEndpoint(const HttpRequest &request) const
+{
+    if (!options_.store)
+        return HttpResponse::text(404, "no store attached\n");
+    std::string fingerprint =
+        request.path.substr(std::string_view("/dossier/").size());
+    if (fingerprint.empty())
+        return HttpResponse::text(404, "missing fingerprint\n");
+
+    std::string format =
+        request.queryParam("format").value_or("json");
+    if (format != "json" && format != "md")
+        return HttpResponse::text(
+            400, "bad request: format must be json or md\n");
+
+    corpus::StoreError error;
+    std::optional<report::Dossier> dossier = report::buildDossier(
+        *options_.store, options_.events, fingerprint, &error);
+    if (!dossier) {
+        if (error.status == corpus::StoreStatus::NotFound)
+            return HttpResponse::text(
+                404, "no finding with that fingerprint\n");
+        return storeFailure(error);
+    }
+    HttpResponse response;
+    if (format == "md") {
+        response.contentType = kMarkdownContentType;
+        response.body = report::dossierMarkdown(*dossier);
+    } else {
+        response.contentType = kJsonContentType;
+        response.body = report::dossierJson(*dossier);
+    }
+    return response;
+}
+
+HttpResponse
+OpsServer::eventsEndpoint(const HttpRequest &request) const
+{
+    if (!options_.events)
+        return HttpResponse::text(404, "no event log attached\n");
+
+    uint64_t since = 0;
+    if (std::optional<std::string> raw = request.queryParam("since")) {
+        char *end = nullptr;
+        since = std::strtoull(raw->c_str(), &end, 10);
+        if (!end || *end != '\0')
+            return HttpResponse::text(
+                400, "bad request: since must be an integer\n");
+    }
+    uint64_t limit = options_.eventsPageSize;
+    if (std::optional<std::string> raw = request.queryParam("limit")) {
+        char *end = nullptr;
+        limit = std::strtoull(raw->c_str(), &end, 10);
+        if (!end || *end != '\0' || limit == 0)
+            return HttpResponse::text(
+                400, "bad request: limit must be a positive integer\n");
+        limit = std::min(limit, options_.eventsPageSize);
+    }
+
+    size_t total = 0;
+    std::vector<support::Event> page =
+        options_.events->tail(size_t(since), size_t(limit), &total);
+
+    std::string body = "{\"total\":" + std::to_string(total) +
+                       ",\"since\":" + std::to_string(since) +
+                       ",\"next\":" +
+                       std::to_string(since + page.size()) +
+                       ",\"events\":[";
+    for (size_t i = 0; i < page.size(); ++i) {
+        if (i)
+            body += ',';
+        page[i].appendJson(body);
+    }
+    body += "]}\n";
+    return jsonResponse(200, std::move(body));
+}
+
+HttpResponse
+OpsServer::quitEndpoint()
+{
+    {
+        std::lock_guard<std::mutex> lock(shutdownMutex_);
+        shutdownRequested_ = true;
+    }
+    shutdownCv_.notify_all();
+    return HttpResponse::text(200, "shutting down\n");
+}
+
+} // namespace dce::serve

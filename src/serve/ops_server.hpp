@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Live campaign operations server (DESIGN.md §14): composes the
+ * existing telemetry subsystems behind HTTP endpoints served *while a
+ * campaign runs*, turning the PR-5 post-mortem artifacts into a live
+ * surface:
+ *
+ *     GET /metrics        Prometheus text (MetricsRegistry::expose())
+ *     GET /healthz        process liveness (always 200 once serving)
+ *     GET /readyz         503 while the Watchdog stall latch is fired
+ *     GET /progress       JSON checkpoint-committed progress + rates
+ *     GET /report         live campaign report, Markdown
+ *     GET /report.html    the same report, rendered HTML
+ *     GET /dossiers       JSON index of checkpointed findings
+ *     GET /dossier/<fp>   one finding's dossier (?format=md|json)
+ *     GET /events?since=N cursor-paged tail of the structured log
+ *     GET /quitquitquit   request shutdown (only when enabled)
+ *
+ * Consistency model: every endpoint reads checkpoint-committed state
+ * only. /progress serves the CampaignStatusBoard snapshot that
+ * runCheckpointed publishes at each checkpoint commit (the same
+ * moment the campaign.progress counters are set, so /progress and
+ * /metrics agree); /report and /dossier read the store through
+ * exactly the code paths writeCampaignReport uses, and the report
+ * generator filters records to checkpoint-completed chunks — served
+ * bytes equal the on-disk render of the same store, and in-flight
+ * chunk state is never observable.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "corpus/checkpoint.hpp"
+#include "corpus/store.hpp"
+#include "report/event_log.hpp"
+#include "report/watchdog.hpp"
+#include "serve/http.hpp"
+
+namespace dce::serve {
+
+struct OpsServerOptions {
+    /** Loopback TCP port; 0 = ephemeral (read back via port()). */
+    uint16_t port = 0;
+    unsigned handlerThreads = 4;
+    /** Registry behind /metrics and the serve.* counters; null = the
+     * process global. */
+    support::MetricsRegistry *metrics = nullptr;
+    /** Store behind /report, /dossiers, /dossier; null disables those
+     * endpoints (404). The store is shared with the running campaign —
+     * its own mutex makes the reads safe. */
+    corpus::CorpusStore *store = nullptr;
+    /** Event log behind /events and dossier trajectories; null
+     * disables /events (404). */
+    const report::EventLog *events = nullptr;
+    /** Watchdog behind /readyz; null = always ready. */
+    const report::Watchdog *watchdog = nullptr;
+    /** Status board behind /progress; null disables /progress (404).
+     * Wire the same board into CheckpointRunOptions::status. */
+    const corpus::CampaignStatusBoard *status = nullptr;
+    /** Enable GET /quitquitquit (sets the shutdown-requested flag the
+     * owner polls/waits on). Off by default: remote shutdown is a
+     * deliberate opt-in for drills and --serve-wait runs. */
+    bool allowRemoteShutdown = false;
+    /** Page size cap for /events (also the default page size). */
+    uint64_t eventsPageSize = 256;
+};
+
+class OpsServer {
+  public:
+    explicit OpsServer(OpsServerOptions options);
+    ~OpsServer(); ///< stops the HTTP server if running
+
+    OpsServer(const OpsServer &) = delete;
+    OpsServer &operator=(const OpsServer &) = delete;
+
+    bool start(std::string *error = nullptr);
+    void stop();
+    uint16_t port() const { return http_.port(); }
+
+    /** True once /quitquitquit has been hit (sticky). */
+    bool shutdownRequested() const;
+    /** Block until shutdownRequested(); @p timeout_ms 0 = forever.
+     * Returns shutdownRequested(). */
+    bool waitForShutdownRequest(uint64_t timeout_ms = 0);
+
+    /** The routing core, exposed so tests can drive endpoints without
+     * a socket. Thread-safe (it is the HttpServer handler). */
+    HttpResponse handle(const HttpRequest &request);
+
+  private:
+    HttpResponse metricsEndpoint() const;
+    HttpResponse readyzEndpoint() const;
+    HttpResponse progressEndpoint() const;
+    HttpResponse reportEndpoint(bool html) const;
+    HttpResponse dossierIndexEndpoint() const;
+    HttpResponse dossierEndpoint(const HttpRequest &request) const;
+    HttpResponse eventsEndpoint(const HttpRequest &request) const;
+    HttpResponse quitEndpoint();
+
+    OpsServerOptions options_;
+    HttpServer http_;
+
+    mutable std::mutex shutdownMutex_;
+    std::condition_variable shutdownCv_;
+    bool shutdownRequested_ = false;
+};
+
+} // namespace dce::serve

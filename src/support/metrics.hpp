@@ -28,6 +28,15 @@
 
 namespace dce::support {
 
+/**
+ * Canonical Content-Type for MetricsRegistry::expose() output —
+ * Prometheus text exposition format 0.0.4. Anything serving expose()
+ * over HTTP (the ops server's /metrics) must use exactly this value;
+ * scrapers key their parser off it.
+ */
+inline constexpr const char *kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
 /** Monotonic counter. Increment is one relaxed fetch_add. */
 class Counter {
 public:

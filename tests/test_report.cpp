@@ -269,6 +269,44 @@ TEST(ReportExposition, ExposeIsInsertionOrderIndependent)
               std::string::npos);
 }
 
+TEST(ReportExposition, HostileLabelValuesAreEscapedPerSpec)
+{
+    // Exposition-format conformance (text format 0.0.4): label values
+    // must escape backslash, double-quote, and newline — and nothing
+    // else — as \\, \", and \n. A scraper fed an unescaped quote or a
+    // raw newline tears the whole scrape, so this is a regression
+    // fence for /metrics.
+    support::MetricsRegistry registry;
+    registry.counter("serve.responses", "a\\b\"c\nd").add(1);
+    registry.histogram("campaign.stage_us", "tab\there").observe(4);
+
+    std::string text = registry.expose();
+    EXPECT_NE(
+        text.find("serve_responses{label=\"a\\\\b\\\"c\\nd\"} 1\n"),
+        std::string::npos);
+    // No raw newline may survive inside a label value: a torn line
+    // would start mid-value, so every line must open like a comment
+    // or a metric name.
+    size_t begin = 0;
+    while (begin < text.size()) {
+        size_t end = text.find('\n', begin);
+        ASSERT_NE(end, std::string::npos) << "unterminated line";
+        std::string line = text.substr(begin, end - begin);
+        if (!line.empty()) {
+            char first = line[0];
+            EXPECT_TRUE(first == '#' || first == '_' ||
+                        (first >= 'a' && first <= 'z') ||
+                        (first >= 'A' && first <= 'Z'))
+                << "torn exposition line: " << line;
+        }
+        begin = end + 1;
+    }
+    // Characters with no escape rule (tab) pass through verbatim.
+    EXPECT_NE(
+        text.find("campaign_stage_us_sum{label=\"tab\there\"} 4\n"),
+        std::string::npos);
+}
+
 TEST(ReportExposition, HistogramBucketsAreCumulative)
 {
     support::MetricsRegistry registry;
@@ -389,15 +427,23 @@ TEST(ReportWatchdog, FiresOnceThenRearmsOnProgress)
     EXPECT_EQ(events[0].key().phase, support::kPhaseOps);
     EXPECT_EQ(events[0].getNum("seeds_done"), 3u);
 
-    // Progress clears the latch; a later stall fires again.
+    // Progress clears the latch — and logs the stalled→ready
+    // transition as watchdog_recovered, bookending the stall.
     progress.seedsDone = 4;
     observer(progress);
     EXPECT_FALSE(watchdog.stalled());
+    events = log.sorted();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[1].type(), "watchdog_recovered");
+    EXPECT_EQ(events[1].key().phase, support::kPhaseOps);
+    EXPECT_EQ(events[1].getNum("stall"), 1u);
+    EXPECT_EQ(events[1].getNum("seeds_done"), 4u);
+
     EXPECT_FALSE(watchdog.poll()); // just progressed at t=2000
     fake_now = 4000;
     EXPECT_TRUE(watchdog.poll());
     EXPECT_EQ(watchdog.stallsFired(), 2u);
-    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.size(), 3u); // stall, recovered, stall
 }
 
 //===------------------------------------------------------------------===//
