@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Fleet benchmarks (google-benchmark): what the multi-process campaign
+ * fleet (DESIGN.md §15) costs and buys. BM_FleetCampaign runs the same
+ * 48-seed plan as BM_CheckpointedCampaignBaseline through a
+ * FleetCoordinator with {1,2,4} forked workers — diffing the two gives
+ * the process-sharding overhead (lease table I/O, per-worker stores,
+ * the deterministic merge) against the parallel speedup on multi-core
+ * hosts. BM_LeaseCycle isolates the per-lease protocol cost: one
+ * claim + complete round-trip through the flocked lease table,
+ * i.e. the fixed tax a lease pays before any campaign work happens.
+ */
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "corpus/checkpoint.hpp"
+#include "corpus/store.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/lease.hpp"
+
+using namespace dce;
+
+namespace {
+
+corpus::CampaignPlan
+benchPlan()
+{
+    // Mirrors BM_CheckpointedCampaign in bench_throughput: same seed
+    // window, chunking, and builds, so fleet numbers diff cleanly
+    // against the established single-process baselines.
+    corpus::CampaignPlan plan;
+    plan.firstSeed = 5000;
+    plan.count = 48;
+    plan.chunkSize = 8;
+    plan.builds = {
+        {compiler::CompilerId::Alpha, compiler::OptLevel::O3, SIZE_MAX},
+        {compiler::CompilerId::Beta, compiler::OptLevel::O3, SIZE_MAX},
+    };
+    plan.computePrimary = false;
+    return plan;
+}
+
+std::string
+scratchDir(const std::string &tag, int iteration)
+{
+    return "/tmp/dce_bench_fleet_" + tag + "_" +
+           std::to_string(::getpid()) + "_" + std::to_string(iteration);
+}
+
+} // namespace
+
+static void
+BM_CheckpointedCampaignBaseline(benchmark::State &state)
+{
+    // The single-process shape the fleet must reproduce byte-for-byte:
+    // one store, one checkpointed runner. Kept in this binary so one
+    // run yields both sides of the fleet-vs-single comparison.
+    int iteration = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::string dir = scratchDir("single", iteration++);
+        std::filesystem::remove_all(dir);
+        {
+            auto store = corpus::CorpusStore::open(dir);
+            corpus::CheckpointRunOptions options;
+            options.checkpointEveryChunks = 1;
+            state.ResumeTiming();
+            benchmark::DoNotOptimize(
+                corpus::runCheckpointed(*store, benchPlan(), options));
+            state.PauseTiming();
+        }
+        std::filesystem::remove_all(dir);
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations() * benchPlan().count);
+}
+BENCHMARK(BM_CheckpointedCampaignBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_FleetCampaign(benchmark::State &state)
+{
+    // Full fleet lifecycle per iteration: lease-table init, N forked
+    // workers (in-process loop — empty workerExecArgv), supervision,
+    // and the deterministic merge. items/s here vs the baseline above
+    // is the headline fleet-vs-single seeds/s comparison.
+    const unsigned workers = static_cast<unsigned>(state.range(0));
+    int iteration = 0;
+    uint64_t crashes = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::string dir = scratchDir("fleet" + std::to_string(workers),
+                                     iteration++);
+        std::filesystem::remove_all(dir);
+        {
+            fleet::FleetOptions options;
+            options.workers = workers;
+            options.leaseChunks = 1;
+            options.workerCheckpointEveryChunks = 1;
+            options.pollMs = 5;
+            fleet::FleetCoordinator coordinator(dir, benchPlan(),
+                                                options);
+            state.ResumeTiming();
+            corpus::StoreError error;
+            std::optional<fleet::FleetResult> result =
+                coordinator.run(&error);
+            state.PauseTiming();
+            if (!result) {
+                state.SkipWithError(("fleet: " + error.message).c_str());
+                return;
+            }
+            crashes += result->workersCrashed;
+        }
+        std::filesystem::remove_all(dir);
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations() * benchPlan().count);
+    state.counters["crashes"] = double(crashes);
+}
+BENCHMARK(BM_FleetCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_LeaseCycle(benchmark::State &state)
+{
+    // Protocol floor: claim + complete one lease through the flocked
+    // table (two locked read-modify-write passes over the lease files,
+    // each with a tmp+fsync+rename). This bounds how fine leaseChunks
+    // can be cut before coordination dwarfs campaign work.
+    std::string dir = scratchDir("lease", 0);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    fleet::LeaseTable table(dir);
+    corpus::StoreError error;
+    if (!fleet::LeaseTable::init(dir, 1, 1, &error)) {
+        state.SkipWithError(("lease init: " + error.message).c_str());
+        return;
+    }
+    for (auto _ : state) {
+        std::optional<fleet::Lease> lease =
+            table.claim(::getpid(), "bench", 120000, 0, &error);
+        if (!lease) {
+            state.SkipWithError("claim failed");
+            return;
+        }
+        bool stolen = false;
+        if (!table.complete(*lease, &stolen, &error) || stolen) {
+            state.SkipWithError("complete failed");
+            return;
+        }
+        // Reset to Available for the next iteration: init() keeps
+        // existing files, so drop the done lease and recreate it.
+        state.PauseTiming();
+        std::filesystem::remove(fleet::leasePath(dir, 0));
+        if (!fleet::LeaseTable::init(dir, 1, 1, &error)) {
+            state.SkipWithError("re-init failed");
+            return;
+        }
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations());
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LeaseCycle)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

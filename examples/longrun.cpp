@@ -10,6 +10,13 @@
  *   longrun run <store-dir> [chunks]    run, optionally stopping after
  *                                       N chunk commits (crash drill)
  *   longrun resume <store-dir>          continue from the checkpoint
+ *   longrun full <fleet-dir> --fleet N  shard the same plan across N
+ *                                       worker processes; the merged
+ *                                       summary/report byte-match the
+ *                                       single-process run
+ *   longrun fleet-worker <fleet-dir> <store-name>
+ *                                       (internal) one fleet worker —
+ *                                       what the coordinator execs
  *
  * Optional flags (any mode):
  *   --events <file>    write the deterministic event log (JSONL)
@@ -37,6 +44,8 @@
 #include "report/event_log.hpp"
 #include "report/report.hpp"
 #include "report/snapshot.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/worker.hpp"
 #include "report/watchdog.hpp"
 #include "serve/ops_server.hpp"
 
@@ -94,7 +103,72 @@ struct Flags {
     bool serve = false;
     uint16_t servePort = 0;
     bool serveWait = false;
+    unsigned fleetWorkers = 0;
 };
+
+/** Coordinator mode: shard demoPlan() across worker processes (each
+ * an exec of this binary in fleet-worker mode), serve the aggregated
+ * ops endpoints while they run, then report from the merged store. */
+int
+runFleetMode(const char *self, const std::string &fleet_dir,
+             const Flags &flags)
+{
+    corpus::StoreError error;
+    support::MetricsRegistry registry;
+    fleet::FleetOptions fleet_options;
+    fleet_options.workers = flags.fleetWorkers;
+    fleet_options.workerExecArgv = {self, "fleet-worker"};
+    fleet_options.metrics = &registry;
+    fleet_options.logLine = [](const std::string &line) {
+        std::fprintf(stderr, "%s\n", line.c_str());
+    };
+    fleet::FleetCoordinator coordinator(fleet_dir, demoPlan(),
+                                        fleet_options);
+
+    serve::OpsServerOptions serve_options;
+    serve_options.port = flags.servePort;
+    serve_options.metrics = &registry;
+    serve_options.fleet = &coordinator;
+    serve_options.allowRemoteShutdown = flags.serveWait;
+    serve::OpsServer ops(serve_options);
+    if (flags.serve) {
+        std::string serve_error;
+        if (!ops.start(&serve_error)) {
+            std::fprintf(stderr, "error: serve: %s\n",
+                         serve_error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "serving ops on 127.0.0.1:%u\n",
+                     unsigned(ops.port()));
+    }
+
+    std::optional<fleet::FleetResult> result =
+        coordinator.run(&error);
+    if (!result)
+        return fail(error);
+
+    if (!flags.reportDir.empty()) {
+        corpus::OpenOptions open_options;
+        open_options.createIfMissing = false;
+        open_options.metrics = &registry;
+        auto merged = corpus::CorpusStore::open(
+            result->mergedStoreDir, &error, open_options);
+        if (!merged)
+            return fail(error);
+        report::CampaignReportOptions report_options;
+        report_options.html = true;
+        if (!report::writeCampaignReport(*merged, flags.reportDir,
+                                         report_options, &error))
+            return fail(error);
+    }
+
+    int status = printSummary(result->merged);
+    if (flags.serve && flags.serveWait) {
+        std::fflush(stdout);
+        ops.waitForShutdownRequest();
+    }
+    return status;
+}
 
 } // namespace
 
@@ -112,6 +186,16 @@ main(int argc, char **argv)
     }
     std::string mode = argv[1];
     std::string dir = argv[2];
+    if (mode == "fleet-worker") {
+        if (argc != 4) {
+            std::fprintf(stderr,
+                         "usage: %s fleet-worker <fleet-dir> "
+                         "<store-name>\n",
+                         argv[0]);
+            return 2;
+        }
+        return fleet::runFleetWorker(dir, argv[3]);
+    }
     Flags flags;
     uint64_t halt_chunks = 0;
     for (int i = 3; i < argc; ++i) {
@@ -136,6 +220,9 @@ main(int argc, char **argv)
                 uint16_t(std::strtoul(value(), nullptr, 10));
         } else if (arg == "--serve-wait")
             flags.serveWait = true;
+        else if (arg == "--fleet")
+            flags.fleetWorkers =
+                unsigned(std::strtoul(value(), nullptr, 10));
         else
             halt_chunks = std::strtoull(arg.c_str(), nullptr, 10);
     }
@@ -143,6 +230,13 @@ main(int argc, char **argv)
     if (mode != "full" && mode != "run" && mode != "resume") {
         std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
         return 2;
+    }
+    if (flags.fleetWorkers > 0) {
+        if (mode != "full") {
+            std::fprintf(stderr, "--fleet requires mode 'full'\n");
+            return 2;
+        }
+        return runFleetMode(argv[0], dir, flags);
     }
 
     corpus::StoreError error;

@@ -25,8 +25,10 @@ setError(StoreError *error, StoreStatus status, std::string message)
     }
 }
 
+} // namespace
+
 std::string
-buildCheckpointJson(
+encodeCheckpointJson(
     const std::string &plan_json, const std::set<uint64_t> &completed,
     uint64_t watermark, uint64_t rng_state,
     const support::MetricsRegistry &registry,
@@ -71,6 +73,8 @@ buildCheckpointJson(
     writer.endObject();
     return sealJsonLine(writer.take());
 }
+
+namespace {
 
 /**
  * Raise counter `name{label}` to @p target (monotonic set-to-value).
@@ -371,6 +375,18 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
                       chunk * chunk_size;
     }
 
+    // A filtered run (fleet lease) only ever waits for its own
+    // chunks: the final checkpoint fires when the eligible set —
+    // filter-accepted chunks plus whatever was already committed —
+    // is fully committed, not when the whole plan is.
+    auto eligible = [&](uint64_t chunk) {
+        return !options.chunkFilter || options.chunkFilter(chunk);
+    };
+    uint64_t target_chunks = 0;
+    for (uint64_t chunk = 0; chunk < num_chunks; ++chunk)
+        if (done_before[chunk] || eligible(chunk))
+            ++target_chunks;
+
     const bool extract = plan.missedByBuild < plan.builds.size() &&
                          plan.referenceBuild < plan.builds.size();
     const core::BuildId by_id{plan.missedByBuild};
@@ -449,7 +465,8 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
     pool.forChunks(
         plan.count, chunk_size, [&](size_t begin, size_t end) {
             uint64_t chunk = uint64_t(begin) / chunk_size;
-            if (done_before[chunk] || halted.load() || failed.load())
+            if (done_before[chunk] || !eligible(chunk) ||
+                halted.load() || failed.load())
                 return;
 
             // Process the chunk against a chunk-local registry: its
@@ -556,7 +573,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
             }
 
             if (since_checkpoint >= options.checkpointEveryChunks ||
-                completed.size() == num_chunks) {
+                completed.size() >= target_chunks) {
                 // Set the progress gauges before the checkpoint JSON
                 // is built so the durable checkpoint, /metrics, and
                 // /progress all carry the same committed numbers.
@@ -568,7 +585,7 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
                               "seeds_committed", seeds_done);
                 bumpCounterTo(registry, "campaign.progress",
                               "findings", findings_total);
-                std::string json = buildCheckpointJson(
+                std::string json = encodeCheckpointJson(
                     plan_json, completed, watermark,
                     state_at_chunk[watermark], registry,
                     findings_by_chunk);

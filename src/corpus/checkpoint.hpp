@@ -23,6 +23,8 @@
 #pragma once
 
 #include <climits>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -156,6 +158,18 @@ struct CheckpointRunOptions {
      * untouched when nothing is serving.
      */
     CampaignStatusBoard *status = nullptr;
+    /**
+     * Restrict this run to the chunks the filter accepts — how a
+     * fleet worker runs exactly its leased chunk range against its
+     * own store (DESIGN.md §15). Chunks outside the filter are
+     * neither executed nor waited for: the run writes its final
+     * checkpoint once every *eligible* chunk (filter-accepted plus
+     * already-committed) is committed, so a filtered run still ends
+     * checkpoint-consistent. Null = every chunk, exactly the
+     * pre-fleet behaviour. Determinism is untouched — a chunk's
+     * output never depends on which run (or process) computed it.
+     */
+    std::function<bool(uint64_t)> chunkFilter;
 };
 
 /** A finding plus where it came from (checkpoint bookkeeping). */
@@ -188,6 +202,21 @@ struct CheckpointState {
  */
 std::optional<CheckpointState>
 readCheckpointState(CorpusStore &store, StoreError *error = nullptr);
+
+/**
+ * Build (and CRC-seal) the checkpoint line naming the given committed
+ * state — byte-for-byte the line runCheckpointed writes. Exposed so
+ * the fleet merge can give a merged store a checkpoint
+ * indistinguishable from a single-process run's: same field order,
+ * same campaign.*-only counter filter (sorted by key), same sealed
+ * framing. @p findings is keyed by chunk; entries serialize in
+ * (chunk, slot) order.
+ */
+std::string encodeCheckpointJson(
+    const std::string &plan_json, const std::set<uint64_t> &completed,
+    uint64_t watermark, uint64_t rng_state,
+    const support::MetricsRegistry &registry,
+    const std::map<uint64_t, std::vector<StoredFinding>> &findings);
 
 struct CheckpointedCampaign {
     core::Campaign campaign;

@@ -238,10 +238,34 @@ CorpusStore::acquireLock(StoreError *error)
                  "open " + lockPath_ + ": " + std::strerror(errno));
         return false;
     }
-    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
-        ::close(fd);
-        setError(error, StoreStatus::Locked,
-                 "store locked by a live writer");
+    int rc;
+    do {
+        rc = ::flock(fd, LOCK_EX | LOCK_NB);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        // Only EWOULDBLOCK means contention. Everything else (ENOLCK,
+        // EBADF, ...) is a real filesystem-level failure and must not
+        // masquerade as "a live writer holds the store" — callers back
+        // off and retry Locked, but an IoError needs an operator.
+        int err = errno;
+        if (err == EWOULDBLOCK || err == EAGAIN) {
+            // Name the holder: with the flock actually held by a live
+            // process, the pid it recorded is trustworthy and makes
+            // the contention diagnosable across process boundaries.
+            char buffer[64] = {};
+            ssize_t got = ::pread(fd, buffer, sizeof buffer - 1, 0);
+            long holder = got > 0 ? std::atol(buffer) : 0;
+            ::close(fd);
+            setError(error, StoreStatus::Locked,
+                     holder > 0 ? "store locked by live pid " +
+                                      std::to_string(holder)
+                                : "store locked by a live writer");
+        } else {
+            ::close(fd);
+            setError(error, StoreStatus::IoError,
+                     "flock " + lockPath_ + ": " +
+                         std::strerror(err));
+        }
         return false;
     }
     char buffer[64] = {};

@@ -1,0 +1,210 @@
+#include "fleet/fleet.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <unistd.h>
+
+#include "corpus/json.hpp"
+
+namespace dce::fleet {
+
+namespace {
+
+void
+setError(corpus::StoreError *error, corpus::StoreStatus status,
+         std::string message)
+{
+    if (error) {
+        error->status = status;
+        error->message = std::move(message);
+    }
+}
+
+} // namespace
+
+uint64_t
+FleetConfig::numChunks() const
+{
+    uint64_t chunk_size = plan.chunkSize ? plan.chunkSize : 1;
+    return (plan.count + chunk_size - 1) / chunk_size;
+}
+
+uint64_t
+FleetConfig::numLeases() const
+{
+    uint64_t granule = leaseChunks ? leaseChunks : 1;
+    return (numChunks() + granule - 1) / granule;
+}
+
+std::string
+planPath(const std::string &fleet_dir)
+{
+    return fleet_dir + "/PLAN.json";
+}
+
+std::string
+leasesDir(const std::string &fleet_dir)
+{
+    return fleet_dir + "/leases";
+}
+
+std::string
+leasePath(const std::string &fleet_dir, uint64_t index)
+{
+    return leasesDir(fleet_dir) + "/lease." + std::to_string(index) +
+           ".json";
+}
+
+std::string
+leaseLockPath(const std::string &fleet_dir)
+{
+    return leasesDir(fleet_dir) + "/LOCK";
+}
+
+std::string
+workerDir(const std::string &fleet_dir, const std::string &store_name)
+{
+    return fleet_dir + "/" + store_name;
+}
+
+std::string
+workerStoreDir(const std::string &fleet_dir,
+               const std::string &store_name)
+{
+    return workerDir(fleet_dir, store_name) + "/store";
+}
+
+std::string
+workerMetricsPath(const std::string &fleet_dir,
+                  const std::string &store_name)
+{
+    return workerDir(fleet_dir, store_name) + "/metrics.json";
+}
+
+std::string
+mergedStoreDir(const std::string &fleet_dir)
+{
+    return fleet_dir + "/merged";
+}
+
+uint64_t
+monotonicMs()
+{
+    struct timespec ts = {};
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return uint64_t(ts.tv_sec) * 1000 +
+           uint64_t(ts.tv_nsec) / 1000000;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents,
+                corpus::StoreError *error)
+{
+    std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file) {
+        setError(error, corpus::StoreStatus::IoError,
+                 "open " + tmp + ": " + std::strerror(errno));
+        return false;
+    }
+    bool ok = std::fwrite(contents.data(), 1, contents.size(), file) ==
+              contents.size();
+    ok = std::fflush(file) == 0 && ok;
+    ok = ::fsync(::fileno(file)) == 0 && ok;
+    ok = std::fclose(file) == 0 && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, corpus::StoreStatus::IoError,
+                 "write " + path + ": " + std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string>
+readFile(const std::string &path, corpus::StoreError *error)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        setError(error,
+                 errno == ENOENT ? corpus::StoreStatus::NotFound
+                                 : corpus::StoreStatus::IoError,
+                 "open " + path + ": " + std::strerror(errno));
+        return std::nullopt;
+    }
+    std::string out;
+    char buffer[4096];
+    size_t got;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+        out.append(buffer, got);
+    bool failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (failed) {
+        setError(error, corpus::StoreStatus::IoError,
+                 "read " + path + ": " + std::strerror(errno));
+        return std::nullopt;
+    }
+    return out;
+}
+
+bool
+writeFleetConfig(const std::string &fleet_dir,
+                 const FleetConfig &config, corpus::StoreError *error)
+{
+    corpus::JsonWriter writer;
+    writer.beginObject();
+    writer.field("version", uint64_t(1));
+    writer.key("plan");
+    writer.raw(corpus::serializePlan(config.plan));
+    writer.field("lease_chunks", config.leaseChunks);
+    writer.field("lease_ttl_ms", config.leaseTtlMs);
+    writer.field("steal_after_ms", config.stealAfterMs);
+    writer.field("worker_threads", uint64_t(config.workerThreads));
+    writer.field("worker_checkpoint_every_chunks",
+                 uint64_t(config.workerCheckpointEveryChunks));
+    writer.endObject();
+    return writeFileAtomic(planPath(fleet_dir),
+                           corpus::sealJsonLine(writer.take()) + "\n",
+                           error);
+}
+
+std::optional<FleetConfig>
+readFleetConfig(const std::string &fleet_dir,
+                corpus::StoreError *error)
+{
+    std::optional<std::string> text =
+        readFile(planPath(fleet_dir), error);
+    if (!text)
+        return std::nullopt;
+    while (!text->empty() && text->back() == '\n')
+        text->pop_back();
+    std::optional<corpus::JsonValue> value =
+        corpus::unsealJsonLine(*text);
+    if (!value) {
+        setError(error, corpus::StoreStatus::Corrupt,
+                 "PLAN.json failed its checksum");
+        return std::nullopt;
+    }
+    const corpus::JsonValue *plan_value = value->get("plan");
+    std::optional<corpus::CampaignPlan> plan =
+        plan_value ? corpus::readPlan(*plan_value) : std::nullopt;
+    if (!plan) {
+        setError(error, corpus::StoreStatus::Corrupt,
+                 "PLAN.json has no valid plan");
+        return std::nullopt;
+    }
+    FleetConfig config;
+    config.plan = *plan;
+    config.leaseChunks = value->getU64("lease_chunks", 1);
+    config.leaseTtlMs = value->getU64("lease_ttl_ms");
+    config.stealAfterMs = value->getU64("steal_after_ms");
+    config.workerThreads =
+        unsigned(value->getU64("worker_threads", 1));
+    config.workerCheckpointEveryChunks = unsigned(
+        value->getU64("worker_checkpoint_every_chunks", 4));
+    return config;
+}
+
+} // namespace dce::fleet

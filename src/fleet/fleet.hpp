@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared state of a multi-process campaign fleet (DESIGN.md §15): the
+ * sealed PLAN.json every fleet process reads, and the directory layout
+ * that ties a coordinator, its worker processes, and the merge step to
+ * one on-disk fleet.
+ *
+ * Layout under the fleet directory:
+ *
+ *     PLAN.json            sealed FleetConfig (plan + shard geometry)
+ *     leases/LOCK          flock serializing every lease transition
+ *     leases/lease.<k>.json  one sealed lease per chunk shard
+ *     worker.<seq>/store/  that worker process's private CorpusStore
+ *     worker.<seq>/metrics.json  its latest sealed registry dump
+ *     merged/              the merged store (written by mergeFleet)
+ *
+ * PLAN.json is written once by the coordinator and is immutable for
+ * the fleet's lifetime; a coordinator restarted on an existing fleet
+ * directory must present the same plan (PlanMismatch otherwise), the
+ * same contract runCheckpointed enforces per store.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "corpus/checkpoint.hpp"
+#include "corpus/store.hpp"
+
+namespace dce::fleet {
+
+/**
+ * Everything that determines a fleet's sharding — persisted so worker
+ * processes and late merges reconstruct the exact shard geometry from
+ * the fleet directory alone. The campaign plan rides along verbatim;
+ * the remaining fields are fleet-level knobs that must agree across
+ * every process touching the fleet.
+ */
+struct FleetConfig {
+    corpus::CampaignPlan plan;
+    /** Chunks per lease (the shard granule). */
+    uint64_t leaseChunks = 1;
+    /** A claimed lease older than this is reclaimable even if its
+     * owner still looks alive — the crash backstop for owners the
+     * coordinator cannot reap (e.g. after a coordinator restart). */
+    uint64_t leaseTtlMs = 120000;
+    /** Work stealing: claim a claimed-by-a-live-owner lease once it
+     * is this old (0 = never steal from the living). */
+    uint64_t stealAfterMs = 0;
+    /** CheckpointRunOptions::threads for each worker's runs. */
+    unsigned workerThreads = 1;
+    /** CheckpointRunOptions::checkpointEveryChunks for workers. */
+    unsigned workerCheckpointEveryChunks = 4;
+
+    uint64_t numChunks() const;
+    uint64_t numLeases() const;
+};
+
+std::string planPath(const std::string &fleet_dir);
+std::string leasesDir(const std::string &fleet_dir);
+std::string leasePath(const std::string &fleet_dir, uint64_t index);
+std::string leaseLockPath(const std::string &fleet_dir);
+std::string workerDir(const std::string &fleet_dir,
+                      const std::string &store_name);
+std::string workerStoreDir(const std::string &fleet_dir,
+                           const std::string &store_name);
+std::string workerMetricsPath(const std::string &fleet_dir,
+                              const std::string &store_name);
+std::string mergedStoreDir(const std::string &fleet_dir);
+
+/** CLOCK_MONOTONIC milliseconds — lease ages are compared across
+ * processes on one host, where the monotonic clock is shared. */
+uint64_t monotonicMs();
+
+/** Write PLAN.json (sealed, temp-file-plus-rename). */
+bool writeFleetConfig(const std::string &fleet_dir,
+                      const FleetConfig &config,
+                      corpus::StoreError *error = nullptr);
+
+/** Read + verify PLAN.json. Classified NotFound when absent, Corrupt
+ * on seal/shape damage. */
+std::optional<FleetConfig>
+readFleetConfig(const std::string &fleet_dir,
+                corpus::StoreError *error = nullptr);
+
+/** Atomic (temp + rename) small-file write, fleet-file idiom. */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &contents,
+                     corpus::StoreError *error = nullptr);
+
+/** Whole-file read; nullopt + classified @p error on failure. */
+std::optional<std::string>
+readFile(const std::string &path, corpus::StoreError *error = nullptr);
+
+} // namespace dce::fleet

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Deterministic fleet merge (DESIGN.md §15): fold a fully-done lease
+ * table plus the per-worker stores into one merged CorpusStore +
+ * CheckpointedCampaign whose summaryText and campaign report are
+ * byte-identical to an uninterrupted single-process run of the same
+ * plan — regardless of worker count, lease partition, crashes, or
+ * steals.
+ *
+ * Why it holds: each lease payload carries its campaign.* counter
+ * *deltas*, which sum associatively over any partition; findings are
+ * (chunk, slot)-keyed and globally re-sorted; the campaign.progress
+ * gauges are positional and set to their final values directly; and
+ * the merged checkpoint is built by the same encodeCheckpointJson that
+ * a live run uses, so the merged store is indistinguishable from one
+ * a single process ran to completion.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "corpus/checkpoint.hpp"
+#include "corpus/store.hpp"
+
+namespace dce::fleet {
+
+/**
+ * Merge the fleet at @p fleet_dir into <fleet_dir>/merged (replacing
+ * any previous merge — re-merging is idempotent). Requires every
+ * lease Done; classified IoError naming the offending lease
+ * otherwise. The returned campaign's metrics registry is owned by the
+ * result (ownedMetrics).
+ */
+std::optional<corpus::CheckpointedCampaign>
+mergeFleet(const std::string &fleet_dir,
+           corpus::StoreError *error = nullptr);
+
+} // namespace dce::fleet

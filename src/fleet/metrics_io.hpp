@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Cross-process metrics transport for the fleet (DESIGN.md §15): a
+ * worker serializes its registry state into one sealed JSON line
+ * (atomically replacing worker.<seq>/metrics.json after each lease),
+ * and the coordinator absorbs every worker's latest dump into a
+ * scratch registry behind /metrics. Counters carry plain values,
+ * histograms their full bucket vectors, so the aggregated exposition
+ * is exact — not a lossy mean-of-means.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/metrics.hpp"
+
+namespace dce::fleet {
+
+using CounterList = std::vector<std::pair<std::string, uint64_t>>;
+using HistogramList = std::vector<
+    std::pair<std::string, support::MetricsRegistry::HistogramSnapshot>>;
+
+/** One sealed line: {"counters":[{k,v}...],"histograms":[...]}. */
+std::string encodeRegistryDump(const CounterList &counters,
+                               const HistogramList &histograms);
+
+/** Verify + fold a dump into @p into (counters add, histograms
+ * absorb). False on seal or shape damage; @p into is then unchanged
+ * only if the damage was the seal — callers treat false as "skip this
+ * worker this scrape". */
+bool absorbRegistryDump(std::string_view text,
+                        support::MetricsRegistry &into);
+
+} // namespace dce::fleet

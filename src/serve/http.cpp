@@ -102,6 +102,30 @@ HttpRequest::queryParam(std::string_view name) const
     return std::nullopt;
 }
 
+bool
+readRequestHead(int fd, size_t max_bytes, std::string &head,
+                bool &line_complete)
+{
+    line_complete = false;
+    while (head.size() < max_bytes) {
+        char buffer[2048];
+        size_t room = std::min(sizeof buffer, max_bytes - head.size());
+        ssize_t n = ::recv(fd, buffer, room, 0);
+        if (n < 0 && errno == EINTR)
+            continue; // same retry discipline as the send path
+        if (n <= 0)
+            break; // timeout, reset, or EOF before the head ended
+        head.append(buffer, size_t(n));
+        if (head.find("\r\n") != std::string::npos ||
+            head.find('\n') != std::string::npos)
+            line_complete = true;
+        if (head.find("\r\n\r\n") != std::string::npos ||
+            head.find("\n\n") != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
 HttpResponse
 HttpResponse::text(int status, std::string body)
 {
@@ -255,25 +279,9 @@ HttpServer::handleConnection(int fd)
     // server never reads a body (GET only), so the head is the whole
     // request.
     std::string head;
-    bool complete = false;
     bool line_complete = false;
-    while (head.size() < options_.maxRequestBytes) {
-        char buffer[2048];
-        size_t room = std::min(sizeof buffer,
-                               options_.maxRequestBytes - head.size());
-        ssize_t n = ::recv(fd, buffer, room, 0);
-        if (n <= 0)
-            break; // timeout, reset, or EOF before the head ended
-        head.append(buffer, size_t(n));
-        if (head.find("\r\n") != std::string::npos ||
-            head.find('\n') != std::string::npos)
-            line_complete = true;
-        if (head.find("\r\n\r\n") != std::string::npos ||
-            head.find("\n\n") != std::string::npos) {
-            complete = true;
-            break;
-        }
-    }
+    bool complete = readRequestHead(fd, options_.maxRequestBytes, head,
+                                    line_complete);
 
     HttpResponse response;
     if (!complete) {

@@ -60,6 +60,20 @@ const char *httpStatusReason(int status);
  * truncated escape. */
 std::optional<std::string> percentDecode(std::string_view text);
 
+/**
+ * Read a request head (everything through the blank line) from @p fd
+ * into @p head, reading at most @p max_bytes. Retries recv() on EINTR:
+ * the serving process may be signal-heavy (a fleet coordinator reaping
+ * SIGCHLD from dying workers), and a signal landing mid-request must
+ * not abort the read. Returns true when the terminating blank line
+ * arrived; @p line_complete reports whether at least the request-line
+ * terminator arrived (it decides 400 vs 414 for oversized heads).
+ * Exposed as a building block so signal-delivery tests can drive it
+ * over a socketpair.
+ */
+bool readRequestHead(int fd, size_t max_bytes, std::string &head,
+                     bool &line_complete);
+
 using HttpHandler = std::function<HttpResponse(const HttpRequest &)>;
 
 struct HttpServerOptions {

@@ -127,6 +127,8 @@ OpsServer::handle(const HttpRequest &request)
         return dossierEndpoint(request);
     if (path == "/events")
         return eventsEndpoint(request);
+    if (path == "/fleet")
+        return fleetEndpoint();
     if (path == "/quitquitquit" && options_.allowRemoteShutdown)
         return quitEndpoint();
     return HttpResponse::text(404, "not found\n");
@@ -140,7 +142,18 @@ OpsServer::metricsEndpoint() const
                          : support::MetricsRegistry::global();
     HttpResponse response;
     response.contentType = support::kPrometheusContentType;
-    response.body = registry.expose();
+    if (options_.fleet) {
+        // Coordinator mode: one exposition covering the whole fleet —
+        // this process's own instruments plus every worker's latest
+        // dump, folded into a per-request scratch registry so a
+        // scrape never mutates durable state.
+        support::MetricsRegistry merged;
+        merged.merge(registry);
+        options_.fleet->mergeWorkerMetrics(merged);
+        response.body = merged.expose();
+    } else {
+        response.body = registry.expose();
+    }
     return response;
 }
 
@@ -156,11 +169,12 @@ OpsServer::readyzEndpoint() const
 HttpResponse
 OpsServer::progressEndpoint() const
 {
-    if (!options_.status)
+    if (!options_.status && !options_.fleet)
         return HttpResponse::text(404,
                                   "no campaign status attached\n");
     corpus::CampaignStatusBoard::Snapshot snap =
-        options_.status->read();
+        options_.status ? options_.status->read()
+                        : options_.fleet->progress();
 
     // Pipeline rate from the committed stage time: how fast seeds
     // clear generate+oracle+compile+analyze, independent of thread
@@ -182,6 +196,12 @@ OpsServer::progressEndpoint() const
         wall_seconds > 0.0 && stage_seconds > 0.0
             ? stage_seconds / wall_seconds
             : 1.0;
+    // "ETA unknown" and "ETA zero" are different answers: with no
+    // committed pipeline time yet (rate 0) there is nothing to
+    // extrapolate from, and reporting 0.0 would make a just-started
+    // campaign read as finished. Unknown serializes as null; 0.0 is
+    // reserved for "nothing remaining".
+    bool eta_known = rate > 0.0 || remaining == 0;
     double eta_seconds =
         rate > 0.0 && remaining
             ? double(remaining) /
@@ -205,7 +225,12 @@ OpsServer::progressEndpoint() const
     // format it serves) is integer-only, and jq's `tonumber` covers
     // shell consumers.
     writer.field("seeds_per_pipeline_second", formatDouble(rate));
-    writer.field("eta_seconds", formatDouble(eta_seconds));
+    if (eta_known) {
+        writer.field("eta_seconds", formatDouble(eta_seconds));
+    } else {
+        writer.key("eta_seconds");
+        writer.null();
+    }
     writer.endObject();
     return jsonResponse(200, writer.take() + "\n");
 }
@@ -347,6 +372,14 @@ OpsServer::eventsEndpoint(const HttpRequest &request) const
     }
     body += "]}\n";
     return jsonResponse(200, std::move(body));
+}
+
+HttpResponse
+OpsServer::fleetEndpoint() const
+{
+    if (!options_.fleet)
+        return HttpResponse::text(404, "no fleet attached\n");
+    return jsonResponse(200, options_.fleet->fleetJson() + "\n");
 }
 
 HttpResponse

@@ -14,6 +14,7 @@
  *     GET /dossiers       JSON index of checkpointed findings
  *     GET /dossier/<fp>   one finding's dossier (?format=md|json)
  *     GET /events?since=N cursor-paged tail of the structured log
+ *     GET /fleet          fleet workers + leases (coordinator mode)
  *     GET /quitquitquit   request shutdown (only when enabled)
  *
  * Consistency model: every endpoint reads checkpoint-committed state
@@ -41,6 +42,31 @@
 
 namespace dce::serve {
 
+/**
+ * Aggregated multi-process view for a fleet coordinator's ops server
+ * (DESIGN.md §15). The coordinator implements this; wiring it into
+ * OpsServerOptions::fleet switches /progress to the fleet-wide
+ * snapshot, makes /metrics fold every worker's latest registry dump
+ * into the exposition, and enables GET /fleet. Implementations must
+ * be thread-safe — handler threads call them concurrently with the
+ * coordinator's supervision loop.
+ */
+class FleetOpsSource {
+  public:
+    virtual ~FleetOpsSource() = default;
+
+    /** Fleet-wide progress snapshot (lease-committed state). */
+    virtual corpus::CampaignStatusBoard::Snapshot
+    progress() const = 0;
+
+    /** Fold every worker's latest metrics dump into @p into. */
+    virtual void
+    mergeWorkerMetrics(support::MetricsRegistry &into) const = 0;
+
+    /** JSON body for GET /fleet: workers + leases + totals. */
+    virtual std::string fleetJson() const = 0;
+};
+
 struct OpsServerOptions {
     /** Loopback TCP port; 0 = ephemeral (read back via port()). */
     uint16_t port = 0;
@@ -66,6 +92,12 @@ struct OpsServerOptions {
     bool allowRemoteShutdown = false;
     /** Page size cap for /events (also the default page size). */
     uint64_t eventsPageSize = 256;
+    /** Fleet aggregation source (a coordinator); null = the
+     * single-process endpoints only. When set and `status` is null,
+     * /progress serves the fleet-wide snapshot, /metrics merges every
+     * worker's dump on top of this server's own registry, and /fleet
+     * serves the per-worker/per-lease detail. */
+    const FleetOpsSource *fleet = nullptr;
 };
 
 class OpsServer {
@@ -98,6 +130,7 @@ class OpsServer {
     HttpResponse dossierIndexEndpoint() const;
     HttpResponse dossierEndpoint(const HttpRequest &request) const;
     HttpResponse eventsEndpoint(const HttpRequest &request) const;
+    HttpResponse fleetEndpoint() const;
     HttpResponse quitEndpoint();
 
     OpsServerOptions options_;

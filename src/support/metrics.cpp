@@ -26,6 +26,16 @@ Histogram::merge(const Histogram &other)
     }
 }
 
+void
+Histogram::absorb(uint64_t count, uint64_t sum,
+                  const std::array<uint64_t, kBuckets> &buckets)
+{
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+    for (size_t i = 0; i < kBuckets; ++i)
+        buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+}
+
 MetricsRegistry &
 MetricsRegistry::global()
 {

@@ -101,6 +101,15 @@ public:
      * sums, and buckets all add). @p other should be quiescent. */
     void merge(const Histogram &other);
 
+    /**
+     * Fold an externally-recorded state (count/sum/per-bucket) into
+     * this histogram — the cross-process analog of merge(), for a
+     * fleet coordinator folding a worker's serialized registry dump
+     * into its own (DESIGN.md §15).
+     */
+    void absorb(uint64_t count, uint64_t sum,
+                const std::array<uint64_t, kBuckets> &buckets);
+
     static size_t bucketOf(uint64_t value)
     {
         size_t width = 0;

@@ -494,6 +494,57 @@ TEST(Corpus, FlockRefusesSecondWriterUntilFirstCloses)
     EXPECT_TRUE(second) << error.message;
 }
 
+TEST(Corpus, CrossProcessLockContentionNamesTheHolder)
+{
+    // Real two-process contention, the case the fleet exercises
+    // constantly: a child process opens the store and holds it while
+    // the parent tries. Two pipes sequence the handshake — no sleeps.
+    TempDir dir("xproc");
+    int ready[2], release[2];
+    ASSERT_EQ(::pipe(ready), 0);
+    ASSERT_EQ(::pipe(release), 0);
+    pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        ::close(ready[0]);
+        ::close(release[1]);
+        StoreError child_error;
+        auto held = CorpusStore::open(dir.str(), &child_error);
+        char byte = held ? 'k' : 'f';
+        (void)!::write(ready[1], &byte, 1);
+        ::close(ready[1]);
+        char go;
+        (void)!::read(release[0], &go, 1); // hold until released
+        held.reset(); // destructor blanks the pid + drops the flock
+        ::_exit(byte == 'k' ? 0 : 1);
+    }
+    ::close(ready[1]);
+    ::close(release[0]);
+    char byte = 0;
+    ASSERT_EQ(::read(ready[0], &byte, 1), 1);
+    ASSERT_EQ(byte, 'k');
+
+    // Contended open: classified Locked, and the message names the
+    // live holder so an operator can see *who* has the store.
+    StoreError error;
+    EXPECT_FALSE(CorpusStore::open(dir.str(), &error));
+    EXPECT_EQ(error.status, StoreStatus::Locked);
+    EXPECT_NE(error.message.find(std::to_string(child)),
+              std::string::npos)
+        << error.message;
+
+    // Release the child; once it exits the handover is clean.
+    char go = 'g';
+    ASSERT_EQ(::write(release[1], &go, 1), 1);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    auto store = CorpusStore::open(dir.str(), &error);
+    EXPECT_TRUE(store) << error.message;
+    ::close(ready[0]);
+    ::close(release[1]);
+}
+
 TEST(Corpus, FreshStoreResumeIsClassified)
 {
     TempDir dir("freshresume");

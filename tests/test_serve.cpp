@@ -17,6 +17,8 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -29,6 +31,7 @@
 #include "report/watchdog.hpp"
 #include "serve/http.hpp"
 #include "serve/ops_server.hpp"
+#include "support/metrics.hpp"
 
 namespace fs = std::filesystem;
 
@@ -620,6 +623,186 @@ TEST(ServeOps, DossierAndEventsEndpoints)
     // Malformed cursors are rejected.
     EXPECT_EQ(served.get("/events", "since=banana").status, 400);
     EXPECT_EQ(served.get("/events", "limit=0").status, 400);
+}
+
+TEST(ServeHttp, RequestReadSurvivesSignalsMidRequest)
+{
+    // Regression: the recv() loop used to treat EINTR as a closed
+    // connection while the send path retried it — so a SIGCHLD-heavy
+    // process (a fleet coordinator reaping workers) dropped requests
+    // that arrived while a signal landed. Install a handler WITHOUT
+    // SA_RESTART and pound the reading thread with signals while the
+    // request trickles in.
+    struct sigaction action = {};
+    action.sa_handler = [](int) {};
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // deliberately no SA_RESTART
+    struct sigaction previous = {};
+    ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    std::string head;
+    bool line_complete = false;
+    std::atomic<bool> done{false};
+    std::thread reader([&] {
+        bool complete =
+            readRequestHead(fds[0], 8 * 1024, head, line_complete);
+        EXPECT_TRUE(complete);
+        done.store(true);
+    });
+    pthread_t reader_handle = reader.native_handle();
+
+    const std::string request = "GET /healthz HTTP/1.1\r\n\r\n";
+    for (size_t i = 0; i < request.size(); ++i) {
+        // A burst of signals between every byte: each one interrupts
+        // the blocked recv() with EINTR.
+        for (int burst = 0; burst < 8; ++burst) {
+            ::pthread_kill(reader_handle, SIGUSR1);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+        }
+        ASSERT_EQ(::send(fds[1], request.data() + i, 1, 0), 1);
+    }
+    reader.join();
+    EXPECT_TRUE(done.load());
+    EXPECT_TRUE(line_complete);
+    EXPECT_EQ(head, request);
+
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ::sigaction(SIGUSR1, &previous, nullptr);
+}
+
+TEST(ServeOps, ProgressEtaIsNullUntilRateExistsAndZeroWhenDone)
+{
+    // "ETA unknown" and "ETA zero" are different answers. A campaign
+    // with committed work remaining but no committed pipeline time
+    // yet has no rate to extrapolate: eta_seconds must be null, not
+    // 0.0 (which would read as "finished" to a dashboard).
+    corpus::CampaignStatusBoard board;
+    corpus::CampaignStatusBoard::Snapshot snap;
+    snap.active = true;
+    snap.seedsTotal = 100;
+    snap.seedsCommitted = 0;
+    snap.stageUs = 0;
+    board.publish(snap);
+
+    OpsServerOptions options;
+    options.status = &board;
+    OpsServer ops(options);
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/progress";
+    HttpResponse response = ops.handle(request);
+    ASSERT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("\"eta_seconds\":null"),
+              std::string::npos)
+        << response.body;
+
+    // With committed rate, the ETA is a number again.
+    snap.seedsCommitted = 50;
+    snap.stageUs = 1'000'000;
+    board.publish(snap);
+    response = ops.handle(request);
+    EXPECT_EQ(response.body.find("\"eta_seconds\":null"),
+              std::string::npos)
+        << response.body;
+
+    // And nothing-remaining is a true zero, not null.
+    snap.seedsCommitted = 100;
+    board.publish(snap);
+    response = ops.handle(request);
+    EXPECT_NE(response.body.find("\"eta_seconds\":\"0.000\""),
+              std::string::npos)
+        << response.body;
+}
+
+/** Deterministic FleetOpsSource stub for endpoint-contract tests. */
+class StubFleetSource final : public FleetOpsSource {
+  public:
+    corpus::CampaignStatusBoard::Snapshot
+    progress() const override
+    {
+        corpus::CampaignStatusBoard::Snapshot snap;
+        snap.active = true;
+        snap.seedsTotal = 40;
+        snap.seedsCommitted = 10;
+        snap.chunksTotal = 8;
+        snap.completedChunks = 2;
+        snap.watermark = 2;
+        snap.stageUs = 2'000'000;
+        return snap;
+    }
+
+    void
+    mergeWorkerMetrics(support::MetricsRegistry &into) const override
+    {
+        // Two "workers" worth of dumps.
+        into.counter("campaign.seeds_done").add(6);
+        into.counter("campaign.seeds_done").add(4);
+        into.histogram("campaign.stage_us", "compile").observe(123);
+    }
+
+    std::string
+    fleetJson() const override
+    {
+        return "{\"workers_spawned\":2}";
+    }
+};
+
+TEST(ServeOps, FleetModeAggregatesProgressMetricsAndFleet)
+{
+    StubFleetSource fleet;
+    support::MetricsRegistry registry;
+    registry.counter("serve.requests").add(3); // coordinator-local
+
+    OpsServerOptions options;
+    options.metrics = &registry;
+    options.fleet = &fleet;
+    OpsServer ops(options);
+
+    HttpRequest request;
+    request.method = "GET";
+
+    // /progress falls through to the fleet snapshot when no local
+    // status board is attached.
+    request.path = "/progress";
+    HttpResponse progress = ops.handle(request);
+    ASSERT_EQ(progress.status, 200);
+    std::optional<corpus::JsonValue> doc =
+        corpus::JsonValue::parse(progress.body);
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->getU64("seeds_total"), 40u);
+    EXPECT_EQ(doc->getU64("seeds_committed"), 10u);
+    EXPECT_EQ(doc->getU64("completed_chunks"), 2u);
+
+    // /metrics merges the coordinator's own registry with every
+    // worker dump — and the scrape is non-destructive (a second
+    // scrape sees identical, not doubled, numbers).
+    request.path = "/metrics";
+    HttpResponse metrics = ops.handle(request);
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("campaign_seeds_done 10"),
+              std::string::npos)
+        << metrics.body;
+    EXPECT_NE(metrics.body.find("serve_requests 3"),
+              std::string::npos);
+    HttpResponse again = ops.handle(request);
+    EXPECT_EQ(metrics.body, again.body);
+
+    // /fleet serves the source's JSON verbatim (plus newline).
+    request.path = "/fleet";
+    HttpResponse fleet_response = ops.handle(request);
+    ASSERT_EQ(fleet_response.status, 200);
+    EXPECT_EQ(fleet_response.body, "{\"workers_spawned\":2}\n");
+
+    // Without a fleet, /fleet is a 404 like the other unattached
+    // endpoints.
+    OpsServerOptions bare;
+    OpsServer bare_ops(bare);
+    EXPECT_EQ(bare_ops.handle(request).status, 404);
 }
 
 } // namespace
