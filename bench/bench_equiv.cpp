@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Metamorphic-testing benchmarks (google-benchmark): what the equiv
+ * oracle (DESIGN.md §16) costs on top of a plain campaign.
+ * BM_CheckpointedCampaignBaseline reuses the established 48-seed plan;
+ * BM_EquivAnalysis/{1,2,4} runs the full post-campaign analysis over
+ * that store with K variants per program — diffing the two gives the
+ * oracle's overhead ratio at each K. BM_DeriveVariant isolates the
+ * transform engine (clone + edit + reparse per variant) and
+ * BM_EquivPairOracle the per-pair probe behind the positive control
+ * (instrument, ground truth, and one custom-config compile per side).
+ */
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "corpus/checkpoint.hpp"
+#include "corpus/store.hpp"
+#include "equiv/engine.hpp"
+#include "equiv/transforms.hpp"
+#include "gen/generator.hpp"
+#include "lang/printer.hpp"
+#include "opt/pass.hpp"
+
+using namespace dce;
+
+namespace {
+
+corpus::CampaignPlan
+benchPlan()
+{
+    // Mirrors BM_CheckpointedCampaign in bench_throughput: same seed
+    // window, chunking, and builds, so the equiv overhead diffs
+    // cleanly against the established campaign baselines.
+    corpus::CampaignPlan plan;
+    plan.firstSeed = 5000;
+    plan.count = 48;
+    plan.chunkSize = 8;
+    plan.builds = {
+        {compiler::CompilerId::Alpha, compiler::OptLevel::O3, SIZE_MAX},
+        {compiler::CompilerId::Beta, compiler::OptLevel::O3, SIZE_MAX},
+    };
+    plan.computePrimary = false;
+    return plan;
+}
+
+std::string
+scratchDir(const std::string &tag, int iteration)
+{
+    return "/tmp/dce_bench_equiv_" + tag + "_" +
+           std::to_string(::getpid()) + "_" + std::to_string(iteration);
+}
+
+/** One campaign store shared by every BM_EquivAnalysis iteration —
+ * the analysis only reads it, so building it once keeps the timed
+ * region pure oracle work. */
+corpus::CorpusStore &
+sharedStore()
+{
+    static std::string dir = scratchDir("shared", 0);
+    static std::unique_ptr<corpus::CorpusStore> store = [] {
+        std::filesystem::remove_all(dir);
+        auto opened = corpus::CorpusStore::open(dir);
+        corpus::CheckpointRunOptions options;
+        options.checkpointEveryChunks = 1;
+        corpus::runCheckpointed(*opened, benchPlan(), options);
+        return opened;
+    }();
+    return *store;
+}
+
+const char kPairBase[] = "int g = 1;\n"
+                         "int main(void) {\n"
+                         "  int t;\n"
+                         "  if (g) { t = 1; } else { t = 4; }\n"
+                         "  if (0 == 3) { return 5; }\n"
+                         "  return 0;\n"
+                         "}\n";
+
+const char kPairVariant[] = "int g = 1;\n"
+                            "int main(void) {\n"
+                            "  int t;\n"
+                            "  if (g) { t = 1; } else { t = 4; }\n"
+                            "  if (t == 3) { return 5; }\n"
+                            "  return 0;\n"
+                            "}\n";
+
+} // namespace
+
+static void
+BM_CheckpointedCampaignBaseline(benchmark::State &state)
+{
+    // The campaign the oracle rides on: its cost is the denominator of
+    // the equiv overhead ratio.
+    int iteration = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::string dir = scratchDir("single", iteration++);
+        std::filesystem::remove_all(dir);
+        {
+            auto store = corpus::CorpusStore::open(dir);
+            corpus::CheckpointRunOptions options;
+            options.checkpointEveryChunks = 1;
+            state.ResumeTiming();
+            benchmark::DoNotOptimize(
+                corpus::runCheckpointed(*store, benchPlan(), options));
+            state.PauseTiming();
+        }
+        std::filesystem::remove_all(dir);
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations() * benchPlan().count);
+}
+BENCHMARK(BM_CheckpointedCampaignBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_EquivAnalysis(benchmark::State &state)
+{
+    corpus::CorpusStore &store = sharedStore();
+    const unsigned k = static_cast<unsigned>(state.range(0));
+    uint64_t variants = 0;
+    for (auto _ : state) {
+        support::MetricsRegistry registry;
+        equiv::EquivOptions options;
+        options.variantsPerProgram = k;
+        options.maxChainLength = 3;
+        options.seed = 2026;
+        options.metrics = &registry;
+        auto summary = equiv::runEquivAnalysis(store, options);
+        benchmark::DoNotOptimize(summary);
+        variants += summary ? summary->variants + summary->rejected()
+                            : 0;
+    }
+    // Items = variants derived (equivalent + rejected): the unit the
+    // oracle pays for — derive, execute, and compile on every build.
+    state.SetItemsProcessed(static_cast<int64_t>(variants));
+}
+BENCHMARK(BM_EquivAnalysis)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+static void
+BM_DeriveVariant(benchmark::State &state)
+{
+    // The transform engine alone: clone + edits + reparse per variant,
+    // no interpreter or compiler in the loop.
+    std::unique_ptr<lang::TranslationUnit> base =
+        gen::generateProgram(5001);
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        std::vector<equiv::TransformKind> chain;
+        auto variant = equiv::deriveVariant(*base, seed++, 3, &chain);
+        benchmark::DoNotOptimize(variant);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeriveVariant)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EquivPairOracle(benchmark::State &state)
+{
+    // The positive-control probe: both sides instrumented, ground-
+    // truthed, and compiled under an explicit pass configuration.
+    opt::PassConfig config;
+    config.jumpThreading = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            equiv::checkEquivPair(kPairBase, kPairVariant, config,
+                                  compiler::OptLevel::O2));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EquivPairOracle)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -22,6 +22,11 @@
  *   --events <file>    write the deterministic event log (JSONL)
  *   --metrics <file>   append periodic metrics snapshots (JSONL)
  *   --report <dir>     render report.md/report.html + dossiers
+ *   --equiv <K>        after a completed campaign, run the metamorphic
+ *                      analysis (K variants per corpus program), triage
+ *                      its findings through the store's verdict cache,
+ *                      persist equiv.json, and append the deterministic
+ *                      metamorphic summary block to the output
  *   --serve <port>     serve live ops endpoints (loopback; 0 picks an
  *                      ephemeral port, printed on startup)
  *   --serve-wait       after the run (and report), keep serving until
@@ -41,6 +46,7 @@
 
 #include "corpus/checkpoint.hpp"
 #include "corpus/store.hpp"
+#include "equiv/engine.hpp"
 #include "report/event_log.hpp"
 #include "report/report.hpp"
 #include "report/snapshot.hpp"
@@ -104,6 +110,7 @@ struct Flags {
     uint16_t servePort = 0;
     bool serveWait = false;
     unsigned fleetWorkers = 0;
+    unsigned equivVariants = 0;
 };
 
 /** Coordinator mode: shard demoPlan() across worker processes (each
@@ -180,7 +187,8 @@ main(int argc, char **argv)
                      "usage: %s full|run|resume <store-dir> "
                      "[halt-chunks] [--events <file>] "
                      "[--metrics <file>] [--report <dir>] "
-                     "[--serve <port>] [--serve-wait]\n",
+                     "[--equiv <K>] [--serve <port>] "
+                     "[--serve-wait]\n",
                      argv[0]);
         return 2;
     }
@@ -220,6 +228,9 @@ main(int argc, char **argv)
                 uint16_t(std::strtoul(value(), nullptr, 10));
         } else if (arg == "--serve-wait")
             flags.serveWait = true;
+        else if (arg == "--equiv")
+            flags.equivVariants =
+                unsigned(std::strtoul(value(), nullptr, 10));
         else if (arg == "--fleet")
             flags.fleetWorkers =
                 unsigned(std::strtoul(value(), nullptr, 10));
@@ -320,6 +331,30 @@ main(int argc, char **argv)
     if (!result)
         return fail(error);
 
+    // Metamorphic analysis runs as post-campaign store analysis (like
+    // the report): pure in (store contents, options), so full and
+    // kill/resume runs produce byte-identical equiv.json, summary
+    // block, and report section.
+    std::optional<equiv::EquivSummary> equiv_summary;
+    if (flags.equivVariants > 0 && result->completed) {
+        equiv::EquivOptions equiv_options;
+        equiv_options.variantsPerProgram = flags.equivVariants;
+        equiv_options.metrics = &registry;
+        equiv_options.events = &log;
+        equiv_summary = equiv::runEquivAnalysis(*store, equiv_options);
+        if (equiv_summary) {
+            corpus::StoreVerdictCache cache(*store);
+            core::TriageOptions triage_options;
+            triage_options.metrics = &registry;
+            triage_options.verdictCache = &cache;
+            equiv::triageEquivFindings(*equiv_summary, triage_options);
+            if (!store->writeEquivState(
+                    equiv::serializeEquivSummary(*equiv_summary),
+                    &error))
+                return fail(error);
+        }
+    }
+
     if (!flags.eventsPath.empty() && !log.write(flags.eventsPath)) {
         std::fprintf(stderr, "error: writing event log %s failed\n",
                      flags.eventsPath.c_str());
@@ -337,6 +372,9 @@ main(int argc, char **argv)
     }
 
     int status = printSummary(*result);
+    if (equiv_summary)
+        std::fputs(equiv::equivSummaryText(*equiv_summary).c_str(),
+                   stdout);
     if (flags.serve && flags.serveWait) {
         // Summary and artifacts are on disk; hold the endpoints open
         // for drills until an operator asks us to go.

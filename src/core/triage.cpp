@@ -70,7 +70,8 @@ InterestingnessTest::InterestingnessTest(
     const BuildSpec &reference, support::MetricsRegistry *metrics,
     SurvivalSource source)
     : marker_(marker), markerName_(instrument::markerName(marker)),
-      missedBy_(missed_by), reference_(reference), source_(source)
+      missedBy_(missed_by), reference_(reference),
+      sameBuild_(missed_by == reference), source_(source)
 {
     support::MetricsRegistry &registry =
         metrics ? *metrics : support::MetricsRegistry::global();
@@ -124,6 +125,10 @@ InterestingnessTest::test(const std::string &candidate,
     if (!aliveMarkers(*lowered, missedBy_.make(), {}, source_)
              .count(marker_))
         return reject(RejectReason::NotDifferential);
+    // Equiv findings set reference == missedBy: the same build cannot
+    // both miss and eliminate the marker, so the probe is vacuous.
+    if (sameBuild_)
+        return true;
     compiles_->add();
     if (aliveMarkers(*lowered, reference_.make(), {}, source_)
             .count(marker_))
@@ -254,9 +259,12 @@ triageFindings(const std::vector<Finding> &findings,
         std::map<std::string, size_t> first_with_key;
         for (size_t i = 0; i < findings.size(); ++i) {
             const Finding &finding = findings[i];
-            instrument::Instrumented prog =
-                makeProgram(finding.seed, options.generator);
-            sources[i] = lang::printUnit(*prog.unit);
+            sources[i] =
+                options.sourceFor
+                    ? options.sourceFor(finding, i)
+                    : lang::printUnit(
+                          *makeProgram(finding.seed, options.generator)
+                               .unit);
             keys[i].programHash = support::fnv1a64Hex(sources[i]);
             keys[i].markers = {finding.marker};
             keys[i].missedBy = finding.missedBy.name();
@@ -303,10 +311,12 @@ triageFindings(const std::vector<Finding> &findings,
                 }
                 std::string source =
                     keyed ? sources[i]
-                          : lang::printUnit(*makeProgram(
-                                                 finding.seed,
-                                                 options.generator)
-                                                 .unit);
+                    : options.sourceFor
+                        ? options.sourceFor(finding, i)
+                        : lang::printUnit(*makeProgram(
+                                               finding.seed,
+                                               options.generator)
+                                               .unit);
 
                 InterestingnessTest interesting(
                     finding.marker, finding.missedBy,

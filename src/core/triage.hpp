@@ -16,6 +16,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -79,7 +80,11 @@ const char *rejectReasonName(RejectReason reason);
 /**
  * The reduction predicate: the candidate parses, the marker is truly
  * dead, the reporting build misses it, and the reference build
- * eliminates it. One parse / lowering / execution per candidate; the
+ * eliminates it. When the finding's reference *is* the missed-by build
+ * (metamorphic findings: the feasibility evidence is an equivalent
+ * program, not a second build), the reference probe is vacuous and
+ * skipped — the predicate degrades to "this build misses this truly
+ * dead marker". One parse / lowering / execution per candidate; the
  * two differential builds run over clones of that single lowering via
  * Compiler::compileLowered — the campaign engine's lowering cache in
  * miniature. Every rejection is classified (RejectReason) and counted
@@ -117,6 +122,7 @@ class InterestingnessTest {
     std::string markerName_;
     BuildSpec missedBy_;
     BuildSpec reference_;
+    bool sameBuild_ = false; ///< reference == missedBy (equiv findings)
     SurvivalSource source_;
     /** Reject counters in RejectReason order, plus the pipeline
      * counter — resolved once so the per-candidate path is lock-free. */
@@ -253,6 +259,16 @@ struct TriageOptions {
     unsigned maxTests = 800;
     /** Registry receiving the reduce.* metrics; null = the global. */
     support::MetricsRegistry *metrics = nullptr;
+    /**
+     * Source of each finding's program text. Default (unset): the
+     * deterministic regeneration makeProgram(finding.seed, generator).
+     * The metamorphic pipeline sets this — its findings live in
+     * *derived variants* whose text no seed regenerates (src/equiv).
+     * Must be pure: called once per finding, from the serial keying
+     * stage or the parallel reduce stage.
+     */
+    std::function<std::string(const Finding &finding, size_t index)>
+        sourceFor;
     /**
      * Optional verdict cache. When set, findings are keyed by
      * VerdictKey before stage 1: cache hits (and same-key duplicates

@@ -729,6 +729,42 @@ CorpusStore::hasCheckpoint() const
     return fs::exists(dir_ + "/checkpoint.json", ec);
 }
 
+bool
+CorpusStore::writeEquivState(const std::string &json, StoreError *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Same durability order as checkpoints: data, then pointer.
+    if (!flushLocked(error))
+        return false;
+    if (!writeFileAtomic(dir_ + "/equiv.json", json, error))
+        return false;
+    syncDir(dir_);
+    return true;
+}
+
+std::optional<std::string>
+CorpusStore::readEquivState(StoreError *error)
+{
+    std::string path = dir_ + "/equiv.json";
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        setError(error, StoreStatus::NotFound,
+                 "no equiv state in " + dir_);
+        return std::nullopt;
+    }
+    std::string text;
+    if (!readWholeFile(path, text, error))
+        return std::nullopt;
+    return text;
+}
+
+bool
+CorpusStore::hasEquivState() const
+{
+    std::error_code ec;
+    return fs::exists(dir_ + "/equiv.json", ec);
+}
+
 //===------------------------------------------------------------------===//
 // Maintenance
 //===------------------------------------------------------------------===//

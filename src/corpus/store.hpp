@@ -12,6 +12,7 @@
  *     index.<N>.jsonl      one CRC-sealed JSON line per entry
  *     payload.<N>.dat      concatenated payload blobs
  *     checkpoint.json      latest campaign checkpoint (atomic swap)
+ *     equiv.json           latest metamorphic analysis (atomic swap)
  *
  * Every index line carries a trailing `"c"` field — the CRC-32 of the
  * line up to that field — and every payload blob is covered by a
@@ -150,6 +151,16 @@ class CorpusStore {
     std::optional<std::string>
     readCheckpoint(StoreError *error = nullptr);
     bool hasCheckpoint() const;
+
+    /** Durably record @p json (a sealed equiv-summary line — see
+     * equiv::serializeEquivSummary) as the store's latest metamorphic
+     * analysis: flush, then temp-file-plus-rename equiv.json. Same
+     * crash-safety contract as writeCheckpoint. */
+    bool writeEquivState(const std::string &json,
+                         StoreError *error = nullptr);
+    std::optional<std::string>
+    readEquivState(StoreError *error = nullptr);
+    bool hasEquivState() const;
 
     //===-- maintenance ------------------------------------------------===//
 

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Semantics-preserving MiniC AST transforms — the metamorphic half of
+ * the equivalence-transformation oracle (DESIGN.md §16, after
+ * Optimization-Guided Equivalence Transformations). Each transform
+ * rewrites a marker-free, sema-checked unit at one rng-chosen site
+ * into a program with identical observable behaviour (exit value,
+ * external-call trace, final globals, trap/termination status):
+ *
+ *   LoopRotate      while (c) B        => if (c) { do B while (c); }
+ *   Reassociate     (a op b) op c      => a op (b op c)   and
+ *                   a op b             => b op a          for pure a, b
+ *                   (op in {+, *, &, |, ^}; MiniC arithmetic wraps, so
+ *                   these are exact, and left-to-right evaluation
+ *                   order of a, b, c is preserved by reassociation)
+ *   BranchSwap      if (c) A else B    => if (!c) B else A
+ *   BranchFlatten   if (a) { if (b) S }=> if (a && b) S   (no elses;
+ *                   short-circuit && preserves b's evaluation
+ *                   condition exactly)
+ *   ConstantReexpr  k                  => (k - d) + d     (0 => d - d)
+ *                   value-preserving, so safe even in divisor and
+ *                   shift-amount positions
+ *   StmtCommute     S1; S2;            => S2; S1;         for adjacent
+ *                   call-free, memory-free statements with disjoint
+ *                   read/write sets (by resolved VarDecl identity)
+ *
+ * The transforms are deliberately conservative — each is argued
+ * correct on MiniC's trap-free semantics (support/ints.hpp: wrapping
+ * arithmetic, safe div/rem, masked shifts), and the interpreter
+ * re-checks every derived variant anyway (engine.hpp), so a bug here
+ * surfaces as a counted "not-equivalent" reject, never as a finding.
+ *
+ * Everything is a pure function of (AST, seed): deriveVariant with the
+ * same inputs yields the same variant bytes on any thread count.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "support/rng.hpp"
+
+namespace dce::equiv {
+
+enum class TransformKind {
+    LoopRotate,
+    Reassociate,
+    BranchSwap,
+    BranchFlatten,
+    ConstantReexpr,
+    StmtCommute,
+};
+
+/** Stable label for @p kind (metrics / provenance / reports). */
+const char *transformKindName(TransformKind kind);
+
+/** Parse a transformKindName back; nullopt for unknown labels. */
+std::optional<TransformKind> transformKindFromName(std::string_view name);
+
+/** Every transform, in enum order. */
+const std::vector<TransformKind> &allTransforms();
+
+/**
+ * Apply one @p kind transform to @p unit at an rng-chosen site.
+ * @p unit must be marker-free and sema-checked (site analysis reads
+ * the types and resolved declarations sema installed). Returns false
+ * when the unit offers no site for this kind; @p unit is unchanged
+ * then. On success the tree is structurally edited; callers must
+ * round-trip through print + parseAndCheck before the next transform
+ * or any downstream use (fresh nodes carry no sema annotations).
+ */
+bool applyTransform(lang::TranslationUnit &unit, TransformKind kind,
+                    Rng &rng);
+
+/**
+ * Derive one variant of @p stripped_base: clone, apply up to
+ * @p max_chain transforms drawn from Rng(seed) — re-parsing through
+ * Sema after each edit — and return the marker-free, sema-checked
+ * variant plus the chain actually applied. Null when no transform
+ * found a site (an unchanged program is not a variant). A pure
+ * function of (base text, seed, max_chain).
+ */
+std::unique_ptr<lang::TranslationUnit>
+deriveVariant(const lang::TranslationUnit &stripped_base, uint64_t seed,
+              unsigned max_chain, std::vector<TransformKind> *chain);
+
+} // namespace dce::equiv

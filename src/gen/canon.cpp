@@ -1,0 +1,141 @@
+#include "gen/canon.hpp"
+
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
+#include "support/markers.hpp"
+
+namespace dce::gen {
+
+using lang::BlockStmt;
+using lang::CallExpr;
+using lang::DoWhileStmt;
+using lang::Expr;
+using lang::ExprKind;
+using lang::ExprStmt;
+using lang::ForStmt;
+using lang::FunctionDecl;
+using lang::IfStmt;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::SwitchStmt;
+using lang::TranslationUnit;
+using lang::WhileStmt;
+
+//===------------------------------------------------------------------===//
+// Marker stripping
+//===------------------------------------------------------------------===//
+
+namespace {
+
+bool
+isMarkerCallStmt(const Stmt &stmt)
+{
+    if (stmt.kind() != StmtKind::ExprStmt)
+        return false;
+    const Expr *expr = static_cast<const ExprStmt &>(stmt).expr.get();
+    return expr && expr->kind() == ExprKind::Call &&
+           support::markerIndex(
+               static_cast<const CallExpr *>(expr)->callee)
+               .has_value();
+}
+
+void stripStmt(Stmt &stmt);
+
+void
+stripBlock(BlockStmt &block)
+{
+    std::erase_if(block.stmts, [](const lang::StmtPtr &stmt) {
+        return isMarkerCallStmt(*stmt);
+    });
+    for (const lang::StmtPtr &stmt : block.stmts)
+        stripStmt(*stmt);
+}
+
+void
+stripStmt(Stmt &stmt)
+{
+    switch (stmt.kind()) {
+    case StmtKind::Block:
+        stripBlock(static_cast<BlockStmt &>(stmt));
+        break;
+    case StmtKind::If: {
+        auto &s = static_cast<IfStmt &>(stmt);
+        stripStmt(*s.thenStmt);
+        if (s.elseStmt)
+            stripStmt(*s.elseStmt);
+        break;
+    }
+    case StmtKind::While:
+        stripStmt(*static_cast<WhileStmt &>(stmt).body);
+        break;
+    case StmtKind::DoWhile:
+        stripStmt(*static_cast<DoWhileStmt &>(stmt).body);
+        break;
+    case StmtKind::For:
+        stripStmt(*static_cast<ForStmt &>(stmt).body);
+        break;
+    case StmtKind::Switch:
+        for (lang::SwitchCase &arm :
+             static_cast<SwitchStmt &>(stmt).cases)
+            stripBlock(*arm.body);
+        break;
+    default:
+        break;
+    }
+}
+
+} // namespace
+
+void
+stripMarkers(TranslationUnit &unit)
+{
+    for (const auto &fn : unit.functions) {
+        if (fn->body)
+            stripBlock(*fn->body);
+    }
+    // Drop the body-less DCEMarkerN declarations, remapping declOrder's
+    // function indices around the holes.
+    std::vector<size_t> remap(unit.functions.size(), SIZE_MAX);
+    std::vector<std::unique_ptr<FunctionDecl>> kept;
+    for (size_t i = 0; i < unit.functions.size(); ++i) {
+        auto &fn = unit.functions[i];
+        if (!fn->body && support::markerIndex(fn->name))
+            continue;
+        remap[i] = kept.size();
+        kept.push_back(std::move(fn));
+    }
+    std::vector<std::pair<bool, size_t>> order;
+    order.reserve(unit.declOrder.size());
+    for (auto [is_function, index] : unit.declOrder) {
+        if (!is_function)
+            order.emplace_back(false, index);
+        else if (remap[index] != SIZE_MAX)
+            order.emplace_back(true, remap[index]);
+    }
+    unit.functions = std::move(kept);
+    unit.declOrder = std::move(order);
+}
+
+std::unique_ptr<TranslationUnit>
+parseStripped(std::string_view canonical_text)
+{
+    DiagnosticEngine diags;
+    auto unit = lang::parseAndCheck(canonical_text, diags);
+    if (!unit)
+        return nullptr;
+    stripMarkers(*unit);
+    return unit;
+}
+
+Canonical
+canonicalize(const TranslationUnit &unit)
+{
+    Canonical canon{instrument::instrumentUnit(unit), {}, {}};
+    canon.text = lang::printUnit(*canon.program.unit);
+    canon.hash = support::fnv1a64Hex(canon.text);
+    return canon;
+}
+
+} // namespace dce::gen

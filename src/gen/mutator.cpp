@@ -4,11 +4,11 @@
 #include <cassert>
 #include <utility>
 
+#include "gen/canon.hpp"
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
-#include "support/markers.hpp"
 #include "support/rng.hpp"
 
 namespace dce::gen {
@@ -54,101 +54,6 @@ mutationKindName(MutationKind kind)
         return "statement-splice";
     }
     return "unknown";
-}
-
-//===------------------------------------------------------------------===//
-// Marker stripping
-//===------------------------------------------------------------------===//
-
-namespace {
-
-bool
-isMarkerCallStmt(const Stmt &stmt)
-{
-    if (stmt.kind() != StmtKind::ExprStmt)
-        return false;
-    const Expr *expr = static_cast<const ExprStmt &>(stmt).expr.get();
-    return expr && expr->kind() == ExprKind::Call &&
-           support::markerIndex(
-               static_cast<const CallExpr *>(expr)->callee)
-               .has_value();
-}
-
-void stripStmt(Stmt &stmt);
-
-void
-stripBlock(BlockStmt &block)
-{
-    std::erase_if(block.stmts, [](const lang::StmtPtr &stmt) {
-        return isMarkerCallStmt(*stmt);
-    });
-    for (const lang::StmtPtr &stmt : block.stmts)
-        stripStmt(*stmt);
-}
-
-void
-stripStmt(Stmt &stmt)
-{
-    switch (stmt.kind()) {
-    case StmtKind::Block:
-        stripBlock(static_cast<BlockStmt &>(stmt));
-        break;
-    case StmtKind::If: {
-        auto &s = static_cast<IfStmt &>(stmt);
-        stripStmt(*s.thenStmt);
-        if (s.elseStmt)
-            stripStmt(*s.elseStmt);
-        break;
-    }
-    case StmtKind::While:
-        stripStmt(*static_cast<WhileStmt &>(stmt).body);
-        break;
-    case StmtKind::DoWhile:
-        stripStmt(*static_cast<DoWhileStmt &>(stmt).body);
-        break;
-    case StmtKind::For:
-        stripStmt(*static_cast<ForStmt &>(stmt).body);
-        break;
-    case StmtKind::Switch:
-        for (lang::SwitchCase &arm :
-             static_cast<SwitchStmt &>(stmt).cases)
-            stripBlock(*arm.body);
-        break;
-    default:
-        break;
-    }
-}
-
-} // namespace
-
-void
-stripMarkers(TranslationUnit &unit)
-{
-    for (const auto &fn : unit.functions) {
-        if (fn->body)
-            stripBlock(*fn->body);
-    }
-    // Drop the body-less DCEMarkerN declarations, remapping declOrder's
-    // function indices around the holes.
-    std::vector<size_t> remap(unit.functions.size(), SIZE_MAX);
-    std::vector<std::unique_ptr<FunctionDecl>> kept;
-    for (size_t i = 0; i < unit.functions.size(); ++i) {
-        auto &fn = unit.functions[i];
-        if (!fn->body && support::markerIndex(fn->name))
-            continue;
-        remap[i] = kept.size();
-        kept.push_back(std::move(fn));
-    }
-    std::vector<std::pair<bool, size_t>> order;
-    order.reserve(unit.declOrder.size());
-    for (auto [is_function, index] : unit.declOrder) {
-        if (!is_function)
-            order.emplace_back(false, index);
-        else if (remap[index] != SIZE_MAX)
-            order.emplace_back(true, remap[index]);
-    }
-    unit.functions = std::move(kept);
-    unit.declOrder = std::move(order);
 }
 
 //===------------------------------------------------------------------===//
@@ -444,11 +349,9 @@ Mutator::addToPool(std::string_view canonical_text)
     std::string hash = support::fnv1a64Hex(canonical_text);
     if (poolHashes_.count(hash))
         return false;
-    DiagnosticEngine diags;
-    auto unit = lang::parseAndCheck(canonical_text, diags);
+    auto unit = parseStripped(canonical_text);
     if (!unit)
         return false;
-    stripMarkers(*unit);
     poolHashes_.insert(std::move(hash));
     pool_.push_back(std::move(unit));
     return true;
@@ -498,18 +401,16 @@ Mutator::makeProgram(uint64_t seed, const GenConfig &fallback) const
                 count("gen.mutation_rejected");
                 continue;
             }
-            instrument::Instrumented prog =
-                instrument::instrumentUnit(*candidate);
+            Canonical canon = canonicalize(*candidate);
             // Stale filter: an edit that round-tripped back to a
             // program the corpus already holds is wasted campaign
             // time — its record exists.
-            std::string canonical = lang::printUnit(*prog.unit);
-            if (poolHashes_.count(support::fnv1a64Hex(canonical))) {
+            if (poolHashes_.count(canon.hash)) {
                 count("gen.mutation_stale");
                 continue;
             }
             count("gen.mutations");
-            return prog;
+            return std::move(canon.program);
         }
     }
     count("gen.mutation_fallback");

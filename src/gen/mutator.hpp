@@ -43,6 +43,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "gen/canon.hpp"
 #include "gen/generator.hpp"
 #include "instrument/instrument.hpp"
 #include "lang/ast.hpp"
@@ -112,12 +113,5 @@ class Mutator {
     /** fnv1a64Hex of every pooled canonical text — the stale filter. */
     std::unordered_set<std::string> poolHashes_;
 };
-
-/**
- * Remove every DCEMarker call statement and marker declaration from
- * @p unit in place (the inverse of instrument::instrumentUnit, up to
- * re-instrumentation). Exposed for tests and the reducer.
- */
-void stripMarkers(lang::TranslationUnit &unit);
 
 } // namespace dce::gen

@@ -171,6 +171,12 @@ collectReportData(corpus::CorpusStore &store,
         data.fingerprints.push_back(key.fingerprint());
     }
 
+    // The metamorphic analysis is optional state: a store that never
+    // ran one simply has no section. A damaged equiv.json is treated
+    // the same (the seal catches it), never a report failure.
+    if (std::optional<std::string> line = store.readEquivState())
+        data.equiv = equiv::readEquivSummary(*line);
+
     setError(error, corpus::StoreStatus::Ok, "");
     return data;
 }
@@ -266,6 +272,68 @@ renderCampaignReportMarkdown(const CampaignReportData &data)
                    std::to_string(i) + ".md) |\n";
         }
         out += "\n";
+    }
+
+    if (data.equiv) {
+        const equiv::EquivSummary &eq = *data.equiv;
+        out += "## Metamorphic testing\n\n";
+        out += "| field | value |\n|---|---|\n";
+        out += "| programs analysed | " +
+               std::to_string(eq.programs) + " |\n";
+        out += "| variants per program | " +
+               std::to_string(eq.variantsPerProgram) + " |\n";
+        out += "| variant stream seed | " + std::to_string(eq.seed) +
+               " |\n";
+        out += "| equivalent variants | " +
+               std::to_string(eq.variants) + " |\n";
+        out += "| rejected variants | " +
+               std::to_string(eq.rejected()) + " |\n\n";
+        if (!eq.rejects.empty()) {
+            out += "| reject reason | count |\n|---|---|\n";
+            for (const auto &[reason, count] : eq.rejects)
+                out += "| " + reason + " | " +
+                       std::to_string(count) + " |\n";
+            out += "\n";
+        }
+        if (eq.findings.empty()) {
+            out += "No metamorphic findings.\n\n";
+        } else {
+            out += "| # | slot | build | marker | missed base | "
+                   "missed variant | chain | signature |\n"
+                   "|---|---|---|---|---|---|---|---|\n";
+            for (size_t i = 0; i < eq.findings.size(); ++i) {
+                const equiv::EquivFinding &finding = eq.findings[i];
+                std::string chain;
+                for (equiv::TransformKind kind : finding.chain) {
+                    if (!chain.empty())
+                        chain += " + ";
+                    chain += equiv::transformKindName(kind);
+                }
+                out += "| " + std::to_string(i) + " | " +
+                       std::to_string(finding.slot) + " | " +
+                       finding.build + " | " +
+                       std::to_string(finding.marker) + " | " +
+                       std::to_string(finding.missedBase) + " | " +
+                       std::to_string(finding.missedVariant) + " | " +
+                       chain + " | " +
+                       (finding.signature.empty() ? "-"
+                                                  : finding.signature) +
+                       " |\n";
+            }
+            out += "\n";
+        }
+        if (!eq.outliers.empty()) {
+            out += "### Instruction-count outliers\n\n";
+            out += "| slot | build | base instrs | variant instrs |\n"
+                   "|---|---|---|---|\n";
+            for (const equiv::EquivOutlier &outlier : eq.outliers) {
+                out += "| " + std::to_string(outlier.slot) + " | " +
+                       outlier.build + " | " +
+                       std::to_string(outlier.baseInstrs) + " | " +
+                       std::to_string(outlier.variantInstrs) + " |\n";
+            }
+            out += "\n";
+        }
     }
 
     if (!data.state.counters.empty()) {

@@ -22,6 +22,7 @@
 
 #include "corpus/checkpoint.hpp"
 #include "corpus/store.hpp"
+#include "equiv/engine.hpp"
 #include "report/event_log.hpp"
 
 namespace dce::report {
@@ -52,6 +53,9 @@ struct CampaignReportData {
     uint64_t validRecords = 0;
     uint64_t totalChunks = 0;
     bool complete = false; ///< every chunk committed
+    /** The store's metamorphic analysis (equiv.json), when one was
+     * run — renders as the "Metamorphic testing" section. */
+    std::optional<equiv::EquivSummary> equiv;
 };
 
 /**

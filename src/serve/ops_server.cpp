@@ -127,6 +127,8 @@ OpsServer::handle(const HttpRequest &request)
         return dossierEndpoint(request);
     if (path == "/events")
         return eventsEndpoint(request);
+    if (path == "/equiv")
+        return equivEndpoint();
     if (path == "/fleet")
         return fleetEndpoint();
     if (path == "/quitquitquit" && options_.allowRemoteShutdown)
@@ -260,6 +262,21 @@ OpsServer::reportEndpoint(bool html) const
         response.body = std::move(markdown);
     }
     return response;
+}
+
+HttpResponse
+OpsServer::equivEndpoint() const
+{
+    if (!options_.store)
+        return HttpResponse::text(404, "no store attached\n");
+    // The stored line is already sealed JSON — serve it verbatim, so
+    // the served bytes equal equiv.json on disk (same contract as
+    // /report vs report.md).
+    std::optional<std::string> line =
+        options_.store->readEquivState();
+    if (!line)
+        return HttpResponse::text(404, "no metamorphic analysis\n");
+    return jsonResponse(200, *line + "\n");
 }
 
 HttpResponse

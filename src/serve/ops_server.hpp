@@ -127,6 +127,7 @@ class OpsServer {
     HttpResponse readyzEndpoint() const;
     HttpResponse progressEndpoint() const;
     HttpResponse reportEndpoint(bool html) const;
+    HttpResponse equivEndpoint() const;
     HttpResponse dossierIndexEndpoint() const;
     HttpResponse dossierEndpoint(const HttpRequest &request) const;
     HttpResponse eventsEndpoint(const HttpRequest &request) const;

@@ -65,6 +65,10 @@ inline constexpr uint64_t kPhaseBisect = 5;
 /// Operational events with wall-clock semantics (watchdog stalls);
 /// absent from stall-free runs, so they never perturb byte-identity.
 inline constexpr uint64_t kPhaseOps = 6;
+/// Metamorphic (equivalence-transformation) analysis: equiv_started,
+/// then per-finding/outlier events with major = record slot + 1 and
+/// minor = variant index, then equiv_finished (major = ~0).
+inline constexpr uint64_t kPhaseEquiv = 7;
 
 /// chunk_committed sorts after every per-slot event of its chunk.
 inline constexpr uint64_t kChunkCommitMinor = ~uint64_t{0};
