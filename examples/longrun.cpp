@@ -17,11 +17,30 @@
  *   longrun fleet-worker <fleet-dir> <store-name>
  *                                       (internal) one fleet worker —
  *                                       what the coordinator execs
+ *   longrun trace-merge <fleet-dir> [out]
+ *                                       re-merge a traced fleet's
+ *                                       traces/ into one Perfetto file
+ *                                       (defaults to the coordinator's
+ *                                       own output path, so the two
+ *                                       merges are diffably identical)
  *
  * Optional flags (any mode):
  *   --events <file>    write the deterministic event log (JSONL)
  *   --metrics <file>   append periodic metrics snapshots (JSONL)
  *   --report <dir>     render report.md/report.html + dossiers
+ *   --trace <file>     record Chrome-trace spans; single-process runs
+ *                      write <file> directly, a --fleet run traces
+ *                      every process and copies the merged timeline to
+ *                      <file>
+ *   --sample <ms>      time-series sampling cadence (default 500 when
+ *                      serving, else off); feeds /timeseries, the
+ *                      /dashboard sparklines, and the throughput
+ *                      monitor behind /readyz — and, under --fleet,
+ *                      each worker's metrics.jsonl snapshot cadence
+ *   --latency-report   add the wall-clock "Pipeline latency" section
+ *                      (stage p50/p90/p99) to the --report output;
+ *                      off by default because that section is NOT
+ *                      byte-reproducible across runs
  *   --equiv <K>        after a completed campaign, run the metamorphic
  *                      analysis (K variants per corpus program), triage
  *                      its findings through the store's verdict cache,
@@ -40,20 +59,26 @@
  * `--report` output of both stores (the report derives from the store
  * alone, so kill/resume must not change a byte of it).
  */
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "corpus/checkpoint.hpp"
 #include "corpus/store.hpp"
 #include "equiv/engine.hpp"
+#include "report/anomaly.hpp"
 #include "report/event_log.hpp"
 #include "report/report.hpp"
 #include "report/snapshot.hpp"
 #include "fleet/coordinator.hpp"
+#include "fleet/trace_merge.hpp"
 #include "fleet/worker.hpp"
 #include "report/watchdog.hpp"
 #include "serve/ops_server.hpp"
+#include "support/timeseries.hpp"
+#include "support/trace.hpp"
 
 using namespace dce;
 
@@ -106,11 +131,58 @@ struct Flags {
     std::string eventsPath;
     std::string metricsPath;
     std::string reportDir;
+    std::string tracePath;
+    uint64_t sampleMs = 0;
+    bool latencyReport = false;
     bool serve = false;
     uint16_t servePort = 0;
     bool serveWait = false;
     unsigned fleetWorkers = 0;
     unsigned equivVariants = 0;
+};
+
+/** The liveness stack behind /timeseries, /dashboard, and /readyz's
+ * throughput gate: one ring, one sampler thread, one EWMA monitor.
+ * quiesce() detaches the monitor *before* the sampler's final stop()
+ * sample, so a finished campaign's zero rate never reads as a
+ * degradation while --serve-wait holds the endpoints open. */
+struct LivenessStack {
+    support::TimeSeries series;
+    std::unique_ptr<report::ThroughputMonitor> monitor;
+    std::unique_ptr<support::TimeSeriesSampler> sampler;
+    std::atomic<bool> monitorLive{true};
+
+    void
+    start(uint64_t interval_ms, support::MetricsRegistry &registry,
+          support::EventSink *events,
+          std::function<void(support::MetricsRegistry &)> augment)
+    {
+        report::ThroughputMonitorOptions monitor_options;
+        monitor_options.events = events;
+        monitor_options.registry = &registry;
+        monitor = std::make_unique<report::ThroughputMonitor>(
+            monitor_options);
+        support::TimeSeriesSamplerOptions sampler_options;
+        sampler_options.intervalMs = interval_ms;
+        sampler_options.registry = &registry;
+        sampler_options.augment = std::move(augment);
+        sampler_options.onSample =
+            [this](const support::TimeSample &sample) {
+                if (monitorLive.load(std::memory_order_relaxed))
+                    monitor->observe(sample.seeds);
+            };
+        sampler = std::make_unique<support::TimeSeriesSampler>(
+            series, sampler_options);
+        sampler->start();
+    }
+
+    void
+    quiesce()
+    {
+        monitorLive.store(false, std::memory_order_relaxed);
+        if (sampler)
+            sampler->stop();
+    }
 };
 
 /** Coordinator mode: shard demoPlan() across worker processes (each
@@ -126,17 +198,37 @@ runFleetMode(const char *self, const std::string &fleet_dir,
     fleet_options.workers = flags.fleetWorkers;
     fleet_options.workerExecArgv = {self, "fleet-worker"};
     fleet_options.metrics = &registry;
+    fleet_options.trace = !flags.tracePath.empty();
+    fleet_options.snapshotIntervalMs = flags.sampleMs;
     fleet_options.logLine = [](const std::string &line) {
         std::fprintf(stderr, "%s\n", line.c_str());
     };
     fleet::FleetCoordinator coordinator(fleet_dir, demoPlan(),
                                         fleet_options);
 
+    LivenessStack liveness;
+    if (flags.sampleMs) {
+        // The coordinator's own registry has only fleet.* counters;
+        // each sample folds in the workers' latest dumps plus the
+        // lease-committed findings total, so the series is fleet-wide.
+        liveness.start(
+            flags.sampleMs, registry, nullptr,
+            [&coordinator](support::MetricsRegistry &scratch) {
+                coordinator.mergeWorkerMetrics(scratch);
+                scratch.counter("campaign.progress", "findings")
+                    .add(coordinator.progress().findings);
+            });
+    }
+
     serve::OpsServerOptions serve_options;
     serve_options.port = flags.servePort;
     serve_options.metrics = &registry;
     serve_options.fleet = &coordinator;
     serve_options.allowRemoteShutdown = flags.serveWait;
+    if (flags.sampleMs) {
+        serve_options.timeseries = &liveness.series;
+        serve_options.throughput = liveness.monitor.get();
+    }
     serve::OpsServer ops(serve_options);
     if (flags.serve) {
         std::string serve_error;
@@ -151,9 +243,22 @@ runFleetMode(const char *self, const std::string &fleet_dir,
 
     std::optional<fleet::FleetResult> result =
         coordinator.run(&error);
+    liveness.quiesce();
     if (!result)
         return fail(error);
 
+    if (!flags.tracePath.empty() &&
+        !result->mergedTracePath.empty() &&
+        result->mergedTracePath != flags.tracePath) {
+        std::optional<std::string> trace_bytes =
+            fleet::readFile(result->mergedTracePath, &error);
+        if (!trace_bytes ||
+            !fleet::writeFileAtomic(flags.tracePath, *trace_bytes,
+                                    &error))
+            return fail(error);
+    }
+
+    support::MetricsRegistry latency_registry;
     if (!flags.reportDir.empty()) {
         corpus::OpenOptions open_options;
         open_options.createIfMissing = false;
@@ -164,6 +269,10 @@ runFleetMode(const char *self, const std::string &fleet_dir,
             return fail(error);
         report::CampaignReportOptions report_options;
         report_options.html = true;
+        if (flags.latencyReport) {
+            coordinator.mergeWorkerMetrics(latency_registry);
+            report_options.latencyMetrics = &latency_registry;
+        }
         if (!report::writeCampaignReport(*merged, flags.reportDir,
                                          report_options, &error))
             return fail(error);
@@ -187,8 +296,9 @@ main(int argc, char **argv)
                      "usage: %s full|run|resume <store-dir> "
                      "[halt-chunks] [--events <file>] "
                      "[--metrics <file>] [--report <dir>] "
-                     "[--equiv <K>] [--serve <port>] "
-                     "[--serve-wait]\n",
+                     "[--trace <file>] [--sample <ms>] "
+                     "[--latency-report] [--equiv <K>] "
+                     "[--serve <port>] [--serve-wait]\n",
                      argv[0]);
         return 2;
     }
@@ -203,6 +313,19 @@ main(int argc, char **argv)
             return 2;
         }
         return fleet::runFleetWorker(dir, argv[3]);
+    }
+    if (mode == "trace-merge") {
+        std::string out = argc >= 4 ? argv[3]
+                                    : fleet::mergedTracePath(dir);
+        corpus::StoreError error;
+        std::optional<fleet::TraceMergeResult> merged =
+            fleet::mergeTraces(dir, out, &error);
+        if (!merged)
+            return fail(error);
+        std::printf("merged %llu trace file(s), %llu span(s) -> %s\n",
+                    (unsigned long long)merged->files,
+                    (unsigned long long)merged->events, out.c_str());
+        return 0;
     }
     Flags flags;
     uint64_t halt_chunks = 0;
@@ -222,6 +345,12 @@ main(int argc, char **argv)
             flags.metricsPath = value();
         else if (arg == "--report")
             flags.reportDir = value();
+        else if (arg == "--trace")
+            flags.tracePath = value();
+        else if (arg == "--sample")
+            flags.sampleMs = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--latency-report")
+            flags.latencyReport = true;
         else if (arg == "--serve") {
             flags.serve = true;
             flags.servePort =
@@ -242,6 +371,10 @@ main(int argc, char **argv)
         std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
         return 2;
     }
+    // Serving without sampling would leave /timeseries and the
+    // dashboard sparklines empty; default the cadence on.
+    if (flags.serve && !flags.sampleMs)
+        flags.sampleMs = 500;
     if (flags.fleetWorkers > 0) {
         if (mode != "full") {
             std::fprintf(stderr, "--fleet requires mode 'full'\n");
@@ -269,6 +402,16 @@ main(int argc, char **argv)
          .registry = &registry});
     if (!flags.metricsPath.empty())
         snapshots.start();
+
+    // Tracing keeps the default process identity (pid 1,
+    // "dce-campaign"), so single-process trace output is unchanged
+    // by the fleet-identity machinery.
+    if (!flags.tracePath.empty())
+        support::Tracer::global().setEnabled(true);
+
+    LivenessStack liveness;
+    if (flags.sampleMs)
+        liveness.start(flags.sampleMs, registry, &log, nullptr);
 
     // One store handle for the whole process: the campaign writes
     // through it and — when serving — /report and /dossier read
@@ -311,6 +454,10 @@ main(int argc, char **argv)
     serve_options.watchdog = &watchdog;
     serve_options.status = &board;
     serve_options.allowRemoteShutdown = flags.serveWait;
+    if (flags.sampleMs) {
+        serve_options.timeseries = &liveness.series;
+        serve_options.throughput = liveness.monitor.get();
+    }
     serve::OpsServer ops(serve_options);
     if (flags.serve) {
         std::string serve_error;
@@ -326,8 +473,15 @@ main(int argc, char **argv)
     std::optional<corpus::CheckpointedCampaign> result =
         corpus::runCheckpointed(*store, plan, options, &error);
     watchdog.stop();
+    liveness.quiesce();
     if (!flags.metricsPath.empty())
         snapshots.stop();
+    if (!flags.tracePath.empty() &&
+        !support::Tracer::global().writeJson(flags.tracePath)) {
+        std::fprintf(stderr, "error: writing trace %s failed\n",
+                     flags.tracePath.c_str());
+        return 1;
+    }
     if (!result)
         return fail(error);
 
@@ -366,6 +520,8 @@ main(int argc, char **argv)
         // and the same render the server's /report endpoint returns.
         report::CampaignReportOptions report_options;
         report_options.html = true;
+        if (flags.latencyReport)
+            report_options.latencyMetrics = &registry;
         if (!report::writeCampaignReport(*store, flags.reportDir,
                                          report_options, &error))
             return fail(error);

@@ -457,6 +457,9 @@ runCheckpointed(CorpusStore &store, const CampaignPlan &plan,
         for (const auto &[key, hist] : registry.histograms())
             if (key.rfind("campaign.stage_us", 0) == 0)
                 snap.stageUs += hist.sum;
+        snap.cacheHits = registry.counterValue("campaign.cache_hits");
+        snap.cacheMisses =
+            registry.counterValue("campaign.cache_misses");
         options.status->publish(snap);
     };
     publish_status(true); // the restored (possibly empty) baseline

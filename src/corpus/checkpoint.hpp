@@ -104,6 +104,10 @@ class CampaignStatusBoard {
         /** Σ campaign.stage_us{*} sums at publish — the committed
          * pipeline microseconds behind the seeds/s rate. */
         uint64_t stageUs = 0;
+        /** campaign.cache_hits / campaign.cache_misses at publish —
+         * the inputs to the cache-hit-rate time series. */
+        uint64_t cacheHits = 0;
+        uint64_t cacheMisses = 0;
     };
 
     void

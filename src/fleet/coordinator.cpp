@@ -15,8 +15,10 @@
 
 #include "corpus/json.hpp"
 #include "fleet/metrics_io.hpp"
+#include "fleet/trace_merge.hpp"
 #include "fleet/worker.hpp"
 #include "support/hash.hpp"
+#include "support/trace.hpp"
 
 namespace dce::fleet {
 
@@ -99,6 +101,8 @@ FleetCoordinator::initFleetDir(corpus::StoreError *error)
     config.workerThreads = options_.workerThreads;
     config.workerCheckpointEveryChunks =
         options_.workerCheckpointEveryChunks;
+    config.trace = options_.trace;
+    config.snapshotIntervalMs = options_.snapshotIntervalMs;
     if (options_.leaseChunks) {
         config.leaseChunks = options_.leaseChunks;
     } else {
@@ -128,6 +132,15 @@ FleetCoordinator::initFleetDir(corpus::StoreError *error)
     } else {
         setError(error, read_error.status, read_error.message);
         return false;
+    }
+    // A resumed fleet's PLAN.json wins over the in-memory options, so
+    // every process (including exec-mode workers reading only the
+    // file) agrees on whether this fleet traces.
+    if (config_.trace) {
+        std::filesystem::create_directories(tracesDir(fleetDir_), ec);
+        support::Tracer &tracer = support::Tracer::global();
+        tracer.setEnabled(true);
+        tracer.setProcess(uint64_t(::getpid()), "fleet-coordinator");
     }
     return LeaseTable::init(fleetDir_, config_.numChunks(),
                             config_.leaseChunks, error);
@@ -233,6 +246,8 @@ FleetCoordinator::run(corpus::StoreError *error)
     }
 
     bool all_done = false;
+    {
+    support::TraceSpan supervise_span("supervise", "fleet");
     for (;;) {
         struct pollfd pfd = {};
         pfd.fd = pipe_fds[0];
@@ -342,10 +357,14 @@ FleetCoordinator::run(corpus::StoreError *error)
             return std::nullopt;
         }
     }
+    } // supervise span
     cleanup();
 
-    std::optional<corpus::CheckpointedCampaign> merged =
-        mergeFleet(fleetDir_, error);
+    std::optional<corpus::CheckpointedCampaign> merged;
+    {
+        support::TraceSpan merge_span("merge", "fleet");
+        merged = mergeFleet(fleetDir_, error);
+    }
     if (!merged)
         return std::nullopt;
 
@@ -358,6 +377,24 @@ FleetCoordinator::run(corpus::StoreError *error)
         result.workersSpawned = spawned_;
         result.workersCrashed = crashed_;
         result.leasesReclaimed = reclaimed_;
+    }
+    if (config_.trace) {
+        // Spans above are closed by now; the coordinator's own file
+        // joins the workers' under traces/ before the fold.
+        support::Tracer::global().writeJson(
+            coordinatorTracePath(fleetDir_));
+        corpus::StoreError trace_error;
+        std::optional<TraceMergeResult> traces = mergeTraces(
+            fleetDir_, mergedTracePath(fleetDir_), &trace_error);
+        if (traces) {
+            result.mergedTracePath = mergedTracePath(fleetDir_);
+            result.traceFiles = traces->files;
+            log("fleet: merged " + std::to_string(traces->files) +
+                " trace file(s) -> " + result.mergedTracePath);
+        } else {
+            // Lost timeline, not a lost campaign.
+            log("fleet: trace merge failed: " + trace_error.message);
+        }
     }
     return result;
 }
@@ -381,6 +418,12 @@ FleetCoordinator::refreshBoard(const std::vector<Lease> &leases,
         ++snap.checkpoints; // done leases ≙ durable commits
         snap.findings += lease.findings.size();
         snap.stageUs += lease.stageUs;
+        for (const auto &[key, value] : lease.counters) {
+            if (key == "campaign.cache_hits")
+                snap.cacheHits += value;
+            else if (key == "campaign.cache_misses")
+                snap.cacheMisses += value;
+        }
         for (uint64_t chunk = lease.beginChunk;
              chunk < lease.endChunk && chunk < num_chunks; ++chunk) {
             done[chunk] = 1;

@@ -62,6 +62,13 @@ struct FleetOptions {
     uint64_t crashFirstWorkerAfterChunks = 0;
     /** Registry for the fleet.* counters; null = none recorded. */
     support::MetricsRegistry *metrics = nullptr;
+    /** Fleet-wide tracing (DESIGN.md §17): persisted into PLAN.json so
+     * every worker traces itself; after the run the coordinator folds
+     * traces/ into mergedTracePath() with mergeTraces(). */
+    bool trace = false;
+    /** Per-worker SnapshotWriter cadence, persisted into PLAN.json;
+     * 0 disables the samplers. */
+    uint64_t snapshotIntervalMs = 0;
     /** Sink for supervision log lines (worker died, lease reclaimed);
      * null = silent. */
     std::function<void(const std::string &)> logLine;
@@ -74,6 +81,11 @@ struct FleetResult {
     uint64_t workersSpawned = 0;
     uint64_t workersCrashed = 0;
     uint64_t leasesReclaimed = 0;
+    /** When tracing: mergedTracePath() and how many per-process trace
+     * files landed in it. Empty path / 0 when tracing was off or the
+     * merge found nothing usable (the run itself still succeeds). */
+    std::string mergedTracePath;
+    uint64_t traceFiles = 0;
 };
 
 class FleetCoordinator final : public serve::FleetOpsSource {

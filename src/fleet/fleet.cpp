@@ -84,9 +84,41 @@ workerMetricsPath(const std::string &fleet_dir,
 }
 
 std::string
+workerSnapshotPath(const std::string &fleet_dir,
+                   const std::string &store_name)
+{
+    return workerDir(fleet_dir, store_name) + "/metrics.jsonl";
+}
+
+std::string
 mergedStoreDir(const std::string &fleet_dir)
 {
     return fleet_dir + "/merged";
+}
+
+std::string
+tracesDir(const std::string &fleet_dir)
+{
+    return fleet_dir + "/traces";
+}
+
+std::string
+workerTracePath(const std::string &fleet_dir,
+                const std::string &store_name)
+{
+    return tracesDir(fleet_dir) + "/" + store_name + ".trace.json";
+}
+
+std::string
+coordinatorTracePath(const std::string &fleet_dir)
+{
+    return tracesDir(fleet_dir) + "/coordinator.trace.json";
+}
+
+std::string
+mergedTracePath(const std::string &fleet_dir)
+{
+    return fleet_dir + "/trace.merged.json";
 }
 
 uint64_t
@@ -164,6 +196,8 @@ writeFleetConfig(const std::string &fleet_dir,
     writer.field("worker_threads", uint64_t(config.workerThreads));
     writer.field("worker_checkpoint_every_chunks",
                  uint64_t(config.workerCheckpointEveryChunks));
+    writer.field("trace", config.trace);
+    writer.field("snapshot_interval_ms", config.snapshotIntervalMs);
     writer.endObject();
     return writeFileAtomic(planPath(fleet_dir),
                            corpus::sealJsonLine(writer.take()) + "\n",
@@ -204,6 +238,11 @@ readFleetConfig(const std::string &fleet_dir,
         unsigned(value->getU64("worker_threads", 1));
     config.workerCheckpointEveryChunks = unsigned(
         value->getU64("worker_checkpoint_every_chunks", 4));
+    // Observability knobs arrived after v1 fleets existed; defaults
+    // keep old PLAN.json files readable.
+    config.trace = value->getBool("trace", false);
+    config.snapshotIntervalMs =
+        value->getU64("snapshot_interval_ms", 0);
     return config;
 }
 

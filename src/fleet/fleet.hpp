@@ -52,6 +52,15 @@ struct FleetConfig {
     unsigned workerThreads = 1;
     /** CheckpointRunOptions::checkpointEveryChunks for workers. */
     unsigned workerCheckpointEveryChunks = 4;
+    /** Fleet-wide tracing (DESIGN.md §17): every worker enables its
+     * global Tracer tagged with its real pid + worker name and writes
+     * traces/<store>.trace.json at exit; the coordinator writes its
+     * own span file and folds them with mergeTraces(). Persisted so
+     * fork+exec workers pick it up from PLAN.json alone. */
+    bool trace = false;
+    /** Per-worker SnapshotWriter cadence (worker.<seq>/metrics.jsonl);
+     * 0 disables the sampler. */
+    uint64_t snapshotIntervalMs = 0;
 
     uint64_t numChunks() const;
     uint64_t numLeases() const;
@@ -67,7 +76,16 @@ std::string workerStoreDir(const std::string &fleet_dir,
                            const std::string &store_name);
 std::string workerMetricsPath(const std::string &fleet_dir,
                               const std::string &store_name);
+std::string workerSnapshotPath(const std::string &fleet_dir,
+                               const std::string &store_name);
 std::string mergedStoreDir(const std::string &fleet_dir);
+/** <fleet-dir>/traces — per-process Chrome trace files. */
+std::string tracesDir(const std::string &fleet_dir);
+std::string workerTracePath(const std::string &fleet_dir,
+                            const std::string &store_name);
+std::string coordinatorTracePath(const std::string &fleet_dir);
+/** The mergeTraces() output: one Perfetto-loadable timeline. */
+std::string mergedTracePath(const std::string &fleet_dir);
 
 /** CLOCK_MONOTONIC milliseconds — lease ages are compared across
  * processes on one host, where the monotonic clock is shared. */

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cross-process trace merge (DESIGN.md §17): fold the per-process
+ * Chrome trace files a traced fleet leaves under <fleet-dir>/traces/
+ * into one Perfetto-loadable timeline.
+ *
+ * Track mapping is stable by construction: input files are taken in
+ * lexical filename order and assigned merged pids 1..N, so the same
+ * set of trace files always merges to the same bytes — the
+ * coordinator's post-run merge and a later `longrun trace-merge` over
+ * the same fleet directory are diffably identical (CI checks this).
+ * Each process's original pid is preserved in its process_name label
+ * (`... [pid 12345]`), so the real identity is still one click away
+ * in the viewer.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "corpus/store.hpp"
+
+namespace dce::fleet {
+
+struct TraceMergeResult {
+    uint64_t files = 0;  ///< trace files merged
+    uint64_t events = 0; ///< span events in the merged timeline
+};
+
+/**
+ * Merge every "*.trace.json" under tracesDir(@p fleet_dir) into
+ * @p out_path. Nullopt + classified @p error when the traces
+ * directory is missing/empty or a file fails to parse (a truncated
+ * trace from a SIGKILLed worker is skipped, not fatal — the merge
+ * reports what it could read).
+ */
+std::optional<TraceMergeResult>
+mergeTraces(const std::string &fleet_dir, const std::string &out_path,
+            corpus::StoreError *error = nullptr);
+
+} // namespace dce::fleet

@@ -13,6 +13,8 @@
 #include "fleet/fleet.hpp"
 #include "fleet/lease.hpp"
 #include "fleet/metrics_io.hpp"
+#include "report/snapshot.hpp"
+#include "support/trace.hpp"
 
 namespace dce::fleet {
 
@@ -62,6 +64,16 @@ runFleetWorker(const std::string &fleet_dir,
                      workerDir(fleet_dir, store_name).c_str());
         return 1;
     }
+    if (config->trace) {
+        support::Tracer &tracer = support::Tracer::global();
+        tracer.setEnabled(true);
+        // Fork-mode workers inherit whatever spans the coordinator had
+        // buffered; drop them so this file holds only this process.
+        tracer.clear();
+        tracer.setProcess(uint64_t(::getpid()),
+                          "fleet-worker " + store_name);
+        ::mkdir(tracesDir(fleet_dir).c_str(), 0755);
+    }
     // The store's corpus.* instruments live here; campaign.* metrics
     // go to per-lease registries so lease deltas are exact.
     support::MetricsRegistry store_registry;
@@ -73,6 +85,18 @@ runFleetWorker(const std::string &fleet_dir,
             open_options);
     if (!store)
         return fail(error, "open worker store");
+
+    // Optional per-worker time series (worker.<seq>/metrics.jsonl):
+    // operational data, never merged into checkpointed state.
+    std::unique_ptr<report::SnapshotWriter> snapshots;
+    if (config->snapshotIntervalMs) {
+        report::SnapshotOptions snap;
+        snap.path = workerSnapshotPath(fleet_dir, store_name);
+        snap.intervalMs = config->snapshotIntervalMs;
+        snap.registry = &store_registry;
+        snapshots = std::make_unique<report::SnapshotWriter>(snap);
+        snapshots->start();
+    }
 
     LeaseTable table(fleet_dir);
     // Cumulative published state: campaign.* counter deltas from
@@ -130,8 +154,12 @@ runFleetWorker(const std::string &fleet_dir,
         };
         if (crash_after)
             run.haltAfterChunks = crash_after;
-        std::optional<corpus::CheckpointedCampaign> result =
-            corpus::runCheckpointed(*store, plan, run, &error);
+        std::optional<corpus::CheckpointedCampaign> result;
+        {
+            support::TraceSpan span("lease", "fleet");
+            span.setArg("lease", lease->index);
+            result = corpus::runCheckpointed(*store, plan, run, &error);
+        }
         if (!result)
             return fail(error, "run lease");
         if (crash_after) {
@@ -204,6 +232,14 @@ runFleetWorker(const std::string &fleet_dir,
             dump_hists[key] = snapshot;
         publishMetrics(fleet_dir, store_name, dump_counters,
                        dump_hists);
+    }
+    if (snapshots)
+        snapshots->stop();
+    if (config->trace) {
+        // Best-effort like the metrics dump: a lost trace costs the
+        // timeline, never the run's exit status.
+        support::Tracer::global().writeJson(
+            workerTracePath(fleet_dir, store_name));
     }
     return 0;
 }

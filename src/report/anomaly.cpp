@@ -1,0 +1,144 @@
+#include "report/anomaly.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace dce::report {
+
+namespace {
+
+uint64_t
+steadyUs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+formatRate(double rate)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3f", rate);
+    return buffer;
+}
+
+} // namespace
+
+ThroughputMonitor::ThroughputMonitor(ThroughputMonitorOptions options)
+    : options_(std::move(options))
+{
+    if (!options_.registry)
+        options_.registry = &support::MetricsRegistry::global();
+    degradedCounter_ =
+        &options_.registry->counter("report.throughput_degraded");
+    recoveredCounter_ =
+        &options_.registry->counter("report.throughput_recovered");
+}
+
+uint64_t
+ThroughputMonitor::now() const
+{
+    return options_.clock ? options_.clock() : steadyUs();
+}
+
+bool
+ThroughputMonitor::degraded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degradedNow_;
+}
+
+double
+ThroughputMonitor::baselineRate() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_ ? ewma_ : 0.0;
+}
+
+bool
+ThroughputMonitor::observe(uint64_t total_units)
+{
+    bool fired_degraded = false;
+    bool fired_recovered = false;
+    uint64_t ordinal = 0;
+    double rate = 0.0;
+    double baseline = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        uint64_t current_us = now();
+        if (!havePrevious_) {
+            havePrevious_ = true;
+            lastUnits_ = total_units;
+            lastUs_ = current_us;
+            return false;
+        }
+        if (current_us <= lastUs_ || total_units < lastUnits_) {
+            // Clock or counter went backwards (restart, merge): treat
+            // as a fresh baseline observation, don't divide by <= 0.
+            lastUnits_ = total_units;
+            lastUs_ = current_us;
+            return false;
+        }
+        double dt =
+            static_cast<double>(current_us - lastUs_) / 1'000'000.0;
+        rate = static_cast<double>(total_units - lastUnits_) / dt;
+        lastUnits_ = total_units;
+        lastUs_ = current_us;
+
+        if (samples_ == 0)
+            ewma_ = rate;
+        baseline = ewma_;
+        ++samples_;
+
+        bool armed = samples_ > options_.warmupSamples &&
+                     baseline > options_.minBaselineRate;
+        if (!degradedNow_) {
+            if (armed && rate < options_.degradeRatio * baseline) {
+                // Latch; the EWMA freezes so the slump can't erode
+                // the healthy baseline and self-declare recovery.
+                degradedNow_ = true;
+                fired_degraded = true;
+                ordinal = degradations_.fetch_add(1) + 1;
+            } else {
+                ewma_ = options_.alpha * rate +
+                        (1.0 - options_.alpha) * ewma_;
+            }
+        } else if (rate >= options_.recoverRatio * baseline) {
+            degradedNow_ = false;
+            fired_recovered = true;
+            ordinal = degradations_.load();
+            ewma_ = options_.alpha * rate +
+                    (1.0 - options_.alpha) * ewma_;
+        }
+    }
+    if (fired_degraded) {
+        degradedCounter_->add();
+        if (options_.events) {
+            // kPhaseOps like the watchdog's stall events; minors 2/3
+            // keep the keys disjoint from watchdog_stall/_recovered
+            // (minors 0/1) at the same ordinal.
+            support::Event event("throughput_degraded",
+                                 {support::kPhaseOps, ordinal, 2});
+            event.num("degradation", ordinal)
+                .str("rate", formatRate(rate))
+                .str("baseline", formatRate(baseline));
+            options_.events->emit(std::move(event));
+        }
+    }
+    if (fired_recovered) {
+        recoveredCounter_->add();
+        if (options_.events) {
+            support::Event event("throughput_recovered",
+                                 {support::kPhaseOps, ordinal, 3});
+            event.num("degradation", ordinal)
+                .str("rate", formatRate(rate))
+                .str("baseline", formatRate(baseline));
+            options_.events->emit(std::move(event));
+        }
+    }
+    return fired_degraded || fired_recovered;
+}
+
+} // namespace dce::report

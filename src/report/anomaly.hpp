@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Throughput anomaly detection (DESIGN.md §17). A ThroughputMonitor
+ * tracks a campaign's seed rate as an exponentially-weighted moving
+ * average and latches a `degraded` flag when the instantaneous rate
+ * falls below a configured fraction of that baseline — flipping
+ * /readyz to 503 (the serve layer consults degraded() exactly like it
+ * consults Watchdog::stalled()) and emitting kPhaseOps
+ * throughput_degraded / throughput_recovered events, so operational
+ * logs record every transition without perturbing the deterministic
+ * event bands.
+ *
+ * The monitor owns no thread: the TimeSeriesSampler (or a test) feeds
+ * it cumulative unit counts via observe(), and the injectable clock —
+ * the Watchdog's pattern — lets tests script exact rates. The EWMA is
+ * frozen while degraded so a slump cannot drag the baseline down and
+ * declare itself recovered; recovery means the measured rate is back
+ * within recoverRatio of the *healthy* baseline.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "support/events.hpp"
+#include "support/metrics.hpp"
+
+namespace dce::report {
+
+struct ThroughputMonitorOptions {
+    /** EWMA smoothing factor in (0, 1]; higher = more reactive. */
+    double alpha = 0.3;
+    /** Degrade when rate < degradeRatio * baseline. */
+    double degradeRatio = 0.5;
+    /** Recover when rate >= recoverRatio * baseline (hysteresis:
+     * keep recoverRatio > degradeRatio to avoid flapping). */
+    double recoverRatio = 0.8;
+    /** Observations folded into the baseline before detection arms —
+     * startup ramp must not read as a degradation. */
+    uint64_t warmupSamples = 5;
+    /** Baselines below this rate (units/s) never arm detection; keeps
+     * idle or run-end tails from flipping /readyz. */
+    double minBaselineRate = 0.0;
+    /** Sink for transition events; null = none. */
+    support::EventSink *events = nullptr;
+    /** Registry for report.throughput_* counters; null = global. */
+    support::MetricsRegistry *registry = nullptr;
+    /** Microsecond clock; null = std::chrono::steady_clock. Tests
+     * inject a fake to script rates deterministically. */
+    std::function<uint64_t()> clock;
+};
+
+class ThroughputMonitor {
+  public:
+    explicit ThroughputMonitor(ThroughputMonitorOptions options);
+
+    ThroughputMonitor(const ThroughputMonitor &) = delete;
+    ThroughputMonitor &operator=(const ThroughputMonitor &) = delete;
+
+    /**
+     * Feed the cumulative unit count (e.g. campaign.seeds). The rate
+     * is the delta against the previous observation over the clock
+     * interval. Returns true when this call fired a transition
+     * (either direction).
+     */
+    bool observe(uint64_t total_units);
+
+    /** True while throughput is below the degrade threshold —
+     * /readyz serves 503 while this holds. */
+    bool degraded() const;
+
+    /** Current EWMA baseline rate, units/s (0 during warmup). */
+    double baselineRate() const;
+
+    uint64_t degradationsFired() const { return degradations_.load(); }
+
+  private:
+    uint64_t now() const;
+
+    ThroughputMonitorOptions options_;
+    support::Counter *degradedCounter_ = nullptr;
+    support::Counter *recoveredCounter_ = nullptr;
+
+    mutable std::mutex mutex_;
+    bool havePrevious_ = false;
+    uint64_t lastUnits_ = 0;
+    uint64_t lastUs_ = 0;
+    uint64_t samples_ = 0; ///< rate observations folded so far
+    double ewma_ = 0.0;
+    bool degradedNow_ = false;
+    std::atomic<uint64_t> degradations_{0};
+};
+
+} // namespace dce::report

@@ -1,5 +1,6 @@
 #include "report/report.hpp"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -181,6 +182,34 @@ collectReportData(corpus::CorpusStore &store,
     return data;
 }
 
+std::vector<CampaignReportData::StageLatency>
+collectStageLatency(const support::MetricsRegistry &registry)
+{
+    constexpr std::string_view prefix = "campaign.stage_us{";
+    std::vector<CampaignReportData::StageLatency> out;
+    for (const auto &[key, snapshot] : registry.histograms()) {
+        if (key.compare(0, prefix.size(), prefix) != 0 ||
+            key.back() != '}')
+            continue;
+        CampaignReportData::StageLatency row;
+        row.stage = key.substr(prefix.size(),
+                               key.size() - prefix.size() - 1);
+        row.count = snapshot.count;
+        row.meanUs = snapshot.count
+                         ? static_cast<double>(snapshot.sum) /
+                               static_cast<double>(snapshot.count)
+                         : 0.0;
+        row.p50Us = support::Histogram::percentileFromBuckets(
+            snapshot.buckets, snapshot.count, 0.5);
+        row.p90Us = support::Histogram::percentileFromBuckets(
+            snapshot.buckets, snapshot.count, 0.9);
+        row.p99Us = support::Histogram::percentileFromBuckets(
+            snapshot.buckets, snapshot.count, 0.99);
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
 std::string
 renderCampaignReportMarkdown(const CampaignReportData &data)
 {
@@ -336,6 +365,27 @@ renderCampaignReportMarkdown(const CampaignReportData &data)
         }
     }
 
+    if (!data.latency.empty()) {
+        out += "## Pipeline latency\n\n";
+        out += "Wall-clock per-seed stage latency (µs), percentile "
+               "estimates over the\nbit-width histogram buckets of "
+               "`campaign.stage_us{stage}`. This section\nis opt-in "
+               "operational data and sits outside the byte-identity "
+               "contract.\n\n";
+        out += "| stage | samples | mean | p50 | p90 | p99 |\n"
+               "|---|---|---|---|---|---|\n";
+        for (const CampaignReportData::StageLatency &row :
+             data.latency) {
+            char cells[128];
+            std::snprintf(cells, sizeof cells,
+                          " %.1f | %.1f | %.1f | %.1f |", row.meanUs,
+                          row.p50Us, row.p90Us, row.p99Us);
+            out += "| " + row.stage + " | " +
+                   std::to_string(row.count) + " |" + cells + "\n";
+        }
+        out += "\n";
+    }
+
     if (!data.state.counters.empty()) {
         out += "## Campaign counters\n\n";
         out += "| counter | value |\n|---|---|\n";
@@ -414,6 +464,8 @@ writeCampaignReport(corpus::CorpusStore &store,
         collectReportData(store, error);
     if (!data)
         return false;
+    if (options.latencyMetrics)
+        data->latency = collectStageLatency(*options.latencyMetrics);
 
     std::error_code ec;
     fs::create_directories(out_dir, ec);

@@ -24,6 +24,7 @@
 #include "corpus/store.hpp"
 #include "equiv/engine.hpp"
 #include "report/event_log.hpp"
+#include "support/metrics.hpp"
 
 namespace dce::report {
 
@@ -39,6 +40,14 @@ struct CampaignReportOptions {
      * Deliberately NOT used for the report body, which must be
      * derivable from the store alone. Null = none. */
     const EventLog *log = nullptr;
+    /**
+     * Registry whose campaign.stage_us histograms feed the opt-in
+     * "Pipeline latency" section (DESIGN.md §17). Latency is
+     * wall-clock data, so a report rendered with it set is NOT
+     * byte-identical across runs — leave null (the default) anywhere
+     * the kill/resume/fleet identity contract applies.
+     */
+    const support::MetricsRegistry *latencyMetrics = nullptr;
 };
 
 /** Everything the report renders, assembled from one store. */
@@ -56,7 +65,25 @@ struct CampaignReportData {
     /** The store's metamorphic analysis (equiv.json), when one was
      * run — renders as the "Metamorphic testing" section. */
     std::optional<equiv::EquivSummary> equiv;
+    /** One "Pipeline latency" row: percentile estimates over a
+     * campaign.stage_us{stage} histogram (µs). */
+    struct StageLatency {
+        std::string stage;
+        uint64_t count = 0;
+        double meanUs = 0.0;
+        double p50Us = 0.0;
+        double p90Us = 0.0;
+        double p99Us = 0.0;
+    };
+    /** Filled only via CampaignReportOptions::latencyMetrics (or by a
+     * caller directly); empty = section omitted. */
+    std::vector<StageLatency> latency;
 };
+
+/** The "Pipeline latency" rows for @p registry: one entry per
+ * campaign.stage_us{stage} histogram, in registry (sorted) order. */
+std::vector<CampaignReportData::StageLatency>
+collectStageLatency(const support::MetricsRegistry &registry);
 
 /**
  * Assemble the report's inputs from @p store: parse the checkpoint

@@ -1,0 +1,143 @@
+#include "serve/dashboard.hpp"
+
+namespace dce::serve {
+
+namespace {
+
+// One document, zero external resources. The page keeps its own
+// rolling window client-side and fetches /timeseries incrementally
+// via the ?since= cursor, so a long-open tab stays cheap for the
+// server. Quoted-decimal JSON fields ("12.345") are Number()-parsed.
+constexpr const char kDashboardHtml[] = R"html(<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>campaign dashboard</title>
+<style>
+body{font-family:monospace;background:#111;color:#ddd;margin:1em}
+h1{font-size:1.1em}h2{font-size:0.95em;margin:0.2em 0;color:#9cf}
+.grid{display:flex;flex-wrap:wrap;gap:1em}
+.panel{background:#1a1a1a;border:1px solid #333;padding:0.6em;
+border-radius:4px;min-width:320px}
+.big{font-size:1.6em;color:#fff}
+.dim{color:#888;font-size:0.85em}
+svg{display:block;margin-top:0.3em}
+polyline{fill:none;stroke:#6cf;stroke-width:1.5}
+table{border-collapse:collapse;font-size:0.85em}
+td,th{border:1px solid #333;padding:0.15em 0.5em;text-align:right}
+th{color:#9cf}td:first-child,th:first-child{text-align:left}
+#err{color:#f66}
+</style></head><body>
+<h1>campaign dashboard
+<span class="dim" id="updated"></span><span id="err"></span></h1>
+<div class="grid">
+<div class="panel"><h2>progress</h2>
+<div class="big" id="pct">-</div><div class="dim" id="prog"></div>
+<div class="dim" id="eta"></div></div>
+<div class="panel"><h2>seeds/s</h2>
+<div class="big" id="rate">-</div><svg id="s_rate" width="300"
+height="60"></svg></div>
+<div class="panel"><h2>findings</h2>
+<div class="big" id="findings">-</div><svg id="s_findings"
+width="300" height="60"></svg></div>
+<div class="panel"><h2>cache hit rate</h2>
+<div class="big" id="cache">-</div><svg id="s_cache" width="300"
+height="60"></svg></div>
+<div class="panel"><h2>stage p99 (&#181;s)</h2>
+<table id="stages"><tr><th>stage</th><th>p99</th></tr></table>
+<svg id="s_stage" width="300" height="60"></svg>
+<div class="dim">sparkline: compile stage</div></div>
+<div class="panel"><h2>fleet</h2>
+<div id="fleet" class="dim">no fleet</div></div>
+</div>
+<script>
+"use strict";
+var points = [], cursor = 0, MAX = 300;
+function spark(id, values) {
+  var svg = document.getElementById(id);
+  if (!values.length) { svg.innerHTML = ""; return; }
+  var w = 300, h = 60, pad = 2;
+  var max = Math.max.apply(null, values), min = 0;
+  if (max <= min) max = min + 1;
+  var pts = values.map(function (v, i) {
+    var x = pad + (w - 2 * pad) * (values.length === 1 ? 1
+              : i / (values.length - 1));
+    var y = h - pad - (h - 2 * pad) * ((v - min) / (max - min));
+    return x.toFixed(1) + "," + y.toFixed(1);
+  });
+  svg.innerHTML = '<polyline points="' + pts.join(" ") + '"/>';
+}
+function num(v) { return v == null ? 0 : Number(v); }
+function text(id, s) { document.getElementById(id).textContent = s; }
+function getJson(url) {
+  return fetch(url).then(function (r) {
+    if (!r.ok) throw new Error(url + " " + r.status);
+    return r.json();
+  });
+}
+function refreshSeries() {
+  return getJson("/timeseries?since=" + cursor).then(function (ts) {
+    cursor = ts.next;
+    points = points.concat(ts.points).slice(-MAX);
+    var last = points[points.length - 1];
+    if (!last) return;
+    text("rate", num(last.seeds_per_sec).toFixed(1));
+    text("findings", String(last.findings));
+    text("cache", (100 * num(last.cache_hit_rate)).toFixed(1) + "%");
+    spark("s_rate", points.map(function (p) {
+      return num(p.seeds_per_sec); }));
+    spark("s_findings", points.map(function (p) {
+      return p.findings; }));
+    spark("s_cache", points.map(function (p) {
+      return num(p.cache_hit_rate); }));
+    spark("s_stage", points.map(function (p) {
+      return num(p.stage_p99_us.compile); }));
+    var rows = "<tr><th>stage</th><th>p99</th></tr>";
+    Object.keys(last.stage_p99_us).forEach(function (stage) {
+      rows += "<tr><td>" + stage + "</td><td>" +
+              num(last.stage_p99_us[stage]).toFixed(1) +
+              "</td></tr>";
+    });
+    rows += "<tr><td>serve request</td><td>" +
+            num(last.serve_p99_us).toFixed(1) + "</td></tr>";
+    document.getElementById("stages").innerHTML = rows;
+  });
+}
+function refreshProgress() {
+  return getJson("/progress").then(function (p) {
+    var pct = p.seeds_total
+        ? (100 * p.seeds_committed / p.seeds_total) : 0;
+    text("pct", pct.toFixed(1) + "%");
+    text("prog", p.seeds_committed + "/" + p.seeds_total +
+        " seeds, " + p.completed_chunks + "/" + p.chunks_total +
+        " chunks" + (p.complete ? " (complete)" : ""));
+    text("eta", p.eta_seconds == null ? "eta unknown"
+        : "eta " + num(p.eta_seconds).toFixed(0) + "s");
+  });
+}
+function refreshFleet() {
+  return getJson("/fleet").then(function (f) {
+    document.getElementById("fleet").textContent =
+        JSON.stringify(f, null, 1);
+  }).catch(function () {});
+}
+function tick() {
+  Promise.all([refreshSeries(), refreshProgress(), refreshFleet()])
+    .then(function () {
+      text("err", "");
+      text("updated", " updated " +
+          new Date().toLocaleTimeString());
+    })
+    .catch(function (e) { text("err", " " + e.message); });
+}
+tick();
+setInterval(tick, 2000);
+</script></body></html>
+)html";
+
+} // namespace
+
+std::string
+dashboardHtml()
+{
+    return kDashboardHtml;
+}
+
+} // namespace dce::serve

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * The GET /dashboard page (DESIGN.md §17): one self-contained HTML
+ * document — no external scripts, stylesheets, fonts, or CDNs — that
+ * polls the ops server's own JSON endpoints (/timeseries, /progress,
+ * /fleet) and renders inline-SVG sparklines for seeds/s, findings,
+ * cache-hit rate, and stage latency p99s. Endpoints that 404 (no
+ * fleet, no sampler) simply blank their panel; the page never errors.
+ *
+ * Served from memory: the HTML is a compile-time constant, so the
+ * dashboard works on any machine curl can reach with zero deployment.
+ */
+#pragma once
+
+#include <string>
+
+namespace dce::serve {
+
+/** The complete /dashboard HTML document. */
+std::string dashboardHtml();
+
+} // namespace dce::serve

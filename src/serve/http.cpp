@@ -1,6 +1,7 @@
 #include "serve/http.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -145,6 +146,8 @@ httpStatusReason(int status)
         return "Bad Request";
     case 404:
         return "Not Found";
+    case 405:
+        return "Method Not Allowed";
     case 414:
         return "URI Too Long";
     case 500:
@@ -163,6 +166,7 @@ HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
         options_.metrics ? *options_.metrics
                          : support::MetricsRegistry::global();
     requests_ = &registry.counter("serve.requests");
+    requestUs_ = &registry.histogram("serve.request_us");
 }
 
 HttpServer::~HttpServer()
@@ -269,6 +273,7 @@ HttpServer::acceptLoop()
 void
 HttpServer::handleConnection(int fd)
 {
+    auto started = std::chrono::steady_clock::now();
     timeval timeout{kSocketTimeoutSec, 0};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
                  sizeof timeout);
@@ -316,8 +321,14 @@ HttpServer::handleConnection(int fd)
             }
             std::optional<std::string> path = percentDecode(target);
             if (request.method != "GET") {
+                // The target parsed fine; the method is what's wrong
+                // — say so precisely (405 + Allow) instead of a
+                // generic 400, so clients can tell a bad tool apart
+                // from a bad request.
                 response = HttpResponse::text(
-                    400, "bad request: only GET is supported\n");
+                    405, "method not allowed: only GET is "
+                         "supported\n");
+                response.headers.emplace_back("Allow", "GET");
             } else if (!path || path->empty() ||
                        (*path)[0] != '/') {
                 response = HttpResponse::text(
@@ -342,14 +353,20 @@ HttpServer::handleConnection(int fd)
                        " " + httpStatusReason(response.status) +
                        "\r\nContent-Type: " + response.contentType +
                        "\r\nContent-Length: " +
-                       std::to_string(response.body.size()) +
-                       "\r\nConnection: close\r\n\r\n";
+                       std::to_string(response.body.size());
+    for (const auto &[name, value] : response.headers)
+        wire += "\r\n" + name + ": " + value;
+    wire += "\r\nConnection: close\r\n\r\n";
     wire += response.body;
     sendAll(fd, wire);
     ::close(fd);
 
     served_.fetch_add(1, std::memory_order_relaxed);
     requests_->add();
+    requestUs_->observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count()));
     support::MetricsRegistry &registry =
         options_.metrics ? *options_.metrics
                          : support::MetricsRegistry::global();

@@ -27,6 +27,8 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
@@ -48,6 +50,10 @@ struct HttpResponse {
     int status = 200;
     std::string contentType = "text/plain; charset=utf-8";
     std::string body;
+    /** Extra response headers (name, value), serialized in order
+     * after Content-Type/Content-Length — e.g. the `Allow: GET` a
+     * 405 carries. Names and values are code-controlled. */
+    std::vector<std::pair<std::string, std::string>> headers;
 
     static HttpResponse text(int status, std::string body);
 };
@@ -134,6 +140,9 @@ class HttpServer {
     HttpHandler handler_;
     HttpServerOptions options_;
     support::Counter *requests_ = nullptr;
+    /** serve.request_us: accept-to-response-sent wall µs, feeding the
+     * /progress serve latency percentiles. */
+    support::Histogram *requestUs_ = nullptr;
 
     int listenFd_ = -1;
     uint16_t port_ = 0;

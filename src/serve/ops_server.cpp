@@ -8,6 +8,7 @@
 #include "corpus/json.hpp"
 #include "report/dossier.hpp"
 #include "report/report.hpp"
+#include "serve/dashboard.hpp"
 
 namespace dce::serve {
 
@@ -36,6 +37,54 @@ formatDouble(double value)
     char buffer[64];
     std::snprintf(buffer, sizeof buffer, "%.3f", value);
     return buffer;
+}
+
+/** {"count":N,"p50":"..","p90":"..","p99":".."} for one histogram. */
+void
+appendPercentiles(corpus::JsonWriter &writer,
+                  const support::MetricsRegistry::HistogramSnapshot
+                      &snapshot)
+{
+    writer.beginObject();
+    writer.field("count", snapshot.count);
+    writer.field("p50",
+                 formatDouble(support::Histogram::percentileFromBuckets(
+                     snapshot.buckets, snapshot.count, 0.5)));
+    writer.field("p90",
+                 formatDouble(support::Histogram::percentileFromBuckets(
+                     snapshot.buckets, snapshot.count, 0.9)));
+    writer.field("p99",
+                 formatDouble(support::Histogram::percentileFromBuckets(
+                     snapshot.buckets, snapshot.count, 0.99)));
+    writer.endObject();
+}
+
+/** The /progress "latency" block: per-stage campaign.stage_us
+ * percentiles plus serve.request_us (DESIGN.md §17). */
+void
+appendLatency(corpus::JsonWriter &writer,
+              const support::MetricsRegistry &registry)
+{
+    constexpr std::string_view prefix = "campaign.stage_us{";
+    writer.key("latency");
+    writer.beginObject();
+    writer.key("stage_us");
+    writer.beginObject();
+    support::MetricsRegistry::HistogramSnapshot serve_snapshot;
+    for (const auto &[key, snapshot] : registry.histograms()) {
+        if (key.compare(0, prefix.size(), prefix) == 0 &&
+            key.back() == '}') {
+            writer.key(key.substr(prefix.size(),
+                                  key.size() - prefix.size() - 1));
+            appendPercentiles(writer, snapshot);
+        } else if (key == "serve.request_us") {
+            serve_snapshot = snapshot;
+        }
+    }
+    writer.endObject();
+    writer.key("serve_request_us");
+    appendPercentiles(writer, serve_snapshot);
+    writer.endObject();
 }
 
 HttpResponse
@@ -131,6 +180,14 @@ OpsServer::handle(const HttpRequest &request)
         return equivEndpoint();
     if (path == "/fleet")
         return fleetEndpoint();
+    if (path == "/timeseries")
+        return timeseriesEndpoint(request);
+    if (path == "/dashboard") {
+        HttpResponse response;
+        response.contentType = kHtmlContentType;
+        response.body = dashboardHtml();
+        return response;
+    }
     if (path == "/quitquitquit" && options_.allowRemoteShutdown)
         return quitEndpoint();
     return HttpResponse::text(404, "not found\n");
@@ -165,6 +222,9 @@ OpsServer::readyzEndpoint() const
     if (options_.watchdog && options_.watchdog->stalled())
         return HttpResponse::text(
             503, "stalled: watchdog fired, no recent progress\n");
+    if (options_.throughput && options_.throughput->degraded())
+        return HttpResponse::text(
+            503, "degraded: throughput below baseline\n");
     return HttpResponse::text(200, "ready\n");
 }
 
@@ -223,6 +283,22 @@ OpsServer::progressEndpoint() const
     writer.field("findings", snap.findings);
     writer.field("checkpoints", snap.checkpoints);
     writer.field("stage_us", snap.stageUs);
+    // Latency percentiles over the live registry — fleet mode folds
+    // every worker's latest dump so the percentiles cover the whole
+    // fleet (same scratch-merge discipline as /metrics).
+    {
+        support::MetricsRegistry &registry =
+            options_.metrics ? *options_.metrics
+                             : support::MetricsRegistry::global();
+        if (options_.fleet) {
+            support::MetricsRegistry merged;
+            merged.merge(registry);
+            options_.fleet->mergeWorkerMetrics(merged);
+            appendLatency(writer, merged);
+        } else {
+            appendLatency(writer, registry);
+        }
+    }
     // Quoted decimals: the in-tree JSON reader (and the checkpoint
     // format it serves) is integer-only, and jq's `tonumber` covers
     // shell consumers.
@@ -397,6 +473,24 @@ OpsServer::fleetEndpoint() const
     if (!options_.fleet)
         return HttpResponse::text(404, "no fleet attached\n");
     return jsonResponse(200, options_.fleet->fleetJson() + "\n");
+}
+
+HttpResponse
+OpsServer::timeseriesEndpoint(const HttpRequest &request) const
+{
+    if (!options_.timeseries)
+        return HttpResponse::text(404, "no time series attached\n");
+    uint64_t since = 0;
+    if (std::optional<std::string> raw = request.queryParam("since")) {
+        char *end = nullptr;
+        since = std::strtoull(raw->c_str(), &end, 10);
+        if (!end || *end != '\0')
+            return HttpResponse::text(
+                400, "bad request: since must be an integer\n");
+    }
+    return jsonResponse(
+        200, support::timeSeriesJson(*options_.timeseries, since) +
+                 "\n");
 }
 
 HttpResponse

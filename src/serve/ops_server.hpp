@@ -15,6 +15,8 @@
  *     GET /dossier/<fp>   one finding's dossier (?format=md|json)
  *     GET /events?since=N cursor-paged tail of the structured log
  *     GET /fleet          fleet workers + leases (coordinator mode)
+ *     GET /timeseries     JSON liveness samples (?since=N cursor)
+ *     GET /dashboard      self-contained HTML live dashboard
  *     GET /quitquitquit   request shutdown (only when enabled)
  *
  * Consistency model: every endpoint reads checkpoint-committed state
@@ -26,6 +28,11 @@
  * generator filters records to checkpoint-completed chunks — served
  * bytes equal the on-disk render of the same store, and in-flight
  * chunk state is never observable.
+ *
+ * The one deliberate exception is /timeseries (and the /dashboard
+ * that reads it): liveness samples are wall-clock-stamped,
+ * best-effort, and never checkpointed (DESIGN.md §17) — they exist to
+ * answer "what is happening right now", not to replay determinism.
  */
 #pragma once
 
@@ -36,9 +43,11 @@
 
 #include "corpus/checkpoint.hpp"
 #include "corpus/store.hpp"
+#include "report/anomaly.hpp"
 #include "report/event_log.hpp"
 #include "report/watchdog.hpp"
 #include "serve/http.hpp"
+#include "support/timeseries.hpp"
 
 namespace dce::serve {
 
@@ -98,6 +107,13 @@ struct OpsServerOptions {
      * worker's dump on top of this server's own registry, and /fleet
      * serves the per-worker/per-lease detail. */
     const FleetOpsSource *fleet = nullptr;
+    /** Liveness ring behind /timeseries and the /dashboard
+     * sparklines; null disables /timeseries (404). Fed by a
+     * support::TimeSeriesSampler the owner runs. */
+    const support::TimeSeries *timeseries = nullptr;
+    /** Throughput monitor consulted by /readyz alongside the
+     * watchdog; null = never degraded. */
+    const report::ThroughputMonitor *throughput = nullptr;
 };
 
 class OpsServer {
@@ -132,6 +148,7 @@ class OpsServer {
     HttpResponse dossierEndpoint(const HttpRequest &request) const;
     HttpResponse eventsEndpoint(const HttpRequest &request) const;
     HttpResponse fleetEndpoint() const;
+    HttpResponse timeseriesEndpoint(const HttpRequest &request) const;
     HttpResponse quitEndpoint();
 
     OpsServerOptions options_;

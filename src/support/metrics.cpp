@@ -36,6 +36,59 @@ Histogram::absorb(uint64_t count, uint64_t sum,
         buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
 }
 
+double
+Histogram::percentileFromBuckets(
+    const std::array<uint64_t, kBuckets> &buckets, uint64_t count,
+    double q)
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target sample, 1-based, clamped so q=0 still lands
+    // on a real sample.
+    uint64_t rank = static_cast<uint64_t>(
+        q * static_cast<double>(count) + 0.5);
+    if (rank < 1)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        if (!buckets[i])
+            continue;
+        uint64_t before = cumulative;
+        cumulative += buckets[i];
+        if (cumulative < rank)
+            continue;
+        if (i == 0)
+            return 0.0; // bucket 0 holds only the exact value 0
+        // Bucket i spans [2^(i-1), 2^i - 1]; interpolate by the
+        // target's position among this bucket's samples. The top
+        // bucket (i == kBuckets-1) is open-ended (it also absorbs
+        // saturated samples) — 2^63..2^64-1 still bounds it without
+        // overflowing by computing the width, not 2^64.
+        double lo = static_cast<double>(uint64_t{1} << (i - 1));
+        double width = lo - 1.0; // (2^i - 1) - 2^(i-1)
+        double position =
+            static_cast<double>(rank - before - 1) /
+            static_cast<double>(buckets[i]);
+        return lo + width * position;
+    }
+    return 0.0; // unreachable when count matches the buckets
+}
+
+double
+Histogram::percentileEstimate(double q) const
+{
+    std::array<uint64_t, kBuckets> snapshot;
+    for (size_t i = 0; i < kBuckets; ++i)
+        snapshot[i] = bucket(i);
+    return percentileFromBuckets(snapshot, count(), q);
+}
+
 MetricsRegistry &
 MetricsRegistry::global()
 {

@@ -117,8 +117,25 @@ public:
             ++width;
             value >>= 1;
         }
-        return width; // 0 for sample 0, else floor(log2(v)) + 1
+        // 0 for sample 0, else floor(log2(v)) + 1; values at or above
+        // 2^(kBuckets-1) saturate into the top bucket.
+        return width < kBuckets ? width : kBuckets - 1;
     }
+
+    /**
+     * Quantile estimate (q in [0, 1]) by linear interpolation inside
+     * the bit-width bucket holding the rank-q sample: bucket i spans
+     * [2^(i-1), 2^i - 1] (bucket 0 is exactly 0), so the estimate is
+     * exact at bucket boundaries and within a factor of 2 elsewhere.
+     * Returns 0 for an empty histogram.
+     */
+    double percentileEstimate(double q) const;
+
+    /** percentileEstimate() over an external snapshot — usable on a
+     * MetricsRegistry::HistogramSnapshot without re-observing. */
+    static double
+    percentileFromBuckets(const std::array<uint64_t, kBuckets> &buckets,
+                          uint64_t count, double q);
 
 private:
     std::atomic<uint64_t> count_{0};

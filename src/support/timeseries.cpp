@@ -1,0 +1,280 @@
+#include "support/timeseries.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+namespace dce::support {
+
+namespace {
+
+uint64_t
+wallMsNow()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Decimals are serialized as quoted "%.3f" strings — the repo-wide
+ * integer-only-JSON convention (matches /progress). */
+void
+appendQuotedDouble(std::string &out, double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+    out += '"';
+    out += buffer;
+    out += '"';
+}
+
+// Ring field layout. seq lives in the slot stamp (stamp = seq + 1).
+enum Field : size_t {
+    kFieldWallMs = 0,
+    kFieldSeeds,
+    kFieldFindings,
+    kFieldSeedsPerSec,  // double bits
+    kFieldCacheHitRate, // double bits
+    kFieldStage0,       // 4 consecutive double-bit stage p99s
+    kFieldServeP99 = kFieldStage0 + 4,
+};
+
+} // namespace
+
+TimeSeries::TimeSeries(size_t capacity)
+    : capacity_(capacity ? capacity : 1),
+      slots_(std::make_unique<Slot[]>(capacity ? capacity : 1))
+{
+}
+
+uint64_t
+TimeSeries::next() const
+{
+    return next_.load();
+}
+
+void
+TimeSeries::append(TimeSample sample)
+{
+    uint64_t seq = next_.load();
+    sample.seq = seq;
+    Slot &slot = slots_[seq % capacity_];
+    // Per-slot seqlock, all fields atomic (seq_cst): mark in-progress,
+    // store, publish. Readers that catch the kWriting stamp — or a
+    // stamp from another generation — skip the slot.
+    slot.stamp.store(kWriting);
+    slot.fields[kFieldWallMs].store(sample.wallMs);
+    slot.fields[kFieldSeeds].store(sample.seeds);
+    slot.fields[kFieldFindings].store(sample.findings);
+    slot.fields[kFieldSeedsPerSec].store(
+        std::bit_cast<uint64_t>(sample.seedsPerSec));
+    slot.fields[kFieldCacheHitRate].store(
+        std::bit_cast<uint64_t>(sample.cacheHitRate));
+    for (size_t i = 0; i < sample.stageP99Us.size(); ++i)
+        slot.fields[kFieldStage0 + i].store(
+            std::bit_cast<uint64_t>(sample.stageP99Us[i]));
+    slot.fields[kFieldServeP99].store(
+        std::bit_cast<uint64_t>(sample.serveP99Us));
+    slot.stamp.store(seq + 1);
+    next_.store(seq + 1);
+}
+
+std::vector<TimeSample>
+TimeSeries::read(uint64_t since) const
+{
+    uint64_t end = next_.load();
+    uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+    if (since > begin)
+        begin = since;
+    std::vector<TimeSample> out;
+    if (begin >= end)
+        return out;
+    out.reserve(static_cast<size_t>(end - begin));
+    for (uint64_t seq = begin; seq < end; ++seq) {
+        const Slot &slot = slots_[seq % capacity_];
+        if (slot.stamp.load() != seq + 1)
+            continue; // overwritten or mid-write: skip, don't block
+        TimeSample sample;
+        sample.seq = seq;
+        sample.wallMs = slot.fields[kFieldWallMs].load();
+        sample.seeds = slot.fields[kFieldSeeds].load();
+        sample.findings = slot.fields[kFieldFindings].load();
+        sample.seedsPerSec = std::bit_cast<double>(
+            slot.fields[kFieldSeedsPerSec].load());
+        sample.cacheHitRate = std::bit_cast<double>(
+            slot.fields[kFieldCacheHitRate].load());
+        for (size_t i = 0; i < sample.stageP99Us.size(); ++i)
+            sample.stageP99Us[i] = std::bit_cast<double>(
+                slot.fields[kFieldStage0 + i].load());
+        sample.serveP99Us = std::bit_cast<double>(
+            slot.fields[kFieldServeP99].load());
+        if (slot.stamp.load() != seq + 1)
+            continue; // torn by a concurrent overwrite: drop it
+        out.push_back(sample);
+    }
+    return out;
+}
+
+std::string
+timeSeriesJson(const TimeSeries &series, uint64_t since)
+{
+    std::vector<TimeSample> points = series.read(since);
+    std::string out = "{\"capacity\":";
+    out += std::to_string(series.capacity());
+    out += ",\"next\":";
+    out += std::to_string(series.next());
+    out += ",\"points\":[";
+    bool first = true;
+    for (const TimeSample &point : points) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"seq\":";
+        out += std::to_string(point.seq);
+        out += ",\"wall_ms\":";
+        out += std::to_string(point.wallMs);
+        out += ",\"seeds\":";
+        out += std::to_string(point.seeds);
+        out += ",\"findings\":";
+        out += std::to_string(point.findings);
+        out += ",\"seeds_per_sec\":";
+        appendQuotedDouble(out, point.seedsPerSec);
+        out += ",\"cache_hit_rate\":";
+        appendQuotedDouble(out, point.cacheHitRate);
+        out += ",\"stage_p99_us\":{";
+        for (size_t i = 0; i < kTimeSeriesStages.size(); ++i) {
+            if (i)
+                out += ',';
+            out += '"';
+            out += kTimeSeriesStages[i];
+            out += "\":";
+            appendQuotedDouble(out, point.stageP99Us[i]);
+        }
+        out += "},\"serve_p99_us\":";
+        appendQuotedDouble(out, point.serveP99Us);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+TimeSeriesSampler::TimeSeriesSampler(TimeSeries &series,
+                                     TimeSeriesSamplerOptions options)
+    : series_(series), options_(std::move(options))
+{
+    if (!options_.registry)
+        options_.registry = &MetricsRegistry::global();
+    if (!options_.clock)
+        options_.clock = wallMsNow;
+}
+
+TimeSeriesSampler::~TimeSeriesSampler()
+{
+    stop();
+}
+
+TimeSample
+TimeSeriesSampler::sampleOnce()
+{
+    // Fleet mode folds worker dumps into a scratch registry so the
+    // sample covers every process; single-process samples directly.
+    MetricsRegistry scratch;
+    MetricsRegistry *source = options_.registry;
+    if (options_.augment) {
+        scratch.merge(*options_.registry);
+        options_.augment(scratch);
+        source = &scratch;
+    }
+
+    TimeSample sample;
+    sample.wallMs = options_.clock();
+    sample.seeds = source->counterValue("campaign.seeds");
+    sample.findings =
+        source->counterValue("campaign.progress", "findings");
+    uint64_t hits = source->counterValue("campaign.cache_hits");
+    uint64_t misses = source->counterValue("campaign.cache_misses");
+    if (hits + misses)
+        sample.cacheHitRate = static_cast<double>(hits) /
+                              static_cast<double>(hits + misses);
+    for (const auto &[key, snapshot] : source->histograms()) {
+        for (size_t i = 0; i < kTimeSeriesStages.size(); ++i) {
+            if (key == MetricsRegistry::keyFor("campaign.stage_us",
+                                               kTimeSeriesStages[i]))
+                sample.stageP99Us[i] = Histogram::percentileFromBuckets(
+                    snapshot.buckets, snapshot.count, 0.99);
+        }
+        if (key == "serve.request_us")
+            sample.serveP99Us = Histogram::percentileFromBuckets(
+                snapshot.buckets, snapshot.count, 0.99);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (havePrevious_ && sample.wallMs > lastWallMs_ &&
+            sample.seeds >= lastSeeds_) {
+            double dt = static_cast<double>(sample.wallMs -
+                                            lastWallMs_) /
+                        1000.0;
+            sample.seedsPerSec =
+                static_cast<double>(sample.seeds - lastSeeds_) / dt;
+        }
+        lastSeeds_ = sample.seeds;
+        lastWallMs_ = sample.wallMs;
+        havePrevious_ = true;
+    }
+
+    series_.append(sample);
+    if (options_.onSample)
+        options_.onSample(sample);
+    return sample;
+}
+
+void
+TimeSeriesSampler::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (running_)
+            return;
+        stopRequested_ = false;
+        running_ = true;
+    }
+    sampler_ = std::thread([this] { run(); });
+}
+
+void
+TimeSeriesSampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_)
+            return;
+        stopRequested_ = true;
+    }
+    wake_.notify_all();
+    sampler_.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        running_ = false;
+    }
+    sampleOnce(); // final sample so the series covers shutdown
+}
+
+void
+TimeSeriesSampler::run()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait_for(
+                lock, std::chrono::milliseconds(options_.intervalMs),
+                [this] { return stopRequested_; });
+            if (stopRequested_)
+                return;
+        }
+        sampleOnce();
+    }
+}
+
+} // namespace dce::support

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Best-effort liveness time series (DESIGN.md §17): a fixed-capacity
+ * lock-free ring of throughput samples (seeds/s, findings, cache-hit
+ * rate, per-stage latency p99s) feeding the ops server's /timeseries
+ * endpoint and the /dashboard sparklines.
+ *
+ * The ring is a per-slot seqlock over all-atomic fields: the single
+ * writer (a TimeSeriesSampler thread) stamps a slot as in-progress,
+ * stores the fields, then publishes the slot's global sequence number;
+ * readers double-check the stamp and skip torn or overwritten slots.
+ * Because the stamp holds the *global* sequence (not a per-slot
+ * counter), slot reuse always changes the stamp — no ABA.
+ *
+ * This data is deliberately OUTSIDE the determinism boundary: samples
+ * are wall-clock-stamped, never checkpointed, and never feed the
+ * summary or the campaign report, so the byte-identical kill/resume
+ * and fleet-merge guarantees are untouched (the same contract as the
+ * SnapshotWriter's JSONL, DESIGN.md §12).
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/metrics.hpp"
+
+namespace dce::support {
+
+/** One liveness sample. Doubles ride the ring as bit patterns. */
+struct TimeSample {
+    uint64_t seq = 0;    ///< monotone cursor, 0-based
+    uint64_t wallMs = 0; ///< wall clock at sampling time
+    uint64_t seeds = 0;  ///< cumulative campaign.seeds
+    uint64_t findings = 0;
+    double seedsPerSec = 0.0;  ///< derivative between samples
+    double cacheHitRate = 0.0; ///< hits / (hits + misses); 0 if none
+    /** p99 of campaign.stage_us{<stage>}, µs, in kStages order. */
+    std::array<double, 4> stageP99Us{};
+    double serveP99Us = 0.0; ///< p99 of serve.request_us
+};
+
+/** Stage labels sampled into TimeSample::stageP99Us, in order. */
+inline constexpr std::array<const char *, 4> kTimeSeriesStages = {
+    "generate", "ground_truth", "compile", "primary"};
+
+class TimeSeries {
+public:
+    explicit TimeSeries(size_t capacity = 512);
+
+    size_t capacity() const { return capacity_; }
+
+    /** Cursor one past the newest published sample. */
+    uint64_t next() const;
+
+    /**
+     * Publish one sample (its seq is assigned here). Single-writer:
+     * concurrent appends are not supported (the sampler thread is the
+     * only writer).
+     */
+    void append(TimeSample sample);
+
+    /**
+     * Samples with seq >= @p since, oldest first, skipping any slot
+     * the writer has since overwritten or is mid-write on — readers
+     * never block. At most capacity() samples (older ones are gone).
+     */
+    std::vector<TimeSample> read(uint64_t since) const;
+
+private:
+    // Stamp protocol: 0 = never written, kWriting = in progress,
+    // else seq + 1 of the published sample.
+    static constexpr uint64_t kWriting = ~uint64_t{0};
+    static constexpr size_t kFields = 10;
+
+    struct Slot {
+        std::atomic<uint64_t> stamp{0};
+        std::array<std::atomic<uint64_t>, kFields> fields{};
+    };
+
+    const size_t capacity_;
+    std::unique_ptr<Slot[]> slots_;
+    std::atomic<uint64_t> next_{0};
+};
+
+/** JSON for /timeseries?since=N: {"capacity":..,"next":..,
+ * "points":[{...},...]}. Decimals are quoted strings ("%.3f"), the
+ * repo-wide integer-JSON convention. */
+std::string timeSeriesJson(const TimeSeries &series, uint64_t since);
+
+struct TimeSeriesSamplerOptions {
+    uint64_t intervalMs = 1000;
+    /** Registry to sample; null = the process global. */
+    MetricsRegistry *registry = nullptr;
+    /**
+     * Optional fold step run on a scratch copy of the registry before
+     * deriving the sample — the fleet coordinator injects worker
+     * metric dumps and the fleet-wide findings count here, so the
+     * series covers the whole fleet, not just the coordinator.
+     */
+    std::function<void(MetricsRegistry &)> augment;
+    /** Wall-clock source in ms; injectable for tests. */
+    std::function<uint64_t()> clock;
+    /** Called with each published sample (throughput monitor hook). */
+    std::function<void(const TimeSample &)> onSample;
+};
+
+/**
+ * Periodic sampler thread deriving TimeSamples from a MetricsRegistry
+ * and appending them to a TimeSeries. Thread lifecycle mirrors
+ * report::SnapshotWriter; sampleOnce() is the synchronous test hook.
+ */
+class TimeSeriesSampler {
+public:
+    TimeSeriesSampler(TimeSeries &series,
+                      TimeSeriesSamplerOptions options);
+    ~TimeSeriesSampler(); ///< stops the sampler thread if running
+
+    TimeSeriesSampler(const TimeSeriesSampler &) = delete;
+    TimeSeriesSampler &operator=(const TimeSeriesSampler &) = delete;
+
+    /** Derive and publish one sample now. */
+    TimeSample sampleOnce();
+
+    /** Start the periodic sampler thread (idempotent). */
+    void start();
+    /** Stop the sampler thread (one final sample is taken). */
+    void stop();
+
+private:
+    void run();
+
+    TimeSeries &series_;
+    TimeSeriesSamplerOptions options_;
+    // Previous cumulative totals for the seeds/s derivative.
+    uint64_t lastSeeds_ = 0;
+    uint64_t lastWallMs_ = 0;
+    bool havePrevious_ = false;
+    std::thread sampler_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopRequested_ = false;
+    bool running_ = false;
+};
+
+} // namespace dce::support

@@ -55,6 +55,28 @@ Tracer::currentThreadId()
 }
 
 void
+Tracer::setProcess(uint64_t pid, std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pid_ = pid;
+    processName_ = std::move(name);
+}
+
+uint64_t
+Tracer::processId() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pid_;
+}
+
+std::string
+Tracer::processName() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return processName_;
+}
+
+void
 Tracer::record(Event event)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -79,13 +101,24 @@ std::string
 Tracer::toJson() const
 {
     std::vector<Event> snapshot = events();
+    uint64_t pid;
+    std::string process_name;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pid = pid_;
+        process_name = processName_;
+    }
+    std::string pid_str = std::to_string(pid);
     std::string out;
     out.reserve(64 + snapshot.size() * 96);
     out += "{\"traceEvents\":[";
     // A process_name metadata event so the viewer labels the lane
     // group; tools accept "M" events with ts omitted-or-zero.
-    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-           "\"tid\":0,\"args\":{\"name\":\"dce-campaign\"}}";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += pid_str;
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    appendEscaped(out, process_name);
+    out += "\"}}";
     for (const Event &event : snapshot) {
         out += ",{\"name\":\"";
         appendEscaped(out, event.name);
@@ -95,7 +128,9 @@ Tracer::toJson() const
         out += std::to_string(event.startUs);
         out += ",\"dur\":";
         out += std::to_string(event.durationUs);
-        out += ",\"pid\":1,\"tid\":";
+        out += ",\"pid\":";
+        out += pid_str;
+        out += ",\"tid\":";
         out += std::to_string(event.tid);
         if (event.arg != Event::kNoArg) {
             out += ",\"args\":{\"";

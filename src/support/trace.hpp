@@ -60,6 +60,18 @@ public:
         return enabled_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Set the process identity stamped on every serialized event and
+     * on the process_name metadata record. Defaults to pid 1 /
+     * "dce-campaign" so single-process traces are unchanged; fleet
+     * workers set their real pid + worker name so merged traces get
+     * one labeled track per process (DESIGN.md §17).
+     */
+    void setProcess(uint64_t pid, std::string name);
+
+    uint64_t processId() const;
+    std::string processName() const;
+
     /** Append a finished span. Thread-safe. */
     void record(Event event);
 
@@ -88,6 +100,8 @@ private:
     std::atomic<bool> enabled_{false};
     mutable std::mutex mutex_;
     std::vector<Event> events_;
+    uint64_t pid_ = 1;
+    std::string processName_ = "dce-campaign";
 };
 
 /**

@@ -1,0 +1,838 @@
+/** @file Tests for the fleet-wide observability layer (DESIGN.md §17):
+ * histogram percentile estimation and merge/absorb edge cases, the
+ * lock-free time-series ring + sampler, EWMA throughput anomaly
+ * detection (and its /readyz wiring), the /timeseries and /dashboard
+ * endpoints, cross-process trace merging, and a traced fleet's
+ * byte-identity with the single-process reference run. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "corpus/checkpoint.hpp"
+#include "corpus/json.hpp"
+#include "corpus/store.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/trace_merge.hpp"
+#include "report/anomaly.hpp"
+#include "report/event_log.hpp"
+#include "report/report.hpp"
+#include "serve/ops_server.hpp"
+#include "support/metrics.hpp"
+#include "support/timeseries.hpp"
+#include "support/trace.hpp"
+
+namespace fs = std::filesystem;
+
+namespace dce {
+namespace {
+
+using support::Histogram;
+using support::MetricsRegistry;
+using support::TimeSample;
+using support::TimeSeries;
+using support::TimeSeriesSampler;
+using support::TimeSeriesSamplerOptions;
+
+/** Fresh scratch directory, removed on destruction. */
+class TempDir {
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        static int counter = 0;
+        path_ = (fs::temp_directory_path() /
+                 ("dce_observe_" + tag + "_" +
+                  std::to_string(::getpid()) + "_" +
+                  std::to_string(counter++)))
+                    .string();
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+corpus::CampaignPlan
+smallPlan()
+{
+    corpus::CampaignPlan plan;
+    plan.count = 18;
+    plan.chunkSize = 3;
+    plan.randomSeeds = true;
+    plan.streamSeed = 2024;
+    plan.builds = {
+        {compiler::CompilerId::Alpha, compiler::OptLevel::O3,
+         SIZE_MAX},
+        {compiler::CompilerId::Beta, compiler::OptLevel::O3,
+         SIZE_MAX},
+    };
+    plan.computePrimary = true;
+    plan.collectRemarks = true;
+    plan.missedByBuild = 0;
+    plan.referenceBuild = 1;
+    return plan;
+}
+
+//===------------------------------------------------------------------===//
+// Histogram percentiles + saturation
+//===------------------------------------------------------------------===//
+
+TEST(ObserveHistogram, BucketOfSaturatesInsteadOfOverflowing)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf((uint64_t(1) << 62) - 1), 62u);
+    // Values at/above 2^63 used to index one past the bucket array;
+    // they must land in the top bucket instead.
+    EXPECT_EQ(Histogram::bucketOf(uint64_t(1) << 62), 63u);
+    EXPECT_EQ(Histogram::bucketOf(uint64_t(1) << 63), 63u);
+    EXPECT_EQ(Histogram::bucketOf(~uint64_t{0}), 63u);
+
+    Histogram histogram;
+    histogram.observe(~uint64_t{0});
+    EXPECT_EQ(histogram.bucket(63), 1u);
+    EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(ObserveHistogram, PercentileExactAtBucketBoundaries)
+{
+    Histogram histogram;
+    EXPECT_EQ(histogram.percentileEstimate(0.5), 0.0); // empty
+
+    // All-zero samples: bucket 0 is exactly the value 0.
+    for (int i = 0; i < 10; ++i)
+        histogram.observe(0);
+    EXPECT_EQ(histogram.percentileEstimate(0.5), 0.0);
+    EXPECT_EQ(histogram.percentileEstimate(0.99), 0.0);
+
+    // A single-value bucket ([1,1]) is exact at every quantile.
+    Histogram ones;
+    for (int i = 0; i < 100; ++i)
+        ones.observe(1);
+    EXPECT_EQ(ones.percentileEstimate(0.01), 1.0);
+    EXPECT_EQ(ones.percentileEstimate(0.5), 1.0);
+    EXPECT_EQ(ones.percentileEstimate(1.0), 1.0);
+
+    // One sample: every quantile is that sample's bucket floor, which
+    // for a power of two is the sample itself.
+    Histogram single;
+    single.observe(16);
+    EXPECT_EQ(single.percentileEstimate(0.0), 16.0);
+    EXPECT_EQ(single.percentileEstimate(0.5), 16.0);
+    EXPECT_EQ(single.percentileEstimate(1.0), 16.0);
+}
+
+TEST(ObserveHistogram, PercentileInterpolatesWithinBuckets)
+{
+    // 50 fast samples (1µs) + 50 slow (1000µs, bucket [512,1023]).
+    Histogram histogram;
+    for (int i = 0; i < 50; ++i)
+        histogram.observe(1);
+    for (int i = 0; i < 50; ++i)
+        histogram.observe(1000);
+
+    EXPECT_EQ(histogram.percentileEstimate(0.5), 1.0);
+    // Rank 51 is the first slow sample: exactly the bucket floor.
+    EXPECT_EQ(histogram.percentileEstimate(0.51), 512.0);
+    double p90 = histogram.percentileEstimate(0.9);
+    EXPECT_GE(p90, 512.0);
+    EXPECT_LE(p90, 1023.0);
+    double p99 = histogram.percentileEstimate(0.99);
+    EXPECT_GT(p99, p90);
+    EXPECT_LE(p99, 1023.0);
+
+    // The snapshot-based form sees the same state, same answer.
+    MetricsRegistry registry;
+    registry.histogram("campaign.stage_us", "compile")
+        .merge(histogram);
+    auto hists = registry.histograms();
+    ASSERT_EQ(hists.size(), 1u);
+    EXPECT_EQ(Histogram::percentileFromBuckets(
+                  hists[0].second.buckets, hists[0].second.count, 0.9),
+              p90);
+}
+
+TEST(ObserveHistogram, MergeAndAbsorbEdgeCases)
+{
+    // Empty into empty: still empty, and expose() stays consistent.
+    Histogram a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.sum(), 0u);
+
+    // Saturated top bucket survives a merge and an absorb.
+    Histogram top;
+    top.observe(~uint64_t{0});
+    top.observe(uint64_t(1) << 63);
+    a.merge(top);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.bucket(63), 2u);
+
+    MetricsRegistry registry;
+    Histogram &target = registry.histogram("campaign.stage_us", "io");
+    std::array<uint64_t, Histogram::kBuckets> buckets{};
+    buckets[0] = 1;  // one zero-valued sample
+    buckets[63] = 2; // two saturated samples
+    target.absorb(3, 12345, buckets);
+    target.absorb(0, 0, std::array<uint64_t, Histogram::kBuckets>{});
+    EXPECT_EQ(target.count(), 3u);
+    EXPECT_EQ(target.sum(), 12345u);
+    EXPECT_EQ(target.bucket(63), 2u);
+
+    // Exposition invariant after absorb: the cumulative +Inf bucket
+    // equals _count, and _sum matches, even with a saturated top.
+    std::string exposed = registry.expose();
+    EXPECT_NE(exposed.find("campaign_stage_us_bucket{label=\"io\","
+                           "le=\"+Inf\"} 3"),
+              std::string::npos)
+        << exposed;
+    EXPECT_NE(exposed.find("campaign_stage_us_sum{label=\"io\"} 12345"),
+              std::string::npos)
+        << exposed;
+    EXPECT_NE(
+        exposed.find("campaign_stage_us_count{label=\"io\"} 3"),
+        std::string::npos)
+        << exposed;
+}
+
+//===------------------------------------------------------------------===//
+// Time-series ring
+//===------------------------------------------------------------------===//
+
+TimeSample
+makeSample(uint64_t seeds)
+{
+    TimeSample sample;
+    sample.wallMs = 1000 + seeds;
+    sample.seeds = seeds;
+    sample.findings = seeds / 2;
+    sample.seedsPerSec = double(seeds) * 0.5;
+    sample.cacheHitRate = 0.25;
+    sample.stageP99Us = {1.0, 2.0, 3.0, 4.0};
+    sample.serveP99Us = 9.5;
+    return sample;
+}
+
+TEST(ObserveTimeSeries, AppendReadRoundTripAndCursor)
+{
+    TimeSeries series(4);
+    EXPECT_EQ(series.next(), 0u);
+    EXPECT_TRUE(series.read(0).empty());
+
+    for (uint64_t i = 0; i < 3; ++i)
+        series.append(makeSample(i * 10));
+    EXPECT_EQ(series.next(), 3u);
+
+    std::vector<TimeSample> all = series.read(0);
+    ASSERT_EQ(all.size(), 3u);
+    for (uint64_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(all[i].seq, i);
+        EXPECT_EQ(all[i].seeds, i * 10);
+        EXPECT_EQ(all[i].findings, i * 10 / 2);
+        EXPECT_DOUBLE_EQ(all[i].seedsPerSec, double(i * 10) * 0.5);
+        EXPECT_DOUBLE_EQ(all[i].cacheHitRate, 0.25);
+        EXPECT_DOUBLE_EQ(all[i].stageP99Us[3], 4.0);
+        EXPECT_DOUBLE_EQ(all[i].serveP99Us, 9.5);
+    }
+
+    // The since cursor pages incrementally, like /events.
+    std::vector<TimeSample> tail = series.read(2);
+    ASSERT_EQ(tail.size(), 1u);
+    EXPECT_EQ(tail[0].seq, 2u);
+    EXPECT_TRUE(series.read(3).empty());
+    EXPECT_TRUE(series.read(100).empty());
+}
+
+TEST(ObserveTimeSeries, WraparoundKeepsNewestCapacitySamples)
+{
+    TimeSeries series(4);
+    for (uint64_t i = 0; i < 10; ++i)
+        series.append(makeSample(i));
+    EXPECT_EQ(series.next(), 10u);
+    std::vector<TimeSample> kept = series.read(0);
+    ASSERT_EQ(kept.size(), 4u);
+    for (size_t i = 0; i < kept.size(); ++i) {
+        EXPECT_EQ(kept[i].seq, 6 + i);
+        EXPECT_EQ(kept[i].seeds, 6 + i);
+    }
+}
+
+TEST(ObserveTimeSeries, ConcurrentReadersNeverSeeTornSamples)
+{
+    // Readers hammer the ring while the writer laps it. Every sample a
+    // reader returns must be internally consistent (fields derived
+    // from seeds agree), and seqs must be strictly increasing within
+    // one read. Run under TSan for the memory-order claim.
+    TimeSeries series(8);
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> torn{0};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                std::vector<TimeSample> got = series.read(0);
+                uint64_t last_seq = 0;
+                bool have_last = false;
+                for (const TimeSample &sample : got) {
+                    if (have_last && sample.seq <= last_seq)
+                        torn.fetch_add(1);
+                    have_last = true;
+                    last_seq = sample.seq;
+                    if (sample.wallMs != 1000 + sample.seeds ||
+                        sample.findings != sample.seeds / 2)
+                        torn.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (uint64_t i = 0; i < 20000; ++i)
+        series.append(makeSample(i));
+    stop.store(true);
+    for (std::thread &reader : readers)
+        reader.join();
+    EXPECT_EQ(torn.load(), 0u);
+    EXPECT_EQ(series.next(), 20000u);
+}
+
+TEST(ObserveTimeSeries, JsonShapeAndQuotedDecimals)
+{
+    TimeSeries series(8);
+    series.append(makeSample(40));
+    series.append(makeSample(60));
+
+    std::string json = support::timeSeriesJson(series, 0);
+    std::optional<corpus::JsonValue> doc =
+        corpus::JsonValue::parse(json);
+    ASSERT_TRUE(doc) << json;
+    EXPECT_EQ(doc->getU64("capacity"), 8u);
+    EXPECT_EQ(doc->getU64("next"), 2u);
+    const corpus::JsonValue *points = doc->get("points");
+    ASSERT_TRUE(points && points->isArray());
+    ASSERT_EQ(points->items.size(), 2u);
+    const corpus::JsonValue &first = points->items[0];
+    EXPECT_EQ(first.getU64("seq"), 0u);
+    EXPECT_EQ(first.getU64("seeds"), 40u);
+    // Decimals ride as quoted "%.3f" strings, the repo's JSON rule.
+    EXPECT_EQ(first.getString("seeds_per_sec"), "20.000");
+    EXPECT_EQ(first.getString("cache_hit_rate"), "0.250");
+    const corpus::JsonValue *stages = first.get("stage_p99_us");
+    ASSERT_TRUE(stages && stages->isObject());
+    EXPECT_EQ(stages->getString("generate"), "1.000");
+    EXPECT_EQ(stages->getString("primary"), "4.000");
+
+    // since=1 returns only the newer point.
+    std::optional<corpus::JsonValue> tail =
+        corpus::JsonValue::parse(support::timeSeriesJson(series, 1));
+    ASSERT_TRUE(tail);
+    EXPECT_EQ(tail->get("points")->items.size(), 1u);
+}
+
+TEST(ObserveTimeSeries, SamplerDerivesRatesFromRegistry)
+{
+    MetricsRegistry registry;
+    registry.counter("campaign.seeds").add(100);
+    registry.counter("campaign.progress", "findings").add(7);
+    registry.counter("campaign.cache_hits").add(30);
+    registry.counter("campaign.cache_misses").add(10);
+    // Single samples at bucket floors so the p99 estimate is exact.
+    registry.histogram("campaign.stage_us", "compile").observe(64);
+    registry.histogram("serve.request_us").observe(256);
+
+    uint64_t fake_ms = 10'000;
+    TimeSeries series(16);
+    TimeSeriesSamplerOptions options;
+    options.registry = &registry;
+    options.clock = [&] { return fake_ms; };
+    TimeSeriesSampler sampler(series, options);
+
+    TimeSample first = sampler.sampleOnce();
+    EXPECT_EQ(first.seeds, 100u);
+    EXPECT_EQ(first.findings, 7u);
+    EXPECT_DOUBLE_EQ(first.seedsPerSec, 0.0); // no previous sample
+    EXPECT_DOUBLE_EQ(first.cacheHitRate, 0.75);
+    EXPECT_EQ(first.stageP99Us[2], 64.0); // compile, power of two
+    EXPECT_EQ(first.serveP99Us, 256.0);
+
+    // 50 more seeds over 2 seconds: 25 seeds/s.
+    registry.counter("campaign.seeds").add(50);
+    fake_ms += 2000;
+    TimeSample second = sampler.sampleOnce();
+    EXPECT_DOUBLE_EQ(second.seedsPerSec, 25.0);
+    ASSERT_EQ(series.next(), 2u);
+    std::vector<TimeSample> published = series.read(1);
+    ASSERT_EQ(published.size(), 1u);
+    EXPECT_EQ(published[0].seq, 1u);
+    EXPECT_EQ(published[0].seeds, 150u);
+}
+
+TEST(ObserveTimeSeries, SamplerAugmentFoldsFleetState)
+{
+    // The coordinator's registry has no campaign.* counters; the
+    // augment hook (worker dumps + board findings in production)
+    // must be what the sample reflects — without mutating the base.
+    MetricsRegistry registry;
+    registry.counter("fleet.workers_spawned").add(3);
+
+    TimeSeries series(4);
+    TimeSeriesSamplerOptions options;
+    options.registry = &registry;
+    options.clock = [] { return uint64_t(5000); };
+    options.augment = [](MetricsRegistry &scratch) {
+        scratch.counter("campaign.seeds").add(42);
+        scratch.counter("campaign.progress", "findings").add(4);
+    };
+    TimeSeriesSampler sampler(series, options);
+    TimeSample sample = sampler.sampleOnce();
+    EXPECT_EQ(sample.seeds, 42u);
+    EXPECT_EQ(sample.findings, 4u);
+    EXPECT_EQ(registry.counterValue("campaign.seeds"), 0u);
+}
+
+//===------------------------------------------------------------------===//
+// Throughput anomaly detection
+//===------------------------------------------------------------------===//
+
+TEST(ObserveThroughput, DegradeAndRecoverWithInjectedClock)
+{
+    uint64_t fake_us = 0;
+    MetricsRegistry registry;
+    report::EventLog log(&registry);
+    report::ThroughputMonitorOptions options;
+    options.alpha = 0.5;
+    options.degradeRatio = 0.5;
+    options.recoverRatio = 0.8;
+    options.warmupSamples = 3;
+    options.events = &log;
+    options.registry = &registry;
+    options.clock = [&] { return fake_us; };
+    report::ThroughputMonitor monitor(options);
+
+    // Warmup: 100 units/s, steady. No transitions may fire.
+    uint64_t units = 0;
+    for (int i = 0; i < 6; ++i) {
+        fake_us += 1'000'000;
+        units += 100;
+        EXPECT_FALSE(monitor.observe(units));
+    }
+    EXPECT_FALSE(monitor.degraded());
+    EXPECT_NEAR(monitor.baselineRate(), 100.0, 1e-9);
+
+    // Collapse to 10 units/s: below 0.5×baseline, the latch fires.
+    fake_us += 1'000'000;
+    units += 10;
+    EXPECT_TRUE(monitor.observe(units));
+    EXPECT_TRUE(monitor.degraded());
+    EXPECT_EQ(monitor.degradationsFired(), 1u);
+    EXPECT_EQ(registry.counterValue("report.throughput_degraded"), 1u);
+
+    // Still slow: no second fire (latched), baseline frozen at 100.
+    fake_us += 1'000'000;
+    units += 10;
+    EXPECT_FALSE(monitor.observe(units));
+    EXPECT_TRUE(monitor.degraded());
+    EXPECT_NEAR(monitor.baselineRate(), 100.0, 1e-9);
+
+    // Back to 90 units/s ≥ 0.8×baseline: recovery fires.
+    fake_us += 1'000'000;
+    units += 90;
+    EXPECT_TRUE(monitor.observe(units));
+    EXPECT_FALSE(monitor.degraded());
+    EXPECT_EQ(registry.counterValue("report.throughput_recovered"),
+              1u);
+
+    // Both transitions are ops-phase events with disjoint minors from
+    // the watchdog's stall events.
+    std::vector<support::Event> events = log.sorted();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].type(), "throughput_degraded");
+    EXPECT_EQ(events[1].type(), "throughput_recovered");
+    EXPECT_EQ(events[0].key().phase, support::kPhaseOps);
+    EXPECT_EQ(events[0].key().minor, 2u);
+    EXPECT_EQ(events[1].key().minor, 3u);
+    EXPECT_EQ(events[0].getNum("degradation"), 1u);
+}
+
+TEST(ObserveThroughput, MinBaselineRateKeepsIdleRunsArmed)
+{
+    uint64_t fake_us = 0;
+    report::ThroughputMonitorOptions options;
+    MetricsRegistry registry;
+    options.registry = &registry;
+    options.warmupSamples = 2;
+    options.minBaselineRate = 50.0;
+    options.clock = [&] { return fake_us; };
+    report::ThroughputMonitor monitor(options);
+
+    // A 10-units/s trickle never arms: dropping to zero is not an
+    // anomaly for a near-idle campaign.
+    uint64_t units = 0;
+    for (int i = 0; i < 5; ++i) {
+        fake_us += 1'000'000;
+        units += 10;
+        EXPECT_FALSE(monitor.observe(units));
+    }
+    fake_us += 1'000'000;
+    EXPECT_FALSE(monitor.observe(units)); // rate 0
+    EXPECT_FALSE(monitor.degraded());
+}
+
+TEST(ObserveThroughput, ReadyzFollowsDegradeAndRecovery)
+{
+    uint64_t fake_us = 0;
+    MetricsRegistry registry;
+    report::ThroughputMonitorOptions monitor_options;
+    monitor_options.registry = &registry;
+    monitor_options.warmupSamples = 2;
+    monitor_options.clock = [&] { return fake_us; };
+    report::ThroughputMonitor monitor(monitor_options);
+
+    serve::OpsServerOptions options;
+    options.metrics = &registry;
+    options.throughput = &monitor;
+    serve::OpsServer ops(options);
+    serve::HttpRequest request;
+    request.path = "/readyz";
+
+    EXPECT_EQ(ops.handle(request).status, 200);
+
+    uint64_t units = 0;
+    for (int i = 0; i < 4; ++i) {
+        fake_us += 1'000'000;
+        units += 100;
+        monitor.observe(units);
+    }
+    EXPECT_EQ(ops.handle(request).status, 200);
+
+    fake_us += 1'000'000;
+    units += 5; // collapse
+    monitor.observe(units);
+    serve::HttpResponse degraded = ops.handle(request);
+    EXPECT_EQ(degraded.status, 503);
+    EXPECT_NE(degraded.body.find("throughput"), std::string::npos);
+
+    fake_us += 1'000'000;
+    units += 100; // recovery
+    monitor.observe(units);
+    EXPECT_EQ(ops.handle(request).status, 200);
+}
+
+//===------------------------------------------------------------------===//
+// /timeseries + /dashboard endpoints
+//===------------------------------------------------------------------===//
+
+TEST(ObserveServe, TimeseriesEndpointPagesWithCursor)
+{
+    TimeSeries series(8);
+    series.append(makeSample(10));
+    series.append(makeSample(20));
+
+    MetricsRegistry registry;
+    serve::OpsServerOptions options;
+    options.metrics = &registry;
+    options.timeseries = &series;
+    serve::OpsServer ops(options);
+
+    serve::HttpRequest request;
+    request.path = "/timeseries";
+    serve::HttpResponse response = ops.handle(request);
+    ASSERT_EQ(response.status, 200);
+    std::optional<corpus::JsonValue> doc =
+        corpus::JsonValue::parse(response.body);
+    ASSERT_TRUE(doc) << response.body;
+    EXPECT_EQ(doc->getU64("next"), 2u);
+    EXPECT_EQ(doc->get("points")->items.size(), 2u);
+
+    // Incremental fetch from the returned cursor: empty, then new
+    // points only — the monotone-cursor contract the dashboard uses.
+    request.query = "since=2";
+    doc = corpus::JsonValue::parse(ops.handle(request).body);
+    ASSERT_TRUE(doc);
+    EXPECT_TRUE(doc->get("points")->items.empty());
+    series.append(makeSample(30));
+    doc = corpus::JsonValue::parse(ops.handle(request).body);
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->getU64("next"), 3u);
+    ASSERT_EQ(doc->get("points")->items.size(), 1u);
+    EXPECT_EQ(doc->get("points")->items[0].getU64("seq"), 2u);
+
+    // Garbage cursors are rejected; a missing series is a 404.
+    request.query = "since=banana";
+    EXPECT_EQ(ops.handle(request).status, 400);
+    serve::OpsServerOptions bare;
+    serve::OpsServer bare_ops(bare);
+    request.query.clear();
+    EXPECT_EQ(bare_ops.handle(request).status, 404);
+}
+
+TEST(ObserveServe, DashboardServesSelfContainedHtml)
+{
+    serve::OpsServerOptions options;
+    MetricsRegistry registry;
+    options.metrics = &registry;
+    serve::OpsServer ops(options);
+
+    serve::HttpRequest request;
+    request.path = "/dashboard";
+    serve::HttpResponse response = ops.handle(request);
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(response.contentType, "text/html; charset=utf-8");
+    // Self-contained: it polls the JSON endpoints, no external assets.
+    EXPECT_NE(response.body.find("/timeseries"), std::string::npos);
+    EXPECT_NE(response.body.find("/progress"), std::string::npos);
+    EXPECT_EQ(response.body.find("http://"), std::string::npos);
+    EXPECT_EQ(response.body.find("https://"), std::string::npos);
+}
+
+TEST(ObserveServe, ProgressCarriesLatencyPercentiles)
+{
+    MetricsRegistry registry;
+    registry.histogram("campaign.stage_us", "compile").observe(64);
+    registry.histogram("serve.request_us").observe(128);
+
+    corpus::CampaignStatusBoard board;
+    corpus::CampaignStatusBoard::Snapshot snap;
+    snap.active = true;
+    snap.seedsTotal = 10;
+    board.publish(snap);
+
+    serve::OpsServerOptions options;
+    options.metrics = &registry;
+    options.status = &board;
+    serve::OpsServer ops(options);
+    serve::HttpRequest request;
+    request.path = "/progress";
+    serve::HttpResponse response = ops.handle(request);
+    ASSERT_EQ(response.status, 200);
+    std::optional<corpus::JsonValue> doc =
+        corpus::JsonValue::parse(response.body);
+    ASSERT_TRUE(doc) << response.body;
+    const corpus::JsonValue *latency = doc->get("latency");
+    ASSERT_TRUE(latency && latency->isObject()) << response.body;
+    const corpus::JsonValue *stages = latency->get("stage_us");
+    ASSERT_TRUE(stages && stages->isObject());
+    const corpus::JsonValue *compile = stages->get("compile");
+    ASSERT_TRUE(compile && compile->isObject());
+    EXPECT_EQ(compile->getU64("count"), 1u);
+    EXPECT_EQ(compile->getString("p99"), "64.000");
+    const corpus::JsonValue *serve_us = latency->get("serve_request_us");
+    ASSERT_TRUE(serve_us && serve_us->isObject());
+    EXPECT_EQ(serve_us->getU64("count"), 1u);
+}
+
+//===------------------------------------------------------------------===//
+// Report latency section
+//===------------------------------------------------------------------===//
+
+TEST(ObserveReport, LatencySectionIsOptInAndRendersPercentiles)
+{
+    MetricsRegistry registry;
+    // Single samples at bucket floors: every percentile is exact.
+    registry.histogram("campaign.stage_us", "compile").observe(64);
+    registry.histogram("campaign.stage_us", "generate").observe(4);
+    registry.histogram("not_a_stage").observe(1);
+
+    std::vector<report::CampaignReportData::StageLatency> latency =
+        report::collectStageLatency(registry);
+    ASSERT_EQ(latency.size(), 2u);
+    EXPECT_EQ(latency[0].stage, "compile");
+    EXPECT_EQ(latency[0].count, 1u);
+    EXPECT_EQ(latency[0].p99Us, 64.0);
+    EXPECT_EQ(latency[1].stage, "generate");
+    EXPECT_EQ(latency[1].p50Us, 4.0);
+
+    report::CampaignReportData data;
+    std::string without =
+        report::renderCampaignReportMarkdown(data);
+    EXPECT_EQ(without.find("Pipeline latency"), std::string::npos);
+
+    data.latency = latency;
+    std::string with = report::renderCampaignReportMarkdown(data);
+    EXPECT_NE(with.find("## Pipeline latency"), std::string::npos);
+    EXPECT_NE(
+        with.find("| compile | 1 | 64.0 | 64.0 | 64.0 | 64.0 |"),
+        std::string::npos)
+        << with;
+}
+
+//===------------------------------------------------------------------===//
+// Cross-process trace merge
+//===------------------------------------------------------------------===//
+
+/** Write one synthetic per-process trace under traces/. */
+void
+writeTrace(const std::string &fleet_dir, const std::string &file,
+           uint64_t pid, const std::string &process,
+           const std::string &span)
+{
+    support::Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.setProcess(pid, process);
+    {
+        support::TraceSpan guard(span, "fleet", tracer);
+    }
+    fs::create_directories(fleet::tracesDir(fleet_dir));
+    ASSERT_TRUE(fleet::writeFileAtomic(
+        fleet::tracesDir(fleet_dir) + "/" + file, tracer.toJson()));
+}
+
+TEST(ObserveTraceMerge, RemapsPidsDeterministically)
+{
+    TempDir dir("trace_merge");
+    writeTrace(dir.str(), "worker.1.trace.json", 4242,
+               "fleet-worker worker.1", "lease");
+    writeTrace(dir.str(), "coordinator.trace.json", 9999,
+               "fleet-coordinator", "supervise");
+    // A truncated file (SIGKILLed worker) is skipped, not fatal.
+    ASSERT_TRUE(fleet::writeFileAtomic(
+        fleet::tracesDir(dir.str()) + "/worker.2.trace.json",
+        "{\"traceEvents\":[{\"na"));
+
+    std::string out = fleet::mergedTracePath(dir.str());
+    corpus::StoreError error;
+    std::optional<fleet::TraceMergeResult> result =
+        fleet::mergeTraces(dir.str(), out, &error);
+    ASSERT_TRUE(result) << error.message;
+    EXPECT_EQ(result->files, 2u);
+    EXPECT_EQ(result->events, 2u); // one span per parsed file
+
+    std::optional<std::string> merged = fleet::readFile(out);
+    ASSERT_TRUE(merged);
+    std::optional<corpus::JsonValue> doc =
+        corpus::JsonValue::parse(*merged);
+    ASSERT_TRUE(doc) << *merged;
+    const corpus::JsonValue *events = doc->get("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+
+    // Lexical filename order fixes the track mapping:
+    // coordinator.trace.json -> merged pid 1, worker.1 -> pid 2.
+    uint64_t coordinator_pid = 0, worker_pid = 0;
+    bool coordinator_labeled = false, worker_labeled = false;
+    for (const corpus::JsonValue &event : events->items) {
+        if (event.getString("name") != "process_name")
+            continue;
+        const corpus::JsonValue *args = event.get("args");
+        ASSERT_TRUE(args);
+        std::string label = args->getString("name");
+        if (label.rfind("fleet-coordinator", 0) == 0) {
+            coordinator_pid = event.getU64("pid");
+            // The real pid stays visible on the track label.
+            coordinator_labeled =
+                label.find("[pid 9999]") != std::string::npos;
+        } else if (label.rfind("fleet-worker", 0) == 0) {
+            worker_pid = event.getU64("pid");
+            worker_labeled =
+                label.find("[pid 4242]") != std::string::npos;
+        }
+    }
+    EXPECT_EQ(coordinator_pid, 1u);
+    EXPECT_EQ(worker_pid, 2u);
+    EXPECT_TRUE(coordinator_labeled);
+    EXPECT_TRUE(worker_labeled);
+
+    // Re-merging the same inputs yields identical bytes (CI diffs the
+    // coordinator's merge against `longrun trace-merge`).
+    std::string out2 = dir.str() + "/again.json";
+    ASSERT_TRUE(fleet::mergeTraces(dir.str(), out2, &error))
+        << error.message;
+    EXPECT_EQ(*fleet::readFile(out), *fleet::readFile(out2));
+}
+
+TEST(ObserveTraceMerge, MissingOrUnparseableInputsAreClassified)
+{
+    TempDir dir("trace_merge_err");
+    corpus::StoreError error;
+    // No traces/ directory at all.
+    EXPECT_FALSE(fleet::mergeTraces(
+        dir.str(), dir.str() + "/out.json", &error));
+    EXPECT_EQ(error.status, corpus::StoreStatus::NotFound);
+
+    // A traces/ directory with only corrupt files: Corrupt, and no
+    // output is written.
+    fs::create_directories(fleet::tracesDir(dir.str()));
+    ASSERT_TRUE(fleet::writeFileAtomic(
+        fleet::tracesDir(dir.str()) + "/bad.trace.json", "not json"));
+    EXPECT_FALSE(fleet::mergeTraces(
+        dir.str(), dir.str() + "/out.json", &error));
+    EXPECT_EQ(error.status, corpus::StoreStatus::Corrupt);
+    EXPECT_FALSE(fs::exists(dir.str() + "/out.json"));
+}
+
+//===------------------------------------------------------------------===//
+// Traced fleet end to end
+//===------------------------------------------------------------------===//
+
+TEST(ObserveFleet, TracedFleetMergesTimelineAndStaysByteIdentical)
+{
+    // Reference: the same plan, single process, no tracing.
+    TempDir reference_dir("ref");
+    corpus::StoreError error;
+    auto reference_store =
+        corpus::CorpusStore::open(reference_dir.str(), &error);
+    ASSERT_TRUE(reference_store) << error.message;
+    auto reference = corpus::runCheckpointed(
+        *reference_store, smallPlan(), {}, &error);
+    ASSERT_TRUE(reference) << error.message;
+
+    TempDir fleet_dir("traced_fleet");
+    fleet::FleetOptions options;
+    options.workers = 2;
+    options.trace = true;
+    options.snapshotIntervalMs = 50;
+    fleet::FleetCoordinator coordinator(fleet_dir.str(), smallPlan(),
+                                        options);
+    std::optional<fleet::FleetResult> result =
+        coordinator.run(&error);
+
+    // The coordinator enabled the process-global tracer; restore it
+    // before any assertion can bail out of the test early.
+    support::Tracer::global().setEnabled(false);
+    support::Tracer::global().clear();
+    support::Tracer::global().setProcess(1, "dce-campaign");
+
+    ASSERT_TRUE(result) << error.message;
+    EXPECT_TRUE(result->merged.completed);
+
+    // One merged Perfetto timeline covering every process: both
+    // workers and the coordinator parsed into it.
+    EXPECT_EQ(result->mergedTracePath,
+              fleet::mergedTracePath(fleet_dir.str()));
+    EXPECT_EQ(result->traceFiles, 3u);
+    std::optional<std::string> merged_trace =
+        fleet::readFile(result->mergedTracePath);
+    ASSERT_TRUE(merged_trace);
+    std::optional<corpus::JsonValue> trace_doc =
+        corpus::JsonValue::parse(*merged_trace);
+    ASSERT_TRUE(trace_doc);
+    ASSERT_TRUE(trace_doc->get("traceEvents"));
+    EXPECT_TRUE(
+        fs::exists(fleet::coordinatorTracePath(fleet_dir.str())));
+
+    // Every worker ran a SnapshotWriter on the configured cadence.
+    bool worker_snapshots = false;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(fleet_dir.str()))
+        if (entry.is_directory() &&
+            fs::exists(entry.path() / "metrics.jsonl"))
+            worker_snapshots = true;
+    EXPECT_TRUE(worker_snapshots);
+
+    // Observability must not perturb the determinism boundary: the
+    // merged store's summary is byte-identical to the reference.
+    EXPECT_EQ(corpus::summaryText(result->merged),
+              corpus::summaryText(*reference));
+}
+
+} // namespace
+} // namespace dce

@@ -178,10 +178,11 @@ TEST(ServeHttp, ParsesAndRoutesRequests)
     EXPECT_NE(ok.find("Content-Length: "), std::string::npos);
     EXPECT_NE(ok.find("Connection: close"), std::string::npos);
 
-    // Non-GET methods are rejected, not dispatched.
+    // Non-GET methods get a precise 405 + Allow, not dispatched.
     std::string post = rawRequest(
         server.port(), "POST /echo HTTP/1.1\r\nHost: l\r\n\r\n");
-    EXPECT_EQ(statusOf(post), 400);
+    EXPECT_EQ(statusOf(post), 405);
+    EXPECT_NE(post.find("Allow: GET"), std::string::npos);
 
     // A garbage request line is a 400, not a crash.
     std::string garbage =
@@ -195,7 +196,8 @@ TEST(ServeHttp, ParsesAndRoutesRequests)
     EXPECT_EQ(server.requestsServed(), 4u);
     EXPECT_EQ(registry.counterValue("serve.requests"), 4u);
     EXPECT_EQ(registry.counterValue("serve.responses", "200"), 1u);
-    EXPECT_EQ(registry.counterValue("serve.responses", "400"), 3u);
+    EXPECT_EQ(registry.counterValue("serve.responses", "400"), 2u);
+    EXPECT_EQ(registry.counterValue("serve.responses", "405"), 1u);
     server.stop();
     EXPECT_FALSE(server.running());
 }
